@@ -1,0 +1,101 @@
+//! Categorical-sampling structures: Fenwick vs linear scan vs alias table.
+//!
+//! The simulation hot path samples from mutating count distributions, so
+//! the Fenwick tree's O(log k) update+sample is the design point; the
+//! alias table (O(1) sample, O(k) rebuild) only wins for static
+//! distributions — exactly the crossover this bench shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pop_proto::{AliasTable, FenwickSampler};
+use sim_stats::multinomial::categorical_index;
+use sim_stats::rng::SimRng;
+use std::hint::black_box;
+
+const SAMPLES: u64 = 100_000;
+
+fn weights(k: usize) -> Vec<u64> {
+    (0..k).map(|i| 1 + (i as u64 * 37) % 100).collect()
+}
+
+fn bench_static_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_sampling");
+    group.throughput(Throughput::Elements(SAMPLES));
+    for &k in &[8usize, 64, 512] {
+        let w = weights(k);
+        group.bench_with_input(BenchmarkId::new("linear_scan", k), &w, |b, w| {
+            b.iter(|| {
+                let mut rng = SimRng::new(1);
+                let mut acc = 0usize;
+                for _ in 0..SAMPLES {
+                    acc ^= categorical_index(&mut rng, w);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", k), &w, |b, w| {
+            let f = FenwickSampler::new(w);
+            b.iter(|| {
+                let mut rng = SimRng::new(1);
+                let mut acc = 0usize;
+                for _ in 0..SAMPLES {
+                    acc ^= f.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alias", k), &w, |b, w| {
+            let wf: Vec<f64> = w.iter().map(|&x| x as f64).collect();
+            let t = AliasTable::new(&wf);
+            b.iter(|| {
+                let mut rng = SimRng::new(1);
+                let mut acc = 0usize;
+                for _ in 0..SAMPLES {
+                    acc ^= t.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_sampling(c: &mut Criterion) {
+    // The simulation workload: sample, then update the sampled weight.
+    let mut group = c.benchmark_group("dynamic_sampling");
+    group.throughput(Throughput::Elements(SAMPLES));
+    for &k in &[8usize, 64, 512] {
+        let w = weights(k);
+        group.bench_with_input(BenchmarkId::new("fenwick_sample_update", k), &w, |b, w| {
+            b.iter(|| {
+                let mut f = FenwickSampler::new(w);
+                let mut rng = SimRng::new(1);
+                for _ in 0..SAMPLES {
+                    let i = f.sample(&mut rng);
+                    // Move one unit around the circle: the shape of a USD
+                    // transition's bookkeeping.
+                    f.add(i, -1);
+                    f.add((i + 1) % f.len(), 1);
+                }
+                black_box(f.total())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alias_rebuild", k), &w, |b, w| {
+            b.iter(|| {
+                let mut wf: Vec<f64> = w.iter().map(|&x| x as f64).collect();
+                let mut rng = SimRng::new(1);
+                // Rebuilding per update is the honest alias-table cost in a
+                // dynamic setting; cap iterations to keep the bench sane.
+                for _ in 0..(SAMPLES / 100).max(1) {
+                    let t = AliasTable::new(&wf);
+                    let i = t.sample(&mut rng);
+                    wf[i] += 1.0;
+                }
+                black_box(wf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_sampling, bench_dynamic_sampling);
+criterion_main!(benches);

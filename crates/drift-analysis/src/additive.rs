@@ -1,0 +1,129 @@
+//! Additive drift (He–Yao) — the upper-bound counterpart of the negative
+//! drift theorem used by the paper.
+//!
+//! Additive drift theorem: if a non-negative process X_t with X₀ = s
+//! satisfies E[X_t − X_{t+1} | X_t > 0] ≥ δ for some δ > 0, then the
+//! expected hitting time of 0 is at most s/δ (and at least s/δ′ if the
+//! drift is also bounded above by δ′). The paper's intuition in §2 —
+//! "a number changing in expectation by α per interaction needs Ω(β/α)
+//! interactions to move by β" — is exactly the lower-bound direction.
+//!
+//! This module evaluates the bound and verifies it empirically against
+//! recorded processes, complementing [`crate::oliveto_witt`].
+
+/// Additive drift parameters: start value and per-step drift bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdditiveDrift {
+    /// Starting distance to the target.
+    pub start: f64,
+    /// Lower bound δ on the per-step drift toward the target.
+    pub delta_lower: f64,
+    /// Upper bound δ′ on the per-step drift toward the target.
+    pub delta_upper: f64,
+}
+
+impl AdditiveDrift {
+    /// Create parameters; requires 0 < δ ≤ δ′ and start ≥ 0.
+    pub fn new(start: f64, delta_lower: f64, delta_upper: f64) -> Self {
+        assert!(start >= 0.0, "start must be non-negative");
+        assert!(
+            delta_lower > 0.0 && delta_lower <= delta_upper,
+            "need 0 < delta_lower <= delta_upper"
+        );
+        AdditiveDrift {
+            start,
+            delta_lower,
+            delta_upper,
+        }
+    }
+
+    /// He–Yao upper bound on the expected hitting time: start/δ.
+    pub fn expected_time_upper(&self) -> f64 {
+        self.start / self.delta_lower
+    }
+
+    /// Matching lower bound start/δ′ (valid when the process cannot jump
+    /// past the target by more than O(δ′) per step).
+    pub fn expected_time_lower(&self) -> f64 {
+        self.start / self.delta_upper
+    }
+}
+
+/// Estimate the mean one-step drift *toward zero* of a recorded
+/// trajectory (positive = moving toward the target).
+pub fn empirical_drift_toward_zero(trajectory: &[f64]) -> Option<f64> {
+    if trajectory.len() < 2 {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for w in trajectory.windows(2) {
+        if w[0] > 0.0 {
+            sum += w[0] - w[1];
+            count += 1;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::{ConstantLaw, LazyWalk};
+    use sim_stats::rng::SimRng;
+
+    #[test]
+    fn bounds_bracket_biased_walk_hitting_time() {
+        // Walk from 200 down to 0 with drift exactly 0.2 per step:
+        // expected hitting time = 1000, and both bounds should agree.
+        let params = AdditiveDrift::new(200.0, 0.2, 0.2);
+        assert!((params.expected_time_upper() - 1000.0).abs() < 1e-9);
+        assert!((params.expected_time_lower() - 1000.0).abs() < 1e-9);
+
+        let reps = 300u64;
+        let mut total = 0u64;
+        for seed in 0..reps {
+            let mut w = LazyWalk::starting_at(ConstantLaw::new(0.6, -0.2), 200);
+            let mut rng = SimRng::new(seed);
+            let mut steps = 0u64;
+            while w.position() > 0 {
+                w.step(&mut rng);
+                steps += 1;
+            }
+            total += steps;
+        }
+        let mean = total as f64 / reps as f64;
+        assert!(
+            (mean - 1000.0).abs() < 60.0,
+            "mean hitting time {mean} vs theory 1000"
+        );
+    }
+
+    #[test]
+    fn paper_intuition_beta_over_alpha() {
+        // §2: drift α per interaction ⇒ moving by β takes ≈ β/α steps.
+        let params = AdditiveDrift::new(5_000.0, 0.05, 0.05);
+        assert_eq!(params.expected_time_upper(), 100_000.0);
+    }
+
+    #[test]
+    fn empirical_drift_recovers_slope() {
+        let traj: Vec<f64> = (0..100).map(|i| 100.0 - i as f64 * 0.5).collect();
+        let d = empirical_drift_toward_zero(&traj).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_drift_edge_cases() {
+        assert_eq!(empirical_drift_toward_zero(&[]), None);
+        assert_eq!(empirical_drift_toward_zero(&[5.0]), None);
+        // All mass at/below zero: no usable transitions.
+        assert_eq!(empirical_drift_toward_zero(&[0.0, 0.0, 0.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta_lower")]
+    fn invalid_deltas_rejected() {
+        AdditiveDrift::new(10.0, 0.5, 0.1);
+    }
+}

@@ -1,0 +1,173 @@
+//! The explicit coupling from the proof of Lemma 3.2.
+//!
+//! The proof couples the walk Y(t) (step law p(t), bias q(t) ≤ q) with a
+//! dominating walk Ỹ(t) that uses the *fixed* bias q, such that almost
+//! surely:
+//!
+//! 1. Ỹ(t) ≥ Y(t) for all t;
+//! 2. Y holds ⟺ Ỹ holds (they share laziness);
+//! 3. if Y moves up, Ỹ moves up.
+//!
+//! The construction samples one uniform r(t) per step and thresholds it
+//! exactly as the proof prescribes. [`CoupledWalks`] implements it and
+//! asserts the three invariants at every step (in all build profiles — the
+//! checks are cheap), so simulation of the coupling doubles as a mechanized
+//! sanity check of the proof's construction.
+
+use crate::walk::StepLaw;
+use sim_stats::rng::SimRng;
+
+/// The coupled pair (Y, Ỹ) of Lemma 3.2's proof.
+#[derive(Debug, Clone)]
+pub struct CoupledWalks<L: StepLaw> {
+    law: L,
+    /// Dominating fixed bias q ≥ sup_t q(t).
+    q_max: f64,
+    y: i64,
+    y_tilde: i64,
+    t: u64,
+}
+
+impl<L: StepLaw> CoupledWalks<L> {
+    /// Couple the walk driven by `law` with the fixed-bias `q_max` walk.
+    ///
+    /// `q_max` must dominate every bias the law can produce; this is
+    /// asserted step-by-step during simulation.
+    pub fn new(law: L, q_max: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q_max), "q_max must be a probability");
+        CoupledWalks {
+            law,
+            q_max,
+            y: 0,
+            y_tilde: 0,
+            t: 0,
+        }
+    }
+
+    /// Position of the original walk Y.
+    pub fn y(&self) -> i64 {
+        self.y
+    }
+
+    /// Position of the dominating walk Ỹ.
+    pub fn y_tilde(&self) -> i64 {
+        self.y_tilde
+    }
+
+    /// Steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Advance both walks one step using the proof's single-uniform
+    /// construction, asserting the coupling invariants.
+    pub fn step(&mut self, rng: &mut SimRng) {
+        let (p, q_t) = self.law.law(self.t, self.y);
+        assert!(
+            q_t <= self.q_max + 1e-12,
+            "law produced q(t)={q_t} > q_max={}",
+            self.q_max
+        );
+        assert!(
+            q_t >= -p - 1e-12,
+            "law produced q(t)={q_t} < -p(t)={}",
+            -p
+        );
+        self.t += 1;
+        let r = rng.f64();
+        let (dy, dy_tilde) = if r < 1.0 - p {
+            // Both hold (invariant 2).
+            (0i64, 0i64)
+        } else if r < 1.0 - p + (p + q_t) / 2.0 {
+            // Y up ⇒ Ỹ up (invariant 3).
+            (1, 1)
+        } else if r < 1.0 - p + (p + self.q_max) / 2.0 {
+            // Y down but Ỹ up: the slice where the dominating bias differs.
+            (-1, 1)
+        } else {
+            (-1, -1)
+        };
+        self.y += dy;
+        self.y_tilde += dy_tilde;
+        // Invariant 1: domination.
+        assert!(
+            self.y_tilde >= self.y,
+            "coupling broken at step {}: Y={} > Ỹ={}",
+            self.t,
+            self.y,
+            self.y_tilde
+        );
+    }
+
+    /// Run `steps` steps; returns `(Y, Ỹ)` afterwards.
+    pub fn run(&mut self, rng: &mut SimRng, steps: u64) -> (i64, i64) {
+        for _ in 0..steps {
+            self.step(rng);
+        }
+        (self.y, self.y_tilde)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::ConstantLaw;
+
+    #[test]
+    fn domination_holds_over_long_runs() {
+        // Time-varying bias bounded by q_max = 0.1.
+        let law = |t: u64, _y: i64| {
+            let q = 0.1 * ((t as f64 / 50.0).sin()); // oscillates in [-0.1, 0.1]
+            (0.5, q)
+        };
+        let mut c = CoupledWalks::new(law, 0.1);
+        let mut rng = SimRng::new(1);
+        c.run(&mut rng, 20_000); // asserts at every step
+        assert!(c.y_tilde() >= c.y());
+    }
+
+    #[test]
+    fn identical_laws_make_walks_equal() {
+        // If q(t) == q_max always, the slice where they differ is empty.
+        let mut c = CoupledWalks::new(ConstantLaw::new(0.4, 0.15), 0.15);
+        let mut rng = SimRng::new(2);
+        c.run(&mut rng, 10_000);
+        assert_eq!(c.y(), c.y_tilde());
+    }
+
+    #[test]
+    fn dominating_walk_has_bias_q_max() {
+        // Ỹ drifts at rate q_max regardless of the underlying law's bias.
+        let steps = 5_000u64;
+        let q_max = 0.2;
+        let mut acc = 0.0;
+        for seed in 0..100 {
+            let mut c = CoupledWalks::new(ConstantLaw::new(0.5, -0.1), q_max);
+            let mut rng = SimRng::new(seed);
+            c.run(&mut rng, steps);
+            acc += c.y_tilde() as f64;
+        }
+        let mean = acc / 100.0;
+        let expect = q_max * steps as f64; // 1000
+        assert!(
+            (mean - expect).abs() < 60.0,
+            "Ỹ mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "q_max")]
+    fn law_exceeding_q_max_detected() {
+        let mut c = CoupledWalks::new(ConstantLaw::new(0.5, 0.3), 0.1);
+        let mut rng = SimRng::new(3);
+        c.step(&mut rng);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut c = CoupledWalks::new(ConstantLaw::new(0.5, 0.0), 0.0);
+        let mut rng = SimRng::new(4);
+        c.run(&mut rng, 123);
+        assert_eq!(c.steps(), 123);
+    }
+}

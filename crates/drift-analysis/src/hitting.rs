@@ -1,0 +1,134 @@
+//! Monte-Carlo first-hitting-time estimation.
+//!
+//! The lemma-verification experiments need "how long until X crosses T"
+//! distributions with confidence intervals, including runs that never
+//! cross within the budget (right-censored observations). This module
+//! provides the estimator and its summary type.
+
+use sim_stats::summary::Summary;
+
+/// Estimate of a first-hitting-time distribution from repeated trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HittingTimeEstimate {
+    /// Summary over trials that hit (times in whatever unit the trial
+    /// function returned).
+    pub hits: Summary,
+    /// Number of trials that did not hit within their budget.
+    pub censored: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// Minimum over *all* trials of the observation: for censored trials
+    /// the budget counts as a lower bound, so `min_lower_bound` is a valid
+    /// lower bound on the true minimum hitting time.
+    pub min_lower_bound: f64,
+}
+
+impl HittingTimeEstimate {
+    /// Fraction of trials that hit.
+    pub fn hit_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.hits.count() as f64 / self.trials as f64
+    }
+
+    /// Whether every trial hit.
+    pub fn all_hit(&self) -> bool {
+        self.censored == 0 && self.trials > 0
+    }
+}
+
+/// Run `trials` independent trials. Each trial returns `Ok(time)` if the
+/// event occurred at `time`, or `Err(budget)` if it was censored at
+/// `budget`.
+pub fn estimate_hitting_time(
+    trials: u64,
+    mut trial: impl FnMut(u64) -> Result<f64, f64>,
+) -> HittingTimeEstimate {
+    let mut hits = Summary::new();
+    let mut censored = 0u64;
+    let mut min_lower_bound = f64::INFINITY;
+    for i in 0..trials {
+        match trial(i) {
+            Ok(t) => {
+                hits.add(t);
+                min_lower_bound = min_lower_bound.min(t);
+            }
+            Err(budget) => {
+                censored += 1;
+                min_lower_bound = min_lower_bound.min(budget);
+            }
+        }
+    }
+    HittingTimeEstimate {
+        hits,
+        censored,
+        trials,
+        min_lower_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::{ConstantLaw, LazyWalk};
+    use sim_stats::rng::SimRng;
+
+    #[test]
+    fn geometric_hitting_time_mean() {
+        // First +1 step of a (p=0.25, q=0.25) walk (always up when moving):
+        // hitting time of 1 is Geometric(0.25) with mean 4.
+        let est = estimate_hitting_time(20_000, |seed| {
+            let mut w = LazyWalk::new(ConstantLaw::new(0.25, 0.25));
+            let mut rng = SimRng::new(seed);
+            match w.first_hit_at_least(&mut rng, 1, 1_000) {
+                Some(t) => Ok(t as f64),
+                None => Err(1_000.0),
+            }
+        });
+        assert!(est.all_hit());
+        assert!((est.hits.mean() - 4.0).abs() < 0.1, "mean {}", est.hits.mean());
+        assert_eq!(est.hit_fraction(), 1.0);
+        assert_eq!(est.min_lower_bound, 1.0);
+    }
+
+    #[test]
+    fn censoring_counted() {
+        // Downward walk never reaches +10.
+        let est = estimate_hitting_time(50, |seed| {
+            let mut w = LazyWalk::new(ConstantLaw::new(0.5, -0.5));
+            let mut rng = SimRng::new(seed);
+            match w.first_hit_at_least(&mut rng, 10, 200) {
+                Some(t) => Ok(t as f64),
+                None => Err(200.0),
+            }
+        });
+        assert_eq!(est.censored, 50);
+        assert_eq!(est.hit_fraction(), 0.0);
+        assert!(!est.all_hit());
+        assert_eq!(est.min_lower_bound, 200.0);
+        assert_eq!(est.hits.count(), 0);
+    }
+
+    #[test]
+    fn mixed_hits_and_censoring() {
+        let est = estimate_hitting_time(100, |i| {
+            if i % 2 == 0 {
+                Ok(10.0 + i as f64)
+            } else {
+                Err(1_000.0)
+            }
+        });
+        assert_eq!(est.censored, 50);
+        assert_eq!(est.hits.count(), 50);
+        assert!((est.hit_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(est.min_lower_bound, 10.0);
+    }
+
+    #[test]
+    fn empty_estimate() {
+        let est = estimate_hitting_time(0, |_| Ok(1.0));
+        assert_eq!(est.trials, 0);
+        assert_eq!(est.hit_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! The proof's drift-analysis machinery, as executable code.
+//!
+//! The lower bound of El-Hayek–Elsässer–Schmid rests on three probabilistic
+//! tools, each of which is a concrete statement about simulable random
+//! walks:
+//!
+//! * **Lemma 3.2** — a lazy ±1 random walk with step probability p(t) ≤ p
+//!   and bias q(t) ≤ q stays below T for ~T/(2q) steps w.h.p. (proved via
+//!   a coupling and Bernstein's inequality). [`walk`] implements the walk
+//!   family, [`coupling`] the explicit coupling with its invariants
+//!   runtime-checked, and [`bernstein`] the tail bound.
+//! * **Theorem A.1 (Oliveto–Witt)** — negative drift implies exponential
+//!   hitting times. [`oliveto_witt`] checks the theorem's three hypotheses
+//!   for concrete parameters and evaluates the bound.
+//! * **Monte-Carlo estimation** — [`hitting`] estimates first-hitting-time
+//!   distributions with confidence intervals, so each lemma's conclusion
+//!   can be compared against simulation.
+//!
+//! [`usd_walks`] adapts the USD process itself into this framework: the
+//! walks the paper analyzes (−u(t), xᵢ(t), Δᵢⱼ(t)) are exposed with their
+//! exact per-configuration step laws taken from `usd-core::analysis`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod additive;
+pub mod bernstein;
+pub mod coupling;
+pub mod hitting;
+pub mod oliveto_witt;
+pub mod usd_walks;
+pub mod walk;
+
+pub use additive::{empirical_drift_toward_zero, AdditiveDrift};
+pub use bernstein::{bernstein_tail, lemma32_condition_holds, lemma32_tail};
+pub use coupling::CoupledWalks;
+pub use hitting::{estimate_hitting_time, HittingTimeEstimate};
+pub use oliveto_witt::{NegativeDriftParams, NegativeDriftReport};
+pub use walk::{ConstantLaw, LazyWalk, StepLaw};

@@ -1,0 +1,285 @@
+//! Lazy ±1 random walks with time/state-dependent step laws.
+//!
+//! Lemma 3.2 of the paper concerns walks of the form
+//!
+//! > Y(t+1) = Y(t)      with probability 1 − p(t)
+//! > Y(t+1) = Y(t) + 1  with probability (p(t) + q(t))/2
+//! > Y(t+1) = Y(t) − 1  with probability (p(t) − q(t))/2
+//!
+//! where p(t) is the *activity* (probability the walk moves at all) and
+//! q(t) the *bias*. The paper's key observation (§2): when p = o(1) — as
+//! for an opinion's count, which only moves when one of its ≤ 2n/k agents
+//! is scheduled — the variance accumulated over m steps is ~pm, not m,
+//! which is what defeats the naive random-walk lower bound.
+
+use sim_stats::rng::SimRng;
+
+/// A step law: given the step index and current position, produce
+/// `(p, q)` — activity and bias — for the next step.
+///
+/// Requirements: `0 ≤ p ≤ 1` and `|q| ≤ p`.
+pub trait StepLaw {
+    /// The `(p(t), q(t))` pair for step `t` at position `y`.
+    fn law(&self, t: u64, y: i64) -> (f64, f64);
+}
+
+/// A constant step law (the classical lazy biased walk).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLaw {
+    /// Activity p.
+    pub p: f64,
+    /// Bias q (|q| ≤ p).
+    pub q: f64,
+}
+
+impl ConstantLaw {
+    /// Construct, validating `0 ≤ p ≤ 1`, `|q| ≤ p`.
+    pub fn new(p: f64, q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        assert!(q.abs() <= p + 1e-15, "|q| must be at most p");
+        ConstantLaw { p, q }
+    }
+}
+
+impl StepLaw for ConstantLaw {
+    fn law(&self, _t: u64, _y: i64) -> (f64, f64) {
+        (self.p, self.q)
+    }
+}
+
+impl<F: Fn(u64, i64) -> (f64, f64)> StepLaw for F {
+    fn law(&self, t: u64, y: i64) -> (f64, f64) {
+        self(t, y)
+    }
+}
+
+/// A lazy ±1 walk driven by a [`StepLaw`].
+#[derive(Debug, Clone)]
+pub struct LazyWalk<L: StepLaw> {
+    law: L,
+    y: i64,
+    t: u64,
+    max_seen: i64,
+    min_seen: i64,
+}
+
+/// What a single step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkStep {
+    /// Position unchanged.
+    Hold,
+    /// Moved up by one.
+    Up,
+    /// Moved down by one.
+    Down,
+}
+
+impl<L: StepLaw> LazyWalk<L> {
+    /// A walk starting at 0.
+    pub fn new(law: L) -> Self {
+        LazyWalk {
+            law,
+            y: 0,
+            t: 0,
+            max_seen: 0,
+            min_seen: 0,
+        }
+    }
+
+    /// A walk starting at `y0`.
+    pub fn starting_at(law: L, y0: i64) -> Self {
+        LazyWalk {
+            law,
+            y: y0,
+            t: 0,
+            max_seen: y0,
+            min_seen: y0,
+        }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> i64 {
+        self.y
+    }
+
+    /// Steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Running maximum.
+    pub fn max_seen(&self) -> i64 {
+        self.max_seen
+    }
+
+    /// Running minimum.
+    pub fn min_seen(&self) -> i64 {
+        self.min_seen
+    }
+
+    /// Advance one step.
+    pub fn step(&mut self, rng: &mut SimRng) -> WalkStep {
+        let (p, q) = self.law.law(self.t, self.y);
+        debug_assert!((0.0..=1.0).contains(&p), "invalid p={p}");
+        debug_assert!(q.abs() <= p + 1e-12, "invalid q={q} for p={p}");
+        self.t += 1;
+        let r = rng.f64();
+        let step = if r < 1.0 - p {
+            WalkStep::Hold
+        } else if r < 1.0 - p + (p + q) / 2.0 {
+            self.y += 1;
+            WalkStep::Up
+        } else {
+            self.y -= 1;
+            WalkStep::Down
+        };
+        self.max_seen = self.max_seen.max(self.y);
+        self.min_seen = self.min_seen.min(self.y);
+        step
+    }
+
+    /// Run until the position reaches `target` (≥) or `budget` steps pass;
+    /// returns the step count at the crossing, if any.
+    pub fn first_hit_at_least(
+        &mut self,
+        rng: &mut SimRng,
+        target: i64,
+        budget: u64,
+    ) -> Option<u64> {
+        if self.y >= target {
+            return Some(self.t);
+        }
+        for _ in 0..budget {
+            self.step(rng);
+            if self.y >= target {
+                return Some(self.t);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_walk_stays_near_zero_in_mean() {
+        let mut acc = 0.0;
+        for seed in 0..200 {
+            let mut w = LazyWalk::new(ConstantLaw::new(0.5, 0.0));
+            let mut rng = SimRng::new(seed);
+            for _ in 0..1_000 {
+                w.step(&mut rng);
+            }
+            acc += w.position() as f64;
+        }
+        let mean = acc / 200.0;
+        // Mean 0, stddev per walk ≈ √(0.5·1000) ≈ 22; mean of 200 walks
+        // has stderr ≈ 1.6.
+        assert!(mean.abs() < 6.0, "mean {mean}");
+    }
+
+    #[test]
+    fn biased_walk_drifts_at_rate_q() {
+        let (p, q) = (0.6, 0.2);
+        let steps = 2_000u64;
+        let mut acc = 0.0;
+        for seed in 0..100 {
+            let mut w = LazyWalk::new(ConstantLaw::new(p, q));
+            let mut rng = SimRng::new(seed);
+            for _ in 0..steps {
+                w.step(&mut rng);
+            }
+            acc += w.position() as f64;
+        }
+        let mean = acc / 100.0;
+        let expect = q * steps as f64; // 400
+        assert!(
+            (mean - expect).abs() < 25.0,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn laziness_reduces_variance() {
+        // The paper's point: over m steps, variance scales with p·m.
+        let steps = 2_000u64;
+        let spread = |p: f64, seed0: u64| {
+            let mut sq = 0.0;
+            for seed in 0..200 {
+                let mut w = LazyWalk::new(ConstantLaw::new(p, 0.0));
+                let mut rng = SimRng::new(seed0 + seed);
+                for _ in 0..steps {
+                    w.step(&mut rng);
+                }
+                sq += (w.position() as f64).powi(2);
+            }
+            sq / 200.0
+        };
+        let busy = spread(0.8, 0);
+        let lazy = spread(0.05, 10_000);
+        // Var ≈ p·m: ratio ≈ 16.
+        let ratio = busy / lazy;
+        assert!(ratio > 8.0 && ratio < 32.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn extremes_tracked() {
+        let mut w = LazyWalk::new(ConstantLaw::new(1.0, 0.0));
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            w.step(&mut rng);
+        }
+        assert!(w.max_seen() >= w.position() || w.min_seen() <= w.position());
+        assert!(w.max_seen() >= 0 && w.min_seen() <= 0);
+        assert_eq!(w.steps(), 100);
+    }
+
+    #[test]
+    fn first_hit_on_deterministic_upward_walk() {
+        // p = 1, q = 1: always moves up.
+        let mut w = LazyWalk::new(ConstantLaw::new(1.0, 1.0));
+        let mut rng = SimRng::new(4);
+        assert_eq!(w.first_hit_at_least(&mut rng, 10, 100), Some(10));
+    }
+
+    #[test]
+    fn first_hit_none_within_budget() {
+        let mut w = LazyWalk::new(ConstantLaw::new(1.0, -1.0)); // always down
+        let mut rng = SimRng::new(5);
+        assert_eq!(w.first_hit_at_least(&mut rng, 1, 1_000), None);
+        assert_eq!(w.position(), -1_000);
+    }
+
+    #[test]
+    fn first_hit_already_there() {
+        let mut w = LazyWalk::starting_at(ConstantLaw::new(0.5, 0.0), 7);
+        let mut rng = SimRng::new(6);
+        assert_eq!(w.first_hit_at_least(&mut rng, 5, 10), Some(0));
+    }
+
+    #[test]
+    fn closure_step_laws_work() {
+        // Time-dependent law: frozen after step 100.
+        let law = |t: u64, _y: i64| if t < 100 { (1.0, 1.0) } else { (0.0, 0.0) };
+        let mut w = LazyWalk::new(law);
+        let mut rng = SimRng::new(7);
+        for _ in 0..500 {
+            w.step(&mut rng);
+        }
+        assert_eq!(w.position(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_p_rejected() {
+        ConstantLaw::new(1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most p")]
+    fn invalid_q_rejected() {
+        ConstantLaw::new(0.3, 0.5);
+    }
+}

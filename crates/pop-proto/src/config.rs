@@ -1,0 +1,185 @@
+//! Count-based configurations.
+//!
+//! Because agents are anonymous, a configuration of a population protocol is
+//! fully described by how many agents are in each state — the paper's
+//! x = (x₁, …, x_k, u) vector is exactly such a count configuration. The
+//! [`CountConfig`] type stores counts indexed by the protocol's dense state
+//! index and enforces conservation of the population size.
+
+use crate::protocol::Protocol;
+
+/// A population configuration as a vector of per-state counts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CountConfig {
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl CountConfig {
+    /// Build from per-state counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let n = counts.iter().sum();
+        CountConfig { counts, n }
+    }
+
+    /// A configuration with all `n` agents in state `index` out of
+    /// `num_states` states.
+    pub fn uniform(num_states: usize, index: usize, n: u64) -> Self {
+        assert!(index < num_states, "state index out of range");
+        let mut counts = vec![0; num_states];
+        counts[index] = n;
+        CountConfig { counts, n }
+    }
+
+    /// Population size `n`.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Count of agents in state `index`.
+    #[inline]
+    pub fn count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// All counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of states tracked.
+    pub fn num_states(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Apply one ordered interaction `(initiator_state, responder_state)`
+    /// under `protocol`, updating counts. Panics (debug) if the named states
+    /// are not actually present.
+    ///
+    /// Returns `true` if the interaction changed the configuration.
+    pub fn apply_interaction<P: Protocol>(
+        &mut self,
+        protocol: &P,
+        initiator: usize,
+        responder: usize,
+    ) -> bool {
+        debug_assert!(self.counts[initiator] >= 1, "initiator state not present");
+        debug_assert!(
+            if initiator == responder {
+                self.counts[responder] >= 2
+            } else {
+                self.counts[responder] >= 1
+            },
+            "responder state not present"
+        );
+        let (a, b) = protocol.transition_indices(initiator, responder);
+        if (a, b) == (initiator, responder) {
+            return false;
+        }
+        self.counts[initiator] -= 1;
+        self.counts[responder] -= 1;
+        self.counts[a] += 1;
+        self.counts[b] += 1;
+        true
+    }
+
+    /// The number of distinct states with at least one agent.
+    pub fn support_size(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Whether all agents share a single state; returns its index if so.
+    pub fn consensus_state(&self) -> Option<usize> {
+        let mut found = None;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                if c == self.n {
+                    return Some(i);
+                }
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found.filter(|_| self.n > 0)
+    }
+
+    /// Tally outputs under the protocol's output map γ: returns
+    /// `(output, count)` pairs for outputs with positive count, in the order
+    /// the outputs are first encountered over state indices.
+    pub fn output_tally<P: Protocol>(&self, protocol: &P) -> Vec<(P::Output, u64)> {
+        let mut tally: Vec<(P::Output, u64)> = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let out = protocol.output(protocol.state_of(i));
+            match tally.iter_mut().find(|(o, _)| *o == out) {
+                Some((_, acc)) => *acc += c,
+                None => tally.push((out, c)),
+            }
+        }
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::OneWayEpidemic;
+
+    #[test]
+    fn from_counts_sums() {
+        let c = CountConfig::from_counts(vec![3, 4, 5]);
+        assert_eq!(c.n(), 12);
+        assert_eq!(c.count(1), 4);
+        assert_eq!(c.num_states(), 3);
+    }
+
+    #[test]
+    fn uniform_config() {
+        let c = CountConfig::uniform(4, 2, 100);
+        assert_eq!(c.counts(), &[0, 0, 100, 0]);
+        assert_eq!(c.consensus_state(), Some(2));
+    }
+
+    #[test]
+    fn apply_interaction_conserves_population() {
+        let p = OneWayEpidemic;
+        let mut c = CountConfig::from_counts(vec![1, 9]);
+        // infected (0) meets susceptible (1): both infected afterwards.
+        assert!(c.apply_interaction(&p, 0, 1));
+        assert_eq!(c.counts(), &[2, 8]);
+        assert_eq!(c.n(), 10);
+        // noop: two susceptible agents.
+        assert!(!c.apply_interaction(&p, 1, 1));
+        assert_eq!(c.counts(), &[2, 8]);
+    }
+
+    #[test]
+    fn support_and_consensus() {
+        let c = CountConfig::from_counts(vec![0, 10, 0]);
+        assert_eq!(c.support_size(), 1);
+        assert_eq!(c.consensus_state(), Some(1));
+        let d = CountConfig::from_counts(vec![1, 9, 0]);
+        assert_eq!(d.support_size(), 2);
+        assert_eq!(d.consensus_state(), None);
+    }
+
+    #[test]
+    fn output_tally_groups_states() {
+        let p = OneWayEpidemic;
+        let c = CountConfig::from_counts(vec![3, 7]);
+        let tally = c.output_tally(&p);
+        assert_eq!(tally, vec![(true, 3), (false, 7)]);
+    }
+
+    #[test]
+    fn empty_population_has_no_consensus() {
+        let c = CountConfig::from_counts(vec![0, 0]);
+        assert_eq!(c.consensus_state(), None);
+    }
+}

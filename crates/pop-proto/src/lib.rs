@@ -1,0 +1,53 @@
+//! Generic population-protocol substrate.
+//!
+//! This crate implements the computational model of Angluin et al.
+//! (Distributed Computing 2006/2008) exactly as formalized in §1.1 of
+//! El-Hayek–Elsässer–Schmid (PODC 2025):
+//!
+//! * a population of `n` anonymous agents, each holding a state from a
+//!   finite state set Σ;
+//! * a deterministic transition function `f : Σ² → Σ²` applied to an ordered
+//!   pair of interacting agents ([`Protocol`]);
+//! * an output function `γ : Σ → Γ` mapping states to output values;
+//! * a scheduler selecting, at each discrete time step, an ordered pair of
+//!   distinct agents — uniformly at random on the clique in the paper's
+//!   model ([`scheduler::CliqueScheduler`]), or restricted to the edges of an
+//!   interaction graph in the general model ([`scheduler::GraphScheduler`]).
+//!
+//! Two exact simulators are provided:
+//!
+//! * [`simulator::AgentSimulator`] tracks every individual agent — the
+//!   literal model, used as the ground-truth oracle in equivalence tests;
+//! * [`simulator::CountSimulator`] tracks only the count of agents per state
+//!   and samples interacting *states* instead of interacting *agents*.
+//!   Because agents are anonymous and the scheduler is uniform, the induced
+//!   Markov chain on count configurations is identical; each interaction
+//!   costs O(log |Σ|) via Fenwick-tree sampling.
+//!
+//! Supporting modules: [`sampling`] (weighted samplers), [`graph`]
+//! (interaction graphs), [`stopping`] (stop conditions and the run driver),
+//! [`trace`] (snapshot recording), and [`metrics`] (parallel-time
+//! conversions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod graph;
+pub mod metrics;
+pub mod protocol;
+pub mod sampling;
+pub mod scheduler;
+pub mod simulator;
+pub mod stopping;
+pub mod trace;
+
+pub use config::CountConfig;
+pub use graph::Graph;
+pub use metrics::{interactions_for_parallel_time, parallel_time};
+pub use protocol::{OneWayEpidemic, Protocol};
+pub use sampling::{AliasTable, FenwickSampler};
+pub use scheduler::{CliqueScheduler, GraphScheduler, Scheduler};
+pub use simulator::{AgentSimulator, CountSimulator, InteractionRecord};
+pub use stopping::{RunOutcome, StopReason, Stopper};
+pub use trace::TraceRecorder;

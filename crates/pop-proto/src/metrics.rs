@@ -1,0 +1,44 @@
+//! Time-unit conversions.
+//!
+//! The population-protocol literature (and the paper throughout) reports
+//! **parallel time** = interactions / n, so that one unit corresponds to
+//! each agent participating in Θ(1) interactions in expectation. These
+//! helpers keep the conversion explicit at call sites.
+
+/// Parallel time corresponding to `interactions` in a population of `n`.
+#[inline]
+pub fn parallel_time(interactions: u64, n: u64) -> f64 {
+    assert!(n > 0, "population must be positive");
+    interactions as f64 / n as f64
+}
+
+/// Number of interactions corresponding to `parallel` units of parallel
+/// time in a population of `n` (rounded to nearest).
+#[inline]
+pub fn interactions_for_parallel_time(parallel: f64, n: u64) -> u64 {
+    assert!(parallel >= 0.0, "parallel time must be non-negative");
+    (parallel * n as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(parallel_time(5_000, 1_000), 5.0);
+        assert_eq!(interactions_for_parallel_time(5.0, 1_000), 5_000);
+        assert_eq!(interactions_for_parallel_time(2.5, 10), 25);
+    }
+
+    #[test]
+    fn fractional_interactions_round() {
+        assert_eq!(interactions_for_parallel_time(0.33, 10), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_population_rejected() {
+        parallel_time(1, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The [`Protocol`] trait: deterministic pairwise transition functions.
+//!
+//! A population protocol is a pair `(f, γ)` over a finite state set Σ.
+//! For simulation we require states to be densely indexable (`0..num_states`)
+//! so count-based configurations are plain vectors; protocols whose natural
+//! state type is richer (enums, tuples) implement the index mapping.
+
+use std::fmt::Debug;
+
+/// A population protocol: finite state set, deterministic pairwise
+/// transition function `f : Σ² → Σ²`, and output map `γ : Σ → Γ`.
+///
+/// The transition receives the interaction as an **ordered** pair
+/// (initiator, responder), matching the paper's formalization
+/// `f(q′, q″) = (r′, r″)`. Symmetric protocols simply ignore the order.
+///
+/// Implementations must be deterministic and total: `transition` must be a
+/// pure function of its inputs.
+pub trait Protocol {
+    /// The protocol's state type.
+    type State: Copy + Eq + Debug;
+    /// The protocol's output value type (Γ). For many protocols Γ = Σ.
+    type Output: Copy + Eq + Debug;
+
+    /// Number of states |Σ|. State indices range over `0..num_states()`.
+    fn num_states(&self) -> usize;
+
+    /// Map a state to its dense index in `0..num_states()`.
+    fn index_of(&self, state: Self::State) -> usize;
+
+    /// Map a dense index back to a state. Panics if out of range.
+    fn state_of(&self, index: usize) -> Self::State;
+
+    /// The transition function on states.
+    fn transition(&self, initiator: Self::State, responder: Self::State)
+        -> (Self::State, Self::State);
+
+    /// The output function γ.
+    fn output(&self, state: Self::State) -> Self::Output;
+
+    /// The transition function on dense indices (the simulators' hot path).
+    ///
+    /// The default implementation round-trips through `state_of`; protocols
+    /// with a cheap index representation may override it.
+    #[inline]
+    fn transition_indices(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        let (a, b) = self.transition(self.state_of(initiator), self.state_of(responder));
+        (self.index_of(a), self.index_of(b))
+    }
+
+    /// Whether an interaction between these two states changes anything.
+    /// Simulators use this to detect "silent" (stable) configurations.
+    #[inline]
+    fn is_noop(&self, initiator: usize, responder: usize) -> bool {
+        self.transition_indices(initiator, responder) == (initiator, responder)
+    }
+
+    /// Whether a count configuration (indexed by state) is **silent**: no
+    /// pair of present states can produce any change. A silent configuration
+    /// is stable in the strongest sense — the paper's notion of
+    /// stabilization for the Undecided State Dynamics (consensus on one
+    /// opinion) coincides with silence.
+    fn is_silent(&self, counts: &[u64]) -> bool {
+        debug_assert_eq!(counts.len(), self.num_states());
+        for (i, &ci) in counts.iter().enumerate() {
+            if ci == 0 {
+                continue;
+            }
+            for (j, &cj) in counts.iter().enumerate() {
+                if cj == 0 {
+                    continue;
+                }
+                if i == j && ci < 2 {
+                    continue; // a single agent cannot meet itself
+                }
+                if !self.is_noop(i, j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A minimal two-state protocol used throughout the test suites: one-way
+/// epidemic ("infection"). State 0 = infected, state 1 = susceptible;
+/// an infected agent infects a susceptible one, nothing else happens.
+///
+/// Its behaviour is fully understood (the number of infected agents is a
+/// monotone pure-birth chain reaching `n` in Θ(n log n) interactions), which
+/// makes it a good oracle for simulator tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OneWayEpidemic;
+
+/// States of [`OneWayEpidemic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Infection {
+    /// Carrying the rumor/infection.
+    Infected,
+    /// Not yet infected.
+    Susceptible,
+}
+
+impl Protocol for OneWayEpidemic {
+    type State = Infection;
+    type Output = bool;
+
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn index_of(&self, state: Infection) -> usize {
+        match state {
+            Infection::Infected => 0,
+            Infection::Susceptible => 1,
+        }
+    }
+
+    fn state_of(&self, index: usize) -> Infection {
+        match index {
+            0 => Infection::Infected,
+            1 => Infection::Susceptible,
+            _ => panic!("OneWayEpidemic has 2 states, got index {index}"),
+        }
+    }
+
+    fn transition(&self, a: Infection, b: Infection) -> (Infection, Infection) {
+        use Infection::*;
+        match (a, b) {
+            (Infected, Susceptible) | (Susceptible, Infected) => (Infected, Infected),
+            other => other,
+        }
+    }
+
+    fn output(&self, state: Infection) -> bool {
+        state == Infection::Infected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidemic_transition_table() {
+        use Infection::*;
+        let p = OneWayEpidemic;
+        assert_eq!(p.transition(Infected, Susceptible), (Infected, Infected));
+        assert_eq!(p.transition(Susceptible, Infected), (Infected, Infected));
+        assert_eq!(p.transition(Infected, Infected), (Infected, Infected));
+        assert_eq!(
+            p.transition(Susceptible, Susceptible),
+            (Susceptible, Susceptible)
+        );
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let p = OneWayEpidemic;
+        for i in 0..p.num_states() {
+            assert_eq!(p.index_of(p.state_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn transition_indices_matches_states() {
+        let p = OneWayEpidemic;
+        for a in 0..2 {
+            for b in 0..2 {
+                let (x, y) = p.transition_indices(a, b);
+                let (sx, sy) = p.transition(p.state_of(a), p.state_of(b));
+                assert_eq!((x, y), (p.index_of(sx), p.index_of(sy)));
+            }
+        }
+    }
+
+    #[test]
+    fn noop_detection() {
+        let p = OneWayEpidemic;
+        assert!(p.is_noop(0, 0));
+        assert!(p.is_noop(1, 1));
+        assert!(!p.is_noop(0, 1));
+        assert!(!p.is_noop(1, 0));
+    }
+
+    #[test]
+    fn silence_detection() {
+        let p = OneWayEpidemic;
+        assert!(p.is_silent(&[5, 0])); // all infected
+        assert!(p.is_silent(&[0, 5])); // all susceptible: nothing can happen
+        assert!(!p.is_silent(&[1, 4])); // mixed: infection possible
+        assert!(p.is_silent(&[1, 0])); // single agent
+    }
+
+    #[test]
+    fn output_function() {
+        let p = OneWayEpidemic;
+        assert!(p.output(Infection::Infected));
+        assert!(!p.output(Infection::Susceptible));
+    }
+
+    #[test]
+    #[should_panic(expected = "2 states")]
+    fn out_of_range_index_panics() {
+        OneWayEpidemic.state_of(2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Count-based exact simulator.
+
+use crate::config::CountConfig;
+use crate::protocol::Protocol;
+use crate::sampling::FenwickSampler;
+use sim_stats::rng::SimRng;
+
+/// Count-based exact simulator for the uniform clique scheduler.
+///
+/// Agents are anonymous, so under the uniform scheduler the pair of
+/// *states* selected for interaction is distributed as: first state drawn
+/// with probability `count/n`, second state drawn from the remaining `n−1`
+/// agents. Sampling state pairs directly therefore induces exactly the same
+/// Markov chain on count configurations as per-agent simulation — this is
+/// verified against [`AgentSimulator`](crate::simulator::AgentSimulator) in
+/// the cross-crate property tests.
+///
+/// Memory is O(|Σ|) and each interaction costs O(log |Σ|) via a Fenwick
+/// sampler, which is what makes the paper's n = 10⁶ runs cheap.
+#[derive(Debug, Clone)]
+pub struct CountSimulator<P: Protocol> {
+    protocol: P,
+    sampler: FenwickSampler,
+    n: u64,
+    interactions: u64,
+    effective_interactions: u64,
+}
+
+impl<P: Protocol> CountSimulator<P> {
+    /// Create from a count configuration. Requires n ≥ 2.
+    pub fn new(protocol: P, config: &CountConfig) -> Self {
+        assert_eq!(
+            config.num_states(),
+            protocol.num_states(),
+            "configuration does not match protocol state count"
+        );
+        assert!(config.n() >= 2, "need at least 2 agents");
+        CountSimulator {
+            protocol,
+            sampler: FenwickSampler::new(config.counts()),
+            n: config.n(),
+            interactions: 0,
+            effective_interactions: 0,
+        }
+    }
+
+    /// The protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Per-state counts.
+    pub fn counts(&self) -> &[u64] {
+        self.sampler.weights()
+    }
+
+    /// Current count configuration (copies counts).
+    pub fn config(&self) -> CountConfig {
+        CountConfig::from_counts(self.counts().to_vec())
+    }
+
+    /// Total interactions simulated.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Interactions that changed the configuration.
+    pub fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    /// Parallel time elapsed (= interactions / n).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.n as f64
+    }
+
+    /// Run one interaction; returns `true` if it changed the configuration.
+    pub fn step(&mut self, rng: &mut SimRng) -> bool {
+        self.interactions += 1;
+        let (si, sj) = self.sampler.sample_distinct_pair(rng);
+        let (ti, tj) = self.protocol.transition_indices(si, sj);
+        if (ti, tj) == (si, sj) {
+            return false;
+        }
+        self.sampler.add(si, -1);
+        self.sampler.add(sj, -1);
+        self.sampler.add(ti, 1);
+        self.sampler.add(tj, 1);
+        self.effective_interactions += 1;
+        true
+    }
+
+    /// Run `budget` interactions or until `stop` returns true (checked after
+    /// every interaction). Returns the number of interactions run.
+    pub fn run(
+        &mut self,
+        rng: &mut SimRng,
+        budget: u64,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> u64 {
+        let start = self.interactions;
+        while self.interactions - start < budget {
+            self.step(rng);
+            if stop(self) {
+                break;
+            }
+        }
+        self.interactions - start
+    }
+
+    /// Whether the configuration is silent.
+    pub fn is_silent(&self) -> bool {
+        self.protocol.is_silent(self.counts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::OneWayEpidemic;
+
+    fn epidemic(n: u64, infected: u64) -> CountSimulator<OneWayEpidemic> {
+        CountSimulator::new(
+            OneWayEpidemic,
+            &CountConfig::from_counts(vec![infected, n - infected]),
+        )
+    }
+
+    #[test]
+    fn population_conserved_over_many_steps() {
+        let mut sim = epidemic(100, 10);
+        let mut rng = SimRng::new(6);
+        for _ in 0..10_000 {
+            sim.step(&mut rng);
+            assert_eq!(sim.counts().iter().sum::<u64>(), 100);
+        }
+    }
+
+    #[test]
+    fn epidemic_reaches_silence() {
+        let mut sim = epidemic(200, 1);
+        let mut rng = SimRng::new(7);
+        sim.run(&mut rng, 10_000_000, |s| s.is_silent());
+        assert_eq!(sim.counts(), &[200, 0]);
+    }
+
+    #[test]
+    fn epidemic_completion_time_is_theta_n_log_n() {
+        // Coupon-collector style: completion in ~n ln n / 2 * 2 interactions;
+        // just sanity-check the order of magnitude across seeds.
+        let n = 500u64;
+        let mut total = 0u64;
+        for seed in 0..10 {
+            let mut sim = epidemic(n, 1);
+            let mut rng = SimRng::new(seed);
+            sim.run(&mut rng, 100_000_000, |s| s.counts()[1] == 0);
+            total += sim.interactions();
+        }
+        let mean = total as f64 / 10.0;
+        let nf = n as f64;
+        let theory = nf * nf.ln(); // Θ reference point
+        assert!(
+            mean > theory * 0.3 && mean < theory * 3.0,
+            "mean {mean} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn effective_interactions_bounded_by_changes() {
+        let mut sim = epidemic(50, 25);
+        let mut rng = SimRng::new(8);
+        for _ in 0..5_000 {
+            sim.step(&mut rng);
+        }
+        assert_eq!(sim.effective_interactions(), 25);
+    }
+
+    #[test]
+    fn stop_predicate_halts_run() {
+        let mut sim = epidemic(100, 1);
+        let mut rng = SimRng::new(9);
+        sim.run(&mut rng, u64::MAX, |s| s.counts()[0] >= 50);
+        assert!(sim.counts()[0] >= 50);
+        assert!(sim.counts()[0] < 100, "should stop well before completion");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 agents")]
+    fn tiny_population_rejected() {
+        CountSimulator::new(OneWayEpidemic, &CountConfig::from_counts(vec![1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "state count")]
+    fn wrong_state_count_rejected() {
+        CountSimulator::new(OneWayEpidemic, &CountConfig::from_counts(vec![1, 1, 1]));
+    }
+}

@@ -1,0 +1,17 @@
+//! Exact simulators for population protocols.
+//!
+//! * [`AgentSimulator`] — tracks each agent's state individually and asks a
+//!   [`Scheduler`](crate::scheduler::Scheduler) for agent pairs: the literal
+//!   model, O(1) per interaction but O(n) memory, and the ground-truth
+//!   oracle for equivalence testing.
+//! * [`CountSimulator`] — tracks only per-state counts and samples the
+//!   interacting *states* directly from the counts (first state ∝ count,
+//!   second ∝ count with the first agent removed). For the uniform clique
+//!   scheduler this induces exactly the same Markov chain on count
+//!   configurations, at O(k) memory and O(log k) time per interaction.
+
+mod agentwise;
+mod countwise;
+
+pub use agentwise::{AgentSimulator, InteractionRecord};
+pub use countwise::CountSimulator;

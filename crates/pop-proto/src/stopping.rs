@@ -1,0 +1,174 @@
+//! Stop conditions and run outcomes.
+//!
+//! Long simulations stop for one of three reasons: the configuration became
+//! **silent** (stabilized), a user predicate fired, or the interaction
+//! budget ran out. [`Stopper`] packages the bookkeeping — including checking
+//! the (comparatively expensive) silence predicate only every `check_every`
+//! interactions — and [`RunOutcome`] reports what happened.
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The configuration became silent (no interaction can change it).
+    Silent,
+    /// The caller's predicate returned true.
+    Predicate,
+    /// The interaction budget was exhausted.
+    BudgetExhausted,
+}
+
+/// Outcome of a driven run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Total interactions at the stopping point.
+    pub interactions: u64,
+}
+
+impl RunOutcome {
+    /// Parallel time at the stopping point for a population of size `n`.
+    pub fn parallel_time(&self, n: u64) -> f64 {
+        self.interactions as f64 / n as f64
+    }
+
+    /// Whether the run stabilized (stopped silent).
+    pub fn stabilized(&self) -> bool {
+        self.reason == StopReason::Silent
+    }
+}
+
+/// Budgeted stop-condition evaluator with periodic silence checks.
+///
+/// Silence checking costs O(|Σ|²) in general, so it is only evaluated every
+/// `check_every` interactions; the returned interaction count is therefore
+/// an upper bound on the true stabilization time that is at most
+/// `check_every − 1` interactions late. Callers that need exact
+/// stabilization instants (the USD crate does) use a protocol-specific O(1)
+/// consensus check as the predicate instead.
+#[derive(Debug, Clone)]
+pub struct Stopper {
+    budget: u64,
+    check_every: u64,
+}
+
+impl Stopper {
+    /// A stopper with the given interaction budget, checking for silence
+    /// every `check_every` interactions (0 disables silence checking).
+    pub fn new(budget: u64, check_every: u64) -> Self {
+        Stopper {
+            budget,
+            check_every,
+        }
+    }
+
+    /// Interaction budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Drive `step` until silence, predicate, or budget exhaustion.
+    ///
+    /// * `step(count)` must simulate exactly one interaction (`count` is the
+    ///   number of interactions completed so far in this run);
+    /// * `is_silent()` checks the current configuration for silence;
+    /// * `predicate()` is the caller's early-exit condition, checked after
+    ///   every interaction.
+    pub fn drive(
+        &self,
+        mut step: impl FnMut(u64),
+        mut is_silent: impl FnMut() -> bool,
+        mut predicate: impl FnMut() -> bool,
+    ) -> RunOutcome {
+        let mut done = 0u64;
+        // A silent initial configuration stabilizes in zero interactions.
+        if self.check_every > 0 && is_silent() {
+            return RunOutcome {
+                reason: StopReason::Silent,
+                interactions: 0,
+            };
+        }
+        while done < self.budget {
+            step(done);
+            done += 1;
+            if predicate() {
+                return RunOutcome {
+                    reason: StopReason::Predicate,
+                    interactions: done,
+                };
+            }
+            if self.check_every > 0 && done % self.check_every == 0 && is_silent() {
+                return RunOutcome {
+                    reason: StopReason::Silent,
+                    interactions: done,
+                };
+            }
+        }
+        RunOutcome {
+            reason: StopReason::BudgetExhausted,
+            interactions: done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_exhaustion() {
+        let s = Stopper::new(100, 0);
+        let mut steps = 0u64;
+        let out = s.drive(|_| steps += 1, || false, || false);
+        assert_eq!(out.reason, StopReason::BudgetExhausted);
+        assert_eq!(out.interactions, 100);
+        assert_eq!(steps, 100);
+    }
+
+    #[test]
+    fn predicate_fires_immediately_when_true() {
+        let s = Stopper::new(100, 0);
+        let out = s.drive(|_| {}, || false, || true);
+        assert_eq!(out.reason, StopReason::Predicate);
+        assert_eq!(out.interactions, 1);
+    }
+
+    #[test]
+    fn silence_checked_on_schedule() {
+        let s = Stopper::new(1000, 10);
+        let steps = std::cell::Cell::new(0u64);
+        // Becomes silent after step 25; detected at the step-30 check.
+        let out = s.drive(
+            |_| steps.set(steps.get() + 1),
+            || steps.get() >= 25,
+            || false,
+        );
+        assert_eq!(out.reason, StopReason::Silent);
+        assert_eq!(out.interactions, 30);
+    }
+
+    #[test]
+    fn initially_silent_configuration() {
+        let s = Stopper::new(1000, 5);
+        let out = s.drive(|_| panic!("should not step"), || true, || false);
+        assert_eq!(out.reason, StopReason::Silent);
+        assert_eq!(out.interactions, 0);
+    }
+
+    #[test]
+    fn silence_disabled_with_zero_check_every() {
+        let s = Stopper::new(50, 0);
+        let out = s.drive(|_| {}, || true, || false);
+        assert_eq!(out.reason, StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    fn outcome_parallel_time() {
+        let out = RunOutcome {
+            reason: StopReason::Silent,
+            interactions: 500,
+        };
+        assert!((out.parallel_time(100) - 5.0).abs() < 1e-12);
+        assert!(out.stabilized());
+    }
+}

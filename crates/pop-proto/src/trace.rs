@@ -1,0 +1,152 @@
+//! Snapshot recording of simulation trajectories.
+//!
+//! A [`TraceRecorder`] captures the count configuration every `every`
+//! interactions (typically every parallel round, i.e. every `n`
+//! interactions), producing the data behind Figure-1-style plots without
+//! storing all ~10⁸ intermediate configurations.
+
+use sim_stats::timeseries::{Series, TimeSeries};
+
+/// Records count-configuration snapshots at a fixed interaction cadence.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    every: u64,
+    next_at: u64,
+    times: Vec<u64>,
+    snapshots: Vec<Vec<u64>>,
+}
+
+impl TraceRecorder {
+    /// Record every `every ≥ 1` interactions (and at interaction 0).
+    pub fn new(every: u64) -> Self {
+        assert!(every >= 1, "cadence must be at least 1");
+        TraceRecorder {
+            every,
+            next_at: 0,
+            times: Vec::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Offer the current state; records it if `interactions` has reached the
+    /// next capture point. Call after every step (cheap when not due).
+    #[inline]
+    pub fn offer(&mut self, interactions: u64, counts: &[u64]) {
+        if interactions >= self.next_at {
+            self.times.push(interactions);
+            self.snapshots.push(counts.to_vec());
+            self.next_at = interactions + self.every;
+        }
+    }
+
+    /// Force-record the current state regardless of cadence (used for the
+    /// final configuration of a run).
+    pub fn force(&mut self, interactions: u64, counts: &[u64]) {
+        if self.times.last() == Some(&interactions) {
+            return; // already captured this instant
+        }
+        self.times.push(interactions);
+        self.snapshots.push(counts.to_vec());
+        self.next_at = interactions + self.every;
+    }
+
+    /// Captured interaction counts.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// Captured snapshots (parallel to [`TraceRecorder::times`]).
+    pub fn snapshots(&self) -> &[Vec<u64>] {
+        &self.snapshots
+    }
+
+    /// Number of snapshots captured.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no snapshot has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Convert to a [`TimeSeries`] with one series per state, the time axis
+    /// in parallel time (interactions / n), and series named by
+    /// `state_name(index)`.
+    pub fn to_timeseries(&self, n: u64, state_name: impl Fn(usize) -> String) -> TimeSeries {
+        let mut ts = TimeSeries::with_time(
+            self.times
+                .iter()
+                .map(|&t| t as f64 / n as f64)
+                .collect(),
+        );
+        if self.snapshots.is_empty() {
+            return ts;
+        }
+        let num_states = self.snapshots[0].len();
+        for s in 0..num_states {
+            let values = self
+                .snapshots
+                .iter()
+                .map(|snap| snap[s] as f64)
+                .collect();
+            ts.push_series(Series::new(state_name(s), values));
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_on_cadence() {
+        let mut r = TraceRecorder::new(10);
+        for t in 0..35 {
+            r.offer(t, &[t, 100 - t]);
+        }
+        assert_eq!(r.times(), &[0, 10, 20, 30]);
+        assert_eq!(r.snapshots()[2], vec![20, 80]);
+    }
+
+    #[test]
+    fn force_captures_final_state_once() {
+        let mut r = TraceRecorder::new(10);
+        r.offer(0, &[5]);
+        r.force(7, &[3]);
+        r.force(7, &[3]); // duplicate ignored
+        assert_eq!(r.times(), &[0, 7]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn timeseries_conversion() {
+        let mut r = TraceRecorder::new(5);
+        r.offer(0, &[10, 0]);
+        r.offer(5, &[8, 2]);
+        r.offer(10, &[5, 5]);
+        let ts = r.to_timeseries(10, |i| format!("state{i}"));
+        assert_eq!(ts.time, vec![0.0, 0.5, 1.0]);
+        assert_eq!(ts.get("state0").unwrap().values, vec![10.0, 8.0, 5.0]);
+        assert_eq!(ts.get("state1").unwrap().values, vec![0.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_recorder_converts_to_empty_timeseries() {
+        let r = TraceRecorder::new(1);
+        assert!(r.is_empty());
+        let ts = r.to_timeseries(10, |i| format!("{i}"));
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn offer_skips_between_cadence_points() {
+        let mut r = TraceRecorder::new(100);
+        r.offer(0, &[1]);
+        r.offer(50, &[2]);
+        r.offer(99, &[3]);
+        r.offer(100, &[4]);
+        assert_eq!(r.times(), &[0, 100]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the population-protocol substrate.
+//!
+//! The central property: for any protocol (here: arbitrary random transition
+//! tables) and any initial configuration, both simulators conserve the
+//! population and agree with each other on reachable support, and the
+//! Fenwick sampler agrees with a linear scan on arbitrary weight vectors.
+
+use pop_proto::{AgentSimulator, CliqueScheduler, CountConfig, CountSimulator, Protocol};
+use proptest::prelude::*;
+use sim_stats::rng::SimRng;
+
+/// A protocol defined by an arbitrary transition table over `m` states —
+/// proptest generates the table, giving us "for all protocols" coverage.
+#[derive(Debug, Clone)]
+struct TableProtocol {
+    m: usize,
+    /// table[a * m + b] = (a', b')
+    table: Vec<(usize, usize)>,
+}
+
+impl Protocol for TableProtocol {
+    type State = usize;
+    type Output = usize;
+
+    fn num_states(&self) -> usize {
+        self.m
+    }
+    fn index_of(&self, s: usize) -> usize {
+        s
+    }
+    fn state_of(&self, i: usize) -> usize {
+        assert!(i < self.m);
+        i
+    }
+    fn transition(&self, a: usize, b: usize) -> (usize, usize) {
+        self.table[a * self.m + b]
+    }
+    fn output(&self, s: usize) -> usize {
+        s
+    }
+}
+
+fn table_protocol(m: usize) -> impl Strategy<Value = TableProtocol> {
+    proptest::collection::vec((0..m, 0..m), m * m).prop_map(move |table| TableProtocol { m, table })
+}
+
+fn config_counts(m: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..30, m).prop_filter("need n >= 2", |c| c.iter().sum::<u64>() >= 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both simulators conserve the population under any protocol.
+    #[test]
+    fn simulators_conserve_population(
+        (proto, counts) in (2usize..5).prop_flat_map(|m| (table_protocol(m), config_counts(m))),
+        seed in any::<u64>(),
+    ) {
+        let n: u64 = counts.iter().sum();
+        let cfg = CountConfig::from_counts(counts);
+
+        let mut count_sim = CountSimulator::new(proto.clone(), &cfg);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            count_sim.step(&mut rng);
+            prop_assert_eq!(count_sim.counts().iter().sum::<u64>(), n);
+        }
+
+        let mut agent_sim = AgentSimulator::from_config(
+            proto,
+            CliqueScheduler::new(n as usize),
+            &cfg,
+        );
+        let mut rng2 = SimRng::new(seed ^ 0xABCD);
+        for _ in 0..200 {
+            agent_sim.step(&mut rng2);
+            prop_assert_eq!(agent_sim.counts().iter().sum::<u64>(), n);
+        }
+        // Derived counts always match the per-agent ground truth.
+        let mut derived = vec![0u64; agent_sim.protocol().num_states()];
+        for &s in agent_sim.states() {
+            derived[s] += 1;
+        }
+        prop_assert_eq!(derived.as_slice(), agent_sim.counts());
+    }
+
+    /// A silent configuration stays fixed forever in both simulators.
+    #[test]
+    fn silent_configurations_are_fixed_points(
+        (proto, counts) in (2usize..5).prop_flat_map(|m| (table_protocol(m), config_counts(m))),
+        seed in any::<u64>(),
+    ) {
+        let cfg = CountConfig::from_counts(counts);
+        if !proto.is_silent(cfg.counts()) {
+            return Ok(());
+        }
+        let before = cfg.counts().to_vec();
+        let mut sim = CountSimulator::new(proto, &cfg);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            let changed = sim.step(&mut rng);
+            prop_assert!(!changed);
+        }
+        prop_assert_eq!(sim.counts(), before.as_slice());
+        prop_assert_eq!(sim.effective_interactions(), 0);
+    }
+
+    /// Fenwick `find` agrees with a linear prefix-sum scan on any weights.
+    #[test]
+    fn fenwick_find_matches_linear(
+        weights in proptest::collection::vec(0u64..100, 1..40),
+    ) {
+        use pop_proto::FenwickSampler;
+        let total: u64 = weights.iter().sum();
+        prop_assume!(total > 0);
+        let f = FenwickSampler::new(&weights);
+        // Check every boundary target plus interior points.
+        let mut acc = 0u64;
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0 { continue; }
+            prop_assert_eq!(f.find(acc), i, "first target of category {}", i);
+            prop_assert_eq!(f.find(acc + w - 1), i, "last target of category {}", i);
+            acc += w;
+        }
+    }
+
+    /// Fenwick updates keep totals and `find` consistent.
+    #[test]
+    fn fenwick_updates_consistent(
+        weights in proptest::collection::vec(1u64..50, 2..20),
+        updates in proptest::collection::vec((0usize..20, 0u64..60), 1..30),
+    ) {
+        use pop_proto::FenwickSampler;
+        let mut f = FenwickSampler::new(&weights);
+        let mut reference = weights.clone();
+        for (i, w) in updates {
+            let i = i % reference.len();
+            f.set(i, w);
+            reference[i] = w;
+        }
+        prop_assert_eq!(f.total(), reference.iter().sum::<u64>());
+        prop_assert_eq!(f.weights(), reference.as_slice());
+        if f.total() > 0 {
+            let mut acc = 0u64;
+            for (i, &w) in reference.iter().enumerate() {
+                if w == 0 { continue; }
+                prop_assert_eq!(f.find(acc), i);
+                acc += w;
+            }
+        }
+    }
+
+    /// The output tally of a configuration partitions the population.
+    #[test]
+    fn output_tally_partitions(
+        (proto, counts) in (2usize..5).prop_flat_map(|m| (table_protocol(m), config_counts(m))),
+    ) {
+        let cfg = CountConfig::from_counts(counts);
+        let tally = cfg.output_tally(&proto);
+        let total: u64 = tally.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, cfg.n());
+    }
+}
+
+/// Deterministic cross-simulator distributional check for the epidemic
+/// protocol: mean completion interactions of the two simulators agree
+/// within noise. (Exact per-step equality is not expected — they consume
+/// randomness differently — but the induced chain is identical.)
+#[test]
+fn agentwise_and_countwise_epidemic_distributions_agree() {
+    use pop_proto::OneWayEpidemic;
+    let n = 100u64;
+    let reps = 200;
+    let mut agent_mean = 0.0;
+    let mut count_mean = 0.0;
+    for seed in 0..reps {
+        let cfg = CountConfig::from_counts(vec![1, n - 1]);
+        let mut a = AgentSimulator::from_config(
+            OneWayEpidemic,
+            CliqueScheduler::new(n as usize),
+            &cfg,
+        );
+        let mut rng = SimRng::new(seed);
+        a.run(&mut rng, 10_000_000, |s| s.counts()[1] == 0);
+        agent_mean += a.interactions() as f64;
+
+        let mut c = CountSimulator::new(OneWayEpidemic, &cfg);
+        let mut rng = SimRng::new(seed + 10_000);
+        c.run(&mut rng, 10_000_000, |s| s.counts()[1] == 0);
+        count_mean += c.interactions() as f64;
+    }
+    agent_mean /= reps as f64;
+    count_mean /= reps as f64;
+    let rel = (agent_mean - count_mean).abs() / agent_mean;
+    assert!(
+        rel < 0.08,
+        "distribution mismatch: agent {agent_mean} vs count {count_mean} (rel {rel})"
+    );
+}

@@ -1,0 +1,194 @@
+//! Categorical, multinomial, and hypergeometric sampling.
+//!
+//! These primitives back the initial-configuration builders (randomized
+//! opinion assignments) and the Gossip-model round simulation. All samplers
+//! take a [`SimRng`](crate::SimRng) and are exact (no normal approximations),
+//! trading asymptotic speed for correctness — the hot simulation loop in
+//! `usd-core` uses its own specialized sampling instead.
+
+use crate::rng::SimRng;
+
+/// Sample a category index proportional to `weights` (linear scan).
+///
+/// Panics if all weights are zero or any weight is negative.
+pub fn categorical_index(rng: &mut SimRng, weights: &[u64]) -> usize {
+    let total: u64 = weights.iter().sum();
+    assert!(total > 0, "categorical with all-zero weights");
+    let mut r = rng.below(total);
+    for (i, &w) in weights.iter().enumerate() {
+        if r < w {
+            return i;
+        }
+        r -= w;
+    }
+    unreachable!("categorical scan exhausted weights");
+}
+
+/// Sample a category index proportional to float `weights` (linear scan).
+///
+/// Panics on negative weights or a non-positive total.
+pub fn categorical_index_f64(rng: &mut SimRng, weights: &[f64]) -> usize {
+    let mut total = 0.0;
+    for &w in weights {
+        assert!(w >= 0.0, "negative weight {w}");
+        total += w;
+    }
+    assert!(total > 0.0, "categorical with non-positive total weight");
+    let r = rng.f64() * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if r < acc {
+            return i;
+        }
+    }
+    // Floating point edge: return last category with positive weight.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("positive total implies a positive weight")
+}
+
+/// Exact multinomial sample: distribute `n` trials over categories with the
+/// given integer `weights`, by O(n) repeated categorical draws.
+///
+/// This is intentionally the simple exact algorithm: it is used only for
+/// building initial configurations (once per run), never in the interaction
+/// loop.
+pub fn multinomial_counts(rng: &mut SimRng, n: u64, weights: &[u64]) -> Vec<u64> {
+    let mut counts = vec![0u64; weights.len()];
+    for _ in 0..n {
+        counts[categorical_index(rng, weights)] += 1;
+    }
+    counts
+}
+
+/// Exact hypergeometric sample: number of "successes" when drawing `draws`
+/// items without replacement from a population of `total` items of which
+/// `successes` are successes. O(draws) urn simulation.
+///
+/// Panics if `draws > total` or `successes > total`.
+pub fn sample_hypergeometric(rng: &mut SimRng, total: u64, successes: u64, draws: u64) -> u64 {
+    assert!(draws <= total, "cannot draw more than the population");
+    assert!(successes <= total, "successes exceed population");
+    let mut remaining_total = total;
+    let mut remaining_succ = successes;
+    let mut got = 0u64;
+    for _ in 0..draws {
+        if rng.below(remaining_total) < remaining_succ {
+            got += 1;
+            remaining_succ -= 1;
+        }
+        remaining_total -= 1;
+    }
+    got
+}
+
+/// Draw an ordered pair of **distinct** indices uniformly from `[0, n)`,
+/// i.e. the population-protocol scheduler's choice of (initiator, responder).
+///
+/// Panics if `n < 2`.
+pub fn distinct_pair(rng: &mut SimRng, n: u64) -> (u64, u64) {
+    assert!(n >= 2, "need at least two agents for an interaction");
+    let a = rng.below(n);
+    let mut b = rng.below(n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = SimRng::new(1);
+        let weights = [1u64, 0, 3];
+        let mut counts = [0u64; 3];
+        for _ in 0..40_000 {
+            counts[categorical_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn categorical_f64_respects_weights() {
+        let mut rng = SimRng::new(2);
+        let weights = [0.25, 0.75];
+        let mut counts = [0u64; 2];
+        for _ in 0..40_000 {
+            counts[categorical_index_f64(&mut rng, &weights)] += 1;
+        }
+        let frac = counts[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn categorical_zero_weights_panics() {
+        let mut rng = SimRng::new(3);
+        categorical_index(&mut rng, &[0, 0]);
+    }
+
+    #[test]
+    fn multinomial_conserves_total_and_matches_proportions() {
+        let mut rng = SimRng::new(4);
+        let counts = multinomial_counts(&mut rng, 60_000, &[1, 2, 3]);
+        assert_eq!(counts.iter().sum::<u64>(), 60_000);
+        assert!((counts[0] as f64 - 10_000.0).abs() < 600.0);
+        assert!((counts[1] as f64 - 20_000.0).abs() < 800.0);
+        assert!((counts[2] as f64 - 30_000.0).abs() < 900.0);
+    }
+
+    #[test]
+    fn hypergeometric_mean_matches_theory() {
+        let mut rng = SimRng::new(5);
+        let (total, succ, draws) = (100u64, 30u64, 20u64);
+        let reps = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            let got = sample_hypergeometric(&mut rng, total, succ, draws);
+            assert!(got <= draws.min(succ));
+            sum += got;
+        }
+        let mean = sum as f64 / reps as f64;
+        let expect = draws as f64 * succ as f64 / total as f64; // 6.0
+        assert!((mean - expect).abs() < 0.1, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn hypergeometric_degenerate_cases() {
+        let mut rng = SimRng::new(6);
+        assert_eq!(sample_hypergeometric(&mut rng, 10, 10, 5), 5);
+        assert_eq!(sample_hypergeometric(&mut rng, 10, 0, 5), 0);
+        assert_eq!(sample_hypergeometric(&mut rng, 10, 3, 10), 3);
+    }
+
+    #[test]
+    fn distinct_pair_is_distinct_and_uniform() {
+        let mut rng = SimRng::new(7);
+        let n = 5u64;
+        let mut counts = vec![0u64; (n * n) as usize];
+        for _ in 0..100_000 {
+            let (a, b) = distinct_pair(&mut rng, n);
+            assert_ne!(a, b);
+            assert!(a < n && b < n);
+            counts[(a * n + b) as usize] += 1;
+        }
+        // 20 ordered distinct pairs, each expecting 5000.
+        for a in 0..n {
+            for b in 0..n {
+                let c = counts[(a * n + b) as usize];
+                if a == b {
+                    assert_eq!(c, 0);
+                } else {
+                    assert!((4_400..=5_600).contains(&c), "pair ({a},{b}) count {c}");
+                }
+            }
+        }
+    }
+}

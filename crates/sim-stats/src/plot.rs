@@ -1,0 +1,240 @@
+//! ASCII line charts for terminal experiment output.
+//!
+//! The figure-regeneration binaries render the same series the paper plots
+//! (Figure 1 left/right) directly into the terminal, so the reproduction can
+//! be inspected without any plotting toolchain. Charts support multiple
+//! series with distinct glyphs, axis labels, and an automatic legend.
+
+use crate::timeseries::TimeSeries;
+
+/// Glyphs assigned to successive series.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// A configurable ASCII chart renderer.
+///
+/// ```
+/// use sim_stats::{AsciiChart, Series, TimeSeries};
+/// let mut ts = TimeSeries::with_time((0..50).map(|i| i as f64).collect());
+/// ts.push_series(Series::new("linear", (0..50).map(|i| i as f64).collect()));
+/// let chart = AsciiChart::new(60, 12).title("demo");
+/// let rendered = chart.render(&ts);
+/// assert!(rendered.contains("demo"));
+/// assert!(rendered.contains("linear"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    title: String,
+    x_label: String,
+    y_label: String,
+}
+
+impl AsciiChart {
+    /// Create a chart with the given plot-area width and height (in
+    /// characters). Both are clamped to at least 8 × 4.
+    pub fn new(width: usize, height: usize) -> Self {
+        AsciiChart {
+            width: width.max(8),
+            height: height.max(4),
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Set the chart title.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = t.into();
+        self
+    }
+
+    /// Set the x-axis label.
+    pub fn x_label(mut self, l: impl Into<String>) -> Self {
+        self.x_label = l.into();
+        self
+    }
+
+    /// Set the y-axis label.
+    pub fn y_label(mut self, l: impl Into<String>) -> Self {
+        self.y_label = l.into();
+        self
+    }
+
+    /// Render all series of `ts` into a multi-line string.
+    ///
+    /// Returns a short placeholder string when there is nothing to plot.
+    pub fn render(&self, ts: &TimeSeries) -> String {
+        if ts.is_empty() || ts.series.is_empty() {
+            return "(empty chart)\n".to_string();
+        }
+        let (tmin, tmax) = min_max(&ts.time);
+        let mut vmin = f64::INFINITY;
+        let mut vmax = f64::NEG_INFINITY;
+        for s in &ts.series {
+            let (lo, hi) = min_max(&s.values);
+            vmin = vmin.min(lo);
+            vmax = vmax.max(hi);
+        }
+        if !vmin.is_finite() || !vmax.is_finite() {
+            return "(chart: non-finite values)\n".to_string();
+        }
+        let vspan = (vmax - vmin).max(f64::MIN_POSITIVE);
+        let tspan = (tmax - tmin).max(f64::MIN_POSITIVE);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in ts.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (&t, &v) in ts.time.iter().zip(&s.values) {
+                if !v.is_finite() {
+                    continue;
+                }
+                let col = (((t - tmin) / tspan) * (self.width - 1) as f64).round() as usize;
+                let row_from_bottom =
+                    (((v - vmin) / vspan) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - row_from_bottom.min(self.height - 1);
+                grid[row][col.min(self.width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("  {}\n", self.title));
+        }
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("  [y: {}]\n", self.y_label));
+        }
+        let y_labels = [vmax, vmin + vspan / 2.0, vmin];
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format_axis(y_labels[0])
+            } else if r == self.height / 2 {
+                format_axis(y_labels[1])
+            } else if r == self.height - 1 {
+                format_axis(y_labels[2])
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&format!("{label} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} +{}\n",
+            " ".repeat(10),
+            "-".repeat(self.width)
+        ));
+        out.push_str(&format!(
+            "{}  {:<12}{}{:>12}\n",
+            " ".repeat(10),
+            format_axis(tmin).trim(),
+            " ".repeat(self.width.saturating_sub(24)),
+            format_axis(tmax).trim()
+        ));
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("{}  [x: {}]\n", " ".repeat(10), self.x_label));
+        }
+        out.push_str("  legend:");
+        for (si, s) in ts.series.iter().enumerate() {
+            out.push_str(&format!(" {}={}", GLYPHS[si % GLYPHS.len()], s.name));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        if x.is_finite() {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+    }
+    (lo, hi)
+}
+
+/// Format an axis tick into a fixed 10-character field, using engineering
+/// suffixes (k, M, G) for large magnitudes like the paper's 1M-agent runs.
+fn format_axis(v: f64) -> String {
+    let formatted = if v.abs() >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v.abs() >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v.abs() >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else if v == v.trunc() && v.abs() < 1e4 {
+        format!("{v}")
+    } else {
+        format!("{v:.3}")
+    };
+    format!("{formatted:>10}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::Series;
+
+    fn demo_ts() -> TimeSeries {
+        let mut ts = TimeSeries::with_time((0..100).map(|i| i as f64).collect());
+        ts.push_series(Series::new("up", (0..100).map(|i| i as f64).collect()));
+        ts.push_series(Series::new(
+            "down",
+            (0..100).map(|i| (99 - i) as f64).collect(),
+        ));
+        ts
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = AsciiChart::new(40, 10)
+            .title("t")
+            .x_label("parallel time")
+            .y_label("nodes");
+        let out = chart.render(&demo_ts());
+        assert!(out.contains("t\n"));
+        assert!(out.contains("[x: parallel time]"));
+        assert!(out.contains("[y: nodes]"));
+        assert!(out.contains("*=up"));
+        assert!(out.contains("+=down"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let chart = AsciiChart::new(40, 10);
+        assert_eq!(chart.render(&TimeSeries::new()), "(empty chart)\n");
+    }
+
+    #[test]
+    fn grid_contains_both_glyphs() {
+        let out = AsciiChart::new(40, 10).render(&demo_ts());
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn line_count_is_bounded() {
+        let out = AsciiChart::new(40, 10).title("x").render(&demo_ts());
+        // title + rows + axis + ticks + legend ≈ height + 4..6
+        let lines = out.lines().count();
+        assert!(lines >= 12 && lines <= 16, "lines {lines}");
+    }
+
+    #[test]
+    fn axis_formatting_suffixes() {
+        assert_eq!(format_axis(1_500_000.0).trim(), "1.50M");
+        assert_eq!(format_axis(25_000.0).trim(), "25.0k");
+        assert_eq!(format_axis(3.0).trim(), "3");
+        assert_eq!(format_axis(2.5e9).trim(), "2.50G");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let mut ts = TimeSeries::with_time(vec![0.0, 1.0, 2.0]);
+        ts.push_series(Series::new("flat", vec![5.0, 5.0, 5.0]));
+        let out = AsciiChart::new(20, 6).render(&ts);
+        assert!(out.contains('*'));
+    }
+}

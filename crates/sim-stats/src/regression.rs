@@ -1,0 +1,188 @@
+//! Ordinary least squares and log–log scaling fits.
+//!
+//! The scaling experiments (E6, E10) measure stabilization times across a
+//! parameter sweep and need to extract an empirical exponent or verify a
+//! linear relationship against a theoretical bound curve; this module
+//! provides the small amount of regression machinery required.
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares fit of `y` on `x`.
+///
+/// Panics if the slices have different lengths or fewer than two points, or
+/// if `x` is constant (the design matrix would be singular).
+pub fn ols_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "x is constant; OLS undefined");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0 // y constant and (by sxx > 0) perfectly predicted by slope 0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: x.len(),
+    }
+}
+
+/// Fit `y ≈ c · x^α` by OLS on `(ln x, ln y)`; returns the fit in log space,
+/// so `slope` is the empirical exponent α and `exp(intercept)` the constant.
+///
+/// Points with non-positive `x` or `y` are skipped; panics if fewer than two
+/// usable points remain.
+pub fn loglog_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    let mut lx = Vec::with_capacity(x.len());
+    let mut ly = Vec::with_capacity(y.len());
+    for (&xi, &yi) in x.iter().zip(y) {
+        if xi > 0.0 && yi > 0.0 {
+            lx.push(xi.ln());
+            ly.push(yi.ln());
+        }
+    }
+    ols_fit(&lx, &ly)
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let fit = ols_fit(x, y);
+    fit.r_squared.sqrt() * fit.slope.signum()
+}
+
+/// Mean of pointwise ratios `y[i] / t[i]`, with min and max — the experiment
+/// harness uses this to report "measured / bound" tables where a bounded,
+/// stable ratio demonstrates matching asymptotics.
+///
+/// Skips points where `t[i] == 0`. Returns `(mean, min, max)`.
+pub fn ratio_stats(y: &[f64], t: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(y.len(), t.len());
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (&yi, &ti) in y.iter().zip(t) {
+        if ti != 0.0 {
+            let r = yi / ti;
+            sum += r;
+            count += 1;
+            min = min.min(r);
+            max = max.max(r);
+        }
+    }
+    assert!(count > 0, "no usable ratio points");
+    (sum / count as f64, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v - 2.0).collect();
+        let f = ols_fit(&x, &y);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(20.0) - 58.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let f = ols_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r_squared < 1.0 && f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        let x: Vec<f64> = (1..=20).map(|i| i as f64 * 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 0.5 * v.powf(1.7)).collect();
+        let f = loglog_fit(&x, &y);
+        assert!((f.slope - 1.7).abs() < 1e-9, "exponent {}", f.slope);
+        assert!((f.intercept.exp() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_points() {
+        let x = [0.0, 1.0, 2.0, 4.0];
+        let y = [5.0, 1.0, 2.0, 4.0];
+        let f = loglog_fit(&x, &y);
+        assert_eq!(f.n, 3);
+        assert!((f.slope - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "x is constant")]
+    fn constant_x_panics() {
+        ols_fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_stats_basic() {
+        let y = [2.0, 4.0, 6.0];
+        let t = [1.0, 2.0, 2.0];
+        let (mean, min, max) = ratio_stats(&y, &t);
+        assert!((mean - (2.0 + 2.0 + 3.0) / 3.0).abs() < 1e-12);
+        assert_eq!(min, 2.0);
+        assert_eq!(max, 3.0);
+    }
+
+    #[test]
+    fn ratio_stats_skips_zero_denominator() {
+        let (mean, _, _) = ratio_stats(&[1.0, 5.0], &[0.0, 1.0]);
+        assert_eq!(mean, 5.0);
+    }
+}

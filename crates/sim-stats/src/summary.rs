@@ -1,0 +1,266 @@
+//! Streaming and batch summary statistics.
+//!
+//! [`Summary`] accumulates mean/variance/extrema in one pass using Welford's
+//! numerically stable recurrence, which the sweep runner uses to aggregate
+//! stabilization times across seeds without storing every sample. Batch
+//! helpers ([`quantile`], [`median`]) operate on sample vectors.
+
+/// One-pass summary accumulator (count, mean, variance, min, max) using
+/// Welford's algorithm.
+///
+/// ```
+/// use sim_stats::Summary;
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build a summary from a slice in one call.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction), using
+    /// Chan et al.'s pairwise update.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (n−1 denominator); 0 when n < 2.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (n denominator); 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observed value (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-approximation confidence interval for the mean at the given
+    /// z-score (e.g. 1.96 for 95%). Returns `(lo, hi)`.
+    pub fn mean_ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.stderr();
+        (self.mean() - half, self.mean() + half)
+    }
+}
+
+/// Empirical quantile (linear interpolation between order statistics, the
+/// "type 7" estimator used by R and NumPy). `q` is clamped to `[0, 1]`.
+///
+/// Panics on an empty slice.
+pub fn quantile(sorted_or_not: &[f64], q: f64) -> f64 {
+    assert!(!sorted_or_not.is_empty(), "quantile of empty sample");
+    let mut xs = sorted_or_not.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&xs, q)
+}
+
+/// Like [`quantile`] but assumes `xs` is already ascending (not checked).
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let h = q * (xs.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        xs[lo] + (h - lo as f64) * (xs[hi] - xs[lo])
+    }
+}
+
+/// Median convenience wrapper around [`quantile`].
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = Summary::new();
+        s.add(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let s = Summary::of(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-10);
+        assert!((s.sample_variance() - var).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(123);
+        let mut sa = Summary::of(a);
+        let sb = Summary::of(b);
+        sa.merge(&sb);
+        let s = Summary::of(&xs);
+        assert_eq!(sa.count(), s.count());
+        assert!((sa.mean() - s.mean()).abs() < 1e-10);
+        assert!((sa.sample_variance() - s.sample_variance()).abs() < 1e-8);
+        assert_eq!(sa.min(), s.min());
+        assert_eq!(sa.max(), s.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::of(&[1.0, 2.0, 3.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        // Unsorted input is handled.
+        let ys = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&ys, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_narrows_with_samples() {
+        let mut small = Summary::new();
+        let mut large = Summary::new();
+        for i in 0..10 {
+            small.add((i % 5) as f64);
+        }
+        for i in 0..1000 {
+            large.add((i % 5) as f64);
+        }
+        let (lo_s, hi_s) = small.mean_ci(1.96);
+        let (lo_l, hi_l) = large.mean_ci(1.96);
+        assert!(hi_s - lo_s > hi_l - lo_l);
+    }
+}

@@ -1,0 +1,223 @@
+//! Plain-text table formatting for experiment reports.
+//!
+//! Each experiment binary prints one or more tables in the same "rows the
+//! paper reports" spirit; this builder handles column alignment, headers and
+//! separators so the binaries stay focused on content.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (default for text).
+    Left,
+    /// Right-aligned (default for numbers).
+    Right,
+}
+
+/// A simple aligned text table.
+///
+/// ```
+/// use sim_stats::TextTable;
+/// let mut t = TextTable::new(&["n", "k", "parallel time"]);
+/// t.row(&["1000", "8", "41.2"]);
+/// t.row(&["10000", "16", "103.9"]);
+/// let s = t.to_string();
+/// assert!(s.contains("parallel time"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers (numbers right-aligned
+    /// by default; call [`TextTable::aligns`] to override).
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: vec![Align::Right; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override per-column alignment. Panics on length mismatch.
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row of already-formatted cells. Panics on length mismatch.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Append a row of owned cells (convenient with `format!`).
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table as CSV (no alignment padding).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for ((cell, &w), align) in cells.iter().zip(&widths).zip(&self.aligns) {
+                let pad = w - cell.chars().count();
+                match align {
+                    Align::Left => write!(f, " {}{} |", cell, " ".repeat(pad))?,
+                    Align::Right => write!(f, " {}{} |", " ".repeat(pad), cell)?,
+                }
+            }
+            writeln!(f)
+        };
+        render_row(&self.headers, f)?;
+        write!(f, "|")?;
+        for &w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with a sensible number of significant digits for tables.
+pub fn fmt_sig(v: f64, digits: usize) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let magnitude = v.abs().log10().floor() as i32;
+    let decimals = (digits as i32 - 1 - magnitude).max(0) as usize;
+    format!("{v:.decimals$}")
+}
+
+/// Format a large integer with thousands separators (`1_234_567`-style with
+/// commas), as used in interaction-count columns.
+pub fn fmt_thousands(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]).aligns(&[Align::Left, Align::Right]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "12345"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have the same display width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+        assert!(lines[2].starts_with("| a "));
+        assert!(lines[3].contains("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn row_length_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_output_escapes() {
+        let mut t = TextTable::new(&["x", "note"]);
+        t.row(&["1", "has, comma"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has, comma\""));
+        assert!(csv.starts_with("x,note\n"));
+    }
+
+    #[test]
+    fn fmt_sig_behaves() {
+        assert_eq!(fmt_sig(0.0, 3), "0");
+        assert_eq!(fmt_sig(1234.5, 3), "1234");
+        assert_eq!(fmt_sig(0.012345, 3), "0.0123");
+        assert_eq!(fmt_sig(9.87654, 3), "9.88");
+    }
+
+    #[test]
+    fn fmt_thousands_behaves() {
+        assert_eq!(fmt_thousands(0), "0");
+        assert_eq!(fmt_thousands(999), "999");
+        assert_eq!(fmt_thousands(1_000), "1,000");
+        assert_eq!(fmt_thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TextTable::new(&["a"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Trajectory containers for simulation traces.
+//!
+//! A [`TimeSeries`] holds one shared time axis (e.g. parallel time) and any
+//! number of named value [`Series`]; the figure-regeneration binaries build
+//! one per run and hand it to [`plot`](crate::plot) and the CSV writer.
+
+use std::fmt::Write as _;
+
+/// One named series of values aligned with a [`TimeSeries`] time axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display name (used as plot legend and CSV header).
+    pub name: String,
+    /// Values, one per time point.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Create a named series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// A set of series sharing one time axis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    /// The shared time axis.
+    pub time: Vec<f64>,
+    /// The value series (each must match `time.len()`; enforced on push).
+    pub series: Vec<Series>,
+}
+
+impl TimeSeries {
+    /// An empty time series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Create with a time axis and no series yet.
+    pub fn with_time(time: Vec<f64>) -> Self {
+        TimeSeries {
+            time,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series; panics if its length does not match the time axis.
+    pub fn push_series(&mut self, series: Series) -> &mut Self {
+        assert_eq!(
+            series.values.len(),
+            self.time.len(),
+            "series '{}' length {} does not match time axis length {}",
+            series.name,
+            series.values.len(),
+            self.time.len()
+        );
+        self.series.push(series);
+        self
+    }
+
+    /// Look up a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the time axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Keep at most `max_points` points by uniform index striding (always
+    /// retains the first and last point). Returns a new `TimeSeries`.
+    pub fn downsample(&self, max_points: usize) -> TimeSeries {
+        assert!(max_points >= 2, "need at least two points");
+        if self.time.len() <= max_points {
+            return self.clone();
+        }
+        let last = self.time.len() - 1;
+        let mut idx: Vec<usize> = (0..max_points)
+            .map(|i| i * last / (max_points - 1))
+            .collect();
+        idx.dedup();
+        let pick = |v: &[f64]| idx.iter().map(|&i| v[i]).collect::<Vec<_>>();
+        TimeSeries {
+            time: pick(&self.time),
+            series: self
+                .series
+                .iter()
+                .map(|s| Series::new(s.name.clone(), pick(&s.values)))
+                .collect(),
+        }
+    }
+
+    /// Render as CSV text: header `time,<name>,...` then one row per point.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("time");
+        for s in &self.series {
+            // Quote names containing commas to keep the CSV parseable.
+            if s.name.contains(',') {
+                let _ = write!(out, ",\"{}\"", s.name.replace('"', "\"\""));
+            } else {
+                let _ = write!(out, ",{}", s.name);
+            }
+        }
+        out.push('\n');
+        for (i, &t) in self.time.iter().enumerate() {
+            let _ = write!(out, "{t}");
+            for s in &self.series {
+                let _ = write!(out, ",{}", s.values[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A one-line unicode sparkline of a sample (block characters ▁…█).
+/// Handy for quick terminal inspection of a trajectory.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let level = ((v - min) / span * 7.0).round() as usize;
+            BLOCKS[level.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ts() -> TimeSeries {
+        let mut ts = TimeSeries::with_time((0..10).map(|i| i as f64).collect());
+        ts.push_series(Series::new("a", (0..10).map(|i| (i * i) as f64).collect()));
+        ts.push_series(Series::new("b", vec![1.0; 10]));
+        ts
+    }
+
+    #[test]
+    fn push_and_get() {
+        let ts = sample_ts();
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.get("a").unwrap().values[3], 9.0);
+        assert!(ts.get("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_series_panics() {
+        let mut ts = TimeSeries::with_time(vec![0.0, 1.0]);
+        ts.push_series(Series::new("bad", vec![1.0]));
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let ts = sample_ts();
+        let d = ts.downsample(4);
+        assert!(d.len() <= 4);
+        assert_eq!(d.time[0], 0.0);
+        assert_eq!(*d.time.last().unwrap(), 9.0);
+        assert_eq!(d.get("a").unwrap().values.len(), d.len());
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let ts = sample_ts();
+        let d = ts.downsample(100);
+        assert_eq!(d, ts);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let ts = sample_ts();
+        let csv = ts.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert_eq!(lines[0], "time,a,b");
+        assert_eq!(lines[1], "0,0,1");
+    }
+
+    #[test]
+    fn csv_quotes_commas_in_names() {
+        let mut ts = TimeSeries::with_time(vec![0.0]);
+        ts.push_series(Series::new("x, scaled", vec![2.0]));
+        assert!(ts.to_csv().starts_with("time,\"x, scaled\""));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_constant_input() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+}

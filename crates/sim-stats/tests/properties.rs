@@ -1,0 +1,141 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use sim_stats::ks::{ks_critical_value, ks_statistic};
+use sim_stats::rng::{derive_seed, RngFactory, SimRng};
+use sim_stats::summary::{quantile, Summary};
+use sim_stats::timeseries::{Series, TimeSeries};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e9f64..1e9f64).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford summary equals the two-pass computation on any sample.
+    #[test]
+    fn summary_matches_two_pass(xs in proptest::collection::vec(finite_f64(), 2..200)) {
+        let s = Summary::of(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((s.sample_variance() - var).abs() / scale.powi(2) < 1e-6);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Merging any split of a sample equals summarizing the whole.
+    #[test]
+    fn summary_merge_associative(
+        xs in proptest::collection::vec(finite_f64(), 2..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut % xs.len();
+        let (a, b) = xs.split_at(cut);
+        let mut sa = Summary::of(a);
+        sa.merge(&Summary::of(b));
+        let s = Summary::of(&xs);
+        let scale = 1.0 + s.mean().abs();
+        prop_assert!((sa.mean() - s.mean()).abs() / scale < 1e-9);
+        prop_assert_eq!(sa.count(), s.count());
+        prop_assert_eq!(sa.min(), s.min());
+        prop_assert_eq!(sa.max(), s.max());
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantiles_monotone_and_bounded(xs in proptest::collection::vec(finite_f64(), 1..100)) {
+        let s = Summary::of(&xs);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = quantile(&xs, i as f64 / 10.0);
+            prop_assert!(q >= last - 1e-12);
+            prop_assert!(q >= s.min() - 1e-12 && q <= s.max() + 1e-12);
+            last = q;
+        }
+    }
+
+    /// KS statistic is in [0,1], symmetric, and zero against itself.
+    #[test]
+    fn ks_statistic_properties(
+        a in proptest::collection::vec(finite_f64(), 1..60),
+        b in proptest::collection::vec(finite_f64(), 1..60),
+    ) {
+        let d = ks_statistic(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+        prop_assert!((d - ks_statistic(&b, &a)).abs() < 1e-12);
+        prop_assert!(ks_statistic(&a, &a) < 1e-12);
+        prop_assert!(ks_critical_value(a.len(), b.len(), 0.05) > 0.0);
+    }
+
+    /// Distinct RNG streams never collide on their first outputs, and the
+    /// same stream is perfectly reproducible.
+    #[test]
+    fn rng_streams_distinct_and_reproducible(master in any::<u64>(), s1 in 0u64..1000, s2 in 0u64..1000) {
+        prop_assume!(s1 != s2);
+        let f = RngFactory::new(master);
+        let mut a = f.stream(s1);
+        let mut b = f.stream(s2);
+        let va: Vec<u64> = (0..4).map(|_| a.next()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next()).collect();
+        prop_assert_ne!(&va, &vb, "streams {} and {} collided", s1, s2);
+        let mut a2 = RngFactory::new(master).stream(s1);
+        let va2: Vec<u64> = (0..4).map(|_| a2.next()).collect();
+        prop_assert_eq!(va, va2);
+        // derive_seed differs from master-with-different-stream.
+        prop_assert_ne!(derive_seed(master, s1), derive_seed(master, s2));
+    }
+
+    /// `below` is always within bounds for arbitrary bounds.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// below_u128 is always within bounds, including > u64 bounds.
+    #[test]
+    fn rng_below_u128_in_range(seed in any::<u64>(), hi in 1u128..(u128::MAX / 2)) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.below_u128(hi) < hi);
+        }
+    }
+
+    /// Downsampling preserves endpoints and per-series alignment.
+    #[test]
+    fn timeseries_downsample_invariants(
+        len in 2usize..300,
+        max_points in 2usize..50,
+    ) {
+        let mut ts = TimeSeries::with_time((0..len).map(|i| i as f64).collect());
+        ts.push_series(Series::new("v", (0..len).map(|i| (i * i) as f64).collect()));
+        let d = ts.downsample(max_points);
+        prop_assert!(d.len() <= max_points.max(2));
+        prop_assert_eq!(d.time[0], 0.0);
+        prop_assert_eq!(*d.time.last().unwrap(), (len - 1) as f64);
+        prop_assert_eq!(d.get("v").unwrap().values.len(), d.len());
+        // Time stays strictly increasing.
+        prop_assert!(d.time.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// CSV rendering always has header + one line per point, and each data
+    /// line has the same number of commas.
+    #[test]
+    fn timeseries_csv_shape(len in 1usize..50) {
+        let mut ts = TimeSeries::with_time((0..len).map(|i| i as f64).collect());
+        ts.push_series(Series::new("a", vec![1.0; len]));
+        ts.push_series(Series::new("b", vec![2.0; len]));
+        let csv = ts.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        prop_assert_eq!(lines.len(), len + 1);
+        let commas = lines[0].matches(',').count();
+        for l in &lines {
+            prop_assert_eq!(l.matches(',').count(), commas);
+        }
+    }
+}

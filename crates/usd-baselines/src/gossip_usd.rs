@@ -1,0 +1,242 @@
+//! Undecided State Dynamics in the synchronous **Gossip model**.
+//!
+//! In the Gossip (aka PULL) model, time proceeds in synchronous rounds: in
+//! each round, *every* node independently samples one uniformly random
+//! other node and updates its own state from the pair (own, sampled),
+//! all updates applied simultaneously. For USD:
+//!
+//! * decided(i) pulls decided(j ≠ i) → becomes undecided;
+//! * undecided pulls decided(j) → adopts j;
+//! * otherwise unchanged.
+//!
+//! Becchetti et al. (SODA '15) proved stabilization in O(md(c)·log n)
+//! rounds w.h.p., where md(c) is the monochromatic distance. The paper
+//! (§1.2) stresses that the population-protocol USD behaves *qualitatively
+//! differently* — e.g. a node here changes opinion at most once per round,
+//! whereas in the PP model a node can flip Ω(log n) times within n
+//! interactions. [`GossipUsd::max_flips_last_round`] exposes exactly that
+//! statistic for the comparison experiment (E9).
+
+use sim_stats::rng::SimRng;
+use usd_core::UsdConfig;
+
+/// Synchronous Gossip-model USD simulator (per-node, exact).
+#[derive(Debug, Clone)]
+pub struct GossipUsd {
+    /// Per-node state: opinion index in `0..k`, or `k` for undecided.
+    states: Vec<u32>,
+    k: usize,
+    rounds: u64,
+    flips_last_round: u64,
+}
+
+impl GossipUsd {
+    /// Initialize from a configuration; agents are laid out in state blocks
+    /// (irrelevant for the mean-field dynamics, as partners are uniform).
+    pub fn new(config: &UsdConfig) -> Self {
+        assert!(config.n() >= 2, "need at least 2 agents");
+        assert!(config.n() <= u32::MAX as u64, "population too large");
+        let k = config.k();
+        let mut states = Vec::with_capacity(config.n() as usize);
+        for (i, &c) in config.opinions().iter().enumerate() {
+            states.extend(std::iter::repeat(i as u32).take(c as usize));
+        }
+        states.extend(std::iter::repeat(k as u32).take(config.u() as usize));
+        GossipUsd {
+            states,
+            k,
+            rounds: 0,
+            flips_last_round: 0,
+        }
+    }
+
+    /// Population size.
+    pub fn n(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Number of opinions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Rounds simulated.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Number of nodes that changed state in the most recent round.
+    pub fn max_flips_last_round(&self) -> u64 {
+        self.flips_last_round
+    }
+
+    /// Current configuration (O(n) tally).
+    pub fn config(&self) -> UsdConfig {
+        let mut x = vec![0u64; self.k];
+        let mut u = 0u64;
+        for &s in &self.states {
+            if (s as usize) < self.k {
+                x[s as usize] += 1;
+            } else {
+                u += 1;
+            }
+        }
+        UsdConfig::new(x, u)
+    }
+
+    /// Whether the configuration is silent (consensus or all-undecided).
+    pub fn is_silent(&self) -> bool {
+        let first = self.states[0];
+        self.states.iter().all(|&s| s == first)
+    }
+
+    /// Run one synchronous round; returns the number of nodes that changed.
+    pub fn round(&mut self, rng: &mut SimRng) -> u64 {
+        let n = self.states.len();
+        let old = self.states.clone();
+        let undecided = self.k as u32;
+        let mut flips = 0u64;
+        for i in 0..n {
+            // Uniform random *other* node.
+            let mut j = rng.index(n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let own = old[i];
+            let other = old[j];
+            let new = if own == undecided {
+                if other != undecided {
+                    other // adopt
+                } else {
+                    own
+                }
+            } else if other != undecided && other != own {
+                undecided // clash
+            } else {
+                own
+            };
+            if new != own {
+                flips += 1;
+            }
+            self.states[i] = new;
+        }
+        self.rounds += 1;
+        self.flips_last_round = flips;
+        flips
+    }
+
+    /// Run until silent or `max_rounds`; returns `(rounds_run, silent)`.
+    pub fn run(&mut self, rng: &mut SimRng, max_rounds: u64) -> (u64, bool) {
+        let start = self.rounds;
+        while self.rounds - start < max_rounds {
+            if self.is_silent() {
+                return (self.rounds - start, true);
+            }
+            self.round(rng);
+        }
+        (self.rounds - start, self.is_silent())
+    }
+
+    /// The consensus winner, if any.
+    pub fn winner(&self) -> Option<usize> {
+        let first = self.states[0];
+        if (first as usize) < self.k && self.states.iter().all(|&s| s == first) {
+            Some(first as usize)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usd_core::analysis::monochromatic_distance;
+
+    #[test]
+    fn round_conserves_population() {
+        let mut sim = GossipUsd::new(&UsdConfig::decided(vec![40, 30, 30]));
+        let mut rng = SimRng::new(1);
+        for _ in 0..20 {
+            sim.round(&mut rng);
+            assert_eq!(sim.config().n(), 100);
+        }
+    }
+
+    #[test]
+    fn biased_two_opinions_stabilize_to_majority() {
+        let mut wins = 0;
+        for seed in 0..10 {
+            let mut sim = GossipUsd::new(&UsdConfig::decided(vec![700, 300]));
+            let mut rng = SimRng::new(seed);
+            let (rounds, silent) = sim.run(&mut rng, 10_000);
+            assert!(silent, "did not stabilize");
+            assert!(rounds < 1_000);
+            if sim.winner() == Some(0) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 9, "majority won only {wins}/10");
+    }
+
+    #[test]
+    fn gossip_stabilization_scales_with_md_times_log_n() {
+        // Becchetti et al.: O(md(c) log n) rounds. For a balanced k-opinion
+        // start md = k; check rounds stay within a generous constant of
+        // k·ln n.
+        let n = 2_000u64;
+        let k = 5usize;
+        let cfg = UsdConfig::decided(vec![n / k as u64; k]);
+        let md = monochromatic_distance(&cfg);
+        assert!((md - k as f64).abs() < 1e-9);
+        let mut total_rounds = 0u64;
+        let reps = 5;
+        for seed in 0..reps {
+            let mut sim = GossipUsd::new(&cfg);
+            let mut rng = SimRng::new(seed);
+            let (rounds, silent) = sim.run(&mut rng, 100_000);
+            assert!(silent);
+            total_rounds += rounds;
+        }
+        let mean = total_rounds as f64 / reps as f64;
+        let scale = md * (n as f64).ln(); // ≈ 38
+        assert!(
+            mean < 20.0 * scale,
+            "mean rounds {mean} far above md·ln n = {scale}"
+        );
+    }
+
+    #[test]
+    fn each_node_flips_at_most_once_per_round() {
+        // Definitional in the Gossip model: flips ≤ n per round; and the
+        // flip counter matches an independent diff.
+        let mut sim = GossipUsd::new(&UsdConfig::decided(vec![50, 50]));
+        let mut rng = SimRng::new(3);
+        let before = sim.states.clone();
+        let flips = sim.round(&mut rng);
+        let diff = before
+            .iter()
+            .zip(&sim.states)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        assert_eq!(flips, diff);
+        assert!(flips <= 100);
+        assert_eq!(sim.max_flips_last_round(), flips);
+    }
+
+    #[test]
+    fn all_undecided_is_absorbing() {
+        let mut sim = GossipUsd::new(&UsdConfig::new(vec![0, 0], 20));
+        let mut rng = SimRng::new(4);
+        assert!(sim.is_silent());
+        sim.round(&mut rng);
+        assert_eq!(sim.config().u(), 20);
+    }
+
+    #[test]
+    fn winner_none_while_running() {
+        let sim = GossipUsd::new(&UsdConfig::decided(vec![10, 10]));
+        assert_eq!(sim.winner(), None);
+        assert!(!sim.is_silent());
+    }
+}

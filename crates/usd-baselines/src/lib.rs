@@ -1,0 +1,39 @@
+//! Baseline consensus protocols from the paper's related-work landscape
+//! (§1.2), for head-to-head comparison with the Undecided State Dynamics.
+//!
+//! * [`four_state`] — the 4-state **exact majority** protocol studied by
+//!   Draief–Vojnović (INFOCOM '10) and Mertzios et al. (ICALP '14):
+//!   always-correct for k = 2 but polynomially slow without a large bias;
+//! * [`voter`] — voter dynamics (adopt the partner's opinion), the
+//!   no-undecided-state control with Θ(n²) expected stabilization;
+//! * [`three_majority`] — 3-majority dynamics in the synchronous Gossip
+//!   model, the classic plurality-consensus comparison point;
+//! * [`gossip_usd`] — the USD run in the **Gossip model** (each round every
+//!   node pulls one uniformly random other node), whose qualitative
+//!   differences from the population-protocol USD the paper highlights,
+//!   with the monochromatic-distance tracking of Becchetti et al.;
+//! * [`synchronized_usd`] — a matching-based synchronous USD variant in
+//!   the spirit of the synchronized dynamics of Bankhamer et al.
+//!   (SODA '22);
+//! * [`tournament`] — an idealized elimination-tournament USD with
+//!   perfect phase synchronization and O(log k) extra state, whose
+//!   growth law is O(log k · log n) — below the lower-bound barrier in
+//!   shape; experiment E13 quantifies what that buys at simulable scales
+//!   (the §4 open question).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod four_state;
+pub mod tournament;
+pub mod gossip_usd;
+pub mod synchronized_usd;
+pub mod three_majority;
+pub mod voter;
+
+pub use tournament::{TournamentResult, TournamentUsd};
+pub use four_state::{FourState, FourStateMajority, MajoritySide};
+pub use gossip_usd::GossipUsd;
+pub use synchronized_usd::SynchronizedUsd;
+pub use three_majority::ThreeMajority;
+pub use voter::VoterDynamics;

@@ -1,0 +1,199 @@
+//! Matching-based synchronous USD.
+//!
+//! A synchronous variant in the spirit of the synchronized undecided-state
+//! dynamics of Bankhamer et al. (SODA '22): each round draws a uniformly
+//! random perfect matching of the agents (one unmatched agent if n is odd)
+//! and applies the USD pairwise transition to every matched pair
+//! simultaneously. Every agent participates in exactly one interaction per
+//! round — the synchronization that the population-protocol scheduler
+//! lacks, and one of the model differences the paper's §1.2 discusses.
+
+use sim_stats::rng::SimRng;
+use usd_core::UsdConfig;
+
+/// Synchronous matching-based USD simulator.
+#[derive(Debug, Clone)]
+pub struct SynchronizedUsd {
+    /// Per-node state: opinion in `0..k`, or `k` = undecided.
+    states: Vec<u32>,
+    /// Scratch permutation reused across rounds.
+    perm: Vec<u32>,
+    k: usize,
+    rounds: u64,
+}
+
+impl SynchronizedUsd {
+    /// Initialize from a configuration.
+    pub fn new(config: &UsdConfig) -> Self {
+        assert!(config.n() >= 2, "need at least 2 agents");
+        assert!(config.n() <= u32::MAX as u64, "population too large");
+        let k = config.k();
+        let mut states = Vec::with_capacity(config.n() as usize);
+        for (i, &c) in config.opinions().iter().enumerate() {
+            states.extend(std::iter::repeat(i as u32).take(c as usize));
+        }
+        states.extend(std::iter::repeat(k as u32).take(config.u() as usize));
+        let perm = (0..states.len() as u32).collect();
+        SynchronizedUsd {
+            states,
+            perm,
+            k,
+            rounds: 0,
+        }
+    }
+
+    /// Population size.
+    pub fn n(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Rounds simulated.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Current configuration (O(n) tally).
+    pub fn config(&self) -> UsdConfig {
+        let mut x = vec![0u64; self.k];
+        let mut u = 0u64;
+        for &s in &self.states {
+            if (s as usize) < self.k {
+                x[s as usize] += 1;
+            } else {
+                u += 1;
+            }
+        }
+        UsdConfig::new(x, u)
+    }
+
+    /// Whether every agent holds the same state.
+    pub fn is_silent(&self) -> bool {
+        let first = self.states[0];
+        self.states.iter().all(|&s| s == first)
+    }
+
+    /// The consensus winner, if stabilized on an opinion.
+    pub fn winner(&self) -> Option<usize> {
+        let first = self.states[0];
+        ((first as usize) < self.k && self.is_silent()).then_some(first as usize)
+    }
+
+    /// Run one matched round: shuffle, pair adjacent entries, apply USD.
+    pub fn round(&mut self, rng: &mut SimRng) {
+        rng.shuffle(&mut self.perm);
+        let undecided = self.k as u32;
+        for pair in self.perm.chunks_exact(2) {
+            let (i, j) = (pair[0] as usize, pair[1] as usize);
+            let (a, b) = (self.states[i], self.states[j]);
+            if a == b {
+                continue;
+            }
+            if a == undecided {
+                self.states[i] = b;
+            } else if b == undecided {
+                self.states[j] = a;
+            } else {
+                self.states[i] = undecided;
+                self.states[j] = undecided;
+            }
+        }
+        self.rounds += 1;
+    }
+
+    /// Run until silent or `max_rounds`; returns `(rounds_run, silent)`.
+    pub fn run(&mut self, rng: &mut SimRng, max_rounds: u64) -> (u64, bool) {
+        let start = self.rounds;
+        while self.rounds - start < max_rounds {
+            if self.is_silent() {
+                return (self.rounds - start, true);
+            }
+            self.round(rng);
+        }
+        (self.rounds - start, self.is_silent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_conserves_population() {
+        let mut sim = SynchronizedUsd::new(&UsdConfig::decided(vec![40, 30, 30]));
+        let mut rng = SimRng::new(1);
+        for _ in 0..20 {
+            sim.round(&mut rng);
+            assert_eq!(sim.config().n(), 100);
+        }
+    }
+
+    #[test]
+    fn stabilizes_to_majority_with_bias() {
+        let mut wins = 0;
+        for seed in 0..10 {
+            let mut sim = SynchronizedUsd::new(&UsdConfig::decided(vec![700, 300]));
+            let mut rng = SimRng::new(seed);
+            let (_, silent) = sim.run(&mut rng, 10_000);
+            assert!(silent, "did not stabilize (seed {seed})");
+            if sim.winner() == Some(0) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 9, "majority won only {wins}/10");
+    }
+
+    #[test]
+    fn everyone_interacts_once_per_round() {
+        // Structural: with all agents decided on two opinions and an even
+        // split, one round with a "perfect anti-matching" can flip everyone;
+        // at minimum, the number of agents that changed state in one round
+        // can exceed n/2 — impossible in n sequential PP interactions that
+        // involve ≤ 2 distinct agents each... just verify state-change
+        // count is bounded by n and population is conserved.
+        let mut sim = SynchronizedUsd::new(&UsdConfig::decided(vec![500, 500]));
+        let before = sim.states.clone();
+        let mut rng = SimRng::new(2);
+        sim.round(&mut rng);
+        let changed = before
+            .iter()
+            .zip(&sim.states)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed <= 1000);
+        assert!(changed > 0, "a balanced round should produce clashes");
+        assert_eq!(sim.config().n(), 1000);
+    }
+
+    #[test]
+    fn odd_population_leaves_one_unmatched() {
+        let mut sim = SynchronizedUsd::new(&UsdConfig::decided(vec![3, 2]));
+        let mut rng = SimRng::new(3);
+        sim.round(&mut rng); // must not panic; 5 agents → 2 pairs + 1 idle
+        assert_eq!(sim.config().n(), 5);
+    }
+
+    #[test]
+    fn all_undecided_absorbing() {
+        let mut sim = SynchronizedUsd::new(&UsdConfig::new(vec![0, 0], 10));
+        let mut rng = SimRng::new(4);
+        assert!(sim.is_silent());
+        sim.round(&mut rng);
+        assert_eq!(sim.config().u(), 10);
+        assert_eq!(sim.winner(), None);
+    }
+
+    #[test]
+    fn k2_stabilization_round_count_is_logarithmic_scale() {
+        // With strong bias the synchronized USD stabilizes in O(log n)
+        // rounds; allow a generous constant.
+        let n = 4_096u64;
+        let mut sim = SynchronizedUsd::new(&UsdConfig::decided(vec![3 * n / 4, n / 4]));
+        let mut rng = SimRng::new(5);
+        let (rounds, silent) = sim.run(&mut rng, 100_000);
+        assert!(silent);
+        assert!(
+            (rounds as f64) < 40.0 * (n as f64).ln(),
+            "rounds {rounds} not O(log n) scale"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! 3-majority dynamics in the synchronous Gossip model.
+//!
+//! Each round, every node samples **two** uniformly random other nodes and
+//! updates to the majority opinion among {own, sample₁, sample₂}; with all
+//! three distinct it keeps its own opinion (equivalently: it adopts the
+//! sampled opinion iff the two samples agree). A classic plurality
+//! dynamics with no extra state, widely compared against USD in the
+//! plurality-consensus literature.
+
+use sim_stats::rng::SimRng;
+use usd_core::UsdConfig;
+
+/// Synchronous 3-majority simulator (per-node, exact).
+#[derive(Debug, Clone)]
+pub struct ThreeMajority {
+    states: Vec<u32>,
+    k: usize,
+    rounds: u64,
+}
+
+impl ThreeMajority {
+    /// Initialize from a fully decided configuration (3-majority has no
+    /// undecided state; `config.u()` must be 0).
+    pub fn new(config: &UsdConfig) -> Self {
+        assert_eq!(config.u(), 0, "3-majority has no undecided state");
+        assert!(config.n() >= 3, "need at least 3 agents");
+        assert!(config.n() <= u32::MAX as u64, "population too large");
+        let mut states = Vec::with_capacity(config.n() as usize);
+        for (i, &c) in config.opinions().iter().enumerate() {
+            states.extend(std::iter::repeat(i as u32).take(c as usize));
+        }
+        ThreeMajority {
+            states,
+            k: config.k(),
+            rounds: 0,
+        }
+    }
+
+    /// Population size.
+    pub fn n(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Rounds simulated.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Current configuration (u is always 0).
+    pub fn config(&self) -> UsdConfig {
+        let mut x = vec![0u64; self.k];
+        for &s in &self.states {
+            x[s as usize] += 1;
+        }
+        UsdConfig::decided(x)
+    }
+
+    /// Whether all nodes agree.
+    pub fn is_consensus(&self) -> bool {
+        let first = self.states[0];
+        self.states.iter().all(|&s| s == first)
+    }
+
+    /// The consensus opinion, if reached.
+    pub fn winner(&self) -> Option<usize> {
+        self.is_consensus().then_some(self.states[0] as usize)
+    }
+
+    /// Run one synchronous round.
+    pub fn round(&mut self, rng: &mut SimRng) {
+        let n = self.states.len();
+        let old = self.states.clone();
+        for i in 0..n {
+            let s1 = old[Self::other_index(rng, n, i)];
+            let s2 = old[Self::other_index(rng, n, i)];
+            // Majority of {own, s1, s2}: own unless the samples agree
+            // against it.
+            if s1 == s2 {
+                self.states[i] = s1;
+            }
+        }
+        self.rounds += 1;
+    }
+
+    #[inline]
+    fn other_index(rng: &mut SimRng, n: usize, i: usize) -> usize {
+        let mut j = rng.index(n - 1);
+        if j >= i {
+            j += 1;
+        }
+        j
+    }
+
+    /// Run until consensus or `max_rounds`; returns `(rounds_run, done)`.
+    pub fn run(&mut self, rng: &mut SimRng, max_rounds: u64) -> (u64, bool) {
+        let start = self.rounds;
+        while self.rounds - start < max_rounds {
+            if self.is_consensus() {
+                return (self.rounds - start, true);
+            }
+            self.round(rng);
+        }
+        (self.rounds - start, self.is_consensus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_conserves_population() {
+        let mut sim = ThreeMajority::new(&UsdConfig::decided(vec![30, 40, 30]));
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            sim.round(&mut rng);
+            assert_eq!(sim.config().n(), 100);
+        }
+    }
+
+    #[test]
+    fn plurality_wins_with_clear_bias() {
+        let mut wins = 0;
+        for seed in 0..10 {
+            let mut sim = ThreeMajority::new(&UsdConfig::decided(vec![500, 250, 250]));
+            let mut rng = SimRng::new(seed);
+            let (rounds, done) = sim.run(&mut rng, 10_000);
+            assert!(done, "no consensus (seed {seed})");
+            assert!(rounds < 500);
+            if sim.winner() == Some(0) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 9, "plurality won only {wins}/10");
+    }
+
+    #[test]
+    fn consensus_fast_for_two_opinions() {
+        // 3-majority converges in O(log n) rounds for k=2 with bias.
+        let mut sim = ThreeMajority::new(&UsdConfig::decided(vec![600, 400]));
+        let mut rng = SimRng::new(5);
+        let (rounds, done) = sim.run(&mut rng, 1_000);
+        assert!(done);
+        assert!(rounds < 100, "took {rounds} rounds");
+    }
+
+    #[test]
+    fn update_rule_adopts_only_agreeing_samples() {
+        // Construct a deterministic check of the rule itself on a
+        // 3-node instance where both samples are forced.
+        let mut sim = ThreeMajority::new(&UsdConfig::decided(vec![1, 2]));
+        // states = [0, 1, 1]; node 0 samples from {1, 2} → both opinion 1,
+        // so after one round node 0 must flip.
+        let mut rng = SimRng::new(2);
+        sim.round(&mut rng);
+        assert_eq!(sim.states[0], 1);
+        assert!(sim.is_consensus());
+    }
+
+    #[test]
+    fn consensus_is_absorbing() {
+        let mut sim = ThreeMajority::new(&UsdConfig::decided(vec![10, 0]));
+        let mut rng = SimRng::new(3);
+        assert!(sim.is_consensus());
+        sim.round(&mut rng);
+        assert_eq!(sim.winner(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no undecided state")]
+    fn undecided_input_rejected() {
+        ThreeMajority::new(&UsdConfig::new(vec![5, 5], 2));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the baseline protocols.
+
+use proptest::prelude::*;
+use sim_stats::rng::SimRng;
+use usd_baselines::{
+    FourStateMajority, GossipUsd, SynchronizedUsd, ThreeMajority, TournamentUsd, VoterDynamics,
+};
+use usd_core::UsdConfig;
+
+fn decided_config(k: usize) -> impl Strategy<Value = UsdConfig> {
+    proptest::collection::vec(0u64..40, k)
+        .prop_filter("need n >= 3", |x| x.iter().sum::<u64>() >= 3)
+        .prop_map(UsdConfig::decided)
+}
+
+fn mixed_config(k: usize) -> impl Strategy<Value = UsdConfig> {
+    (proptest::collection::vec(0u64..40, k), 0u64..40)
+        .prop_filter("need n >= 3", |(x, u)| x.iter().sum::<u64>() + u >= 3)
+        .prop_map(|(x, u)| UsdConfig::new(x, u))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gossip USD conserves the population and only moves states within
+    /// the legal USD transitions each round.
+    #[test]
+    fn gossip_usd_round_invariants(
+        config in (2usize..5).prop_flat_map(mixed_config),
+        seed in any::<u64>(),
+    ) {
+        let n = config.n();
+        let mut sim = GossipUsd::new(&config);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..10 {
+            let flips = sim.round(&mut rng);
+            prop_assert!(flips <= n);
+            prop_assert_eq!(sim.config().n(), n);
+        }
+    }
+
+    /// Synchronized USD conserves the population across matched rounds.
+    #[test]
+    fn synchronized_usd_round_invariants(
+        config in (2usize..5).prop_flat_map(mixed_config),
+        seed in any::<u64>(),
+    ) {
+        let n = config.n();
+        let mut sim = SynchronizedUsd::new(&config);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..10 {
+            sim.round(&mut rng);
+            prop_assert_eq!(sim.config().n(), n);
+        }
+    }
+
+    /// 3-majority conserves the population and never invents opinions.
+    #[test]
+    fn three_majority_round_invariants(
+        config in (2usize..5).prop_flat_map(decided_config),
+        seed in any::<u64>(),
+    ) {
+        let n = config.n();
+        let initially_present: Vec<bool> =
+            config.opinions().iter().map(|&c| c > 0).collect();
+        let mut sim = ThreeMajority::new(&config);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..10 {
+            sim.round(&mut rng);
+            let now = sim.config();
+            prop_assert_eq!(now.n(), n);
+            for (i, &present) in initially_present.iter().enumerate() {
+                if !present {
+                    prop_assert_eq!(now.x(i), 0, "opinion {} appeared from nothing", i);
+                }
+            }
+        }
+    }
+
+    /// The tournament always terminates with a winner that had initial
+    /// support, and never runs more than ceil(log2 k) phases.
+    #[test]
+    fn tournament_terminates_with_supported_winner(
+        config in (2usize..6).prop_flat_map(decided_config),
+        seed in any::<u64>(),
+    ) {
+        let support: Vec<usize> = config
+            .opinions()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!support.is_empty());
+        let t = TournamentUsd::new(config.clone());
+        let mut rng = SimRng::new(seed);
+        let result = t.run(&mut rng);
+        let winner = result.winner.expect("tournament must produce a winner");
+        prop_assert!(support.contains(&winner), "winner {} had no support", winner);
+        let max_phases = (support.len() as f64).log2().ceil() as u64;
+        prop_assert!(result.phases <= max_phases.max(1));
+    }
+
+    /// Voter dynamics: the initiator always wins the interaction.
+    #[test]
+    fn voter_transition_initiator_wins(k in 1usize..8, a in 0usize..8, b in 0usize..8) {
+        use pop_proto::Protocol;
+        prop_assume!(a < k && b < k);
+        let p = VoterDynamics::new(k);
+        prop_assert_eq!(p.transition_indices(a, b), (a, a));
+    }
+
+    /// Four-state: the signed token sum is conserved by every transition,
+    /// and outputs partition the states into the two sides.
+    #[test]
+    fn four_state_transition_invariants(a in 0usize..4, b in 0usize..4) {
+        use pop_proto::Protocol;
+        let p = FourStateMajority;
+        let (ta, tb) = p.transition_indices(a, b);
+        let value = |s: usize| match s {
+            FourStateMajority::STRONG_A => 1i64,
+            FourStateMajority::STRONG_B => -1,
+            _ => 0,
+        };
+        prop_assert_eq!(value(a) + value(b), value(ta) + value(tb));
+    }
+}

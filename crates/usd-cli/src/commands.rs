@@ -1,0 +1,381 @@
+//! Subcommand implementations for `usd-sim`.
+
+use sim_stats::rng::SimRng;
+use sim_stats::summary::Summary;
+use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
+use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
+use usd_core::encode::Trajectory;
+use usd_core::init::InitialConfigBuilder;
+use usd_core::stabilization::{stabilize, ConsensusOutcome};
+use usd_core::theory::{self, Bounds};
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usd-sim — Undecided State Dynamics simulator
+
+commands:
+  run    --n <u64> --k <usize> [--bias <u64> | --max-bias] [--seed <u64>]
+         [--trace <file.usdt>]
+           one exact run to stabilization; optionally record a trajectory
+  sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
+           stabilization time across the admissible k grid vs the bounds
+  bounds --n <u64> --k <usize>
+           print the paper's bound curves for (n, k)
+  trace  <file.usdt>
+           inspect a trajectory recorded by `run --trace`
+  help
+";
+
+/// A fatal CLI error (message printed to stderr, exit code 2).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+/// Minimal flag parser: `--name value` pairs plus boolean flags.
+pub struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parse; `bools` lists flags that take no value.
+    pub fn parse(args: &[String], bools: &[&str]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if bools.contains(&name) {
+                    pairs.push((name.to_string(), None));
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+                    pairs.push((name.to_string(), Some(v.clone())));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { pairs, positional })
+    }
+
+    /// Look up a value flag and parse it.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        for (k, v) in &self.pairs {
+            if k == name {
+                let v = v
+                    .as_ref()
+                    .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+                return v
+                    .parse::<T>()
+                    .map(Some)
+                    .map_err(|e| CliError(format!("--{name}: {e}")));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, v)| k == name && v.is_none())
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// `usd-sim run`.
+pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["max-bias"])?;
+    let n: u64 = flags.get("n")?.unwrap_or(100_000);
+    let k: usize = flags.get("k")?.unwrap_or_else(|| theory::figure1_k(n));
+    let seed: u64 = flags.get("seed")?.unwrap_or(42);
+    let trace_path: Option<String> = flags.get("trace")?;
+    if n < 2 || k < 1 || (k as u64) > n {
+        return Err(CliError(format!("invalid instance n={n}, k={k}")));
+    }
+
+    let builder = InitialConfigBuilder::new(n, k);
+    let config = if flags.has("max-bias") {
+        builder.max_admissible_bias()
+    } else if let Some(b) = flags.get::<u64>("bias")? {
+        builder.equal_minorities(b)
+    } else {
+        builder.figure1()
+    };
+    println!("initial: {config}");
+
+    let mut sim = SkipAheadUsd::new(&config);
+    let mut rng = SimRng::new(seed);
+
+    let mut trajectory = Trajectory::new(n, k);
+    if trace_path.is_some() {
+        trajectory.push(0, config.clone());
+    }
+    let mut next_capture = n;
+    let result = if trace_path.is_some() {
+        // Stabilize with snapshots roughly once per parallel round.
+        loop {
+            match sim.step_effective(&mut rng) {
+                None => break,
+                Some(_) => {
+                    if sim.interactions() >= next_capture {
+                        trajectory.push(sim.interactions(), sim.config());
+                        next_capture = sim.interactions() + n;
+                    }
+                    if sim.is_silent() {
+                        break;
+                    }
+                }
+            }
+        }
+        trajectory.push(sim.interactions(), sim.config());
+        usd_core::stabilization::StabilizationResult {
+            outcome: match sim.winner() {
+                Some(w) => ConsensusOutcome::Winner(w),
+                None => ConsensusOutcome::AllUndecided,
+            },
+            interactions: sim.interactions(),
+            initial_plurality: config.plurality(),
+        }
+    } else {
+        stabilize(&mut sim, &mut rng, u64::MAX / 2)
+    };
+
+    match result.outcome {
+        ConsensusOutcome::Winner(w) => println!(
+            "stabilized on opinion {} after {} interactions ({:.2} parallel time); plurality won: {}",
+            w + 1,
+            fmt_thousands(result.interactions),
+            result.parallel_time(n),
+            result.plurality_won(),
+        ),
+        ConsensusOutcome::AllUndecided => println!(
+            "absorbed in the all-undecided state after {} interactions",
+            fmt_thousands(result.interactions)
+        ),
+        ConsensusOutcome::Timeout => println!("budget exhausted"),
+    }
+
+    if let Some(path) = trace_path {
+        let blob = trajectory.encode();
+        std::fs::write(&path, &blob).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+        println!(
+            "trace: {} snapshots, {} bytes -> {path}",
+            trajectory.snapshots.len(),
+            blob.len()
+        );
+    }
+    Ok(())
+}
+
+/// `usd-sim sweep`.
+pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let n: u64 = flags.get("n")?.unwrap_or(50_000);
+    let seeds: u64 = flags.get("seeds")?.unwrap_or(5);
+    let seed: u64 = flags.get("seed")?.unwrap_or(42);
+    if n < 16 {
+        return Err(CliError("need --n >= 16".into()));
+    }
+
+    let max_k = ((n as f64).sqrt() / (n as f64).ln()).floor().max(3.0) as usize;
+    let mut t = TextTable::new(&["k", "T parallel", "lower", "T/lower", "upper", "T/upper"]);
+    let mut k = 3usize;
+    while k <= max_k {
+        let config = InitialConfigBuilder::new(n, k).max_admissible_bias();
+        let mut times = Vec::new();
+        for s in 0..seeds {
+            let mut sim = SkipAheadUsd::new(&config);
+            let mut rng = SimRng::new(seed ^ (k as u64) << 32 ^ s);
+            let result = stabilize(&mut sim, &mut rng, u64::MAX / 2);
+            times.push(result.parallel_time(n));
+        }
+        let mean = Summary::of(&times).mean();
+        let b = Bounds::new(n, k);
+        let lower = b.lower_bound_parallel();
+        let upper = b.upper_bound_parallel();
+        t.row_owned(vec![
+            k.to_string(),
+            fmt_sig(mean, 4),
+            fmt_sig(lower, 4),
+            if lower > 0.0 {
+                fmt_sig(mean / lower, 3)
+            } else {
+                "-".into()
+            },
+            fmt_sig(upper, 4),
+            fmt_sig(mean / upper, 3),
+        ]);
+        k = (k * 3 + 1) / 2;
+    }
+    println!("stabilization sweep at n={} ({} seeds/cell)", fmt_thousands(n), seeds);
+    print!("{t}");
+    Ok(())
+}
+
+/// `usd-sim bounds`.
+pub fn cmd_bounds(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let n: u64 = flags.get("n")?.unwrap_or(1_000_000);
+    let k: usize = flags.get("k")?.unwrap_or_else(|| theory::figure1_k(n));
+    let b = Bounds::new(n, k);
+    let mut t = TextTable::new(&["quantity", "value"]);
+    t.row_owned(vec!["n".into(), fmt_thousands(n)]);
+    t.row_owned(vec!["k".into(), k.to_string()]);
+    t.row_owned(vec![
+        "k admissible (<= sqrt n/ln n)".into(),
+        theory::k_is_admissible(n, k).to_string(),
+    ]);
+    t.row_owned(vec![
+        "sqrt(n ln n)".into(),
+        fmt_thousands(theory::sqrt_n_log_n(n)),
+    ]);
+    t.row_owned(vec![
+        "max admissible bias".into(),
+        fmt_thousands(theory::max_admissible_bias(n, k)),
+    ]);
+    t.row_owned(vec![
+        "lower bound (parallel)".into(),
+        fmt_sig(b.lower_bound_parallel(), 5),
+    ]);
+    t.row_owned(vec![
+        "upper bound k ln n (parallel)".into(),
+        fmt_sig(b.upper_bound_parallel(), 5),
+    ]);
+    t.row_owned(vec![
+        "undecided plateau n/2-n/4k".into(),
+        fmt_sig(usd_core::analysis::undecided_plateau(n, k), 6),
+    ]);
+    t.row_owned(vec![
+        "Lemma 3.1 ceiling".into(),
+        fmt_sig(b.undecided_ceiling(), 6),
+    ]);
+    t.row_owned(vec![
+        "Lemma 3.3 time kn/25".into(),
+        fmt_sig(b.opinion_growth_time(), 5),
+    ]);
+    t.row_owned(vec![
+        "Lemma 3.4 time kn/24".into(),
+        fmt_sig(b.gap_doubling_time(), 5),
+    ]);
+    print!("{t}");
+    Ok(())
+}
+
+/// `usd-sim trace`.
+pub fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags
+        .positional()
+        .first()
+        .ok_or_else(|| CliError("trace: need a file path".into()))?;
+    let blob = std::fs::read(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+    let traj = Trajectory::decode(&blob[..]).map_err(|e| CliError(format!("decoding: {e}")))?;
+    println!(
+        "trajectory: n={}, k={}, {} snapshots",
+        fmt_thousands(traj.n),
+        traj.k,
+        traj.snapshots.len()
+    );
+    let mut t = TextTable::new(&["parallel time", "x1", "max gap", "u"]);
+    // Print at most 20 evenly spaced snapshots.
+    let step = (traj.snapshots.len() / 20).max(1);
+    for (i, (ticks, cfg)) in traj.snapshots.iter().enumerate() {
+        if i % step != 0 && i != traj.snapshots.len() - 1 {
+            continue;
+        }
+        t.row_owned(vec![
+            fmt_sig(*ticks as f64 / traj.n as f64, 4),
+            cfg.sorted_desc()[0].to_string(),
+            cfg.max_gap().to_string(),
+            cfg.u().to_string(),
+        ]);
+    }
+    print!("{t}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_bools_positional() {
+        let f = Flags::parse(&s(&["--n", "100", "--max-bias", "file.bin"]), &["max-bias"])
+            .unwrap();
+        assert_eq!(f.get::<u64>("n").unwrap(), Some(100));
+        assert!(f.has("max-bias"));
+        assert_eq!(f.positional(), &["file.bin".to_string()]);
+        assert_eq!(f.get::<u64>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn flags_report_missing_values() {
+        assert!(Flags::parse(&s(&["--n"]), &[]).is_err());
+    }
+
+    #[test]
+    fn flags_report_bad_parse() {
+        let f = Flags::parse(&s(&["--n", "abc"]), &[]).unwrap();
+        assert!(f.get::<u64>("n").is_err());
+    }
+
+    #[test]
+    fn run_and_trace_roundtrip_through_a_file() {
+        let dir = std::env::temp_dir().join("usd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.usdt");
+        let path_str = path.to_str().unwrap().to_string();
+
+        cmd_run(&s(&["--n", "2000", "--k", "3", "--seed", "5", "--trace", &path_str])).unwrap();
+        cmd_trace(&s(&[&path_str])).unwrap();
+        // And the file decodes through the library too.
+        let blob = std::fs::read(&path).unwrap();
+        let traj = Trajectory::decode(&blob[..]).unwrap();
+        assert_eq!(traj.n, 2000);
+        assert_eq!(traj.k, 3);
+        assert!(traj.snapshots.len() >= 2);
+        // Final snapshot is silent (consensus or all-undecided).
+        let (_, last) = traj.snapshots.last().unwrap();
+        assert!(last.is_silent());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bounds_command_runs() {
+        cmd_bounds(&s(&["--n", "100000", "--k", "8"])).unwrap();
+    }
+
+    #[test]
+    fn sweep_command_runs_small() {
+        cmd_sweep(&s(&["--n", "2000", "--seeds", "1"])).unwrap();
+    }
+
+    #[test]
+    fn run_rejects_bad_instance() {
+        assert!(cmd_run(&s(&["--n", "1"])).is_err());
+        assert!(cmd_run(&s(&["--n", "10", "--k", "11"])).is_err());
+    }
+
+    #[test]
+    fn trace_rejects_missing_file() {
+        assert!(cmd_trace(&s(&["/nonexistent/file.usdt"])).is_err());
+        assert!(cmd_trace(&s(&[])).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! `usd-sim` — command-line front end for the plurality-consensus
+//! workspace.
+//!
+//! ```text
+//! usd-sim run    --n 100000 --k 8 [--bias B|--max-bias] [--seed S] [--trace out.usdt]
+//! usd-sim sweep  --n 100000 [--seeds 5] [--seed S]
+//! usd-sim bounds --n 100000 --k 8
+//! usd-sim trace  <file.usdt>           # inspect a recorded trajectory
+//! usd-sim help
+//! ```
+
+mod commands;
+
+use commands::{cmd_bounds, cmd_run, cmd_sweep, cmd_trace, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(CliError(format!("unknown command '{other}'\n{}", commands::USAGE))),
+    };
+    if let Err(CliError(msg)) = result {
+        eprintln!("usd-sim: {msg}");
+        std::process::exit(2);
+    }
+}

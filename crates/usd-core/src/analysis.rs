@@ -1,0 +1,313 @@
+//! Exact one-step analysis quantities.
+//!
+//! These are the quantities the proof manipulates, computed exactly for a
+//! concrete configuration (no asymptotics):
+//!
+//! * interaction probabilities — the chance the next interaction is a clash,
+//!   an adoption (overall or of a specific opinion), or a no-op;
+//! * the conditional one-step drifts E[u(t+1) − u(t) | x] (Lemma 3.1) and
+//!   E[Δᵢⱼ(t+1) − Δᵢⱼ(t) | x] (Lemma 3.4);
+//! * the per-opinion threshold uᵢ = (n − xᵢ)/2 — opinion i grows in
+//!   expectation iff u > uᵢ (§2);
+//! * the plateau value n/2 − n/4k around which u(t) settles;
+//! * the monochromatic distance md(c) of Becchetti et al. (SODA '15).
+//!
+//! The drift formulas are verified in the tests against brute-force
+//! enumeration over all ordered agent pairs, so the closed forms used by
+//! the lemma-verification experiments are themselves machine-checked.
+
+use crate::config::UsdConfig;
+
+/// The plateau value n/2 − n/(4k) that u(t) settles around (§2, Figure 1).
+pub fn undecided_plateau(n: u64, k: usize) -> f64 {
+    assert!(k >= 1);
+    n as f64 / 2.0 - n as f64 / (4.0 * k as f64)
+}
+
+/// The threshold uᵢ = (n − xᵢ)/2 for opinion i: in expectation xᵢ grows
+/// iff u > uᵢ. Derived from the exact drift
+/// E[xᵢ(t+1) − xᵢ(t) | x] = 2xᵢ(2u − n + xᵢ) / (n(n−1)).
+pub fn opinion_threshold(n: u64, x_i: u64) -> f64 {
+    (n as f64 - x_i as f64) / 2.0
+}
+
+/// Maximum pairwise gap max_{i,j}(xᵢ − xⱼ) of a configuration.
+pub fn max_gap(config: &UsdConfig) -> u64 {
+    config.max_gap()
+}
+
+/// Monochromatic distance of Becchetti et al. (SODA '15):
+/// md(c) = Σᵢ (xᵢ / x₁)², where x₁ is the plurality count. Lies in [1, k]
+/// for any configuration with a positive plurality; the Gossip-model
+/// stabilization time is O(md(c) · log n).
+pub fn monochromatic_distance(config: &UsdConfig) -> f64 {
+    let x1 = config
+        .plurality()
+        .map(|i| config.x(i))
+        .expect("md undefined for zero-support configurations");
+    assert!(x1 > 0, "md undefined when the plurality count is 0");
+    let x1 = x1 as f64;
+    config
+        .opinions()
+        .iter()
+        .map(|&v| {
+            let r = v as f64 / x1;
+            r * r
+        })
+        .sum()
+}
+
+/// Exact probabilities of the three interaction outcomes from a
+/// configuration, over the uniform random ordered pair of distinct agents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InteractionProbabilities {
+    /// P[two agents with different opinions meet] — u increases by 2.
+    pub clash: f64,
+    /// P[a decided agent meets an undecided one] — u decreases by 1.
+    pub adopt: f64,
+    /// P[nothing changes].
+    pub noop: f64,
+}
+
+/// Compute the exact outcome probabilities for the next interaction.
+pub fn interaction_probabilities(config: &UsdConfig) -> InteractionProbabilities {
+    let n = config.n();
+    assert!(n >= 2, "need at least 2 agents");
+    let nf = n as f64;
+    let pairs = nf * (nf - 1.0); // ordered pairs
+    let u = config.u() as f64;
+    let d = config.decided_count() as f64;
+    let s2: f64 = config
+        .opinions()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum();
+    let clash = (d * d - s2) / pairs; // Σ_{i≠j} xᵢxⱼ ordered
+    let adopt = 2.0 * d * u / pairs;
+    InteractionProbabilities {
+        clash,
+        adopt,
+        noop: 1.0 - clash - adopt,
+    }
+}
+
+/// Exact conditional drift E[u(t+1) − u(t) | x(t) = x]: +2 per clash,
+/// −1 per adoption (the quantity bounded in Lemma 3.1).
+pub fn expected_undecided_drift(config: &UsdConfig) -> f64 {
+    let p = interaction_probabilities(config);
+    2.0 * p.clash - p.adopt
+}
+
+/// Exact conditional drift E[xᵢ(t+1) − xᵢ(t) | x(t) = x]
+/// = 2xᵢ(2u − n + xᵢ)/(n(n−1)) (the quantity bounded in Lemma 3.3).
+pub fn expected_opinion_drift(config: &UsdConfig, i: usize) -> f64 {
+    let n = config.n() as f64;
+    let x_i = config.x(i) as f64;
+    let u = config.u() as f64;
+    2.0 * x_i * (2.0 * u - n + x_i) / (n * (n - 1.0))
+}
+
+/// Exact conditional drift E[Δᵢⱼ(t+1) − Δᵢⱼ(t) | x(t) = x]
+/// = 2(xᵢ − xⱼ)(2u − n + xᵢ + xⱼ)/(n(n−1)) (Lemma 3.4's key identity).
+pub fn expected_gap_drift(config: &UsdConfig, i: usize, j: usize) -> f64 {
+    let n = config.n() as f64;
+    let xi = config.x(i) as f64;
+    let xj = config.x(j) as f64;
+    let u = config.u() as f64;
+    2.0 * (xi - xj) * (2.0 * u - n + xi + xj) / (n * (n - 1.0))
+}
+
+/// The probability that the next interaction changes Δᵢⱼ by +1 and by −1
+/// (`p(t)` and `q(t)` of Lemma 3.4 are `plus + minus` and `plus − minus`).
+pub fn gap_step_probabilities(config: &UsdConfig, i: usize, j: usize) -> (f64, f64) {
+    let n = config.n() as f64;
+    let pairs = n * (n - 1.0);
+    let xi = config.x(i) as f64;
+    let xj = config.x(j) as f64;
+    let u = config.u() as f64;
+    let others = n - u - xi - xj; // decided agents with opinions ∉ {i, j}
+    // +1: i adopts (2·xᵢ·u) or j clashes with a third opinion (2·xⱼ·others).
+    let plus = (2.0 * xi * u + 2.0 * xj * others) / pairs;
+    // −1: j adopts or i clashes with a third opinion.
+    let minus = (2.0 * xj * u + 2.0 * xi * others) / pairs;
+    (plus, minus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::UndecidedStateDynamics;
+    use pop_proto::Protocol;
+
+    /// Brute-force reference: enumerate all ordered pairs of distinct
+    /// agents, apply the transition, and average the change of a statistic.
+    fn brute_force_drift(config: &UsdConfig, stat: impl Fn(&UsdConfig) -> f64) -> f64 {
+        let k = config.k();
+        let proto = UndecidedStateDynamics::new(k);
+        let counts = config.to_count_config();
+        let n = config.n() as f64;
+        let base = stat(config);
+        let mut acc = 0.0;
+        for a in 0..=k {
+            let ca = counts.count(a);
+            if ca == 0 {
+                continue;
+            }
+            for b in 0..=k {
+                let cb = if a == b {
+                    counts.count(b).saturating_sub(1)
+                } else {
+                    counts.count(b)
+                };
+                if cb == 0 {
+                    continue;
+                }
+                let weight = ca as f64 * cb as f64 / (n * (n - 1.0));
+                let (ta, tb) = proto.transition_indices(a, b);
+                let mut next = counts.counts().to_vec();
+                next[a] -= 1;
+                next[b] -= 1;
+                next[ta] += 1;
+                next[tb] += 1;
+                let next_cfg = UsdConfig::new(next[..k].to_vec(), next[k]);
+                acc += weight * (stat(&next_cfg) - base);
+            }
+        }
+        acc
+    }
+
+    fn test_config() -> UsdConfig {
+        UsdConfig::new(vec![12, 9, 5], 14)
+    }
+
+    #[test]
+    fn plateau_formula() {
+        assert!((undecided_plateau(1_000_000, 27) - (500_000.0 - 9_259.259)).abs() < 0.01);
+        assert_eq!(undecided_plateau(100, 1), 25.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_match_brute_force() {
+        let c = test_config();
+        let p = interaction_probabilities(&c);
+        assert!((p.clash + p.adopt + p.noop - 1.0).abs() < 1e-12);
+        assert!(p.clash > 0.0 && p.adopt > 0.0 && p.noop > 0.0);
+
+        // Brute force clash probability: Σ_{i≠j} xᵢxⱼ / (n(n−1)).
+        let n = c.n() as f64;
+        let mut clash = 0.0;
+        for i in 0..c.k() {
+            for j in 0..c.k() {
+                if i != j {
+                    clash += c.x(i) as f64 * c.x(j) as f64;
+                }
+            }
+        }
+        clash /= n * (n - 1.0);
+        assert!((p.clash - clash).abs() < 1e-12);
+
+        let adopt = 2.0 * c.decided_count() as f64 * c.u() as f64 / (n * (n - 1.0));
+        assert!((p.adopt - adopt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undecided_drift_matches_brute_force() {
+        let c = test_config();
+        let closed = expected_undecided_drift(&c);
+        let brute = brute_force_drift(&c, |cfg| cfg.u() as f64);
+        assert!(
+            (closed - brute).abs() < 1e-10,
+            "closed {closed} vs brute {brute}"
+        );
+    }
+
+    #[test]
+    fn opinion_drift_matches_brute_force() {
+        let c = test_config();
+        for i in 0..c.k() {
+            let closed = expected_opinion_drift(&c, i);
+            let brute = brute_force_drift(&c, |cfg| cfg.x(i) as f64);
+            assert!(
+                (closed - brute).abs() < 1e-10,
+                "opinion {i}: closed {closed} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_drift_matches_brute_force() {
+        let c = test_config();
+        for i in 0..c.k() {
+            for j in 0..c.k() {
+                if i == j {
+                    continue;
+                }
+                let closed = expected_gap_drift(&c, i, j);
+                let brute = brute_force_drift(&c, |cfg| cfg.gap(i, j) as f64);
+                assert!(
+                    (closed - brute).abs() < 1e-10,
+                    "gap ({i},{j}): closed {closed} vs brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gap_step_probabilities_consistent_with_drift() {
+        let c = test_config();
+        let (plus, minus) = gap_step_probabilities(&c, 0, 2);
+        let drift = expected_gap_drift(&c, 0, 2);
+        assert!(
+            (plus - minus - drift).abs() < 1e-12,
+            "plus−minus {} vs drift {}",
+            plus - minus,
+            drift
+        );
+        assert!(plus >= 0.0 && minus >= 0.0 && plus + minus <= 1.0);
+    }
+
+    #[test]
+    fn threshold_sign_governs_opinion_drift() {
+        // Build configs straddling the threshold and check the drift sign.
+        let n = 100u64;
+        let x_i = 20u64;
+        let threshold = opinion_threshold(n, x_i); // (100-20)/2 = 40
+        assert_eq!(threshold, 40.0);
+        // u above threshold: positive drift.
+        let above = UsdConfig::new(vec![20, 100 - 20 - 45], 45);
+        assert!(expected_opinion_drift(&above, 0) > 0.0);
+        // u below threshold: negative drift.
+        let below = UsdConfig::new(vec![20, 100 - 20 - 35], 35);
+        assert!(expected_opinion_drift(&below, 0) < 0.0);
+        // u exactly at threshold: zero drift.
+        let at = UsdConfig::new(vec![20, 100 - 20 - 40], 40);
+        assert!(expected_opinion_drift(&at, 0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn monochromatic_distance_bounds() {
+        // Balanced: md = k.
+        let balanced = UsdConfig::decided(vec![10, 10, 10, 10]);
+        assert!((monochromatic_distance(&balanced) - 4.0).abs() < 1e-12);
+        // Consensus-like: md = 1.
+        let mono = UsdConfig::decided(vec![40, 0, 0, 0]);
+        assert!((monochromatic_distance(&mono) - 1.0).abs() < 1e-12);
+        // In-between.
+        let c = UsdConfig::decided(vec![20, 10, 10]);
+        let md = monochromatic_distance(&c);
+        assert!(md > 1.0 && md < 3.0);
+    }
+
+    #[test]
+    fn max_gap_passthrough() {
+        let c = UsdConfig::decided(vec![30, 12, 5]);
+        assert_eq!(max_gap(&c), 25);
+    }
+
+    #[test]
+    fn drift_zero_at_consensus() {
+        let c = UsdConfig::new(vec![50, 0], 0);
+        assert!(expected_undecided_drift(&c).abs() < 1e-15);
+        assert!(expected_opinion_drift(&c, 0).abs() < 1e-15);
+    }
+}

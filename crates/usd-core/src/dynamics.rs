@@ -1,0 +1,567 @@
+//! Specialized exact simulators for the Undecided State Dynamics.
+//!
+//! Both simulators realize **exactly** the chain of §1.1 — uniform random
+//! ordered pair of distinct agents, USD transition — but with different
+//! cost models:
+//!
+//! * [`SequentialUsd`] simulates every interaction, O(log k) each, via a
+//!   Fenwick sampler over the k + 1 state counts. This is the reference
+//!   implementation.
+//! * [`SkipAheadUsd`] observes that a (typically constant) fraction of
+//!   interactions are no-ops (same opinion, or ⊥ meets ⊥), that no-ops do
+//!   not change the configuration, and that the number of consecutive
+//!   no-ops before the next *effective* interaction is geometrically
+//!   distributed with the exact no-op probability of the current
+//!   configuration. It therefore samples the geometric skip length, then
+//!   samples the effective interaction from the exact conditional law
+//!   (clash with weight Σ_{i<j} xᵢxⱼ, adoption with weight (n−u)·u).
+//!   The resulting process is **equal in distribution** to the sequential
+//!   chain — verified statistically in this crate's tests and in E12.
+//!
+//! Both implement [`UsdSimulator`], so detectors and experiment code are
+//! generic over the engine.
+
+use crate::config::UsdConfig;
+use pop_proto::FenwickSampler;
+use sim_stats::rng::SimRng;
+
+/// An effective USD interaction (no-ops are reported separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UsdEvent {
+    /// Two agents with (different) opinions `i` and `j` met; both became
+    /// undecided.
+    Clash {
+        /// First opinion involved.
+        i: usize,
+        /// Second opinion involved (≠ `i`).
+        j: usize,
+    },
+    /// An undecided agent adopted opinion `i`.
+    Adopt {
+        /// The adopted opinion.
+        i: usize,
+    },
+    /// The interaction changed nothing (reported only by [`SequentialUsd`];
+    /// [`SkipAheadUsd`] folds no-ops into the skip count).
+    Noop,
+}
+
+/// Common interface of the USD simulation engines.
+pub trait UsdSimulator {
+    /// Number of opinions `k`.
+    fn k(&self) -> usize;
+
+    /// Population size `n`.
+    fn n(&self) -> u64;
+
+    /// Current opinion counts x₁…x_k (slice of length k).
+    fn opinions(&self) -> &[u64];
+
+    /// Current undecided count `u`.
+    fn undecided(&self) -> u64;
+
+    /// Interactions simulated so far (including skipped no-ops).
+    fn interactions(&self) -> u64;
+
+    /// Advance past the next **effective** interaction, returning the event,
+    /// or `None` if the configuration is silent (nothing can ever change).
+    ///
+    /// For [`SequentialUsd`] this may loop internally over no-op
+    /// interactions; for [`SkipAheadUsd`] it samples the skip length.
+    /// Either way, [`UsdSimulator::interactions`] advances by the total
+    /// number of interactions consumed.
+    fn step_effective(&mut self, rng: &mut SimRng) -> Option<UsdEvent>;
+
+    /// Parallel time elapsed.
+    fn parallel_time(&self) -> f64 {
+        self.interactions() as f64 / self.n() as f64
+    }
+
+    /// Snapshot the current configuration.
+    fn config(&self) -> UsdConfig {
+        UsdConfig::new(self.opinions().to_vec(), self.undecided())
+    }
+
+    /// Whether the configuration is silent (consensus or all-undecided).
+    fn is_silent(&self) -> bool {
+        let n = self.n();
+        if self.undecided() == n {
+            return true;
+        }
+        if self.undecided() != 0 {
+            return false;
+        }
+        self.opinions().iter().filter(|&&c| c > 0).count() <= 1
+    }
+
+    /// The consensus winner, if stabilized on an opinion.
+    fn winner(&self) -> Option<usize> {
+        if self.undecided() != 0 {
+            return None;
+        }
+        let mut winner = None;
+        for (i, &c) in self.opinions().iter().enumerate() {
+            if c > 0 {
+                if winner.is_some() {
+                    return None;
+                }
+                winner = Some(i);
+            }
+        }
+        winner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SequentialUsd
+// ---------------------------------------------------------------------------
+
+/// Reference engine: simulates every single interaction.
+///
+/// State counts (k opinions + ⊥) live in a Fenwick sampler; each interaction
+/// samples the ordered pair of distinct agents' states exactly and applies
+/// the USD transition.
+#[derive(Debug, Clone)]
+pub struct SequentialUsd {
+    /// Fenwick over k+1 categories; index k = undecided.
+    sampler: FenwickSampler,
+    k: usize,
+    n: u64,
+    interactions: u64,
+}
+
+impl SequentialUsd {
+    /// Start from a configuration (requires n ≥ 2).
+    pub fn new(config: &UsdConfig) -> Self {
+        assert!(config.n() >= 2, "need at least 2 agents");
+        let mut weights = config.opinions().to_vec();
+        weights.push(config.u());
+        SequentialUsd {
+            sampler: FenwickSampler::new(&weights),
+            k: config.k(),
+            n: config.n(),
+            interactions: 0,
+        }
+    }
+
+    /// Simulate exactly one interaction; returns what happened.
+    pub fn step(&mut self, rng: &mut SimRng) -> UsdEvent {
+        self.interactions += 1;
+        let k = self.k;
+        let (a, b) = self.sampler.sample_distinct_pair(rng);
+        if a == b || (a == k && b == k) {
+            return UsdEvent::Noop;
+        }
+        if a == k {
+            // ⊥ adopts opinion b.
+            self.sampler.add(k, -1);
+            self.sampler.add(b, 1);
+            UsdEvent::Adopt { i: b }
+        } else if b == k {
+            self.sampler.add(k, -1);
+            self.sampler.add(a, 1);
+            UsdEvent::Adopt { i: a }
+        } else {
+            // Different opinions clash.
+            self.sampler.add(a, -1);
+            self.sampler.add(b, -1);
+            self.sampler.add(k, 2);
+            UsdEvent::Clash { i: a, j: b }
+        }
+    }
+}
+
+impl UsdSimulator for SequentialUsd {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn opinions(&self) -> &[u64] {
+        &self.sampler.weights()[..self.k]
+    }
+
+    fn undecided(&self) -> u64 {
+        self.sampler.weight(self.k)
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn step_effective(&mut self, rng: &mut SimRng) -> Option<UsdEvent> {
+        if self.is_silent() {
+            return None;
+        }
+        loop {
+            match self.step(rng) {
+                UsdEvent::Noop => continue,
+                event => return Some(event),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SkipAheadUsd
+// ---------------------------------------------------------------------------
+
+/// Skip-ahead engine: geometric jumps over no-op interactions.
+///
+/// Maintains, incrementally, the decided count D = n − u and
+/// S₂ = Σᵢ xᵢ² so that the unordered effective-pair weights
+///
+/// * clash: C = (D² − S₂)/2   (pairs of agents with different opinions)
+/// * adopt: A = D · u         (decided–undecided pairs)
+///
+/// are available in O(1). One `step_effective` draws the geometric number
+/// of no-ops (success probability (C + A)/binom(n,2)), picks clash vs adopt
+/// proportionally to (C, A) — exactly, in 128-bit integer arithmetic — and
+/// samples the involved opinions ∝ xᵢ (and ∝ xᵢxⱼ via rejection for the
+/// clash pair).
+#[derive(Debug, Clone)]
+pub struct SkipAheadUsd {
+    /// Fenwick over the k opinion counts only.
+    opinions: FenwickSampler,
+    u: u64,
+    n: u64,
+    /// Σᵢ xᵢ², maintained incrementally.
+    sum_sq: u128,
+    interactions: u64,
+}
+
+impl SkipAheadUsd {
+    /// Start from a configuration (requires n ≥ 2).
+    pub fn new(config: &UsdConfig) -> Self {
+        assert!(config.n() >= 2, "need at least 2 agents");
+        let sum_sq = config
+            .opinions()
+            .iter()
+            .map(|&v| (v as u128) * (v as u128))
+            .sum();
+        SkipAheadUsd {
+            opinions: FenwickSampler::new(config.opinions()),
+            u: config.u(),
+            n: config.n(),
+            sum_sq,
+            interactions: 0,
+        }
+    }
+
+    /// Unordered effective-pair weights `(clash, adopt)`.
+    #[inline]
+    fn effective_weights(&self) -> (u128, u128) {
+        let d = self.opinions.total() as u128;
+        let clash = (d * d - self.sum_sq) / 2;
+        let adopt = d * self.u as u128;
+        (clash, adopt)
+    }
+
+    /// Record xᵢ → xᵢ + 1 in the squared-sum accumulator.
+    #[inline]
+    fn sum_sq_inc(&mut self, x_old: u64) {
+        self.sum_sq += 2 * x_old as u128 + 1;
+    }
+
+    /// Record xᵢ → xᵢ − 1 in the squared-sum accumulator.
+    #[inline]
+    fn sum_sq_dec(&mut self, x_old: u64) {
+        self.sum_sq -= 2 * x_old as u128 - 1;
+    }
+}
+
+impl UsdSimulator for SkipAheadUsd {
+    fn k(&self) -> usize {
+        self.opinions.len()
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn opinions(&self) -> &[u64] {
+        self.opinions.weights()
+    }
+
+    fn undecided(&self) -> u64 {
+        self.u
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn step_effective(&mut self, rng: &mut SimRng) -> Option<UsdEvent> {
+        let (clash_w, adopt_w) = self.effective_weights();
+        let effective = clash_w + adopt_w;
+        if effective == 0 {
+            return None; // silent: consensus or all-undecided
+        }
+        let nf = self.n as f64;
+        let total_pairs = nf * (nf - 1.0) / 2.0;
+        let p_eff = (effective as f64 / total_pairs).min(1.0);
+        // Geometric number of no-op interactions before the effective one.
+        let skipped = rng.geometric(p_eff);
+        self.interactions += skipped + 1;
+
+        let event = if rng.below_u128(effective) < adopt_w {
+            // Adoption: pick the opinion ∝ xᵢ.
+            let i = self.opinions.sample(rng);
+            let x_old = self.opinions.weight(i);
+            self.opinions.add(i, 1);
+            self.sum_sq_inc(x_old);
+            self.u -= 1;
+            UsdEvent::Adopt { i }
+        } else {
+            // Clash: pick (i, j) ∝ xᵢxⱼ over i ≠ j by rejection.
+            loop {
+                let i = self.opinions.sample(rng);
+                let j = self.opinions.sample(rng);
+                if i == j {
+                    continue;
+                }
+                let xi_old = self.opinions.weight(i);
+                let xj_old = self.opinions.weight(j);
+                self.opinions.add(i, -1);
+                self.opinions.add(j, -1);
+                self.sum_sq_dec(xi_old);
+                self.sum_sq_dec(xj_old);
+                self.u += 2;
+                break UsdEvent::Clash { i, j };
+            }
+        };
+        Some(event)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run drivers
+// ---------------------------------------------------------------------------
+
+/// Run `sim` until it stabilizes or `budget` interactions have elapsed;
+/// invokes `observer` after every effective event. Returns the interaction
+/// count at the stopping point and whether the run stabilized.
+pub fn run_until_stable<S: UsdSimulator>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    budget: u64,
+    mut observer: impl FnMut(&S, UsdEvent),
+) -> (u64, bool) {
+    while sim.interactions() < budget {
+        match sim.step_effective(rng) {
+            Some(event) => observer(&*sim, event),
+            None => return (sim.interactions(), true),
+        }
+        // After the event the configuration may have just become silent;
+        // step_effective would detect it next call, but checking here makes
+        // the returned interaction count exact.
+        if sim.is_silent() {
+            return (sim.interactions(), true);
+        }
+    }
+    (sim.interactions(), sim.is_silent())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> UsdConfig {
+        UsdConfig::decided(vec![40, 30, 30])
+    }
+
+    #[test]
+    fn sequential_conserves_population() {
+        let mut sim = SequentialUsd::new(&small_config());
+        let mut rng = SimRng::new(1);
+        for _ in 0..5_000 {
+            sim.step(&mut rng);
+            let total: u64 = sim.opinions().iter().sum::<u64>() + sim.undecided();
+            assert_eq!(total, 100);
+        }
+    }
+
+    #[test]
+    fn skip_ahead_conserves_population_and_sum_sq() {
+        let mut sim = SkipAheadUsd::new(&small_config());
+        let mut rng = SimRng::new(2);
+        for _ in 0..2_000 {
+            if sim.step_effective(&mut rng).is_none() {
+                break;
+            }
+            let total: u64 = sim.opinions().iter().sum::<u64>() + sim.undecided();
+            assert_eq!(total, 100);
+            let s2: u128 = sim
+                .opinions()
+                .iter()
+                .map(|&v| (v as u128) * (v as u128))
+                .sum();
+            assert_eq!(s2, sim.sum_sq, "sum of squares out of sync");
+        }
+    }
+
+    #[test]
+    fn both_engines_stabilize_k2_quickly() {
+        // k=2 with a clear bias: stabilization in O(n log n) interactions
+        // w.h.p. (Clementi et al.), majority wins.
+        for seed in 0..5 {
+            let config = UsdConfig::decided(vec![700, 300]);
+            let mut seq = SequentialUsd::new(&config);
+            let mut rng = SimRng::new(seed);
+            let (t_seq, stable) = run_until_stable(&mut seq, &mut rng, 10_000_000, |_, _| {});
+            assert!(stable, "sequential did not stabilize");
+            assert_eq!(seq.winner(), Some(0));
+            assert!(t_seq < 1_000_000);
+
+            let mut skip = SkipAheadUsd::new(&config);
+            let mut rng = SimRng::new(seed + 100);
+            let (t_skip, stable) = run_until_stable(&mut skip, &mut rng, 10_000_000, |_, _| {});
+            assert!(stable, "skip-ahead did not stabilize");
+            assert_eq!(skip.winner(), Some(0));
+            assert!(t_skip < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn engines_agree_in_distribution_on_stabilization_time() {
+        // The skip-ahead chain must be distributionally identical to the
+        // sequential chain; compare mean stabilization interactions for a
+        // small instance across many seeds. Tolerance is generous but the
+        // test would catch systematic skipping errors (e.g. off-by-one in
+        // the geometric, wrong conditional weights).
+        let config = UsdConfig::decided(vec![60, 40]);
+        let reps = 300u64;
+        let mut seq_mean = 0.0;
+        let mut skip_mean = 0.0;
+        for seed in 0..reps {
+            let mut seq = SequentialUsd::new(&config);
+            let mut rng = SimRng::new(seed);
+            let (t, s) = run_until_stable(&mut seq, &mut rng, 100_000_000, |_, _| {});
+            assert!(s);
+            seq_mean += t as f64;
+
+            let mut skip = SkipAheadUsd::new(&config);
+            let mut rng = SimRng::new(seed + 77_777);
+            let (t, s) = run_until_stable(&mut skip, &mut rng, 100_000_000, |_, _| {});
+            assert!(s);
+            skip_mean += t as f64;
+        }
+        seq_mean /= reps as f64;
+        skip_mean /= reps as f64;
+        let rel = (seq_mean - skip_mean).abs() / seq_mean;
+        assert!(
+            rel < 0.10,
+            "engines disagree: sequential {seq_mean} vs skip-ahead {skip_mean} ({rel})"
+        );
+    }
+
+    #[test]
+    fn skip_ahead_advances_interactions_past_noops() {
+        // With a huge undecided mass and one tiny opinion, no-ops dominate;
+        // skip counts must push `interactions` up much faster than the
+        // number of effective events.
+        let config = UsdConfig::new(vec![1, 0], 999);
+        let mut sim = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(3);
+        let mut events = 0u64;
+        while sim.undecided() > 0 && events < 10_000 {
+            sim.step_effective(&mut rng).unwrap();
+            events += 1;
+        }
+        assert!(sim.interactions() > events, "no skipping happened");
+        assert_eq!(sim.winner(), Some(0));
+    }
+
+    #[test]
+    fn all_undecided_is_absorbing_for_both_engines() {
+        let config = UsdConfig::new(vec![0, 0], 50);
+        let mut seq = SequentialUsd::new(&config);
+        let mut rng = SimRng::new(4);
+        assert!(seq.step_effective(&mut rng).is_none());
+        assert!(seq.is_silent());
+
+        let mut skip = SkipAheadUsd::new(&config);
+        assert!(skip.step_effective(&mut rng).is_none());
+        assert!(skip.is_silent());
+        assert_eq!(skip.winner(), None);
+    }
+
+    #[test]
+    fn two_singleton_opinions_annihilate() {
+        // x = (1, 1), u = 0: the only effective interaction is the clash,
+        // after which everything is undecided and absorbing.
+        let config = UsdConfig::decided(vec![1, 1]);
+        let mut sim = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(5);
+        let event = sim.step_effective(&mut rng).unwrap();
+        assert!(matches!(event, UsdEvent::Clash { .. }));
+        assert_eq!(sim.undecided(), 2);
+        assert!(sim.step_effective(&mut rng).is_none());
+    }
+
+    #[test]
+    fn winner_and_silence_semantics() {
+        let consensus = SequentialUsd::new(&UsdConfig::decided(vec![10, 0]));
+        assert!(consensus.is_silent());
+        assert_eq!(consensus.winner(), Some(0));
+
+        let running = SequentialUsd::new(&UsdConfig::new(vec![9, 0], 1));
+        assert!(!running.is_silent());
+        assert_eq!(running.winner(), None);
+    }
+
+    #[test]
+    fn sequential_events_match_state_changes() {
+        let mut sim = SequentialUsd::new(&small_config());
+        let mut rng = SimRng::new(6);
+        for _ in 0..2_000 {
+            let before_u = sim.undecided();
+            let before_x: Vec<u64> = sim.opinions().to_vec();
+            match sim.step(&mut rng) {
+                UsdEvent::Clash { i, j } => {
+                    assert_ne!(i, j);
+                    assert_eq!(sim.undecided(), before_u + 2);
+                    assert_eq!(sim.opinions()[i], before_x[i] - 1);
+                    assert_eq!(sim.opinions()[j], before_x[j] - 1);
+                }
+                UsdEvent::Adopt { i } => {
+                    assert_eq!(sim.undecided(), before_u - 1);
+                    assert_eq!(sim.opinions()[i], before_x[i] + 1);
+                }
+                UsdEvent::Noop => {
+                    assert_eq!(sim.undecided(), before_u);
+                    assert_eq!(sim.opinions(), before_x.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_stable_respects_budget() {
+        let config = UsdConfig::decided(vec![500, 500]);
+        let mut sim = SequentialUsd::new(&config);
+        let mut rng = SimRng::new(7);
+        let (t, stable) = run_until_stable(&mut sim, &mut rng, 1_000, |_, _| {});
+        assert!(t >= 1_000 || stable);
+        // A dead-heat k=2 instance will not stabilize in 1000 interactions.
+        assert!(!stable);
+    }
+
+    #[test]
+    fn observer_sees_every_effective_event() {
+        let config = UsdConfig::decided(vec![30, 20]);
+        let mut sim = SequentialUsd::new(&config);
+        let mut rng = SimRng::new(8);
+        let mut events = 0u64;
+        run_until_stable(&mut sim, &mut rng, 10_000_000, |_, _| events += 1);
+        // Effective events tracked separately must match the observer count.
+        assert!(events > 0);
+        // Each event changed the configuration; at stabilization all 50
+        // agents agree. The minimal event count is ≥ number of agents that
+        // changed state at least once; just sanity-check non-triviality.
+        assert!(events >= 20);
+    }
+}

@@ -1,0 +1,241 @@
+//! Compact binary encoding of USD trajectories.
+//!
+//! A Figure-1 run at n = 10⁶ records ~100 snapshots of 28 counts; sweeps
+//! record far more. This module provides a small, versioned, little-endian
+//! binary format (built on the `bytes` crate) so experiment binaries can
+//! persist raw traces cheaply and reload them for re-plotting without
+//! re-simulating.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x5553_4454  ("USDT")
+//! version u16 = 1
+//! k      u16
+//! n      u64
+//! count  u64                 — number of snapshots
+//! count × { t u64, x[0..k] u64 ×k, u u64 }
+//! ```
+
+use crate::config::UsdConfig;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5553_4454;
+const VERSION: u16 = 1;
+
+/// A recorded trajectory: interaction stamps plus configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Population size (redundant with snapshots; kept for validation).
+    pub n: u64,
+    /// Number of opinions.
+    pub k: usize,
+    /// `(interaction, configuration)` snapshots in increasing order.
+    pub snapshots: Vec<(u64, UsdConfig)>,
+}
+
+/// Errors from decoding a trajectory blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic number did not match.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A snapshot's counts did not sum to the declared n.
+    InconsistentPopulation {
+        /// Index of the offending snapshot.
+        snapshot: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08X}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::Truncated => write!(f, "truncated trajectory blob"),
+            DecodeError::InconsistentPopulation { snapshot } => {
+                write!(f, "snapshot {snapshot} does not sum to n")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Trajectory {
+    /// Create an empty trajectory for a `(n, k)` system.
+    pub fn new(n: u64, k: usize) -> Self {
+        assert!(k >= 1);
+        Trajectory {
+            n,
+            k,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Append a snapshot. Panics if the configuration shape mismatches.
+    pub fn push(&mut self, interactions: u64, config: UsdConfig) {
+        assert_eq!(config.k(), self.k, "k mismatch");
+        assert_eq!(config.n(), self.n, "n mismatch");
+        if let Some(&(last, _)) = self.snapshots.last() {
+            assert!(interactions >= last, "snapshots must be ordered");
+        }
+        self.snapshots.push((interactions, config));
+    }
+
+    /// Encode into a binary blob.
+    pub fn encode(&self) -> Bytes {
+        let per = 8 + 8 * (self.k + 1);
+        let mut buf = BytesMut::with_capacity(4 + 2 + 2 + 8 + 8 + self.snapshots.len() * per);
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(self.k as u16);
+        buf.put_u64_le(self.n);
+        buf.put_u64_le(self.snapshots.len() as u64);
+        for (t, cfg) in &self.snapshots {
+            buf.put_u64_le(*t);
+            for &x in cfg.opinions() {
+                buf.put_u64_le(x);
+            }
+            buf.put_u64_le(cfg.u());
+        }
+        buf.freeze()
+    }
+
+    /// Decode from a binary blob.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, DecodeError> {
+        if buf.remaining() < 24 {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = buf.get_u32_le();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let k = buf.get_u16_le() as usize;
+        let n = buf.get_u64_le();
+        let count = buf.get_u64_le() as usize;
+        let per = 8 + 8 * (k + 1);
+        if buf.remaining() < count * per {
+            return Err(DecodeError::Truncated);
+        }
+        let mut snapshots = Vec::with_capacity(count);
+        for idx in 0..count {
+            let t = buf.get_u64_le();
+            let mut x = Vec::with_capacity(k);
+            for _ in 0..k {
+                x.push(buf.get_u64_le());
+            }
+            let u = buf.get_u64_le();
+            let cfg = UsdConfig::new(x, u);
+            if cfg.n() != n {
+                return Err(DecodeError::InconsistentPopulation { snapshot: idx });
+            }
+            snapshots.push((t, cfg));
+        }
+        Ok(Trajectory { n, k, snapshots })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trajectory {
+        let mut t = Trajectory::new(100, 3);
+        t.push(0, UsdConfig::decided(vec![40, 30, 30]));
+        t.push(50, UsdConfig::new(vec![30, 20, 20], 30));
+        t.push(500, UsdConfig::new(vec![100, 0, 0], 0));
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let blob = t.encode();
+        let back = Trajectory::decode(blob).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trajectory_roundtrips() {
+        let t = Trajectory::new(10, 2);
+        let back = Trajectory::decode(t.encode()).unwrap();
+        assert_eq!(back, t);
+        assert!(back.snapshots.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut blob = BytesMut::from(&sample().encode()[..]);
+        blob[0] ^= 0xFF;
+        match Trajectory::decode(blob.freeze()) {
+            Err(DecodeError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut blob = BytesMut::from(&sample().encode()[..]);
+        blob[4] = 99;
+        assert_eq!(
+            Trajectory::decode(blob.freeze()),
+            Err(DecodeError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let blob = sample().encode();
+        let cut = blob.slice(..blob.len() - 5);
+        assert_eq!(Trajectory::decode(cut), Err(DecodeError::Truncated));
+        // Header-only truncation too.
+        assert_eq!(
+            Trajectory::decode(Bytes::from_static(&[1, 2, 3])),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn inconsistent_population_detected() {
+        // Hand-craft a blob whose snapshot counts do not sum to n.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(2); // k
+        buf.put_u64_le(10); // n
+        buf.put_u64_le(1); // one snapshot
+        buf.put_u64_le(0); // t
+        buf.put_u64_le(3); // x0
+        buf.put_u64_le(3); // x1
+        buf.put_u64_le(3); // u  → total 9 ≠ 10
+        assert_eq!(
+            Trajectory::decode(buf.freeze()),
+            Err(DecodeError::InconsistentPopulation { snapshot: 0 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn out_of_order_push_panics() {
+        let mut t = Trajectory::new(10, 2);
+        t.push(5, UsdConfig::new(vec![5, 5], 0));
+        t.push(4, UsdConfig::new(vec![5, 5], 0));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            DecodeError::BadMagic(0xDEAD_BEEF).to_string(),
+            "bad magic 0xDEADBEEF"
+        );
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+}

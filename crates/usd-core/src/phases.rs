@@ -1,0 +1,108 @@
+//! Phase segmentation of a USD run.
+//!
+//! Section 2 of the paper describes the qualitative shape of every run
+//! (visible in Figure 1 left):
+//!
+//! 1. **Ramp** — from the all-decided start, clashes dominate and u(t)
+//!    climbs steeply toward the plateau while every opinion shrinks;
+//! 2. **Plateau** — u(t) hovers near n/2 − n/4k; opinions drift slowly,
+//!    some minorities even growing — this is the long phase whose length
+//!    the lower bound quantifies;
+//! 3. **Endgame** — u(t) falls below all thresholds but the winner's, every
+//!    other opinion collapses, and the system races to consensus.
+//!
+//! [`segment`] recovers these phases from a recorded u(t) trajectory.
+
+/// Indices (into the snapshot sequence) where the phases of a run begin/end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phases {
+    /// First snapshot index at which u is within the plateau band.
+    pub ramp_end: usize,
+    /// Last snapshot index at which u is within the plateau band.
+    pub plateau_end: usize,
+    /// Total number of snapshots.
+    pub len: usize,
+}
+
+impl Phases {
+    /// Fraction of the run spent in the plateau (by snapshot count).
+    pub fn plateau_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        (self.plateau_end.saturating_sub(self.ramp_end) + 1) as f64 / self.len as f64
+    }
+}
+
+/// Segment a u(t) trajectory into ramp / plateau / endgame.
+///
+/// `plateau` is the theoretical plateau value n/2 − n/4k and `band` the
+/// tolerance half-width (a natural choice is Θ(√(n log n)), the Lemma 3.1
+/// slack). Snapshots with `|u − plateau| ≤ band` count as plateau points.
+///
+/// Returns `None` if no snapshot enters the band (run too short).
+pub fn segment(u_trajectory: &[f64], plateau: f64, band: f64) -> Option<Phases> {
+    assert!(band >= 0.0, "band must be non-negative");
+    let in_band = |u: f64| (u - plateau).abs() <= band;
+    let ramp_end = u_trajectory.iter().position(|&u| in_band(u))?;
+    let plateau_end = u_trajectory
+        .iter()
+        .rposition(|&u| in_band(u))
+        .expect("position found above");
+    Some(Phases {
+        ramp_end,
+        plateau_end,
+        len: u_trajectory.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_ideal_trajectory() {
+        // Synthetic: ramp 0..10, plateau 10..40, endgame 40..50.
+        let mut u = Vec::new();
+        for i in 0..10 {
+            u.push(i as f64 * 10.0); // 0..90
+        }
+        for _ in 10..40 {
+            u.push(100.0);
+        }
+        for i in 0..10 {
+            u.push(100.0 - (i as f64 + 1.0) * 10.0);
+        }
+        let phases = segment(&u, 100.0, 5.0).unwrap();
+        assert_eq!(phases.ramp_end, 10);
+        assert_eq!(phases.plateau_end, 39);
+        assert_eq!(phases.len, 50);
+        assert!((phases.plateau_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_when_band_never_entered() {
+        let u = vec![0.0, 10.0, 20.0];
+        assert_eq!(segment(&u, 100.0, 5.0), None);
+    }
+
+    #[test]
+    fn single_point_in_band() {
+        let u = vec![0.0, 100.0, 0.0];
+        let phases = segment(&u, 100.0, 1.0).unwrap();
+        assert_eq!(phases.ramp_end, 1);
+        assert_eq!(phases.plateau_end, 1);
+    }
+
+    #[test]
+    fn band_tolerance_is_inclusive() {
+        let u = vec![95.0];
+        assert!(segment(&u, 100.0, 5.0).is_some());
+        assert!(segment(&u, 100.0, 4.999).is_none());
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        assert_eq!(segment(&[], 100.0, 5.0), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! The Undecided State Dynamics transition function as a
+//! [`pop_proto::Protocol`].
+//!
+//! State indexing convention used across the whole workspace: opinions are
+//! dense indices `0..k` and index `k` is the undecided state ⊥. (The paper
+//! numbers opinions 1..k; we use 0-based indices in code and 1-based labels
+//! in printed output.)
+
+use pop_proto::Protocol;
+
+/// A state of the Undecided State Dynamics: one of `k` opinions or ⊥.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UsdState {
+    /// Holding opinion `i` (0-based, `i < k`).
+    Opinion(usize),
+    /// The undecided state ⊥.
+    Undecided,
+}
+
+/// The unconditional Undecided State Dynamics over `k` opinions
+/// (k + 1 states).
+///
+/// Transition function (symmetric in the interaction order):
+///
+/// * `f(i, j) = (⊥, ⊥)` for decided `i ≠ j`;
+/// * `f(i, ⊥) = (i, i)` and `f(⊥, i) = (i, i)`;
+/// * identity otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndecidedStateDynamics {
+    k: usize,
+}
+
+impl UndecidedStateDynamics {
+    /// USD with `k ≥ 1` opinions.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one opinion");
+        UndecidedStateDynamics { k }
+    }
+
+    /// Number of opinions `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The dense index of the undecided state (= `k`).
+    pub fn undecided_index(&self) -> usize {
+        self.k
+    }
+}
+
+impl Protocol for UndecidedStateDynamics {
+    type State = UsdState;
+    type Output = UsdState;
+
+    fn num_states(&self) -> usize {
+        self.k + 1
+    }
+
+    fn index_of(&self, state: UsdState) -> usize {
+        match state {
+            UsdState::Opinion(i) => {
+                assert!(i < self.k, "opinion {i} out of range for k={}", self.k);
+                i
+            }
+            UsdState::Undecided => self.k,
+        }
+    }
+
+    fn state_of(&self, index: usize) -> UsdState {
+        if index < self.k {
+            UsdState::Opinion(index)
+        } else if index == self.k {
+            UsdState::Undecided
+        } else {
+            panic!("index {index} out of range for k={}", self.k)
+        }
+    }
+
+    fn transition(&self, a: UsdState, b: UsdState) -> (UsdState, UsdState) {
+        use UsdState::*;
+        match (a, b) {
+            (Opinion(i), Opinion(j)) if i != j => (Undecided, Undecided),
+            (Opinion(i), Undecided) => (Opinion(i), Opinion(i)),
+            (Undecided, Opinion(j)) => (Opinion(j), Opinion(j)),
+            other => other,
+        }
+    }
+
+    fn output(&self, state: UsdState) -> UsdState {
+        state // γ is the identity for USD (Γ = Σ)
+    }
+
+    #[inline]
+    fn transition_indices(&self, a: usize, b: usize) -> (usize, usize) {
+        let k = self.k;
+        debug_assert!(a <= k && b <= k);
+        if a == b {
+            (a, b)
+        } else if a == k {
+            (b, b) // ⊥ meets opinion b
+        } else if b == k {
+            (a, a) // opinion a meets ⊥
+        } else {
+            (k, k) // different opinions clash
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use UsdState::*;
+
+    #[test]
+    fn transition_table_matches_paper() {
+        let p = UndecidedStateDynamics::new(3);
+        // Different opinions clash.
+        assert_eq!(p.transition(Opinion(0), Opinion(1)), (Undecided, Undecided));
+        assert_eq!(p.transition(Opinion(2), Opinion(0)), (Undecided, Undecided));
+        // Decided + undecided: adoption, both orders.
+        assert_eq!(p.transition(Opinion(1), Undecided), (Opinion(1), Opinion(1)));
+        assert_eq!(p.transition(Undecided, Opinion(2)), (Opinion(2), Opinion(2)));
+        // Identity cases.
+        assert_eq!(p.transition(Opinion(1), Opinion(1)), (Opinion(1), Opinion(1)));
+        assert_eq!(p.transition(Undecided, Undecided), (Undecided, Undecided));
+    }
+
+    #[test]
+    fn index_mapping_roundtrips() {
+        let p = UndecidedStateDynamics::new(4);
+        assert_eq!(p.num_states(), 5);
+        for i in 0..p.num_states() {
+            assert_eq!(p.index_of(p.state_of(i)), i);
+        }
+        assert_eq!(p.state_of(4), Undecided);
+        assert_eq!(p.undecided_index(), 4);
+    }
+
+    #[test]
+    fn fast_index_transition_matches_state_transition() {
+        let p = UndecidedStateDynamics::new(3);
+        for a in 0..4 {
+            for b in 0..4 {
+                let via_states = {
+                    let (x, y) = p.transition(p.state_of(a), p.state_of(b));
+                    (p.index_of(x), p.index_of(y))
+                };
+                assert_eq!(p.transition_indices(a, b), via_states, "pair ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_identity() {
+        let p = UndecidedStateDynamics::new(2);
+        assert_eq!(p.output(Opinion(1)), Opinion(1));
+        assert_eq!(p.output(Undecided), Undecided);
+    }
+
+    #[test]
+    fn silence_cases() {
+        let p = UndecidedStateDynamics::new(3);
+        // Consensus: all agents on opinion 1.
+        assert!(p.is_silent(&[0, 10, 0, 0]));
+        // All undecided is absorbing.
+        assert!(p.is_silent(&[0, 0, 0, 10]));
+        // One opinion + undecided agents: adoption still possible.
+        assert!(!p.is_silent(&[0, 9, 0, 1]));
+        // Two opinions: clash possible.
+        assert!(!p.is_silent(&[5, 5, 0, 0]));
+    }
+
+    #[test]
+    fn transition_is_symmetric_in_effect() {
+        // USD's unordered semantics: applying (a,b) and (b,a) yields the
+        // same multiset of resulting states.
+        let p = UndecidedStateDynamics::new(5);
+        for a in 0..6 {
+            for b in 0..6 {
+                let (x1, y1) = p.transition_indices(a, b);
+                let (x2, y2) = p.transition_indices(b, a);
+                let mut m1 = [x1, y1];
+                let mut m2 = [x2, y2];
+                m1.sort_unstable();
+                m2.sort_unstable();
+                assert_eq!(m1, m2, "asymmetric effect for ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_opinion_index_panics() {
+        let p = UndecidedStateDynamics::new(2);
+        p.index_of(Opinion(2));
+    }
+
+    #[test]
+    fn k1_degenerate_protocol() {
+        let p = UndecidedStateDynamics::new(1);
+        assert_eq!(p.num_states(), 2);
+        // Lone opinion adopting undecided agents; never clashes.
+        assert_eq!(p.transition(Opinion(0), Undecided), (Opinion(0), Opinion(0)));
+        assert!(!p.is_silent(&[1, 1]));
+        assert!(p.is_silent(&[2, 0]));
+    }
+}

@@ -1,0 +1,105 @@
+//! Convenience glue: run a simulator while recording a [`Trajectory`].
+//!
+//! Wraps the "simulate + snapshot once per parallel round" loop that the
+//! figure binaries, the CLI, and the examples all need, producing the
+//! binary-encodable [`Trajectory`] of [`crate::encode`].
+
+use crate::dynamics::UsdSimulator;
+use crate::encode::Trajectory;
+use sim_stats::rng::SimRng;
+
+/// Run `sim` until it is silent or `budget` interactions have elapsed,
+/// recording a snapshot roughly every `every` interactions (plus the
+/// initial and final configurations). Returns the trajectory and whether
+/// the run stabilized.
+pub fn record_run<S: UsdSimulator>(
+    sim: &mut S,
+    rng: &mut SimRng,
+    budget: u64,
+    every: u64,
+) -> (Trajectory, bool) {
+    assert!(every >= 1, "cadence must be at least 1");
+    let mut traj = Trajectory::new(sim.n(), sim.k());
+    traj.push(sim.interactions(), sim.config());
+    let mut next_capture = sim.interactions() + every;
+    let mut stabilized = false;
+    while sim.interactions() < budget {
+        match sim.step_effective(rng) {
+            None => {
+                stabilized = true;
+                break;
+            }
+            Some(_) => {
+                if sim.interactions() >= next_capture {
+                    traj.push(sim.interactions(), sim.config());
+                    next_capture = sim.interactions() + every;
+                }
+                if sim.is_silent() {
+                    stabilized = true;
+                    break;
+                }
+            }
+        }
+    }
+    let final_t = sim.interactions();
+    if traj.snapshots.last().map(|&(t, _)| t) != Some(final_t) {
+        traj.push(final_t, sim.config());
+    }
+    (traj, stabilized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::SkipAheadUsd;
+    use crate::init::InitialConfigBuilder;
+
+    #[test]
+    fn records_initial_and_final_snapshots() {
+        let config = InitialConfigBuilder::new(1_000, 3).figure1();
+        let mut sim = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(1);
+        let (traj, stabilized) = record_run(&mut sim, &mut rng, u64::MAX / 2, 1_000);
+        assert!(stabilized);
+        assert!(traj.snapshots.len() >= 2);
+        assert_eq!(traj.snapshots[0].0, 0);
+        assert_eq!(traj.snapshots[0].1, config);
+        let (t_final, final_cfg) = traj.snapshots.last().unwrap();
+        assert_eq!(*t_final, sim.interactions());
+        assert!(final_cfg.is_silent());
+    }
+
+    #[test]
+    fn snapshots_respect_cadence_and_order() {
+        let config = InitialConfigBuilder::new(500, 2).figure1();
+        let mut sim = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(2);
+        let (traj, _) = record_run(&mut sim, &mut rng, u64::MAX / 2, 500);
+        let mut last = 0;
+        for &(t, ref cfg) in &traj.snapshots {
+            assert!(t >= last);
+            assert_eq!(cfg.n(), 500);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn budget_limits_recording() {
+        let config = InitialConfigBuilder::new(2_000, 2).balanced();
+        let mut sim = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(3);
+        let (traj, stabilized) = record_run(&mut sim, &mut rng, 4_000, 1_000);
+        assert!(!stabilized, "a dead heat cannot stabilize in 2 rounds");
+        assert!(traj.snapshots.last().unwrap().0 >= 4_000);
+    }
+
+    #[test]
+    fn roundtrips_through_the_binary_format() {
+        let config = InitialConfigBuilder::new(800, 4).figure1();
+        let mut sim = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(4);
+        let (traj, _) = record_run(&mut sim, &mut rng, u64::MAX / 2, 800);
+        let decoded = Trajectory::decode(traj.encode()).unwrap();
+        assert_eq!(decoded, traj);
+    }
+}

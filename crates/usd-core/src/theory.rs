@@ -1,0 +1,259 @@
+//! The paper's closed-form bound curves and parameter predicates.
+//!
+//! Everything here is a direct transcription of formulas from the paper,
+//! used by the experiment harness to print "paper bound vs measured" tables:
+//!
+//! * Theorem 3.5 lower bound: stabilization requires at least
+//!   (k/25) · ln(√n / (k ln n)) parallel time — equivalently the induction
+//!   runs for ln(n^¾ / (k^½ · √(n ln n) · f(n))) groups of kn/25
+//!   interactions, with f(n) = (√n / (k ln n))^¼;
+//! * Amir et al. (PODC '23) upper bound: O(k ln n) parallel time for
+//!   k = O(√n / ln² n);
+//! * the trivial Ω(ln n) lower bound (coupon collection);
+//! * admissible-bias and valid-k predicates.
+//!
+//! All logarithms are natural. The paper's asymptotic statements of course
+//! have unspecified constants; where the paper fixes a constant (the 25 in
+//! kn/25, the 24 in Lemma 3.4's kn/24) we use it verbatim.
+
+/// √(n ln n), the canonical bias unit in the approximate-majority
+/// literature, rounded to the nearest integer.
+pub fn sqrt_n_log_n(n: u64) -> u64 {
+    let nf = n as f64;
+    (nf * nf.ln()).sqrt().round() as u64
+}
+
+/// The paper's f(n) = (√n / (k ln n))^¼ scaling factor (Theorem 3.5).
+pub fn f_scaling(n: u64, k: usize) -> f64 {
+    let nf = n as f64;
+    (nf.sqrt() / (k as f64 * nf.ln())).powf(0.25)
+}
+
+/// Maximum admissible initial bias for the lower bound:
+/// f(n) · √(n ln n) = (√n/(k ln n))^¼ · √(n ln n), rounded down.
+pub fn max_admissible_bias(n: u64, k: usize) -> u64 {
+    (f_scaling(n, k) * sqrt_n_log_n(n) as f64).floor() as u64
+}
+
+/// The Figure 1 choice of k: ⌊√n / (ln n · ln ln n)⌋, clamped to ≥ 2.
+pub fn figure1_k(n: u64) -> usize {
+    let nf = n as f64;
+    let k = nf.sqrt() / (nf.ln() * nf.ln().ln());
+    (k.floor() as usize).max(2)
+}
+
+/// Whether `k` satisfies the theorem's constraint k ≤ √n / ln n (the
+/// finite-n stand-in for k = o(√n / log n)).
+pub fn k_is_admissible(n: u64, k: usize) -> bool {
+    let nf = n as f64;
+    (k as f64) <= nf.sqrt() / nf.ln()
+}
+
+/// Collected bound curves for a given (n, k).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Population size.
+    pub n: u64,
+    /// Number of opinions.
+    pub k: usize,
+}
+
+impl Bounds {
+    /// Bounds object for `(n, k)`.
+    pub fn new(n: u64, k: usize) -> Self {
+        assert!(n >= 2 && k >= 1);
+        Bounds { n, k }
+    }
+
+    /// Theorem 3.5: the system w.h.p. does **not** stabilize within
+    /// (k/25) · ln(√n / (k ln n)) parallel time (0 when the log is
+    /// non-positive, i.e. outside the theorem's regime).
+    pub fn lower_bound_parallel(&self) -> f64 {
+        let nf = self.n as f64;
+        let arg = nf.sqrt() / (self.k as f64 * nf.ln());
+        if arg <= 1.0 {
+            0.0
+        } else {
+            self.k as f64 / 25.0 * arg.ln()
+        }
+    }
+
+    /// Theorem 3.5 in interactions: n × the parallel-time bound.
+    pub fn lower_bound_interactions(&self) -> f64 {
+        self.lower_bound_parallel() * self.n as f64
+    }
+
+    /// The number of induction iterations in the proof of Theorem 3.5:
+    /// ln(n^¾ / (k^½ · √(n ln n) · f(n))), floored at 0.
+    pub fn induction_iterations(&self) -> f64 {
+        let nf = self.n as f64;
+        let numerator = nf.powf(0.75);
+        let denominator =
+            (self.k as f64).sqrt() * (nf * nf.ln()).sqrt() * f_scaling(self.n, self.k);
+        let arg = numerator / denominator;
+        if arg <= 1.0 {
+            0.0
+        } else {
+            arg.ln()
+        }
+    }
+
+    /// Amir et al. (PODC '23) upper bound: stabilization w.h.p. within
+    /// O(k ln n) parallel time. Returned with constant 1 — callers compare
+    /// *ratios*, not absolute values.
+    pub fn upper_bound_parallel(&self) -> f64 {
+        self.k as f64 * (self.n as f64).ln()
+    }
+
+    /// Upper bound in interactions.
+    pub fn upper_bound_interactions(&self) -> f64 {
+        self.upper_bound_parallel() * self.n as f64
+    }
+
+    /// The trivial Ω(ln n) parallel-time lower bound (in o(log n) parallel
+    /// time some agents have w.h.p. not interacted at all).
+    pub fn trivial_lower_bound_parallel(&self) -> f64 {
+        (self.n as f64).ln()
+    }
+
+    /// Lemma 3.1's high-probability ceiling on the undecided count:
+    /// n/2 − n/4k + 10n/(k−1)² + (20·13² + 1)·√(n ln n).
+    /// (For k = 1 the 10n/(k−1)² term is vacuous; we return n, as u ≤ n.)
+    pub fn undecided_ceiling(&self) -> f64 {
+        if self.k <= 1 {
+            return self.n as f64;
+        }
+        let nf = self.n as f64;
+        let kf = self.k as f64;
+        let plateau = nf / 2.0 - nf / (4.0 * kf);
+        let slack_poly = 10.0 * nf / ((kf - 1.0) * (kf - 1.0));
+        let slack_sqrt = (20.0 * 169.0 + 1.0) * (nf * nf.ln()).sqrt();
+        (plateau + slack_poly + slack_sqrt).min(nf)
+    }
+
+    /// Lemma 3.3's claim: an opinion at ≤ 3n/2k needs at least kn/25
+    /// interactions to reach 2n/k. Returns kn/25.
+    pub fn opinion_growth_time(&self) -> f64 {
+        self.k as f64 * self.n as f64 / 25.0
+    }
+
+    /// Lemma 3.4's claim: the max pairwise gap needs at least kn/24
+    /// interactions to double. Returns kn/24.
+    pub fn gap_doubling_time(&self) -> f64 {
+        self.k as f64 * self.n as f64 / 24.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_n_log_n_value() {
+        // n = 10^6: √(10^6 · ln 10^6) = √(13.8155·10^6) ≈ 3716.9
+        let v = sqrt_n_log_n(1_000_000);
+        assert!((3_600..3_800).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn figure1_k_matches_paper() {
+        assert_eq!(figure1_k(1_000_000), 27);
+        // Small n clamps to 2.
+        assert_eq!(figure1_k(100), 2);
+    }
+
+    #[test]
+    fn f_scaling_monotone_in_k() {
+        let f8 = f_scaling(1_000_000, 8);
+        let f64_ = f_scaling(1_000_000, 64);
+        assert!(f8 > f64_, "f must decrease with k");
+        assert!(f8 > 1.0);
+    }
+
+    #[test]
+    fn admissible_bias_exceeds_sqrt_n_log_n_in_regime() {
+        // For k well below √n/ln n, f(n) > 1, so the admissible bias is
+        // strictly larger than the usual √(n ln n) threshold — the
+        // headline strength of the result.
+        let n = 1_000_000;
+        let k = 27;
+        assert!(max_admissible_bias(n, k) > sqrt_n_log_n(n));
+    }
+
+    #[test]
+    fn k_admissibility() {
+        // √(10^6)/ln(10^6) ≈ 72.4.
+        assert!(k_is_admissible(1_000_000, 27));
+        assert!(k_is_admissible(1_000_000, 72));
+        assert!(!k_is_admissible(1_000_000, 73));
+    }
+
+    #[test]
+    fn lower_bound_positive_in_regime_zero_outside() {
+        let b = Bounds::new(1_000_000, 27);
+        assert!(b.lower_bound_parallel() > 0.0);
+        // k far beyond √n/ln n: bound degenerates to 0.
+        let huge_k = Bounds::new(10_000, 5_000);
+        assert_eq!(huge_k.lower_bound_parallel(), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_grows_with_k_in_regime() {
+        let n = 1_000_000;
+        let b8 = Bounds::new(n, 8).lower_bound_parallel();
+        let b16 = Bounds::new(n, 16).lower_bound_parallel();
+        let b32 = Bounds::new(n, 32).lower_bound_parallel();
+        assert!(b8 < b16 && b16 < b32, "{b8} {b16} {b32}");
+    }
+
+    #[test]
+    fn upper_bound_dominates_lower_bound() {
+        // Tightness: lower ≤ upper for all admissible (n, k); the gap is
+        // the inner log factor.
+        for &n in &[10_000u64, 100_000, 1_000_000] {
+            for &k in &[4usize, 8, 16, 27] {
+                let b = Bounds::new(n, k);
+                assert!(
+                    b.lower_bound_parallel() <= b.upper_bound_parallel(),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interactions_are_parallel_times_n() {
+        let b = Bounds::new(10_000, 8);
+        assert!(
+            (b.lower_bound_interactions() - b.lower_bound_parallel() * 10_000.0).abs() < 1e-6
+        );
+        assert!(
+            (b.upper_bound_interactions() - b.upper_bound_parallel() * 10_000.0).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn undecided_ceiling_between_plateau_and_n() {
+        let b = Bounds::new(1_000_000, 27);
+        let nf = 1_000_000.0f64;
+        let plateau = nf / 2.0 - nf / (4.0 * 27.0);
+        let c = b.undecided_ceiling();
+        assert!(c > plateau);
+        assert!(c <= nf);
+        // k = 1 degenerate case.
+        assert_eq!(Bounds::new(100, 1).undecided_ceiling(), 100.0);
+    }
+
+    #[test]
+    fn lemma_constants() {
+        let b = Bounds::new(1000, 10);
+        assert!((b.opinion_growth_time() - 400.0).abs() < 1e-9); // 10*1000/25
+        assert!((b.gap_doubling_time() - 416.666).abs() < 0.01); // 10*1000/24
+    }
+
+    #[test]
+    fn induction_iterations_positive_in_regime() {
+        let b = Bounds::new(1_000_000, 27);
+        assert!(b.induction_iterations() > 0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! E11: USD vs four-state exact majority, voter, 3-majority, and synchronized USD.
+//!
+//! See DESIGN.md §4 (E11) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::comparisons::baseline_report(&args);
+    report.finish(args.csv.as_deref());
+}

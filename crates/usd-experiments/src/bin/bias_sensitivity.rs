@@ -1,0 +1,9 @@
+//! E8: majority win rate and stabilization time across the initial-bias grid.
+//!
+//! See DESIGN.md §4 (E8) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::comparisons::bias_report(&args);
+    report.finish(args.csv.as_deref());
+}

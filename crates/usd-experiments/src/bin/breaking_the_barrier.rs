@@ -1,0 +1,10 @@
+//! E13: plain USD vs the idealized synchronized elimination tournament —
+//! the paper's §4 "break the lower bound barrier" open question.
+//!
+//! See DESIGN.md §4 (E13) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::barrier::barrier_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E1: regenerate Figure 1 (left) — trajectory of majority, minorities (×k) and undecided count.
+//!
+//! See DESIGN.md §4 (E1) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::fig1::fig1_left_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E2: regenerate Figure 1 (right) — zoom until the majority doubles, with the max difference.
+//!
+//! See DESIGN.md §4 (E2) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::fig1::fig1_right_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E9: population-protocol vs Gossip-model USD, with per-node flip statistics.
+//!
+//! See DESIGN.md §4 (E9) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::comparisons::gossip_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E10: the k = 2 special case — O(log n) stabilization.
+//!
+//! See DESIGN.md §4 (E10) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::scaling::k2_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E3: verify the Lemma 3.1 ceiling on the undecided count.
+//!
+//! See DESIGN.md §4 (E3) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::lemmas::lemma31_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E4: verify Lemma 3.3 — opinion growth 3n/2k → 2n/k needs ≥ kn/25 interactions.
+//!
+//! See DESIGN.md §4 (E4) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::lemmas::lemma33_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E5: verify Lemma 3.4 — max-gap doubling needs ≥ kn/24 interactions.
+//!
+//! See DESIGN.md §4 (E5) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::lemmas::lemma34_report(&args);
+    report.finish(args.csv.as_deref());
+}

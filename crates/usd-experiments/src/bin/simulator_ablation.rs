@@ -1,0 +1,9 @@
+//! E12: distributional equivalence and throughput of the three exact engines.
+//!
+//! See DESIGN.md §4 (E12) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::comparisons::ablation_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E6: Theorem 3.5 stabilization-time scaling vs the lower-bound curve.
+//!
+//! See DESIGN.md §4 (E6) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::scaling::thm35_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E7: tightness band — measured time between the lower bound and the Amir et al. upper bound.
+//!
+//! See DESIGN.md §4 (E7) and EXPERIMENTS.md for the recorded results.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::scaling::tightness_report(&args);
+    report.finish(args.csv.as_deref());
+}

@@ -1,0 +1,192 @@
+//! Uniform command-line argument handling for the experiment binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --n <u64>        population size
+//! --k <usize>      number of opinions (default: experiment-specific)
+//! --seeds <u64>    number of independent runs per cell
+//! --seed <u64>     master seed (default 42)
+//! --csv <path>     also write results as CSV next to the stdout report
+//! --quick          shrink everything for a fast smoke run
+//! ```
+//!
+//! Parsing is by hand (no external dependency) and strict: unknown flags
+//! are errors, so typos do not silently run the default experiment.
+
+/// Parsed experiment arguments with per-experiment defaults filled in by
+/// the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Population size.
+    pub n: u64,
+    /// Number of opinions (`None` → experiment picks, e.g. the paper's k).
+    pub k: Option<usize>,
+    /// Independent repetitions per sweep cell.
+    pub seeds: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+    /// Shrink parameters for a smoke run.
+    pub quick: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            n: 100_000,
+            k: None,
+            seeds: 5,
+            seed: 42,
+            csv: None,
+            quick: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from an iterator of argument strings (excluding argv[0]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--n" => {
+                    out.n = take("--n")?
+                        .parse()
+                        .map_err(|e| format!("--n: {e}"))?;
+                }
+                "--k" => {
+                    out.k = Some(
+                        take("--k")?
+                            .parse()
+                            .map_err(|e| format!("--k: {e}"))?,
+                    );
+                }
+                "--seeds" => {
+                    out.seeds = take("--seeds")?
+                        .parse()
+                        .map_err(|e| format!("--seeds: {e}"))?;
+                }
+                "--seed" => {
+                    out.seed = take("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--csv" => {
+                    out.csv = Some(take("--csv")?);
+                }
+                "--quick" => {
+                    out.quick = true;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "flags: --n <u64> --k <usize> --seeds <u64> --seed <u64> \
+                         --csv <path> --quick"
+                            .to_string(),
+                    );
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+        }
+        if out.n < 2 {
+            return Err("--n must be at least 2".to_string());
+        }
+        if out.seeds == 0 {
+            return Err("--seeds must be positive".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process environment; print the error and exit(2) on
+    /// failure (for use in `fn main`).
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The k to use: explicit `--k` or the experiment's default.
+    pub fn k_or(&self, default: usize) -> usize {
+        self.k.unwrap_or(default)
+    }
+
+    /// Quick-mode reduction helper: `value` normally, `quick` when --quick.
+    pub fn unless_quick<T>(&self, value: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.n, 100_000);
+        assert_eq!(a.k, None);
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.seed, 42);
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "--n", "5000", "--k", "7", "--seeds", "3", "--seed", "9", "--csv", "/tmp/x.csv",
+            "--quick",
+        ])
+        .unwrap();
+        assert_eq!(a.n, 5000);
+        assert_eq!(a.k, Some(7));
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&["--n"]).is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        assert!(parse(&["--n", "abc"]).is_err());
+        assert!(parse(&["--n", "1"]).is_err());
+        assert!(parse(&["--seeds", "0"]).is_err());
+    }
+
+    #[test]
+    fn helpers() {
+        let a = parse(&["--k", "4", "--quick"]).unwrap();
+        assert_eq!(a.k_or(9), 4);
+        assert_eq!(a.unless_quick(100, 5), 5);
+        let b = parse(&[]).unwrap();
+        assert_eq!(b.k_or(9), 9);
+        assert_eq!(b.unless_quick(100, 5), 100);
+    }
+}

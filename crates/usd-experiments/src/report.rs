@@ -1,0 +1,165 @@
+//! Experiment report assembly: stdout text plus optional CSV files.
+//!
+//! A [`Report`] accumulates titled sections (prose, tables, charts) and
+//! renders them to one string; if the user passed `--csv`, every table is
+//! also written to `<path>` (first table) and `<path>.<slug>.csv`
+//! (subsequent tables).
+
+use sim_stats::tables::TextTable;
+use std::fmt::Write as _;
+
+/// A structured experiment report.
+#[derive(Debug, Default)]
+pub struct Report {
+    sections: Vec<Section>,
+}
+
+#[derive(Debug)]
+enum Section {
+    Heading(String),
+    Text(String),
+    Table { slug: String, table: TextTable },
+    Chart(String),
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Add a heading line.
+    pub fn heading(&mut self, text: impl Into<String>) -> &mut Self {
+        self.sections.push(Section::Heading(text.into()));
+        self
+    }
+
+    /// Add a paragraph of prose.
+    pub fn text(&mut self, text: impl Into<String>) -> &mut Self {
+        self.sections.push(Section::Text(text.into()));
+        self
+    }
+
+    /// Add a table (the `slug` names its CSV file).
+    pub fn table(&mut self, slug: impl Into<String>, table: TextTable) -> &mut Self {
+        self.sections.push(Section::Table {
+            slug: slug.into(),
+            table,
+        });
+        self
+    }
+
+    /// Add a pre-rendered ASCII chart.
+    pub fn chart(&mut self, rendered: impl Into<String>) -> &mut Self {
+        self.sections.push(Section::Chart(rendered.into()));
+        self
+    }
+
+    /// Render everything to a display string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sections {
+            match s {
+                Section::Heading(h) => {
+                    let _ = writeln!(out, "\n=== {h} ===\n");
+                }
+                Section::Text(t) => {
+                    let _ = writeln!(out, "{t}");
+                }
+                Section::Table { table, .. } => {
+                    let _ = writeln!(out, "{table}");
+                }
+                Section::Chart(c) => {
+                    let _ = writeln!(out, "{c}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Write every table as CSV under `base` (the `--csv` value).
+    /// Returns the list of files written.
+    pub fn write_csvs(&self, base: &str) -> std::io::Result<Vec<String>> {
+        let mut written = Vec::new();
+        let mut first = true;
+        for s in &self.sections {
+            if let Section::Table { slug, table } = s {
+                let path = if first {
+                    base.to_string()
+                } else {
+                    format!("{base}.{slug}.csv")
+                };
+                first = false;
+                std::fs::write(&path, table.to_csv())?;
+                written.push(path);
+            }
+        }
+        Ok(written)
+    }
+
+    /// Standard binary epilogue: print the report and honor `--csv`.
+    pub fn finish(&self, csv: Option<&str>) {
+        print!("{}", self.render());
+        if let Some(base) = csv {
+            match self.write_csvs(base) {
+                Ok(files) => {
+                    for f in files {
+                        eprintln!("wrote {f}");
+                    }
+                }
+                Err(e) => eprintln!("csv write failed: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> TextTable {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1", "2"]);
+        t
+    }
+
+    #[test]
+    fn renders_all_sections() {
+        let mut r = Report::new();
+        r.heading("Title")
+            .text("prose")
+            .table("t1", sample_table())
+            .chart("<chart>");
+        let s = r.render();
+        assert!(s.contains("=== Title ==="));
+        assert!(s.contains("prose"));
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("<chart>"));
+    }
+
+    #[test]
+    fn csv_files_written() {
+        let dir = std::env::temp_dir().join("usd_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("out.csv");
+        let base = base.to_str().unwrap();
+
+        let mut r = Report::new();
+        r.table("first", sample_table());
+        r.table("second", sample_table());
+        let files = r.write_csvs(base).unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0], base);
+        assert!(files[1].ends_with(".second.csv"));
+        let content = std::fs::read_to_string(&files[0]).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        for f in files {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        assert_eq!(Report::new().render(), "");
+    }
+}

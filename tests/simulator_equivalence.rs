@@ -1,0 +1,147 @@
+//! The three exact USD engines — agentwise (via the generic substrate),
+//! countwise generic, and the two specialized engines — simulate the same
+//! Markov chain. These tests compare their *distributions* (fixed seeds,
+//! generous tolerances; no flaky assertions).
+
+use plurality_consensus::prelude::*;
+use pop_proto::{AgentSimulator, CliqueScheduler, CountSimulator};
+
+fn usd_silent_counts(counts: &[u64], k: usize) -> bool {
+    let n: u64 = counts.iter().sum();
+    counts[k] == n || (counts[k] == 0 && counts[..k].iter().filter(|&&c| c > 0).count() <= 1)
+}
+
+/// Mean stabilization interactions for each engine on the same instance.
+fn engine_means(n: u64, k: usize, reps: u64) -> [f64; 4] {
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    let mut means = [0.0f64; 4];
+
+    for seed in 0..reps {
+        // Engine 0: per-agent simulation (the literal model).
+        {
+            let proto = UndecidedStateDynamics::new(k);
+            let mut sim = AgentSimulator::from_config(
+                proto,
+                CliqueScheduler::new(n as usize),
+                &config.to_count_config(),
+            );
+            let mut rng = SimRng::new(seed * 4);
+            while !usd_silent_counts(sim.counts(), k) {
+                sim.step(&mut rng);
+            }
+            means[0] += sim.interactions() as f64;
+        }
+        // Engine 1: generic count simulator.
+        {
+            let proto = UndecidedStateDynamics::new(k);
+            let mut sim = CountSimulator::new(proto, &config.to_count_config());
+            let mut rng = SimRng::new(seed * 4 + 1);
+            sim.run(&mut rng, u64::MAX / 2, |s| usd_silent_counts(s.counts(), k));
+            means[1] += sim.interactions() as f64;
+        }
+        // Engine 2: SequentialUsd.
+        {
+            let mut sim = SequentialUsd::new(&config);
+            let mut rng = SimRng::new(seed * 4 + 2);
+            let (t, stable) = run_until_stable(&mut sim, &mut rng, u64::MAX / 2, |_, _| {});
+            assert!(stable);
+            means[2] += t as f64;
+        }
+        // Engine 3: SkipAheadUsd.
+        {
+            let mut sim = SkipAheadUsd::new(&config);
+            let mut rng = SimRng::new(seed * 4 + 3);
+            let (t, stable) = run_until_stable(&mut sim, &mut rng, u64::MAX / 2, |_, _| {});
+            assert!(stable);
+            means[3] += t as f64;
+        }
+    }
+    for m in &mut means {
+        *m /= reps as f64;
+    }
+    means
+}
+
+#[test]
+fn all_four_engines_agree_on_mean_stabilization_time() {
+    let means = engine_means(400, 3, 120);
+    let max = means.iter().cloned().fold(f64::MIN, f64::max);
+    let min = means.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        (max - min) / max < 0.12,
+        "engines diverge beyond tolerance: {means:?}"
+    );
+}
+
+#[test]
+fn engines_agree_on_winner_distribution() {
+    // With a strong bias every engine must elect the plurality at
+    // essentially the same (high) rate.
+    let n = 500u64;
+    let k = 3usize;
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    let reps = 60u64;
+
+    let mut wins = [0u64; 2];
+    for seed in 0..reps {
+        let mut seq = SequentialUsd::new(&config);
+        let mut rng = SimRng::new(seed);
+        let r = stabilize(&mut seq, &mut rng, u64::MAX / 2);
+        if r.plurality_won() {
+            wins[0] += 1;
+        }
+        let mut skip = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(seed + 1_000_000);
+        let r = stabilize(&mut skip, &mut rng, u64::MAX / 2);
+        if r.plurality_won() {
+            wins[1] += 1;
+        }
+    }
+    let rate0 = wins[0] as f64 / reps as f64;
+    let rate1 = wins[1] as f64 / reps as f64;
+    assert!(rate0 > 0.8, "sequential win rate {rate0}");
+    assert!(rate1 > 0.8, "skip-ahead win rate {rate1}");
+    assert!((rate0 - rate1).abs() < 0.15, "{rate0} vs {rate1}");
+}
+
+#[test]
+fn skip_ahead_interaction_clock_is_calibrated() {
+    // The skipped-no-op accounting must make the *total interaction count*
+    // (not just effective events) agree with the sequential engine — this
+    // is what makes parallel-time measurements comparable.
+    let config = UsdConfig::new(vec![50, 30], 420); // no-op heavy (84% ⊥)
+    let reps = 400u64;
+    let mut seq_mean = 0.0;
+    let mut skip_mean = 0.0;
+    for seed in 0..reps {
+        let mut seq = SequentialUsd::new(&config);
+        let mut rng = SimRng::new(seed);
+        // Run until 40 effective events and note the interaction clock.
+        let mut events = 0;
+        while events < 40 {
+            if seq.step_effective(&mut rng).is_none() {
+                break;
+            }
+            events += 1;
+        }
+        seq_mean += seq.interactions() as f64;
+
+        let mut skip = SkipAheadUsd::new(&config);
+        let mut rng = SimRng::new(seed + 55_555);
+        let mut events = 0;
+        while events < 40 {
+            if skip.step_effective(&mut rng).is_none() {
+                break;
+            }
+            events += 1;
+        }
+        skip_mean += skip.interactions() as f64;
+    }
+    seq_mean /= reps as f64;
+    skip_mean /= reps as f64;
+    let rel = (seq_mean - skip_mean).abs() / seq_mean;
+    assert!(
+        rel < 0.05,
+        "interaction clocks disagree: sequential {seq_mean} vs skip {skip_mean}"
+    );
+}
