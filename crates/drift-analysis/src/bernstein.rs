@@ -137,8 +137,7 @@ mod tests {
         for seed in 0..reps {
             let mut w = LazyWalk::new(ConstantLaw::new(p, q));
             let mut rng = SimRng::new(seed);
-            if w
-                .first_hit_at_least(&mut rng, t_threshold as i64, horizon)
+            if w.first_hit_at_least(&mut rng, t_threshold as i64, horizon)
                 .is_some()
             {
                 crossed += 1;

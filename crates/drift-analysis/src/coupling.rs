@@ -68,11 +68,7 @@ impl<L: StepLaw> CoupledWalks<L> {
             "law produced q(t)={q_t} > q_max={}",
             self.q_max
         );
-        assert!(
-            q_t >= -p - 1e-12,
-            "law produced q(t)={q_t} < -p(t)={}",
-            -p
-        );
+        assert!(q_t >= -p - 1e-12, "law produced q(t)={q_t} < -p(t)={}", -p);
         self.t += 1;
         let r = rng.f64();
         let (dy, dy_tilde) = if r < 1.0 - p {

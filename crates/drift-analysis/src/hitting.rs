@@ -87,7 +87,11 @@ mod tests {
             }
         });
         assert!(est.all_hit());
-        assert!((est.hits.mean() - 4.0).abs() < 0.1, "mean {}", est.hits.mean());
+        assert!(
+            (est.hits.mean() - 4.0).abs() < 0.1,
+            "mean {}",
+            est.hits.mean()
+        );
         assert_eq!(est.hit_fraction(), 1.0);
         assert_eq!(est.min_lower_bound, 1.0);
     }

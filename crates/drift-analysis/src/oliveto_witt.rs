@@ -66,9 +66,8 @@ impl NegativeDriftParams {
     pub fn report(&self) -> NegativeDriftReport {
         let r2 = self.r * self.r;
         let log_term = (self.r / self.epsilon).ln();
-        let condition_holds = r2 >= 1.0
-            && log_term > 0.0
-            && r2 <= self.epsilon * self.ell / (132.0 * log_term);
+        let condition_holds =
+            r2 >= 1.0 && log_term > 0.0 && r2 <= self.epsilon * self.ell / (132.0 * log_term);
         let exponent = self.epsilon * self.ell / (132.0 * r2);
         NegativeDriftReport {
             condition_holds,
@@ -120,10 +119,7 @@ mod tests {
         for &n in &[10_000u64, 1_000_000] {
             let report = NegativeDriftParams::lemma31(n).report();
             let ratio = report.exponent / (n as f64).ln();
-            assert!(
-                (ratio - 20.0 * 169.0 / 660.0).abs() < 1e-9,
-                "ratio {ratio}"
-            );
+            assert!((ratio - 20.0 * 169.0 / 660.0).abs() < 1e-9, "ratio {ratio}");
             assert!(ratio > 4.0);
         }
     }

@@ -37,9 +37,7 @@ impl Graph {
     /// Cycle C_n (ring). Requires n ≥ 3.
     pub fn cycle(n: usize) -> Self {
         assert!(n >= 3, "cycle needs at least 3 vertices");
-        let edges = (0..n)
-            .map(|i| (i as u32, ((i + 1) % n) as u32))
-            .collect();
+        let edges = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
         Graph { n, edges }
     }
 

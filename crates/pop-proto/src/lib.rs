@@ -14,15 +14,37 @@
 //!   model ([`scheduler::CliqueScheduler`]), or restricted to the edges of an
 //!   interaction graph in the general model ([`scheduler::GraphScheduler`]).
 //!
-//! Two exact simulators are provided:
+//! # Simulation backends and their cost models
+//!
+//! Three exact backends simulate the same Markov chain on count
+//! configurations, unified behind the [`simulator::Simulator`] trait so
+//! drivers, experiments, the CLI (`--backend {agent,count,batch}`), and
+//! benches choose one generically:
 //!
 //! * [`simulator::AgentSimulator`] tracks every individual agent — the
-//!   literal model, used as the ground-truth oracle in equivalence tests;
+//!   literal model: O(1) work per interaction, O(n) memory. It is the
+//!   ground-truth oracle in equivalence tests and the only backend that
+//!   supports graph-restricted schedulers.
 //! * [`simulator::CountSimulator`] tracks only the count of agents per state
 //!   and samples interacting *states* instead of interacting *agents*.
 //!   Because agents are anonymous and the scheduler is uniform, the induced
 //!   Markov chain on count configurations is identical; each interaction
-//!   costs O(log |Σ|) via Fenwick-tree sampling.
+//!   costs O(log |Σ|) via Fenwick-tree sampling and memory is O(|Σ|).
+//! * [`simulator::BatchSimulator`] leaps over whole collision-free blocks
+//!   of ~√n interactions at once: it samples the multinomial split of
+//!   ordered state-pairs for the block (multivariate hypergeometric
+//!   chains), applies transitions count-wise, and simulates the first
+//!   colliding interaction exactly; no-op-dominated phases fall back to
+//!   geometric skip-ahead. Work is O(|Σ|² + log n) per block — amortized
+//!   **sub-constant time per interaction** — which is what makes n = 10⁸
+//!   and beyond feasible. Exact in distribution; stabilization times are
+//!   exact to the interaction for protocols whose silent configurations
+//!   are monochromatic (see the `simulator::batched` module docs), while
+//!   arbitrary stop predicates are evaluated at batch boundaries.
+//!
+//! Rule of thumb: `agent` for graph topologies and per-agent statistics,
+//! `count` for mid-size exact runs and exact stop predicates, `batch` for
+//! large-n stabilization measurements.
 //!
 //! Supporting modules: [`sampling`] (weighted samplers), [`graph`]
 //! (interaction graphs), [`stopping`] (stop conditions and the run driver),
@@ -48,6 +70,6 @@ pub use metrics::{interactions_for_parallel_time, parallel_time};
 pub use protocol::{OneWayEpidemic, Protocol};
 pub use sampling::{AliasTable, FenwickSampler};
 pub use scheduler::{CliqueScheduler, GraphScheduler, Scheduler};
-pub use simulator::{AgentSimulator, CountSimulator, InteractionRecord};
+pub use simulator::{AgentSimulator, BatchSimulator, CountSimulator, InteractionRecord, Simulator};
 pub use stopping::{RunOutcome, StopReason, Stopper};
 pub use trace::TraceRecorder;

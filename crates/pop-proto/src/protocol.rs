@@ -32,8 +32,11 @@ pub trait Protocol {
     fn state_of(&self, index: usize) -> Self::State;
 
     /// The transition function on states.
-    fn transition(&self, initiator: Self::State, responder: Self::State)
-        -> (Self::State, Self::State);
+    fn transition(
+        &self,
+        initiator: Self::State,
+        responder: Self::State,
+    ) -> (Self::State, Self::State);
 
     /// The output function γ.
     fn output(&self, state: Self::State) -> Self::Output;

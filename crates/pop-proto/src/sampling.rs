@@ -104,16 +104,12 @@ impl FenwickSampler {
     pub fn add(&mut self, i: usize, delta: i64) {
         if delta >= 0 {
             let d = delta as u64;
-            self.weights[i] = self.weights[i]
-                .checked_add(d)
-                .expect("weight overflow");
+            self.weights[i] = self.weights[i].checked_add(d).expect("weight overflow");
             self.tree_add(i, d);
             self.total += d;
         } else {
             let d = delta.unsigned_abs();
-            self.weights[i] = self.weights[i]
-                .checked_sub(d)
-                .expect("weight underflow");
+            self.weights[i] = self.weights[i].checked_sub(d).expect("weight underflow");
             self.tree_sub(i, d);
             self.total -= d;
         }

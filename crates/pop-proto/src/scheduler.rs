@@ -99,6 +99,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn clique_pair_distribution_uniform() {
         let mut s = CliqueScheduler::new(4);
         let mut rng = SimRng::new(2);

@@ -87,7 +87,7 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
         assert_eq!(config.num_states(), protocol.num_states());
         let mut states = Vec::with_capacity(config.n() as usize);
         for (idx, &c) in config.counts().iter().enumerate() {
-            states.extend(std::iter::repeat(idx).take(c as usize));
+            states.extend(std::iter::repeat_n(idx, c as usize));
         }
         Self::new(protocol, scheduler, states)
     }
@@ -186,6 +186,36 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
     /// change it).
     pub fn is_silent(&self) -> bool {
         self.protocol.is_silent(&self.counts)
+    }
+}
+
+impl<P: Protocol, S: Scheduler> crate::simulator::Simulator for AgentSimulator<P, S> {
+    fn population(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    fn num_states(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> bool {
+        AgentSimulator::step(self, rng)
+    }
+
+    fn is_silent(&self) -> bool {
+        AgentSimulator::is_silent(self)
     }
 }
 

@@ -119,6 +119,36 @@ impl<P: Protocol> CountSimulator<P> {
     }
 }
 
+impl<P: Protocol> crate::simulator::Simulator for CountSimulator<P> {
+    fn population(&self) -> u64 {
+        self.n
+    }
+
+    fn num_states(&self) -> usize {
+        self.sampler.len()
+    }
+
+    fn counts(&self) -> &[u64] {
+        CountSimulator::counts(self)
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> bool {
+        CountSimulator::step(self, rng)
+    }
+
+    fn is_silent(&self) -> bool {
+        CountSimulator::is_silent(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

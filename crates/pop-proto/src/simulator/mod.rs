@@ -1,17 +1,156 @@
 //! Exact simulators for population protocols.
 //!
+//! Three backends simulate the same Markov chain on count configurations
+//! under the uniform clique scheduler, at different cost models:
+//!
 //! * [`AgentSimulator`] — tracks each agent's state individually and asks a
 //!   [`Scheduler`](crate::scheduler::Scheduler) for agent pairs: the literal
 //!   model, O(1) per interaction but O(n) memory, and the ground-truth
-//!   oracle for equivalence testing.
+//!   oracle for equivalence testing. The only backend supporting non-clique
+//!   interaction graphs.
 //! * [`CountSimulator`] — tracks only per-state counts and samples the
 //!   interacting *states* directly from the counts (first state ∝ count,
 //!   second ∝ count with the first agent removed). For the uniform clique
 //!   scheduler this induces exactly the same Markov chain on count
 //!   configurations, at O(k) memory and O(log k) time per interaction.
+//! * [`BatchSimulator`] — leaps over whole blocks of interactions at once
+//!   by sampling the multinomial split of ordered state-pairs for a
+//!   collision-free batch (no agent interacting twice), applying
+//!   transitions count-wise, and handling the first colliding interaction
+//!   exactly; no-op-dominated phases use geometric skip-ahead instead.
+//!   O(k² + √n) work per ~√n interactions — sub-constant time per
+//!   interaction, the enabler for n ≥ 10⁸ runs.
+//!
+//! The [`Simulator`] trait unifies the three so drivers, experiments, the
+//! CLI, and benches can select a backend generically.
 
 mod agentwise;
+mod batched;
 mod countwise;
 
 pub use agentwise::{AgentSimulator, InteractionRecord};
+pub use batched::BatchSimulator;
 pub use countwise::CountSimulator;
+
+use crate::config::CountConfig;
+use sim_stats::rng::SimRng;
+
+/// Common interface of the simulation backends.
+///
+/// All backends expose the same observable state — population, per-state
+/// counts, the interaction clock — and the same drivers. The trait is
+/// object-safe, so callers can hold a `Box<dyn Simulator>` chosen at
+/// runtime (e.g. from a `--backend` flag).
+///
+/// # Advancement granularity
+///
+/// [`Simulator::step`] always simulates exactly one interaction.
+/// [`Simulator::advance`] lets a backend move the interaction clock by many
+/// interactions in one call when it can do so exactly (batch leaping,
+/// geometric no-op skipping); single-interaction backends default to one
+/// step. [`Simulator::run_until`] consequently evaluates its stop predicate
+/// at advancement boundaries: for `CountSimulator`/`AgentSimulator` that is
+/// after every interaction; for `BatchSimulator` it is after every batch,
+/// except that the batch backend shrinks its leaps near silence so that
+/// stabilization times stay exact (see the `batched` module docs for the
+/// precise guarantee).
+pub trait Simulator {
+    /// Population size `n`.
+    fn population(&self) -> u64;
+
+    /// Number of protocol states |Σ|.
+    fn num_states(&self) -> usize;
+
+    /// Current per-state counts (dense state indexing, length |Σ|).
+    fn counts(&self) -> &[u64];
+
+    /// Total interactions simulated (including no-ops).
+    fn interactions(&self) -> u64;
+
+    /// Interactions that changed the configuration.
+    fn effective_interactions(&self) -> u64;
+
+    /// Simulate exactly one interaction; returns whether it changed the
+    /// configuration.
+    fn step(&mut self, rng: &mut SimRng) -> bool;
+
+    /// Advance the interaction clock by at most `max` interactions,
+    /// returning how many were simulated (0 only when `max == 0`).
+    ///
+    /// The default advances one interaction via [`Simulator::step`];
+    /// leaping backends override [`Simulator::advance_changed`].
+    fn advance(&mut self, rng: &mut SimRng, max: u64) -> u64 {
+        self.advance_changed(rng, max).0
+    }
+
+    /// [`Simulator::advance`] that also reports whether the counts changed
+    /// during the advancement. Drivers use the flag to skip re-evaluating
+    /// stop predicates and the (O(|Σ|²)) silence check after advancements
+    /// that provably left the configuration untouched — both are pure
+    /// functions of the counts, so nothing can have changed their value.
+    fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        if max == 0 {
+            return (0, false);
+        }
+        let changed = self.step(rng);
+        (1, changed)
+    }
+
+    /// Whether the configuration is silent (no interaction can change it).
+    fn is_silent(&self) -> bool;
+
+    /// Snapshot the current count configuration.
+    fn config(&self) -> CountConfig {
+        CountConfig::from_counts(self.counts().to_vec())
+    }
+
+    /// Parallel time elapsed (= interactions / n).
+    fn parallel_time(&self) -> f64 {
+        self.interactions() as f64 / self.population() as f64
+    }
+
+    /// Drive the simulator until `stop` returns true on the counts, the
+    /// configuration is silent, or `budget` interactions have been
+    /// simulated. Returns the number of interactions simulated by this
+    /// call.
+    ///
+    /// `stop` is evaluated at advancement boundaries (see the trait docs),
+    /// and only after advancements that changed the counts — stop
+    /// predicates and silence are functions of the counts, so skipping
+    /// unchanged boundaries is exact and keeps the single-step backends'
+    /// no-op interactions O(1). Silence ends the run immediately — a
+    /// silent configuration can never change, so there is nothing left to
+    /// observe.
+    fn run_until(
+        &mut self,
+        rng: &mut SimRng,
+        budget: u64,
+        stop: &mut dyn FnMut(&[u64]) -> bool,
+    ) -> u64 {
+        let start = self.interactions();
+        if stop(self.counts()) || self.is_silent() {
+            return 0;
+        }
+        loop {
+            let done = self.interactions() - start;
+            if done >= budget {
+                return done;
+            }
+            let (advanced, changed) = self.advance_changed(rng, budget - done);
+            if advanced == 0 {
+                return done;
+            }
+            if changed && (stop(self.counts()) || self.is_silent()) {
+                return self.interactions() - start;
+            }
+        }
+    }
+
+    /// [`Simulator::run_until`] with silence as the only stop condition:
+    /// runs to stabilization. Returns the interaction count at silence (or
+    /// at budget exhaustion) and whether the run stabilized.
+    fn run_to_silence(&mut self, rng: &mut SimRng, budget: u64) -> (u64, bool) {
+        self.run_until(rng, budget, &mut |_| false);
+        (self.interactions(), self.is_silent())
+    }
+}

@@ -97,7 +97,7 @@ impl Stopper {
                     interactions: done,
                 };
             }
-            if self.check_every > 0 && done % self.check_every == 0 && is_silent() {
+            if self.check_every > 0 && done.is_multiple_of(self.check_every) && is_silent() {
                 return RunOutcome {
                     reason: StopReason::Silent,
                     interactions: done,

@@ -74,22 +74,14 @@ impl TraceRecorder {
     /// in parallel time (interactions / n), and series named by
     /// `state_name(index)`.
     pub fn to_timeseries(&self, n: u64, state_name: impl Fn(usize) -> String) -> TimeSeries {
-        let mut ts = TimeSeries::with_time(
-            self.times
-                .iter()
-                .map(|&t| t as f64 / n as f64)
-                .collect(),
-        );
+        let mut ts =
+            TimeSeries::with_time(self.times.iter().map(|&t| t as f64 / n as f64).collect());
         if self.snapshots.is_empty() {
             return ts;
         }
         let num_states = self.snapshots[0].len();
         for s in 0..num_states {
-            let values = self
-                .snapshots
-                .iter()
-                .map(|snap| snap[s] as f64)
-                .collect();
+            let values = self.snapshots.iter().map(|snap| snap[s] as f64).collect();
             ts.push_series(Series::new(state_name(s), values));
         }
         ts

@@ -45,7 +45,8 @@ fn table_protocol(m: usize) -> impl Strategy<Value = TableProtocol> {
 }
 
 fn config_counts(m: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..30, m).prop_filter("need n >= 2", |c| c.iter().sum::<u64>() >= 2)
+    proptest::collection::vec(0u64..30, m)
+        .prop_filter("need n >= 2", |c| c.iter().sum::<u64>() >= 2)
 }
 
 proptest! {
@@ -176,11 +177,8 @@ fn agentwise_and_countwise_epidemic_distributions_agree() {
     let mut count_mean = 0.0;
     for seed in 0..reps {
         let cfg = CountConfig::from_counts(vec![1, n - 1]);
-        let mut a = AgentSimulator::from_config(
-            OneWayEpidemic,
-            CliqueScheduler::new(n as usize),
-            &cfg,
-        );
+        let mut a =
+            AgentSimulator::from_config(OneWayEpidemic, CliqueScheduler::new(n as usize), &cfg);
         let mut rng = SimRng::new(seed);
         a.run(&mut rng, 10_000_000, |s| s.counts()[1] == 0);
         agent_mean += a.interactions() as f64;

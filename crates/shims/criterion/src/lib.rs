@@ -1,0 +1,335 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A wall-clock micro-benchmark harness exposing the subset of the
+//! criterion 0.5 API this workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `SamplingMode`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up briefly, then timed over a
+//! handful of measurement passes whose iteration count is calibrated so a
+//! pass takes a measurable amount of time; the median pass is reported,
+//! along with derived throughput when the group declared one. Results print
+//! to stdout — there is no statistical regression machinery here; use the
+//! real criterion (swap the workspace path dependency) for that.
+//!
+//! Honors `CRITERION_SHIM_QUICK=1` to run a single short pass per bench,
+//! which CI uses as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared per-iteration work, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Sampling strategy. The shim treats both modes the same; the variant is
+/// accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Criterion's automatic mode.
+    Auto,
+    /// Flat sampling for long-running benches.
+    Flat,
+    /// Linear sampling.
+    Linear,
+}
+
+/// A two-part benchmark identifier: function name and parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// Id with only a parameter component.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: &'a mut u64,
+    quick: bool,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, recording calibrated measurement passes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-pass iteration count until one pass takes
+        // at least ~5 ms (or a single iteration dominates).
+        let target = if self.quick {
+            Duration::from_millis(1)
+        } else {
+            Duration::from_millis(5)
+        };
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 20 {
+                *self.iters_per_sample = iters;
+                self.samples.push(elapsed);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let passes = if self.quick { 1 } else { 4 };
+        for _ in 0..passes {
+            let iters = *self.iters_per_sample;
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    quick: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim chooses its own pass count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let mut samples = Vec::new();
+        let mut iters_per_sample = 1u64;
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            iters_per_sample: &mut iters_per_sample,
+            quick: self.quick,
+        };
+        f(&mut bencher);
+        if samples.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let per_iter = median.as_secs_f64() / iters_per_sample as f64;
+        let mut line = format!(
+            "{}/{id}: {} per iter ({iters_per_sample} iters/pass, {} passes)",
+            self.name,
+            fmt_duration(per_iter),
+            samples.len()
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                line.push_str(&format!(", {} elem/s", fmt_rate(rate)));
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                line.push_str(&format!(", {} B/s", fmt_rate(rate)));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var("CRITERION_SHIM_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            quick,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Mirror of `criterion_group!`: bundles bench functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: emits `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("CRITERION_SHIM_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(2.0).ends_with(" s"));
+        assert!(fmt_duration(2e-3).ends_with(" ms"));
+        assert!(fmt_duration(2e-6).ends_with(" µs"));
+        assert!(fmt_duration(2e-9).ends_with(" ns"));
+        assert_eq!(fmt_rate(2.5e9), "2.50G");
+    }
+}

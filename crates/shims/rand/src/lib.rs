@@ -1,0 +1,83 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The workspace builds in a container without registry access, so this
+//! local crate provides exactly the trait surface `sim-stats` implements
+//! ([`RngCore`], [`SeedableRng`]). Replace the `path` dependency in the
+//! workspace manifest with the real `rand` to get the full API; the trait
+//! signatures below match `rand 0.8`.
+
+#![forbid(unsafe_code)]
+
+/// A random number generator core: raw 32/64-bit output plus byte filling.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array in practice).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` by zero-extending it into the seed bytes.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = state.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dst: &mut [u8]) {
+            for b in dst {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_roundtrips_small_seeds() {
+        let c = Counter::seed_from_u64(7);
+        assert_eq!(c.0, 7);
+    }
+
+    #[test]
+    fn fill_bytes_advances() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 3];
+        c.fill_bytes(&mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+}

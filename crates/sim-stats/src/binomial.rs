@@ -1,0 +1,433 @@
+//! Exact binomial and hypergeometric samplers for the batch simulator.
+//!
+//! The batch-leaping simulator in `pop-proto` advances thousands of
+//! interactions per step by sampling *how many* agents of each state take
+//! part, which reduces to repeated binomial / hypergeometric draws with
+//! trial counts in the millions. The O(trials) urn samplers in
+//! [`multinomial`](crate::multinomial) are exact but linear; the samplers
+//! here are exact in distribution (up to `f64` evaluation of log-gamma,
+//! ~1e-13 relative) at O(1)–O(√trials) cost:
+//!
+//! * [`sample_binomial`] — inverse-CDF chop-down for small `n·p`, and a
+//!   BTPE-style transformed rejection (Hörmann's BTRS) for large `n·p`;
+//! * [`sample_hypergeometric_fast`] — inverse CDF walked outward from the
+//!   mode, O(standard deviation) expected steps;
+//! * [`ln_gamma`] / [`ln_factorial`] / [`ln_binomial`] — the log-combinatorics
+//!   primitives behind both (Lanczos approximation, |error| < 1e-13).
+
+use crate::rng::SimRng;
+
+/// Lanczos coefficients (g = 7, 9 terms) for [`ln_gamma`].
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// Lanczos approximation with g = 7; absolute error below 1e-13 over the
+/// range the samplers use. Panics on non-positive input.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma needs x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)` via [`ln_gamma`], with a small-n lookup table for speed and
+/// exactness where it matters most.
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE_LEN: usize = 128;
+    // Built once per thread; ln of exact factorials up to 127!.
+    thread_local! {
+        static TABLE: [f64; TABLE_LEN] = {
+            let mut t = [0.0f64; TABLE_LEN];
+            let mut acc = 0.0f64;
+            for (i, slot) in t.iter_mut().enumerate().skip(1) {
+                acc += (i as f64).ln();
+                *slot = acc;
+            }
+            t
+        };
+    }
+    if (n as usize) < TABLE_LEN {
+        TABLE.with(|t| t[n as usize])
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`. Panics if `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_binomial needs k <= n, got C({n},{k})");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Sample `X ~ Binomial(n, p)` exactly.
+///
+/// Strategy selection:
+/// * `p` is symmetrized to ≤ ½ (sampling `n − X'` for `p' = 1 − p`);
+/// * `n·p < 30`: inverse-CDF chop-down from zero (expected O(n·p) steps);
+/// * otherwise: BTPE-style transformed rejection (Hörmann's BTRS), O(1)
+///   expected RNG draws regardless of `n`.
+pub fn sample_binomial(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "binomial needs p in [0,1], got {p}"
+    );
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - sample_binomial(rng, n, 1.0 - p);
+    }
+    let np = n as f64 * p;
+    if np < 30.0 {
+        binomial_inverse_cdf(rng, n, p)
+    } else {
+        binomial_btrs(rng, n, p)
+    }
+}
+
+/// Inverse-CDF chop-down: walk the pmf from 0 using the recurrence
+/// `P(x+1)/P(x) = (n−x)/(x+1) · p/(1−p)`.
+fn binomial_inverse_cdf(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    // P(0) = q^n; for n·p < 30 and p ≤ ½ this does not underflow until
+    // n ~ 1e4 / p, and the loop guard below keeps us safe regardless.
+    let mut pmf = q.powf(n as f64);
+    let mut cdf = pmf;
+    let mut x = 0u64;
+    let u = rng.f64();
+    while cdf < u && x < n {
+        pmf *= s * (n - x) as f64 / (x + 1) as f64;
+        cdf += pmf;
+        x += 1;
+        if pmf < 1e-300 && x as f64 > n as f64 * p * 8.0 {
+            break; // numerical tail; mass this deep is < 1e-12
+        }
+    }
+    x
+}
+
+/// Hörmann's BTRS transformed-rejection binomial sampler (valid for
+/// `n·min(p, 1−p) ≥ 10`, called with p ≤ ½ and n·p ≥ 30).
+fn binomial_btrs(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let spq = (nf * p * q).sqrt();
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let lpq = (p / q).ln();
+    let m = ((nf + 1.0) * p).floor(); // mode
+    let h = ln_factorial(m as u64) + ln_factorial(n - m as u64);
+    loop {
+        let u = rng.f64() - 0.5;
+        let v = rng.f64();
+        let us = 0.5 - u.abs();
+        let kf = (2.0 * a / us + b) * u + c;
+        if kf < 0.0 || kf >= nf + 1.0 {
+            continue;
+        }
+        let k = kf.floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        // Acceptance test against the exact (log) pmf.
+        let v = (v * alpha / (a / (us * us) + b)).ln();
+        let accept_bound = h - ln_factorial(k as u64) - ln_factorial(n - k as u64) + (k - m) * lpq;
+        if v <= accept_bound {
+            return k as u64;
+        }
+    }
+}
+
+/// Sample `X ~ Hypergeometric(total, successes, draws)` — the number of
+/// successes when drawing `draws` items without replacement — in
+/// O(standard deviation) expected time, independent of `draws`.
+///
+/// Inverse CDF walked outward from the mode: the pmf at the mode is
+/// computed once from [`ln_binomial`], neighbouring values follow from the
+/// O(1) pmf recurrence, and terms are consumed in decreasing-probability
+/// order (mode, mode+1, mode−1, …) until the uniform draw is covered.
+///
+/// Agrees in distribution with the O(draws) urn sampler
+/// [`sample_hypergeometric`](crate::multinomial::sample_hypergeometric)
+/// (verified in the unit tests). Panics on an invalid parameter triple.
+pub fn sample_hypergeometric_fast(rng: &mut SimRng, total: u64, successes: u64, draws: u64) -> u64 {
+    assert!(draws <= total, "cannot draw more than the population");
+    assert!(successes <= total, "successes exceed population");
+    // Degenerate and tiny cases: the urn walk is both exact and fastest.
+    if draws == 0 || successes == 0 {
+        return 0;
+    }
+    if successes == total {
+        return draws;
+    }
+    if draws <= 24 {
+        return crate::multinomial::sample_hypergeometric(rng, total, successes, draws);
+    }
+    // Symmetry reductions keep the support small: X ~ H(N, K, m) satisfies
+    // X =d m − H(N, N−K, m).
+    if 2 * successes > total {
+        return draws - sample_hypergeometric_fast(rng, total, total - successes, draws);
+    }
+    // And H(N, K, m) =d H(N, m, K) (successes/draws exchange).
+    if draws > successes {
+        return sample_hypergeometric_fast(rng, total, draws, successes);
+    }
+
+    let (nn, kk, mm) = (total, successes, draws);
+    let lo = (kk + mm).saturating_sub(nn); // support minimum
+    let hi = kk.min(mm); // support maximum
+    let mode = (((mm + 1) as f64) * ((kk + 1) as f64) / ((nn + 2) as f64)).floor() as u64;
+    let mode = mode.clamp(lo, hi);
+    let ln_pmf_mode = ln_binomial(kk, mode) + ln_binomial(nn - kk, mm - mode) - ln_binomial(nn, mm);
+    let pmf_mode = ln_pmf_mode.exp();
+
+    // Ratio P(x+1)/P(x) = (K−x)(m−x) / ((x+1)(N−K−m+x+1)).
+    let up_ratio = |x: u64| -> f64 {
+        ((kk - x) as f64 * (mm - x) as f64) / ((x + 1) as f64 * (nn - kk - mm + x + 1) as f64)
+    };
+
+    let u = rng.f64();
+    let mut cum = pmf_mode;
+    if u < cum {
+        return mode;
+    }
+    let mut up_x = mode;
+    let mut up_pmf = pmf_mode;
+    let mut down_x = mode;
+    let mut down_pmf = pmf_mode;
+    loop {
+        let mut advanced = false;
+        if up_x < hi {
+            up_pmf *= up_ratio(up_x);
+            up_x += 1;
+            cum += up_pmf;
+            advanced = true;
+            if u < cum {
+                return up_x;
+            }
+        }
+        if down_x > lo {
+            down_pmf /= up_ratio(down_x - 1);
+            down_x -= 1;
+            cum += down_pmf;
+            advanced = true;
+            if u < cum {
+                return down_x;
+            }
+        }
+        if !advanced {
+            // Floating-point residue: the support is exhausted but `cum`
+            // fell short of u by ~1e-15. Return the likeliest edge.
+            return if up_pmf >= down_pmf { up_x } else { down_x };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multinomial::sample_hypergeometric;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+        // Large argument: Stirling regime consistency Γ(x+1) = xΓ(x).
+        for &x in &[10.0, 1e3, 1e6, 1e9] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = ln_gamma(x) + x.ln();
+            assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_factorial_table_and_gamma_agree() {
+        let mut acc = 0.0;
+        for n in 1..200u64 {
+            acc += (n as f64).ln();
+            assert!(
+                (ln_factorial(n) - acc).abs() < 1e-9 * acc.max(1.0),
+                "n={n}: {} vs {acc}",
+                ln_factorial(n)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_binomial_symmetry_and_pascal() {
+        assert!((ln_binomial(10, 3) - 120f64.ln()).abs() < 1e-10);
+        for n in 1..40u64 {
+            for k in 0..=n {
+                let a = ln_binomial(n, k);
+                let b = ln_binomial(n, n - k);
+                assert!((a - b).abs() < 1e-10, "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+        for _ in 0..100 {
+            let x = sample_binomial(&mut rng, 1, 0.5);
+            assert!(x <= 1);
+        }
+    }
+
+    #[test]
+    fn binomial_moments_small_np() {
+        // Inverse-CDF path: n·p = 8.
+        let mut rng = SimRng::new(2);
+        let (n, p) = (80u64, 0.1);
+        let reps = 100_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..reps {
+            let x = sample_binomial(&mut rng, n, p) as f64;
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / reps as f64;
+        let var = sq / reps as f64 - mean * mean;
+        let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+        assert!((mean - em).abs() < 0.05, "mean {mean} vs {em}");
+        assert!((var - ev).abs() < 0.15, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn binomial_moments_btrs_path() {
+        // Rejection path: n·p = 5000.
+        let mut rng = SimRng::new(3);
+        let (n, p) = (100_000u64, 0.05);
+        let reps = 40_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..reps {
+            let x = sample_binomial(&mut rng, n, p) as f64;
+            assert!(x <= n as f64);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / reps as f64;
+        let var = sq / reps as f64 - mean * mean;
+        let (em, ev) = (5_000.0, 4_750.0);
+        assert!((mean - em).abs() < em * 0.005, "mean {mean} vs {em}");
+        assert!((var - ev).abs() < ev * 0.05, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn binomial_high_p_symmetrizes() {
+        let mut rng = SimRng::new(4);
+        let (n, p) = (10_000u64, 0.93);
+        let reps = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            sum += sample_binomial(&mut rng, n, p) as f64;
+        }
+        let mean = sum / reps as f64;
+        assert!((mean - 9_300.0).abs() < 9_300.0 * 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_btrs_matches_inverse_cdf_distribution() {
+        // The two paths must agree in distribution; compare the empirical
+        // CDFs at n·p just above/below the crossover with a generous bound.
+        let (n, p) = (600u64, 0.0499);
+        let reps = 60_000;
+        let mut a = Vec::with_capacity(reps);
+        let mut b = Vec::with_capacity(reps);
+        let mut rng = SimRng::new(5);
+        for _ in 0..reps {
+            a.push(binomial_inverse_cdf(&mut rng, n, p) as f64);
+            b.push(binomial_btrs(&mut rng, n, p) as f64);
+        }
+        let d = crate::ks::ks_statistic(&a, &b);
+        let crit = crate::ks::ks_critical_value(reps, reps, 0.001);
+        assert!(d < crit, "KS {d} >= crit {crit}");
+    }
+
+    #[test]
+    fn hypergeometric_fast_edge_cases() {
+        let mut rng = SimRng::new(6);
+        assert_eq!(sample_hypergeometric_fast(&mut rng, 10, 10, 5), 5);
+        assert_eq!(sample_hypergeometric_fast(&mut rng, 10, 0, 5), 0);
+        assert_eq!(sample_hypergeometric_fast(&mut rng, 10, 3, 0), 0);
+        assert_eq!(sample_hypergeometric_fast(&mut rng, 10, 3, 10), 3);
+        // Support bounds always hold (lo = 80 + 60 − 100 = 40, hi = 60).
+        for _ in 0..2_000 {
+            let x = sample_hypergeometric_fast(&mut rng, 100, 80, 60);
+            assert!(x <= 60, "x={x}");
+            assert!(x >= 40, "x={x}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_fast_moments() {
+        let mut rng = SimRng::new(7);
+        let (nn, kk, mm) = (1_000_000u64, 300_000u64, 50_000u64);
+        let reps = 4_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..reps {
+            let x = sample_hypergeometric_fast(&mut rng, nn, kk, mm) as f64;
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / reps as f64;
+        let var = sq / reps as f64 - mean * mean;
+        let p = kk as f64 / nn as f64;
+        let em = mm as f64 * p;
+        let ev = mm as f64 * p * (1.0 - p) * (nn - mm) as f64 / (nn - 1) as f64;
+        assert!((mean - em).abs() < em * 0.002, "mean {mean} vs {em}");
+        assert!((var - ev).abs() < ev * 0.1, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn hypergeometric_fast_matches_urn_distribution() {
+        let (nn, kk, mm) = (500u64, 200u64, 120u64);
+        let reps = 50_000;
+        let mut fast = Vec::with_capacity(reps);
+        let mut urn = Vec::with_capacity(reps);
+        let mut rng = SimRng::new(8);
+        for _ in 0..reps {
+            fast.push(sample_hypergeometric_fast(&mut rng, nn, kk, mm) as f64);
+            urn.push(sample_hypergeometric(&mut rng, nn, kk, mm) as f64);
+        }
+        let d = crate::ks::ks_statistic(&fast, &urn);
+        let crit = crate::ks::ks_critical_value(reps, reps, 0.001);
+        assert!(d < crit, "KS {d} >= crit {crit}");
+    }
+}

@@ -14,7 +14,11 @@
 //!   simulator-equivalence experiments;
 //! * [`regression`] — ordinary least squares and log–log scaling fits, used
 //!   to extract empirical exponents from stabilization-time sweeps;
-//! * [`multinomial`] — categorical, multinomial, and hypergeometric sampling;
+//! * [`multinomial`] — categorical, multinomial, and hypergeometric sampling
+//!   (O(n) urn references plus O(k)-draw fast paths);
+//! * [`binomial`] — exact binomial and hypergeometric samplers with
+//!   inverse-CDF and BTPE-style rejection paths, the statistical substrate
+//!   of the batch-leaping simulator;
 //! * [`timeseries`] — trajectory containers with downsampling;
 //! * [`plot`] — ASCII line charts for terminal experiment output;
 //! * [`tables`] — plain-text table formatting for experiment reports.
@@ -25,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binomial;
 pub mod histogram;
 pub mod ks;
 pub mod multinomial;
@@ -35,9 +40,15 @@ pub mod summary;
 pub mod tables;
 pub mod timeseries;
 
+pub use binomial::{
+    ln_binomial, ln_factorial, ln_gamma, sample_binomial, sample_hypergeometric_fast,
+};
 pub use histogram::{Histogram, LogHistogram};
 pub use ks::{ks_critical_value, ks_reject, ks_statistic};
-pub use multinomial::{categorical_index, multinomial_counts, sample_hypergeometric};
+pub use multinomial::{
+    categorical_index, multinomial_counts, multinomial_counts_fast, multivariate_hypergeometric,
+    sample_hypergeometric,
+};
 pub use plot::AsciiChart;
 pub use regression::{loglog_fit, ols_fit, LinearFit};
 pub use rng::{RngFactory, SimRng};

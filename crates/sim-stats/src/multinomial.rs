@@ -84,6 +84,68 @@ pub fn sample_hypergeometric(rng: &mut SimRng, total: u64, successes: u64, draws
     got
 }
 
+/// Exact multinomial sample in O(k) binomial draws instead of O(n)
+/// categorical draws: category `i` receives
+/// `Binomial(remaining trials, wᵢ / remaining weight)` conditioned on the
+/// earlier categories — the standard conditional-binomial decomposition.
+///
+/// Identical in distribution to [`multinomial_counts`]; use this for large
+/// `n` (the batch simulator and bulk initial configurations).
+pub fn multinomial_counts_fast(rng: &mut SimRng, n: u64, weights: &[u64]) -> Vec<u64> {
+    let mut total: u64 = weights.iter().sum();
+    assert!(total > 0, "multinomial with all-zero weights");
+    let mut counts = vec![0u64; weights.len()];
+    let mut remaining = n;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if w == 0 {
+            continue;
+        }
+        if w == total {
+            counts[i] = remaining;
+            break;
+        }
+        let draw = crate::binomial::sample_binomial(rng, remaining, w as f64 / total as f64);
+        counts[i] = draw;
+        remaining -= draw;
+        total -= w;
+    }
+    counts
+}
+
+/// Exact multivariate hypergeometric sample: the per-category counts of
+/// `draws` items drawn **without replacement** from a population with
+/// `pop[i]` items of category `i`. O(k) hypergeometric draws via the chain
+/// rule; each draw uses the O(sd) mode-centered sampler in
+/// [`binomial`](crate::binomial).
+///
+/// Panics if `draws` exceeds the population size.
+pub fn multivariate_hypergeometric(rng: &mut SimRng, pop: &[u64], draws: u64) -> Vec<u64> {
+    let mut total: u64 = pop.iter().sum();
+    assert!(draws <= total, "cannot draw more than the population");
+    let mut counts = vec![0u64; pop.len()];
+    let mut remaining = draws;
+    for (i, &p) in pop.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if p == 0 {
+            continue;
+        }
+        if p == total {
+            counts[i] = remaining;
+            break;
+        }
+        let draw = crate::binomial::sample_hypergeometric_fast(rng, total, p, remaining);
+        counts[i] = draw;
+        remaining -= draw;
+        total -= p;
+    }
+    counts
+}
+
 /// Draw an ordered pair of **distinct** indices uniformly from `[0, n)`,
 /// i.e. the population-protocol scheduler's choice of (initiator, responder).
 ///
@@ -142,6 +204,62 @@ mod tests {
         assert!((counts[0] as f64 - 10_000.0).abs() < 600.0);
         assert!((counts[1] as f64 - 20_000.0).abs() < 800.0);
         assert!((counts[2] as f64 - 30_000.0).abs() < 900.0);
+    }
+
+    #[test]
+    fn multinomial_fast_conserves_total_and_matches_proportions() {
+        let mut rng = SimRng::new(14);
+        let counts = multinomial_counts_fast(&mut rng, 600_000, &[1, 0, 2, 3]);
+        assert_eq!(counts.iter().sum::<u64>(), 600_000);
+        assert_eq!(counts[1], 0);
+        assert!((counts[0] as f64 - 100_000.0).abs() < 2_500.0, "{counts:?}");
+        assert!((counts[2] as f64 - 200_000.0).abs() < 3_500.0, "{counts:?}");
+        assert!((counts[3] as f64 - 300_000.0).abs() < 4_000.0, "{counts:?}");
+    }
+
+    #[test]
+    fn multinomial_fast_matches_slow_distribution() {
+        // Compare first-category marginals of the two algorithms via KS.
+        let reps = 30_000;
+        let mut fast = Vec::with_capacity(reps);
+        let mut slow = Vec::with_capacity(reps);
+        let mut rng = SimRng::new(15);
+        for _ in 0..reps {
+            fast.push(multinomial_counts_fast(&mut rng, 200, &[2, 3, 5])[0] as f64);
+            slow.push(multinomial_counts(&mut rng, 200, &[2, 3, 5])[0] as f64);
+        }
+        let d = crate::ks::ks_statistic(&fast, &slow);
+        let crit = crate::ks::ks_critical_value(reps, reps, 0.001);
+        assert!(d < crit, "KS {d} >= crit {crit}");
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_invariants() {
+        let mut rng = SimRng::new(16);
+        let pop = [500u64, 0, 1_200, 300];
+        for _ in 0..200 {
+            let c = multivariate_hypergeometric(&mut rng, &pop, 800);
+            assert_eq!(c.iter().sum::<u64>(), 800);
+            for (got, cap) in c.iter().zip(pop.iter()) {
+                assert!(got <= cap, "{c:?} exceeds {pop:?}");
+            }
+        }
+        // Drawing the whole population returns it exactly.
+        let all = multivariate_hypergeometric(&mut rng, &pop, 2_000);
+        assert_eq!(all, pop.to_vec());
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_marginal_mean() {
+        let mut rng = SimRng::new(17);
+        let pop = [30_000u64, 70_000];
+        let reps = 5_000;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            sum += multivariate_hypergeometric(&mut rng, &pop, 10_000)[0] as f64;
+        }
+        let mean = sum / reps as f64;
+        assert!((mean - 3_000.0).abs() < 3_000.0 * 0.01, "mean {mean}");
     }
 
     #[test]

@@ -119,11 +119,7 @@ impl AsciiChart {
             out.extend(row.iter());
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{} +{}\n",
-            " ".repeat(10),
-            "-".repeat(self.width)
-        ));
+        out.push_str(&format!("{} +{}\n", " ".repeat(10), "-".repeat(self.width)));
         out.push_str(&format!(
             "{}  {:<12}{}{:>12}\n",
             " ".repeat(10),
@@ -219,7 +215,7 @@ mod tests {
         let out = AsciiChart::new(40, 10).title("x").render(&demo_ts());
         // title + rows + axis + ticks + legend ≈ height + 4..6
         let lines = out.lines().count();
-        assert!(lines >= 12 && lines <= 16, "lines {lines}");
+        assert!((12..=16).contains(&lines), "lines {lines}");
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl SimRng {
     }
 
     /// Next raw 64-bit output (Xoshiro256++ scrambler).
+    #[allow(clippy::should_implement_trait)] // `next` matches the Xoshiro reference naming
     #[inline]
     pub fn next(&mut self) -> u64 {
         let result = self.s[0]
@@ -153,12 +154,19 @@ impl SimRng {
     /// Geometric number of failures before the first success for success
     /// probability `p` ∈ (0, 1]: returns `G ≥ 0` with `P[G = g] = (1−p)^g p`.
     ///
-    /// Uses inversion: `G = floor(ln U / ln(1−p))`. For `p = 1` returns 0.
-    /// This is the primitive behind the skip-ahead simulator (no-op runs
-    /// between effective interactions are geometric).
+    /// Uses inversion: `G = floor(ln U / ln(1−p))`, with `ln(1−p)` computed
+    /// as `ln_1p(−p)` so tiny `p` keeps full precision — `1.0 − p` rounds
+    /// to exactly 1.0 below `p ≈ 1e−16`, which would collapse every draw to
+    /// 0 instead of the correct ~1/p scale (the batch simulator feeds
+    /// per-pair probabilities as small as 1/n² here). For `p = 1` returns
+    /// 0. This is the primitive behind the skip-ahead simulators (no-op
+    /// runs between effective interactions are geometric).
     #[inline]
     pub fn geometric(&mut self, p: f64) -> u64 {
-        assert!(p > 0.0 && p <= 1.0, "geometric requires p in (0,1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "geometric requires p in (0,1], got {p}"
+        );
         if p >= 1.0 {
             return 0;
         }
@@ -168,7 +176,7 @@ impl SimRng {
                 break u;
             }
         };
-        let g = (u.ln() / (1.0 - p).ln()).floor();
+        let g = (u.ln() / (-p).ln_1p()).floor();
         if g >= u64::MAX as f64 {
             u64::MAX
         } else {
@@ -345,6 +353,22 @@ mod tests {
             (mean - expect).abs() < 0.1,
             "geometric mean {mean} vs {expect}"
         );
+    }
+
+    #[test]
+    fn geometric_tiny_p_does_not_collapse() {
+        // Below p ~ 1e-16, `1.0 - p == 1.0` exactly; the ln_1p form must
+        // still produce draws on the ~1/p scale instead of 0.
+        let mut rng = SimRng::new(19);
+        for _ in 0..8 {
+            let g = rng.geometric(1e-18);
+            assert!(g > 1_000_000_000_000, "g={g} collapsed for tiny p");
+        }
+        // And moderate small p keeps a sane scale (P[G < 1e6] ~ 1e-6).
+        for _ in 0..8 {
+            let g = rng.geometric(1e-12);
+            assert!(g > 1_000_000, "g={g} too small for p=1e-12");
+        }
     }
 
     #[test]

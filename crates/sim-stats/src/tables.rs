@@ -53,7 +53,8 @@ impl TextTable {
     /// Append a row of already-formatted cells. Panics on length mismatch.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -91,12 +92,7 @@ impl TextTable {
             .join(",");
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter()
-                    .map(|c| escape(c))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
@@ -154,7 +150,7 @@ pub fn fmt_thousands(v: u64) -> String {
     let s = v.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

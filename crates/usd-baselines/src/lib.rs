@@ -25,15 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod four_state;
-pub mod tournament;
 pub mod gossip_usd;
 pub mod synchronized_usd;
 pub mod three_majority;
+pub mod tournament;
 pub mod voter;
 
-pub use tournament::{TournamentResult, TournamentUsd};
 pub use four_state::{FourState, FourStateMajority, MajoritySide};
 pub use gossip_usd::GossipUsd;
 pub use synchronized_usd::SynchronizedUsd;
 pub use three_majority::ThreeMajority;
+pub use tournament::{TournamentResult, TournamentUsd};
 pub use voter::VoterDynamics;

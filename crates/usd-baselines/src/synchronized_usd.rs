@@ -30,9 +30,9 @@ impl SynchronizedUsd {
         let k = config.k();
         let mut states = Vec::with_capacity(config.n() as usize);
         for (i, &c) in config.opinions().iter().enumerate() {
-            states.extend(std::iter::repeat(i as u32).take(c as usize));
+            states.extend(std::iter::repeat_n(i as u32, c as usize));
         }
-        states.extend(std::iter::repeat(k as u32).take(config.u() as usize));
+        states.extend(std::iter::repeat_n(k as u32, config.u() as usize));
         let perm = (0..states.len() as u32).collect();
         SynchronizedUsd {
             states,

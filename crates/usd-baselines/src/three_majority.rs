@@ -27,7 +27,7 @@ impl ThreeMajority {
         assert!(config.n() <= u32::MAX as u64, "population too large");
         let mut states = Vec::with_capacity(config.n() as usize);
         for (i, &c) in config.opinions().iter().enumerate() {
-            states.extend(std::iter::repeat(i as u32).take(c as usize));
+            states.extend(std::iter::repeat_n(i as u32, c as usize));
         }
         ThreeMajority {
             states,

@@ -3,10 +3,11 @@
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
+use usd_core::backend::{stabilize_with_backend, Backend};
 use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
 use usd_core::encode::Trajectory;
 use usd_core::init::InitialConfigBuilder;
-use usd_core::stabilization::{stabilize, ConsensusOutcome};
+use usd_core::stabilization::ConsensusOutcome;
 use usd_core::theory::{self, Bounds};
 
 /// CLI usage text.
@@ -15,9 +16,12 @@ usd-sim — Undecided State Dynamics simulator
 
 commands:
   run    --n <u64> --k <usize> [--bias <u64> | --max-bias] [--seed <u64>]
-         [--trace <file.usdt>]
+         [--backend agent|count|batch|seq|skip] [--trace <file.usdt>]
            one exact run to stabilization; optionally record a trajectory
+           (backend default: skip; use batch for n >= 10^7, agent for
+           per-agent ground truth; trace requires the skip backend)
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
+         [--backend agent|count|batch|seq|skip]
            stabilization time across the admissible k grid vs the bounds
   bounds --n <u64> --k <usize>
            print the paper's bound curves for (n, k)
@@ -101,31 +105,48 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let n: u64 = flags.get("n")?.unwrap_or(100_000);
     let k: usize = flags.get("k")?.unwrap_or_else(|| theory::figure1_k(n));
     let seed: u64 = flags.get("seed")?.unwrap_or(42);
+    let backend: Backend = flags.get("backend")?.unwrap_or(Backend::SkipAhead);
     let trace_path: Option<String> = flags.get("trace")?;
     if n < 2 || k < 1 || (k as u64) > n {
         return Err(CliError(format!("invalid instance n={n}, k={k}")));
     }
+    if trace_path.is_some() && backend != Backend::SkipAhead {
+        return Err(CliError(
+            "trace recording requires --backend skip".to_string(),
+        ));
+    }
 
     let builder = InitialConfigBuilder::new(n, k);
-    let config = if flags.has("max-bias") {
-        builder.max_admissible_bias()
+    let requested_bias = if flags.has("max-bias") {
+        None // max_admissible_bias clamps internally
     } else if let Some(b) = flags.get::<u64>("bias")? {
-        builder.equal_minorities(b)
+        Some(b)
     } else {
-        builder.figure1()
+        Some(theory::sqrt_n_log_n(n)) // the figure1 default
     };
-    println!("initial: {config}");
+    let config = match requested_bias {
+        None => builder.max_admissible_bias(),
+        Some(b) => {
+            if b.saturating_add(k as u64) > n {
+                return Err(CliError(format!(
+                    "bias {b} leaves no room for {k} nonempty opinions at n={n} \
+                     (need bias + k <= n; try --bias 0 or a larger --n)"
+                )));
+            }
+            builder.equal_minorities(b)
+        }
+    };
+    println!("initial: {config} (backend: {backend})");
 
-    let mut sim = SkipAheadUsd::new(&config);
     let mut rng = SimRng::new(seed);
-
+    let started = std::time::Instant::now();
     let mut trajectory = Trajectory::new(n, k);
-    if trace_path.is_some() {
-        trajectory.push(0, config.clone());
-    }
-    let mut next_capture = n;
     let result = if trace_path.is_some() {
-        // Stabilize with snapshots roughly once per parallel round.
+        // Stabilize with snapshots roughly once per parallel round (the
+        // skip backend, so the observer sees every effective event).
+        let mut sim = SkipAheadUsd::new(&config);
+        trajectory.push(0, config.clone());
+        let mut next_capture = n;
         loop {
             match sim.step_effective(&mut rng) {
                 None => break,
@@ -150,20 +171,23 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             initial_plurality: config.plurality(),
         }
     } else {
-        stabilize(&mut sim, &mut rng, u64::MAX / 2)
+        stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2)
     };
+    let elapsed = started.elapsed();
 
     match result.outcome {
         ConsensusOutcome::Winner(w) => println!(
-            "stabilized on opinion {} after {} interactions ({:.2} parallel time); plurality won: {}",
+            "stabilized on opinion {} after {} interactions ({:.2} parallel time); plurality won: {}; wall clock {:.2?}",
             w + 1,
             fmt_thousands(result.interactions),
             result.parallel_time(n),
             result.plurality_won(),
+            elapsed,
         ),
         ConsensusOutcome::AllUndecided => println!(
-            "absorbed in the all-undecided state after {} interactions",
-            fmt_thousands(result.interactions)
+            "absorbed in the all-undecided state after {} interactions; wall clock {:.2?}",
+            fmt_thousands(result.interactions),
+            elapsed,
         ),
         ConsensusOutcome::Timeout => println!("budget exhausted"),
     }
@@ -186,6 +210,7 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let n: u64 = flags.get("n")?.unwrap_or(50_000);
     let seeds: u64 = flags.get("seeds")?.unwrap_or(5);
     let seed: u64 = flags.get("seed")?.unwrap_or(42);
+    let backend: Backend = flags.get("backend")?.unwrap_or(Backend::SkipAhead);
     if n < 16 {
         return Err(CliError("need --n >= 16".into()));
     }
@@ -197,9 +222,8 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         let config = InitialConfigBuilder::new(n, k).max_admissible_bias();
         let mut times = Vec::new();
         for s in 0..seeds {
-            let mut sim = SkipAheadUsd::new(&config);
             let mut rng = SimRng::new(seed ^ (k as u64) << 32 ^ s);
-            let result = stabilize(&mut sim, &mut rng, u64::MAX / 2);
+            let result = stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2);
             times.push(result.parallel_time(n));
         }
         let mean = Summary::of(&times).mean();
@@ -218,9 +242,13 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             fmt_sig(upper, 4),
             fmt_sig(mean / upper, 3),
         ]);
-        k = (k * 3 + 1) / 2;
+        k = (k * 3).div_ceil(2);
     }
-    println!("stabilization sweep at n={} ({} seeds/cell)", fmt_thousands(n), seeds);
+    println!(
+        "stabilization sweep at n={} ({} seeds/cell, backend {backend})",
+        fmt_thousands(n),
+        seeds
+    );
     print!("{t}");
     Ok(())
 }
@@ -317,8 +345,7 @@ mod tests {
 
     #[test]
     fn flags_parse_pairs_bools_positional() {
-        let f = Flags::parse(&s(&["--n", "100", "--max-bias", "file.bin"]), &["max-bias"])
-            .unwrap();
+        let f = Flags::parse(&s(&["--n", "100", "--max-bias", "file.bin"]), &["max-bias"]).unwrap();
         assert_eq!(f.get::<u64>("n").unwrap(), Some(100));
         assert!(f.has("max-bias"));
         assert_eq!(f.positional(), &["file.bin".to_string()]);
@@ -343,7 +370,10 @@ mod tests {
         let path = dir.join("t.usdt");
         let path_str = path.to_str().unwrap().to_string();
 
-        cmd_run(&s(&["--n", "2000", "--k", "3", "--seed", "5", "--trace", &path_str])).unwrap();
+        cmd_run(&s(&[
+            "--n", "2000", "--k", "3", "--seed", "5", "--trace", &path_str,
+        ]))
+        .unwrap();
         cmd_trace(&s(&[&path_str])).unwrap();
         // And the file decodes through the library too.
         let blob = std::fs::read(&path).unwrap();
@@ -363,6 +393,37 @@ mod tests {
     }
 
     #[test]
+    fn run_accepts_every_backend() {
+        for b in ["agent", "count", "batch", "seq", "skip"] {
+            cmd_run(&s(&[
+                "--n",
+                "500",
+                "--k",
+                "2",
+                "--seed",
+                "3",
+                "--backend",
+                b,
+            ]))
+            .unwrap_or_else(|e| panic!("backend {b}: {}", e.0));
+        }
+    }
+
+    #[test]
+    fn run_rejects_unknown_backend_and_trace_combination() {
+        assert!(cmd_run(&s(&["--n", "500", "--backend", "warp"])).is_err());
+        assert!(cmd_run(&s(&[
+            "--n",
+            "500",
+            "--backend",
+            "batch",
+            "--trace",
+            "/tmp/x.usdt"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn sweep_command_runs_small() {
         cmd_sweep(&s(&["--n", "2000", "--seeds", "1"])).unwrap();
     }
@@ -371,6 +432,10 @@ mod tests {
     fn run_rejects_bad_instance() {
         assert!(cmd_run(&s(&["--n", "1"])).is_err());
         assert!(cmd_run(&s(&["--n", "10", "--k", "11"])).is_err());
+        // Default figure1 bias does not fit tiny populations: clean error,
+        // not a panic.
+        assert!(cmd_run(&s(&["--n", "2", "--k", "2"])).is_err());
+        assert!(cmd_run(&s(&["--n", "10", "--k", "2", "--bias", "9"])).is_err());
     }
 
     #[test]

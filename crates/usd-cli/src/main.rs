@@ -24,7 +24,10 @@ fn main() {
             print!("{}", commands::USAGE);
             Ok(())
         }
-        Some(other) => Err(CliError(format!("unknown command '{other}'\n{}", commands::USAGE))),
+        Some(other) => Err(CliError(format!(
+            "unknown command '{other}'\n{}",
+            commands::USAGE
+        ))),
     };
     if let Err(CliError(msg)) = result {
         eprintln!("usd-sim: {msg}");

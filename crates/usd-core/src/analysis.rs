@@ -126,7 +126,7 @@ pub fn gap_step_probabilities(config: &UsdConfig, i: usize, j: usize) -> (f64, f
     let xj = config.x(j) as f64;
     let u = config.u() as f64;
     let others = n - u - xi - xj; // decided agents with opinions ∉ {i, j}
-    // +1: i adopts (2·xᵢ·u) or j clashes with a third opinion (2·xⱼ·others).
+                                  // +1: i adopts (2·xᵢ·u) or j clashes with a third opinion (2·xⱼ·others).
     let plus = (2.0 * xi * u + 2.0 * xj * others) / pairs;
     // −1: j adopts or i clashes with a third opinion.
     let minus = (2.0 * xj * u + 2.0 * xi * others) / pairs;

@@ -1,0 +1,263 @@
+//! Generic backend selection for USD runs.
+//!
+//! Five exact engines can run the Undecided State Dynamics:
+//!
+//! | backend | engine | cost model |
+//! |---------|--------|------------|
+//! | `agent` | [`pop_proto::AgentSimulator`] | O(1)/interaction, O(n) memory |
+//! | `count` | [`pop_proto::CountSimulator`] | O(log k)/interaction |
+//! | `batch` | [`pop_proto::BatchSimulator`] | O(k²+log n) per ~√n interactions |
+//! | `seq`   | [`crate::dynamics::SequentialUsd`] | O(log k)/interaction, USD-specialized |
+//! | `skip`  | [`crate::dynamics::SkipAheadUsd`] | O(log k)/effective event |
+//!
+//! [`Backend`] names them (with `FromStr` for CLI flags) and
+//! [`stabilize_with_backend`] runs any of them to stabilization behind one
+//! entry point, so experiments, the CLI, examples, and benches select an
+//! engine generically.
+
+use crate::config::UsdConfig;
+use crate::dynamics::{SequentialUsd, SkipAheadUsd};
+use crate::protocol::UndecidedStateDynamics;
+use crate::stabilization::{stabilize, ConsensusOutcome, StabilizationResult};
+use pop_proto::{AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, Simulator};
+use sim_stats::rng::SimRng;
+
+/// A named USD simulation backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Per-agent generic simulator (the literal model).
+    Agent,
+    /// Count-based generic simulator.
+    Count,
+    /// Batch-leaping generic simulator (large n).
+    Batch,
+    /// USD-specialized sequential engine.
+    Sequential,
+    /// USD-specialized skip-ahead engine.
+    SkipAhead,
+}
+
+impl Backend {
+    /// All backends, in display order.
+    pub const ALL: [Backend; 5] = [
+        Backend::Agent,
+        Backend::Count,
+        Backend::Batch,
+        Backend::Sequential,
+        Backend::SkipAhead,
+    ];
+
+    /// The flag-friendly name (`agent`, `count`, `batch`, `seq`, `skip`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Agent => "agent",
+            Backend::Count => "count",
+            Backend::Batch => "batch",
+            Backend::Sequential => "seq",
+            Backend::SkipAhead => "skip",
+        }
+    }
+
+    /// Whether the backend's memory footprint scales with n (the agentwise
+    /// engine allocates one state per agent).
+    pub fn per_agent_memory(&self) -> bool {
+        matches!(self, Backend::Agent)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "agent" => Ok(Backend::Agent),
+            "count" => Ok(Backend::Count),
+            "batch" => Ok(Backend::Batch),
+            "seq" | "sequential" => Ok(Backend::Sequential),
+            "skip" | "skip-ahead" => Ok(Backend::SkipAhead),
+            other => Err(format!(
+                "unknown backend '{other}' (expected agent|count|batch|seq|skip)"
+            )),
+        }
+    }
+}
+
+/// Construct a generic-substrate simulator for `config` as a trait object.
+///
+/// Only the three `pop-proto` backends are generic-substrate engines;
+/// passing [`Backend::Sequential`] or [`Backend::SkipAhead`] panics (those
+/// implement [`crate::dynamics::UsdSimulator`] instead — use
+/// [`stabilize_with_backend`] for uniform treatment of all five).
+pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator> {
+    let proto = UndecidedStateDynamics::new(config.k());
+    let counts = config.to_count_config();
+    match backend {
+        Backend::Agent => Box::new(AgentSimulator::from_config(
+            proto,
+            CliqueScheduler::new(config.n() as usize),
+            &counts,
+        )),
+        Backend::Count => Box::new(CountSimulator::new(proto, &counts)),
+        Backend::Batch => Box::new(BatchSimulator::new(proto, &counts)),
+        other => panic!("{other} is a USD-specialized engine, not a generic-substrate backend"),
+    }
+}
+
+/// Classify a stabilized generic-substrate run from its final counts.
+fn result_from_counts(
+    counts: &[u64],
+    k: usize,
+    interactions: u64,
+    stabilized: bool,
+    initial_plurality: Option<usize>,
+) -> StabilizationResult {
+    let outcome = if !stabilized {
+        ConsensusOutcome::Timeout
+    } else if counts[k] > 0 {
+        ConsensusOutcome::AllUndecided
+    } else {
+        let winner = counts[..k]
+            .iter()
+            .position(|&c| c > 0)
+            .expect("a stabilized decided configuration has a winner");
+        ConsensusOutcome::Winner(winner)
+    };
+    StabilizationResult {
+        outcome,
+        interactions,
+        initial_plurality,
+    }
+}
+
+/// Run `config` to USD stabilization on the chosen backend.
+///
+/// Semantics match [`stabilize`]: the run ends at silence (consensus or
+/// all-undecided) or when `budget` interactions have been simulated, and
+/// the result reports the winner, the interaction count at the stopping
+/// point, and whether the initial plurality won.
+pub fn stabilize_with_backend(
+    backend: Backend,
+    config: &UsdConfig,
+    rng: &mut SimRng,
+    budget: u64,
+) -> StabilizationResult {
+    let initial_plurality = config.plurality();
+    match backend {
+        Backend::Sequential => {
+            let mut sim = SequentialUsd::new(config);
+            stabilize(&mut sim, rng, budget)
+        }
+        Backend::SkipAhead => {
+            let mut sim = SkipAheadUsd::new(config);
+            stabilize(&mut sim, rng, budget)
+        }
+        _ => {
+            let mut sim = make_simulator(backend, config);
+            let (interactions, stabilized) = sim.run_to_silence(rng, budget);
+            result_from_counts(
+                sim.counts(),
+                config.k(),
+                interactions,
+                stabilized,
+                initial_plurality,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitialConfigBuilder;
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(
+            "sequential".parse::<Backend>().unwrap(),
+            Backend::Sequential
+        );
+        assert_eq!("skip-ahead".parse::<Backend>().unwrap(), Backend::SkipAhead);
+        assert!("warp".parse::<Backend>().is_err());
+        assert!(Backend::Agent.per_agent_memory());
+        assert!(!Backend::Batch.per_agent_memory());
+    }
+
+    #[test]
+    fn all_backends_elect_the_plurality_under_strong_bias() {
+        let config = UsdConfig::decided(vec![800, 200]);
+        for b in Backend::ALL {
+            let mut rng = SimRng::new(11);
+            let result = stabilize_with_backend(b, &config, &mut rng, u64::MAX / 2);
+            assert!(result.stabilized(), "{b} did not stabilize");
+            assert_eq!(
+                result.outcome,
+                ConsensusOutcome::Winner(0),
+                "{b} elected the wrong opinion"
+            );
+            assert!(result.plurality_won(), "{b}");
+            assert!(result.interactions > 0, "{b}");
+        }
+    }
+
+    #[test]
+    fn all_backends_report_all_undecided_absorption() {
+        let config = UsdConfig::decided(vec![1, 1]);
+        for b in Backend::ALL {
+            let mut rng = SimRng::new(5);
+            let result = stabilize_with_backend(b, &config, &mut rng, 100_000);
+            assert!(result.stabilized(), "{b}");
+            assert_eq!(result.outcome, ConsensusOutcome::AllUndecided, "{b}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_timeout() {
+        let config = UsdConfig::decided(vec![500, 500]);
+        for b in Backend::ALL {
+            let mut rng = SimRng::new(7);
+            let result = stabilize_with_backend(b, &config, &mut rng, 50);
+            assert_eq!(result.outcome, ConsensusOutcome::Timeout, "{b}");
+            assert!(!result.stabilized(), "{b}");
+        }
+    }
+
+    #[test]
+    fn generic_backends_match_figure1_means() {
+        // Cross-backend mean stabilization times on a small Figure-1
+        // instance must agree within a generous tolerance.
+        let config = InitialConfigBuilder::new(300, 3).figure1();
+        let reps = 60u64;
+        let mut means = [0.0f64; 3];
+        for (slot, b) in [Backend::Agent, Backend::Count, Backend::Batch]
+            .into_iter()
+            .enumerate()
+        {
+            for seed in 0..reps {
+                let mut rng = SimRng::new(seed * 13 + slot as u64);
+                let r = stabilize_with_backend(b, &config, &mut rng, u64::MAX / 2);
+                assert!(r.stabilized());
+                means[slot] += r.interactions as f64;
+            }
+            means[slot] /= reps as f64;
+        }
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - min) / max < 0.15, "backends diverge: {means:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a generic-substrate backend")]
+    fn make_simulator_rejects_specialized_engines() {
+        make_simulator(Backend::SkipAhead, &UsdConfig::decided(vec![2, 2]));
+    }
+}

@@ -7,9 +7,6 @@
 //! and carries the accessors the analysis needs (bias, gaps, ordering).
 
 use pop_proto::CountConfig;
-use serde::de::{self, MapAccess, Visitor};
-use serde::ser::SerializeStruct;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 
 /// A configuration of the Undecided State Dynamics: opinion counts
@@ -182,44 +179,118 @@ impl fmt::Display for UsdConfig {
     }
 }
 
-impl Serialize for UsdConfig {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("UsdConfig", 2)?;
-        s.serialize_field("x", &self.x)?;
-        s.serialize_field("u", &self.u)?;
-        s.end()
+/// Errors from [`UsdConfig::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError(String);
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid UsdConfig: {}", self.0)
     }
 }
 
-impl<'de> Deserialize<'de> for UsdConfig {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        struct V;
-        impl<'de> Visitor<'de> for V {
-            type Value = UsdConfig;
+impl std::error::Error for ParseConfigError {}
 
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("a UsdConfig with fields `x` and `u`")
+impl UsdConfig {
+    /// Render as the canonical JSON object `{"x":[…],"u":…}`.
+    ///
+    /// Hand-rolled (this workspace builds without a registry, so there is no
+    /// serde); the format is plain JSON and round-trips through
+    /// [`UsdConfig::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(16 + 8 * self.x.len());
+        s.push_str("{\"x\":[");
+        for (i, &v) in self.x.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
             }
+            s.push_str(&v.to_string());
+        }
+        s.push_str("],\"u\":");
+        s.push_str(&self.u.to_string());
+        s.push('}');
+        s
+    }
 
-            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<UsdConfig, A::Error> {
-                let mut x: Option<Vec<u64>> = None;
-                let mut u: Option<u64> = None;
-                while let Some(key) = map.next_key::<String>()? {
-                    match key.as_str() {
-                        "x" => x = Some(map.next_value()?),
-                        "u" => u = Some(map.next_value()?),
-                        other => return Err(de::Error::unknown_field(other, &["x", "u"])),
+    /// Parse the JSON object produced by [`UsdConfig::to_json`]. Accepts
+    /// arbitrary whitespace and either field order; rejects unknown or
+    /// missing fields.
+    pub fn from_json(text: &str) -> Result<Self, ParseConfigError> {
+        let err = |m: &str| ParseConfigError(m.to_string());
+        let body = text.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| err("expected a JSON object"))?;
+
+        let mut x: Option<Vec<u64>> = None;
+        let mut u: Option<u64> = None;
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let after_key = rest
+                .strip_prefix("\"x\"")
+                .map(|r| ("x", r))
+                .or_else(|| rest.strip_prefix("\"u\"").map(|r| ("u", r)));
+            let (key, after) = after_key.ok_or_else(|| err("expected field `x` or `u`"))?;
+            let after = after
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| err("expected `:` after field name"))?
+                .trim_start();
+            let remaining = match key {
+                "x" => {
+                    if x.is_some() {
+                        return Err(err("duplicate field `x`"));
                     }
+                    let inner = after
+                        .strip_prefix('[')
+                        .ok_or_else(|| err("field `x` must be an array"))?;
+                    let close = inner.find(']').ok_or_else(|| err("unterminated array"))?;
+                    let mut values = Vec::new();
+                    let elements = inner[..close].trim();
+                    if !elements.is_empty() {
+                        for part in elements.split(',') {
+                            values.push(
+                                part.trim()
+                                    .parse::<u64>()
+                                    .map_err(|e| err(&format!("bad count: {e}")))?,
+                            );
+                        }
+                    }
+                    x = Some(values);
+                    &inner[close + 1..]
                 }
-                let x = x.ok_or_else(|| de::Error::missing_field("x"))?;
-                let u = u.ok_or_else(|| de::Error::missing_field("u"))?;
-                if x.is_empty() {
-                    return Err(de::Error::custom("need at least one opinion"));
+                _ => {
+                    if u.is_some() {
+                        return Err(err("duplicate field `u`"));
+                    }
+                    let end = after
+                        .find(|c: char| !c.is_ascii_digit())
+                        .unwrap_or(after.len());
+                    u = Some(
+                        after[..end]
+                            .parse::<u64>()
+                            .map_err(|e| err(&format!("bad undecided count: {e}")))?,
+                    );
+                    &after[end..]
                 }
-                Ok(UsdConfig::new(x, u))
+            };
+            rest = remaining.trim_start();
+            if let Some(more) = rest.strip_prefix(',') {
+                rest = more.trim_start();
+                if rest.is_empty() {
+                    return Err(err("trailing comma"));
+                }
+            } else if !rest.is_empty() {
+                return Err(err("expected `,` between fields"));
             }
         }
-        deserializer.deserialize_struct("UsdConfig", &["x", "u"], V)
+        let x = x.ok_or_else(|| err("missing field `x`"))?;
+        let u = u.ok_or_else(|| err("missing field `u`"))?;
+        if x.is_empty() {
+            return Err(err("need at least one opinion"));
+        }
+        Ok(UsdConfig::new(x, u))
     }
 }
 
@@ -305,50 +376,28 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_tokens() {
-        use serde_test::{assert_tokens, Token};
+    fn json_roundtrip() {
         let c = UsdConfig::new(vec![4, 6], 2);
-        assert_tokens(
-            &c,
-            &[
-                Token::Struct {
-                    name: "UsdConfig",
-                    len: 2,
-                },
-                Token::Str("x"),
-                Token::Seq { len: Some(2) },
-                Token::U64(4),
-                Token::U64(6),
-                Token::SeqEnd,
-                Token::Str("u"),
-                Token::U64(2),
-                Token::StructEnd,
-            ],
-        );
+        assert_eq!(c.to_json(), r#"{"x":[4,6],"u":2}"#);
+        assert_eq!(UsdConfig::from_json(&c.to_json()).unwrap(), c);
+        // Whitespace and field order are accepted.
+        let parsed = UsdConfig::from_json(" { \"u\" : 2 , \"x\" : [ 4 , 6 ] } ").unwrap();
+        assert_eq!(parsed, c);
     }
 
     #[test]
-    fn serde_rejects_unknown_and_missing_fields() {
-        use serde_test::{assert_de_tokens_error, Token};
-        assert_de_tokens_error::<UsdConfig>(
-            &[
-                Token::Struct {
-                    name: "UsdConfig",
-                    len: 1,
-                },
-                Token::Str("bogus"),
-            ],
-            "unknown field `bogus`, expected `x` or `u`",
-        );
-        assert_de_tokens_error::<UsdConfig>(
-            &[
-                Token::Struct {
-                    name: "UsdConfig",
-                    len: 0,
-                },
-                Token::StructEnd,
-            ],
-            "missing field `x`",
-        );
+    fn json_rejects_unknown_and_missing_fields() {
+        let e = UsdConfig::from_json(r#"{"bogus":1}"#).unwrap_err();
+        assert!(e.to_string().contains("expected field `x` or `u`"), "{e}");
+        let e = UsdConfig::from_json(r#"{"u":2}"#).unwrap_err();
+        assert!(e.to_string().contains("missing field `x`"), "{e}");
+        let e = UsdConfig::from_json(r#"{"x":[]}"#).unwrap_err();
+        assert!(e.to_string().contains("missing field `u`"), "{e}");
+        let e = UsdConfig::from_json(r#"{"x":[1],"x":[2],"u":0}"#).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+        let e = UsdConfig::from_json(r#"{"x":[],"u":0}"#).unwrap_err();
+        assert!(e.to_string().contains("at least one opinion"), "{e}");
+        assert!(UsdConfig::from_json("not json").is_err());
+        assert!(UsdConfig::from_json(r#"{"x":[1,"u":0}"#).is_err());
     }
 }

@@ -30,6 +30,9 @@
 //!   [`dynamics::SequentialUsd`] (O(log k) per interaction) and
 //!   [`dynamics::SkipAheadUsd`] (geometric skipping over no-op
 //!   interactions, exact in distribution, for large-n sweeps);
+//! * [`backend`] — uniform selection among those engines and the three
+//!   generic `pop-proto` backends (`agent`, `count`, and the batch-leaping
+//!   `batch` for n ≥ 10⁸), one entry point for experiments and the CLI;
 //! * [`analysis`] — every quantity the proof manipulates: the plateau
 //!   n/2 − n/4k, the per-opinion threshold uᵢ = (n − xᵢ)/2, closed-form
 //!   one-step drifts of u(t) and Δᵢⱼ(t), the maximum pairwise gap, and the
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod backend;
 pub mod config;
 pub mod dynamics;
 pub mod encode;
@@ -61,10 +65,11 @@ pub use analysis::{
     expected_gap_drift, expected_undecided_drift, max_gap, monochromatic_distance,
     opinion_threshold, undecided_plateau,
 };
+pub use backend::{make_simulator, stabilize_with_backend, Backend};
 pub use config::UsdConfig;
 pub use dynamics::{SequentialUsd, SkipAheadUsd, UsdEvent, UsdSimulator};
 pub use init::InitialConfigBuilder;
-pub use recording::record_run;
 pub use protocol::{UndecidedStateDynamics, UsdState};
+pub use recording::record_run;
 pub use stabilization::{ConsensusOutcome, DoublingDetector, StabilizationResult};
 pub use theory::Bounds;

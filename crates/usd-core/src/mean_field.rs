@@ -78,9 +78,7 @@ impl MeanFieldState {
         let k4 = self.axpy(h, &k3).derivative();
         MeanFieldState {
             a: (0..self.a.len())
-                .map(|i| {
-                    self.a[i] + h / 6.0 * (k1.a[i] + 2.0 * k2.a[i] + 2.0 * k3.a[i] + k4.a[i])
-                })
+                .map(|i| self.a[i] + h / 6.0 * (k1.a[i] + 2.0 * k2.a[i] + 2.0 * k3.a[i] + k4.a[i]))
                 .collect(),
             u: self.u + h / 6.0 * (k1.u + 2.0 * k2.u + 2.0 * k3.u + k4.u),
         }
@@ -135,7 +133,11 @@ mod tests {
         let initial = MeanFieldState::from_config(&UsdConfig::new(vec![300, 200, 100], 400));
         let (_, states) = integrate(initial, 20.0, 0.01, 100);
         for s in &states {
-            assert!((s.total() - 1.0).abs() < 1e-9, "mass drifted: {}", s.total());
+            assert!(
+                (s.total() - 1.0).abs() < 1e-9,
+                "mass drifted: {}",
+                s.total()
+            );
         }
     }
 

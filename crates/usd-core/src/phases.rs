@@ -67,9 +67,7 @@ mod tests {
         for i in 0..10 {
             u.push(i as f64 * 10.0); // 0..90
         }
-        for _ in 10..40 {
-            u.push(100.0);
-        }
+        u.extend(std::iter::repeat_n(100.0, 30));
         for i in 0..10 {
             u.push(100.0 - (i as f64 + 1.0) * 10.0);
         }

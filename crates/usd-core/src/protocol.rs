@@ -118,10 +118,19 @@ mod tests {
         assert_eq!(p.transition(Opinion(0), Opinion(1)), (Undecided, Undecided));
         assert_eq!(p.transition(Opinion(2), Opinion(0)), (Undecided, Undecided));
         // Decided + undecided: adoption, both orders.
-        assert_eq!(p.transition(Opinion(1), Undecided), (Opinion(1), Opinion(1)));
-        assert_eq!(p.transition(Undecided, Opinion(2)), (Opinion(2), Opinion(2)));
+        assert_eq!(
+            p.transition(Opinion(1), Undecided),
+            (Opinion(1), Opinion(1))
+        );
+        assert_eq!(
+            p.transition(Undecided, Opinion(2)),
+            (Opinion(2), Opinion(2))
+        );
         // Identity cases.
-        assert_eq!(p.transition(Opinion(1), Opinion(1)), (Opinion(1), Opinion(1)));
+        assert_eq!(
+            p.transition(Opinion(1), Opinion(1)),
+            (Opinion(1), Opinion(1))
+        );
         assert_eq!(p.transition(Undecided, Undecided), (Undecided, Undecided));
     }
 
@@ -200,7 +209,10 @@ mod tests {
         let p = UndecidedStateDynamics::new(1);
         assert_eq!(p.num_states(), 2);
         // Lone opinion adopting undecided agents; never clashes.
-        assert_eq!(p.transition(Opinion(0), Undecided), (Opinion(0), Opinion(0)));
+        assert_eq!(
+            p.transition(Opinion(0), Undecided),
+            (Opinion(0), Opinion(0))
+        );
         assert!(!p.is_silent(&[1, 1]));
         assert!(p.is_silent(&[2, 0]));
     }

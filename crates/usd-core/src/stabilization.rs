@@ -138,9 +138,7 @@ pub fn first_crossing<S: UsdSimulator>(
     }
     let mut detector = DoublingDetector::new(target);
     while sim.interactions() < budget {
-        if sim.step_effective(rng).is_none() {
-            return None; // silent before crossing
-        }
+        sim.step_effective(rng)?;
         if detector.offer(sim.interactions(), watch(sim)) {
             return detector.hit_at();
         }

@@ -224,12 +224,8 @@ mod tests {
     #[test]
     fn interactions_are_parallel_times_n() {
         let b = Bounds::new(10_000, 8);
-        assert!(
-            (b.lower_bound_interactions() - b.lower_bound_parallel() * 10_000.0).abs() < 1e-6
-        );
-        assert!(
-            (b.upper_bound_interactions() - b.upper_bound_parallel() * 10_000.0).abs() < 1e-6
-        );
+        assert!((b.lower_bound_interactions() - b.lower_bound_parallel() * 10_000.0).abs() < 1e-6);
+        assert!((b.upper_bound_interactions() - b.upper_bound_parallel() * 10_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -10,8 +10,7 @@ use pop_proto::{CountSimulator, Protocol};
 use proptest::prelude::*;
 use sim_stats::rng::SimRng;
 use usd_core::analysis::{
-    expected_gap_drift, expected_opinion_drift, expected_undecided_drift,
-    interaction_probabilities,
+    expected_gap_drift, expected_opinion_drift, expected_undecided_drift, interaction_probabilities,
 };
 use usd_core::dynamics::{SequentialUsd, SkipAheadUsd, UsdSimulator};
 use usd_core::encode::Trajectory;
@@ -21,12 +20,7 @@ use usd_core::UsdConfig;
 /// Arbitrary small USD configurations with n ≥ 2.
 fn usd_config() -> impl Strategy<Value = UsdConfig> {
     (1usize..5)
-        .prop_flat_map(|k| {
-            (
-                proptest::collection::vec(0u64..25, k),
-                0u64..25,
-            )
-        })
+        .prop_flat_map(|k| (proptest::collection::vec(0u64..25, k), 0u64..25))
         .prop_filter("need n >= 2", |(x, u)| x.iter().sum::<u64>() + u >= 2)
         .prop_map(|(x, u)| UsdConfig::new(x, u))
 }
@@ -202,21 +196,29 @@ fn three_engines_agree_on_mean_stabilization_time() {
         generic.run(&mut rng, 100_000_000, |s| {
             let counts = s.counts();
             let u = counts[counts.len() - 1];
-            u == n || (u == 0 && counts[..counts.len() - 1].iter().filter(|&&c| c > 0).count() <= 1)
+            u == n
+                || (u == 0
+                    && counts[..counts.len() - 1]
+                        .iter()
+                        .filter(|&&c| c > 0)
+                        .count()
+                        <= 1)
         });
         means[0] += generic.interactions() as f64;
 
         // SequentialUsd.
         let mut seq = SequentialUsd::new(&config);
         let mut rng = SimRng::new(seed + 50_000);
-        let (t, stable) = usd_core::dynamics::run_until_stable(&mut seq, &mut rng, 100_000_000, |_, _| {});
+        let (t, stable) =
+            usd_core::dynamics::run_until_stable(&mut seq, &mut rng, 100_000_000, |_, _| {});
         assert!(stable);
         means[1] += t as f64;
 
         // SkipAheadUsd.
         let mut skip = SkipAheadUsd::new(&config);
         let mut rng = SimRng::new(seed + 90_000);
-        let (t, stable) = usd_core::dynamics::run_until_stable(&mut skip, &mut rng, 100_000_000, |_, _| {});
+        let (t, stable) =
+            usd_core::dynamics::run_until_stable(&mut skip, &mut rng, 100_000_000, |_, _| {});
         assert!(stable);
         means[2] += t as f64;
     }

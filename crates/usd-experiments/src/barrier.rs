@@ -86,7 +86,9 @@ pub fn barrier_report(args: &ExpArgs) -> Report {
             ks
         }
     };
-    let cells = runner::sweep(args.seed, ks, |_, &k, _| barrier_cell(n, k, seeds, args.seed));
+    let cells = runner::sweep(args.seed, ks, |_, &k, _| {
+        barrier_cell(n, k, seeds, args.seed)
+    });
 
     let mut report = Report::new();
     report.heading(format!(
@@ -188,9 +190,11 @@ mod tests {
 
     #[test]
     fn report_renders_quick() {
-        let mut args = ExpArgs::default();
-        args.quick = true;
-        args.seeds = 2;
+        let args = ExpArgs {
+            quick: true,
+            seeds: 2,
+            ..ExpArgs::default()
+        };
         let s = barrier_report(&args).render();
         assert!(s.contains("Breaking the barrier"));
         assert!(s.contains("speedup"));

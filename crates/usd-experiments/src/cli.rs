@@ -57,16 +57,10 @@ impl ExpArgs {
             };
             match flag.as_str() {
                 "--n" => {
-                    out.n = take("--n")?
-                        .parse()
-                        .map_err(|e| format!("--n: {e}"))?;
+                    out.n = take("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
                 }
                 "--k" => {
-                    out.k = Some(
-                        take("--k")?
-                            .parse()
-                            .map_err(|e| format!("--k: {e}"))?,
-                    );
+                    out.k = Some(take("--k")?.parse().map_err(|e| format!("--k: {e}"))?);
                 }
                 "--seeds" => {
                     out.seeds = take("--seeds")?
@@ -85,11 +79,9 @@ impl ExpArgs {
                     out.quick = true;
                 }
                 "--help" | "-h" => {
-                    return Err(
-                        "flags: --n <u64> --k <usize> --seeds <u64> --seed <u64> \
+                    return Err("flags: --n <u64> --k <usize> --seeds <u64> --seed <u64> \
                          --csv <path> --quick"
-                            .to_string(),
-                    );
+                        .to_string());
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
             }
@@ -151,7 +143,16 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse(&[
-            "--n", "5000", "--k", "7", "--seeds", "3", "--seed", "9", "--csv", "/tmp/x.csv",
+            "--n",
+            "5000",
+            "--k",
+            "7",
+            "--seeds",
+            "3",
+            "--seed",
+            "9",
+            "--csv",
+            "/tmp/x.csv",
             "--quick",
         ])
         .unwrap();

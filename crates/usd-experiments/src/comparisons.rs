@@ -15,7 +15,7 @@
 use crate::cli::ExpArgs;
 use crate::report::Report;
 use crate::runner;
-use pop_proto::{AgentSimulator, CliqueScheduler, CountSimulator};
+use pop_proto::{AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, Simulator};
 use sim_stats::histogram::Histogram;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
@@ -221,7 +221,9 @@ pub fn gossip_report(args: &ExpArgs) -> Report {
         Some(k) => vec![k],
         None => vec![2, 4, 8],
     };
-    let cells = runner::sweep(args.seed, ks, |_, &k, _| gossip_cell(n, k, seeds, args.seed));
+    let cells = runner::sweep(args.seed, ks, |_, &k, _| {
+        gossip_cell(n, k, seeds, args.seed)
+    });
 
     let mut report = Report::new();
     report.heading(format!(
@@ -471,17 +473,57 @@ pub fn ablation_rows(n: u64, k: usize, seeds: u64, master_seed: u64) -> Vec<Abla
         });
         sim.interactions()
     });
-    rows.push(make_ablation_row("CountSimulator (generic)", &generic, hi, || {
-        let mut rng = sim_stats::rng::SimRng::new(master_seed);
+    rows.push(make_ablation_row(
+        "CountSimulator (generic)",
+        &generic,
+        hi,
+        || {
+            let mut rng = sim_stats::rng::SimRng::new(master_seed);
+            let proto = UndecidedStateDynamics::new(k);
+            let mut sim = CountSimulator::new(proto, &config.to_count_config());
+            let start = std::time::Instant::now();
+            let target = (n * 200).min(2_000_000);
+            for _ in 0..target {
+                sim.step(&mut rng);
+            }
+            target as f64 / start.elapsed().as_secs_f64()
+        },
+    ));
+
+    // Generic BatchSimulator (collision-aware leaping).
+    let batch: Vec<u64> = runner::repeat(master_seed ^ 0xE4, seeds, |_r, rng| {
         let proto = UndecidedStateDynamics::new(k);
-        let mut sim = CountSimulator::new(proto, &config.to_count_config());
-        let start = std::time::Instant::now();
-        let target = (n * 200).min(2_000_000);
-        for _ in 0..target {
-            sim.step(&mut rng);
-        }
-        target as f64 / start.elapsed().as_secs_f64()
-    }));
+        let mut sim = BatchSimulator::new(proto, &config.to_count_config());
+        let (t, _) = sim.run_to_silence(rng, budget);
+        t
+    });
+    rows.push(make_ablation_row(
+        "BatchSimulator (generic)",
+        &batch,
+        hi,
+        || {
+            let mut rng = sim_stats::rng::SimRng::new(master_seed);
+            let proto = UndecidedStateDynamics::new(k);
+            let mut sim = BatchSimulator::new(proto, &config.to_count_config());
+            let start = std::time::Instant::now();
+            // The batch engine is fast enough that the other engines' target
+            // would finish below timer resolution; use a larger workload and
+            // restart on stabilization.
+            let target = (n * 2_000).min(200_000_000);
+            let mut done = 0u64;
+            while done + sim.interactions() < target {
+                let before = sim.interactions();
+                if Simulator::advance(&mut sim, &mut rng, target - done - before) == 0
+                    || sim.is_silent()
+                {
+                    done += sim.interactions();
+                    let proto = UndecidedStateDynamics::new(k);
+                    sim = BatchSimulator::new(proto, &config.to_count_config());
+                }
+            }
+            target as f64 / start.elapsed().as_secs_f64()
+        },
+    ));
 
     rows
 }
@@ -519,16 +561,12 @@ pub fn ablation_report(args: &ExpArgs) -> Report {
         fmt_thousands(n)
     ));
     report.text(
-        "All three engines simulate the exact same Markov chain; their \
+        "All four engines simulate the exact same Markov chain; their \
          stabilization-time distributions must agree (chi^2 per dof ~ 1) \
-         while throughputs differ (the point of the skip-ahead design).",
+         while throughputs differ (the point of the skip-ahead and \
+         batch-leaping designs).",
     );
-    let mut t = TextTable::new(&[
-        "engine",
-        "mean interactions",
-        "stderr",
-        "interactions/s",
-    ]);
+    let mut t = TextTable::new(&["engine", "mean interactions", "stderr", "interactions/s"]);
     for r in &rows {
         t.row_owned(vec![
             r.name.to_string(),
@@ -609,7 +647,10 @@ mod tests {
         assert!(names.contains(&"4-state exact (PP)"));
         assert!(names.contains(&"Voter (PP)"));
         // The 4-state protocol must be perfectly correct at this bias.
-        let four = rows.iter().find(|r| r.name == "4-state exact (PP)").unwrap();
+        let four = rows
+            .iter()
+            .find(|r| r.name == "4-state exact (PP)")
+            .unwrap();
         assert_eq!(four.correct_rate, 1.0);
         // USD with the fig1 bias must also win.
         let usd = rows.iter().find(|r| r.name == "USD (PP)").unwrap();
@@ -619,15 +660,12 @@ mod tests {
     #[test]
     fn ablation_distributions_agree() {
         let rows = ablation_rows(800, 3, 60, 5);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         // Means within 15% of each other.
         let means: Vec<f64> = rows.iter().map(|r| r.time.mean()).collect();
         let max = means.iter().cloned().fold(f64::MIN, f64::max);
         let min = means.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            (max - min) / max < 0.15,
-            "engine means diverge: {means:?}"
-        );
+        assert!((max - min) / max < 0.15, "engine means diverge: {means:?}");
         for r in &rows {
             assert!(r.throughput > 0.0);
         }
@@ -635,10 +673,12 @@ mod tests {
 
     #[test]
     fn reports_render_quick() {
-        let mut args = ExpArgs::default();
-        args.quick = true;
-        args.seeds = 2;
-        args.n = 2_000;
+        let args = ExpArgs {
+            quick: true,
+            seeds: 2,
+            n: 2_000,
+            ..ExpArgs::default()
+        };
         assert!(bias_report(&args).render().contains("Bias sensitivity"));
         assert!(gossip_report(&args).render().contains("Gossip"));
         assert!(baseline_report(&args).render().contains("Baseline"));

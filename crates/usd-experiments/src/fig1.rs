@@ -220,7 +220,9 @@ fn summary_table(run: &Fig1Run) -> TextTable {
     ]);
     t.row_owned(vec![
         "winner opinion (1-based)".into(),
-        run.winner.map(|w| (w + 1).to_string()).unwrap_or("-".into()),
+        run.winner
+            .map(|w| (w + 1).to_string())
+            .unwrap_or("-".into()),
     ]);
     t.row_owned(vec![
         "stabilization parallel time".into(),
@@ -392,10 +394,12 @@ mod tests {
 
     #[test]
     fn reports_render_quick() {
-        let mut args = ExpArgs::default();
-        args.n = 2_000;
-        args.quick = true;
-        args.seeds = 1;
+        let args = ExpArgs {
+            n: 2_000,
+            quick: true,
+            seeds: 1,
+            ..ExpArgs::default()
+        };
         let left = fig1_left_report(&args).render();
         assert!(left.contains("Figure 1 (left)"));
         assert!(left.contains("legend"));

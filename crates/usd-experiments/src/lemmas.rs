@@ -103,7 +103,9 @@ pub fn lemma31_report(args: &ExpArgs) -> Report {
         Some(k) => vec![k],
         None => default_k_grid(n),
     };
-    let cells = runner::sweep(args.seed, ks, |_, &k, _| lemma31_cell(n, k, seeds, args.seed));
+    let cells = runner::sweep(args.seed, ks, |_, &k, _| {
+        lemma31_cell(n, k, seeds, args.seed)
+    });
 
     let mut report = Report::new();
     report.heading(format!(
@@ -165,8 +167,10 @@ pub struct Lemma33Cell {
 pub fn lemma33_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma33Cell {
     let lo = 3 * n / (2 * k as u64);
     let hi = 2 * n / k as u64;
-    let taus: Vec<Option<f64>> =
-        runner::repeat(master_seed ^ 0x33 ^ ((k as u64) << 32), seeds, |_rep, rng| {
+    let taus: Vec<Option<f64>> = runner::repeat(
+        master_seed ^ 0x33 ^ ((k as u64) << 32),
+        seeds,
+        |_rep, rng| {
             let config = InitialConfigBuilder::new(n, k).figure1();
             let mut sim = SkipAheadUsd::new(&config);
             let budget = crate::fig1::default_budget(n, k);
@@ -199,7 +203,8 @@ pub fn lemma33_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma33Ce
                 }
             }
             tau
-        });
+        },
+    );
     let kn = (k as u64 * n) as f64;
     let crossed: Vec<f64> = taus.iter().flatten().map(|&t| t / kn).collect();
     let summary = if crossed.is_empty() {
@@ -228,7 +233,9 @@ pub fn lemma33_report(args: &ExpArgs) -> Report {
         Some(k) => vec![k],
         None => default_k_grid(n),
     };
-    let cells = runner::sweep(args.seed, ks, |_, &k, _| lemma33_cell(n, k, seeds, args.seed));
+    let cells = runner::sweep(args.seed, ks, |_, &k, _| {
+        lemma33_cell(n, k, seeds, args.seed)
+    });
 
     let mut report = Report::new();
     report.heading(format!(
@@ -297,8 +304,10 @@ pub fn lemma34_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma34Ce
     }
     let n_levels = levels.len();
 
-    let per_seed: Vec<Vec<Option<u64>>> =
-        runner::repeat(master_seed ^ 0x34 ^ ((k as u64) << 32), seeds, |_rep, rng| {
+    let per_seed: Vec<Vec<Option<u64>>> = runner::repeat(
+        master_seed ^ 0x34 ^ ((k as u64) << 32),
+        seeds,
+        |_rep, rng| {
             let config = InitialConfigBuilder::new(n, k).figure1();
             let mut sim = SkipAheadUsd::new(&config);
             let budget = crate::fig1::default_budget(n, k);
@@ -328,7 +337,8 @@ pub fn lemma34_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma34Ce
                 }
             }
             crossings
-        });
+        },
+    );
 
     let kn = (k as u64 * n) as f64;
     let mut per_level: Vec<Summary> = vec![Summary::new(); n_levels];
@@ -360,7 +370,9 @@ pub fn lemma34_report(args: &ExpArgs) -> Report {
         Some(k) => vec![k],
         None => default_k_grid(n),
     };
-    let cells = runner::sweep(args.seed, ks, |_, &k, _| lemma34_cell(n, k, seeds, args.seed));
+    let cells = runner::sweep(args.seed, ks, |_, &k, _| {
+        lemma34_cell(n, k, seeds, args.seed)
+    });
 
     let mut report = Report::new();
     report.heading(format!(
@@ -373,7 +385,13 @@ pub fn lemma34_report(args: &ExpArgs) -> Report {
          ladder alpha*2^l starting at alpha = sqrt(n ln n) (the Theorem 3.5 \
          induction). NaN marks levels never reached within the run.",
     );
-    let mut t = TextTable::new(&["k", "min doubling/kn", "bound 1/24", "holds", "per-level mean/kn"]);
+    let mut t = TextTable::new(&[
+        "k",
+        "min doubling/kn",
+        "bound 1/24",
+        "holds",
+        "per-level mean/kn",
+    ]);
     for c in &cells {
         let holds = !c.min_doubling_kn.is_finite() || c.min_doubling_kn >= 1.0 / 24.0;
         let per_level = c
@@ -448,10 +466,12 @@ mod tests {
 
     #[test]
     fn reports_render_quick() {
-        let mut args = ExpArgs::default();
-        args.n = 3_000;
-        args.quick = true;
-        args.k = Some(4);
+        let args = ExpArgs {
+            n: 3_000,
+            quick: true,
+            k: Some(4),
+            ..ExpArgs::default()
+        };
         for report in [
             lemma31_report(&args),
             lemma33_report(&args),

@@ -3,27 +3,29 @@
 //! A sweep maps a worker function over a vector of cells, each cell getting
 //! its own [`SimRng`] stream derived from the master seed and the cell
 //! index — so results are bit-identical regardless of thread count or
-//! scheduling. Work is distributed over a crossbeam channel; progress is
-//! tracked behind a parking_lot mutex for optional reporting.
+//! scheduling. Work is claimed from a shared atomic cursor; the done-counter
+//! on the progress hot path is a plain [`AtomicUsize`] (a worker bumps it
+//! after every cell, so a lock there would serialize the sweep's only
+//! shared write).
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use sim_stats::rng::{RngFactory, SimRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Sweep progress counters (shared across workers).
 #[derive(Debug, Default)]
 pub struct Progress {
-    done: Mutex<usize>,
+    done: AtomicUsize,
 }
 
 impl Progress {
     /// Number of completed cells.
     pub fn done(&self) -> usize {
-        *self.done.lock()
+        self.done.load(Ordering::Relaxed)
     }
 
     fn bump(&self) {
-        *self.done.lock() += 1;
+        self.done.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -31,6 +33,22 @@ impl Progress {
 /// results in input order. Deterministic: cell `i` always receives the RNG
 /// stream `i` of `seed`, regardless of how cells are scheduled.
 pub fn sweep<I, O, F>(seed: u64, items: Vec<I>, work: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(usize, &I, &mut SimRng) -> O + Sync,
+{
+    sweep_with_progress(seed, items, work, &Progress::default())
+}
+
+/// [`sweep`], reporting completed-cell counts through `progress` so a
+/// caller on another thread can render a progress bar.
+pub fn sweep_with_progress<I, O, F>(
+    seed: u64,
+    items: Vec<I>,
+    work: F,
+    progress: &Progress,
+) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
@@ -51,43 +69,42 @@ where
             .enumerate()
             .map(|(i, item)| {
                 let mut rng = factory.stream(i as u64);
-                work(i, item, &mut rng)
+                let out = work(i, item, &mut rng);
+                progress.bump();
+                out
             })
             .collect();
     }
 
-    let progress = Progress::default();
-    let (task_tx, task_rx) = channel::unbounded::<usize>();
-    for i in 0..n_items {
-        task_tx.send(i).expect("queue send");
-    }
-    drop(task_tx);
-
+    let next = AtomicUsize::new(0);
     let items_ref = &items;
     let work_ref = &work;
-    let progress_ref = &progress;
-    let mut results: Vec<Option<O>> = (0..n_items).map(|_| None).collect();
-    let results_slots: Vec<Mutex<Option<O>>> =
-        results.iter_mut().map(|_| Mutex::new(None)).collect();
+    let next_ref = &next;
+    let results_slots: Vec<Mutex<Option<O>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
     let slots_ref = &results_slots;
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let task_rx = task_rx.clone();
-            scope.spawn(move || {
-                while let Ok(i) = task_rx.recv() {
-                    let mut rng = factory.stream(i as u64);
-                    let out = work_ref(i, &items_ref[i], &mut rng);
-                    *slots_ref[i].lock() = Some(out);
-                    progress_ref.bump();
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n_items {
+                    break;
                 }
+                let mut rng = factory.stream(i as u64);
+                let out = work_ref(i, &items_ref[i], &mut rng);
+                *slots_ref[i].lock().expect("slot poisoned") = Some(out);
+                progress.bump();
             });
         }
     });
 
     results_slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -116,9 +133,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_invocations() {
-        let run = || {
-            sweep(7, vec![(); 50], |_, _, rng| rng.next())
-        };
+        let run = || sweep(7, vec![(); 50], |_, _, rng| rng.next());
         assert_eq!(run(), run());
     }
 
@@ -141,6 +156,14 @@ mod tests {
     fn repeat_collects_all_reps() {
         let out = repeat(5, 20, |rep, _rng| rep);
         assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_reaches_item_count() {
+        let progress = Progress::default();
+        let out = sweep_with_progress(9, (0..64u64).collect(), |_, &x, _| x, &progress);
+        assert_eq!(out.len(), 64);
+        assert_eq!(progress.done(), 64);
     }
 
     #[test]

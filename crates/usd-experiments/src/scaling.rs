@@ -83,7 +83,7 @@ pub fn scaling_k_grid(n: u64) -> Vec<usize> {
     let mut k = 3usize;
     while k <= max_k.max(3) {
         ks.push(k);
-        k = (k * 3 + 1) / 2; // ×1.5 grid
+        k = (k * 3).div_ceil(2); // ×1.5 grid
     }
     if ks.len() < 2 {
         ks = vec![2, 3];
@@ -99,7 +99,9 @@ pub fn thm35_report(args: &ExpArgs) -> Report {
         Some(k) => vec![k],
         None => scaling_k_grid(n),
     };
-    let cells = runner::sweep(args.seed, ks, |_, &k, _| measure_cell(n, k, seeds, args.seed));
+    let cells = runner::sweep(args.seed, ks, |_, &k, _| {
+        measure_cell(n, k, seeds, args.seed)
+    });
 
     let mut report = Report::new();
     report.heading(format!(
@@ -172,7 +174,9 @@ pub fn tightness_report(args: &ExpArgs) -> Report {
         Some(k) => vec![k],
         None => scaling_k_grid(n),
     };
-    let cells = runner::sweep(args.seed, ks, |_, &k, _| measure_cell(n, k, seeds, args.seed));
+    let cells = runner::sweep(args.seed, ks, |_, &k, _| {
+        measure_cell(n, k, seeds, args.seed)
+    });
 
     let mut report = Report::new();
     report.heading(format!(
@@ -336,10 +340,12 @@ mod tests {
 
     #[test]
     fn reports_render_quick() {
-        let mut args = ExpArgs::default();
-        args.n = 3_000;
-        args.quick = true;
-        args.seeds = 2;
+        let args = ExpArgs {
+            n: 3_000,
+            quick: true,
+            seeds: 2,
+            ..ExpArgs::default()
+        };
         assert!(thm35_report(&args).render().contains("Theorem 3.5"));
         assert!(tightness_report(&args).render().contains("Tightness"));
         assert!(k2_report(&args).render().contains("k = 2"));

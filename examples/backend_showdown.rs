@@ -1,0 +1,55 @@
+//! Backend showdown: one USD instance, every simulation backend.
+//!
+//! ```text
+//! cargo run --release --example backend_showdown [n]
+//! ```
+//!
+//! Runs the same Figure-1 instance to stabilization on each backend the
+//! workspace provides — per-agent, countwise, batch-leaping, and the two
+//! USD-specialized engines — and prints interactions, winner, and wall
+//! clock per backend. With the default n = 2 000 000 the batch backend's
+//! sub-constant-per-interaction leaping is already visible; pass a larger
+//! n (it alone handles 10⁸+ comfortably) to watch the gap widen.
+
+use plurality_consensus::prelude::*;
+use usd_core::backend::{stabilize_with_backend, Backend};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000_000);
+    let k = 4usize;
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    println!("instance: {config}");
+    println!(
+        "{:<8} {:>16} {:>12} {:>12} winner",
+        "backend", "interactions", "par. time", "wall"
+    );
+
+    for backend in Backend::ALL {
+        // The agentwise engine allocates per-agent state; skip it once n
+        // makes that silly in a demo.
+        if backend.per_agent_memory() && n > 20_000_000 {
+            println!("{:<8} {:>16}", backend.name(), "(skipped: O(n) memory)");
+            continue;
+        }
+        let mut rng = SimRng::new(7);
+        let start = std::time::Instant::now();
+        let result = stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2);
+        let wall = start.elapsed();
+        let winner = match result.outcome {
+            ConsensusOutcome::Winner(w) => format!("opinion {}", w + 1),
+            ConsensusOutcome::AllUndecided => "all-undecided".to_string(),
+            ConsensusOutcome::Timeout => "timeout".to_string(),
+        };
+        println!(
+            "{:<8} {:>16} {:>12.2} {:>12.2?} {}",
+            backend.name(),
+            result.interactions,
+            result.parallel_time(n),
+            wall,
+            winner
+        );
+    }
+}

@@ -9,8 +9,8 @@
 //! long each takes and whether the initial plurality actually won —
 //! a compact tour of the related-work landscape in §1.2 of the paper.
 
-use plurality_consensus::prelude::*;
 use plurality_consensus::pop_proto::{CountConfig, CountSimulator};
+use plurality_consensus::prelude::*;
 use plurality_consensus::usd_baselines::{
     FourStateMajority, GossipUsd, SynchronizedUsd, ThreeMajority, VoterDynamics,
 };
@@ -30,7 +30,12 @@ fn main() {
     {
         let mut sim = SkipAheadUsd::new(&config2);
         let result = stabilize(&mut sim, &mut rng, u64::MAX / 2);
-        row("USD (PP)", result.parallel_time(n), "parallel", result.plurality_won());
+        row(
+            "USD (PP)",
+            result.parallel_time(n),
+            "parallel",
+            result.plurality_won(),
+        );
     }
     // Four-state exact majority.
     {
@@ -38,7 +43,12 @@ fn main() {
         let mut sim = CountSimulator::new(FourStateMajority, &init);
         sim.run(&mut rng, u64::MAX / 2, |s| s.is_silent());
         let (a, b) = FourStateMajority::sides(sim.counts());
-        row("4-state exact (PP)", sim.parallel_time(), "parallel", a == n && b == 0);
+        row(
+            "4-state exact (PP)",
+            sim.parallel_time(),
+            "parallel",
+            a == n && b == 0,
+        );
     }
     // Voter dynamics.
     {
@@ -56,19 +66,34 @@ fn main() {
     {
         let mut sim = GossipUsd::new(&config2);
         let (rounds, _) = sim.run(&mut rng, 1_000_000);
-        row("USD (Gossip)", rounds as f64, "rounds", sim.winner() == Some(0));
+        row(
+            "USD (Gossip)",
+            rounds as f64,
+            "rounds",
+            sim.winner() == Some(0),
+        );
     }
     // 3-majority.
     {
         let mut sim = ThreeMajority::new(&config2);
         let (rounds, _) = sim.run(&mut rng, 1_000_000);
-        row("3-majority (Gossip)", rounds as f64, "rounds", sim.winner() == Some(0));
+        row(
+            "3-majority (Gossip)",
+            rounds as f64,
+            "rounds",
+            sim.winner() == Some(0),
+        );
     }
     // Synchronized USD.
     {
         let mut sim = SynchronizedUsd::new(&config2);
         let (rounds, _) = sim.run(&mut rng, 1_000_000);
-        row("Synchronized USD", rounds as f64, "rounds", sim.winner() == Some(0));
+        row(
+            "Synchronized USD",
+            rounds as f64,
+            "rounds",
+            sim.winner() == Some(0),
+        );
     }
 
     println!();
@@ -81,7 +106,12 @@ fn main() {
     {
         let mut sim = SkipAheadUsd::new(&config5);
         let result = stabilize(&mut sim, &mut rng, u64::MAX / 2);
-        row("USD (PP)", result.parallel_time(n), "parallel", result.plurality_won());
+        row(
+            "USD (PP)",
+            result.parallel_time(n),
+            "parallel",
+            result.plurality_won(),
+        );
     }
     {
         let init = CountConfig::from_counts(config5.opinions().to_vec());
@@ -97,12 +127,22 @@ fn main() {
     {
         let mut sim = GossipUsd::new(&config5);
         let (rounds, _) = sim.run(&mut rng, 1_000_000);
-        row("USD (Gossip)", rounds as f64, "rounds", sim.winner() == Some(0));
+        row(
+            "USD (Gossip)",
+            rounds as f64,
+            "rounds",
+            sim.winner() == Some(0),
+        );
     }
     {
         let mut sim = ThreeMajority::new(&config5);
         let (rounds, _) = sim.run(&mut rng, 1_000_000);
-        row("3-majority (Gossip)", rounds as f64, "rounds", sim.winner() == Some(0));
+        row(
+            "3-majority (Gossip)",
+            rounds as f64,
+            "rounds",
+            sim.winner() == Some(0),
+        );
     }
 
     println!();

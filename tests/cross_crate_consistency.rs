@@ -80,10 +80,12 @@ fn fig1_run_exhibits_papers_qualitative_shape() {
 
 #[test]
 fn experiment_reports_run_from_the_facade() {
-    let mut args = ExpArgs::default();
-    args.n = 2_000;
-    args.quick = true;
-    args.seeds = 1;
+    let args = ExpArgs {
+        n: 2_000,
+        quick: true,
+        seeds: 1,
+        ..ExpArgs::default()
+    };
     let report = plurality_consensus::usd_experiments::fig1::fig1_left_report(&args);
     let text = report.render();
     assert!(text.contains("Figure 1 (left)"));

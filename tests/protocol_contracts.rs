@@ -73,7 +73,10 @@ fn silent_configurations_are_absorbing() {
         assert!(!sim.step(&mut rng), "silent configuration changed");
     }
     // Four-state all-weak (post-tie).
-    let mut sim = CountSimulator::new(FourStateMajority, &CountConfig::from_counts(vec![0, 0, 6, 4]));
+    let mut sim = CountSimulator::new(
+        FourStateMajority,
+        &CountConfig::from_counts(vec![0, 0, 6, 4]),
+    );
     for _ in 0..1_000 {
         assert!(!sim.step(&mut rng));
     }

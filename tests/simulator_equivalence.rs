@@ -1,10 +1,15 @@
-//! The three exact USD engines — agentwise (via the generic substrate),
-//! countwise generic, and the two specialized engines — simulate the same
-//! Markov chain. These tests compare their *distributions* (fixed seeds,
-//! generous tolerances; no flaky assertions).
+//! The exact USD engines — agentwise (via the generic substrate),
+//! countwise generic, batch-leaping generic, and the two specialized
+//! engines — simulate the same Markov chain. These tests compare their
+//! *distributions* (fixed seeds, generous tolerances; no flaky
+//! assertions), including two-sample Kolmogorov–Smirnov equivalence of the
+//! batch backend's stabilization-time law against the countwise reference.
 
 use plurality_consensus::prelude::*;
-use pop_proto::{AgentSimulator, CliqueScheduler, CountSimulator};
+use pop_proto::{
+    AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, OneWayEpidemic, Simulator,
+};
+use sim_stats::ks::{ks_critical_value, ks_statistic};
 
 fn usd_silent_counts(counts: &[u64], k: usize) -> bool {
     let n: u64 = counts.iter().sum();
@@ -102,6 +107,108 @@ fn engines_agree_on_winner_distribution() {
     assert!(rate0 > 0.8, "sequential win rate {rate0}");
     assert!(rate1 > 0.8, "skip-ahead win rate {rate1}");
     assert!((rate0 - rate1).abs() < 0.15, "{rate0} vs {rate1}");
+}
+
+/// Stabilization-time samples (in interactions) for a generic-substrate
+/// simulator on the USD instance `(n, k)` with the Figure-1 bias.
+fn usd_stabilization_samples<S, F>(n: u64, k: usize, reps: u64, seed_base: u64, make: F) -> Vec<f64>
+where
+    S: Simulator,
+    F: Fn(&pop_proto::CountConfig) -> S,
+{
+    let config = InitialConfigBuilder::new(n, k).figure1().to_count_config();
+    (0..reps)
+        .map(|seed| {
+            let mut sim = make(&config);
+            let mut rng = SimRng::new(seed_base + seed);
+            let (t, stable) = sim.run_to_silence(&mut rng, u64::MAX / 2);
+            assert!(stable, "run {seed} did not stabilize");
+            t as f64
+        })
+        .collect()
+}
+
+/// KS-equivalence of the batch backend against the countwise reference on
+/// the USD stabilization-time distribution, k = 2 and k = 3, n = 10⁴,
+/// α = 0.01, 200 runs per backend — the batch simulator's headline
+/// correctness criterion.
+#[test]
+fn batch_vs_count_usd_stabilization_ks() {
+    let n = 10_000u64;
+    let reps = 200u64;
+    for k in [2usize, 3] {
+        let count = usd_stabilization_samples(n, k, reps, 10_000, |cfg| {
+            CountSimulator::new(UndecidedStateDynamics::new(k), cfg)
+        });
+        let batch = usd_stabilization_samples(n, k, reps, 20_000, |cfg| {
+            BatchSimulator::new(UndecidedStateDynamics::new(k), cfg)
+        });
+        let d = ks_statistic(&count, &batch);
+        let crit = ks_critical_value(count.len(), batch.len(), 0.01);
+        assert!(
+            d < crit,
+            "k={k}: batch vs count stabilization-time KS {d:.4} >= critical {crit:.4}"
+        );
+    }
+}
+
+/// Same KS criterion on the one-way epidemic (monotone pure-birth chain):
+/// completion-time distributions of batch and count backends agree.
+#[test]
+fn batch_vs_count_epidemic_completion_ks() {
+    let n = 10_000u64;
+    let reps = 200u64;
+    let config = pop_proto::CountConfig::from_counts(vec![1, n - 1]);
+    let sample = |seed_base: u64, batch: bool| -> Vec<f64> {
+        (0..reps)
+            .map(|seed| {
+                let mut rng = SimRng::new(seed_base + seed);
+                let (t, stable) = if batch {
+                    let mut sim = BatchSimulator::new(OneWayEpidemic, &config);
+                    sim.run_to_silence(&mut rng, u64::MAX / 2)
+                } else {
+                    let mut sim = CountSimulator::new(OneWayEpidemic, &config);
+                    sim.run_to_silence(&mut rng, u64::MAX / 2)
+                };
+                assert!(stable);
+                t as f64
+            })
+            .collect()
+    };
+    let count = sample(40_000, false);
+    let batch = sample(50_000, true);
+    let d = ks_statistic(&count, &batch);
+    let crit = ks_critical_value(count.len(), batch.len(), 0.01);
+    assert!(
+        d < crit,
+        "epidemic completion-time KS {d:.4} >= critical {crit:.4}"
+    );
+}
+
+/// The batch backend's winner distribution matches the reference under a
+/// strong initial bias.
+#[test]
+fn batch_elects_plurality_at_reference_rate() {
+    let n = 2_000u64;
+    let k = 3usize;
+    let reps = 80u64;
+    let mut wins = 0u64;
+    for seed in 0..reps {
+        let config = InitialConfigBuilder::new(n, k).figure1();
+        let mut rng = SimRng::new(seed + 3_000_000);
+        let result = usd_core::stabilize_with_backend(
+            usd_core::Backend::Batch,
+            &config,
+            &mut rng,
+            u64::MAX / 2,
+        );
+        assert!(result.stabilized());
+        if result.plurality_won() {
+            wins += 1;
+        }
+    }
+    let rate = wins as f64 / reps as f64;
+    assert!(rate > 0.8, "batch win rate {rate}");
 }
 
 #[test]
