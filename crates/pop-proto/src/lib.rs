@@ -42,14 +42,23 @@
 //!   are monochromatic (see the `simulator::batched` module docs), while
 //!   arbitrary stop predicates are evaluated at batch boundaries.
 //!
-//! Rule of thumb: `agent` for graph topologies and per-agent statistics,
-//! `count` for mid-size exact runs and exact stop predicates, `batch` for
-//! large-n stabilization measurements.
+//! * [`simulator::GraphSimulator`] extends the leaping idea to
+//!   graph-restricted schedulers: it maintains per-agent states plus an
+//!   incrementally-updated Fenwick tree over each edge's *active* (non-no-op)
+//!   orientation count, skips geometrically over no-op-dominated stretches,
+//!   and pays O(d log m) per **effective** interaction — the fast exact
+//!   engine for [`topology`] experiments.
+//!
+//! Rule of thumb: `agent` for per-agent statistics and as the graph-topology
+//! ground truth, `count` for mid-size exact runs and exact stop predicates,
+//! `batch` for large-n clique stabilization measurements, `graph` for
+//! non-clique topologies at scale.
 //!
 //! Supporting modules: [`sampling`] (weighted samplers), [`graph`]
-//! (interaction graphs), [`stopping`] (stop conditions and the run driver),
-//! [`trace`] (snapshot recording), and [`metrics`] (parallel-time
-//! conversions).
+//! (interaction graphs), [`topology`] (seeded graph family generators:
+//! cycle, torus, hypercube, random regular, Erdős–Rényi, complete),
+//! [`stopping`] (stop conditions and the run driver), [`trace`] (snapshot
+//! recording), and [`metrics`] (parallel-time conversions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +71,7 @@ pub mod sampling;
 pub mod scheduler;
 pub mod simulator;
 pub mod stopping;
+pub mod topology;
 pub mod trace;
 
 pub use config::CountConfig;
@@ -70,6 +80,9 @@ pub use metrics::{interactions_for_parallel_time, parallel_time};
 pub use protocol::{OneWayEpidemic, Protocol};
 pub use sampling::{AliasTable, FenwickSampler};
 pub use scheduler::{CliqueScheduler, GraphScheduler, Scheduler};
-pub use simulator::{AgentSimulator, BatchSimulator, CountSimulator, InteractionRecord, Simulator};
+pub use simulator::{
+    AgentSimulator, BatchSimulator, CountSimulator, GraphSimulator, InteractionRecord, Simulator,
+};
 pub use stopping::{RunOutcome, StopReason, Stopper};
+pub use topology::TopologyFamily;
 pub use trace::TraceRecorder;

@@ -97,6 +97,11 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
         &self.protocol
     }
 
+    /// The scheduler.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
     /// Number of agents.
     pub fn population(&self) -> usize {
         self.states.len()

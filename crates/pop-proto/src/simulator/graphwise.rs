@@ -1,0 +1,749 @@
+//! Active-edge exact simulator for graph-restricted schedulers.
+//!
+//! # The active-edge idea
+//!
+//! Under [`GraphScheduler`](crate::scheduler::GraphScheduler) every
+//! scheduled interaction picks a uniform edge and a uniform orientation.
+//! Call an *orientation* `(i → j)` of an edge **active** when
+//! `f(state_i, state_j) ≠ (state_i, state_j)`; let `W` be the total number
+//! of active orientations and `2m` the number of orientations overall. A
+//! scheduled interaction changes the configuration with probability exactly
+//! `W / 2m`, independently across steps while the configuration is
+//! unchanged — so the number of no-ops before the next *effective*
+//! interaction is geometric with success probability `W / 2m`, and the
+//! effective interaction itself is a uniform draw from the active
+//! orientations.
+//!
+//! [`GraphSimulator`] adapts its machinery to the activity level:
+//!
+//! * **dense phase**: interactions are simulated literally — a uniform
+//!   edge and orientation per step, O(1), *no* weight bookkeeping — so on
+//!   effective-dominated stretches (USD's bulk phase on expanders has a
+//!   30–55% effective fraction) the engine matches the agentwise cost
+//!   instead of paying per-edge updates that buy nothing. A run of
+//!   consecutive no-op draws long enough to certify a collapsed activity
+//!   fraction triggers the sparse phase (the failed draws *are* scheduled
+//!   no-op interactions, so nothing is wasted or approximated);
+//! * **sparse phase**: the engine scans the graph once, builds a Fenwick
+//!   tree over the per-edge active-orientation weights (0, 1, or 2), and
+//!   from then on skips each no-op run in O(1) — the run length is
+//!   geometric with success probability `W / 2m` — sampling the effective
+//!   edge in O(log m) and re-weighting the ≤ d incident edges of a changed
+//!   agent in O(d log m) per **effective** interaction. When the activity
+//!   fraction recovers past a hysteresis threshold the tree is dropped and
+//!   the dense phase resumes.
+//!
+//! On no-op-dominated regimes (low-conductance families like the cycle and
+//! torus spend > 99% of their schedule on no-ops; any topology's endgame
+//! collapses to a few active edges) the scheduled-to-effective ratio is
+//! what separates this engine from the per-interaction agentwise engine,
+//! which is why it is the one that makes n = 10⁶ graph topologies cheap.
+//!
+//! # Exactness
+//!
+//! The geometric skip is the exact law of the embedded no-op run (the same
+//! inversion `SkipAheadUsd` and `BatchSimulator` use), and the effective
+//! interaction is drawn from the exact conditional law (edge ∝ its active
+//! orientation count, then a uniform active orientation of that edge), so
+//! the induced chain on agent states is identical to driving
+//! [`AgentSimulator`](crate::simulator::AgentSimulator) with a
+//! [`GraphScheduler`](crate::scheduler::GraphScheduler) — verified by KS
+//! tests in `tests/topology_equivalence.rs`.
+//!
+//! # Silence on graphs
+//!
+//! A configuration is silent for a graph-restricted scheduler iff `W = 0` —
+//! a *weaker* condition than clique silence (two clashing opinions that are
+//! not adjacent cannot interact). On connected graphs USD silence still
+//! coincides with consensus/all-⊥, but on disconnected topologies the
+//! dynamics can freeze in a mixed configuration. In the sparse phase
+//! [`GraphSimulator::is_silent`] reports exactly `W == 0`; in the dense
+//! phase it uses the (sufficient) count-level criterion, and a frozen
+//! configuration that criterion misses is caught by the no-op-run trigger,
+//! which escalates to the sparse phase and certifies `W = 0` — so every
+//! driver loop terminates with the exact graph notion.
+
+use crate::config::CountConfig;
+use crate::graph::Graph;
+use crate::protocol::Protocol;
+use crate::sampling::FenwickSampler;
+use crate::simulator::Simulator;
+use sim_stats::rng::SimRng;
+
+/// Consecutive no-op draws in the dense phase that trigger the switch to
+/// the Fenwick skipper. At activity fraction `f` the probability of this
+/// many consecutive no-ops is `(1 − f)^1024` — negligible above `f ≈ 1/64`,
+/// near-certain once the fraction truly collapses, so spurious O(m)
+/// rebuilds are rare and real collapses are caught within ~1k steps.
+const SPARSE_TRIGGER_NOOPS: u32 = 1024;
+/// Activity fraction at which the sparse phase drops its Fenwick tree and
+/// returns to literal dense stepping: skipping `< 32` no-ops per event no
+/// longer repays the O(d log m) updates. The wide hysteresis band versus
+/// [`SPARSE_TRIGGER_NOOPS`] (~1/1024) prevents rebuild thrash.
+const DENSE_ENTER_INV: u64 = 32;
+
+/// Exact active-edge simulator for a fixed interaction graph.
+///
+/// Memory is O(n + m); the dense phase costs O(1) per scheduled
+/// interaction and the sparse phase O(d log m) per **effective**
+/// interaction, where `d` is the degree of the two agents that changed.
+/// See the [module docs](self) for the phase machinery and its exactness
+/// argument.
+#[derive(Debug, Clone)]
+pub struct GraphSimulator<P: Protocol> {
+    protocol: P,
+    /// The graph's edge list (unordered endpoint pairs).
+    edges: Vec<(u32, u32)>,
+    /// CSR adjacency offsets: vertex `v` owns `adj[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<u32>,
+    /// CSR adjacency entries: `(neighbor, edge index)`.
+    adj: Vec<(u32, u32)>,
+    /// Dense state index per agent.
+    states: Vec<u32>,
+    /// Per-state counts, kept in sync with `states`.
+    counts: Vec<u64>,
+    /// Fenwick tree over per-edge active-orientation weights (0, 1, or 2).
+    /// Materialized (and then kept incrementally in sync) only in the
+    /// sparse phase; `None` while the dense phase steps literally.
+    fenwick: Option<FenwickSampler>,
+    /// Consecutive no-op draws seen by the dense phase (sparse trigger).
+    noop_run: u32,
+    k: usize,
+    interactions: u64,
+    effective_interactions: u64,
+    /// Cached `transition_indices` for all ordered state pairs
+    /// (`table[i * k + j]`).
+    table: Vec<(u32, u32)>,
+    /// Whether `(i, j)` is a no-op (`noop[i * k + j]`).
+    noop: Vec<bool>,
+}
+
+impl<P: Protocol> GraphSimulator<P> {
+    /// Create from explicit per-agent states (dense indices). The graph
+    /// must have at least one edge and as many vertices as there are
+    /// states.
+    pub fn new(protocol: P, graph: &Graph, states: Vec<usize>) -> Self {
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "agent count does not match graph vertex count"
+        );
+        assert!(graph.num_edges() > 0, "graphwise engine needs edges");
+        let k = protocol.num_states();
+        let mut table = Vec::with_capacity(k * k);
+        let mut noop = Vec::with_capacity(k * k);
+        for i in 0..k {
+            for j in 0..k {
+                let (a, b) = protocol.transition_indices(i, j);
+                table.push((a as u32, b as u32));
+                noop.push((a, b) == (i, j));
+            }
+        }
+        let mut counts = vec![0u64; k];
+        let states: Vec<u32> = states
+            .into_iter()
+            .map(|s| {
+                assert!(s < k, "state index {s} out of range");
+                counts[s] += 1;
+                s as u32
+            })
+            .collect();
+
+        // CSR adjacency.
+        let n = graph.n();
+        let edges = graph.edges().to_vec();
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, b) in &edges {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0u32, 0u32); 2 * edges.len()];
+        for (e, &(a, b)) in edges.iter().enumerate() {
+            adj[cursor[a as usize] as usize] = (b, e as u32);
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize] as usize] = (a, e as u32);
+            cursor[b as usize] += 1;
+        }
+
+        GraphSimulator {
+            protocol,
+            edges,
+            offsets,
+            adj,
+            states,
+            counts,
+            fenwick: None,
+            noop_run: 0,
+            k,
+            interactions: 0,
+            effective_interactions: 0,
+            table,
+            noop,
+        }
+    }
+
+    /// Create from a count configuration with a uniformly shuffled agent
+    /// layout. On non-clique topologies the layout matters (states are not
+    /// exchangeable across vertices), so a uniform random placement is the
+    /// canonical initial law; a block layout would correlate states with
+    /// the generator's vertex numbering.
+    pub fn from_config_shuffled(
+        protocol: P,
+        graph: &Graph,
+        config: &CountConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        let states = shuffled_layout(config, rng);
+        Self::new(protocol, graph, states)
+    }
+
+    /// Create from a count configuration with a block layout (agents
+    /// `0..c₀` in state 0, the next `c₁` in state 1, …). Only appropriate
+    /// when the layout is irrelevant — i.e. the complete graph; prefer
+    /// [`GraphSimulator::from_config_shuffled`] for real topologies.
+    pub fn from_config(protocol: P, graph: &Graph, config: &CountConfig) -> Self {
+        let mut states = Vec::with_capacity(config.n() as usize);
+        for (idx, &c) in config.counts().iter().enumerate() {
+            states.extend(std::iter::repeat_n(idx, c as usize));
+        }
+        Self::new(protocol, graph, states)
+    }
+
+    /// The protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of agents.
+    pub fn population(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The state index of one agent.
+    pub fn state_of_agent(&self, v: usize) -> usize {
+        self.states[v] as usize
+    }
+
+    /// Per-state counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Current count configuration (copies counts).
+    pub fn config(&self) -> CountConfig {
+        CountConfig::from_counts(self.counts.clone())
+    }
+
+    /// Total interactions simulated (including no-ops).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Interactions that changed the configuration.
+    pub fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    /// Total number of active orientations `W` (0 iff silent). O(1) in the
+    /// sparse phase; scans the edges in the dense phase, where `W` is not
+    /// maintained.
+    pub fn active_weight(&self) -> u64 {
+        match &self.fenwick {
+            Some(f) => f.total(),
+            None => (0..self.edges.len()).map(|e| self.edge_weight(e)).sum(),
+        }
+    }
+
+    /// Parallel time elapsed (= interactions / n).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.states.len() as f64
+    }
+
+    /// Whether the configuration is silent *for this graph*: no scheduled
+    /// interaction can change it (`W = 0`).
+    ///
+    /// Sparse phase: exact (`W == 0`). Dense phase: the count-level clique
+    /// criterion, which is sufficient (clique silence implies graph
+    /// silence) but can miss a frozen configuration on a *disconnected*
+    /// graph; driver loops still terminate because the dense phase's
+    /// no-op-run trigger escalates such configurations to the sparse phase
+    /// (see the module docs).
+    pub fn is_silent(&self) -> bool {
+        match &self.fenwick {
+            Some(f) => f.total() == 0,
+            None => self.protocol.is_silent(&self.counts),
+        }
+    }
+
+    /// Current weight (active orientations) of edge `e` from its endpoint
+    /// states.
+    #[inline]
+    fn edge_weight(&self, e: usize) -> u64 {
+        let (a, b) = self.edges[e];
+        let sa = self.states[a as usize] as usize;
+        let sb = self.states[b as usize] as usize;
+        (!self.noop[sa * self.k + sb]) as u64 + (!self.noop[sb * self.k + sa]) as u64
+    }
+
+    /// Re-weight the incident edges of vertex `v` in the Fenwick tree after
+    /// its state changed from `old` (the state array already holds the new
+    /// value). Sparse phase only.
+    fn refresh_incident(&mut self, v: usize, old: usize) {
+        let t = self.states[v] as usize;
+        let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        for idx in lo..hi {
+            let (nb, e) = self.adj[idx];
+            debug_assert_ne!(nb as usize, v, "self-loop");
+            // The neighbor may be the interaction partner; the two
+            // endpoints are flipped and refreshed one at a time, so `y` and
+            // `old` always describe the edge's pre-refresh weight exactly.
+            let y = self.states[nb as usize] as usize;
+            let was = (!self.noop[old * self.k + y]) as u64 + (!self.noop[y * self.k + old]) as u64;
+            let now = (!self.noop[t * self.k + y]) as u64 + (!self.noop[y * self.k + t]) as u64;
+            if was != now {
+                self.fenwick
+                    .as_mut()
+                    .expect("sparse-phase refresh without a tree")
+                    .add(e as usize, now as i64 - was as i64);
+            }
+        }
+    }
+
+    /// Apply `f` to the oriented pair `(i → j)`; returns whether any state
+    /// changed (re-weighting the incident edges when the tree is live).
+    fn apply_oriented(&mut self, i: usize, j: usize) -> bool {
+        let (si, sj) = (self.states[i] as usize, self.states[j] as usize);
+        if self.noop[si * self.k + sj] {
+            return false;
+        }
+        let (ti, tj) = self.table[si * self.k + sj];
+        self.counts[si] -= 1;
+        self.counts[sj] -= 1;
+        self.counts[ti as usize] += 1;
+        self.counts[tj as usize] += 1;
+        self.effective_interactions += 1;
+        if self.fenwick.is_none() {
+            self.states[i] = ti;
+            self.states[j] = tj;
+            return true;
+        }
+        // Refresh one endpoint at a time so each delta is computed against
+        // a consistent snapshot: flip i first (j still old), refresh i's
+        // edges; then flip j and refresh. The shared edge (i, j) is seen by
+        // both refreshes and both deltas are correct for the state it had
+        // at that moment.
+        if ti as usize != si {
+            self.states[i] = ti;
+            self.refresh_incident(i, si);
+        }
+        if tj as usize != sj {
+            self.states[j] = tj;
+            self.refresh_incident(j, sj);
+        }
+        true
+    }
+
+    /// Enter the sparse phase: scan the graph once and build the Fenwick
+    /// tree over per-edge active-orientation weights.
+    fn build_fenwick(&mut self) {
+        let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
+        self.fenwick = Some(FenwickSampler::new(&weights));
+        self.noop_run = 0;
+    }
+
+    /// Simulate exactly one scheduled interaction (uniform edge, uniform
+    /// orientation — the literal [`GraphScheduler`] law); returns whether
+    /// it changed the configuration.
+    ///
+    /// [`GraphScheduler`]: crate::scheduler::GraphScheduler
+    pub fn step(&mut self, rng: &mut SimRng) -> bool {
+        self.interactions += 1;
+        let (a, b) = self.edges[rng.index(self.edges.len())];
+        let (i, j) = if rng.bernoulli(0.5) {
+            (a as usize, b as usize)
+        } else {
+            (b as usize, a as usize)
+        };
+        self.apply_oriented(i, j)
+    }
+
+    /// One sparse-phase advancement: geometrically skip the no-op run
+    /// preceding the next effective interaction (truncated at `max`) and
+    /// simulate that interaction from the exact conditional law — edge
+    /// ∝ active-orientation weight, then a uniform active orientation of
+    /// the edge. Precondition: tree live, `W > 0`, `max > 0`.
+    fn sparse_advance(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        let w = self
+            .fenwick
+            .as_ref()
+            .expect("sparse advance without tree")
+            .total();
+        let total = 2 * self.edges.len() as u64;
+        let p_eff = (w as f64 / total as f64).min(1.0);
+        let skipped = rng.geometric(p_eff);
+        if skipped >= max {
+            // The effective interaction lands beyond the horizon: the first
+            // `max` interactions are conditionally all no-ops (truncated
+            // geometric — still exact).
+            self.interactions += max;
+            return (max, false);
+        }
+        self.interactions += skipped + 1;
+        let f = self.fenwick.as_ref().expect("sparse advance without tree");
+        let e = f.sample(rng);
+        let two_sided = f.weight(e) == 2;
+        let (a, b) = self.edges[e];
+        let sa = self.states[a as usize] as usize;
+        let sb = self.states[b as usize] as usize;
+        let (i, j) = if two_sided {
+            if rng.bernoulli(0.5) {
+                (a as usize, b as usize)
+            } else {
+                (b as usize, a as usize)
+            }
+        } else if !self.noop[sa * self.k + sb] {
+            (a as usize, b as usize)
+        } else {
+            (b as usize, a as usize)
+        };
+        let changed = self.apply_oriented(i, j);
+        debug_assert!(changed, "sampled active orientation was a no-op");
+        (skipped + 1, true)
+    }
+
+    /// Advance by at most `max` interactions using the cheapest exact
+    /// mechanism for the current activity level (literal dense stepping or
+    /// the sparse Fenwick skipper). Returns interactions advanced and
+    /// whether the counts changed. On a certified-silent configuration the
+    /// clock stops: the call returns without advancing (possibly `(0,
+    /// false)`), and `is_silent()` is true.
+    pub fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        if max == 0 {
+            return (0, false);
+        }
+        let mut advanced = 0u64;
+        loop {
+            // Sparse phase: skip geometrically; fall back to dense when the
+            // activity fraction has recovered past the hysteresis
+            // threshold.
+            if let Some(f) = &self.fenwick {
+                let w = f.total();
+                if w == 0 {
+                    // Silent: nothing can ever change. Stop the clock
+                    // instead of charging the horizon, so stabilization
+                    // times report when silence was *reached* — drivers
+                    // treat a short advancement as termination and confirm
+                    // via `is_silent`, which is exact here.
+                    return (advanced, false);
+                }
+                if w * DENSE_ENTER_INV >= 2 * self.edges.len() as u64 {
+                    self.fenwick = None;
+                    self.noop_run = 0;
+                } else {
+                    let (leapt, changed) = self.sparse_advance(rng, max - advanced);
+                    return (advanced + leapt, changed);
+                }
+            }
+            // Dense phase: literal scheduled draws, O(1) each. A long
+            // enough run of consecutive no-ops certifies a collapsed
+            // activity fraction (or silence) and escalates to the sparse
+            // skipper on the next loop turn.
+            while advanced < max {
+                advanced += 1;
+                if self.step(rng) {
+                    self.noop_run = 0;
+                    return (advanced, true);
+                }
+                self.noop_run += 1;
+                if self.noop_run >= SPARSE_TRIGGER_NOOPS {
+                    self.build_fenwick();
+                    break;
+                }
+            }
+            if advanced >= max {
+                return (max, false);
+            }
+        }
+    }
+
+    /// Run until `stop` returns true on the counts, graph silence, or
+    /// `budget` interactions; returns interactions simulated by this call.
+    pub fn run(
+        &mut self,
+        rng: &mut SimRng,
+        budget: u64,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> u64 {
+        let start = self.interactions;
+        if stop(self) || self.is_silent() {
+            return 0;
+        }
+        loop {
+            let done = self.interactions - start;
+            if done >= budget {
+                return done;
+            }
+            let (advanced, changed) = self.advance_changed(rng, budget - done);
+            if advanced == 0 {
+                return done;
+            }
+            if changed && (stop(self) || self.is_silent()) {
+                return self.interactions - start;
+            }
+        }
+    }
+}
+
+/// Block layout for `config` shuffled uniformly — the canonical random
+/// placement of a count configuration onto graph vertices.
+pub fn shuffled_layout(config: &CountConfig, rng: &mut SimRng) -> Vec<usize> {
+    let mut states = Vec::with_capacity(config.n() as usize);
+    for (idx, &c) in config.counts().iter().enumerate() {
+        states.extend(std::iter::repeat_n(idx, c as usize));
+    }
+    rng.shuffle(&mut states);
+    states
+}
+
+impl<P: Protocol> Simulator for GraphSimulator<P> {
+    fn population(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    fn num_states(&self) -> usize {
+        self.k
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> bool {
+        GraphSimulator::step(self, rng)
+    }
+
+    fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        GraphSimulator::advance_changed(self, rng, max)
+    }
+
+    fn is_silent(&self) -> bool {
+        GraphSimulator::is_silent(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::OneWayEpidemic;
+    use crate::scheduler::GraphScheduler;
+
+    fn epidemic_on(graph: &Graph, infected: usize) -> GraphSimulator<OneWayEpidemic> {
+        let mut states = vec![1usize; graph.n()];
+        for s in states.iter_mut().take(infected) {
+            *s = 0;
+        }
+        GraphSimulator::new(OneWayEpidemic, graph, states)
+    }
+
+    #[test]
+    fn initial_active_weight_counts_boundary_orientations() {
+        // Path 0-1-2-3 with agent 0 infected: only edge (0,1) is active,
+        // in both orientations (epidemic is symmetric in effect).
+        let g = Graph::path(4);
+        let sim = epidemic_on(&g, 1);
+        assert_eq!(sim.active_weight(), 2);
+        assert!(!sim.is_silent());
+    }
+
+    #[test]
+    fn epidemic_on_cycle_completes_and_counts_events() {
+        let g = Graph::cycle(50);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(1);
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+        }
+        assert_eq!(sim.counts(), &[50, 0]);
+        // One infection per susceptible agent.
+        assert_eq!(sim.effective_interactions(), 49);
+        assert_eq!(sim.active_weight(), 0);
+    }
+
+    #[test]
+    fn step_matches_scheduler_law_on_interaction_counts() {
+        // Driving with single steps must give the same infection law as an
+        // AgentSimulator over the same GraphScheduler (here: compare mean
+        // completion interactions on a small cycle).
+        let reps = 200u64;
+        let mut graphwise_mean = 0.0;
+        let mut agentwise_mean = 0.0;
+        for seed in 0..reps {
+            let g = Graph::cycle(16);
+            let mut sim = epidemic_on(&g, 1);
+            let mut rng = SimRng::new(seed);
+            while !sim.is_silent() {
+                sim.step(&mut rng);
+            }
+            graphwise_mean += sim.interactions() as f64;
+
+            let g = Graph::cycle(16);
+            let mut states = vec![1usize; 16];
+            states[0] = 0;
+            let mut reference = crate::simulator::AgentSimulator::new(
+                OneWayEpidemic,
+                GraphScheduler::new(g),
+                states,
+            );
+            let mut rng = SimRng::new(seed + 10_000);
+            while reference.counts()[0] < 16 {
+                crate::simulator::Simulator::step(&mut reference, &mut rng);
+            }
+            agentwise_mean += reference.interactions() as f64;
+        }
+        graphwise_mean /= reps as f64;
+        agentwise_mean /= reps as f64;
+        let rel = (graphwise_mean - agentwise_mean).abs() / agentwise_mean;
+        assert!(
+            rel < 0.06,
+            "graphwise {graphwise_mean} vs agentwise {agentwise_mean}"
+        );
+    }
+
+    #[test]
+    fn skip_clock_matches_single_step_clock_in_distribution() {
+        // The geometric skip must preserve the *total interaction* clock:
+        // mean completion interactions via advance() equals via step().
+        let reps = 300u64;
+        let mut skip_mean = 0.0;
+        let mut step_mean = 0.0;
+        for seed in 0..reps {
+            let g = Graph::cycle(24);
+            let mut sim = epidemic_on(&g, 1);
+            let mut rng = SimRng::new(seed);
+            while !sim.is_silent() {
+                sim.advance_changed(&mut rng, u64::MAX / 2);
+            }
+            skip_mean += sim.interactions() as f64;
+
+            let g = Graph::cycle(24);
+            let mut sim = epidemic_on(&g, 1);
+            let mut rng = SimRng::new(seed + 777_777);
+            while !sim.is_silent() {
+                sim.step(&mut rng);
+            }
+            step_mean += sim.interactions() as f64;
+        }
+        skip_mean /= reps as f64;
+        step_mean /= reps as f64;
+        let rel = (skip_mean - step_mean).abs() / step_mean;
+        assert!(rel < 0.06, "skip {skip_mean} vs step {step_mean}");
+    }
+
+    #[test]
+    fn advance_respects_max_and_truncates_exactly() {
+        let g = Graph::cycle(1000);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(3);
+        for max in [1u64, 7, 100, 10_000] {
+            let before = sim.interactions();
+            let (advanced, _) = sim.advance_changed(&mut rng, max);
+            assert!(advanced >= 1 && advanced <= max, "advanced {advanced}");
+            assert_eq!(sim.interactions() - before, advanced);
+        }
+    }
+
+    #[test]
+    fn silent_configuration_stops_the_clock() {
+        let g = Graph::cycle(10);
+        let mut sim = epidemic_on(&g, 10); // everyone infected: silent
+        assert!(sim.is_silent());
+        let mut rng = SimRng::new(4);
+        // The dense phase draws genuine (no-op) scheduled interactions
+        // until the trigger certifies silence; after that the clock stops
+        // for good, so repeated calls cannot inflate stabilization times.
+        let (first, changed) = sim.advance_changed(&mut rng, 5_000);
+        assert!(!changed);
+        assert!(first <= 5_000);
+        let clock = sim.interactions();
+        let (second, changed) = sim.advance_changed(&mut rng, 5_000);
+        assert_eq!((second, changed), (0, false));
+        assert_eq!(sim.interactions(), clock);
+        assert_eq!(sim.effective_interactions(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_freezes_with_mixed_counts() {
+        // Two components, infection only in one: the run must go silent
+        // with susceptibles remaining — the graph notion of silence.
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut states = vec![1usize; 4];
+        states[0] = 0;
+        let mut sim = GraphSimulator::new(OneWayEpidemic, &g, states);
+        let mut rng = SimRng::new(5);
+        let mut guard = 0;
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(sim.counts(), &[2, 2]);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let g = Graph::cycle(100);
+        let mut sim: Box<dyn Simulator> = Box::new(epidemic_on(&g, 5));
+        let mut rng = SimRng::new(6);
+        let ran = sim.run_until(&mut rng, u64::MAX / 2, &mut |_| false);
+        assert!(ran > 0);
+        assert!(sim.is_silent());
+        assert_eq!(sim.counts(), &[100, 0]);
+    }
+
+    #[test]
+    fn shuffled_layout_preserves_counts() {
+        let cfg = CountConfig::from_counts(vec![10, 30, 60]);
+        let mut rng = SimRng::new(7);
+        let layout = shuffled_layout(&cfg, &mut rng);
+        assert_eq!(layout.len(), 100);
+        let mut counts = [0u64; 3];
+        for &s in &layout {
+            counts[s] += 1;
+        }
+        assert_eq!(&counts, &[10, 30, 60]);
+        // And it actually shuffles (block layout is astronomically
+        // unlikely to survive).
+        assert_ne!(layout, shuffled_layout(&cfg, &mut SimRng::new(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs edges")]
+    fn empty_graph_rejected() {
+        let g = Graph::from_edges(3, vec![]);
+        GraphSimulator::new(OneWayEpidemic, &g, vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex count")]
+    fn state_count_mismatch_rejected() {
+        let g = Graph::cycle(3);
+        GraphSimulator::new(OneWayEpidemic, &g, vec![0, 1]);
+    }
+}

@@ -1,13 +1,12 @@
 //! Exact simulators for population protocols.
 //!
-//! Three backends simulate the same Markov chain on count configurations
-//! under the uniform clique scheduler, at different cost models:
+//! Four backends simulate the same Markov chains at different cost models:
 //!
 //! * [`AgentSimulator`] — tracks each agent's state individually and asks a
 //!   [`Scheduler`](crate::scheduler::Scheduler) for agent pairs: the literal
 //!   model, O(1) per interaction but O(n) memory, and the ground-truth
-//!   oracle for equivalence testing. The only backend supporting non-clique
-//!   interaction graphs.
+//!   oracle for equivalence testing. Works with any scheduler, clique or
+//!   graph-restricted.
 //! * [`CountSimulator`] — tracks only per-state counts and samples the
 //!   interacting *states* directly from the counts (first state ∝ count,
 //!   second ∝ count with the first agent removed). For the uniform clique
@@ -19,18 +18,26 @@
 //!   transitions count-wise, and handling the first colliding interaction
 //!   exactly; no-op-dominated phases use geometric skip-ahead instead.
 //!   O(k² + √n) work per ~√n interactions — sub-constant time per
-//!   interaction, the enabler for n ≥ 10⁸ runs.
+//!   interaction, the enabler for n ≥ 10⁸ runs. Clique only.
+//! * [`GraphSimulator`] — the graph-topology counterpart of the leaping
+//!   engines: per-agent states plus a Fenwick tree over per-edge *active*
+//!   (non-no-op) orientation counts, skipping geometrically over no-op
+//!   stretches and paying O(d log m) per **effective** interaction. The
+//!   fast exact engine for [`GraphScheduler`](crate::scheduler::GraphScheduler)
+//!   topologies.
 //!
-//! The [`Simulator`] trait unifies the three so drivers, experiments, the
+//! The [`Simulator`] trait unifies them so drivers, experiments, the
 //! CLI, and benches can select a backend generically.
 
 mod agentwise;
 mod batched;
 mod countwise;
+mod graphwise;
 
 pub use agentwise::{AgentSimulator, InteractionRecord};
 pub use batched::BatchSimulator;
 pub use countwise::CountSimulator;
+pub use graphwise::{shuffled_layout, GraphSimulator};
 
 use crate::config::CountConfig;
 use sim_stats::rng::SimRng;
@@ -75,7 +82,10 @@ pub trait Simulator {
     fn step(&mut self, rng: &mut SimRng) -> bool;
 
     /// Advance the interaction clock by at most `max` interactions,
-    /// returning how many were simulated (0 only when `max == 0`).
+    /// returning how many were simulated (0 when `max == 0`, or when a
+    /// backend certifies the configuration silent and stops the clock —
+    /// callers treat 0 as termination and confirm via
+    /// [`Simulator::is_silent`]).
     ///
     /// The default advances one interaction via [`Simulator::step`];
     /// leaping backends override [`Simulator::advance_changed`].

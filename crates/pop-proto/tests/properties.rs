@@ -162,6 +162,107 @@ proptest! {
         let total: u64 = tally.iter().map(|&(_, c)| c).sum();
         prop_assert_eq!(total, cfg.n());
     }
+
+    /// Every topology family builds a simple graph with the promised
+    /// degree structure: no self-loops, no multi-edges, handshake identity
+    /// (Σ deg = 2m), exact degrees for the structured families and the
+    /// configuration model, and deterministic seeded construction.
+    #[test]
+    fn topology_families_build_simple_graphs(
+        n in 8usize..120,
+        d in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        use pop_proto::TopologyFamily;
+        use std::collections::HashSet;
+        let families = [
+            TopologyFamily::Complete,
+            TopologyFamily::Cycle,
+            TopologyFamily::Torus,
+            TopologyFamily::Hypercube,
+            TopologyFamily::Regular { d },
+            TopologyFamily::ErdosRenyi { avg_degree: d as f64 },
+        ];
+        for fam in families {
+            let n = fam.snap_n(n);
+            let g = fam.build(n, seed);
+            prop_assert_eq!(g.n(), n, "{} changed n", fam);
+
+            // Simplicity: no self-loops, no multi-edges.
+            let mut seen = HashSet::new();
+            for &(a, b) in g.edges() {
+                prop_assert_ne!(a, b, "{}: self-loop", fam);
+                let key = ((a.min(b) as u64) << 32) | a.max(b) as u64;
+                prop_assert!(seen.insert(key), "{}: duplicate edge ({},{})", fam, a, b);
+            }
+
+            // Handshake: Σ deg = 2m.
+            let degrees = g.degrees();
+            prop_assert_eq!(
+                degrees.iter().sum::<usize>(),
+                2 * g.num_edges(),
+                "{}: handshake sum broken", fam
+            );
+
+            // Exact degree sequences where the family promises one.
+            match fam {
+                TopologyFamily::Complete =>
+                    prop_assert!(degrees.iter().all(|&x| x == n - 1)),
+                TopologyFamily::Cycle =>
+                    prop_assert!(degrees.iter().all(|&x| x == 2)),
+                TopologyFamily::Torus =>
+                    prop_assert!(degrees.iter().all(|&x| x == 4)),
+                TopologyFamily::Hypercube => {
+                    let dim = n.trailing_zeros() as usize;
+                    prop_assert!(degrees.iter().all(|&x| x == dim));
+                }
+                TopologyFamily::Regular { d } =>
+                    prop_assert!(degrees.iter().all(|&x| x == d), "{}: not {}-regular", fam, d),
+                TopologyFamily::ErdosRenyi { .. } => {}
+            }
+
+            // Seeded determinism.
+            prop_assert_eq!(g, fam.build(n, seed), "{} not deterministic", fam);
+        }
+    }
+
+    /// The graphwise engine conserves the population and keeps its silence
+    /// flag consistent under arbitrary protocols on arbitrary sparse
+    /// random graphs (both the dense stepping and, via tiny populations
+    /// with frozen stretches, the sparse escalation path).
+    #[test]
+    fn graphwise_conserves_population_on_random_graphs(
+        (proto, counts) in (2usize..5).prop_flat_map(|m| (table_protocol(m), config_counts(m))),
+        seed in any::<u64>(),
+    ) {
+        use pop_proto::{GraphSimulator, TopologyFamily};
+        let n: u64 = counts.iter().sum();
+        let cfg = CountConfig::from_counts(counts);
+        let fam = TopologyFamily::Cycle;
+        let graph = fam.build(fam.snap_n(n as usize), 1);
+        prop_assume!(graph.n() as u64 == n);
+        let mut rng = SimRng::new(seed);
+        let mut sim = GraphSimulator::from_config_shuffled(proto, &graph, &cfg, &mut rng);
+        for _ in 0..100 {
+            let before = sim.interactions();
+            let (advanced, _) = sim.advance_changed(&mut rng, 50);
+            // The clock only stalls once silence is certified (advance
+            // returns 0 and the silence flag is exact from then on).
+            if advanced == 0 {
+                prop_assert!(sim.is_silent());
+                prop_assert_eq!(sim.interactions(), before);
+            } else {
+                prop_assert!(sim.interactions() > before);
+            }
+            prop_assert_eq!(sim.counts().iter().sum::<u64>(), n);
+        }
+        // active_weight and is_silent agree (sparse phase is exact; the
+        // dense count criterion may under-report silence but never
+        // over-report it).
+        if sim.is_silent() {
+            prop_assert_eq!(sim.active_weight(), 0);
+        }
+    }
 }
 
 /// Deterministic cross-simulator distributional check for the epidemic

@@ -1,9 +1,10 @@
 //! Subcommand implementations for `usd-sim`.
 
+use pop_proto::topology::TopologyFamily;
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
-use usd_core::backend::{stabilize_with_backend, Backend};
+use usd_core::backend::{stabilize_on_topology, stabilize_with_backend, Backend};
 use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
 use usd_core::encode::Trajectory;
 use usd_core::init::InitialConfigBuilder;
@@ -16,12 +17,18 @@ usd-sim — Undecided State Dynamics simulator
 
 commands:
   run    --n <u64> --k <usize> [--bias <u64> | --max-bias] [--seed <u64>]
-         [--backend agent|count|batch|seq|skip] [--trace <file.usdt>]
+         [--backend agent|count|batch|graph|seq|skip] [--trace <file.usdt>]
+         [--topology complete|cycle|torus|hypercube|regular[:d]|er[:avg]]
+         [--degree <usize>] [--topo-seed <u64>]
            one exact run to stabilization; optionally record a trajectory
            (backend default: skip; use batch for n >= 10^7, agent for
-           per-agent ground truth; trace requires the skip backend)
+           per-agent ground truth; trace requires the skip backend).
+           --topology runs on an interaction graph instead of the clique
+           (backend default becomes graph; agent also works); --degree sets
+           d for regular/er; the population is snapped to the nearest
+           feasible size for the family
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
-         [--backend agent|count|batch|seq|skip]
+         [--backend agent|count|batch|graph|seq|skip]
            stabilization time across the admissible k grid vs the bounds
   bounds --n <u64> --k <usize>
            print the paper's bound curves for (n, k)
@@ -102,11 +109,44 @@ impl Flags {
 /// `usd-sim run`.
 pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["max-bias"])?;
-    let n: u64 = flags.get("n")?.unwrap_or(100_000);
+    let mut n: u64 = flags.get("n")?.unwrap_or(100_000);
     let k: usize = flags.get("k")?.unwrap_or_else(|| theory::figure1_k(n));
     let seed: u64 = flags.get("seed")?.unwrap_or(42);
-    let backend: Backend = flags.get("backend")?.unwrap_or(Backend::SkipAhead);
+    let topology: Option<TopologyFamily> = flags.get("topology")?;
+    let topo_seed: u64 = flags.get("topo-seed")?.unwrap_or(7);
+    let topology = match (topology, flags.get::<usize>("degree")?) {
+        (_, Some(0)) => {
+            return Err(CliError("--degree must be at least 1".to_string()));
+        }
+        (Some(t), Some(d)) => Some(t.with_degree(d)),
+        (t, None) => t,
+        (None, Some(_)) => {
+            return Err(CliError("--degree requires --topology".to_string()));
+        }
+    };
+    let backend: Backend = flags.get("backend")?.unwrap_or(if topology.is_some() {
+        Backend::Graph
+    } else {
+        Backend::SkipAhead
+    });
     let trace_path: Option<String> = flags.get("trace")?;
+    if let Some(family) = topology {
+        if !backend.supports_topologies() {
+            return Err(CliError(format!(
+                "--topology requires --backend graph or agent, got {backend}"
+            )));
+        }
+        if trace_path.is_some() {
+            return Err(CliError(
+                "trace recording is clique-only (drop --topology)".to_string(),
+            ));
+        }
+        let snapped = family.snap_n(n as usize) as u64;
+        if snapped != n {
+            println!("note: n snapped to {snapped} for the {family} family");
+            n = snapped;
+        }
+    }
     if n < 2 || k < 1 || (k as u64) > n {
         return Err(CliError(format!("invalid instance n={n}, k={k}")));
     }
@@ -114,6 +154,17 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError(
             "trace recording requires --backend skip".to_string(),
         ));
+    }
+    if backend == Backend::Graph
+        && topology.is_none()
+        && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
+    {
+        return Err(CliError(format!(
+            "--backend graph without --topology runs the complete graph \
+             (n(n-1)/2 edges); n={n} exceeds the cap of {} — pass --topology \
+             for a sparse graph or use agent/count/batch for the clique",
+            usd_core::backend::COMPLETE_GRAPH_MAX_N
+        )));
     }
 
     let builder = InitialConfigBuilder::new(n, k);
@@ -136,7 +187,10 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             builder.equal_minorities(b)
         }
     };
-    println!("initial: {config} (backend: {backend})");
+    match topology {
+        Some(family) => println!("initial: {config} (backend: {backend}, topology: {family})"),
+        None => println!("initial: {config} (backend: {backend})"),
+    }
 
     let mut rng = SimRng::new(seed);
     let started = std::time::Instant::now();
@@ -170,6 +224,8 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             interactions: sim.interactions(),
             initial_plurality: config.plurality(),
         }
+    } else if let Some(family) = topology {
+        stabilize_on_topology(backend, &config, family, topo_seed, &mut rng, u64::MAX / 2)
     } else {
         stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2)
     };
@@ -186,6 +242,12 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         ),
         ConsensusOutcome::AllUndecided => println!(
             "absorbed in the all-undecided state after {} interactions; wall clock {:.2?}",
+            fmt_thousands(result.interactions),
+            elapsed,
+        ),
+        ConsensusOutcome::Frozen => println!(
+            "froze in a mixed configuration (disconnected topology) after {} interactions; \
+             wall clock {:.2?}",
             fmt_thousands(result.interactions),
             elapsed,
         ),
@@ -213,6 +275,13 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let backend: Backend = flags.get("backend")?.unwrap_or(Backend::SkipAhead);
     if n < 16 {
         return Err(CliError("need --n >= 16".into()));
+    }
+    if backend == Backend::Graph && n > usd_core::backend::COMPLETE_GRAPH_MAX_N {
+        return Err(CliError(format!(
+            "--backend graph sweeps the complete graph; n={n} exceeds the cap \
+             of {}",
+            usd_core::backend::COMPLETE_GRAPH_MAX_N
+        )));
     }
 
     let max_k = ((n as f64).sqrt() / (n as f64).ln()).floor().max(3.0) as usize;
@@ -393,8 +462,67 @@ mod tests {
     }
 
     #[test]
+    fn run_accepts_topologies() {
+        for t in ["cycle", "torus", "hypercube", "regular:4", "er:6"] {
+            cmd_run(&s(&[
+                "--n",
+                "256",
+                "--k",
+                "2",
+                "--seed",
+                "3",
+                "--topology",
+                t,
+            ]))
+            .unwrap_or_else(|e| panic!("topology {t}: {}", e.0));
+        }
+        // Agent backend and --degree also work on topologies.
+        cmd_run(&s(&[
+            "--n",
+            "100",
+            "--k",
+            "2",
+            "--topology",
+            "regular",
+            "--degree",
+            "6",
+            "--backend",
+            "agent",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn run_rejects_bad_topology_combinations() {
+        // Clique-only backend on a topology.
+        assert!(cmd_run(&s(&[
+            "--n",
+            "256",
+            "--topology",
+            "cycle",
+            "--backend",
+            "batch"
+        ]))
+        .is_err());
+        // Trace needs the clique.
+        assert!(cmd_run(&s(&[
+            "--n",
+            "256",
+            "--topology",
+            "cycle",
+            "--trace",
+            "/tmp/x.usdt"
+        ]))
+        .is_err());
+        // --degree without --topology.
+        assert!(cmd_run(&s(&["--n", "256", "--degree", "8"])).is_err());
+        // Unknown family.
+        assert!(cmd_run(&s(&["--n", "256", "--topology", "moebius"])).is_err());
+    }
+
+    #[test]
     fn run_accepts_every_backend() {
-        for b in ["agent", "count", "batch", "seq", "skip"] {
+        for b in ["agent", "count", "batch", "graph", "seq", "skip"] {
             cmd_run(&s(&[
                 "--n",
                 "500",

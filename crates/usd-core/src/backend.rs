@@ -1,25 +1,33 @@
 //! Generic backend selection for USD runs.
 //!
-//! Five exact engines can run the Undecided State Dynamics:
+//! Six exact engines can run the Undecided State Dynamics:
 //!
 //! | backend | engine | cost model |
 //! |---------|--------|------------|
 //! | `agent` | [`pop_proto::AgentSimulator`] | O(1)/interaction, O(n) memory |
 //! | `count` | [`pop_proto::CountSimulator`] | O(log k)/interaction |
 //! | `batch` | [`pop_proto::BatchSimulator`] | O(k²+log n) per ~√n interactions |
+//! | `graph` | [`pop_proto::GraphSimulator`] | O(d log m)/**effective** interaction |
 //! | `seq`   | [`crate::dynamics::SequentialUsd`] | O(log k)/interaction, USD-specialized |
 //! | `skip`  | [`crate::dynamics::SkipAheadUsd`] | O(log k)/effective event |
 //!
 //! [`Backend`] names them (with `FromStr` for CLI flags) and
 //! [`stabilize_with_backend`] runs any of them to stabilization behind one
 //! entry point, so experiments, the CLI, examples, and benches select an
-//! engine generically.
+//! engine generically. The `agent` and `graph` backends also run on
+//! non-clique interaction graphs: [`stabilize_on_topology`] builds a
+//! [`TopologyFamily`] graph, places the initial configuration uniformly at
+//! random on its vertices, and runs either engine to graph silence.
 
 use crate::config::UsdConfig;
 use crate::dynamics::{SequentialUsd, SkipAheadUsd};
 use crate::protocol::UndecidedStateDynamics;
 use crate::stabilization::{stabilize, ConsensusOutcome, StabilizationResult};
-use pop_proto::{AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, Simulator};
+use pop_proto::simulator::shuffled_layout;
+use pop_proto::{
+    AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, GraphScheduler,
+    GraphSimulator, Protocol, Simulator, TopologyFamily,
+};
 use sim_stats::rng::SimRng;
 
 /// A named USD simulation backend.
@@ -31,6 +39,9 @@ pub enum Backend {
     Count,
     /// Batch-leaping generic simulator (large n).
     Batch,
+    /// Active-edge graph simulator (graph topologies; the complete graph
+    /// is its degenerate clique instance).
+    Graph,
     /// USD-specialized sequential engine.
     Sequential,
     /// USD-specialized skip-ahead engine.
@@ -39,29 +50,39 @@ pub enum Backend {
 
 impl Backend {
     /// All backends, in display order.
-    pub const ALL: [Backend; 5] = [
+    pub const ALL: [Backend; 6] = [
         Backend::Agent,
         Backend::Count,
         Backend::Batch,
+        Backend::Graph,
         Backend::Sequential,
         Backend::SkipAhead,
     ];
 
-    /// The flag-friendly name (`agent`, `count`, `batch`, `seq`, `skip`).
+    /// The flag-friendly name (`agent`, `count`, `batch`, `graph`, `seq`,
+    /// `skip`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Agent => "agent",
             Backend::Count => "count",
             Backend::Batch => "batch",
+            Backend::Graph => "graph",
             Backend::Sequential => "seq",
             Backend::SkipAhead => "skip",
         }
     }
 
     /// Whether the backend's memory footprint scales with n (the agentwise
-    /// engine allocates one state per agent).
+    /// and graphwise engines allocate per-agent — and, for `graph`,
+    /// per-edge — state).
     pub fn per_agent_memory(&self) -> bool {
-        matches!(self, Backend::Agent)
+        matches!(self, Backend::Agent | Backend::Graph)
+    }
+
+    /// Whether the backend runs on non-clique interaction graphs (accepted
+    /// by [`make_topology_simulator`] / [`stabilize_on_topology`]).
+    pub fn supports_topologies(&self) -> bool {
+        matches!(self, Backend::Agent | Backend::Graph)
     }
 }
 
@@ -79,21 +100,29 @@ impl std::str::FromStr for Backend {
             "agent" => Ok(Backend::Agent),
             "count" => Ok(Backend::Count),
             "batch" => Ok(Backend::Batch),
+            "graph" | "graphwise" => Ok(Backend::Graph),
             "seq" | "sequential" => Ok(Backend::Sequential),
             "skip" | "skip-ahead" => Ok(Backend::SkipAhead),
             other => Err(format!(
-                "unknown backend '{other}' (expected agent|count|batch|seq|skip)"
+                "unknown backend '{other}' (expected agent|count|batch|graph|seq|skip)"
             )),
         }
     }
 }
 
+/// Largest population for which [`make_simulator`] will materialize the
+/// complete graph for [`Backend::Graph`] (~10⁸/2 edges ≈ 1.2 GB of edge
+/// list + adjacency at the cap).
+pub const COMPLETE_GRAPH_MAX_N: u64 = 10_000;
+
 /// Construct a generic-substrate simulator for `config` as a trait object.
 ///
-/// Only the three `pop-proto` backends are generic-substrate engines;
+/// Only the four `pop-proto` backends are generic-substrate engines;
 /// passing [`Backend::Sequential`] or [`Backend::SkipAhead`] panics (those
 /// implement [`crate::dynamics::UsdSimulator`] instead — use
-/// [`stabilize_with_backend`] for uniform treatment of all five).
+/// [`stabilize_with_backend`] for uniform treatment of all six).
+/// [`Backend::Graph`] here means the *complete* graph (its degenerate
+/// clique instance) and is capped at [`COMPLETE_GRAPH_MAX_N`] agents.
 pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator> {
     let proto = UndecidedStateDynamics::new(config.k());
     let counts = config.to_count_config();
@@ -105,11 +134,63 @@ pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator
         )),
         Backend::Count => Box::new(CountSimulator::new(proto, &counts)),
         Backend::Batch => Box::new(BatchSimulator::new(proto, &counts)),
+        Backend::Graph => {
+            // Degenerate clique instance: the complete graph, materialized
+            // as a Θ(n²) edge list — demo/ablation territory. Refuse sizes
+            // whose edge list would silently eat gigabytes; sparse
+            // topologies at large n go through `stabilize_on_topology`.
+            assert!(
+                config.n() <= COMPLETE_GRAPH_MAX_N,
+                "backend 'graph' on the complete graph materializes n(n-1)/2 edges; \
+                 n = {} exceeds the {COMPLETE_GRAPH_MAX_N} cap (use --topology for \
+                 sparse graphs, or agent/count/batch for the clique)",
+                config.n()
+            );
+            let graph = TopologyFamily::Complete.build(config.n() as usize, 0);
+            Box::new(GraphSimulator::from_config(proto, &graph, &counts))
+        }
         other => panic!("{other} is a USD-specialized engine, not a generic-substrate backend"),
     }
 }
 
+/// Construct a topology-capable simulator over a [`TopologyFamily`] graph.
+///
+/// The graph is built deterministically from `(family, n, topo_seed)` and
+/// the initial configuration is placed uniformly at random on its vertices
+/// (drawing from `rng`). Only the topology-capable backends are accepted
+/// (see [`Backend::supports_topologies`]); the population must already be
+/// feasible for the family (see [`TopologyFamily::snap_n`]).
+pub fn make_topology_simulator(
+    backend: Backend,
+    config: &UsdConfig,
+    family: TopologyFamily,
+    topo_seed: u64,
+    rng: &mut SimRng,
+) -> Box<dyn Simulator> {
+    assert!(
+        backend.supports_topologies(),
+        "{backend} cannot run graph topologies (use agent or graph)"
+    );
+    let proto = UndecidedStateDynamics::new(config.k());
+    let counts = config.to_count_config();
+    let graph = family.build(config.n() as usize, topo_seed);
+    let states = shuffled_layout(&counts, rng);
+    match backend {
+        Backend::Agent => Box::new(AgentSimulator::new(
+            proto,
+            GraphScheduler::new(graph),
+            states,
+        )),
+        Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
+        _ => unreachable!("supports_topologies() admitted {backend}"),
+    }
+}
+
 /// Classify a stabilized generic-substrate run from its final counts.
+///
+/// A silent configuration is consensus (one opinion, no ⊥), all-undecided,
+/// or — reachable only on disconnected interaction graphs — a frozen mixed
+/// configuration.
 fn result_from_counts(
     counts: &[u64],
     k: usize,
@@ -119,14 +200,16 @@ fn result_from_counts(
 ) -> StabilizationResult {
     let outcome = if !stabilized {
         ConsensusOutcome::Timeout
-    } else if counts[k] > 0 {
+    } else if counts[..k].iter().all(|&c| c == 0) {
         ConsensusOutcome::AllUndecided
-    } else {
+    } else if counts[k] == 0 && counts[..k].iter().filter(|&&c| c > 0).count() == 1 {
         let winner = counts[..k]
             .iter()
             .position(|&c| c > 0)
-            .expect("a stabilized decided configuration has a winner");
+            .expect("a decided silent configuration has a winner");
         ConsensusOutcome::Winner(winner)
+    } else {
+        ConsensusOutcome::Frozen
     };
     StabilizationResult {
         outcome,
@@ -171,6 +254,88 @@ pub fn stabilize_with_backend(
     }
 }
 
+/// Whether no edge of `graph` can change any state under `proto` — the
+/// exact graph-silence criterion, from explicit per-agent states.
+fn graph_silent(
+    proto: &UndecidedStateDynamics,
+    graph: &pop_proto::Graph,
+    states: &[usize],
+) -> bool {
+    graph.edges().iter().all(|&(a, b)| {
+        let (sa, sb) = (states[a as usize], states[b as usize]);
+        proto.is_noop(sa, sb) && proto.is_noop(sb, sa)
+    })
+}
+
+/// Run `config` to USD stabilization on a [`TopologyFamily`] graph.
+///
+/// The graph is deterministic in `(family, n, topo_seed)`; the initial
+/// layout and the dynamics draw from `rng`. The run ends at *graph*
+/// silence or budget exhaustion. On disconnected topologies (possible for
+/// `er`) a run can end [`ConsensusOutcome::Frozen`]; both backends detect
+/// this exactly — the `graph` engine natively, the `agent` engine via an
+/// O(m) edge scan every ~4n interactions (amortized O(d/n) per step). A
+/// generated graph with no edges at all (very sparse `er`) is trivially
+/// silent and classifies immediately without simulating.
+pub fn stabilize_on_topology(
+    backend: Backend,
+    config: &UsdConfig,
+    family: TopologyFamily,
+    topo_seed: u64,
+    rng: &mut SimRng,
+    budget: u64,
+) -> StabilizationResult {
+    assert!(
+        backend.supports_topologies(),
+        "{backend} cannot run graph topologies (use agent or graph)"
+    );
+    let initial_plurality = config.plurality();
+    let k = config.k();
+    let proto = UndecidedStateDynamics::new(k);
+    let counts = config.to_count_config();
+    let graph = family.build(config.n() as usize, topo_seed);
+    let states = shuffled_layout(&counts, rng);
+    if graph.num_edges() == 0 {
+        // Edgeless graph: nothing can ever interact.
+        return result_from_counts(counts.counts(), k, 0, true, initial_plurality);
+    }
+    let (interactions, stabilized, final_counts) = match backend {
+        Backend::Graph => {
+            let mut sim = GraphSimulator::new(proto, &graph, states);
+            let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
+            (t, silent, sim.counts().to_vec())
+        }
+        _ => {
+            // Agentwise: the count-level silence criterion inside
+            // `run_to_silence` misses frozen configurations on
+            // disconnected graphs, so interleave chunked runs with the
+            // exact edge-scan criterion.
+            let scheduler = GraphScheduler::new(graph);
+            let mut sim = AgentSimulator::new(proto, scheduler, states);
+            let chunk = (4 * config.n()).max(1 << 16);
+            loop {
+                let done = sim.interactions();
+                if sim.is_silent()
+                    || graph_silent(sim.protocol(), sim.scheduler().graph(), sim.states())
+                {
+                    break (done, true, sim.counts().to_vec());
+                }
+                if done >= budget {
+                    break (done, false, sim.counts().to_vec());
+                }
+                sim.run_to_silence(rng, chunk.min(budget - done));
+            }
+        }
+    };
+    result_from_counts(
+        &final_counts,
+        k,
+        interactions,
+        stabilized,
+        initial_plurality,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,9 +352,15 @@ mod tests {
             Backend::Sequential
         );
         assert_eq!("skip-ahead".parse::<Backend>().unwrap(), Backend::SkipAhead);
+        assert_eq!("graphwise".parse::<Backend>().unwrap(), Backend::Graph);
         assert!("warp".parse::<Backend>().is_err());
         assert!(Backend::Agent.per_agent_memory());
+        assert!(Backend::Graph.per_agent_memory());
         assert!(!Backend::Batch.per_agent_memory());
+        assert!(Backend::Agent.supports_topologies());
+        assert!(Backend::Graph.supports_topologies());
+        assert!(!Backend::Batch.supports_topologies());
+        assert!(!Backend::SkipAhead.supports_topologies());
     }
 
     #[test]
@@ -237,10 +408,15 @@ mod tests {
         // instance must agree within a generous tolerance.
         let config = InitialConfigBuilder::new(300, 3).figure1();
         let reps = 60u64;
-        let mut means = [0.0f64; 3];
-        for (slot, b) in [Backend::Agent, Backend::Count, Backend::Batch]
-            .into_iter()
-            .enumerate()
+        let mut means = [0.0f64; 4];
+        for (slot, b) in [
+            Backend::Agent,
+            Backend::Count,
+            Backend::Batch,
+            Backend::Graph,
+        ]
+        .into_iter()
+        .enumerate()
         {
             for seed in 0..reps {
                 let mut rng = SimRng::new(seed * 13 + slot as u64);
@@ -259,5 +435,104 @@ mod tests {
     #[should_panic(expected = "not a generic-substrate backend")]
     fn make_simulator_rejects_specialized_engines() {
         make_simulator(Backend::SkipAhead, &UsdConfig::decided(vec![2, 2]));
+    }
+
+    #[test]
+    fn frozen_classification_of_silent_mixed_counts() {
+        // Silent with two opinions stranded (disconnected topology): frozen.
+        let r = result_from_counts(&[3, 2, 1], 2, 100, true, Some(0));
+        assert_eq!(r.outcome, ConsensusOutcome::Frozen);
+        assert!(r.stabilized());
+        assert!(!r.plurality_won());
+        // Winner with leftover ⊥ is likewise frozen, not consensus.
+        let r = result_from_counts(&[5, 0, 1], 2, 100, true, Some(0));
+        assert_eq!(r.outcome, ConsensusOutcome::Frozen);
+    }
+
+    #[test]
+    fn topology_backends_stabilize_on_a_regular_graph() {
+        let config = UsdConfig::decided(vec![120, 40]);
+        for b in [Backend::Agent, Backend::Graph] {
+            let mut rng = SimRng::new(3);
+            let r = stabilize_on_topology(
+                b,
+                &config,
+                TopologyFamily::Regular { d: 4 },
+                7,
+                &mut rng,
+                u64::MAX / 2,
+            );
+            assert!(r.stabilized(), "{b} did not stabilize");
+            assert!(r.interactions > 0, "{b}");
+        }
+    }
+
+    #[test]
+    fn agent_backend_terminates_on_frozen_disconnected_topologies() {
+        // A very sparse ER graph strands opinions in separate components;
+        // the agentwise path must detect the freeze via the edge scan
+        // instead of grinding to the budget (the budget here would take
+        // hours if the scan failed).
+        let config = UsdConfig::decided(vec![150, 150]);
+        for b in [Backend::Agent, Backend::Graph] {
+            let mut rng = SimRng::new(9);
+            let r = stabilize_on_topology(
+                b,
+                &config,
+                TopologyFamily::ErdosRenyi { avg_degree: 0.8 },
+                3,
+                &mut rng,
+                u64::MAX / 2,
+            );
+            assert!(r.stabilized(), "{b} did not detect the freeze");
+            assert_eq!(r.outcome, ConsensusOutcome::Frozen, "{b}");
+            assert!(
+                r.interactions < 200_000_000,
+                "{b} reported an inflated freeze clock: {}",
+                r.interactions
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_topology_classifies_without_simulating() {
+        let config = UsdConfig::decided(vec![10, 10]);
+        let mut rng = SimRng::new(2);
+        let r = stabilize_on_topology(
+            Backend::Graph,
+            &config,
+            TopologyFamily::ErdosRenyi {
+                avg_degree: 1.0e-12,
+            },
+            1,
+            &mut rng,
+            1_000,
+        );
+        assert_eq!(r.outcome, ConsensusOutcome::Frozen);
+        assert_eq!(r.interactions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn complete_graph_backend_rejects_huge_populations() {
+        make_simulator(
+            Backend::Graph,
+            &UsdConfig::decided(vec![COMPLETE_GRAPH_MAX_N, 1]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run graph topologies")]
+    fn topology_rejects_clique_only_backends() {
+        let config = UsdConfig::decided(vec![4, 4]);
+        let mut rng = SimRng::new(1);
+        stabilize_on_topology(
+            Backend::Batch,
+            &config,
+            TopologyFamily::Cycle,
+            0,
+            &mut rng,
+            1_000,
+        );
     }
 }

@@ -65,7 +65,9 @@ pub use analysis::{
     expected_gap_drift, expected_undecided_drift, max_gap, monochromatic_distance,
     opinion_threshold, undecided_plateau,
 };
-pub use backend::{make_simulator, stabilize_with_backend, Backend};
+pub use backend::{
+    make_simulator, make_topology_simulator, stabilize_on_topology, stabilize_with_backend, Backend,
+};
 pub use config::UsdConfig;
 pub use dynamics::{SequentialUsd, SkipAheadUsd, UsdEvent, UsdSimulator};
 pub use init::InitialConfigBuilder;

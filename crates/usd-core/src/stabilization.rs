@@ -20,6 +20,11 @@ pub enum ConsensusOutcome {
     Winner(usize),
     /// The degenerate all-undecided absorbing state.
     AllUndecided,
+    /// Silent without consensus: the dynamics froze in a mixed
+    /// configuration. Impossible under the clique scheduler (and on any
+    /// connected interaction graph), but disconnected topologies can
+    /// strand opinions in separate components.
+    Frozen,
     /// The interaction budget ran out first.
     Timeout,
 }
@@ -36,7 +41,8 @@ pub struct StabilizationResult {
 }
 
 impl StabilizationResult {
-    /// Whether the run stabilized (consensus or all-undecided).
+    /// Whether the run reached a silent configuration (consensus,
+    /// all-undecided, or a disconnected-topology freeze).
     pub fn stabilized(&self) -> bool {
         !matches!(self.outcome, ConsensusOutcome::Timeout)
     }

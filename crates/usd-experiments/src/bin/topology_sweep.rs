@@ -1,0 +1,17 @@
+//! E14: USD stabilization time across interaction-graph families × n.
+//!
+//! ```text
+//! cargo run --release -p usd-experiments --bin topology_sweep -- \
+//!     [--n <max>] [--k <opinions>] [--seeds <reps>] [--topology <family>]
+//!     [--degree <d>] [--threads <t>] [--quick] [--csv out.csv]
+//! ```
+//!
+//! Runs the active-edge `graph` backend over the sparse family grid
+//! (cycle, torus, hypercube, random regular, Erdős–Rényi) — see the
+//! `usd_experiments::topology` module docs for the measured columns.
+
+fn main() {
+    let args = usd_experiments::ExpArgs::from_env();
+    let report = usd_experiments::topology::topology_report(&args);
+    report.finish(args.csv.as_deref());
+}

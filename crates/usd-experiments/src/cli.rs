@@ -9,14 +9,20 @@
 //! --seed <u64>     master seed (default 42)
 //! --csv <path>     also write results as CSV next to the stdout report
 //! --quick          shrink everything for a fast smoke run
+//! --threads <t>    worker-thread count for sweeps (default: USD_THREADS
+//!                  env, else available parallelism)
+//! --topology <f>   interaction-graph family (topology experiments only)
+//! --degree <d>     degree parameter for regular/er families
 //! ```
 //!
 //! Parsing is by hand (no external dependency) and strict: unknown flags
 //! are errors, so typos do not silently run the default experiment.
 
+use pop_proto::topology::TopologyFamily;
+
 /// Parsed experiment arguments with per-experiment defaults filled in by
 /// the caller.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExpArgs {
     /// Population size.
     pub n: u64,
@@ -30,6 +36,13 @@ pub struct ExpArgs {
     pub csv: Option<String>,
     /// Shrink parameters for a smoke run.
     pub quick: bool,
+    /// Sweep worker-thread override (`None` → `USD_THREADS` env, else
+    /// available parallelism).
+    pub threads: Option<usize>,
+    /// Restrict topology experiments to one graph family.
+    pub topology: Option<TopologyFamily>,
+    /// Degree parameter for degree-parameterized families.
+    pub degree: Option<usize>,
 }
 
 impl Default for ExpArgs {
@@ -41,6 +54,9 @@ impl Default for ExpArgs {
             seed: 42,
             csv: None,
             quick: false,
+            threads: None,
+            topology: None,
+            degree: None,
         }
     }
 }
@@ -78,9 +94,27 @@ impl ExpArgs {
                 "--quick" => {
                     out.quick = true;
                 }
+                "--threads" => {
+                    out.threads = Some(
+                        take("--threads")?
+                            .parse()
+                            .map_err(|e| format!("--threads: {e}"))?,
+                    );
+                }
+                "--topology" => {
+                    out.topology = Some(take("--topology")?.parse()?);
+                }
+                "--degree" => {
+                    out.degree = Some(
+                        take("--degree")?
+                            .parse()
+                            .map_err(|e| format!("--degree: {e}"))?,
+                    );
+                }
                 "--help" | "-h" => {
                     return Err("flags: --n <u64> --k <usize> --seeds <u64> --seed <u64> \
-                         --csv <path> --quick"
+                         --csv <path> --quick --threads <usize> \
+                         --topology <family> --degree <usize>"
                         .to_string());
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -92,14 +126,24 @@ impl ExpArgs {
         if out.seeds == 0 {
             return Err("--seeds must be positive".to_string());
         }
+        if out.threads == Some(0) {
+            return Err("--threads must be positive".to_string());
+        }
+        if out.degree == Some(0) {
+            return Err("--degree must be at least 1".to_string());
+        }
         Ok(out)
     }
 
     /// Parse from the process environment; print the error and exit(2) on
-    /// failure (for use in `fn main`).
+    /// failure (for use in `fn main`). Applies `--threads` to the sweep
+    /// runner as a process-wide override.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(args) => {
+                crate::runner::set_thread_override(args.threads);
+                args
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -154,6 +198,12 @@ mod tests {
             "--csv",
             "/tmp/x.csv",
             "--quick",
+            "--threads",
+            "2",
+            "--topology",
+            "regular:6",
+            "--degree",
+            "4",
         ])
         .unwrap();
         assert_eq!(a.n, 5000);
@@ -162,6 +212,18 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
         assert!(a.quick);
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.topology, Some(TopologyFamily::Regular { d: 6 }));
+        assert_eq!(a.degree, Some(4));
+    }
+
+    #[test]
+    fn topology_and_threads_validation() {
+        assert!(parse(&["--topology", "moebius"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--degree", "x"]).is_err());
+        let a = parse(&["--topology", "hypercube"]).unwrap();
+        assert_eq!(a.topology, Some(TopologyFamily::Hypercube));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 use crate::cli::ExpArgs;
 use crate::report::Report;
 use crate::runner;
-use pop_proto::{AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, Simulator};
+use pop_proto::{
+    AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, GraphSimulator, Simulator,
+};
 use sim_stats::histogram::Histogram;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
@@ -525,6 +527,51 @@ pub fn ablation_rows(n: u64, k: usize, seeds: u64, master_seed: u64) -> Vec<Abla
         },
     ));
 
+    // GraphSimulator on the complete graph — the graphwise engine's
+    // degenerate clique instance (same Markov chain as all rows above).
+    let complete = pop_proto::TopologyFamily::Complete.build(n as usize, 0);
+    let graph: Vec<u64> = runner::repeat(master_seed ^ 0xE5, seeds, |_r, rng| {
+        let proto = UndecidedStateDynamics::new(k);
+        let mut sim =
+            GraphSimulator::from_config_shuffled(proto, &complete, &config.to_count_config(), rng);
+        let (t, _) = sim.run_to_silence(rng, budget);
+        t
+    });
+    rows.push(make_ablation_row(
+        "GraphSimulator (complete)",
+        &graph,
+        hi,
+        || {
+            let mut rng = sim_stats::rng::SimRng::new(master_seed);
+            let proto = UndecidedStateDynamics::new(k);
+            let mut sim = GraphSimulator::from_config_shuffled(
+                proto,
+                &complete,
+                &config.to_count_config(),
+                &mut rng,
+            );
+            let start = std::time::Instant::now();
+            let target = (n * 200).min(2_000_000);
+            let mut done = 0u64;
+            while done + sim.interactions() < target {
+                let before = sim.interactions();
+                if Simulator::advance(&mut sim, &mut rng, target - done - before) == 0
+                    || sim.is_silent()
+                {
+                    done += sim.interactions();
+                    let proto = UndecidedStateDynamics::new(k);
+                    sim = GraphSimulator::from_config_shuffled(
+                        proto,
+                        &complete,
+                        &config.to_count_config(),
+                        &mut rng,
+                    );
+                }
+            }
+            target as f64 / start.elapsed().as_secs_f64()
+        },
+    ));
+
     rows
 }
 
@@ -561,10 +608,11 @@ pub fn ablation_report(args: &ExpArgs) -> Report {
         fmt_thousands(n)
     ));
     report.text(
-        "All four engines simulate the exact same Markov chain; their \
-         stabilization-time distributions must agree (chi^2 per dof ~ 1) \
-         while throughputs differ (the point of the skip-ahead and \
-         batch-leaping designs).",
+        "All five engines simulate the exact same Markov chain (the \
+         graphwise row runs on the complete graph, its degenerate clique \
+         instance); their stabilization-time distributions must agree \
+         (chi^2 per dof ~ 1) while throughputs differ (the point of the \
+         skip-ahead, batch-leaping, and active-edge designs).",
     );
     let mut t = TextTable::new(&["engine", "mean interactions", "stderr", "interactions/s"]);
     for r in &rows {
@@ -660,7 +708,8 @@ mod tests {
     #[test]
     fn ablation_distributions_agree() {
         let rows = ablation_rows(800, 3, 60, 5);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().any(|r| r.name.contains("GraphSimulator")));
         // Means within 15% of each other.
         let means: Vec<f64> = rows.iter().map(|r| r.time.mean()).collect();
         let max = means.iter().cloned().fold(f64::MIN, f64::max);

@@ -19,10 +19,12 @@
 //! | E11 | Baseline protocol comparison     | [`comparisons`] / `baseline_comparison`|
 //! | E12 | Simulator ablation               | [`comparisons`] / `simulator_ablation` |
 //! | E13 | Breaking the barrier (§4)        | [`barrier`] / `breaking_the_barrier`   |
+//! | E14 | Topology sweep (off-clique USD)  | [`topology`] / `topology_sweep`        |
 //!
-//! Shared infrastructure: [`cli`] (uniform `--n/--k/--seeds/--csv` flag
-//! parsing), [`runner`] (deterministic multi-threaded sweeps), and
-//! [`report`] (stdout tables/charts plus optional CSV output).
+//! Shared infrastructure: [`cli`] (uniform `--n/--k/--seeds/--csv/--threads`
+//! flag parsing), [`runner`] (deterministic multi-threaded sweeps with
+//! `USD_THREADS`/`--threads` thread-count control), and [`report`] (stdout
+//! tables/charts plus optional CSV output).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +37,7 @@ pub mod lemmas;
 pub mod report;
 pub mod runner;
 pub mod scaling;
+pub mod topology;
 
 pub use cli::ExpArgs;
 pub use report::Report;

@@ -7,10 +7,48 @@
 //! on the progress hot path is a plain [`AtomicUsize`] (a worker bumps it
 //! after every cell, so a lock there would serialize the sweep's only
 //! shared write).
+//!
+//! # Thread-count control
+//!
+//! By default a sweep uses [`std::thread::available_parallelism`]. That can
+//! be overridden, in precedence order, by [`set_thread_override`] (wired to
+//! the experiment binaries' `--threads` flag) and the `USD_THREADS`
+//! environment variable — useful for pinning benchmark runs, containers
+//! whose cgroup quota is below the reported core count, and debugging
+//! scheduling-dependent timing. [`sweep_with_threads`] takes the count
+//! explicitly. Thread count never changes results, only wall clock.
 
 use sim_stats::rng::{RngFactory, SimRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide thread-count override (0 = unset). Highest precedence.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set (or clear, with `None`) the process-wide sweep thread count. Takes
+/// precedence over `USD_THREADS` and auto-detection. A count of 0 clears.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolve the thread count for a sweep: override > `USD_THREADS` env >
+/// available parallelism. Always at least 1.
+pub fn resolve_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("USD_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t > 0 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// Sweep progress counters (shared across workers).
 #[derive(Debug, Default)]
@@ -41,6 +79,19 @@ where
     sweep_with_progress(seed, items, work, &Progress::default())
 }
 
+/// [`sweep`] with an explicit worker-thread count (bypassing the override
+/// and environment resolution). `threads == 1` runs inline on the calling
+/// thread. Results are identical for any thread count.
+pub fn sweep_with_threads<I, O, F>(seed: u64, items: Vec<I>, work: F, threads: usize) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(usize, &I, &mut SimRng) -> O + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    run_sweep(seed, items, work, &Progress::default(), threads)
+}
+
 /// [`sweep`], reporting completed-cell counts through `progress` so a
 /// caller on another thread can render a progress bar.
 pub fn sweep_with_progress<I, O, F>(
@@ -54,15 +105,28 @@ where
     O: Send,
     F: Fn(usize, &I, &mut SimRng) -> O + Sync,
 {
+    let threads = resolve_threads();
+    run_sweep(seed, items, work, progress, threads)
+}
+
+fn run_sweep<I, O, F>(
+    seed: u64,
+    items: Vec<I>,
+    work: F,
+    progress: &Progress,
+    threads: usize,
+) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(usize, &I, &mut SimRng) -> O + Sync,
+{
     let factory = RngFactory::new(seed);
     let n_items = items.len();
     if n_items == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n_items);
+    let threads = threads.min(n_items);
     if threads <= 1 {
         return items
             .iter()
@@ -164,6 +228,35 @@ mod tests {
         let out = sweep_with_progress(9, (0..64u64).collect(), |_, &x, _| x, &progress);
         assert_eq!(out.len(), 64);
         assert_eq!(progress.done(), 64);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<u64> = (0..30).collect();
+        let one = sweep_with_threads(13, items.clone(), |_, &x, rng| x ^ rng.next(), 1);
+        let four = sweep_with_threads(13, items.clone(), |_, &x, rng| x ^ rng.next(), 4);
+        let many = sweep_with_threads(13, items, |_, &x, rng| x ^ rng.next(), 64);
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn thread_override_and_env_are_respected() {
+        // The override has top precedence and must leave results unchanged.
+        let reference = sweep(21, vec![(); 12], |_, _, rng| rng.next());
+        set_thread_override(Some(1));
+        assert_eq!(resolve_threads(), 1);
+        let forced = sweep(21, vec![(); 12], |_, _, rng| rng.next());
+        set_thread_override(None);
+        assert_eq!(forced, reference);
+        // With the override cleared, resolution still yields >= 1 workers.
+        assert!(resolve_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        sweep_with_threads(1, vec![0u64], |_, &x, _| x, 0);
     }
 
     #[test]

@@ -5,11 +5,15 @@
 //! ```
 //!
 //! Runs the same Figure-1 instance to stabilization on each backend the
-//! workspace provides — per-agent, countwise, batch-leaping, and the two
-//! USD-specialized engines — and prints interactions, winner, and wall
-//! clock per backend. With the default n = 2 000 000 the batch backend's
-//! sub-constant-per-interaction leaping is already visible; pass a larger
-//! n (it alone handles 10⁸+ comfortably) to watch the gap widen.
+//! workspace provides — per-agent, countwise, batch-leaping, the active-edge
+//! graphwise engine (on the complete graph, its degenerate topology), and
+//! the two USD-specialized engines — and prints interactions, winner, and
+//! wall clock per backend. With the default n = 2 000 000 the batch
+//! backend's sub-constant-per-interaction leaping is already visible; pass
+//! a larger n (it alone handles 10⁸+ comfortably) to watch the gap widen.
+//! The graphwise row materializes all C(n, 2) clique edges, so it sits out
+//! once that edge list stops being demo-sized (run with n ≤ 20 000 to see
+//! it; its real habitat is sparse topologies via `usd-sim run --topology`).
 
 use plurality_consensus::prelude::*;
 use usd_core::backend::{stabilize_with_backend, Backend};
@@ -29,7 +33,13 @@ fn main() {
 
     for backend in Backend::ALL {
         // The agentwise engine allocates per-agent state; skip it once n
-        // makes that silly in a demo.
+        // makes that silly in a demo. The graphwise engine's degenerate
+        // clique instance materializes all C(n, 2) edges — demo-sized
+        // populations only.
+        if backend == Backend::Graph && n > usd_core::backend::COMPLETE_GRAPH_MAX_N {
+            println!("{:<8} {:>16}", backend.name(), "(skipped: O(n^2) edges)");
+            continue;
+        }
         if backend.per_agent_memory() && n > 20_000_000 {
             println!("{:<8} {:>16}", backend.name(), "(skipped: O(n) memory)");
             continue;
@@ -41,6 +51,7 @@ fn main() {
         let winner = match result.outcome {
             ConsensusOutcome::Winner(w) => format!("opinion {}", w + 1),
             ConsensusOutcome::AllUndecided => "all-undecided".to_string(),
+            ConsensusOutcome::Frozen => "frozen".to_string(),
             ConsensusOutcome::Timeout => "timeout".to_string(),
         };
         println!(

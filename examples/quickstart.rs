@@ -54,6 +54,9 @@ fn main() {
         ConsensusOutcome::AllUndecided => {
             println!("degenerate: every agent became undecided (absorbing)");
         }
+        ConsensusOutcome::Frozen => {
+            unreachable!("clique runs cannot freeze in a mixed configuration")
+        }
         ConsensusOutcome::Timeout => println!("budget exhausted before stabilization"),
     }
 }

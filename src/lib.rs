@@ -8,8 +8,10 @@
 //! The workspace implements, from scratch:
 //!
 //! * a generic **population-protocol substrate** ([`pop_proto`]) —
-//!   protocols, schedulers (uniform clique and graph-restricted),
-//!   count-based and agent-based exact simulators;
+//!   protocols, schedulers (uniform clique and graph-restricted), seeded
+//!   interaction-graph family generators (cycle, torus, hypercube, random
+//!   regular, Erdős–Rényi), and four exact simulators including the
+//!   batch-leaping clique engine and the active-edge graph engine;
 //! * the **Undecided State Dynamics** and its full analysis toolkit
 //!   ([`usd_core`]) — the paper's object of study, including the exact
 //!   one-step drifts, thresholds, and bound curves from the proof;
@@ -51,10 +53,12 @@ pub use usd_experiments;
 
 /// One-stop imports for the common simulation workflow.
 pub mod prelude {
+    pub use pop_proto::topology::TopologyFamily;
     pub use sim_stats::rng::{RngFactory, SimRng};
     pub use usd_core::analysis::{
         expected_gap_drift, expected_undecided_drift, monochromatic_distance, undecided_plateau,
     };
+    pub use usd_core::backend::{stabilize_on_topology, stabilize_with_backend, Backend};
     pub use usd_core::dynamics::{
         run_until_stable, SequentialUsd, SkipAheadUsd, UsdEvent, UsdSimulator,
     };
