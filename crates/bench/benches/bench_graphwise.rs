@@ -17,7 +17,9 @@
 //!   the order-of-magnitude wins on low-conductance topology sweeps.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pop_proto::{AgentSimulator, GraphScheduler, GraphSimulator, Simulator, TopologyFamily};
+use pop_proto::{
+    AgentSimulator, BatchGraphSimulator, GraphScheduler, GraphSimulator, Simulator, TopologyFamily,
+};
 use sim_stats::rng::SimRng;
 use std::hint::black_box;
 use usd_core::protocol::UndecidedStateDynamics;
@@ -78,6 +80,18 @@ fn bench_expander(c: &mut Criterion) {
             black_box(drive(&mut sim, &mut rng, target))
         })
     });
+    group.bench_with_input(
+        BenchmarkId::new("batchgraph", "reg8-1e5"),
+        &graph,
+        |b, g| {
+            b.iter(|| {
+                let mut rng = SimRng::new(1);
+                let states = pop_proto::simulator::shuffled_layout(&config, &mut rng);
+                let mut sim = BatchGraphSimulator::new(UndecidedStateDynamics::new(2), g, states);
+                black_box(drive(&mut sim, &mut rng, target))
+            })
+        },
+    );
     group.finish();
 }
 
@@ -111,6 +125,18 @@ fn bench_noop_dominated(c: &mut Criterion) {
                 let mut rng = SimRng::new(2);
                 let mut sim =
                     GraphSimulator::new(UndecidedStateDynamics::new(2), g, frontier_states(n));
+                black_box(drive(&mut sim, &mut rng, target))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batchgraph", "cycle-frontier"),
+        &graph,
+        |b, g| {
+            b.iter(|| {
+                let mut rng = SimRng::new(2);
+                let mut sim =
+                    BatchGraphSimulator::new(UndecidedStateDynamics::new(2), g, frontier_states(n));
                 black_box(drive(&mut sim, &mut rng, target))
             })
         },

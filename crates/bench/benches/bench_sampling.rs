@@ -7,7 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pop_proto::{AliasTable, FenwickSampler};
-use sim_stats::multinomial::categorical_index;
+use sim_stats::multinomial::{
+    categorical_index, hypergeometric_pairing_table, multivariate_hypergeometric,
+    multivariate_hypergeometric_streams,
+};
 use sim_stats::rng::SimRng;
 use std::hint::black_box;
 
@@ -97,5 +100,68 @@ fn bench_dynamic_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_static_sampling, bench_dynamic_sampling);
+fn bench_hypergeometric_splits(c: &mut Criterion) {
+    // The batch simulators' per-batch cost is dominated by multivariate
+    // hypergeometric splits; k = 2 is the epidemic/voter case, 32 the USD
+    // paper scale, 256 the blocked-walk regime (chunks of 32 categories
+    // skipped whole when the draw misses them).
+    let mut group = c.benchmark_group("hypergeometric_splits");
+    const DRAWS_PER_CALL: u64 = 2_000;
+    const CALLS: u64 = 2_000;
+    group.throughput(Throughput::Elements(CALLS));
+    for &k in &[2usize, 32, 256] {
+        let pop: Vec<u64> = (0..k).map(|i| 50_000 + (i as u64 * 97) % 1_000).collect();
+        group.bench_with_input(BenchmarkId::new("chain_walk", k), &pop, |b, pop| {
+            b.iter(|| {
+                let mut rng = SimRng::new(1);
+                let mut acc = 0u64;
+                for _ in 0..CALLS {
+                    acc ^= multivariate_hypergeometric(&mut rng, pop, DRAWS_PER_CALL)[k / 2];
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree_streams", k), &pop, |b, pop| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for master in 0..CALLS {
+                    acc ^=
+                        multivariate_hypergeometric_streams(master, pop, DRAWS_PER_CALL, 1)[k / 2];
+                }
+                black_box(acc)
+            })
+        });
+    }
+    // The full batch pairing table at USD scale (k states each side).
+    for &k in &[2usize, 32] {
+        let initiators: Vec<u64> = (0..k).map(|i| 500 + (i as u64 * 13) % 100).collect();
+        let responders = {
+            let total: u64 = initiators.iter().sum();
+            let mut r = vec![total / k as u64; k];
+            r[0] += total - r.iter().sum::<u64>();
+            r
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pairing_table", k),
+            &(initiators, responders),
+            |b, (a, r)| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for master in 0..CALLS {
+                        acc ^= hypergeometric_pairing_table(master, a, r, 1)[0];
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_static_sampling,
+    bench_dynamic_sampling,
+    bench_hypergeometric_splits
+);
 criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Measured backend × topology × n throughput grid, with machine-readable
+//! output for tracking the perf trajectory across PRs.
+//!
+//! ```text
+//! cargo run --release -p usd-bench --bin bench_backends -- \
+//!     [--quick] [--seed <u64>] [--json [path]]
+//! ```
+//!
+//! Unlike the Criterion micro-benches, every row here is one *honest
+//! workload*: either a full stabilization run (clique and expander rows —
+//! wall time to silence, with scheduled/effective interaction throughput
+//! derived from the same run) or a fixed scheduled-interaction drive (the
+//! cycle-frontier row, whose stabilization is Θ(n²) parallel time and
+//! which exists to measure the no-op-dominated regime the sparse skippers
+//! leap over). `--json` writes the rows as `BENCH_backends.json`
+//! (hand-rolled JSON, no dependencies) so CI can archive the numbers and
+//! regressions are visible in review diffs.
+
+use pop_proto::{
+    AgentSimulator, BatchGraphSimulator, GraphScheduler, GraphSimulator, Simulator, TopologyFamily,
+};
+use sim_stats::rng::SimRng;
+use usd_core::backend::Backend;
+use usd_core::init::InitialConfigBuilder;
+use usd_core::protocol::UndecidedStateDynamics;
+
+/// One measured cell.
+struct Row {
+    backend: &'static str,
+    topology: String,
+    n: u64,
+    mode: &'static str,
+    wall_s: f64,
+    scheduled: u64,
+    effective: u64,
+}
+
+impl Row {
+    fn sched_per_s(&self) -> f64 {
+        self.scheduled as f64 / self.wall_s
+    }
+
+    fn eff_per_s(&self) -> f64 {
+        self.effective as f64 / self.wall_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"topology\":\"{}\",\"n\":{},\"mode\":\"{}\",\
+             \"wall_s\":{:.6},\"scheduled\":{},\"effective\":{},\
+             \"scheduled_per_s\":{:.1},\"effective_per_s\":{:.1}}}",
+            self.backend,
+            self.topology,
+            self.n,
+            self.mode,
+            self.wall_s,
+            self.scheduled,
+            self.effective,
+            self.sched_per_s(),
+            self.eff_per_s(),
+        )
+    }
+}
+
+/// Build a topology simulator for one of the graph-capable backends.
+fn topo_sim(
+    backend: Backend,
+    family: TopologyFamily,
+    n: u64,
+    k: usize,
+    rng: &mut SimRng,
+) -> Box<dyn Simulator> {
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    usd_core::backend::make_topology_simulator(backend, &config, family, 7, rng)
+}
+
+/// Stabilization run on a topology: wall time to graph silence.
+fn topo_stabilize_row(backend: Backend, family: TopologyFamily, n: u64, k: usize) -> Row {
+    let n = family.snap_n(n as usize) as u64;
+    let mut rng = SimRng::new(1);
+    let mut sim = topo_sim(backend, family, n, k, &mut rng);
+    let start = std::time::Instant::now();
+    sim.run_to_silence(&mut rng, u64::MAX / 2);
+    Row {
+        backend: backend.name(),
+        topology: family.name(),
+        n,
+        mode: "stabilize",
+        wall_s: start.elapsed().as_secs_f64(),
+        scheduled: sim.interactions(),
+        effective: sim.effective_interactions(),
+    }
+}
+
+/// Fixed scheduled-interaction drive on the cycle frontier (two opinion
+/// domains, only the two boundaries active): the no-op-dominated regime.
+fn cycle_frontier_row(backend: Backend, n: usize, target: u64) -> Row {
+    let graph = TopologyFamily::Cycle.build(n, 0);
+    let mut states = vec![0usize; n];
+    for s in states.iter_mut().skip(n / 2) {
+        *s = 1;
+    }
+    let proto = UndecidedStateDynamics::new(2);
+    let mut rng = SimRng::new(2);
+    let mut sim: Box<dyn Simulator> = match backend {
+        Backend::Agent => Box::new(AgentSimulator::new(
+            proto,
+            GraphScheduler::new(graph),
+            states,
+        )),
+        Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
+        Backend::BatchGraph => Box::new(BatchGraphSimulator::new(proto, &graph, states)),
+        other => panic!("{other} cannot run graph topologies"),
+    };
+    let start = std::time::Instant::now();
+    loop {
+        let done = sim.interactions();
+        if done >= target || sim.is_silent() {
+            break;
+        }
+        if sim.advance(&mut rng, target - done) == 0 {
+            break;
+        }
+    }
+    Row {
+        backend: backend.name(),
+        topology: "cycle-frontier".to_string(),
+        n: n as u64,
+        mode: "target",
+        wall_s: start.elapsed().as_secs_f64(),
+        scheduled: sim.interactions(),
+        effective: sim.effective_interactions(),
+    }
+}
+
+/// Clique stabilization through the generic simulator entry point (every
+/// clique backend benched here is a generic-substrate engine, including
+/// the skip-ahead wrapper, so scheduled *and* effective counts are real).
+fn clique_row(backend: Backend, n: u64, k: usize) -> Row {
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    let mut rng = SimRng::new(3);
+    let mut sim = usd_core::backend::make_simulator(backend, &config);
+    let start = std::time::Instant::now();
+    sim.run_to_silence(&mut rng, u64::MAX / 2);
+    Row {
+        backend: backend.name(),
+        topology: "clique".to_string(),
+        n,
+        mode: "stabilize",
+        wall_s: start.elapsed().as_secs_f64(),
+        scheduled: sim.interactions(),
+        effective: sim.effective_interactions(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                let path = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                    _ => "BENCH_backends.json".to_string(),
+                };
+                json = Some(path);
+            }
+            "--seed" => {
+                // Accepted for interface stability; the workloads pin their
+                // seeds so rows are comparable across PRs.
+                let _ = it.next();
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (flags: --quick --json [path] --seed <u64>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let reg8 = TopologyFamily::Regular { d: 8 };
+    let mut rows: Vec<Row> = Vec::new();
+    if quick {
+        for b in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
+            rows.push(topo_stabilize_row(b, reg8, 20_000, 2));
+            rows.push(cycle_frontier_row(b, 16_384, 2_000_000));
+        }
+        rows.push(clique_row(Backend::Batch, 200_000, 4));
+        rows.push(clique_row(Backend::SkipAhead, 200_000, 4));
+    } else {
+        // The acceptance regime: random 8-regular at n = 10⁶, the
+        // effective-dominated expander where PR 2 measured parity.
+        for b in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
+            rows.push(topo_stabilize_row(b, reg8, 100_000, 2));
+            rows.push(topo_stabilize_row(b, reg8, 1_000_000, 2));
+            rows.push(cycle_frontier_row(b, 65_536, 20_000_000));
+        }
+        rows.push(topo_stabilize_row(
+            Backend::Graph,
+            TopologyFamily::Torus,
+            65_536,
+            2,
+        ));
+        rows.push(topo_stabilize_row(
+            Backend::BatchGraph,
+            TopologyFamily::Torus,
+            65_536,
+            2,
+        ));
+        for b in [Backend::Count, Backend::Batch, Backend::SkipAhead] {
+            rows.push(clique_row(b, 1_000_000, 4));
+        }
+    }
+
+    println!(
+        "{:<11} {:<14} {:>9} {:>10} {:>9} {:>13} {:>12} {:>12} {:>12}",
+        "backend", "topology", "n", "mode", "wall s", "scheduled", "effective", "sched/s", "eff/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<11} {:<14} {:>9} {:>10} {:>9.3} {:>13} {:>12} {:>12.3e} {:>12.3e}",
+            r.backend,
+            r.topology,
+            r.n,
+            r.mode,
+            r.wall_s,
+            r.scheduled,
+            r.effective,
+            r.sched_per_s(),
+            r.eff_per_s()
+        );
+    }
+
+    // Headline ratio the README tracks: batchgraph vs agent effective
+    // throughput on the expander rows.
+    let eff = |name: &str| {
+        rows.iter()
+            .filter(|r| r.backend == name && r.topology.starts_with("regular"))
+            .map(|r| (r.n, r.eff_per_s()))
+            .collect::<Vec<_>>()
+    };
+    for ((n, agent), (_, bg)) in eff("agent").iter().zip(eff("batchgraph").iter()) {
+        println!(
+            "speedup batchgraph/agent on regular:8 n={n}: {:.2}x effective throughput",
+            bg / agent
+        );
+    }
+
+    if let Some(path) = json {
+        let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.json())).collect();
+        let doc = format!(
+            "{{\n\"workload\": \"bench_backends\",\n\"quick\": {},\n\"rows\": [\n{}\n]\n}}\n",
+            quick,
+            body.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

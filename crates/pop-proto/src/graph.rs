@@ -106,6 +106,34 @@ impl Graph {
         self.edges.len()
     }
 
+    /// Compressed-sparse-row adjacency: returns `(offsets, entries)` where
+    /// vertex `v` owns `entries[offsets[v]..offsets[v + 1]]`, each entry a
+    /// `(neighbor, edge index)` pair. The simulation engines
+    /// ([`GraphSimulator`](crate::simulator::GraphSimulator),
+    /// [`BatchGraphSimulator`](crate::simulator::BatchGraphSimulator)) build
+    /// this once at construction to re-weight the ≤ d edges incident to a
+    /// changed agent without scanning the edge list.
+    pub fn csr_adjacency(&self) -> (Vec<u32>, Vec<(u32, u32)>) {
+        let n = self.n;
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, b) in &self.edges {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0u32, 0u32); 2 * self.edges.len()];
+        for (e, &(a, b)) in self.edges.iter().enumerate() {
+            adj[cursor[a as usize] as usize] = (b, e as u32);
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize] as usize] = (a, e as u32);
+            cursor[b as usize] += 1;
+        }
+        (offsets, adj)
+    }
+
     /// Per-vertex degrees.
     pub fn degrees(&self) -> Vec<usize> {
         let mut deg = vec![0usize; self.n];

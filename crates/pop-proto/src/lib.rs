@@ -81,7 +81,8 @@ pub use protocol::{OneWayEpidemic, Protocol};
 pub use sampling::{AliasTable, FenwickSampler};
 pub use scheduler::{CliqueScheduler, GraphScheduler, Scheduler};
 pub use simulator::{
-    AgentSimulator, BatchSimulator, CountSimulator, GraphSimulator, InteractionRecord, Simulator,
+    AgentSimulator, BatchGraphSimulator, BatchSimulator, CountSimulator, GraphSimulator,
+    InteractionRecord, Simulator,
 };
 pub use stopping::{RunOutcome, StopReason, Stopper};
 pub use topology::TopologyFamily;

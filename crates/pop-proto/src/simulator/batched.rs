@@ -66,12 +66,20 @@ use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::simulator::Simulator;
 use sim_stats::binomial::ln_factorial;
-use sim_stats::multinomial::multivariate_hypergeometric;
+use sim_stats::multinomial::{hypergeometric_pairing_table, multivariate_hypergeometric};
 use sim_stats::rng::SimRng;
 
 /// Smallest batch worth the fixed sampling cost; below this the simulator
 /// steps exactly.
 const MIN_BATCH: u64 = 16;
+
+/// State count from which the per-batch pairing table is sampled through
+/// [`hypergeometric_pairing_table`]'s position-derived streams (tree-wise,
+/// optionally threaded) instead of the sequential chain rule. Below this
+/// the table is so small that the stream setup costs more than the rows;
+/// the threshold depends only on `k`, so runs stay bit-identical for any
+/// thread count either way.
+const PAIR_TABLE_MIN_K: usize = 16;
 
 /// Batch-leaping simulator for the uniform clique scheduler.
 ///
@@ -95,6 +103,12 @@ pub struct BatchSimulator<P: Protocol> {
     ln_fact_n: f64,
     /// Cached `ln(n(n−1))`.
     ln_pairs: f64,
+    /// Worker-thread cap for the per-batch pairing-table rows (resolved
+    /// once at construction from the process-wide `--threads`/`USD_THREADS`
+    /// discipline; see [`BatchSimulator::set_threads`]). Never changes
+    /// results — the row sampler's streams are position-derived — only
+    /// wall clock.
+    threads: usize,
 }
 
 impl<P: Protocol> BatchSimulator<P> {
@@ -129,7 +143,15 @@ impl<P: Protocol> BatchSimulator<P> {
             noop,
             ln_fact_n: ln_factorial(n),
             ln_pairs: nf.ln() + (nf - 1.0).ln(),
+            threads: sim_stats::threads::resolve_threads(),
         }
+    }
+
+    /// Cap the worker threads used for the per-batch pairing-table rows
+    /// (default: the process-wide resolution at construction time).
+    /// Thread count is bit-neutral: any value produces identical runs.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// The protocol.
@@ -341,7 +363,7 @@ impl<P: Protocol> BatchSimulator<P> {
         let k = self.k;
         // 2. Participants: 2L distinct agents, without replacement.
         let participants = multivariate_hypergeometric(rng, &self.counts, 2 * length);
-        // 3. Initiator / responder split, then the pairing table row by row.
+        // 3. Initiator / responder split, then the k² pairing-table rows.
         let initiators = multivariate_hypergeometric(rng, &participants, length);
         let mut responders: Vec<u64> = participants
             .iter()
@@ -354,35 +376,60 @@ impl<P: Protocol> BatchSimulator<P> {
             *c -= m;
         }
         let mut post = vec![0u64; k];
-        let mut remaining = length;
-        for (i, &a_i) in initiators.iter().enumerate() {
-            if a_i == 0 {
-                continue;
-            }
-            let row = if a_i == remaining {
-                std::mem::take(&mut responders)
-            } else {
-                let row = multivariate_hypergeometric(rng, &responders, a_i);
-                for (b, &r) in responders.iter_mut().zip(row.iter()) {
-                    *b -= r;
-                }
-                row
-            };
-            remaining -= a_i;
-            // 4. Apply f(i, j) count-wise.
-            for (j, &m_ij) in row.iter().enumerate() {
+        if k >= PAIR_TABLE_MIN_K {
+            // Large alphabets: sample the whole table from position-derived
+            // streams under a master drawn here — the rows dominate the
+            // batch cost at this size, and the tree decomposition fans
+            // them out over `self.threads` workers with bit-identical
+            // results for any thread count.
+            let pairing =
+                hypergeometric_pairing_table(rng.next(), &initiators, &responders, self.threads);
+            // 4. Apply f(i, j) count-wise, one pair class at a time.
+            for (cell, &m_ij) in pairing.iter().enumerate() {
                 if m_ij == 0 {
                     continue;
                 }
-                let (ti, tj) = self.table[i * k + j];
+                let (ti, tj) = self.table[cell];
                 post[ti as usize] += m_ij;
                 post[tj as usize] += m_ij;
-                if !self.noop[i * k + j] {
+                if !self.noop[cell] {
                     self.effective_interactions += m_ij;
                 }
             }
-            if remaining == 0 {
-                break;
+        } else {
+            // Small alphabets: the sequential chain rule row by row — the
+            // same law with cheaper constants (no per-subtree stream setup)
+            // at a size where parallelism could never pay.
+            let mut remaining = length;
+            for (i, &a_i) in initiators.iter().enumerate() {
+                if a_i == 0 {
+                    continue;
+                }
+                let row = if a_i == remaining {
+                    std::mem::take(&mut responders)
+                } else {
+                    let row = multivariate_hypergeometric(rng, &responders, a_i);
+                    for (b, &r) in responders.iter_mut().zip(row.iter()) {
+                        *b -= r;
+                    }
+                    row
+                };
+                remaining -= a_i;
+                // 4. Apply f(i, j) count-wise.
+                for (j, &m_ij) in row.iter().enumerate() {
+                    if m_ij == 0 {
+                        continue;
+                    }
+                    let (ti, tj) = self.table[i * k + j];
+                    post[ti as usize] += m_ij;
+                    post[tj as usize] += m_ij;
+                    if !self.noop[i * k + j] {
+                        self.effective_interactions += m_ij;
+                    }
+                }
+                if remaining == 0 {
+                    break;
+                }
             }
         }
         for (c, &p) in self.counts.iter_mut().zip(post.iter()) {

@@ -1,0 +1,890 @@
+//! Batch-leaping exact simulator for graph-restricted schedulers.
+//!
+//! # The matching-based multi-event idea
+//!
+//! Under [`GraphScheduler`](crate::scheduler::GraphScheduler) the scheduled
+//! sequence of (edge, orientation) draws is **i.i.d. uniform regardless of
+//! the configuration** — only the *transitions* depend on states. So, as in
+//! the clique engine ([`BatchSimulator`](crate::simulator::BatchSimulator)),
+//! whole blocks of the schedule can be sampled up front: as long as no
+//! scheduled edge touches a vertex already changed by an earlier *effective*
+//! interaction of the block, every interaction's participants still hold
+//! their block-start states, so the block's effective edges form a
+//! **matching** (pairwise vertex-disjoint active edges) whose transitions
+//! all commute and can be applied from block-start states. A draw that
+//! touches a changed vertex is instead simulated literally from the
+//! then-current states — the rejection-on-shared-endpoints fallback that
+//! keeps the law exactly the scheduler's.
+//!
+//! The engine exploits this by processing the schedule in pre-generated
+//! blocks of ~√n draws (the birthday scale, at which the rejections are
+//! still rare):
+//!
+//! 1. one tight loop draws the raw schedule (pure RNG; a single
+//!    [`SimRng::below`] yields both the edge index and, in its low bit, the
+//!    orientation) and gathers the oriented endpoints from the edge list,
+//!    and a second loop gathers their states — independent loads the CPU
+//!    overlaps, the memory-level parallelism a draw-at-a-time engine
+//!    cannot express (its next address depends on the previous load);
+//! 2. a scan applies the block in schedule order against a **dirty
+//!    bitmap** (vertex hashed to one bit, cleared at block end in
+//!    O(changed vertices) time) that tracks every vertex changed since the
+//!    gather: draws with no dirty endpoint use their gathered block-start
+//!    states — provably current — while dirty (or hash-colliding) draws
+//!    re-read current states and are simulated literally, marking whatever
+//!    they change.
+//!
+//! The bitmap has **no false negatives** (a changed vertex's bit is always
+//! set), so clean-classified draws are genuinely clean and the law is
+//! exact; hash false positives merely demote a clean draw to the literal
+//! fallback, which costs one re-read and nothing else. No-op draws never
+//! dirty their endpoints — a no-op leaves its participants' states
+//! untouched, so only *effective* interactions bound the matching.
+//!
+//! # Phases
+//!
+//! The block engine is the *effective-dominated* workhorse (USD bulk phase
+//! on expanders: 30–55 % of draws effective). When activity collapses —
+//! endgames, low-conductance frontiers — almost every scanned draw is a
+//! no-op and scanning stops paying; a run of
+//! [`SPARSE_TRIGGER_NOOPS`](super::graphwise) consecutive no-op draws
+//! escalates to exactly the Fenwick sparse skipper of
+//! [`GraphSimulator`](crate::simulator::GraphSimulator) (geometric skips
+//! over no-op runs, O(d log m) per effective interaction), and the same
+//! hysteresis band hands control back to the block engine when the
+//! activity fraction recovers. Both phases simulate the same chain; the
+//! switch is purely a cost-model decision.
+//!
+//! # Exactness
+//!
+//! Every scanned draw is a literal scheduled interaction: clean draws use
+//! block-start states that provably equal current states, dirty draws use
+//! re-read current states, and the sparse phase inherits the graphwise
+//! engine's exact geometric/conditional machinery. The induced chain on
+//! agent states is identical to [`GraphSimulator`]'s — verified by KS
+//! equivalence on the complete graph, a random 8-regular graph, and the
+//! torus in `tests/topology_equivalence.rs`, and by the matching property
+//! tests below.
+//!
+//! One clock convention is inherited from the graphwise engine: silence
+//! stops the clock. A chunk whose last effective interaction silences the
+//! configuration discards its trailing (provably no-op) draws from the
+//! clock, so stabilization times report the interaction *at which silence
+//! was reached*, exactly as the per-event engines do.
+
+use crate::config::CountConfig;
+use crate::graph::Graph;
+use crate::protocol::Protocol;
+use crate::sampling::FenwickSampler;
+use crate::simulator::graphwise::{DENSE_ENTER_INV, SPARSE_TRIGGER_NOOPS};
+use crate::simulator::{shuffled_layout, Simulator};
+use sim_stats::rng::SimRng;
+
+/// Bounds on the pre-generated chunk length. The target is the birthday
+/// scale √n (blocks rarely survive much longer), clamped so tiny graphs
+/// still amortize the pass overhead and huge ones bound buffer memory and
+/// stop-predicate latency.
+const CHUNK_MIN: usize = 64;
+const CHUNK_MAX: usize = 4096;
+
+/// Batch-leaping simulator for graph-restricted schedulers.
+///
+/// Memory is O(n + m) plus O(√n) scan buffers; the block phase costs O(1)
+/// per scheduled interaction with the per-draw constant driven down by
+/// batched RNG and overlapped gathers, and the sparse phase costs
+/// O(d log m) per **effective** interaction. See the [module docs](self)
+/// for the block machinery and its exactness argument.
+#[derive(Debug, Clone)]
+pub struct BatchGraphSimulator<P: Protocol> {
+    protocol: P,
+    /// The graph's edge list (unordered endpoint pairs).
+    edges: Vec<(u32, u32)>,
+    /// CSR adjacency offsets: vertex `v` owns `adj[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<u32>,
+    /// CSR adjacency entries: `(neighbor, edge index)`.
+    adj: Vec<(u32, u32)>,
+    /// Dense state index per agent (one byte: the engine supports
+    /// protocols with at most 256 states, keeping this array — the scan's
+    /// hottest random-access target — inside the last-level cache for any
+    /// population the per-agent engines can hold).
+    states: Vec<u8>,
+    /// Per-state counts, kept in sync with `states`.
+    counts: Vec<u64>,
+    /// Fenwick tree over per-edge active-orientation weights; live only in
+    /// the sparse phase (see [`GraphSimulator`](super::GraphSimulator)).
+    fenwick: Option<FenwickSampler>,
+    /// Consecutive no-op draws (sparse trigger, shared with graphwise).
+    noop_run: u32,
+    k: usize,
+    interactions: u64,
+    effective_interactions: u64,
+    /// Cached `transition_indices` for all ordered state pairs
+    /// (`table[i * k + j]`).
+    table: Vec<(u8, u8)>,
+    /// Whether `(i, j)` is a no-op (`noop[i * k + j]`).
+    noop: Vec<bool>,
+    /// Chunk length for this population (≈ √n, clamped).
+    chunk: usize,
+    /// Reusable buffer: raw oriented draws of the current chunk.
+    draws: Vec<u64>,
+    /// Dirty bitmap over hashed vertices (64 bits per word); `bit_mask` is
+    /// the power-of-two bit-count minus one. A bit is set for every vertex
+    /// changed since the current chunk's state gather and cleared at chunk
+    /// end from `dirty_list`, so the map stays O(chunk)-sparse and
+    /// cache-resident.
+    bitmap: Vec<u64>,
+    bit_mask: usize,
+    /// Vertices marked dirty in the current chunk (bitmap clearing).
+    dirty_list: Vec<u32>,
+    /// Reusable buffer: gathered oriented endpoints of the current chunk.
+    ends: Vec<(u32, u32)>,
+    /// Reusable buffer: gathered endpoint states of the current chunk.
+    pair_states: Vec<(u8, u8)>,
+    /// Oriented endpoints of the current block's matching (bitmap clearing,
+    /// diagnostics, and property tests; see
+    /// [`BatchGraphSimulator::last_block_matching`]).
+    block_events: Vec<(u32, u32)>,
+}
+
+impl<P: Protocol> BatchGraphSimulator<P> {
+    /// Create from explicit per-agent states (dense indices). The graph
+    /// must have at least one edge and as many vertices as there are
+    /// states.
+    pub fn new(protocol: P, graph: &Graph, states: Vec<usize>) -> Self {
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "agent count does not match graph vertex count"
+        );
+        assert!(graph.num_edges() > 0, "batch-graph engine needs edges");
+        let k = protocol.num_states();
+        assert!(
+            k <= 256,
+            "the batch-graph engine packs states into one byte (k = {k} > 256); \
+             use GraphSimulator for larger alphabets"
+        );
+        let mut table = Vec::with_capacity(k * k);
+        let mut noop = Vec::with_capacity(k * k);
+        for i in 0..k {
+            for j in 0..k {
+                let (a, b) = protocol.transition_indices(i, j);
+                table.push((a as u8, b as u8));
+                noop.push((a, b) == (i, j));
+            }
+        }
+        let mut counts = vec![0u64; k];
+        let states: Vec<u8> = states
+            .into_iter()
+            .map(|s| {
+                assert!(s < k, "state index {s} out of range");
+                counts[s] += 1;
+                s as u8
+            })
+            .collect();
+        let (offsets, adj) = graph.csr_adjacency();
+        let chunk = ((graph.n() as f64).sqrt() as usize).clamp(CHUNK_MIN, CHUNK_MAX);
+        // ~64 bitmap bits per possible dirty vertex of a chunk keeps the
+        // hash false-positive rate (which only shortens blocks) below ~3%
+        // even for a fully effective chunk, at ≤ 32 KiB of cache footprint.
+        let bits = (chunk * 64).next_power_of_two();
+        BatchGraphSimulator {
+            protocol,
+            edges: graph.edges().to_vec(),
+            offsets,
+            adj,
+            states,
+            counts,
+            fenwick: None,
+            noop_run: 0,
+            k,
+            interactions: 0,
+            effective_interactions: 0,
+            table,
+            noop,
+            chunk,
+            bitmap: vec![0u64; bits / 64],
+            bit_mask: bits - 1,
+            dirty_list: Vec::new(),
+            draws: Vec::with_capacity(chunk),
+            ends: Vec::with_capacity(chunk),
+            pair_states: Vec::with_capacity(chunk),
+            block_events: Vec::new(),
+        }
+    }
+
+    /// Create from a count configuration with a uniformly shuffled agent
+    /// layout — the canonical initial law on non-clique topologies (see
+    /// [`GraphSimulator::from_config_shuffled`](super::GraphSimulator::from_config_shuffled)).
+    pub fn from_config_shuffled(
+        protocol: P,
+        graph: &Graph,
+        config: &CountConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        let states = shuffled_layout(config, rng);
+        Self::new(protocol, graph, states)
+    }
+
+    /// Create from a count configuration with a block layout. Only
+    /// appropriate when the layout is irrelevant (the complete graph);
+    /// prefer [`BatchGraphSimulator::from_config_shuffled`] otherwise.
+    pub fn from_config(protocol: P, graph: &Graph, config: &CountConfig) -> Self {
+        let mut states = Vec::with_capacity(config.n() as usize);
+        for (idx, &c) in config.counts().iter().enumerate() {
+            states.extend(std::iter::repeat_n(idx, c as usize));
+        }
+        Self::new(protocol, graph, states)
+    }
+
+    /// The protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of agents.
+    pub fn population(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The state index of one agent.
+    pub fn state_of_agent(&self, v: usize) -> usize {
+        self.states[v] as usize
+    }
+
+    /// Per-state counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Current count configuration (copies counts).
+    pub fn config(&self) -> CountConfig {
+        CountConfig::from_counts(self.counts.clone())
+    }
+
+    /// Total interactions simulated (including no-ops).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Interactions that changed the configuration.
+    pub fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    /// Parallel time elapsed (= interactions / n).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.states.len() as f64
+    }
+
+    /// Oriented `(initiator, responder)` endpoint pairs of the most recent
+    /// block's effective interactions. By construction these form a
+    /// matching of active edges: pairwise vertex-disjoint, each active at
+    /// block start — the invariant the property tests assert.
+    pub fn last_block_matching(&self) -> &[(u32, u32)] {
+        &self.block_events
+    }
+
+    /// Total number of active orientations `W` (0 iff silent). O(1) in the
+    /// sparse phase; scans the edges in the block phase, where `W` is not
+    /// maintained.
+    pub fn active_weight(&self) -> u64 {
+        match &self.fenwick {
+            Some(f) => f.total(),
+            None => (0..self.edges.len()).map(|e| self.edge_weight(e)).sum(),
+        }
+    }
+
+    /// Whether the configuration is silent *for this graph* (`W = 0`).
+    /// Sparse phase: exact. Block phase: the sufficient count-level
+    /// criterion, with frozen disconnected configurations caught by the
+    /// no-op-run escalation exactly as in
+    /// [`GraphSimulator::is_silent`](super::GraphSimulator::is_silent).
+    pub fn is_silent(&self) -> bool {
+        match &self.fenwick {
+            Some(f) => f.total() == 0,
+            None => self.protocol.is_silent(&self.counts),
+        }
+    }
+
+    /// Current weight (active orientations) of edge `e` from its endpoint
+    /// states.
+    #[inline]
+    fn edge_weight(&self, e: usize) -> u64 {
+        let (a, b) = self.edges[e];
+        let sa = self.states[a as usize] as usize;
+        let sb = self.states[b as usize] as usize;
+        (!self.noop[sa * self.k + sb]) as u64 + (!self.noop[sb * self.k + sa]) as u64
+    }
+
+    /// End the current chunk: clear its dirty bits (O(changed vertices),
+    /// no memset).
+    fn clear_chunk(&mut self) {
+        for idx in 0..self.dirty_list.len() {
+            let h = self.dirty_list[idx] as usize & self.bit_mask;
+            self.bitmap[h >> 6] &= !(1 << (h & 63));
+        }
+        self.dirty_list.clear();
+    }
+
+    /// Re-weight the incident edges of vertex `v` in the Fenwick tree after
+    /// its state changed from `old` (the state array already holds the new
+    /// value). Sparse phase only.
+    fn refresh_incident(&mut self, v: usize, old: usize) {
+        let t = self.states[v] as usize;
+        let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        for idx in lo..hi {
+            let (nb, e) = self.adj[idx];
+            debug_assert_ne!(nb as usize, v, "self-loop");
+            let y = self.states[nb as usize] as usize;
+            let was = (!self.noop[old * self.k + y]) as u64 + (!self.noop[y * self.k + old]) as u64;
+            let now = (!self.noop[t * self.k + y]) as u64 + (!self.noop[y * self.k + t]) as u64;
+            if was != now {
+                self.fenwick
+                    .as_mut()
+                    .expect("sparse-phase refresh without a tree")
+                    .add(e as usize, now as i64 - was as i64);
+            }
+        }
+    }
+
+    /// Apply `f` to the oriented pair `(i → j)` from **current** states;
+    /// returns whether any state changed (re-weighting incident edges when
+    /// the tree is live). Used by the literal single step, the
+    /// dirty-endpoint fallback, and the sparse phase — not by the block
+    /// scan, which inlines the clean-draw fast path.
+    fn apply_oriented(&mut self, i: usize, j: usize) -> bool {
+        let (si, sj) = (self.states[i] as usize, self.states[j] as usize);
+        if self.noop[si * self.k + sj] {
+            return false;
+        }
+        let (ti, tj) = self.table[si * self.k + sj];
+        self.counts[si] -= 1;
+        self.counts[sj] -= 1;
+        self.counts[ti as usize] += 1;
+        self.counts[tj as usize] += 1;
+        self.effective_interactions += 1;
+        if self.fenwick.is_none() {
+            self.states[i] = ti;
+            self.states[j] = tj;
+            return true;
+        }
+        // One endpoint at a time so each Fenwick delta sees a consistent
+        // snapshot (same argument as the graphwise engine).
+        if ti as usize != si {
+            self.states[i] = ti;
+            self.refresh_incident(i, si);
+        }
+        if tj as usize != sj {
+            self.states[j] = tj;
+            self.refresh_incident(j, sj);
+        }
+        true
+    }
+
+    /// Enter the sparse phase: scan the graph once and build the Fenwick
+    /// tree over per-edge active-orientation weights.
+    fn build_fenwick(&mut self) {
+        let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
+        self.fenwick = Some(FenwickSampler::new(&weights));
+        self.noop_run = 0;
+    }
+
+    /// Simulate exactly one scheduled interaction (uniform edge, uniform
+    /// orientation — the literal scheduler law); returns whether it changed
+    /// the configuration.
+    pub fn step(&mut self, rng: &mut SimRng) -> bool {
+        self.interactions += 1;
+        let v = rng.below(2 * self.edges.len() as u64);
+        let (a, b) = self.edges[(v >> 1) as usize];
+        let (i, j) = if v & 1 == 0 {
+            (a as usize, b as usize)
+        } else {
+            (b as usize, a as usize)
+        };
+        self.apply_oriented(i, j)
+    }
+
+    /// One sparse-phase advancement — the graphwise engine's geometric
+    /// skip + conditional effective draw, verbatim. Precondition: tree
+    /// live, `W > 0`, `max > 0`.
+    fn sparse_advance(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        let f = self.fenwick.as_ref().expect("sparse advance without tree");
+        let w = f.total();
+        let total = 2 * self.edges.len() as u64;
+        let p_eff = (w as f64 / total as f64).min(1.0);
+        let skipped = rng.geometric(p_eff);
+        if skipped >= max {
+            self.interactions += max;
+            return (max, false);
+        }
+        self.interactions += skipped + 1;
+        let f = self.fenwick.as_ref().expect("sparse advance without tree");
+        let e = f.sample(rng);
+        let two_sided = f.weight(e) == 2;
+        let (a, b) = self.edges[e];
+        let sa = self.states[a as usize] as usize;
+        let sb = self.states[b as usize] as usize;
+        let (i, j) = if two_sided {
+            if rng.bernoulli(0.5) {
+                (a as usize, b as usize)
+            } else {
+                (b as usize, a as usize)
+            }
+        } else if !self.noop[sa * self.k + sb] {
+            (a as usize, b as usize)
+        } else {
+            (b as usize, a as usize)
+        };
+        let changed = self.apply_oriented(i, j);
+        debug_assert!(changed, "sampled active orientation was a no-op");
+        (skipped + 1, true)
+    }
+
+    /// Scan one pre-generated chunk of at most `max` scheduled draws.
+    /// Returns `(advanced, changed, trigger)` where `trigger` reports that
+    /// the consecutive-no-op escalation fired (the caller builds the
+    /// Fenwick).
+    fn chunk_scan(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool, bool) {
+        debug_assert!(max > 0);
+        debug_assert!(self.fenwick.is_none(), "chunk scan with a live tree");
+        let m2 = 2 * self.edges.len() as u64;
+        let k = self.k;
+        let want = (self.chunk as u64).min(max) as usize;
+        // The buffers move out of `self` for the passes so the tight loops
+        // borrow disjoint data (no `&mut self` aliasing, no re-loads).
+        let mut draws = std::mem::take(&mut self.draws);
+        let mut ends = std::mem::take(&mut self.ends);
+        let mut pair_states = std::mem::take(&mut self.pair_states);
+        // Pass 1: raw scheduled draws — pure RNG, no memory traffic. One
+        // below() per interaction carries the orientation in its low bit.
+        draws.clear();
+        for _ in 0..want {
+            draws.push(rng.below(m2));
+        }
+        // Pass 2: the oriented-endpoint gather — independent loads the CPU
+        // overlaps. The orientation select is branchless (a 50/50 branch
+        // here would mispredict every other draw).
+        ends.clear();
+        for &v in &draws {
+            let (a, b) = self.edges[(v >> 1) as usize];
+            let swap = 0u32.wrapping_sub((v & 1) as u32) & (a ^ b);
+            ends.push((a ^ swap, b ^ swap));
+        }
+        // Pass 3: gather block-start endpoint states (independent loads).
+        pair_states.clear();
+        for &(a, b) in &ends {
+            pair_states.push((self.states[a as usize], self.states[b as usize]));
+        }
+        // Pass 4: the matching scan, in schedule order. Everything the
+        // loop touches is a local or a disjoint field borrow — per-draw
+        // `&mut self` method calls would force the compiler to reload
+        // fields on every iteration.
+        let mut states = std::mem::take(&mut self.states);
+        let mut bitmap = std::mem::take(&mut self.bitmap);
+        let mut dirty_list = std::mem::take(&mut self.dirty_list);
+        let mut block_events = std::mem::take(&mut self.block_events);
+        block_events.clear();
+        let bit_mask = self.bit_mask;
+        let noop = &self.noop;
+        let table = &self.table;
+        let counts = &mut self.counts;
+        let mut effective = 0u64;
+        let mut noop_run = self.noop_run;
+        let mut advanced = 0u64;
+        let mut changed = false;
+        // Clock value (within this scan) of the last effective interaction,
+        // for the silence rewind below.
+        let mut last_change = 0u64;
+        let mut trigger = false;
+        for idx in 0..want {
+            let (iv, jv) = ends[idx];
+            advanced += 1;
+            let ha = iv as usize & bit_mask;
+            let hb = jv as usize & bit_mask;
+            let was_dirty =
+                ((bitmap[ha >> 6] >> (ha & 63)) | (bitmap[hb >> 6] >> (hb & 63))) & 1 == 1;
+            let (si, sj) = if was_dirty {
+                // A dirty (or hash-colliding) endpoint: gathered states may
+                // be stale. All earlier interactions are already applied,
+                // so simulate this draw literally from re-read current
+                // states — the exact fallback.
+                (states[iv as usize], states[jv as usize])
+            } else {
+                // Clean draw: the gathered chunk-start states are current.
+                pair_states[idx]
+            };
+            let cell = si as usize * k + sj as usize;
+            if noop[cell] {
+                noop_run += 1;
+                if noop_run >= SPARSE_TRIGGER_NOOPS {
+                    trigger = true;
+                    break;
+                }
+                continue;
+            }
+            // Apply the transition and mark both endpoints dirty, so later
+            // draws of the chunk reject their stale gathered states.
+            let (ti, tj) = table[cell];
+            states[iv as usize] = ti;
+            states[jv as usize] = tj;
+            counts[si as usize] -= 1;
+            counts[sj as usize] -= 1;
+            counts[ti as usize] += 1;
+            counts[tj as usize] += 1;
+            effective += 1;
+            bitmap[ha >> 6] |= 1 << (ha & 63);
+            bitmap[hb >> 6] |= 1 << (hb & 63);
+            dirty_list.push(iv);
+            dirty_list.push(jv);
+            noop_run = 0;
+            changed = true;
+            last_change = advanced;
+            if !was_dirty {
+                // Only clean applications belong to the block's matching —
+                // a fallback draw may legitimately reuse a matched vertex.
+                block_events.push((iv, jv));
+            }
+        }
+        self.states = states;
+        self.bitmap = bitmap;
+        self.dirty_list = dirty_list;
+        self.block_events = block_events;
+        self.noop_run = noop_run;
+        self.effective_interactions += effective;
+        self.draws = draws;
+        self.ends = ends;
+        self.pair_states = pair_states;
+        self.clear_chunk();
+        self.interactions += advanced;
+        // Silence rewind: if the chunk's last effective interaction
+        // silenced the configuration, its trailing draws are provably
+        // no-ops that postdate silence; drop them from the clock so the
+        // stabilization convention (clock stops at silence) matches the
+        // per-event engines exactly.
+        if changed && advanced > last_change && self.is_silent() {
+            self.interactions -= advanced - last_change;
+            advanced = last_change;
+        }
+        (advanced, changed, trigger)
+    }
+
+    /// Advance by at most `max` interactions using the cheapest exact
+    /// mechanism for the current activity level (block leaping or the
+    /// sparse Fenwick skipper). Returns interactions advanced and whether
+    /// the counts changed. Once silence is *certified* (sparse phase,
+    /// `W = 0`) the clock stops: further calls return `(0, false)`. In the
+    /// block phase a silent-but-uncertified configuration still draws
+    /// genuine scheduled no-ops until the no-op-run trigger escalates and
+    /// certifies it (the same behaviour as the graphwise dense phase), so
+    /// the first call on such a configuration can advance the clock by up
+    /// to ~[`SPARSE_TRIGGER_NOOPS`](super::graphwise) interactions —
+    /// drivers check `is_silent()` before advancing, which both `run_until`
+    /// and the stabilization entry points do.
+    pub fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        if max == 0 {
+            return (0, false);
+        }
+        let mut advanced = 0u64;
+        let mut changed = false;
+        loop {
+            if let Some(f) = &self.fenwick {
+                let w = f.total();
+                if w == 0 {
+                    // Silent: stop the clock (see the graphwise engine).
+                    return (advanced, changed);
+                }
+                if w * DENSE_ENTER_INV >= 2 * self.edges.len() as u64 {
+                    // Activity recovered: hand back to the block engine.
+                    self.fenwick = None;
+                    self.noop_run = 0;
+                } else {
+                    let (leapt, ch) = self.sparse_advance(rng, max - advanced);
+                    return (advanced + leapt, changed || ch);
+                }
+            }
+            let (leapt, ch, trigger) = self.chunk_scan(rng, max - advanced);
+            advanced += leapt;
+            changed |= ch;
+            if trigger {
+                // Collapsed activity certified by the no-op run: escalate
+                // to the sparse skipper. If the blocks already changed the
+                // counts, return so drivers re-evaluate their predicates
+                // first.
+                self.build_fenwick();
+                if changed || advanced >= max {
+                    return (advanced, changed);
+                }
+            } else if ch || advanced >= max {
+                return (advanced, changed);
+            }
+            // All-no-op block without a trigger yet: keep scanning so the
+            // escalation (or the horizon) is reached within this call.
+        }
+    }
+}
+
+impl<P: Protocol> Simulator for BatchGraphSimulator<P> {
+    fn population(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    fn num_states(&self) -> usize {
+        self.k
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn effective_interactions(&self) -> u64 {
+        self.effective_interactions
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> bool {
+        BatchGraphSimulator::step(self, rng)
+    }
+
+    fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        BatchGraphSimulator::advance_changed(self, rng, max)
+    }
+
+    fn is_silent(&self) -> bool {
+        BatchGraphSimulator::is_silent(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::OneWayEpidemic;
+
+    fn epidemic_on(graph: &Graph, infected: usize) -> BatchGraphSimulator<OneWayEpidemic> {
+        let mut states = vec![1usize; graph.n()];
+        for s in states.iter_mut().take(infected) {
+            *s = 0;
+        }
+        BatchGraphSimulator::new(OneWayEpidemic, graph, states)
+    }
+
+    #[test]
+    fn epidemic_on_cycle_completes_and_counts_events() {
+        let g = Graph::cycle(50);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(1);
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+        }
+        assert_eq!(sim.counts(), &[50, 0]);
+        assert_eq!(sim.effective_interactions(), 49);
+        assert_eq!(sim.active_weight(), 0);
+    }
+
+    #[test]
+    fn block_clock_matches_single_step_clock_in_distribution() {
+        // Block leaping must preserve the total-interaction law: compare
+        // mean completion interactions via advance() and via step().
+        let reps = 300u64;
+        let mut block_mean = 0.0;
+        let mut step_mean = 0.0;
+        for seed in 0..reps {
+            let g = Graph::cycle(24);
+            let mut sim = epidemic_on(&g, 1);
+            let mut rng = SimRng::new(seed);
+            while !sim.is_silent() {
+                sim.advance_changed(&mut rng, u64::MAX / 2);
+            }
+            block_mean += sim.interactions() as f64;
+
+            let g = Graph::cycle(24);
+            let mut sim = epidemic_on(&g, 1);
+            let mut rng = SimRng::new(seed + 777_777);
+            while !sim.is_silent() {
+                sim.step(&mut rng);
+            }
+            step_mean += sim.interactions() as f64;
+        }
+        block_mean /= reps as f64;
+        step_mean /= reps as f64;
+        let rel = (block_mean - step_mean).abs() / step_mean;
+        assert!(rel < 0.06, "block {block_mean} vs step {step_mean}");
+    }
+
+    #[test]
+    fn matches_graphwise_engine_in_distribution() {
+        // Same chain as GraphSimulator: compare mean completion clocks on
+        // a sparse graph.
+        let reps = 250u64;
+        let g = Graph::grid(6, 6);
+        let mut batch_mean = 0.0;
+        let mut graph_mean = 0.0;
+        for seed in 0..reps {
+            let mut sim = epidemic_on(&g, 2);
+            let mut rng = SimRng::new(seed);
+            while !sim.is_silent() {
+                sim.advance_changed(&mut rng, u64::MAX / 2);
+            }
+            batch_mean += sim.interactions() as f64;
+
+            let mut states = vec![1usize; 36];
+            states[0] = 0;
+            states[1] = 0;
+            let mut reference = crate::simulator::GraphSimulator::new(OneWayEpidemic, &g, states);
+            let mut rng = SimRng::new(seed + 555_555);
+            while !reference.is_silent() {
+                reference.advance_changed(&mut rng, u64::MAX / 2);
+            }
+            graph_mean += reference.interactions() as f64;
+        }
+        batch_mean /= reps as f64;
+        graph_mean /= reps as f64;
+        let rel = (batch_mean - graph_mean).abs() / graph_mean;
+        assert!(rel < 0.06, "batch {batch_mean} vs graphwise {graph_mean}");
+    }
+
+    #[test]
+    fn blocks_are_matchings_of_active_edges() {
+        // The structural invariant behind the leap: every recorded block
+        // is a set of vertex-disjoint edges, each active at block start.
+        let g = crate::topology::TopologyFamily::Regular { d: 8 }.build(4_096, 3);
+        let mut states = vec![1usize; 4_096];
+        for s in states.iter_mut().take(2_048) {
+            *s = 0;
+        }
+        let mut sim = BatchGraphSimulator::new(OneWayEpidemic, &g, states);
+        let mut rng = SimRng::new(9);
+        let mut blocks_seen = 0u64;
+        while !sim.is_silent() && blocks_seen < 400 {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+            let block = sim.last_block_matching();
+            if block.is_empty() {
+                continue;
+            }
+            blocks_seen += 1;
+            let mut seen = std::collections::HashSet::new();
+            for &(a, b) in block {
+                assert!(seen.insert(a), "vertex {a} appears twice in a block");
+                assert!(seen.insert(b), "vertex {b} appears twice in a block");
+            }
+        }
+        assert!(blocks_seen > 50, "only {blocks_seen} nonempty blocks");
+    }
+
+    #[test]
+    fn advance_respects_max_and_truncates_exactly() {
+        let g = Graph::cycle(1000);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(3);
+        for max in [1u64, 7, 100, 10_000] {
+            let before = sim.interactions();
+            let (advanced, _) = sim.advance_changed(&mut rng, max);
+            assert!(advanced >= 1 && advanced <= max, "advanced {advanced}");
+            assert_eq!(sim.interactions() - before, advanced);
+        }
+    }
+
+    #[test]
+    fn silent_configuration_stops_the_clock() {
+        let g = Graph::cycle(10);
+        let mut sim = epidemic_on(&g, 10); // everyone infected: silent
+        assert!(sim.is_silent());
+        let mut rng = SimRng::new(4);
+        let (first, changed) = sim.advance_changed(&mut rng, 5_000);
+        assert!(!changed);
+        assert!(first <= 5_000);
+        let clock = sim.interactions();
+        let (second, changed) = sim.advance_changed(&mut rng, 5_000);
+        assert_eq!((second, changed), (0, false));
+        assert_eq!(sim.interactions(), clock);
+        assert_eq!(sim.effective_interactions(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_freezes_with_mixed_counts() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut states = vec![1usize; 4];
+        states[0] = 0;
+        let mut sim = BatchGraphSimulator::new(OneWayEpidemic, &g, states);
+        let mut rng = SimRng::new(5);
+        let mut guard = 0;
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(sim.counts(), &[2, 2]);
+    }
+
+    #[test]
+    fn population_and_counts_conserved_across_blocks() {
+        let g = crate::topology::TopologyFamily::Regular { d: 4 }.build(1_024, 1);
+        let mut sim = epidemic_on(&g, 16);
+        let mut rng = SimRng::new(6);
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+            assert_eq!(sim.counts().iter().sum::<u64>(), 1_024);
+            let mut recount = vec![0u64; 2];
+            for v in 0..1_024 {
+                recount[sim.state_of_agent(v)] += 1;
+            }
+            assert_eq!(recount, sim.counts(), "states out of sync with counts");
+        }
+        assert_eq!(sim.effective_interactions(), 1_024 - 16);
+    }
+
+    #[test]
+    fn bitmap_is_fully_cleared_between_advancements() {
+        // After any advancement the dirty map must be empty — a leaked bit
+        // would silently shorten every later block.
+        let g = crate::topology::TopologyFamily::Regular { d: 8 }.build(2_048, 2);
+        let mut states = vec![0usize; 2_048];
+        for s in states.iter_mut().take(1_024) {
+            *s = 1;
+        }
+        let mut sim = BatchGraphSimulator::new(OneWayEpidemic, &g, states);
+        let mut rng = SimRng::new(8);
+        for _ in 0..50 {
+            if sim.is_silent() {
+                break;
+            }
+            sim.advance_changed(&mut rng, 10_000);
+            assert!(
+                sim.bitmap.iter().all(|&w| w == 0),
+                "dirty bits leaked across blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let g = Graph::cycle(100);
+        let mut sim: Box<dyn Simulator> = Box::new(epidemic_on(&g, 5));
+        let mut rng = SimRng::new(7);
+        let ran = sim.run_until(&mut rng, u64::MAX / 2, &mut |_| false);
+        assert!(ran > 0);
+        assert!(sim.is_silent());
+        assert_eq!(sim.counts(), &[100, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs edges")]
+    fn empty_graph_rejected() {
+        let g = Graph::from_edges(3, vec![]);
+        BatchGraphSimulator::new(OneWayEpidemic, &g, vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex count")]
+    fn state_count_mismatch_rejected() {
+        let g = Graph::cycle(3);
+        BatchGraphSimulator::new(OneWayEpidemic, &g, vec![0, 1]);
+    }
+}

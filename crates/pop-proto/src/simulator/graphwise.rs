@@ -75,12 +75,14 @@ use sim_stats::rng::SimRng;
 /// many consecutive no-ops is `(1 − f)^1024` — negligible above `f ≈ 1/64`,
 /// near-certain once the fraction truly collapses, so spurious O(m)
 /// rebuilds are rare and real collapses are caught within ~1k steps.
-const SPARSE_TRIGGER_NOOPS: u32 = 1024;
+pub(crate) const SPARSE_TRIGGER_NOOPS: u32 = 1024;
 /// Activity fraction at which the sparse phase drops its Fenwick tree and
 /// returns to literal dense stepping: skipping `< 32` no-ops per event no
 /// longer repays the O(d log m) updates. The wide hysteresis band versus
-/// [`SPARSE_TRIGGER_NOOPS`] (~1/1024) prevents rebuild thrash.
-const DENSE_ENTER_INV: u64 = 32;
+/// [`SPARSE_TRIGGER_NOOPS`] (~1/1024) prevents rebuild thrash. Shared (as
+/// is the trigger) with [`BatchGraphSimulator`](super::BatchGraphSimulator),
+/// whose batch phase hands off to an identical sparse skipper.
+pub(crate) const DENSE_ENTER_INV: u64 = 32;
 
 /// Exact active-edge simulator for a fixed interaction graph.
 ///
@@ -149,25 +151,8 @@ impl<P: Protocol> GraphSimulator<P> {
             })
             .collect();
 
-        // CSR adjacency.
-        let n = graph.n();
         let edges = graph.edges().to_vec();
-        let mut offsets = vec![0u32; n + 1];
-        for &(a, b) in &edges {
-            offsets[a as usize + 1] += 1;
-            offsets[b as usize + 1] += 1;
-        }
-        for v in 0..n {
-            offsets[v + 1] += offsets[v];
-        }
-        let mut cursor = offsets.clone();
-        let mut adj = vec![(0u32, 0u32); 2 * edges.len()];
-        for (e, &(a, b)) in edges.iter().enumerate() {
-            adj[cursor[a as usize] as usize] = (b, e as u32);
-            cursor[a as usize] += 1;
-            adj[cursor[b as usize] as usize] = (a, e as u32);
-            cursor[b as usize] += 1;
-        }
+        let (offsets, adj) = graph.csr_adjacency();
 
         GraphSimulator {
             protocol,

@@ -1,6 +1,6 @@
 //! Exact simulators for population protocols.
 //!
-//! Four backends simulate the same Markov chains at different cost models:
+//! Five backends simulate the same Markov chains at different cost models:
 //!
 //! * [`AgentSimulator`] — tracks each agent's state individually and asks a
 //!   [`Scheduler`](crate::scheduler::Scheduler) for agent pairs: the literal
@@ -23,19 +23,29 @@
 //!   engines: per-agent states plus a Fenwick tree over per-edge *active*
 //!   (non-no-op) orientation counts, skipping geometrically over no-op
 //!   stretches and paying O(d log m) per **effective** interaction. The
-//!   fast exact engine for [`GraphScheduler`](crate::scheduler::GraphScheduler)
-//!   topologies.
+//!   fast exact engine for no-op-dominated
+//!   [`GraphScheduler`](crate::scheduler::GraphScheduler) topologies.
+//! * [`BatchGraphSimulator`] — multi-event leaping on graphs: pre-generates
+//!   whole blocks of the (configuration-independent) scheduled draw
+//!   sequence, applies every draw whose edge is vertex-disjoint from the
+//!   block's earlier effective edges from block-start states (a matching),
+//!   and falls back to a literal step at the first shared endpoint. The
+//!   fast exact engine for *effective-dominated* graph regimes (expanders);
+//!   hands off to the same sparse skipper as [`GraphSimulator`] when
+//!   no-ops dominate.
 //!
 //! The [`Simulator`] trait unifies them so drivers, experiments, the
 //! CLI, and benches can select a backend generically.
 
 mod agentwise;
 mod batched;
+mod batched_graph;
 mod countwise;
 mod graphwise;
 
 pub use agentwise::{AgentSimulator, InteractionRecord};
 pub use batched::BatchSimulator;
+pub use batched_graph::BatchGraphSimulator;
 pub use countwise::CountSimulator;
 pub use graphwise::{shuffled_layout, GraphSimulator};
 

@@ -38,6 +38,7 @@ pub mod regression;
 pub mod rng;
 pub mod summary;
 pub mod tables;
+pub mod threads;
 pub mod timeseries;
 
 pub use binomial::{
@@ -46,8 +47,8 @@ pub use binomial::{
 pub use histogram::{Histogram, LogHistogram};
 pub use ks::{ks_critical_value, ks_reject, ks_statistic};
 pub use multinomial::{
-    categorical_index, multinomial_counts, multinomial_counts_fast, multivariate_hypergeometric,
-    sample_hypergeometric,
+    categorical_index, hypergeometric_pairing_table, multinomial_counts, multinomial_counts_fast,
+    multivariate_hypergeometric, multivariate_hypergeometric_streams, sample_hypergeometric,
 };
 pub use plot::AsciiChart;
 pub use regression::{loglog_fit, ols_fit, LinearFit};

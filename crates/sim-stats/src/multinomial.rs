@@ -115,19 +115,20 @@ pub fn multinomial_counts_fast(rng: &mut SimRng, n: u64, weights: &[u64]) -> Vec
     counts
 }
 
-/// Exact multivariate hypergeometric sample: the per-category counts of
-/// `draws` items drawn **without replacement** from a population with
-/// `pop[i]` items of category `i`. O(k) hypergeometric draws via the chain
-/// rule; each draw uses the O(sd) mode-centered sampler in
-/// [`binomial`](crate::binomial).
-///
-/// Panics if `draws` exceeds the population size.
-pub fn multivariate_hypergeometric(rng: &mut SimRng, pop: &[u64], draws: u64) -> Vec<u64> {
-    let mut total: u64 = pop.iter().sum();
-    assert!(draws <= total, "cannot draw more than the population");
-    let mut counts = vec![0u64; pop.len()];
-    let mut remaining = draws;
-    for (i, &p) in pop.iter().enumerate() {
+/// Chunk width for the blocked chain-rule walk in
+/// [`multivariate_hypergeometric`]: categories are grouped 32 at a time and
+/// a whole chunk is skipped with one hypergeometric draw when it receives
+/// nothing.
+const MVH_CHUNK: usize = 32;
+/// Category count above which the blocked walk pays for its chunk-sum pass.
+const MVH_CHUNK_MIN_K: usize = 64;
+
+/// Chain-rule walk over `pop[range]`: allocate `draws` items category by
+/// category, writing into `counts[range]`. `total` must equal the sum of
+/// `pop[range]`.
+fn mvh_walk(rng: &mut SimRng, pop: &[u64], counts: &mut [u64], mut total: u64, mut remaining: u64) {
+    debug_assert_eq!(pop.len(), counts.len());
+    for (slot, &p) in counts.iter_mut().zip(pop.iter()) {
         if remaining == 0 {
             break;
         }
@@ -135,15 +136,261 @@ pub fn multivariate_hypergeometric(rng: &mut SimRng, pop: &[u64], draws: u64) ->
             continue;
         }
         if p == total {
-            counts[i] = remaining;
+            *slot = remaining;
             break;
         }
         let draw = crate::binomial::sample_hypergeometric_fast(rng, total, p, remaining);
-        counts[i] = draw;
+        *slot = draw;
         remaining -= draw;
         total -= p;
     }
+}
+
+/// Exact multivariate hypergeometric sample: the per-category counts of
+/// `draws` items drawn **without replacement** from a population with
+/// `pop[i]` items of category `i`. O(k) hypergeometric draws via the chain
+/// rule; each draw uses the O(sd) mode-centered sampler in
+/// [`binomial`](crate::binomial).
+///
+/// For k ≥ 64 the walk is *blocked*: categories are grouped into chunks of
+/// 32, one chain-rule pass allocates `draws` among the chunk totals, and
+/// only chunks that received something are walked internally — the chain
+/// rule at coarser granularity followed by refinement, identical in
+/// distribution to the flat walk but skipping 32 categories per draw on
+/// the (common, when draws ≪ Σpop) empty chunks.
+///
+/// Panics if `draws` exceeds the population size.
+pub fn multivariate_hypergeometric(rng: &mut SimRng, pop: &[u64], draws: u64) -> Vec<u64> {
+    let total: u64 = pop.iter().sum();
+    assert!(draws <= total, "cannot draw more than the population");
+    let mut counts = vec![0u64; pop.len()];
+    if pop.len() < MVH_CHUNK_MIN_K {
+        mvh_walk(rng, pop, &mut counts, total, draws);
+        return counts;
+    }
+    // Blocked walk: allocate among chunk totals, then refine within the
+    // nonzero chunks.
+    let chunk_sums: Vec<u64> = pop.chunks(MVH_CHUNK).map(|c| c.iter().sum()).collect();
+    let mut remaining = draws;
+    let mut grand = total;
+    for (ci, &cs) in chunk_sums.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if cs == 0 {
+            continue;
+        }
+        let chunk_draw = if cs == grand {
+            remaining
+        } else {
+            crate::binomial::sample_hypergeometric_fast(rng, grand, cs, remaining)
+        };
+        if chunk_draw > 0 {
+            let lo = ci * MVH_CHUNK;
+            let hi = (lo + MVH_CHUNK).min(pop.len());
+            mvh_walk(rng, &pop[lo..hi], &mut counts[lo..hi], cs, chunk_draw);
+        }
+        remaining -= chunk_draw;
+        grand -= cs;
+    }
     counts
+}
+
+/// Minimum `draws · categories` product below which
+/// [`multivariate_hypergeometric_streams`] and
+/// [`hypergeometric_pairing_table`] stay sequential even when offered
+/// threads: a scoped-thread spawn costs tens of microseconds, which only
+/// repays on genuinely large splits.
+const PAR_MIN_WORK: u128 = 1 << 22;
+
+/// Stream tag mixed into a node's master seed for its own draw (vs its
+/// children's subtrees). Arbitrary distinct constants; see
+/// [`multivariate_hypergeometric_streams`].
+const TAG_SELF: u64 = 0;
+const TAG_LEFT: u64 = 1;
+const TAG_RIGHT: u64 = 2;
+
+/// Whether a subtree of this size is worth a thread spawn.
+#[inline]
+fn par_worthwhile(threads: usize, draws: u64, len: usize) -> bool {
+    threads > 1 && len >= 2 && (draws as u128) * (len as u128) >= PAR_MIN_WORK
+}
+
+/// Recursive half of [`multivariate_hypergeometric_streams`]: allocate
+/// `draws` over `pop` (whose sum is `total`) into `counts`, all randomness
+/// derived from `master`.
+fn mvh_streams_rec(
+    master: u64,
+    pop: &[u64],
+    counts: &mut [u64],
+    total: u64,
+    draws: u64,
+    threads: usize,
+) {
+    if draws == 0 || total == 0 {
+        return;
+    }
+    if pop.len() == 1 {
+        counts[0] = draws;
+        return;
+    }
+    let mid = pop.len() / 2;
+    let left_sum: u64 = pop[..mid].iter().sum();
+    let left_draw = if left_sum == 0 {
+        0
+    } else if left_sum == total {
+        draws
+    } else {
+        let mut rng = SimRng::new(crate::rng::derive_seed(master, TAG_SELF));
+        crate::binomial::sample_hypergeometric_fast(&mut rng, total, left_sum, draws)
+    };
+    let (lpop, rpop) = pop.split_at(mid);
+    let (lcounts, rcounts) = counts.split_at_mut(mid);
+    let lmaster = crate::rng::derive_seed(master, TAG_LEFT);
+    let rmaster = crate::rng::derive_seed(master, TAG_RIGHT);
+    if par_worthwhile(threads, draws, pop.len()) {
+        let (lt, rt) = (threads / 2 + threads % 2, threads / 2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| mvh_streams_rec(lmaster, lpop, lcounts, left_sum, left_draw, lt));
+            mvh_streams_rec(
+                rmaster,
+                rpop,
+                rcounts,
+                total - left_sum,
+                draws - left_draw,
+                rt.max(1),
+            );
+        });
+    } else {
+        mvh_streams_rec(lmaster, lpop, lcounts, left_sum, left_draw, 1);
+        mvh_streams_rec(
+            rmaster,
+            rpop,
+            rcounts,
+            total - left_sum,
+            draws - left_draw,
+            1,
+        );
+    }
+}
+
+/// [`multivariate_hypergeometric`] with **deterministic per-subtree RNG
+/// streams** instead of one sequential generator: the category range is
+/// split recursively, each split draws its left-half total from a stream
+/// derived from `(master, path)` alone, and the two halves recurse
+/// independently. Because every draw's stream is a pure function of its
+/// position in the recursion — never of execution order — the result is
+/// **bit-identical for any thread count**, and subtrees above a work
+/// threshold are fanned out over scoped threads (`threads` is a cap, not a
+/// demand; pass [`crate::threads::resolve_threads`] to honor
+/// `USD_THREADS`/`--threads`).
+///
+/// This is the parallel row-sampling primitive behind the batch
+/// simulators' per-batch pair tables. Identical in distribution to
+/// [`multivariate_hypergeometric`] (chain rule regrouped as a binary
+/// tree); a different bitstream, so seeded runs differ from the sequential
+/// sampler run-for-run but not in law.
+///
+/// Panics if `draws` exceeds the population size.
+pub fn multivariate_hypergeometric_streams(
+    master: u64,
+    pop: &[u64],
+    draws: u64,
+    threads: usize,
+) -> Vec<u64> {
+    let total: u64 = pop.iter().sum();
+    assert!(draws <= total, "cannot draw more than the population");
+    let mut counts = vec![0u64; pop.len()];
+    mvh_streams_rec(master, pop, &mut counts, total, draws, threads.max(1));
+    counts
+}
+
+/// Recursive half of [`hypergeometric_pairing_table`]: fill the row window
+/// `out` (rows `initiators.len() × k`, row-major) given the responder
+/// population `resp` available to this row range.
+fn pairing_rec(
+    master: u64,
+    initiators: &[u64],
+    resp: Vec<u64>,
+    out: &mut [u64],
+    k: usize,
+    threads: usize,
+) {
+    let range_draws: u64 = initiators.iter().sum();
+    if range_draws == 0 {
+        return;
+    }
+    if initiators.len() == 1 {
+        let row = multivariate_hypergeometric_streams(master, &resp, range_draws, threads);
+        out[..k].copy_from_slice(&row);
+        return;
+    }
+    let mid = initiators.len() / 2;
+    let left_draws: u64 = initiators[..mid].iter().sum();
+    // Aggregate responder counts consumed by the first half of the rows,
+    // then refine each half recursively (chain rule over row blocks).
+    let left_resp = multivariate_hypergeometric_streams(
+        crate::rng::derive_seed(master, TAG_SELF),
+        &resp,
+        left_draws,
+        threads,
+    );
+    let right_resp: Vec<u64> = resp
+        .iter()
+        .zip(left_resp.iter())
+        .map(|(&r, &l)| r - l)
+        .collect();
+    let lmaster = crate::rng::derive_seed(master, TAG_LEFT);
+    let rmaster = crate::rng::derive_seed(master, TAG_RIGHT);
+    let (linit, rinit) = initiators.split_at(mid);
+    let (lout, rout) = out.split_at_mut(mid * k);
+    if par_worthwhile(threads, range_draws, initiators.len() * k) {
+        let (lt, rt) = (threads / 2 + threads % 2, threads / 2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| pairing_rec(lmaster, linit, left_resp, lout, k, lt));
+            pairing_rec(rmaster, rinit, right_resp, rout, k, rt.max(1));
+        });
+    } else {
+        pairing_rec(lmaster, linit, left_resp, lout, k, 1);
+        pairing_rec(rmaster, rinit, right_resp, rout, k, 1);
+    }
+}
+
+/// Sample the **pairing table** of a collision-free interaction batch: a
+/// `k × k` row-major table `M` where `M[i][j]` counts the batch's ordered
+/// interactions between an initiator in state `i` and a responder in state
+/// `j`, given the batch's initiator counts (`initiators[i]` agents
+/// initiate from state `i`) and responder counts (`responders[j]` agents
+/// respond from state `j`). This is the uniform random bipartite matching
+/// of initiators to responders marginalized onto states — the law the
+/// batch simulators need — sampled by the chain rule over a binary tree of
+/// row blocks with the same deterministic per-subtree streams as
+/// [`multivariate_hypergeometric_streams`]: bit-identical for any thread
+/// count, parallel above the work threshold.
+///
+/// Panics unless `Σ initiators == Σ responders`.
+pub fn hypergeometric_pairing_table(
+    master: u64,
+    initiators: &[u64],
+    responders: &[u64],
+    threads: usize,
+) -> Vec<u64> {
+    let a: u64 = initiators.iter().sum();
+    let r: u64 = responders.iter().sum();
+    assert_eq!(a, r, "initiator and responder totals must match");
+    let k = responders.len();
+    let mut out = vec![0u64; initiators.len() * k];
+    if a > 0 {
+        pairing_rec(
+            master,
+            initiators,
+            responders.to_vec(),
+            &mut out,
+            k,
+            threads.max(1),
+        );
+    }
+    out
 }
 
 /// Draw an ordered pair of **distinct** indices uniformly from `[0, n)`,
@@ -284,6 +531,129 @@ mod tests {
         assert_eq!(sample_hypergeometric(&mut rng, 10, 10, 5), 5);
         assert_eq!(sample_hypergeometric(&mut rng, 10, 0, 5), 0);
         assert_eq!(sample_hypergeometric(&mut rng, 10, 3, 10), 3);
+    }
+
+    #[test]
+    fn blocked_walk_matches_flat_walk_distribution() {
+        // k = 256 engages the chunked path; compare a marginal against the
+        // flat chain-rule walk via KS.
+        let k = 256usize;
+        let pop: Vec<u64> = (0..k).map(|i| 1 + (i as u64 * 13) % 40).collect();
+        let total: u64 = pop.iter().sum();
+        let reps = 20_000;
+        let mut blocked = Vec::with_capacity(reps);
+        let mut flat = Vec::with_capacity(reps);
+        let mut rng = SimRng::new(31);
+        for _ in 0..reps {
+            let b = multivariate_hypergeometric(&mut rng, &pop, 500);
+            assert_eq!(b.iter().sum::<u64>(), 500);
+            blocked.push(b[17] as f64);
+            let mut counts = vec![0u64; k];
+            mvh_walk(&mut rng, &pop, &mut counts, total, 500);
+            assert_eq!(counts.iter().sum::<u64>(), 500);
+            flat.push(counts[17] as f64);
+        }
+        let d = crate::ks::ks_statistic(&blocked, &flat);
+        let crit = crate::ks::ks_critical_value(reps, reps, 0.001);
+        assert!(d < crit, "KS {d} >= crit {crit}");
+    }
+
+    #[test]
+    fn blocked_walk_small_draws_sparse_result() {
+        let pop = vec![1_000u64; 512];
+        let mut rng = SimRng::new(32);
+        let c = multivariate_hypergeometric(&mut rng, &pop, 3);
+        assert_eq!(c.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn streams_invariants_and_caps() {
+        let pop = [500u64, 0, 1_200, 300, 7, 0, 90];
+        for master in 0..200u64 {
+            let c = multivariate_hypergeometric_streams(master, &pop, 800, 1);
+            assert_eq!(c.iter().sum::<u64>(), 800);
+            for (got, cap) in c.iter().zip(pop.iter()) {
+                assert!(got <= cap, "{c:?} exceeds {pop:?}");
+            }
+        }
+        let all = multivariate_hypergeometric_streams(1, &pop, 2_097, 1);
+        assert_eq!(all, pop.to_vec());
+        assert_eq!(
+            multivariate_hypergeometric_streams(1, &pop, 0, 1),
+            vec![0; 7]
+        );
+    }
+
+    #[test]
+    fn streams_bit_identical_across_thread_counts() {
+        // The regression the parallel sampler must never fail: results are
+        // a pure function of (master, pop, draws), independent of the
+        // thread budget. Use draws large enough to engage the spawn path.
+        let pop: Vec<u64> = (0..64).map(|i| 100_000 + i * 7).collect();
+        for master in [0u64, 1, 0xDEAD_BEEF] {
+            let one = multivariate_hypergeometric_streams(master, &pop, 3_000_000, 1);
+            let two = multivariate_hypergeometric_streams(master, &pop, 3_000_000, 2);
+            let eight = multivariate_hypergeometric_streams(master, &pop, 3_000_000, 8);
+            assert_eq!(one, two, "threads=2 diverged at master {master}");
+            assert_eq!(one, eight, "threads=8 diverged at master {master}");
+        }
+    }
+
+    #[test]
+    fn streams_matches_sequential_distribution() {
+        let pop = [300u64, 500, 200];
+        let reps = 30_000;
+        let mut tree = Vec::with_capacity(reps);
+        let mut seq = Vec::with_capacity(reps);
+        let mut rng = SimRng::new(33);
+        for rep in 0..reps {
+            tree.push(multivariate_hypergeometric_streams(rep as u64, &pop, 400, 1)[1] as f64);
+            seq.push(multivariate_hypergeometric(&mut rng, &pop, 400)[1] as f64);
+        }
+        let d = crate::ks::ks_statistic(&tree, &seq);
+        let crit = crate::ks::ks_critical_value(reps, reps, 0.001);
+        assert!(d < crit, "KS {d} >= crit {crit}");
+    }
+
+    #[test]
+    fn pairing_table_margins_and_determinism() {
+        let initiators = [40u64, 0, 25, 35];
+        let responders = [10u64, 60, 30];
+        for master in 0..100u64 {
+            let t = hypergeometric_pairing_table(master, &initiators, &responders, 1);
+            assert_eq!(t.len(), 12);
+            for (i, &a) in initiators.iter().enumerate() {
+                let row: u64 = t[i * 3..(i + 1) * 3].iter().sum();
+                assert_eq!(row, a, "row {i} margin");
+            }
+            for (j, &r) in responders.iter().enumerate() {
+                let col: u64 = (0..4).map(|i| t[i * 3 + j]).sum();
+                assert_eq!(col, r, "col {j} margin");
+            }
+            let again = hypergeometric_pairing_table(master, &initiators, &responders, 4);
+            assert_eq!(t, again, "thread count changed the table");
+        }
+    }
+
+    #[test]
+    fn pairing_table_cell_mean_matches_theory() {
+        // E M[i][j] = a_i r_j / L for the uniform bipartite pairing.
+        let initiators = [30u64, 70];
+        let responders = [40u64, 60];
+        let reps = 20_000u64;
+        let mut sum = 0.0;
+        for master in 0..reps {
+            sum += hypergeometric_pairing_table(master, &initiators, &responders, 1)[0] as f64;
+        }
+        let mean = sum / reps as f64;
+        let expect = 30.0 * 40.0 / 100.0; // = 12
+        assert!((mean - expect).abs() < 0.15, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "totals must match")]
+    fn pairing_table_margin_mismatch_panics() {
+        hypergeometric_pairing_table(1, &[3], &[2], 1);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Process-wide worker-thread-count resolution.
+//!
+//! Every parallel facility in the workspace — the experiment sweep runner
+//! in `usd-experiments` and the parallel hypergeometric row sampling the
+//! batch simulators use — answers the question "how many worker threads?"
+//! the same way, in precedence order:
+//!
+//! 1. the process-wide override set by [`set_thread_override`] (wired to
+//!    the binaries' `--threads` flag),
+//! 2. the `USD_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! This lives in `sim-stats` (the workspace's lowest layer) so that the
+//! sampling primitives can honor `--threads` without depending on the
+//! experiment crates; `usd_experiments::runner` re-exports these functions
+//! so existing callers are unaffected. Thread count never changes any
+//! sampled result, only wall clock: all parallel samplers in this crate
+//! derive deterministic per-task RNG streams (see
+//! [`multivariate_hypergeometric_streams`](crate::multinomial::multivariate_hypergeometric_streams)).
+//!
+//! The environment variable is read once per call; callers on hot paths
+//! should resolve once and cache (the simulators resolve at construction).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override (0 = unset). Highest precedence.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set (or clear, with `None`) the process-wide worker-thread count. Takes
+/// precedence over `USD_THREADS` and auto-detection. A count of 0 clears.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolve the worker-thread count: override > `USD_THREADS` env >
+/// available parallelism. Always at least 1.
+pub fn resolve_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("USD_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t > 0 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_takes_precedence_and_clears() {
+        set_thread_override(Some(3));
+        assert_eq!(resolve_threads(), 3);
+        set_thread_override(None);
+        assert!(resolve_threads() >= 1);
+    }
+}

@@ -17,18 +17,20 @@ usd-sim — Undecided State Dynamics simulator
 
 commands:
   run    --n <u64> --k <usize> [--bias <u64> | --max-bias] [--seed <u64>]
-         [--backend agent|count|batch|graph|seq|skip] [--trace <file.usdt>]
+         [--backend agent|count|batch|graph|batchgraph|seq|skip]
+         [--trace <file.usdt>]
          [--topology complete|cycle|torus|hypercube|regular[:d]|er[:avg]]
          [--degree <usize>] [--topo-seed <u64>]
            one exact run to stabilization; optionally record a trajectory
            (backend default: skip; use batch for n >= 10^7, agent for
            per-agent ground truth; trace requires the skip backend).
            --topology runs on an interaction graph instead of the clique
-           (backend default becomes graph; agent also works); --degree sets
-           d for regular/er; the population is snapped to the nearest
-           feasible size for the family
+           (backend default becomes batchgraph — the block-leaping engine;
+           graph and agent also work); --degree sets d for regular/er; the
+           population is snapped to the nearest feasible size for the
+           family
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
-         [--backend agent|count|batch|graph|seq|skip]
+         [--backend agent|count|batch|graph|batchgraph|seq|skip]
            stabilization time across the admissible k grid vs the bounds
   bounds --n <u64> --k <usize>
            print the paper's bound curves for (n, k)
@@ -125,7 +127,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
     };
     let backend: Backend = flags.get("backend")?.unwrap_or(if topology.is_some() {
-        Backend::Graph
+        Backend::BatchGraph
     } else {
         Backend::SkipAhead
     });
@@ -133,7 +135,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if let Some(family) = topology {
         if !backend.supports_topologies() {
             return Err(CliError(format!(
-                "--topology requires --backend graph or agent, got {backend}"
+                "--topology requires --backend graph, batchgraph, or agent, got {backend}"
             )));
         }
         if trace_path.is_some() {
@@ -155,12 +157,12 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "trace recording requires --backend skip".to_string(),
         ));
     }
-    if backend == Backend::Graph
+    if matches!(backend, Backend::Graph | Backend::BatchGraph)
         && topology.is_none()
         && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
     {
         return Err(CliError(format!(
-            "--backend graph without --topology runs the complete graph \
+            "--backend {backend} without --topology runs the complete graph \
              (n(n-1)/2 edges); n={n} exceeds the cap of {} — pass --topology \
              for a sparse graph or use agent/count/batch for the clique",
             usd_core::backend::COMPLETE_GRAPH_MAX_N
@@ -276,10 +278,12 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     if n < 16 {
         return Err(CliError("need --n >= 16".into()));
     }
-    if backend == Backend::Graph && n > usd_core::backend::COMPLETE_GRAPH_MAX_N {
+    if matches!(backend, Backend::Graph | Backend::BatchGraph)
+        && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
+    {
         return Err(CliError(format!(
-            "--backend graph sweeps the complete graph; n={n} exceeds the cap \
-             of {}",
+            "--backend {backend} sweeps the complete graph; n={n} exceeds the \
+             cap of {}",
             usd_core::backend::COMPLETE_GRAPH_MAX_N
         )));
     }

@@ -1,6 +1,6 @@
 //! Generic backend selection for USD runs.
 //!
-//! Six exact engines can run the Undecided State Dynamics:
+//! Seven exact engines can run the Undecided State Dynamics:
 //!
 //! | backend | engine | cost model |
 //! |---------|--------|------------|
@@ -8,6 +8,7 @@
 //! | `count` | [`pop_proto::CountSimulator`] | O(log k)/interaction |
 //! | `batch` | [`pop_proto::BatchSimulator`] | O(k²+log n) per ~√n interactions |
 //! | `graph` | [`pop_proto::GraphSimulator`] | O(d log m)/**effective** interaction |
+//! | `batchgraph` | [`pop_proto::BatchGraphSimulator`] | block-leaping O(1)/interaction, sparse O(d log m)/effective |
 //! | `seq`   | [`crate::dynamics::SequentialUsd`] | O(log k)/interaction, USD-specialized |
 //! | `skip`  | [`crate::dynamics::SkipAheadUsd`] | O(log k)/effective event |
 //!
@@ -20,13 +21,13 @@
 //! random on its vertices, and runs either engine to graph silence.
 
 use crate::config::UsdConfig;
-use crate::dynamics::{SequentialUsd, SkipAheadUsd};
+use crate::dynamics::{SequentialUsd, SkipAheadGeneric, SkipAheadUsd};
 use crate::protocol::UndecidedStateDynamics;
 use crate::stabilization::{stabilize, ConsensusOutcome, StabilizationResult};
 use pop_proto::simulator::shuffled_layout;
 use pop_proto::{
-    AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, GraphScheduler,
-    GraphSimulator, Protocol, Simulator, TopologyFamily,
+    AgentSimulator, BatchGraphSimulator, BatchSimulator, CliqueScheduler, CountSimulator,
+    GraphScheduler, GraphSimulator, Protocol, Simulator, TopologyFamily,
 };
 use sim_stats::rng::SimRng;
 
@@ -42,6 +43,9 @@ pub enum Backend {
     /// Active-edge graph simulator (graph topologies; the complete graph
     /// is its degenerate clique instance).
     Graph,
+    /// Batch-leaping graph simulator (matching-based multi-event blocks;
+    /// the fast engine for effective-dominated topologies).
+    BatchGraph,
     /// USD-specialized sequential engine.
     Sequential,
     /// USD-specialized skip-ahead engine.
@@ -50,23 +54,25 @@ pub enum Backend {
 
 impl Backend {
     /// All backends, in display order.
-    pub const ALL: [Backend; 6] = [
+    pub const ALL: [Backend; 7] = [
         Backend::Agent,
         Backend::Count,
         Backend::Batch,
         Backend::Graph,
+        Backend::BatchGraph,
         Backend::Sequential,
         Backend::SkipAhead,
     ];
 
-    /// The flag-friendly name (`agent`, `count`, `batch`, `graph`, `seq`,
-    /// `skip`).
+    /// The flag-friendly name (`agent`, `count`, `batch`, `graph`,
+    /// `batchgraph`, `seq`, `skip`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Agent => "agent",
             Backend::Count => "count",
             Backend::Batch => "batch",
             Backend::Graph => "graph",
+            Backend::BatchGraph => "batchgraph",
             Backend::Sequential => "seq",
             Backend::SkipAhead => "skip",
         }
@@ -76,13 +82,13 @@ impl Backend {
     /// and graphwise engines allocate per-agent — and, for `graph`,
     /// per-edge — state).
     pub fn per_agent_memory(&self) -> bool {
-        matches!(self, Backend::Agent | Backend::Graph)
+        matches!(self, Backend::Agent | Backend::Graph | Backend::BatchGraph)
     }
 
     /// Whether the backend runs on non-clique interaction graphs (accepted
     /// by [`make_topology_simulator`] / [`stabilize_on_topology`]).
     pub fn supports_topologies(&self) -> bool {
-        matches!(self, Backend::Agent | Backend::Graph)
+        matches!(self, Backend::Agent | Backend::Graph | Backend::BatchGraph)
     }
 }
 
@@ -101,10 +107,12 @@ impl std::str::FromStr for Backend {
             "count" => Ok(Backend::Count),
             "batch" => Ok(Backend::Batch),
             "graph" | "graphwise" => Ok(Backend::Graph),
+            "batchgraph" | "batch-graph" => Ok(Backend::BatchGraph),
             "seq" | "sequential" => Ok(Backend::Sequential),
             "skip" | "skip-ahead" => Ok(Backend::SkipAhead),
             other => Err(format!(
-                "unknown backend '{other}' (expected agent|count|batch|graph|seq|skip)"
+                "unknown backend '{other}' (expected \
+                 agent|count|batch|graph|batchgraph|seq|skip)"
             )),
         }
     }
@@ -117,12 +125,15 @@ pub const COMPLETE_GRAPH_MAX_N: u64 = 10_000;
 
 /// Construct a generic-substrate simulator for `config` as a trait object.
 ///
-/// Only the four `pop-proto` backends are generic-substrate engines;
-/// passing [`Backend::Sequential`] or [`Backend::SkipAhead`] panics (those
-/// implement [`crate::dynamics::UsdSimulator`] instead — use
-/// [`stabilize_with_backend`] for uniform treatment of all six).
-/// [`Backend::Graph`] here means the *complete* graph (its degenerate
-/// clique instance) and is capped at [`COMPLETE_GRAPH_MAX_N`] agents.
+/// The five `pop-proto` backends are generic-substrate engines, and
+/// [`Backend::SkipAhead`] participates through the
+/// [`SkipAheadGeneric`](crate::dynamics::SkipAheadGeneric) wrapper;
+/// passing [`Backend::Sequential`] panics (it implements
+/// [`crate::dynamics::UsdSimulator`] instead — use
+/// [`stabilize_with_backend`] for uniform treatment of all seven).
+/// [`Backend::Graph`] and [`Backend::BatchGraph`] here mean the *complete*
+/// graph (their degenerate clique instance) and are capped at
+/// [`COMPLETE_GRAPH_MAX_N`] agents.
 pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator> {
     let proto = UndecidedStateDynamics::new(config.k());
     let counts = config.to_count_config();
@@ -134,21 +145,26 @@ pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator
         )),
         Backend::Count => Box::new(CountSimulator::new(proto, &counts)),
         Backend::Batch => Box::new(BatchSimulator::new(proto, &counts)),
-        Backend::Graph => {
+        Backend::Graph | Backend::BatchGraph => {
             // Degenerate clique instance: the complete graph, materialized
             // as a Θ(n²) edge list — demo/ablation territory. Refuse sizes
             // whose edge list would silently eat gigabytes; sparse
             // topologies at large n go through `stabilize_on_topology`.
             assert!(
                 config.n() <= COMPLETE_GRAPH_MAX_N,
-                "backend 'graph' on the complete graph materializes n(n-1)/2 edges; \
+                "backend '{backend}' on the complete graph materializes n(n-1)/2 edges; \
                  n = {} exceeds the {COMPLETE_GRAPH_MAX_N} cap (use --topology for \
                  sparse graphs, or agent/count/batch for the clique)",
                 config.n()
             );
             let graph = TopologyFamily::Complete.build(config.n() as usize, 0);
-            Box::new(GraphSimulator::from_config(proto, &graph, &counts))
+            if backend == Backend::Graph {
+                Box::new(GraphSimulator::from_config(proto, &graph, &counts))
+            } else {
+                Box::new(BatchGraphSimulator::from_config(proto, &graph, &counts))
+            }
         }
+        Backend::SkipAhead => Box::new(SkipAheadGeneric::new(config)),
         other => panic!("{other} is a USD-specialized engine, not a generic-substrate backend"),
     }
 }
@@ -182,6 +198,7 @@ pub fn make_topology_simulator(
             states,
         )),
         Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
+        Backend::BatchGraph => Box::new(BatchGraphSimulator::new(proto, &graph, states)),
         _ => unreachable!("supports_topologies() admitted {backend}"),
     }
 }
@@ -305,6 +322,11 @@ pub fn stabilize_on_topology(
             let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
             (t, silent, sim.counts().to_vec())
         }
+        Backend::BatchGraph => {
+            let mut sim = BatchGraphSimulator::new(proto, &graph, states);
+            let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
+            (t, silent, sim.counts().to_vec())
+        }
         _ => {
             // Agentwise: the count-level silence criterion inside
             // `run_to_silence` misses frozen configurations on
@@ -359,6 +381,12 @@ mod tests {
         assert!(!Backend::Batch.per_agent_memory());
         assert!(Backend::Agent.supports_topologies());
         assert!(Backend::Graph.supports_topologies());
+        assert!(Backend::BatchGraph.supports_topologies());
+        assert!(Backend::BatchGraph.per_agent_memory());
+        assert_eq!(
+            "batch-graph".parse::<Backend>().unwrap(),
+            Backend::BatchGraph
+        );
         assert!(!Backend::Batch.supports_topologies());
         assert!(!Backend::SkipAhead.supports_topologies());
     }
@@ -434,7 +462,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a generic-substrate backend")]
     fn make_simulator_rejects_specialized_engines() {
-        make_simulator(Backend::SkipAhead, &UsdConfig::decided(vec![2, 2]));
+        make_simulator(Backend::Sequential, &UsdConfig::decided(vec![2, 2]));
+    }
+
+    #[test]
+    fn skip_ahead_wrapper_is_a_generic_backend() {
+        let config = UsdConfig::decided(vec![60, 20]);
+        let mut sim = make_simulator(Backend::SkipAhead, &config);
+        let mut rng = SimRng::new(13);
+        let (t, silent) = sim.run_to_silence(&mut rng, u64::MAX / 2);
+        assert!(silent);
+        assert!(t > 0);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 80);
+        assert!(sim.effective_interactions() > 0);
     }
 
     #[test]
@@ -452,7 +492,7 @@ mod tests {
     #[test]
     fn topology_backends_stabilize_on_a_regular_graph() {
         let config = UsdConfig::decided(vec![120, 40]);
-        for b in [Backend::Agent, Backend::Graph] {
+        for b in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
             let mut rng = SimRng::new(3);
             let r = stabilize_on_topology(
                 b,
@@ -474,7 +514,7 @@ mod tests {
         // instead of grinding to the budget (the budget here would take
         // hours if the scan failed).
         let config = UsdConfig::decided(vec![150, 150]);
-        for b in [Backend::Agent, Backend::Graph] {
+        for b in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
             let mut rng = SimRng::new(9);
             let r = stabilize_on_topology(
                 b,

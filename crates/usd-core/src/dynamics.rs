@@ -271,6 +271,72 @@ impl SkipAheadUsd {
     fn sum_sq_dec(&mut self, x_old: u64) {
         self.sum_sq -= 2 * x_old as u128 - 1;
     }
+
+    /// Sample and apply one effective interaction from the exact
+    /// conditional law, given the current `(clash, adopt)` weights (both
+    /// must not be zero simultaneously). Does not touch the interaction
+    /// clock — callers account for the preceding no-op run themselves.
+    fn apply_effective(&mut self, rng: &mut SimRng, clash_w: u128, adopt_w: u128) -> UsdEvent {
+        if rng.below_u128(clash_w + adopt_w) < adopt_w {
+            // Adoption: pick the opinion ∝ xᵢ.
+            let i = self.opinions.sample(rng);
+            let x_old = self.opinions.weight(i);
+            self.opinions.add(i, 1);
+            self.sum_sq_inc(x_old);
+            self.u -= 1;
+            UsdEvent::Adopt { i }
+        } else {
+            // Clash: pick (i, j) ∝ xᵢxⱼ over i ≠ j by rejection.
+            loop {
+                let i = self.opinions.sample(rng);
+                let j = self.opinions.sample(rng);
+                if i == j {
+                    continue;
+                }
+                let xi_old = self.opinions.weight(i);
+                let xj_old = self.opinions.weight(j);
+                self.opinions.add(i, -1);
+                self.opinions.add(j, -1);
+                self.sum_sq_dec(xi_old);
+                self.sum_sq_dec(xj_old);
+                self.u += 2;
+                break UsdEvent::Clash { i, j };
+            }
+        }
+    }
+
+    /// Advance the chain by at most `max` interactions: geometrically skip
+    /// the no-op run before the next effective interaction, truncating at
+    /// the horizon (the first `max` interactions are then conditionally all
+    /// no-ops — still exact). Returns interactions advanced and whether the
+    /// configuration changed; `(0, false)` on a silent configuration (the
+    /// clock stops, matching the generic engines' convention).
+    ///
+    /// This is [`SkipAheadUsd::step_effective`] with a horizon, the
+    /// primitive that lets the engine sit behind the generic
+    /// [`Simulator`](pop_proto::Simulator) trait (see
+    /// [`SkipAheadGeneric`]).
+    pub fn advance_within(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        if max == 0 {
+            return (0, false);
+        }
+        let (clash_w, adopt_w) = self.effective_weights();
+        let effective = clash_w + adopt_w;
+        if effective == 0 {
+            return (0, false);
+        }
+        let nf = self.n as f64;
+        let total_pairs = nf * (nf - 1.0) / 2.0;
+        let p_eff = (effective as f64 / total_pairs).min(1.0);
+        let skipped = rng.geometric(p_eff);
+        if skipped >= max {
+            self.interactions += max;
+            return (max, false);
+        }
+        self.interactions += skipped + 1;
+        self.apply_effective(rng, clash_w, adopt_w);
+        (skipped + 1, true)
+    }
 }
 
 impl UsdSimulator for SkipAheadUsd {
@@ -306,34 +372,94 @@ impl UsdSimulator for SkipAheadUsd {
         // Geometric number of no-op interactions before the effective one.
         let skipped = rng.geometric(p_eff);
         self.interactions += skipped + 1;
+        Some(self.apply_effective(rng, clash_w, adopt_w))
+    }
+}
 
-        let event = if rng.below_u128(effective) < adopt_w {
-            // Adoption: pick the opinion ∝ xᵢ.
-            let i = self.opinions.sample(rng);
-            let x_old = self.opinions.weight(i);
-            self.opinions.add(i, 1);
-            self.sum_sq_inc(x_old);
-            self.u -= 1;
-            UsdEvent::Adopt { i }
-        } else {
-            // Clash: pick (i, j) ∝ xᵢxⱼ over i ≠ j by rejection.
-            loop {
-                let i = self.opinions.sample(rng);
-                let j = self.opinions.sample(rng);
-                if i == j {
-                    continue;
-                }
-                let xi_old = self.opinions.weight(i);
-                let xj_old = self.opinions.weight(j);
-                self.opinions.add(i, -1);
-                self.opinions.add(j, -1);
-                self.sum_sq_dec(xi_old);
-                self.sum_sq_dec(xj_old);
-                self.u += 2;
-                break UsdEvent::Clash { i, j };
-            }
-        };
-        Some(event)
+// ---------------------------------------------------------------------------
+// SkipAheadGeneric
+// ---------------------------------------------------------------------------
+
+/// [`SkipAheadUsd`] behind the generic [`Simulator`](pop_proto::Simulator)
+/// trait: the USD-specialized engine as a thin wrapper, so observer-driven
+/// experiments (Figure 1, the lemma probes) can select it interchangeably
+/// with the generic backends. The wrapper maintains the dense count vector
+/// (k opinions then ⊥ at index k — the same layout as
+/// [`UsdConfig::to_count_config`](crate::config::UsdConfig)) and the
+/// effective-interaction counter the trait exposes; all dynamics delegate
+/// to [`SkipAheadUsd::advance_within`].
+#[derive(Debug, Clone)]
+pub struct SkipAheadGeneric {
+    inner: SkipAheadUsd,
+    /// Dense counts: opinions 0..k, undecided at index k.
+    counts: Vec<u64>,
+    effective: u64,
+}
+
+impl SkipAheadGeneric {
+    /// Start from a configuration (requires n ≥ 2).
+    pub fn new(config: &UsdConfig) -> Self {
+        let mut counts = config.opinions().to_vec();
+        counts.push(config.u());
+        SkipAheadGeneric {
+            inner: SkipAheadUsd::new(config),
+            counts,
+            effective: 0,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &SkipAheadUsd {
+        &self.inner
+    }
+
+    fn sync_counts(&mut self) {
+        let k = self.inner.k();
+        self.counts[..k].copy_from_slice(self.inner.opinions());
+        self.counts[k] = self.inner.undecided();
+    }
+}
+
+impl pop_proto::Simulator for SkipAheadGeneric {
+    fn population(&self) -> u64 {
+        self.inner.n()
+    }
+
+    fn num_states(&self) -> usize {
+        self.inner.k() + 1
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    fn effective_interactions(&self) -> u64 {
+        self.effective
+    }
+
+    /// One interaction via a horizon-1 advancement (an effective draw with
+    /// the exact single-step probability, else a no-op). On an
+    /// already-silent configuration the clock stays put — the skip engine's
+    /// silence convention.
+    fn step(&mut self, rng: &mut SimRng) -> bool {
+        self.advance_changed(rng, 1).1
+    }
+
+    fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        let (advanced, changed) = self.inner.advance_within(rng, max);
+        if changed {
+            self.effective += 1;
+            self.sync_counts();
+        }
+        (advanced, changed)
+    }
+
+    fn is_silent(&self) -> bool {
+        self.inner.is_silent()
     }
 }
 

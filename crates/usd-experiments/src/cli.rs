@@ -13,12 +13,16 @@
 //!                  env, else available parallelism)
 //! --topology <f>   interaction-graph family (topology experiments only)
 //! --degree <d>     degree parameter for regular/er families
+//! --backend <b>    simulation backend, where the experiment honors it
+//!                  (fig1: any generic backend or skip; topology_sweep:
+//!                  graph|batchgraph|agent)
 //! ```
 //!
 //! Parsing is by hand (no external dependency) and strict: unknown flags
 //! are errors, so typos do not silently run the default experiment.
 
 use pop_proto::topology::TopologyFamily;
+use usd_core::backend::Backend;
 
 /// Parsed experiment arguments with per-experiment defaults filled in by
 /// the caller.
@@ -43,6 +47,9 @@ pub struct ExpArgs {
     pub topology: Option<TopologyFamily>,
     /// Degree parameter for degree-parameterized families.
     pub degree: Option<usize>,
+    /// Simulation backend, for the experiments that honor it (`None` →
+    /// experiment default).
+    pub backend: Option<Backend>,
 }
 
 impl Default for ExpArgs {
@@ -57,6 +64,7 @@ impl Default for ExpArgs {
             threads: None,
             topology: None,
             degree: None,
+            backend: None,
         }
     }
 }
@@ -104,6 +112,9 @@ impl ExpArgs {
                 "--topology" => {
                     out.topology = Some(take("--topology")?.parse()?);
                 }
+                "--backend" => {
+                    out.backend = Some(take("--backend")?.parse()?);
+                }
                 "--degree" => {
                     out.degree = Some(
                         take("--degree")?
@@ -114,7 +125,7 @@ impl ExpArgs {
                 "--help" | "-h" => {
                     return Err("flags: --n <u64> --k <usize> --seeds <u64> --seed <u64> \
                          --csv <path> --quick --threads <usize> \
-                         --topology <family> --degree <usize>"
+                         --topology <family> --degree <usize> --backend <name>"
                         .to_string());
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -154,6 +165,12 @@ impl ExpArgs {
     /// The k to use: explicit `--k` or the experiment's default.
     pub fn k_or(&self, default: usize) -> usize {
         self.k.unwrap_or(default)
+    }
+
+    /// The backend to use: explicit `--backend` or the experiment's
+    /// default.
+    pub fn backend_or(&self, default: Backend) -> Backend {
+        self.backend.unwrap_or(default)
     }
 
     /// Quick-mode reduction helper: `value` normally, `quick` when --quick.
@@ -224,6 +241,18 @@ mod tests {
         assert!(parse(&["--degree", "x"]).is_err());
         let a = parse(&["--topology", "hypercube"]).unwrap();
         assert_eq!(a.topology, Some(TopologyFamily::Hypercube));
+    }
+
+    #[test]
+    fn backend_flag_parses_and_rejects_unknown() {
+        let a = parse(&["--backend", "batchgraph"]).unwrap();
+        assert_eq!(a.backend, Some(Backend::BatchGraph));
+        assert_eq!(a.backend_or(Backend::SkipAhead), Backend::BatchGraph);
+        assert_eq!(
+            parse(&[]).unwrap().backend_or(Backend::Count),
+            Backend::Count
+        );
+        assert!(parse(&["--backend", "warp9"]).is_err());
     }
 
     #[test]

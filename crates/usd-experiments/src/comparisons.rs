@@ -16,7 +16,8 @@ use crate::cli::ExpArgs;
 use crate::report::Report;
 use crate::runner;
 use pop_proto::{
-    AgentSimulator, BatchSimulator, CliqueScheduler, CountSimulator, GraphSimulator, Simulator,
+    AgentSimulator, BatchGraphSimulator, BatchSimulator, CliqueScheduler, CountSimulator,
+    GraphSimulator, Simulator,
 };
 use sim_stats::histogram::Histogram;
 use sim_stats::summary::Summary;
@@ -412,6 +413,28 @@ pub struct AblationRow {
     pub throughput: f64,
 }
 
+/// Throughput measurement loop shared by the generic-engine ablation rows:
+/// drive `target` scheduled interactions, rebuilding the simulator whenever
+/// it stabilizes mid-measurement, and return interactions per wall second.
+fn restart_throughput<S: Simulator>(
+    master_seed: u64,
+    target: u64,
+    mut rebuild: impl FnMut(&mut sim_stats::rng::SimRng) -> S,
+) -> f64 {
+    let mut rng = sim_stats::rng::SimRng::new(master_seed);
+    let mut sim = rebuild(&mut rng);
+    let start = std::time::Instant::now();
+    let mut done = 0u64;
+    while done + sim.interactions() < target {
+        let before = sim.interactions();
+        if Simulator::advance(&mut sim, &mut rng, target - done - before) == 0 || sim.is_silent() {
+            done += sim.interactions();
+            sim = rebuild(&mut rng);
+        }
+    }
+    target as f64 / start.elapsed().as_secs_f64()
+}
+
 /// Run E12: the three exact engines on the same instance.
 pub fn ablation_rows(n: u64, k: usize, seeds: u64, master_seed: u64) -> Vec<AblationRow> {
     let config = InitialConfigBuilder::new(n, k).figure1();
@@ -504,26 +527,11 @@ pub fn ablation_rows(n: u64, k: usize, seeds: u64, master_seed: u64) -> Vec<Abla
         &batch,
         hi,
         || {
-            let mut rng = sim_stats::rng::SimRng::new(master_seed);
-            let proto = UndecidedStateDynamics::new(k);
-            let mut sim = BatchSimulator::new(proto, &config.to_count_config());
-            let start = std::time::Instant::now();
             // The batch engine is fast enough that the other engines' target
-            // would finish below timer resolution; use a larger workload and
-            // restart on stabilization.
-            let target = (n * 2_000).min(200_000_000);
-            let mut done = 0u64;
-            while done + sim.interactions() < target {
-                let before = sim.interactions();
-                if Simulator::advance(&mut sim, &mut rng, target - done - before) == 0
-                    || sim.is_silent()
-                {
-                    done += sim.interactions();
-                    let proto = UndecidedStateDynamics::new(k);
-                    sim = BatchSimulator::new(proto, &config.to_count_config());
-                }
-            }
-            target as f64 / start.elapsed().as_secs_f64()
+            // would finish below timer resolution; use a larger workload.
+            restart_throughput(master_seed, (n * 2_000).min(200_000_000), |_| {
+                BatchSimulator::new(UndecidedStateDynamics::new(k), &config.to_count_config())
+            })
         },
     ));
 
@@ -542,33 +550,43 @@ pub fn ablation_rows(n: u64, k: usize, seeds: u64, master_seed: u64) -> Vec<Abla
         &graph,
         hi,
         || {
-            let mut rng = sim_stats::rng::SimRng::new(master_seed);
-            let proto = UndecidedStateDynamics::new(k);
-            let mut sim = GraphSimulator::from_config_shuffled(
-                proto,
-                &complete,
-                &config.to_count_config(),
-                &mut rng,
-            );
-            let start = std::time::Instant::now();
-            let target = (n * 200).min(2_000_000);
-            let mut done = 0u64;
-            while done + sim.interactions() < target {
-                let before = sim.interactions();
-                if Simulator::advance(&mut sim, &mut rng, target - done - before) == 0
-                    || sim.is_silent()
-                {
-                    done += sim.interactions();
-                    let proto = UndecidedStateDynamics::new(k);
-                    sim = GraphSimulator::from_config_shuffled(
-                        proto,
-                        &complete,
-                        &config.to_count_config(),
-                        &mut rng,
-                    );
-                }
-            }
-            target as f64 / start.elapsed().as_secs_f64()
+            restart_throughput(master_seed, (n * 200).min(2_000_000), |rng| {
+                GraphSimulator::from_config_shuffled(
+                    UndecidedStateDynamics::new(k),
+                    &complete,
+                    &config.to_count_config(),
+                    rng,
+                )
+            })
+        },
+    ));
+
+    // BatchGraphSimulator on the complete graph — the block-leaping
+    // engine's degenerate clique instance.
+    let batchgraph: Vec<u64> = runner::repeat(master_seed ^ 0xE6, seeds, |_r, rng| {
+        let proto = UndecidedStateDynamics::new(k);
+        let mut sim = BatchGraphSimulator::from_config_shuffled(
+            proto,
+            &complete,
+            &config.to_count_config(),
+            rng,
+        );
+        let (t, _) = sim.run_to_silence(rng, budget);
+        t
+    });
+    rows.push(make_ablation_row(
+        "BatchGraphSimulator (complete)",
+        &batchgraph,
+        hi,
+        || {
+            restart_throughput(master_seed, (n * 200).min(2_000_000), |rng| {
+                BatchGraphSimulator::from_config_shuffled(
+                    UndecidedStateDynamics::new(k),
+                    &complete,
+                    &config.to_count_config(),
+                    rng,
+                )
+            })
         },
     ));
 
@@ -608,11 +626,11 @@ pub fn ablation_report(args: &ExpArgs) -> Report {
         fmt_thousands(n)
     ));
     report.text(
-        "All five engines simulate the exact same Markov chain (the \
-         graphwise row runs on the complete graph, its degenerate clique \
-         instance); their stabilization-time distributions must agree \
-         (chi^2 per dof ~ 1) while throughputs differ (the point of the \
-         skip-ahead, batch-leaping, and active-edge designs).",
+        "All engines simulate the exact same Markov chain (the graphwise \
+         and batch-graph rows run on the complete graph, their degenerate \
+         clique instance); their stabilization-time distributions must \
+         agree (chi^2 per dof ~ 1) while throughputs differ (the point of \
+         the skip-ahead, batch-leaping, and active-edge designs).",
     );
     let mut t = TextTable::new(&["engine", "mean interactions", "stderr", "interactions/s"]);
     for r in &rows {
@@ -708,8 +726,9 @@ mod tests {
     #[test]
     fn ablation_distributions_agree() {
         let rows = ablation_rows(800, 3, 60, 5);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         assert!(rows.iter().any(|r| r.name.contains("GraphSimulator")));
+        assert!(rows.iter().any(|r| r.name.contains("BatchGraphSimulator")));
         // Means within 15% of each other.
         let means: Vec<f64> = rows.iter().map(|r| r.time.mean()).collect();
         let max = means.iter().cloned().fold(f64::MIN, f64::max);

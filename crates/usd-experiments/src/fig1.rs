@@ -12,12 +12,13 @@
 
 use crate::cli::ExpArgs;
 use crate::report::Report;
+use pop_proto::Simulator;
 use sim_stats::plot::AsciiChart;
 use sim_stats::rng::RngFactory;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use sim_stats::timeseries::{Series, TimeSeries};
 use usd_core::analysis::undecided_plateau;
-use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
+use usd_core::backend::{make_simulator, Backend};
 use usd_core::init::InitialConfigBuilder;
 use usd_core::theory;
 
@@ -62,21 +63,43 @@ pub struct Fig1Snapshot {
     pub max_difference: i64,
 }
 
-/// Simulate one Figure-1 run, recording roughly once per parallel round.
+/// Simulate one Figure-1 run on the default engine (the skip-ahead wrapper,
+/// the historical choice for this experiment), recording roughly once per
+/// parallel round.
 pub fn simulate_fig1_run(n: u64, k: usize, seed: u64, budget: u64) -> Fig1Run {
+    simulate_fig1_run_with(n, k, seed, budget, Backend::SkipAhead)
+}
+
+/// Simulate one Figure-1 run on any generic-substrate [`Backend`]
+/// (including the USD-specialized skip-ahead engine through its
+/// [`SkipAheadGeneric`](usd_core::dynamics::SkipAheadGeneric) wrapper —
+/// the observer below only reads the trait-level counts).
+///
+/// Observation granularity follows the backend's advancement granularity:
+/// the per-event engines (agent, count, skip) expose every effective
+/// interaction to the doubling/plateau trackers, while the leaping
+/// engines (batch) are sampled at their batch boundaries — advancements
+/// are capped at the capture spacing of ~one parallel round either way.
+pub fn simulate_fig1_run_with(
+    n: u64,
+    k: usize,
+    seed: u64,
+    budget: u64,
+    backend: Backend,
+) -> Fig1Run {
     let builder = InitialConfigBuilder::new(n, k);
     let config = builder.figure1();
     let bias = config.bias();
     let initial_majority = config.x(0);
-    let mut sim = SkipAheadUsd::new(&config);
+    let mut sim = make_simulator(backend, &config);
     let mut rng = RngFactory::new(seed).stream(0);
 
     let mut snapshots = Vec::new();
-    let mut next_capture = 0u64;
     let mut majority_doubling = None;
     let mut max_undecided = 0u64;
-    let capture = |sim: &SkipAheadUsd| {
-        let xs = sim.opinions();
+    let capture = |sim: &dyn Simulator| {
+        let counts = sim.counts();
+        let xs = &counts[..k];
         let majority = xs[0];
         let minority_sample = if k > 1 { xs[1] } else { xs[0] };
         let (sum, min) = xs[1..]
@@ -92,7 +115,7 @@ pub fn simulate_fig1_run(n: u64, k: usize, seed: u64, budget: u64) -> Fig1Run {
             majority,
             minority_sample,
             minority_mean,
-            undecided: sim.undecided(),
+            undecided: counts[k],
             max_difference: if k > 1 {
                 majority as i64 - min as i64
             } else {
@@ -100,40 +123,51 @@ pub fn simulate_fig1_run(n: u64, k: usize, seed: u64, budget: u64) -> Fig1Run {
             },
         }
     };
-    snapshots.push(capture(&sim));
-    let mut stabilized = false;
-    loop {
-        if sim.interactions() >= budget {
+    snapshots.push(capture(&*sim));
+    let mut next_capture = n; // ~1 parallel round
+    let mut stabilized = sim.is_silent();
+    while !stabilized {
+        let done = sim.interactions();
+        if done >= budget {
             break;
         }
-        match sim.step_effective(&mut rng) {
-            None => {
+        // Cap each advancement at the next capture boundary so leaping
+        // backends cannot overshoot the snapshot cadence.
+        let horizon = next_capture.max(done + 1).min(budget);
+        let (advanced, changed) = sim.advance_changed(&mut rng, horizon - done);
+        if advanced == 0 {
+            stabilized = sim.is_silent();
+            break;
+        }
+        if changed {
+            let counts = sim.counts();
+            max_undecided = max_undecided.max(counts[k]);
+            if majority_doubling.is_none() && counts[0] >= 2 * initial_majority {
+                majority_doubling = Some(sim.interactions());
+            }
+            if sim.is_silent() {
                 stabilized = true;
                 break;
             }
-            Some(_) => {
-                max_undecided = max_undecided.max(sim.undecided());
-                if majority_doubling.is_none() && sim.opinions()[0] >= 2 * initial_majority {
-                    majority_doubling = Some(sim.interactions());
-                }
-                if sim.interactions() >= next_capture {
-                    snapshots.push(capture(&sim));
-                    next_capture = sim.interactions() + n; // ~1 parallel round
-                }
-                if sim.is_silent() {
-                    stabilized = true;
-                    break;
-                }
-            }
+        }
+        if sim.interactions() >= next_capture {
+            snapshots.push(capture(&*sim));
+            next_capture = sim.interactions() + n;
         }
     }
-    snapshots.push(capture(&sim));
+    let counts = sim.counts();
+    let winner = if counts[k] == 0 && counts[..k].iter().filter(|&&c| c > 0).count() == 1 {
+        counts[..k].iter().position(|&c| c > 0)
+    } else {
+        None
+    };
+    snapshots.push(capture(&*sim));
     Fig1Run {
         n,
         k,
         bias,
         snapshots,
-        winner: sim.winner(),
+        winner,
         stabilization: sim.interactions(),
         stabilized,
         majority_doubling,
@@ -259,10 +293,11 @@ fn summary_table(run: &Fig1Run) -> TextTable {
 pub fn fig1_left_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(20_000));
     let k = args.k_or(theory::figure1_k(n));
-    let run = simulate_fig1_run(n, k, args.seed, default_budget(n, k));
+    let backend = args.backend_or(Backend::SkipAhead);
+    let run = simulate_fig1_run_with(n, k, args.seed, default_budget(n, k), backend);
     let mut report = Report::new();
     report.heading(format!(
-        "E1 / Figure 1 (left): USD evolution, n={}, k={k}",
+        "E1 / Figure 1 (left): USD evolution, n={}, k={k}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -302,10 +337,11 @@ pub fn fig1_left_report(args: &ExpArgs) -> Report {
 pub fn fig1_right_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(20_000));
     let k = args.k_or(theory::figure1_k(n));
-    let run = simulate_fig1_run(n, k, args.seed, default_budget(n, k));
+    let backend = args.backend_or(Backend::SkipAhead);
+    let run = simulate_fig1_run_with(n, k, args.seed, default_budget(n, k), backend);
     let mut report = Report::new();
     report.heading(format!(
-        "E2 / Figure 1 (right): zoom until x1 doubles, n={}, k={k}",
+        "E2 / Figure 1 (right): zoom until x1 doubles, n={}, k={k}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -390,6 +426,30 @@ mod tests {
         let right = right_panel_series(&run);
         assert_eq!(right.series.len(), 3);
         assert!(right.len() <= left.len());
+    }
+
+    #[test]
+    fn generic_backends_reproduce_the_run_shape() {
+        // The port onto the Simulator trait must preserve the experiment's
+        // qualitative content for every generic backend, including the
+        // skip-ahead engine exercised purely as a wrapper.
+        for backend in [Backend::SkipAhead, Backend::Count, Backend::Batch] {
+            let run = simulate_fig1_run_with(3_000, 4, 1, default_budget(3_000, 4), backend);
+            assert!(run.stabilized, "{backend} did not stabilize");
+            assert_eq!(run.winner, Some(0), "{backend}: majority should win");
+            assert!(
+                run.majority_doubling.is_some(),
+                "{backend}: x1 never doubled"
+            );
+            assert!(run.snapshots.len() > 3, "{backend}: too few snapshots");
+            let plateau = undecided_plateau(run.n, run.k);
+            let slack = 3.0 * theory::sqrt_n_log_n(run.n) as f64 + 10.0 * run.n as f64 / 9.0;
+            assert!(
+                (run.max_undecided as f64) < plateau + slack,
+                "{backend}: max u {} vs plateau {plateau} + slack {slack}",
+                run.max_undecided
+            );
+        }
     }
 
     #[test]

@@ -17,38 +17,17 @@
 //! whose cgroup quota is below the reported core count, and debugging
 //! scheduling-dependent timing. [`sweep_with_threads`] takes the count
 //! explicitly. Thread count never changes results, only wall clock.
+//!
+//! The resolution itself lives in [`sim_stats::threads`] (re-exported
+//! here), so the parallel sampling primitives in the lower layers — the
+//! batch simulators' hypergeometric row fan-out — honor the same
+//! `--threads`/`USD_THREADS` discipline as the sweeps.
 
 use sim_stats::rng::{RngFactory, SimRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Process-wide thread-count override (0 = unset). Highest precedence.
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-/// Set (or clear, with `None`) the process-wide sweep thread count. Takes
-/// precedence over `USD_THREADS` and auto-detection. A count of 0 clears.
-pub fn set_thread_override(threads: Option<usize>) {
-    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
-}
-
-/// Resolve the thread count for a sweep: override > `USD_THREADS` env >
-/// available parallelism. Always at least 1.
-pub fn resolve_threads() -> usize {
-    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    if forced > 0 {
-        return forced;
-    }
-    if let Ok(v) = std::env::var("USD_THREADS") {
-        if let Ok(t) = v.trim().parse::<usize>() {
-            if t > 0 {
-                return t;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-}
+pub use sim_stats::threads::{resolve_threads, set_thread_override};
 
 /// Sweep progress counters (shared across workers).
 #[derive(Debug, Default)]

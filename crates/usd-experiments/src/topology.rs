@@ -19,9 +19,12 @@ use crate::cli::ExpArgs;
 use crate::report::Report;
 use crate::runner;
 use pop_proto::topology::TopologyFamily;
+use pop_proto::Simulator;
+use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
-use usd_core::backend::{stabilize_on_topology, Backend};
+use usd_core::backend::{make_topology_simulator, Backend};
+use usd_core::config::UsdConfig;
 use usd_core::init::InitialConfigBuilder;
 use usd_core::stabilization::ConsensusOutcome;
 
@@ -64,50 +67,129 @@ pub fn families(args: &ExpArgs) -> Vec<TopologyFamily> {
     }
 }
 
-/// Run one sweep cell: `seeds` independent stabilization runs of the
-/// `graph` backend on fresh seeded graphs.
+/// Default per-run work budget for sweep cells, in *engine work units*:
+/// effective interactions for the leaping backends (graph/batchgraph skip
+/// scheduled no-ops for free, so their scheduled cap stays at the
+/// astronomically generous n³ — in effect the cap escalates whenever the
+/// sparse skipper is active), scheduled interactions for the agentwise
+/// backend (which pays O(1) per scheduled draw, so metering anything else
+/// would not bound its wall time). This replaces the old hard
+/// `default_n_cap` that silently dropped cycle and torus cells above
+/// 4k/16k: every family now runs at every sweep size and a cell that
+/// cannot stabilize within the budget reports an honest timeout instead
+/// of vanishing from the table. ~5·10⁷ work units is tens of seconds of
+/// engine work per run.
+pub const DEFAULT_EFFECTIVE_BUDGET: u64 = 50_000_000;
+
+/// Run `sim` to graph silence under a *phase-aware* budget: unlimited-ish
+/// scheduled interactions (`sched_budget`, the n³ ceiling — when the
+/// sparse skipper is active, scheduled no-ops are free and the cap is in
+/// effect escalated to it) but at most `eff_budget` effective
+/// interactions, the quantity that actually costs wall time. Returns the
+/// classified outcome and the interaction clock at the stopping point.
+fn stabilize_effective_budgeted(
+    sim: &mut dyn Simulator,
+    config: &UsdConfig,
+    rng: &mut SimRng,
+    sched_budget: u64,
+    eff_budget: u64,
+) -> (ConsensusOutcome, u64) {
+    let k = config.k();
+    // Chunked driving so the effective meter is checked at a bounded
+    // cadence even while the engine leaps.
+    let chunk = (4 * config.n()).max(1 << 16);
+    let silent = loop {
+        if sim.is_silent() {
+            break true;
+        }
+        let done = sim.interactions();
+        if done >= sched_budget || sim.effective_interactions() >= eff_budget {
+            break false;
+        }
+        if sim.run_until(rng, chunk.min(sched_budget - done), &mut |_| false) == 0 {
+            break sim.is_silent();
+        }
+    };
+    let counts = sim.counts();
+    let outcome = if !silent {
+        ConsensusOutcome::Timeout
+    } else if counts[..k].iter().all(|&c| c == 0) {
+        ConsensusOutcome::AllUndecided
+    } else if counts[k] == 0 && counts[..k].iter().filter(|&&c| c > 0).count() == 1 {
+        let winner = counts[..k]
+            .iter()
+            .position(|&c| c > 0)
+            .expect("a decided silent configuration has a winner");
+        ConsensusOutcome::Winner(winner)
+    } else {
+        ConsensusOutcome::Frozen
+    };
+    (outcome, sim.interactions())
+}
+
+/// Run one sweep cell: `seeds` independent stabilization runs of a
+/// topology-capable backend on fresh seeded graphs, under the phase-aware
+/// effective budget.
 pub fn topology_cell(
+    backend: Backend,
     family: TopologyFamily,
     n: u64,
     k: usize,
     seeds: u64,
     master_seed: u64,
+    eff_budget: u64,
 ) -> TopologyCell {
     let n = family.snap_n(n as usize) as u64;
     let config = InitialConfigBuilder::new(n, k).figure1();
-    // Generous budget: low-conductance families pay up to ~n² parallel
-    // time (n³ interactions) over the clique's ~kn ln n; the graphwise
-    // engine only pays per effective interaction, so a huge scheduled
-    // budget costs nothing on no-op stretches.
-    let budget = n.saturating_mul(n).saturating_mul(n).max(1 << 26);
+    // Scheduled ceiling: low-conductance families pay up to ~n² parallel
+    // time (n³ interactions) over the clique's ~kn ln n; the leaping
+    // engines only pay per effective interaction, so this enormous cap
+    // costs nothing on no-op stretches (the effective budget is the real
+    // meter).
+    let sched_budget = n.saturating_mul(n).saturating_mul(n).max(1 << 26);
+    // The agentwise engine pays per *scheduled* interaction and its
+    // count-level silence check misses frozen disconnected graphs, so it
+    // runs through `stabilize_on_topology` (exact freeze detection via the
+    // edge scan) with the work budget applied to the scheduled clock — the
+    // only quantity that bounds its wall time.
+    let run_one = |rep: u64, rng: &mut sim_stats::rng::SimRng| -> (ConsensusOutcome, u64, u64) {
+        if backend == Backend::Agent {
+            let result = usd_core::backend::stabilize_on_topology(
+                backend,
+                &config,
+                family,
+                master_seed ^ rep,
+                rng,
+                eff_budget.min(sched_budget),
+            );
+            // Scheduled ≈ work for agentwise; the effective count is not
+            // exposed through StabilizationResult.
+            (result.outcome, result.interactions, 0)
+        } else {
+            let mut sim = make_topology_simulator(backend, &config, family, master_seed ^ rep, rng);
+            let (outcome, interactions) =
+                stabilize_effective_budgeted(&mut *sim, &config, rng, sched_budget, eff_budget);
+            (outcome, interactions, sim.effective_interactions())
+        }
+    };
     let outcomes = runner::repeat(master_seed, seeds, |rep, rng| {
-        let result = stabilize_on_topology(
-            Backend::Graph,
-            &config,
-            family,
-            master_seed ^ rep,
-            rng,
-            budget,
-        );
-        let parallel = result.interactions as f64 / n as f64;
-        (result.outcome, parallel)
+        let (outcome, interactions, _) = run_one(rep, rng);
+        let parallel = interactions as f64 / n as f64;
+        (outcome, parallel)
     });
     // Effective fraction from one representative run (cheap statistic; the
-    // stabilization outcomes above are the measured quantity).
+    // stabilization outcomes above are the measured quantity). The
+    // agentwise arm reports NaN — its result type does not carry the
+    // effective count.
     let effective_fraction = {
         let mut rng = sim_stats::rng::SimRng::new(master_seed ^ 0xF00D);
-        let mut sim = usd_core::backend::make_topology_simulator(
-            Backend::Graph,
-            &config,
-            family,
-            master_seed,
-            &mut rng,
-        );
-        sim.run_to_silence(&mut rng, budget);
-        if sim.interactions() == 0 {
+        let (_, interactions, effective) = run_one(u64::MAX, &mut rng);
+        if backend == Backend::Agent {
+            f64::NAN
+        } else if interactions == 0 {
             0.0
         } else {
-            sim.effective_interactions() as f64 / sim.interactions() as f64
+            effective as f64 / interactions as f64
         }
     };
     let silent: Vec<f64> = outcomes
@@ -138,22 +220,14 @@ pub fn topology_cell(
     }
 }
 
-/// Default per-family population ceiling for the all-family sweep: the
-/// low-conductance families stabilize in ~n² parallel time (Θ(n²)
-/// effective interface moves), so their cells are capped to keep default
-/// runs in minutes; restrict with `--topology` to push a single family to
-/// `--n`.
-fn default_n_cap(family: &TopologyFamily) -> u64 {
-    match family {
-        TopologyFamily::Cycle => 4_096,
-        TopologyFamily::Torus => 16_384,
-        _ => 1 << 20,
-    }
-}
-
 /// E14 report: families × population sizes.
 pub fn topology_report(args: &ExpArgs) -> Report {
     let k = args.k_or(2);
+    let backend = args.backend_or(Backend::BatchGraph);
+    assert!(
+        backend.supports_topologies(),
+        "--backend {backend} cannot run graph topologies (use graph, batchgraph, or agent)"
+    );
     let single_family = args.topology.is_some();
     let ns: Vec<u64> = if args.quick {
         vec![256, 1024]
@@ -161,7 +235,11 @@ pub fn topology_report(args: &ExpArgs) -> Report {
         let top = if single_family {
             args.n.clamp(1024, 1 << 20)
         } else {
-            args.n.clamp(1024, 16_384)
+            // The full sweep now runs every family — including cycle and
+            // torus — to 65 536; the phase-aware effective budget (not a
+            // hard per-family cap) is what keeps the low-conductance
+            // cells' wall time bounded.
+            args.n.clamp(1024, 65_536)
         };
         let mut ns = vec![];
         let mut n = 1024u64;
@@ -172,44 +250,55 @@ pub fn topology_report(args: &ExpArgs) -> Report {
         ns
     };
     let seeds = args.unless_quick(args.seeds.max(5), 3);
+    // An explicit --topology is an explicit ask: uncapped effective work.
+    let eff_budget = if single_family {
+        u64::MAX / 2
+    } else {
+        args.unless_quick(DEFAULT_EFFECTIVE_BUDGET, 1 << 22)
+    };
     let fams = families(args);
-    let mut dropped: Vec<String> = Vec::new();
     let cells: Vec<(TopologyFamily, u64)> = fams
         .iter()
         .flat_map(|&f| ns.iter().map(move |&n| (f, n)))
-        .filter(|&(f, n)| {
-            // An explicit --topology is an explicit ask: no cap.
-            let keep = single_family || n <= default_n_cap(&f);
-            if !keep {
-                dropped.push(format!("{}@n={}", f.name(), n));
-            }
-            keep
-        })
         .collect();
     let results = runner::sweep(args.seed, cells, |i, &(f, n), _| {
-        topology_cell(f, n, k, seeds, args.seed ^ ((i as u64) << 32))
+        topology_cell(
+            backend,
+            f,
+            n,
+            k,
+            seeds,
+            args.seed ^ ((i as u64) << 32),
+            eff_budget,
+        )
     });
 
     let mut report = Report::new();
-    if !dropped.is_empty() {
-        report.text(format!(
-            "note: skipped slow low-conductance cells {} (run with \
-             --topology <family> to push one family to --n)",
-            dropped.join(", ")
-        ));
-    }
     report.heading(format!(
-        "E14 / USD stabilization across topologies, k={k}, {seeds} seeds/cell"
+        "E14 / USD stabilization across topologies, k={k}, {seeds} seeds/cell, \
+         backend={backend}"
     ));
-    report.text(
-        "Graph-restricted USD on the active-edge graphwise backend. \
+    let budget_note = if single_family {
+        "uncapped work budget (explicit --topology)".to_string()
+    } else {
+        format!(
+            "phase-aware budget of {eff_budget} work units per run \
+             (effective interactions for the leaping backends, whose \
+             scheduled no-ops are unmetered under the sparse skipper; \
+             scheduled interactions for agent — restrict with --topology \
+             to lift the cap)"
+        )
+    };
+    report.text(format!(
+        "Graph-restricted USD on the {backend} backend. \
          T/(k ln n) normalizes by the clique barrier scale: values near the \
          clique's constant indicate expander-like behaviour (hypercube, \
          random regular), while low-conductance families (cycle, torus) pay \
          polynomial slowdowns. 'eff. frac' is the effective-interaction \
          fraction of one run — the no-op dominance the engine skips. \
-         'degenerate' counts frozen (disconnected er) or timed-out runs.",
-    );
+         'degenerate' counts frozen (disconnected er) runs plus runs that \
+         exhausted the {budget_note}."
+    ));
     let mut t = TextTable::new(&[
         "family",
         "n",
@@ -256,20 +345,39 @@ mod tests {
 
     #[test]
     fn cycle_cell_stabilizes_and_is_slower_than_clique_scale() {
-        let c = topology_cell(TopologyFamily::Cycle, 128, 2, 4, 9);
-        assert_eq!(c.n, 128);
-        assert!(c.degenerate_rate < 1.0, "every cycle run degenerated");
-        assert!(c.parallel_mean > 0.0);
-        // The cycle's effective fraction is tiny (no-op dominated) — the
-        // regime the graphwise engine exists for.
-        assert!(c.effective_fraction < 0.5);
+        for backend in [Backend::Graph, Backend::BatchGraph] {
+            let c = topology_cell(backend, TopologyFamily::Cycle, 128, 2, 4, 9, u64::MAX / 2);
+            assert_eq!(c.n, 128);
+            assert!(c.degenerate_rate < 1.0, "every cycle run degenerated");
+            assert!(c.parallel_mean > 0.0);
+            // The cycle's effective fraction is tiny (no-op dominated) —
+            // the regime the sparse skipper exists for.
+            assert!(c.effective_fraction < 0.5);
+        }
     }
 
     #[test]
     fn regular_cell_elects_plurality_mostly() {
-        let c = topology_cell(TopologyFamily::Regular { d: 8 }, 256, 2, 6, 11);
+        let c = topology_cell(
+            Backend::BatchGraph,
+            TopologyFamily::Regular { d: 8 },
+            256,
+            2,
+            6,
+            11,
+            u64::MAX / 2,
+        );
         assert!(c.win_rate >= 0.5, "win rate {}", c.win_rate);
         assert_eq!(c.degenerate_rate, 0.0);
+    }
+
+    #[test]
+    fn exhausted_effective_budget_reports_degenerate_timeouts() {
+        // A dead-heat cycle with a tiny effective budget cannot stabilize;
+        // the cell must say so instead of spinning.
+        let c = topology_cell(Backend::Graph, TopologyFamily::Cycle, 512, 2, 3, 5, 64);
+        assert_eq!(c.degenerate_rate, 1.0, "budget exhaustion not reported");
+        assert!(c.parallel_mean.is_nan());
     }
 
     #[test]

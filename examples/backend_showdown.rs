@@ -1,7 +1,7 @@
 //! Backend showdown: one USD instance, every simulation backend.
 //!
 //! ```text
-//! cargo run --release --example backend_showdown [n]
+//! cargo run --release --example backend_showdown [n] [--json [path]]
 //! ```
 //!
 //! Runs the same Figure-1 instance to stabilization on each backend the
@@ -19,11 +19,25 @@ use plurality_consensus::prelude::*;
 use usd_core::backend::{stabilize_with_backend, Backend};
 
 fn main() {
-    let n: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2_000_000);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n: u64 = 2_000_000;
+    let mut json: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            json = Some(match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => "BENCH_backends.json".to_string(),
+            });
+        } else if let Ok(v) = arg.parse() {
+            n = v;
+        } else {
+            eprintln!("usage: backend_showdown [n] [--json [path]]");
+            std::process::exit(2);
+        }
+    }
     let k = 4usize;
+    let mut rows: Vec<String> = Vec::new();
     let config = InitialConfigBuilder::new(n, k).figure1();
     println!("instance: {config}");
     println!(
@@ -36,7 +50,10 @@ fn main() {
         // makes that silly in a demo. The graphwise engine's degenerate
         // clique instance materializes all C(n, 2) edges — demo-sized
         // populations only.
-        if backend == Backend::Graph && n > usd_core::backend::COMPLETE_GRAPH_MAX_N {
+        if backend.supports_topologies()
+            && backend != Backend::Agent
+            && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
+        {
             println!("{:<8} {:>16}", backend.name(), "(skipped: O(n^2) edges)");
             continue;
         }
@@ -62,5 +79,24 @@ fn main() {
             wall,
             winner
         );
+        rows.push(format!(
+            "  {{\"backend\":\"{}\",\"topology\":\"clique\",\"n\":{n},\"mode\":\"stabilize\",\
+             \"wall_s\":{:.6},\"scheduled\":{},\"scheduled_per_s\":{:.1},\"winner\":\"{winner}\"}}",
+            backend.name(),
+            wall.as_secs_f64(),
+            result.interactions,
+            result.interactions as f64 / wall.as_secs_f64(),
+        ));
+    }
+    if let Some(path) = json {
+        let doc = format!(
+            "{{\n\"workload\": \"backend_showdown\",\n\"rows\": [\n{}\n]\n}}\n",
+            rows.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
     }
 }

@@ -252,3 +252,30 @@ fn skip_ahead_interaction_clock_is_calibrated() {
         "interaction clocks disagree: sequential {seq_mean} vs skip {skip_mean}"
     );
 }
+
+/// The batch engine's per-batch pairing rows are sampled from
+/// position-derived RNG streams, so the worker-thread cap is bit-neutral:
+/// identical trajectories for any thread count. This is the regression
+/// test guarding the parallel row sampling (k ≥ 16 engages the tree
+/// path; the threshold depends only on k, never on the thread count).
+#[test]
+fn batch_pairing_rows_bit_identical_across_thread_counts() {
+    let k = 20usize;
+    let config = InitialConfigBuilder::new(200_000, k).figure1();
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut sim =
+            BatchSimulator::new(UndecidedStateDynamics::new(k), &config.to_count_config());
+        sim.set_threads(threads);
+        let mut rng = SimRng::new(42);
+        sim.run(&mut rng, 30_000_000, |_| false);
+        runs.push((
+            sim.counts().to_vec(),
+            sim.interactions(),
+            sim.effective_interactions(),
+        ));
+        assert!(runs[0].2 > 0, "no effective interactions simulated");
+    }
+    assert_eq!(runs[0], runs[1], "threads=2 diverged from threads=1");
+    assert_eq!(runs[0], runs[2], "threads=8 diverged from threads=1");
+}

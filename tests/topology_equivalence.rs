@@ -1,11 +1,11 @@
-//! The graphwise active-edge engine simulates exactly the same
-//! graph-restricted Markov chain as the agentwise engine driven by a
-//! `GraphScheduler` — these tests compare the two engines' USD
-//! stabilization-time *distributions* by two-sample Kolmogorov–Smirnov at
-//! α = 0.01 on the complete graph (the degenerate clique topology) and on
-//! a random 8-regular graph, plus winner-rate agreement. Fixed seeds, no
-//! flaky assertions: the KS thresholds are distribution-level with 150+
-//! samples per engine.
+//! The graphwise active-edge engine and the batch-graph block-leaping
+//! engine simulate exactly the same graph-restricted Markov chain as the
+//! agentwise engine driven by a `GraphScheduler` — these tests compare the
+//! engines' USD stabilization-time *distributions* by two-sample
+//! Kolmogorov–Smirnov at α = 0.01 on the complete graph (the degenerate
+//! clique topology), a random 8-regular graph, and the torus, plus
+//! winner-rate agreement. Fixed seeds, no flaky assertions: the KS
+//! thresholds are distribution-level with 150+ samples per engine.
 
 use plurality_consensus::prelude::*;
 use pop_proto::TopologyFamily;
@@ -45,14 +45,21 @@ fn samples(
         .collect()
 }
 
-fn assert_ks_equivalent(family: TopologyFamily, n: u64, k: usize, reps: u64) {
-    let agent = samples(Backend::Agent, family, n, k, reps, 40_000);
-    let graph = samples(Backend::Graph, family, n, k, reps, 80_000);
-    let d = ks_statistic(&agent, &graph);
-    let crit = ks_critical_value(agent.len(), graph.len(), 0.01);
+fn assert_ks_equivalent(
+    reference: Backend,
+    candidate: Backend,
+    family: TopologyFamily,
+    n: u64,
+    k: usize,
+    reps: u64,
+) {
+    let a = samples(reference, family, n, k, reps, 40_000);
+    let b = samples(candidate, family, n, k, reps, 80_000);
+    let d = ks_statistic(&a, &b);
+    let crit = ks_critical_value(a.len(), b.len(), 0.01);
     assert!(
         d < crit,
-        "{family}: graphwise vs agentwise stabilization-time KS {d:.4} >= critical {crit:.4}"
+        "{family}: {candidate} vs {reference} stabilization-time KS {d:.4} >= critical {crit:.4}"
     );
 }
 
@@ -60,14 +67,73 @@ fn assert_ks_equivalent(family: TopologyFamily, n: u64, k: usize, reps: u64) {
 /// clique instance must reproduce the agentwise stabilization-time law.
 #[test]
 fn graphwise_vs_agentwise_complete_graph_ks() {
-    assert_ks_equivalent(TopologyFamily::Complete, 400, 3, 150);
+    assert_ks_equivalent(
+        Backend::Agent,
+        Backend::Graph,
+        TopologyFamily::Complete,
+        400,
+        3,
+        150,
+    );
 }
 
 /// KS equivalence on a random 8-regular graph — the issue's headline
 /// correctness criterion for the topology subsystem.
 #[test]
 fn graphwise_vs_agentwise_random_8_regular_ks() {
-    assert_ks_equivalent(TopologyFamily::Regular { d: 8 }, 512, 2, 150);
+    assert_ks_equivalent(
+        Backend::Agent,
+        Backend::Graph,
+        TopologyFamily::Regular { d: 8 },
+        512,
+        2,
+        150,
+    );
+}
+
+/// KS equivalence of the block-leaping engine against the graphwise
+/// reference on the complete graph (every draw at n = 400 hits the
+/// matching machinery: dense clique states mean collisions and fallbacks
+/// fire constantly).
+#[test]
+fn batchgraph_vs_graphwise_complete_graph_ks() {
+    assert_ks_equivalent(
+        Backend::Graph,
+        Backend::BatchGraph,
+        TopologyFamily::Complete,
+        400,
+        3,
+        150,
+    );
+}
+
+/// KS equivalence of the block-leaping engine on a random 8-regular graph
+/// — the effective-dominated regime the engine was built for.
+#[test]
+fn batchgraph_vs_graphwise_random_8_regular_ks() {
+    assert_ks_equivalent(
+        Backend::Graph,
+        Backend::BatchGraph,
+        TopologyFamily::Regular { d: 8 },
+        512,
+        2,
+        150,
+    );
+}
+
+/// KS equivalence of the block-leaping engine on the torus — the
+/// low-conductance family where the run crosses the block ↔ sparse
+/// hand-off repeatedly, so the phase hysteresis is what is being tested.
+#[test]
+fn batchgraph_vs_graphwise_torus_ks() {
+    assert_ks_equivalent(
+        Backend::Graph,
+        Backend::BatchGraph,
+        TopologyFamily::Torus,
+        441,
+        2,
+        150,
+    );
 }
 
 /// Winner distributions agree under a strong bias: both engines elect the
