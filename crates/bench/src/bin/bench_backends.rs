@@ -4,7 +4,14 @@
 //! ```text
 //! cargo run --release -p usd-bench --bin bench_backends -- \
 //!     [--quick] [--seed <u64>] [--json [path]]
+//!     [--backend <name>] [--topology <clique|cycle-frontier|regular:8|torus>]
 //! ```
+//!
+//! `--backend`/`--topology` restrict the pinned scenario grid to matching
+//! rows; a combination that selects nothing (e.g. `--backend batch
+//! --topology regular:8` — the clique-only engine on a graph family) is an
+//! error and the binary exits with status 2 instead of silently running
+//! the full grid.
 //!
 //! Unlike the Criterion micro-benches, every row here is one *honest
 //! workload*: either a full stabilization run (clique and expander rows —
@@ -153,10 +160,178 @@ fn clique_row(backend: Backend, n: u64, k: usize) -> Row {
     }
 }
 
+/// One planned (not yet run) scenario of the pinned grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Work {
+    /// Stabilization to graph silence on a sparse family.
+    TopoStabilize {
+        family: TopologyFamily,
+        n: u64,
+        k: usize,
+    },
+    /// Fixed scheduled-interaction drive on the cycle frontier.
+    Frontier { n: usize, target: u64 },
+    /// Clique stabilization through the generic entry point.
+    Clique { n: u64, k: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scenario {
+    backend: Backend,
+    work: Work,
+}
+
+impl Scenario {
+    /// The topology label the row will carry (and `--topology` matches).
+    fn topology_label(&self) -> String {
+        match self.work {
+            Work::TopoStabilize { family, .. } => family.name(),
+            Work::Frontier { .. } => "cycle-frontier".to_string(),
+            Work::Clique { .. } => "clique".to_string(),
+        }
+    }
+
+    fn run(&self) -> Row {
+        match self.work {
+            Work::TopoStabilize { family, n, k } => topo_stabilize_row(self.backend, family, n, k),
+            Work::Frontier { n, target } => cycle_frontier_row(self.backend, n, target),
+            Work::Clique { n, k } => clique_row(self.backend, n, k),
+        }
+    }
+}
+
+/// The pinned scenario grid (the comparison surface of the CI perf gate —
+/// keep it stable across PRs, or regenerate the committed baseline).
+fn scenario_set(quick: bool) -> Vec<Scenario> {
+    let reg8 = TopologyFamily::Regular { d: 8 };
+    let mut set = Vec::new();
+    if quick {
+        for backend in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
+            set.push(Scenario {
+                backend,
+                work: Work::TopoStabilize {
+                    family: reg8,
+                    n: 20_000,
+                    k: 2,
+                },
+            });
+            set.push(Scenario {
+                backend,
+                work: Work::Frontier {
+                    n: 16_384,
+                    target: 2_000_000,
+                },
+            });
+        }
+        for backend in [Backend::Batch, Backend::SkipAhead] {
+            set.push(Scenario {
+                backend,
+                work: Work::Clique { n: 200_000, k: 4 },
+            });
+        }
+    } else {
+        // The acceptance regime: random 8-regular at n = 10⁶, the
+        // effective-dominated expander where PR 2 measured parity.
+        for backend in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
+            for n in [100_000u64, 1_000_000] {
+                set.push(Scenario {
+                    backend,
+                    work: Work::TopoStabilize {
+                        family: reg8,
+                        n,
+                        k: 2,
+                    },
+                });
+            }
+            set.push(Scenario {
+                backend,
+                work: Work::Frontier {
+                    n: 65_536,
+                    target: 20_000_000,
+                },
+            });
+        }
+        for backend in [Backend::Graph, Backend::BatchGraph] {
+            set.push(Scenario {
+                backend,
+                work: Work::TopoStabilize {
+                    family: TopologyFamily::Torus,
+                    n: 65_536,
+                    k: 2,
+                },
+            });
+        }
+        for backend in [Backend::Count, Backend::Batch, Backend::SkipAhead] {
+            set.push(Scenario {
+                backend,
+                work: Work::Clique { n: 1_000_000, k: 4 },
+            });
+        }
+    }
+    set
+}
+
+/// Whether a scenario's topology label matches a `--topology` filter
+/// (exact label, or the family name before the `:` parameter).
+fn topology_matches(label: &str, filter: &str) -> bool {
+    label == filter || label.split(':').next() == Some(filter)
+}
+
+/// Apply `--backend`/`--topology` filters to the grid. An empty selection
+/// is an invalid combination and errors.
+fn select_scenarios(
+    set: Vec<Scenario>,
+    backend: Option<Backend>,
+    topology: Option<&str>,
+) -> Result<Vec<Scenario>, String> {
+    if let Some(filter) = topology {
+        let known = set
+            .iter()
+            .any(|s| topology_matches(&s.topology_label(), filter));
+        if !known {
+            let mut available: Vec<String> = set.iter().map(|s| s.topology_label()).collect();
+            available.sort();
+            available.dedup();
+            return Err(format!(
+                "--topology '{filter}' names no scenario in this grid \
+                 (available: {})",
+                available.join(", ")
+            ));
+        }
+    }
+    let selected: Vec<Scenario> = set
+        .into_iter()
+        .filter(|s| backend.is_none_or(|b| s.backend == b))
+        .filter(|s| topology.is_none_or(|t| topology_matches(&s.topology_label(), t)))
+        .collect();
+    if selected.is_empty() {
+        let b = backend.expect("an unfiltered grid is never empty");
+        return Err(match topology {
+            Some(t) => format!(
+                "no scenario combines --backend {b} with --topology {t}: {} \
+                 graph families; the clique rows pin count/batch/skip",
+                if b.supports_topologies() {
+                    "that backend runs"
+                } else {
+                    "it cannot run"
+                }
+            ),
+            None => format!(
+                "--backend {b} appears in no scenario of this grid (graph \
+                 rows pin agent/graph/batchgraph; clique rows pin \
+                 count/batch/skip, or batch/skip in quick mode)"
+            ),
+        });
+    }
+    Ok(selected)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut json: Option<String> = None;
+    let mut backend: Option<Backend> = None;
+    let mut topology: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -173,46 +348,40 @@ fn main() {
                 // seeds so rows are comparable across PRs.
                 let _ = it.next();
             }
+            "--backend" => match it.next().map(|v| v.parse::<Backend>()) {
+                Some(Ok(b)) => backend = Some(b),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--backend needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--topology" => match it.next() {
+                Some(v) => topology = Some(v.clone()),
+                None => {
+                    eprintln!("--topology needs a value");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag '{other}' (flags: --quick --json [path] --seed <u64>)");
+                eprintln!(
+                    "unknown flag '{other}' (flags: --quick --json [path] --seed <u64> \
+                     --backend <name> --topology <label>)"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let reg8 = TopologyFamily::Regular { d: 8 };
-    let mut rows: Vec<Row> = Vec::new();
-    if quick {
-        for b in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
-            rows.push(topo_stabilize_row(b, reg8, 20_000, 2));
-            rows.push(cycle_frontier_row(b, 16_384, 2_000_000));
-        }
-        rows.push(clique_row(Backend::Batch, 200_000, 4));
-        rows.push(clique_row(Backend::SkipAhead, 200_000, 4));
-    } else {
-        // The acceptance regime: random 8-regular at n = 10⁶, the
-        // effective-dominated expander where PR 2 measured parity.
-        for b in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
-            rows.push(topo_stabilize_row(b, reg8, 100_000, 2));
-            rows.push(topo_stabilize_row(b, reg8, 1_000_000, 2));
-            rows.push(cycle_frontier_row(b, 65_536, 20_000_000));
-        }
-        rows.push(topo_stabilize_row(
-            Backend::Graph,
-            TopologyFamily::Torus,
-            65_536,
-            2,
-        ));
-        rows.push(topo_stabilize_row(
-            Backend::BatchGraph,
-            TopologyFamily::Torus,
-            65_536,
-            2,
-        ));
-        for b in [Backend::Count, Backend::Batch, Backend::SkipAhead] {
-            rows.push(clique_row(b, 1_000_000, 4));
-        }
-    }
+    let scenarios = select_scenarios(scenario_set(quick), backend, topology.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let rows: Vec<Row> = scenarios.iter().map(Scenario::run).collect();
 
     println!(
         "{:<11} {:<14} {:>9} {:>10} {:>9} {:>13} {:>12} {:>12} {:>12}",
@@ -260,5 +429,53 @@ fn main() {
             std::process::exit(1);
         });
         println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_grids_cover_both_modes() {
+        let quick = scenario_set(true);
+        let full = scenario_set(false);
+        assert!(!quick.is_empty() && !full.is_empty());
+        // The full grid is the gate's comparison surface: it must contain
+        // the acceptance-regime rows.
+        assert!(full.iter().any(|s| s.backend == Backend::BatchGraph
+            && matches!(s.work, Work::TopoStabilize { n: 1_000_000, .. })));
+        assert!(full
+            .iter()
+            .any(|s| matches!(s.work, Work::Clique { .. }) && s.backend == Backend::Batch));
+    }
+
+    #[test]
+    fn filters_select_matching_scenarios() {
+        let sel = select_scenarios(scenario_set(false), Some(Backend::Graph), None).unwrap();
+        assert!(!sel.is_empty());
+        assert!(sel.iter().all(|s| s.backend == Backend::Graph));
+        let sel = select_scenarios(scenario_set(false), None, Some("regular")).unwrap();
+        assert!(!sel.is_empty());
+        assert!(sel.iter().all(|s| s.topology_label() == "regular:8"));
+        let sel =
+            select_scenarios(scenario_set(false), Some(Backend::Batch), Some("clique")).unwrap();
+        assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn invalid_backend_topology_combinations_error() {
+        // Clique-only engine on a graph family: nothing to run.
+        assert!(
+            select_scenarios(scenario_set(false), Some(Backend::Batch), Some("regular:8")).is_err()
+        );
+        // Graph engine on the clique rows (those pin count/batch/skip).
+        assert!(
+            select_scenarios(scenario_set(false), Some(Backend::Graph), Some("clique")).is_err()
+        );
+        // Unknown topology label.
+        assert!(select_scenarios(scenario_set(false), None, Some("moebius")).is_err());
+        // A backend absent from the (quick) grid entirely.
+        assert!(select_scenarios(scenario_set(true), Some(Backend::Count), None).is_err());
     }
 }

@@ -1,0 +1,338 @@
+//! Perf-regression gate over `bench_backends --json` output.
+//!
+//! ```text
+//! cargo run --release -p usd-bench --bin bench_compare -- \
+//!     <baseline.json> <candidate.json> [--threshold <frac>]
+//! ```
+//!
+//! Matches rows by `(backend, topology, n, mode)` and, for every
+//! **stabilization** row present in both files, compares the candidate's
+//! effective-interaction throughput against the baseline's. Exit codes:
+//!
+//! * `0` — every compared row is within `threshold` (default 0.40, i.e. a
+//!   row may lose at most 40% of its baseline stabilization rate);
+//! * `1` — at least one row regressed past the threshold;
+//! * `2` — usage or parse error, or any baseline stabilization row is
+//!   missing from the candidate (a misconfigured gate must fail loudly,
+//!   not silently lose coverage — this is what catches a quick-mode or
+//!   `--backend`-filtered candidate being compared against the committed
+//!   full-mode baseline). Extra candidate rows are fine: new scenarios
+//!   join the gate when the baseline is regenerated.
+//!
+//! `target`-mode rows (fixed scheduled-interaction drives) are reported
+//! for context but not gated: their wall time is dominated by the
+//! scheduled-throughput extremes the sparse skipper produces, which swing
+//! orders of magnitude with trivial phase-boundary shifts. The JSON
+//! parser is hand-rolled for exactly the object layout `bench_backends`
+//! writes (flat string/number fields, one row object per line).
+
+/// One parsed benchmark row (the fields the gate needs).
+#[derive(Debug, Clone, PartialEq)]
+struct CmpRow {
+    backend: String,
+    topology: String,
+    n: u64,
+    mode: String,
+    scheduled_per_s: f64,
+    effective_per_s: f64,
+}
+
+impl CmpRow {
+    fn key(&self) -> String {
+        format!(
+            "{}/{} n={} [{}]",
+            self.backend, self.topology, self.n, self.mode
+        )
+    }
+}
+
+fn str_field(obj: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing string field '{key}' in row {obj:?}"))?
+        + pat.len();
+    let end = obj[start..]
+        .find('"')
+        .ok_or_else(|| format!("unterminated string field '{key}'"))?
+        + start;
+    Ok(obj[start..end].to_string())
+}
+
+fn num_field(obj: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\":");
+    let start = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing numeric field '{key}' in row {obj:?}"))?
+        + pat.len();
+    let tail = &obj[start..];
+    let end = tail
+        .find(|c: char| {
+            c != '-' && c != '.' && c != 'e' && c != 'E' && c != '+' && !c.is_ascii_digit()
+        })
+        .unwrap_or(tail.len());
+    tail[..end]
+        .parse()
+        .map_err(|e| format!("field '{key}': {e}"))
+}
+
+/// Parse the `rows` array of a `bench_backends --json` document.
+fn parse_rows(doc: &str) -> Result<Vec<CmpRow>, String> {
+    let rows_at = doc.find("\"rows\"").ok_or("no \"rows\" key")?;
+    let open = doc[rows_at..].find('[').ok_or("no rows array")? + rows_at;
+    let close = doc[open..].find(']').ok_or("unterminated rows array")? + open;
+    let mut rows = Vec::new();
+    for chunk in doc[open + 1..close].split('{').skip(1) {
+        let obj = chunk.split('}').next().ok_or("unterminated row object")?;
+        rows.push(CmpRow {
+            backend: str_field(obj, "backend")?,
+            topology: str_field(obj, "topology")?,
+            n: num_field(obj, "n")? as u64,
+            mode: str_field(obj, "mode")?,
+            scheduled_per_s: num_field(obj, "scheduled_per_s")?,
+            effective_per_s: num_field(obj, "effective_per_s")?,
+        });
+    }
+    Ok(rows)
+}
+
+/// One gated comparison.
+#[derive(Debug)]
+struct Comparison {
+    key: String,
+    baseline: f64,
+    candidate: f64,
+    /// candidate / baseline (1.0 = parity, < 1 = slower).
+    ratio: f64,
+    regressed: bool,
+}
+
+/// Compare every stabilization row of the baseline against the candidate.
+/// Errors when any baseline stabilization row is missing from the
+/// candidate — a partially overlapping candidate (quick vs full scenario
+/// set, a `--backend`/`--topology`-filtered run, a scenario silently
+/// dropped from the grid) must fail the gate loudly, not shrink its
+/// coverage.
+fn compare(
+    baseline: &[CmpRow],
+    candidate: &[CmpRow],
+    threshold: f64,
+) -> Result<Vec<Comparison>, String> {
+    let mut out = Vec::new();
+    let mut missing = Vec::new();
+    for b in baseline.iter().filter(|r| r.mode == "stabilize") {
+        let Some(c) = candidate.iter().find(|r| {
+            r.backend == b.backend && r.topology == b.topology && r.n == b.n && r.mode == b.mode
+        }) else {
+            missing.push(b.key());
+            continue;
+        };
+        if b.effective_per_s <= 0.0 {
+            continue; // a zero-rate baseline row cannot be regressed against
+        }
+        let ratio = c.effective_per_s / b.effective_per_s;
+        out.push(Comparison {
+            key: b.key(),
+            baseline: b.effective_per_s,
+            candidate: c.effective_per_s,
+            ratio,
+            regressed: ratio < 1.0 - threshold,
+        });
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "{} baseline stabilization row(s) have no candidate counterpart — \
+             the gate would silently lose coverage (quick vs full scenario \
+             set, or a filtered/renamed grid?):\n  {}",
+            missing.len(),
+            missing.join("\n  ")
+        ));
+    }
+    if out.is_empty() {
+        return Err("baseline contains no stabilization rows — nothing to gate".to_string());
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.40f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| {
+                        eprintln!("--threshold needs a fraction in [0, 1)");
+                        std::process::exit(2);
+                    });
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>])");
+                std::process::exit(2);
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>]");
+        std::process::exit(2);
+    }
+    let read = |path: &str| -> Vec<CmpRow> {
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_rows(&doc).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&paths[0]);
+    let candidate = read(&paths[1]);
+    let comparisons = compare(&baseline, &candidate, threshold).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "{:<40} {:>14} {:>14} {:>8}  verdict (gate: ratio >= {:.2})",
+        "stabilization row",
+        "baseline eff/s",
+        "candidate eff/s",
+        "ratio",
+        1.0 - threshold
+    );
+    let mut regressions = 0usize;
+    for c in &comparisons {
+        println!(
+            "{:<40} {:>14.3e} {:>14.3e} {:>8.3}  {}",
+            c.key,
+            c.baseline,
+            c.candidate,
+            c.ratio,
+            if c.regressed { "REGRESSED" } else { "ok" }
+        );
+        regressions += c.regressed as usize;
+    }
+    println!(
+        "{} rows gated, {} regression(s) past the {:.0}% threshold",
+        comparisons.len(),
+        regressions,
+        threshold * 100.0
+    );
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, &str, u64, &str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(b, t, n, m, eff)| {
+                format!(
+                    "  {{\"backend\":\"{b}\",\"topology\":\"{t}\",\"n\":{n},\"mode\":\"{m}\",\
+                     \"wall_s\":1.0,\"scheduled\":100,\"effective\":50,\
+                     \"scheduled_per_s\":{:.1},\"effective_per_s\":{eff:.1}}}",
+                    eff * 2.0
+                )
+            })
+            .collect();
+        format!(
+            "{{\n\"workload\": \"bench_backends\",\n\"quick\": false,\n\"rows\": [\n{}\n]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn parses_the_bench_backends_layout() {
+        let rows = parse_rows(&doc(&[
+            ("agent", "regular:8", 100_000, "stabilize", 5.0e6),
+            ("graph", "cycle-frontier", 65_536, "target", 4.6e3),
+        ]))
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].backend, "agent");
+        assert_eq!(rows[0].topology, "regular:8");
+        assert_eq!(rows[0].n, 100_000);
+        assert_eq!(rows[0].mode, "stabilize");
+        assert!((rows[0].effective_per_s - 5.0e6).abs() < 1.0);
+        assert_eq!(rows[1].mode, "target");
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let rows = parse_rows(&doc(&[
+            ("agent", "regular:8", 100_000, "stabilize", 5.0e6),
+            ("batchgraph", "regular:8", 100_000, "stabilize", 1.5e7),
+        ]))
+        .unwrap();
+        let cmp = compare(&rows, &rows, 0.40).unwrap();
+        assert_eq!(cmp.len(), 2);
+        assert!(cmp.iter().all(|c| !c.regressed));
+        assert!(cmp.iter().all(|c| (c.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn regression_past_threshold_is_flagged_and_target_rows_are_not_gated() {
+        let base = parse_rows(&doc(&[
+            ("agent", "regular:8", 100_000, "stabilize", 5.0e6),
+            ("graph", "cycle-frontier", 65_536, "target", 1.0e10),
+        ]))
+        .unwrap();
+        let cand = parse_rows(&doc(&[
+            ("agent", "regular:8", 100_000, "stabilize", 2.0e6), // -60%
+            ("graph", "cycle-frontier", 65_536, "target", 1.0e3), // not gated
+        ]))
+        .unwrap();
+        let cmp = compare(&base, &cand, 0.40).unwrap();
+        assert_eq!(cmp.len(), 1, "target rows must not be gated");
+        assert!(cmp[0].regressed);
+        // A 40% loss exactly at the threshold still passes.
+        let cand_ok = parse_rows(&doc(&[(
+            "agent",
+            "regular:8",
+            100_000,
+            "stabilize",
+            3.0e6, // -40%
+        )]))
+        .unwrap();
+        let cmp = compare(&base, &cand_ok, 0.40).unwrap();
+        assert!(!cmp[0].regressed);
+    }
+
+    #[test]
+    fn disjoint_scenario_sets_fail_loudly() {
+        let base = parse_rows(&doc(&[(
+            "agent",
+            "regular:8",
+            1_000_000,
+            "stabilize",
+            5.0e6,
+        )]))
+        .unwrap();
+        let cand = parse_rows(&doc(&[(
+            "agent",
+            "regular:8",
+            20_000, // quick-mode n: no overlap
+            "stabilize",
+            5.0e6,
+        )]))
+        .unwrap();
+        assert!(compare(&base, &cand, 0.40).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(parse_rows("{}").is_err());
+        assert!(parse_rows("{\"rows\": [{\"backend\":\"agent\"}]}").is_err());
+    }
+}

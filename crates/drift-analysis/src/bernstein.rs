@@ -1,14 +1,14 @@
 //! Bernstein's inequality (Theorem A.2) and the Lemma 3.2 tail bound.
 //!
 //! Theorem A.2: for independent zero-mean |Xᵢ| ≤ M,
-//! P[ΣXᵢ ≥ t] ≤ exp(−½t² / (ΣE[Xᵢ²] + Mt/3)).
+//! P\[ΣXᵢ ≥ t\] ≤ exp(−½t² / (ΣE\[Xᵢ²\] + Mt/3)).
 //!
 //! Lemma 3.2 instantiates it with Xᵢ = Ỹ(i+1) − Ỹ(i) − q (so M = 2 and
-//! E[Xᵢ²] ≤ p − q²) over N ≤ T/(2q) steps to get
+//! E\[Xᵢ²\] ≤ p − q²) over N ≤ T/(2q) steps to get
 //! P[Ỹ(N) ≥ T] ≤ exp(−(T/8) / ((p − q²)/(2q) + 2/3)).
 
-/// Bernstein tail bound: P[ΣXᵢ ≥ t] ≤ `bernstein_tail(t, sum_var, m)` for
-/// independent zero-mean |Xᵢ| ≤ m with ΣE[Xᵢ²] = `sum_var`.
+/// Bernstein tail bound: P\[ΣXᵢ ≥ t\] ≤ `bernstein_tail(t, sum_var, m)` for
+/// independent zero-mean |Xᵢ| ≤ m with ΣE\[Xᵢ²\] = `sum_var`.
 pub fn bernstein_tail(t: f64, sum_var: f64, m: f64) -> f64 {
     assert!(t >= 0.0 && sum_var >= 0.0 && m >= 0.0);
     if t == 0.0 {

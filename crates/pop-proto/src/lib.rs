@@ -58,7 +58,9 @@
 //! (interaction graphs), [`topology`] (seeded graph family generators:
 //! cycle, torus, hypercube, random regular, Erdős–Rényi, complete),
 //! [`stopping`] (stop conditions and the run driver), [`trace`] (snapshot
-//! recording), and [`metrics`] (parallel-time conversions).
+//! recording), [`observe`] (the backend-agnostic observation layer behind
+//! [`Simulator::advance_observed`]), and [`metrics`] (parallel-time
+//! conversions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +68,7 @@
 pub mod config;
 pub mod graph;
 pub mod metrics;
+pub mod observe;
 pub mod protocol;
 pub mod sampling;
 pub mod scheduler;
@@ -77,6 +80,7 @@ pub mod trace;
 pub use config::CountConfig;
 pub use graph::Graph;
 pub use metrics::{interactions_for_parallel_time, parallel_time};
+pub use observe::{Observation, SimObserver, StridedObserver};
 pub use protocol::{OneWayEpidemic, Protocol};
 pub use sampling::{AliasTable, FenwickSampler};
 pub use scheduler::{CliqueScheduler, GraphScheduler, Scheduler};

@@ -42,6 +42,11 @@ impl InteractionRecord {
 /// ordered pair and applies the protocol's transition. Works with any
 /// [`Scheduler`], including graph-restricted ones — this is the only
 /// simulator in the workspace that supports non-clique topologies.
+///
+/// Observation granularity
+/// ([`advance_observed`](crate::Simulator::advance_observed)): **exact** —
+/// every advancement is one scheduled interaction, so observers see every
+/// effective event individually.
 #[derive(Debug, Clone)]
 pub struct AgentSimulator<P: Protocol, S: Scheduler> {
     protocol: P,

@@ -83,9 +83,16 @@ const PAIR_TABLE_MIN_K: usize = 16;
 
 /// Batch-leaping simulator for the uniform clique scheduler.
 ///
-/// See the [module docs](self) for the algorithm. Construction mirrors
+/// See the module docs for the algorithm. Construction mirrors
 /// [`CountSimulator`](crate::simulator::CountSimulator); memory is O(k²)
 /// for the cached transition table.
+///
+/// Observation granularity
+/// ([`advance_observed`](crate::Simulator::advance_observed)):
+/// **checkpoint** — each advancement leaps a whole collision-free batch
+/// (~√n interactions, shrinking near silence), so one observation
+/// summarizes every effective event of the batch; intra-batch extrema and
+/// crossing instants are resolved to the batch boundary.
 #[derive(Debug, Clone)]
 pub struct BatchSimulator<P: Protocol> {
     protocol: P,

@@ -92,8 +92,14 @@ const CHUNK_MAX: usize = 4096;
 /// Memory is O(n + m) plus O(√n) scan buffers; the block phase costs O(1)
 /// per scheduled interaction with the per-draw constant driven down by
 /// batched RNG and overlapped gathers, and the sparse phase costs
-/// O(d log m) per **effective** interaction. See the [module docs](self)
+/// O(d log m) per **effective** interaction. See the module docs
 /// for the block machinery and its exactness argument.
+///
+/// Observation granularity
+/// ([`advance_observed`](crate::Simulator::advance_observed)):
+/// **checkpoint** in the block phase — one observation summarizes every
+/// effective event of a ~√n-draw block — and exact per-effective-event
+/// while the sparse skipper is active.
 #[derive(Debug, Clone)]
 pub struct BatchGraphSimulator<P: Protocol> {
     protocol: P,
@@ -582,7 +588,7 @@ impl<P: Protocol> BatchGraphSimulator<P> {
     /// genuine scheduled no-ops until the no-op-run trigger escalates and
     /// certifies it (the same behaviour as the graphwise dense phase), so
     /// the first call on such a configuration can advance the clock by up
-    /// to ~[`SPARSE_TRIGGER_NOOPS`](super::graphwise) interactions —
+    /// to ~`SPARSE_TRIGGER_NOOPS` interactions —
     /// drivers check `is_silent()` before advancing, which both `run_until`
     /// and the stabilization entry points do.
     pub fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {

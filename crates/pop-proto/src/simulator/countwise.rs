@@ -17,6 +17,11 @@ use sim_stats::rng::SimRng;
 ///
 /// Memory is O(|Σ|) and each interaction costs O(log |Σ|) via a Fenwick
 /// sampler, which is what makes the paper's n = 10⁶ runs cheap.
+///
+/// Observation granularity
+/// ([`advance_observed`](crate::Simulator::advance_observed)): **exact** —
+/// every advancement is one scheduled interaction, so observers see every
+/// effective event individually.
 #[derive(Debug, Clone)]
 pub struct CountSimulator<P: Protocol> {
     protocol: P,

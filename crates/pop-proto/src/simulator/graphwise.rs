@@ -89,8 +89,15 @@ pub(crate) const DENSE_ENTER_INV: u64 = 32;
 /// Memory is O(n + m); the dense phase costs O(1) per scheduled
 /// interaction and the sparse phase O(d log m) per **effective**
 /// interaction, where `d` is the degree of the two agents that changed.
-/// See the [module docs](self) for the phase machinery and its exactness
+/// See the module docs for the phase machinery and its exactness
 /// argument.
+///
+/// Observation granularity
+/// ([`advance_observed`](crate::Simulator::advance_observed)): **exact** —
+/// both phases return at the first effective event (the dense phase stops
+/// its literal stepping there, the sparse phase applies exactly one), so
+/// observers see every effective event individually with the preceding
+/// no-op run folded into the scheduled delta.
 #[derive(Debug, Clone)]
 pub struct GraphSimulator<P: Protocol> {
     protocol: P,

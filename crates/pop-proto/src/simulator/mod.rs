@@ -35,7 +35,14 @@
 //!   no-ops dominate.
 //!
 //! The [`Simulator`] trait unifies them so drivers, experiments, the
-//! CLI, and benches can select a backend generically.
+//! CLI, and benches can select a backend generically; its
+//! [`advance_observed`](Simulator::advance_observed) hook additionally
+//! drives a [`SimObserver`] at every
+//! configuration-changing advancement boundary, giving observer-driven
+//! experiments (lemma probes, trace recorders, crossing detectors) one
+//! backend-agnostic entry point — exact per-effective-event on the
+//! single-event engines, block-checkpoint on the leaping ones (see
+//! [`observe`](crate::observe)).
 
 mod agentwise;
 mod batched;
@@ -50,6 +57,7 @@ pub use countwise::CountSimulator;
 pub use graphwise::{shuffled_layout, GraphSimulator};
 
 use crate::config::CountConfig;
+use crate::observe::{Observation, SimObserver};
 use sim_stats::rng::SimRng;
 
 /// Common interface of the simulation backends.
@@ -147,23 +155,13 @@ pub trait Simulator {
         budget: u64,
         stop: &mut dyn FnMut(&[u64]) -> bool,
     ) -> u64 {
-        let start = self.interactions();
-        if stop(self.counts()) || self.is_silent() {
+        if stop(self.counts()) {
             return 0;
         }
-        loop {
-            let done = self.interactions() - start;
-            if done >= budget {
-                return done;
-            }
-            let (advanced, changed) = self.advance_changed(rng, budget - done);
-            if advanced == 0 {
-                return done;
-            }
-            if changed && (stop(self.counts()) || self.is_silent()) {
-                return self.interactions() - start;
-            }
-        }
+        // A stop predicate is exactly an observer that ends the run: the
+        // shared advance_observed driver owns the budget/termination/
+        // silence edge cases once.
+        self.advance_observed(rng, budget, &mut |obs: &Observation<'_>| !stop(obs.counts))
     }
 
     /// [`Simulator::run_until`] with silence as the only stop condition:
@@ -172,5 +170,62 @@ pub trait Simulator {
     fn run_to_silence(&mut self, rng: &mut SimRng, budget: u64) -> (u64, bool) {
         self.run_until(rng, budget, &mut |_| false);
         (self.interactions(), self.is_silent())
+    }
+
+    /// Drive the simulator for up to `budget` interactions, offering the
+    /// `observer` an [`Observation`] at every
+    /// advancement boundary that changed the counts: the current counts (a
+    /// state checkpoint), the cumulative scheduled/effective counters, and
+    /// the deltas since the previous observation. The call ends at budget
+    /// exhaustion, silence, or when the observer returns `false`; it
+    /// returns the number of interactions simulated.
+    ///
+    /// Observation granularity is the backend's advancement granularity —
+    /// exact per-effective-event on the single-event engines
+    /// (`agent`/`count`/`graph` and the USD wrappers), block-boundary
+    /// checkpoints on the leaping engines (`batch`/`batchgraph`); see the
+    /// [`observe`](crate::observe) module docs for the per-backend table.
+    /// [`SimObserver::max_stride`] bounds the scheduled interactions per
+    /// advancement, forcing a finer checkpoint cadence on the leaping
+    /// engines.
+    fn advance_observed(
+        &mut self,
+        rng: &mut SimRng,
+        budget: u64,
+        observer: &mut dyn SimObserver,
+    ) -> u64 {
+        let start = self.interactions();
+        if self.is_silent() {
+            return 0;
+        }
+        let stride = observer.max_stride().unwrap_or(u64::MAX).max(1);
+        let mut last_interactions = start;
+        let mut last_effective = self.effective_interactions();
+        loop {
+            let done = self.interactions() - start;
+            if done >= budget {
+                return done;
+            }
+            let (advanced, changed) = self.advance_changed(rng, stride.min(budget - done));
+            if advanced == 0 {
+                return self.interactions() - start;
+            }
+            if changed {
+                let interactions = self.interactions();
+                let effective = self.effective_interactions();
+                let keep_going = observer.observe(&Observation {
+                    counts: self.counts(),
+                    interactions,
+                    effective,
+                    delta_interactions: interactions - last_interactions,
+                    delta_effective: effective - last_effective,
+                });
+                last_interactions = interactions;
+                last_effective = effective;
+                if !keep_going || self.is_silent() {
+                    return interactions - start;
+                }
+            }
+        }
     }
 }

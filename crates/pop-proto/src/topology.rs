@@ -79,6 +79,15 @@ impl TopologyFamily {
         }
     }
 
+    /// Whether this family is degree-parameterized (i.e.
+    /// [`TopologyFamily::with_degree`] has any effect).
+    pub fn takes_degree(&self) -> bool {
+        matches!(
+            self,
+            TopologyFamily::Regular { .. } | TopologyFamily::ErdosRenyi { .. }
+        )
+    }
+
     /// Replace the degree parameter of a degree-parameterized family
     /// (`regular`, `er`); other families are returned unchanged.
     #[must_use]

@@ -2,7 +2,7 @@
 //!
 //! These primitives back the initial-configuration builders (randomized
 //! opinion assignments) and the Gossip-model round simulation. All samplers
-//! take a [`SimRng`](crate::SimRng) and are exact (no normal approximations),
+//! take a [`SimRng`] and are exact (no normal approximations),
 //! trading asymptotic speed for correctness — the hot simulation loop in
 //! `usd-core` uses its own specialized sampling instead.
 

@@ -21,9 +21,9 @@
 //! random on its vertices, and runs either engine to graph silence.
 
 use crate::config::UsdConfig;
-use crate::dynamics::{SequentialUsd, SkipAheadGeneric, SkipAheadUsd};
+use crate::dynamics::{SequentialGeneric, SkipAheadGeneric};
 use crate::protocol::UndecidedStateDynamics;
-use crate::stabilization::{stabilize, ConsensusOutcome, StabilizationResult};
+use crate::stabilization::{ConsensusOutcome, StabilizationResult};
 use pop_proto::simulator::shuffled_layout;
 use pop_proto::{
     AgentSimulator, BatchGraphSimulator, BatchSimulator, CliqueScheduler, CountSimulator,
@@ -125,12 +125,10 @@ pub const COMPLETE_GRAPH_MAX_N: u64 = 10_000;
 
 /// Construct a generic-substrate simulator for `config` as a trait object.
 ///
-/// The five `pop-proto` backends are generic-substrate engines, and
-/// [`Backend::SkipAhead`] participates through the
-/// [`SkipAheadGeneric`](crate::dynamics::SkipAheadGeneric) wrapper;
-/// passing [`Backend::Sequential`] panics (it implements
-/// [`crate::dynamics::UsdSimulator`] instead — use
-/// [`stabilize_with_backend`] for uniform treatment of all seven).
+/// Every backend is a generic-substrate engine: the five `pop-proto`
+/// engines natively, and the two USD-specialized ones through their thin
+/// wrappers ([`SequentialGeneric`] and [`SkipAheadGeneric`]), so
+/// observer-driven experiments select any of the seven interchangeably.
 /// [`Backend::Graph`] and [`Backend::BatchGraph`] here mean the *complete*
 /// graph (their degenerate clique instance) and are capped at
 /// [`COMPLETE_GRAPH_MAX_N`] agents.
@@ -164,8 +162,8 @@ pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator
                 Box::new(BatchGraphSimulator::from_config(proto, &graph, &counts))
             }
         }
+        Backend::Sequential => Box::new(SequentialGeneric::new(config)),
         Backend::SkipAhead => Box::new(SkipAheadGeneric::new(config)),
-        other => panic!("{other} is a USD-specialized engine, not a generic-substrate backend"),
     }
 }
 
@@ -237,7 +235,8 @@ fn result_from_counts(
 
 /// Run `config` to USD stabilization on the chosen backend.
 ///
-/// Semantics match [`stabilize`]: the run ends at silence (consensus or
+/// Semantics match [`stabilize`](crate::stabilization::stabilize): the run
+/// ends at silence (consensus or
 /// all-undecided) or when `budget` interactions have been simulated, and
 /// the result reports the winner, the interaction count at the stopping
 /// point, and whether the initial plurality won.
@@ -248,27 +247,15 @@ pub fn stabilize_with_backend(
     budget: u64,
 ) -> StabilizationResult {
     let initial_plurality = config.plurality();
-    match backend {
-        Backend::Sequential => {
-            let mut sim = SequentialUsd::new(config);
-            stabilize(&mut sim, rng, budget)
-        }
-        Backend::SkipAhead => {
-            let mut sim = SkipAheadUsd::new(config);
-            stabilize(&mut sim, rng, budget)
-        }
-        _ => {
-            let mut sim = make_simulator(backend, config);
-            let (interactions, stabilized) = sim.run_to_silence(rng, budget);
-            result_from_counts(
-                sim.counts(),
-                config.k(),
-                interactions,
-                stabilized,
-                initial_plurality,
-            )
-        }
-    }
+    let mut sim = make_simulator(backend, config);
+    let (interactions, stabilized) = sim.run_to_silence(rng, budget);
+    result_from_counts(
+        sim.counts(),
+        config.k(),
+        interactions,
+        stabilized,
+        initial_plurality,
+    )
 }
 
 /// Whether no edge of `graph` can change any state under `proto` — the
@@ -460,9 +447,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a generic-substrate backend")]
-    fn make_simulator_rejects_specialized_engines() {
-        make_simulator(Backend::Sequential, &UsdConfig::decided(vec![2, 2]));
+    fn sequential_wrapper_is_a_generic_backend() {
+        let config = UsdConfig::decided(vec![60, 20]);
+        let mut sim = make_simulator(Backend::Sequential, &config);
+        let mut rng = SimRng::new(17);
+        let (t, silent) = sim.run_to_silence(&mut rng, u64::MAX / 2);
+        assert!(silent);
+        assert!(t > 0);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 80);
+        assert!(sim.effective_interactions() > 0);
+        assert!(sim.effective_interactions() <= sim.interactions());
     }
 
     #[test]

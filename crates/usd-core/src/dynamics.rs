@@ -377,6 +377,77 @@ impl UsdSimulator for SkipAheadUsd {
 }
 
 // ---------------------------------------------------------------------------
+// SequentialGeneric
+// ---------------------------------------------------------------------------
+
+/// [`SequentialUsd`] behind the generic [`Simulator`](pop_proto::Simulator)
+/// trait: the USD reference engine as a thin wrapper, exactly like
+/// [`SkipAheadGeneric`] wraps the skip-ahead engine. Every backend —
+/// including the sequential reference — is thereby a generic-substrate
+/// engine, so observer-driven experiments (lemma probes, traces, crossing
+/// detectors) run on all of them through one entry point.
+///
+/// Observation granularity
+/// ([`advance_observed`](pop_proto::Simulator::advance_observed)):
+/// **exact** — every advancement is one literal interaction.
+#[derive(Debug, Clone)]
+pub struct SequentialGeneric {
+    inner: SequentialUsd,
+    effective: u64,
+}
+
+impl SequentialGeneric {
+    /// Start from a configuration (requires n ≥ 2).
+    pub fn new(config: &UsdConfig) -> Self {
+        SequentialGeneric {
+            inner: SequentialUsd::new(config),
+            effective: 0,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &SequentialUsd {
+        &self.inner
+    }
+}
+
+impl pop_proto::Simulator for SequentialGeneric {
+    fn population(&self) -> u64 {
+        self.inner.n()
+    }
+
+    fn num_states(&self) -> usize {
+        self.inner.k() + 1
+    }
+
+    fn counts(&self) -> &[u64] {
+        // The Fenwick sampler's weight vector is already the dense count
+        // layout the trait promises: opinions 0..k, then ⊥ at index k.
+        self.inner.sampler.weights()
+    }
+
+    fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    fn effective_interactions(&self) -> u64 {
+        self.effective
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> bool {
+        let changed = !matches!(self.inner.step(rng), UsdEvent::Noop);
+        if changed {
+            self.effective += 1;
+        }
+        changed
+    }
+
+    fn is_silent(&self) -> bool {
+        UsdSimulator::is_silent(&self.inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SkipAheadGeneric
 // ---------------------------------------------------------------------------
 

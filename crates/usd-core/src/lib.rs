@@ -69,7 +69,9 @@ pub use backend::{
     make_simulator, make_topology_simulator, stabilize_on_topology, stabilize_with_backend, Backend,
 };
 pub use config::UsdConfig;
-pub use dynamics::{SequentialUsd, SkipAheadGeneric, SkipAheadUsd, UsdEvent, UsdSimulator};
+pub use dynamics::{
+    SequentialGeneric, SequentialUsd, SkipAheadGeneric, SkipAheadUsd, UsdEvent, UsdSimulator,
+};
 pub use init::InitialConfigBuilder;
 pub use protocol::{UndecidedStateDynamics, UsdState};
 pub use recording::record_run;

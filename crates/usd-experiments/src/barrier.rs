@@ -26,9 +26,8 @@ use sim_stats::regression::loglog_fit;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use usd_baselines::TournamentUsd;
-use usd_core::dynamics::SkipAheadUsd;
+use usd_core::backend::{stabilize_with_backend, Backend};
 use usd_core::init::InitialConfigBuilder;
-use usd_core::stabilization::stabilize;
 use usd_core::theory::Bounds;
 
 /// One E13 sweep cell.
@@ -47,13 +46,20 @@ pub struct BarrierCell {
     pub usd_win_rate: f64,
 }
 
-/// Measure one (n, k) cell for both protocols.
-pub fn barrier_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> BarrierCell {
+/// Measure one (n, k) cell for both protocols; the plain-USD side runs on
+/// the chosen generic backend.
+pub fn barrier_cell(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seeds: u64,
+    master_seed: u64,
+) -> BarrierCell {
     let config = InitialConfigBuilder::new(n, k).figure1();
 
     let usd: Vec<(f64, bool)> = runner::repeat(master_seed ^ 0xB1, seeds, |_r, rng| {
-        let mut sim = SkipAheadUsd::new(&config);
-        let result = stabilize(&mut sim, rng, crate::fig1::default_budget(n, k));
+        let result =
+            stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, k));
         (result.parallel_time(n), result.plurality_won())
     });
 
@@ -78,6 +84,7 @@ pub fn barrier_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> BarrierCe
 pub fn barrier_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n.min(20_000), 4_000);
     let seeds = args.unless_quick(args.seeds, 2);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let ks = match args.k {
         Some(k) => vec![k],
         None => {
@@ -87,12 +94,12 @@ pub fn barrier_report(args: &ExpArgs) -> Report {
         }
     };
     let cells = runner::sweep(args.seed, ks, |_, &k, _| {
-        barrier_cell(n, k, seeds, args.seed)
+        barrier_cell(backend, n, k, seeds, args.seed)
     });
 
     let mut report = Report::new();
     report.heading(format!(
-        "E13 / Breaking the barrier (paper §4 open question), n={}",
+        "E13 / Breaking the barrier (paper §4 open question), n={}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -158,7 +165,7 @@ mod tests {
 
     #[test]
     fn both_protocols_correct_and_comparable_at_moderate_k() {
-        let cell = barrier_cell(8_000, 16, 3, 7);
+        let cell = barrier_cell(Backend::SkipAhead, 8_000, 16, 3, 7);
         assert!(cell.usd_win_rate > 0.5, "{cell:?}");
         assert!(cell.tournament_win_rate > 0.5, "{cell:?}");
         // The E13 finding: at simulable scales the tournament does not
@@ -178,8 +185,8 @@ mod tests {
         // but only adds 3 tournament phases (3 → 6, a factor of 2 in the
         // phase count). The tournament's time must therefore grow by far
         // less than the 6x opinion-count factor.
-        let c8 = barrier_cell(8_000, 8, 3, 8);
-        let c48 = barrier_cell(8_000, 48, 3, 8);
+        let c8 = barrier_cell(Backend::SkipAhead, 8_000, 8, 3, 8);
+        let c48 = barrier_cell(Backend::SkipAhead, 8_000, 48, 3, 8);
         let growth = c48.tournament_parallel / c8.tournament_parallel;
         assert!(
             growth < 3.5,

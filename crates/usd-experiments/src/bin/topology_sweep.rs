@@ -3,15 +3,41 @@
 //! ```text
 //! cargo run --release -p usd-experiments --bin topology_sweep -- \
 //!     [--n <max>] [--k <opinions>] [--seeds <reps>] [--topology <family>]
-//!     [--degree <d>] [--threads <t>] [--quick] [--csv out.csv]
+//!     [--degree <d>] [--backend <graph|batchgraph|agent>] [--threads <t>]
+//!     [--quick] [--csv out.csv]
 //! ```
 //!
-//! Runs the active-edge `graph` backend over the sparse family grid
+//! Runs a topology-capable backend over the sparse family grid
 //! (cycle, torus, hypercube, random regular, Erdős–Rényi) — see the
 //! `usd_experiments::topology` module docs for the measured columns.
+//! Invalid flag combinations (a clique-only `--backend`, `--degree` on a
+//! family that takes none) exit with status 2 before any work runs.
 
 fn main() {
     let args = usd_experiments::ExpArgs::from_env();
+    if let Err(msg) = usd_experiments::topology::validate_args(&args) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let report = usd_experiments::topology::topology_report(&args);
     report.finish(args.csv.as_deref());
+}
+
+#[cfg(test)]
+mod tests {
+    use usd_experiments::topology::validate_args;
+    use usd_experiments::ExpArgs;
+
+    /// The binary's pre-flight check: the combinations the sweep used to
+    /// accept by panicking (or by silently ignoring a flag) are errors.
+    #[test]
+    fn preflight_rejects_invalid_backend_and_degree_combinations() {
+        let parse = |flags: &[&str]| ExpArgs::parse(flags.iter().map(|s| s.to_string())).unwrap();
+        assert!(validate_args(&parse(&[])).is_ok());
+        assert!(validate_args(&parse(&["--backend", "graph"])).is_ok());
+        assert!(validate_args(&parse(&["--backend", "batch"])).is_err());
+        assert!(validate_args(&parse(&["--backend", "skip"])).is_err());
+        assert!(validate_args(&parse(&["--topology", "cycle", "--degree", "4"])).is_err());
+        assert!(validate_args(&parse(&["--topology", "regular:8", "--degree", "4"])).is_ok());
+    }
 }

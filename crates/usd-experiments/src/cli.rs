@@ -14,8 +14,9 @@
 //! --topology <f>   interaction-graph family (topology experiments only)
 //! --degree <d>     degree parameter for regular/er families
 //! --backend <b>    simulation backend, where the experiment honors it
-//!                  (fig1: any generic backend or skip; topology_sweep:
-//!                  graph|batchgraph|agent)
+//!                  (fig1, the lemma probes E3/E4/E5, the scaling sweeps
+//!                  E6/E7/E10, E8, E11, and E13: any generic backend;
+//!                  topology_sweep: graph|batchgraph|agent)
 //! ```
 //!
 //! Parsing is by hand (no external dependency) and strict: unknown flags
@@ -70,7 +71,7 @@ impl Default for ExpArgs {
 }
 
 impl ExpArgs {
-    /// Parse from an iterator of argument strings (excluding argv[0]).
+    /// Parse from an iterator of argument strings (excluding `argv[0]`).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();
@@ -173,6 +174,25 @@ impl ExpArgs {
         self.backend.unwrap_or(default)
     }
 
+    /// [`ExpArgs::backend_or`] for clique experiments running at
+    /// population `n`: validates the choice via
+    /// [`validate_clique_backend`] and exits(2) with the error message
+    /// when the run could only panic later — the [`ExpArgs::from_env`]
+    /// convention for flag errors, intended for the binary-backed report
+    /// entry points. Library embedders that must not have their process
+    /// terminated should pre-validate via [`validate_clique_backend`]
+    /// before calling a report function.
+    pub fn clique_backend_or(&self, default: Backend, n: u64) -> Backend {
+        let backend = self.backend_or(default);
+        match validate_clique_backend(backend, n) {
+            Ok(()) => backend,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     /// Quick-mode reduction helper: `value` normally, `quick` when --quick.
     pub fn unless_quick<T>(&self, value: T, quick: T) -> T {
         if self.quick {
@@ -181,6 +201,23 @@ impl ExpArgs {
             value
         }
     }
+}
+
+/// Validate a backend choice for a *clique* experiment at population `n`:
+/// the graph engines here mean the complete graph, whose Θ(n²) edge list
+/// is capped at [`usd_core::backend::COMPLETE_GRAPH_MAX_N`] agents.
+/// Binaries call this (via [`ExpArgs::clique_backend_or`]) up front and
+/// exit non-zero instead of panicking mid-run.
+pub fn validate_clique_backend(backend: Backend, n: u64) -> Result<(), String> {
+    let cap = usd_core::backend::COMPLETE_GRAPH_MAX_N;
+    if matches!(backend, Backend::Graph | Backend::BatchGraph) && n > cap {
+        return Err(format!(
+            "--backend {backend} runs the complete graph in this experiment \
+             (n(n-1)/2 edges); n = {n} exceeds the {cap} cap — pass --n {cap} \
+             or less (or --quick), or use topology_sweep for sparse graphs"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -241,6 +278,17 @@ mod tests {
         assert!(parse(&["--degree", "x"]).is_err());
         let a = parse(&["--topology", "hypercube"]).unwrap();
         assert_eq!(a.topology, Some(TopologyFamily::Hypercube));
+    }
+
+    #[test]
+    fn clique_backend_validation() {
+        use usd_core::backend::COMPLETE_GRAPH_MAX_N;
+        assert!(validate_clique_backend(Backend::Graph, COMPLETE_GRAPH_MAX_N).is_ok());
+        assert!(validate_clique_backend(Backend::Graph, COMPLETE_GRAPH_MAX_N + 1).is_err());
+        assert!(validate_clique_backend(Backend::BatchGraph, 1_000_000).is_err());
+        // Non-graph backends have no cap.
+        assert!(validate_clique_backend(Backend::Batch, u64::MAX / 2).is_ok());
+        assert!(validate_clique_backend(Backend::Sequential, 1_000_000).is_ok());
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   protocol, voter dynamics, 3-majority, and synchronized USD.
 //! * **E12 (simulator ablation)**: distributional equivalence and relative
 //!   speed of the three exact engines (DESIGN.md §7).
+//!
+//! The USD measurements in E8 and E11 run through the generic backend
+//! layer and honor `--backend`; E12 is inherently engine-specific (it *is*
+//! the engine comparison) and E9 needs the literal per-agent model for its
+//! per-node flip statistic, so both pin their engines.
 
 use crate::cli::ExpArgs;
 use crate::report::Report;
@@ -24,6 +29,7 @@ use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use usd_baselines::{FourStateMajority, GossipUsd, SynchronizedUsd, ThreeMajority, VoterDynamics};
 use usd_core::analysis::monochromatic_distance;
+use usd_core::backend::{stabilize_with_backend, Backend};
 use usd_core::dynamics::{SequentialUsd, SkipAheadUsd, UsdSimulator};
 use usd_core::init::InitialConfigBuilder;
 use usd_core::protocol::UndecidedStateDynamics;
@@ -72,12 +78,19 @@ pub fn bias_grid(n: u64, k: usize) -> Vec<u64> {
     grid
 }
 
-/// Run E8 for one bias value.
-pub fn bias_cell(n: u64, k: usize, bias: u64, seeds: u64, master_seed: u64) -> BiasCell {
+/// Run E8 for one bias value on the chosen backend.
+pub fn bias_cell(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    bias: u64,
+    seeds: u64,
+    master_seed: u64,
+) -> BiasCell {
     let config = InitialConfigBuilder::new(n, k).equal_minorities(bias);
     let outcomes: Vec<(bool, f64)> = runner::repeat(master_seed ^ bias, seeds, |_rep, rng| {
-        let mut sim = SkipAheadUsd::new(&config);
-        let result = stabilize(&mut sim, rng, crate::fig1::default_budget(n, k));
+        let result =
+            stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, k));
         (result.plurality_won(), result.parallel_time(n))
     });
     let wins = outcomes.iter().filter(|o| o.0).count() as f64;
@@ -95,14 +108,15 @@ pub fn bias_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(8_000));
     let k = args.k_or(8.min((n / 100) as usize).max(2));
     let seeds = args.unless_quick(args.seeds.max(10), 3);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let grid = bias_grid(n, k);
     let cells = runner::sweep(args.seed, grid, |_, &b, _| {
-        bias_cell(n, k, b, seeds, args.seed)
+        bias_cell(backend, n, k, b, seeds, args.seed)
     });
 
     let mut report = Report::new();
     report.heading(format!(
-        "E8 / Bias sensitivity, n={}, k={k}",
+        "E8 / Bias sensitivity, n={}, k={k}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -281,15 +295,22 @@ pub struct BaselineRow {
     pub correct_rate: f64,
 }
 
-/// Run E11 at `(n, k)` with the Figure-1 bias.
-pub fn baseline_rows(n: u64, k: usize, seeds: u64, master_seed: u64) -> Vec<BaselineRow> {
+/// Run E11 at `(n, k)` with the Figure-1 bias; the USD row runs on the
+/// chosen generic backend.
+pub fn baseline_rows(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seeds: u64,
+    master_seed: u64,
+) -> Vec<BaselineRow> {
     let config = InitialConfigBuilder::new(n, k).figure1();
     let mut rows = Vec::new();
 
     // USD (population protocol).
     let usd: Vec<(f64, bool)> = runner::repeat(master_seed ^ 1, seeds, |_r, rng| {
-        let mut sim = SkipAheadUsd::new(&config);
-        let result = stabilize(&mut sim, rng, crate::fig1::default_budget(n, k));
+        let result =
+            stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, k));
         (result.parallel_time(n), result.plurality_won())
     });
     rows.push(summarize_baseline("USD (PP)", "parallel", &usd));
@@ -365,9 +386,10 @@ impl NoU for UsdConfig {
 pub fn baseline_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n.min(10_000), 2_000);
     let seeds = args.unless_quick(args.seeds, 2);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let mut report = Report::new();
     report.heading(format!(
-        "E11 / Baseline comparison at the Figure-1 bias, n={}",
+        "E11 / Baseline comparison at the Figure-1 bias, n={}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -380,7 +402,7 @@ pub fn baseline_report(args: &ExpArgs) -> Report {
         if (k as u64) * 4 > n {
             continue;
         }
-        let rows = baseline_rows(n, k, seeds, args.seed ^ (k as u64));
+        let rows = baseline_rows(backend, n, k, seeds, args.seed ^ (k as u64));
         let mut t = TextTable::new(&["protocol", "unit", "mean time", "plurality wins"]);
         for r in &rows {
             t.row_owned(vec![
@@ -674,8 +696,15 @@ mod tests {
     fn bias_zero_is_near_chance_and_big_bias_wins() {
         let n = 3_000u64;
         let k = 4usize;
-        let lo = bias_cell(n, k, 0, 30, 1);
-        let hi = bias_cell(n, k, theory::max_admissible_bias(n, k).min(n / 2), 30, 1);
+        let lo = bias_cell(Backend::SkipAhead, n, k, 0, 30, 1);
+        let hi = bias_cell(
+            Backend::SkipAhead,
+            n,
+            k,
+            theory::max_admissible_bias(n, k).min(n / 2),
+            30,
+            1,
+        );
         assert!(
             lo.win_rate < 0.7,
             "zero bias should be near chance (1/k..), got {}",
@@ -707,7 +736,7 @@ mod tests {
 
     #[test]
     fn baseline_rows_cover_protocols() {
-        let rows = baseline_rows(500, 2, 3, 4);
+        let rows = baseline_rows(Backend::SkipAhead, 500, 2, 3, 4);
         let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
         assert!(names.contains(&"USD (PP)"));
         assert!(names.contains(&"4-state exact (PP)"));

@@ -293,7 +293,7 @@ fn summary_table(run: &Fig1Run) -> TextTable {
 pub fn fig1_left_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(20_000));
     let k = args.k_or(theory::figure1_k(n));
-    let backend = args.backend_or(Backend::SkipAhead);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let run = simulate_fig1_run_with(n, k, args.seed, default_budget(n, k), backend);
     let mut report = Report::new();
     report.heading(format!(
@@ -337,7 +337,7 @@ pub fn fig1_left_report(args: &ExpArgs) -> Report {
 pub fn fig1_right_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(20_000));
     let k = args.k_or(theory::figure1_k(n));
-    let backend = args.backend_or(Backend::SkipAhead);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let run = simulate_fig1_run_with(n, k, args.seed, default_budget(n, k), backend);
     let mut report = Report::new();
     report.heading(format!(

@@ -16,14 +16,24 @@
 //!   interactions to double (while small). We record the first-crossing
 //!   times of the geometric level ladder α·2^ℓ and report each doubling
 //!   time in kn units.
+//!
+//! All three probes run through the backend-agnostic observation layer
+//! ([`Simulator::advance_observed`](pop_proto::Simulator::advance_observed)):
+//! any `--backend` drives them, with exact per-effective-event trajectories
+//! on the single-event engines (`seq`, `skip`, `agent`, `count`, `graph`)
+//! and block-checkpoint trajectories on the leaping ones (`batch`,
+//! `batchgraph`) — there, running extrema and crossing instants resolve to
+//! the ~√n-interaction block boundary, a granularity far below the kn-scale
+//! quantities the lemmas bound.
 
 use crate::cli::ExpArgs;
 use crate::report::Report;
 use crate::runner;
+use pop_proto::Observation;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use usd_core::analysis::undecided_plateau;
-use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
+use usd_core::backend::{make_simulator, Backend};
 use usd_core::init::InitialConfigBuilder;
 use usd_core::theory::{self, Bounds};
 
@@ -60,24 +70,23 @@ pub struct Lemma31Cell {
     pub within_bound: bool,
 }
 
-/// Run E3 for one (n, k) across seeds.
-pub fn lemma31_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma31Cell {
+/// Run E3 for one (n, k) across seeds on the chosen backend.
+pub fn lemma31_cell(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seeds: u64,
+    master_seed: u64,
+) -> Lemma31Cell {
     let maxes = runner::repeat(master_seed ^ (k as u64) << 32, seeds, |_rep, rng| {
         let config = InitialConfigBuilder::new(n, k).figure1();
-        let mut sim = SkipAheadUsd::new(&config);
+        let mut sim = make_simulator(backend, &config);
         let budget = crate::fig1::default_budget(n, k);
         let mut max_u = 0u64;
-        while sim.interactions() < budget {
-            match sim.step_effective(rng) {
-                None => break,
-                Some(_) => {
-                    max_u = max_u.max(sim.undecided());
-                    if sim.is_silent() {
-                        break;
-                    }
-                }
-            }
-        }
+        sim.advance_observed(rng, budget, &mut |obs: &Observation<'_>| {
+            max_u = max_u.max(obs.counts[k]);
+            true
+        });
         max_u as f64
     });
     let summary = Summary::of(&maxes);
@@ -99,17 +108,18 @@ pub fn lemma31_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma31Ce
 pub fn lemma31_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(10_000));
     let seeds = args.unless_quick(args.seeds, 2);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let ks = match args.k {
         Some(k) => vec![k],
         None => default_k_grid(n),
     };
     let cells = runner::sweep(args.seed, ks, |_, &k, _| {
-        lemma31_cell(n, k, seeds, args.seed)
+        lemma31_cell(backend, n, k, seeds, args.seed)
     });
 
     let mut report = Report::new();
     report.heading(format!(
-        "E3 / Lemma 3.1: ceiling on the undecided count, n={}",
+        "E3 / Lemma 3.1: ceiling on the undecided count, n={}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -162,9 +172,15 @@ pub struct Lemma33Cell {
     pub mean_tau_over_kn: f64,
 }
 
-/// Run E4 for one (n, k) across seeds: measure the time the (eventual)
-/// winner spends between support 3n/2k and 2n/k.
-pub fn lemma33_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma33Cell {
+/// Run E4 for one (n, k) across seeds on the chosen backend: measure the
+/// time the (eventual) winner spends between support 3n/2k and 2n/k.
+pub fn lemma33_cell(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seeds: u64,
+    master_seed: u64,
+) -> Lemma33Cell {
     let lo = 3 * n / (2 * k as u64);
     let hi = 2 * n / k as u64;
     let taus: Vec<Option<f64>> = runner::repeat(
@@ -172,36 +188,29 @@ pub fn lemma33_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma33Ce
         seeds,
         |_rep, rng| {
             let config = InitialConfigBuilder::new(n, k).figure1();
-            let mut sim = SkipAheadUsd::new(&config);
+            let mut sim = make_simulator(backend, &config);
             let budget = crate::fig1::default_budget(n, k);
             let mut t_lo: Vec<Option<u64>> = vec![None; k];
             let mut tau = None;
-            while sim.interactions() < budget {
-                match sim.step_effective(rng) {
-                    None => break,
-                    Some(_) => {
-                        // Track the first (upward) crossing of each level by
-                        // any opinion; O(k) scan only every ~n/10
-                        // interactions would risk missing the instant, but
-                        // opinions move by ±1 per event, so checking the
-                        // two affected opinions would suffice; a full scan
-                        // is simpler and still cheap at these sizes.
-                        for (i, &x) in sim.opinions().iter().enumerate() {
-                            if x >= lo && t_lo[i].is_none() {
-                                t_lo[i] = Some(sim.interactions());
-                            }
-                            if x >= hi {
-                                if let Some(start) = t_lo[i] {
-                                    tau = Some((sim.interactions() - start) as f64);
-                                }
-                            }
-                        }
-                        if tau.is_some() || sim.is_silent() {
-                            break;
+            // Track the first (upward) crossing of each level by any
+            // opinion at every observation boundary. An O(k) scan per
+            // boundary is cheap at these sizes; on the exact backends the
+            // boundary is every effective event, so no crossing instant
+            // can be missed (on the leaping backends it resolves to the
+            // block boundary).
+            sim.advance_observed(rng, budget, &mut |obs: &Observation<'_>| {
+                for (i, &x) in obs.counts[..k].iter().enumerate() {
+                    if x >= lo && t_lo[i].is_none() {
+                        t_lo[i] = Some(obs.interactions);
+                    }
+                    if x >= hi {
+                        if let Some(start) = t_lo[i] {
+                            tau = Some((obs.interactions - start) as f64);
                         }
                     }
                 }
-            }
+                tau.is_none()
+            });
             tau
         },
     );
@@ -229,17 +238,18 @@ pub fn lemma33_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma33Ce
 pub fn lemma33_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(10_000));
     let seeds = args.unless_quick(args.seeds, 2);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let ks = match args.k {
         Some(k) => vec![k],
         None => default_k_grid(n),
     };
     let cells = runner::sweep(args.seed, ks, |_, &k, _| {
-        lemma33_cell(n, k, seeds, args.seed)
+        lemma33_cell(backend, n, k, seeds, args.seed)
     });
 
     let mut report = Report::new();
     report.heading(format!(
-        "E4 / Lemma 3.3: opinion growth 3n/2k -> 2n/k needs >= kn/25, n={}",
+        "E4 / Lemma 3.3: opinion growth 3n/2k -> 2n/k needs >= kn/25, n={}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -288,8 +298,15 @@ pub struct Lemma34Cell {
     pub min_doubling_kn: f64,
 }
 
-/// Run E5 for one (n, k): record the max-gap level-crossing ladder.
-pub fn lemma34_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma34Cell {
+/// Run E5 for one (n, k) on the chosen backend: record the max-gap
+/// level-crossing ladder.
+pub fn lemma34_cell(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seeds: u64,
+    master_seed: u64,
+) -> Lemma34Cell {
     let alpha0 = theory::sqrt_n_log_n(n).max(1) as f64;
     // Ladder until the Theorem 3.5 cap n^(3/4)/√k.
     let cap = (n as f64).powf(0.75) / (k as f64).sqrt();
@@ -309,33 +326,26 @@ pub fn lemma34_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma34Ce
         seeds,
         |_rep, rng| {
             let config = InitialConfigBuilder::new(n, k).figure1();
-            let mut sim = SkipAheadUsd::new(&config);
+            let mut sim = make_simulator(backend, &config);
             let budget = crate::fig1::default_budget(n, k);
             let mut crossings: Vec<Option<u64>> = vec![None; n_levels + 1];
             // crossings[0] = first time gap >= alpha0; crossings[l+1] for
             // levels[l].
-            while sim.interactions() < budget {
-                match sim.step_effective(rng) {
-                    None => break,
-                    Some(_) => {
-                        let xs = sim.opinions();
-                        let max = xs.iter().max().copied().unwrap_or(0);
-                        let min = xs.iter().min().copied().unwrap_or(0);
-                        let gap = (max - min) as f64;
-                        if crossings[0].is_none() && gap >= alpha0 {
-                            crossings[0] = Some(sim.interactions());
-                        }
-                        for (l, &lvl) in levels.iter().enumerate() {
-                            if crossings[l + 1].is_none() && gap >= lvl {
-                                crossings[l + 1] = Some(sim.interactions());
-                            }
-                        }
-                        if crossings[n_levels].is_some() || sim.is_silent() {
-                            break;
-                        }
+            sim.advance_observed(rng, budget, &mut |obs: &Observation<'_>| {
+                let xs = &obs.counts[..k];
+                let max = xs.iter().max().copied().unwrap_or(0);
+                let min = xs.iter().min().copied().unwrap_or(0);
+                let gap = (max - min) as f64;
+                if crossings[0].is_none() && gap >= alpha0 {
+                    crossings[0] = Some(obs.interactions);
+                }
+                for (l, &lvl) in levels.iter().enumerate() {
+                    if crossings[l + 1].is_none() && gap >= lvl {
+                        crossings[l + 1] = Some(obs.interactions);
                     }
                 }
-            }
+                crossings[n_levels].is_none()
+            });
             crossings
         },
     );
@@ -366,17 +376,18 @@ pub fn lemma34_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> Lemma34Ce
 pub fn lemma34_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(10_000));
     let seeds = args.unless_quick(args.seeds, 2);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let ks = match args.k {
         Some(k) => vec![k],
         None => default_k_grid(n),
     };
     let cells = runner::sweep(args.seed, ks, |_, &k, _| {
-        lemma34_cell(n, k, seeds, args.seed)
+        lemma34_cell(backend, n, k, seeds, args.seed)
     });
 
     let mut report = Report::new();
     report.heading(format!(
-        "E5 / Lemma 3.4: max-gap doubling needs >= kn/24 interactions, n={}",
+        "E5 / Lemma 3.4: max-gap doubling needs >= kn/24 interactions, n={}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -431,7 +442,7 @@ mod tests {
 
     #[test]
     fn lemma31_cell_within_bound_small() {
-        let cell = lemma31_cell(4_000, 4, 2, 1);
+        let cell = lemma31_cell(Backend::SkipAhead, 4_000, 4, 2, 1);
         assert!(cell.within_bound, "{cell:?}");
         assert!(cell.max_u_worst >= cell.plateau * 0.5);
         assert!(cell.max_u_worst <= 4_000.0);
@@ -441,7 +452,7 @@ mod tests {
 
     #[test]
     fn lemma33_cell_bound_holds_small() {
-        let cell = lemma33_cell(4_000, 4, 3, 2);
+        let cell = lemma33_cell(Backend::SkipAhead, 4_000, 4, 3, 2);
         // The winner must cross in at least some runs.
         assert!(cell.crossings > 0, "no crossings observed");
         assert!(
@@ -453,7 +464,7 @@ mod tests {
 
     #[test]
     fn lemma34_cell_bound_holds_small() {
-        let cell = lemma34_cell(4_000, 4, 3, 3);
+        let cell = lemma34_cell(Backend::SkipAhead, 4_000, 4, 3, 3);
         if cell.min_doubling_kn.is_finite() {
             assert!(
                 cell.min_doubling_kn >= 1.0 / 24.0,
@@ -462,6 +473,32 @@ mod tests {
             );
         }
         assert!(!cell.doubling_times_kn.is_empty());
+    }
+
+    #[test]
+    fn lemma_probes_run_on_the_exact_backends() {
+        // The observation layer makes the lemma probes backend-agnostic:
+        // the same cell runs on the reference engine, the countwise
+        // engine, and the graph engine's clique instance, with the
+        // measured quantity staying inside the paper's bound on all of
+        // them. (The leaping engines, whose checkpoint granularity needs
+        // a block slack on the crossing bound, are covered by the tier-1
+        // tests/lemma_smoke.rs.)
+        for backend in [Backend::Sequential, Backend::Count, Backend::Graph] {
+            let cell = lemma31_cell(backend, 2_000, 4, 1, 7);
+            assert!(cell.within_bound, "{backend}: {cell:?}");
+            assert!(
+                cell.max_u_worst >= cell.plateau * 0.5,
+                "{backend}: implausibly small max u {cell:?}"
+            );
+            let c33 = lemma33_cell(backend, 2_000, 4, 2, 8);
+            assert!(c33.crossings > 0, "{backend}: no crossings observed");
+            assert!(
+                c33.min_tau_over_kn >= 1.0 / 25.0,
+                "{backend}: lemma violated: {}",
+                c33.min_tau_over_kn
+            );
+        }
     }
 
     #[test]

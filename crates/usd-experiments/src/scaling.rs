@@ -17,9 +17,9 @@ use sim_stats::regression::{loglog_fit, ols_fit};
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
-use usd_core::dynamics::SkipAheadUsd;
+use usd_core::backend::{stabilize_with_backend, Backend};
 use usd_core::init::InitialConfigBuilder;
-use usd_core::stabilization::{stabilize, ConsensusOutcome};
+use usd_core::stabilization::ConsensusOutcome;
 use usd_core::theory::Bounds;
 
 /// One measured sweep cell.
@@ -41,8 +41,15 @@ pub struct ScalingCell {
     pub stabilized_rate: f64,
 }
 
-/// Measure stabilization from the paper's lower-bound family at `(n, k)`.
-pub fn measure_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> ScalingCell {
+/// Measure stabilization from the paper's lower-bound family at `(n, k)`
+/// on the chosen backend.
+pub fn measure_cell(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seeds: u64,
+    master_seed: u64,
+) -> ScalingCell {
     let builder = InitialConfigBuilder::new(n, k);
     let config = builder.max_admissible_bias();
     let bias = config.bias();
@@ -50,9 +57,8 @@ pub fn measure_cell(n: u64, k: usize, seeds: u64, master_seed: u64) -> ScalingCe
         master_seed ^ ((k as u64) << 40) ^ n,
         seeds,
         |_rep, rng: &mut SimRng| {
-            let mut sim = SkipAheadUsd::new(&config);
             let budget = crate::fig1::default_budget(n, k);
-            let result = stabilize(&mut sim, rng, budget);
+            let result = stabilize_with_backend(backend, &config, rng, budget);
             (
                 result.parallel_time(n),
                 result.plurality_won(),
@@ -95,17 +101,18 @@ pub fn scaling_k_grid(n: u64) -> Vec<usize> {
 pub fn thm35_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(8_000));
     let seeds = args.unless_quick(args.seeds, 2);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let ks = match args.k {
         Some(k) => vec![k],
         None => scaling_k_grid(n),
     };
     let cells = runner::sweep(args.seed, ks, |_, &k, _| {
-        measure_cell(n, k, seeds, args.seed)
+        measure_cell(backend, n, k, seeds, args.seed)
     });
 
     let mut report = Report::new();
     report.heading(format!(
-        "E6 / Theorem 3.5: stabilization-time scaling, n={}",
+        "E6 / Theorem 3.5: stabilization-time scaling, n={}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -170,17 +177,18 @@ pub fn thm35_report(args: &ExpArgs) -> Report {
 pub fn tightness_report(args: &ExpArgs) -> Report {
     let n = args.unless_quick(args.n, args.n.min(8_000));
     let seeds = args.unless_quick(args.seeds, 2);
+    let backend = args.clique_backend_or(Backend::SkipAhead, n);
     let ks = match args.k {
         Some(k) => vec![k],
         None => scaling_k_grid(n),
     };
     let cells = runner::sweep(args.seed, ks, |_, &k, _| {
-        measure_cell(n, k, seeds, args.seed)
+        measure_cell(backend, n, k, seeds, args.seed)
     });
 
     let mut report = Report::new();
     report.heading(format!(
-        "E7 / Tightness band: measured time vs lower and upper bounds, n={}",
+        "E7 / Tightness band: measured time vs lower and upper bounds, n={}, backend={backend}",
         fmt_thousands(n)
     ));
     report.text(
@@ -234,6 +242,7 @@ pub fn tightness_report(args: &ExpArgs) -> Report {
 pub fn k2_report(args: &ExpArgs) -> Report {
     let seeds = args.unless_quick(args.seeds.max(5), 3);
     let max_n = args.unless_quick(args.n.max(64_000), 8_000);
+    let backend = args.clique_backend_or(Backend::SkipAhead, max_n);
     // Geometric n grid from 1000 up to max_n.
     let mut ns = Vec::new();
     let mut n = 1_000u64;
@@ -245,8 +254,8 @@ pub fn k2_report(args: &ExpArgs) -> Report {
         let builder = InitialConfigBuilder::new(n, 2);
         let config = builder.figure1();
         let times: Vec<f64> = runner::repeat(args.seed ^ n, seeds, |_rep, rng| {
-            let mut sim = SkipAheadUsd::new(&config);
-            let result = stabilize(&mut sim, rng, crate::fig1::default_budget(n, 2));
+            let result =
+                stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, 2));
             assert!(
                 !matches!(result.outcome, ConsensusOutcome::Timeout),
                 "k=2 run timed out"
@@ -304,7 +313,7 @@ mod tests {
 
     #[test]
     fn measured_cell_within_band() {
-        let cell = measure_cell(4_000, 4, 3, 1);
+        let cell = measure_cell(Backend::SkipAhead, 4_000, 4, 3, 1);
         assert_eq!(cell.stabilized_rate, 1.0);
         assert!(cell.plurality_win_rate > 0.5, "{cell:?}");
         let b = Bounds::new(4_000, 4);
@@ -328,14 +337,31 @@ mod tests {
 
     #[test]
     fn parallel_time_grows_with_k() {
-        let c4 = measure_cell(4_000, 4, 3, 2);
-        let c12 = measure_cell(4_000, 12, 3, 2);
+        let c4 = measure_cell(Backend::SkipAhead, 4_000, 4, 3, 2);
+        let c12 = measure_cell(Backend::SkipAhead, 4_000, 12, 3, 2);
         assert!(
             c12.parallel_mean > c4.parallel_mean,
             "k=12 ({}) not slower than k=4 ({})",
             c12.parallel_mean,
             c4.parallel_mean
         );
+    }
+
+    #[test]
+    fn scaling_cell_runs_on_the_leaping_backends() {
+        // The scaling sweeps are pure stabilization measurements, so every
+        // generic backend drives them; the leaping engines must agree with
+        // the reference on the measured scale.
+        let reference = measure_cell(Backend::Sequential, 2_000, 4, 3, 6);
+        for backend in [Backend::Batch, Backend::BatchGraph] {
+            let cell = measure_cell(backend, 2_000, 4, 3, 6);
+            assert_eq!(cell.stabilized_rate, 1.0, "{backend}");
+            let ratio = cell.parallel_mean / reference.parallel_mean;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{backend} diverges from sequential: {ratio}"
+            );
+        }
     }
 
     #[test]

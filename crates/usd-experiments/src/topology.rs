@@ -47,6 +47,31 @@ pub struct TopologyCell {
     pub degenerate_rate: f64,
 }
 
+/// Validate an E14 flag combination before running anything: the backend
+/// must be topology-capable and `--degree` must target a
+/// degree-parameterized family. Binaries call this up front and exit
+/// non-zero on `Err` instead of silently falling back (or panicking deep
+/// inside the sweep).
+pub fn validate_args(args: &ExpArgs) -> Result<(), String> {
+    let backend = args.backend_or(Backend::BatchGraph);
+    if !backend.supports_topologies() {
+        return Err(format!(
+            "--backend {backend} cannot run graph topologies \
+             (use graph, batchgraph, or agent)"
+        ));
+    }
+    if let (Some(family), Some(d)) = (args.topology, args.degree) {
+        if !family.takes_degree() {
+            return Err(format!(
+                "--degree {d} has no effect on --topology {}: only the \
+                 regular and er families take a degree",
+                family.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The family grid for a run: `--topology` restricts to one family
 /// (with `--degree` applied); the default is the sparse sweep set.
 pub fn families(args: &ExpArgs) -> Vec<TopologyFamily> {
@@ -327,6 +352,30 @@ pub fn topology_report(args: &ExpArgs) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_args_rejects_bad_combinations() {
+        let ok = ExpArgs::default();
+        assert!(validate_args(&ok).is_ok());
+        let bad_backend = ExpArgs {
+            backend: Some(Backend::Batch),
+            ..ExpArgs::default()
+        };
+        assert!(validate_args(&bad_backend).is_err());
+        let degree_on_cycle = ExpArgs {
+            topology: Some(TopologyFamily::Cycle),
+            degree: Some(4),
+            ..ExpArgs::default()
+        };
+        assert!(validate_args(&degree_on_cycle).is_err());
+        let degree_on_regular = ExpArgs {
+            topology: Some(TopologyFamily::Regular { d: 8 }),
+            degree: Some(4),
+            backend: Some(Backend::Graph),
+            ..ExpArgs::default()
+        };
+        assert!(validate_args(&degree_on_regular).is_ok());
+    }
 
     #[test]
     fn families_respect_restriction_and_degree() {
