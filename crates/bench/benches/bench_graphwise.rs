@@ -144,5 +144,51 @@ fn bench_noop_dominated(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_expander, bench_noop_dominated);
+/// Sparse-phase *effective-event* throughput: full stabilization from the
+/// frontier configuration, so every measured event goes through the shared
+/// block-leaping skipper (deferred coalesced Fenwick updates, cached-log
+/// geometric skips). This is the hot path PR 5 batched — the gated
+/// `bench_backends` rows measure the same regime at n = 4096; this
+/// micro-bench keeps a small instance in the Criterion suite for quick
+/// A/B runs.
+fn bench_sparse_stabilize(c: &mut Criterion) {
+    let n = 512usize;
+    let graph = TopologyFamily::Cycle.build(n, 0);
+
+    let mut group = c.benchmark_group("graphwise_sparse_stabilize");
+    group.bench_with_input(
+        BenchmarkId::new("graph", "cycle-frontier-512"),
+        &graph,
+        |b, g| {
+            b.iter(|| {
+                let mut rng = SimRng::new(3);
+                let mut sim =
+                    GraphSimulator::new(UndecidedStateDynamics::new(2), g, frontier_states(n));
+                sim.run_to_silence(&mut rng, u64::MAX / 2);
+                black_box(sim.effective_interactions())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batchgraph", "cycle-frontier-512"),
+        &graph,
+        |b, g| {
+            b.iter(|| {
+                let mut rng = SimRng::new(3);
+                let mut sim =
+                    BatchGraphSimulator::new(UndecidedStateDynamics::new(2), g, frontier_states(n));
+                sim.run_to_silence(&mut rng, u64::MAX / 2);
+                black_box(sim.effective_interactions())
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_expander,
+    bench_noop_dominated,
+    bench_sparse_stabilize
+);
 criterion_main!(benches);

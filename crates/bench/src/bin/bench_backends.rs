@@ -24,7 +24,8 @@
 //! regressions are visible in review diffs.
 
 use pop_proto::{
-    AgentSimulator, BatchGraphSimulator, GraphScheduler, GraphSimulator, Simulator, TopologyFamily,
+    AgentSimulator, BatchGraphSimulator, Graph, GraphScheduler, GraphSimulator, Simulator,
+    TopologyFamily,
 };
 use sim_stats::rng::SimRng;
 use usd_core::backend::Backend;
@@ -99,26 +100,38 @@ fn topo_stabilize_row(backend: Backend, family: TopologyFamily, n: u64, k: usize
     }
 }
 
-/// Fixed scheduled-interaction drive on the cycle frontier (two opinion
-/// domains, only the two boundaries active): the no-op-dominated regime.
-fn cycle_frontier_row(backend: Backend, n: usize, target: u64) -> Row {
-    let graph = TopologyFamily::Cycle.build(n, 0);
+/// Build a graph-engine simulator over explicit per-agent states.
+fn explicit_sim(backend: Backend, graph: &Graph, states: Vec<usize>) -> Box<dyn Simulator> {
+    let proto = UndecidedStateDynamics::new(2);
+    match backend {
+        Backend::Agent => Box::new(AgentSimulator::new(
+            proto,
+            GraphScheduler::new(graph.clone()),
+            states,
+        )),
+        Backend::Graph => Box::new(GraphSimulator::new(proto, graph, states)),
+        Backend::BatchGraph => Box::new(BatchGraphSimulator::new(proto, graph, states)),
+        other => panic!("{other} cannot run graph topologies"),
+    }
+}
+
+/// Cycle-frontier states: two opinion domains filling half the ring each,
+/// so only the two domain boundaries are active (W ≤ 8 of 2m
+/// orientations) — the canonical no-op-dominated configuration.
+fn frontier_states(n: usize) -> Vec<usize> {
     let mut states = vec![0usize; n];
     for s in states.iter_mut().skip(n / 2) {
         *s = 1;
     }
-    let proto = UndecidedStateDynamics::new(2);
+    states
+}
+
+/// Fixed scheduled-interaction drive on the cycle frontier (two opinion
+/// domains, only the two boundaries active): the no-op-dominated regime.
+fn cycle_frontier_row(backend: Backend, n: usize, target: u64) -> Row {
+    let graph = TopologyFamily::Cycle.build(n, 0);
     let mut rng = SimRng::new(2);
-    let mut sim: Box<dyn Simulator> = match backend {
-        Backend::Agent => Box::new(AgentSimulator::new(
-            proto,
-            GraphScheduler::new(graph),
-            states,
-        )),
-        Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
-        Backend::BatchGraph => Box::new(BatchGraphSimulator::new(proto, &graph, states)),
-        other => panic!("{other} cannot run graph topologies"),
-    };
+    let mut sim = explicit_sim(backend, &graph, frontier_states(n));
     let start = std::time::Instant::now();
     loop {
         let done = sim.interactions();
@@ -134,6 +147,56 @@ fn cycle_frontier_row(backend: Backend, n: usize, target: u64) -> Row {
         topology: "cycle-frontier".to_string(),
         n: n as u64,
         mode: "target",
+        wall_s: start.elapsed().as_secs_f64(),
+        scheduled: sim.interactions(),
+        effective: sim.effective_interactions(),
+    }
+}
+
+/// Full stabilization from the cycle-frontier configuration: the boundary
+/// random walks must meet, so the whole run is sparse-phase work — the
+/// scenario the shared block-leaping skipper (PR 5) is gated on.
+fn frontier_stabilize_row(backend: Backend, n: usize) -> Row {
+    let graph = TopologyFamily::Cycle.build(n, 0);
+    let mut rng = SimRng::new(4);
+    let mut sim = explicit_sim(backend, &graph, frontier_states(n));
+    let start = std::time::Instant::now();
+    sim.run_to_silence(&mut rng, u64::MAX / 2);
+    Row {
+        backend: backend.name(),
+        topology: "cycle-frontier".to_string(),
+        n: n as u64,
+        mode: "stabilize",
+        wall_s: start.elapsed().as_secs_f64(),
+        scheduled: sim.interactions(),
+        effective: sim.effective_interactions(),
+    }
+}
+
+/// Torus endgame stabilization: one minority square patch on an
+/// otherwise-converged torus. Eliminating the patch is boundary-driven
+/// coarsening — activity stays collapsed at the patch perimeter, so the
+/// run lives almost entirely in the sparse skipper (the other gated
+/// no-op-dominated scenario).
+fn torus_endgame_row(backend: Backend, n: usize, patch: usize) -> Row {
+    let n = TopologyFamily::Torus.snap_n(n);
+    let side = (n as f64).sqrt() as usize;
+    let graph = TopologyFamily::Torus.build(n, 0);
+    let mut states = vec![0usize; n];
+    for r in 0..patch.min(side) {
+        for c in 0..patch.min(side) {
+            states[r * side + c] = 1;
+        }
+    }
+    let mut rng = SimRng::new(5);
+    let mut sim = explicit_sim(backend, &graph, states);
+    let start = std::time::Instant::now();
+    sim.run_to_silence(&mut rng, u64::MAX / 2);
+    Row {
+        backend: backend.name(),
+        topology: "torus-endgame".to_string(),
+        n: n as u64,
+        mode: "stabilize",
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
@@ -171,6 +234,12 @@ enum Work {
     },
     /// Fixed scheduled-interaction drive on the cycle frontier.
     Frontier { n: usize, target: u64 },
+    /// Stabilization from the cycle-frontier configuration (pure
+    /// sparse-phase work; gated).
+    FrontierStabilize { n: usize },
+    /// Stabilization of a torus endgame: one minority patch on an
+    /// otherwise-converged torus (sparse-phase dominated; gated).
+    TorusEndgame { n: usize, patch: usize },
     /// Clique stabilization through the generic entry point.
     Clique { n: u64, k: usize },
 }
@@ -186,7 +255,8 @@ impl Scenario {
     fn topology_label(&self) -> String {
         match self.work {
             Work::TopoStabilize { family, .. } => family.name(),
-            Work::Frontier { .. } => "cycle-frontier".to_string(),
+            Work::Frontier { .. } | Work::FrontierStabilize { .. } => "cycle-frontier".to_string(),
+            Work::TorusEndgame { .. } => "torus-endgame".to_string(),
             Work::Clique { .. } => "clique".to_string(),
         }
     }
@@ -195,6 +265,8 @@ impl Scenario {
         match self.work {
             Work::TopoStabilize { family, n, k } => topo_stabilize_row(self.backend, family, n, k),
             Work::Frontier { n, target } => cycle_frontier_row(self.backend, n, target),
+            Work::FrontierStabilize { n } => frontier_stabilize_row(self.backend, n),
+            Work::TorusEndgame { n, patch } => torus_endgame_row(self.backend, n, patch),
             Work::Clique { n, k } => clique_row(self.backend, n, k),
         }
     }
@@ -221,6 +293,16 @@ fn scenario_set(quick: bool) -> Vec<Scenario> {
                     n: 16_384,
                     target: 2_000_000,
                 },
+            });
+        }
+        for backend in [Backend::Graph, Backend::BatchGraph] {
+            set.push(Scenario {
+                backend,
+                work: Work::FrontierStabilize { n: 512 },
+            });
+            set.push(Scenario {
+                backend,
+                work: Work::TorusEndgame { n: 4_096, patch: 8 },
             });
         }
         for backend in [Backend::Batch, Backend::SkipAhead] {
@@ -258,6 +340,21 @@ fn scenario_set(quick: bool) -> Vec<Scenario> {
                     family: TopologyFamily::Torus,
                     n: 65_536,
                     k: 2,
+                },
+            });
+            // The no-op-dominated *stabilization* rows (PR 5): pure
+            // sparse-phase runs, so the shared block-leaping skipper is
+            // inside the >40% regression gate, not just the ungated
+            // target-mode frontier drive.
+            set.push(Scenario {
+                backend,
+                work: Work::FrontierStabilize { n: 4_096 },
+            });
+            set.push(Scenario {
+                backend,
+                work: Work::TorusEndgame {
+                    n: 65_536,
+                    patch: 64,
                 },
             });
         }
@@ -448,6 +545,20 @@ mod tests {
         assert!(full
             .iter()
             .any(|s| matches!(s.work, Work::Clique { .. }) && s.backend == Backend::Batch));
+        // The no-op-dominated stabilization rows (PR 5) must be pinned in
+        // both grids for both graph engines — they are what puts the
+        // shared sparse skipper inside the regression gate.
+        for set in [&quick, &full] {
+            for backend in [Backend::Graph, Backend::BatchGraph] {
+                assert!(set
+                    .iter()
+                    .any(|s| s.backend == backend
+                        && matches!(s.work, Work::FrontierStabilize { .. })));
+                assert!(set
+                    .iter()
+                    .any(|s| s.backend == backend && matches!(s.work, Work::TorusEndgame { .. })));
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,15 @@
 //! ```text
 //! cargo run --release -p usd-bench --bin bench_compare -- \
 //!     <baseline.json> <candidate.json> [--threshold <frac>]
+//!     [--summary <path>]
 //! ```
+//!
+//! `--summary <path>` additionally **appends** a markdown per-scenario
+//! ratio table to `path` (created if missing) — pass
+//! `"$GITHUB_STEP_SUMMARY"` in CI and the gate verdict renders on the run
+//! page, pass or fail, without downloading artifacts. The summary is
+//! written before the exit code is decided, so a failing gate still
+//! reports its table.
 //!
 //! Matches rows by `(backend, topology, n, mode)` and, for every
 //! **stabilization** row present in both files, compares the candidate's
@@ -154,10 +162,63 @@ fn compare(
     Ok(out)
 }
 
+/// Append `doc` to the summary file (`$GITHUB_STEP_SUMMARY` is append-
+/// oriented: other steps may have written before us). Creates the file if
+/// missing; a write failure is reported but does not change the gate
+/// verdict.
+fn append_summary(path: &str, doc: &str) {
+    use std::io::Write;
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(doc.as_bytes()));
+    match written {
+        Ok(()) => println!("wrote summary to {path}"),
+        Err(e) => eprintln!("cannot write summary {path}: {e}"),
+    }
+}
+
+/// Render the gate verdict as a markdown document (one table row per
+/// gated scenario, most-regressed first), for `$GITHUB_STEP_SUMMARY`.
+fn summary_markdown(comparisons: &[Comparison], threshold: f64) -> String {
+    let regressions = comparisons.iter().filter(|c| c.regressed).count();
+    let mut doc = String::from("## Perf-regression gate (`bench_compare`)\n\n");
+    doc.push_str(&format!(
+        "**{}** — {} stabilization row(s) gated against the committed \
+         baseline, {} regression(s) past the {:.0}% threshold.\n\n",
+        if regressions == 0 {
+            "PASS ✅"
+        } else {
+            "FAIL ❌"
+        },
+        comparisons.len(),
+        regressions,
+        threshold * 100.0
+    ));
+    doc.push_str("| scenario | baseline eff/s | candidate eff/s | ratio | verdict |\n");
+    doc.push_str("|---|---:|---:|---:|---|\n");
+    let mut rows: Vec<&Comparison> = comparisons.iter().collect();
+    rows.sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
+    for c in rows {
+        doc.push_str(&format!(
+            "| `{}` | {:.3e} | {:.3e} | {:.3} | {} |\n",
+            c.key,
+            c.baseline,
+            c.candidate,
+            c.ratio,
+            if c.regressed { "**REGRESSED**" } else { "ok" }
+        ));
+    }
+    doc.push('\n');
+    doc
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.40f64;
+    let mut summary: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -171,33 +232,46 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--summary" => match it.next() {
+                Some(path) if !path.is_empty() => summary = Some(path.clone()),
+                _ => {
+                    eprintln!("--summary needs a non-empty path");
+                    std::process::exit(2);
+                }
+            },
             other if !other.starts_with("--") => paths.push(other.to_string()),
             other => {
-                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>])");
+                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>])");
                 std::process::exit(2);
             }
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>]");
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>]");
         std::process::exit(2);
     }
+    // Every exit-2 path below reports through this, so a mis-set-up gate
+    // (unreadable/corrupt JSON, disjoint scenario sets) is visible on the
+    // run page too, not just in the step log.
+    let fail_setup = |e: String| -> ! {
+        if let Some(path) = &summary {
+            let doc = format!("## Perf-regression gate (`bench_compare`)\n\n**ERROR** — {e}\n");
+            append_summary(path, &doc);
+        }
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
     let read = |path: &str| -> Vec<CmpRow> {
-        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        });
-        parse_rows(&doc).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e}");
-            std::process::exit(2);
-        })
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail_setup(format!("cannot read {path}: {e}")));
+        parse_rows(&doc).unwrap_or_else(|e| fail_setup(format!("cannot parse {path}: {e}")))
     };
     let baseline = read(&paths[0]);
     let candidate = read(&paths[1]);
-    let comparisons = compare(&baseline, &candidate, threshold).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
+    let comparisons = compare(&baseline, &candidate, threshold).unwrap_or_else(|e| fail_setup(e));
+    if let Some(path) = &summary {
+        append_summary(path, &summary_markdown(&comparisons, threshold));
+    }
 
     println!(
         "{:<40} {:>14} {:>14} {:>8}  verdict (gate: ratio >= {:.2})",
@@ -334,5 +408,58 @@ mod tests {
     fn malformed_documents_are_rejected() {
         assert!(parse_rows("{}").is_err());
         assert!(parse_rows("{\"rows\": [{\"backend\":\"agent\"}]}").is_err());
+    }
+
+    #[test]
+    fn summary_markdown_renders_verdicts_most_regressed_first() {
+        let base = parse_rows(&doc(&[
+            ("agent", "regular:8", 100_000, "stabilize", 5.0e6),
+            ("graph", "cycle-frontier", 4_096, "stabilize", 1.2e7),
+            ("batchgraph", "torus-endgame", 65_536, "stabilize", 3.5e6),
+        ]))
+        .unwrap();
+        let cand = parse_rows(&doc(&[
+            ("agent", "regular:8", 100_000, "stabilize", 5.2e6), // ok
+            ("graph", "cycle-frontier", 4_096, "stabilize", 4.0e6), // -67%
+            ("batchgraph", "torus-endgame", 65_536, "stabilize", 3.4e6), // ok
+        ]))
+        .unwrap();
+        let cmp = compare(&base, &cand, 0.40).unwrap();
+        let md = summary_markdown(&cmp, 0.40);
+        assert!(md.contains("FAIL ❌"), "{md}");
+        assert!(md.contains("1 regression(s) past the 40% threshold"));
+        assert!(md.contains("| scenario | baseline eff/s | candidate eff/s | ratio | verdict |"));
+        assert!(md.contains("**REGRESSED**"));
+        // Most-regressed row sorts first.
+        let first_row = md
+            .lines()
+            .find(|l| l.starts_with("| `"))
+            .expect("a data row");
+        assert!(
+            first_row.contains("cycle-frontier"),
+            "worst ratio not first: {first_row}"
+        );
+        // A clean comparison renders PASS.
+        let clean = compare(&base, &base, 0.40).unwrap();
+        let md = summary_markdown(&clean, 0.40);
+        assert!(md.contains("PASS ✅"), "{md}");
+        assert!(!md.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn append_summary_creates_and_appends() {
+        let dir =
+            std::env::temp_dir().join(format!("bench_compare_summary_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.md");
+        let path_str = path.to_str().unwrap();
+        append_summary(path_str, "first\n");
+        append_summary(path_str, "second\n");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            content, "first\nsecond\n",
+            "summary must append, not truncate"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

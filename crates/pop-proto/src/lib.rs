@@ -86,7 +86,7 @@ pub use sampling::{AliasTable, FenwickSampler};
 pub use scheduler::{CliqueScheduler, GraphScheduler, Scheduler};
 pub use simulator::{
     AgentSimulator, BatchGraphSimulator, BatchSimulator, CountSimulator, GraphSimulator,
-    InteractionRecord, Simulator,
+    InteractionRecord, Simulator, StateWord, WideBatchGraphSimulator,
 };
 pub use stopping::{RunOutcome, StopReason, Stopper};
 pub use topology::TopologyFamily;

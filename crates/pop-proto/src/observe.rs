@@ -17,14 +17,20 @@
 //! | `agent`, `count`, `seq` | every interaction | always ≤ 1 (**exact**) |
 //! | `skip` | every effective event | always 1 (**exact**) |
 //! | `graph` | every effective event (dense and sparse phase) | always 1 (**exact**) |
-//! | `batch`, `batchgraph` | block boundary | ≥ 1 (**checkpoint**) |
+//! | `batch` | block boundary (~√n draws) | ≥ 1 (**checkpoint**) |
+//! | `batchgraph` | block boundary in *both* phases (~√n draws dense, ≤ 64 events sparse) | ≥ 1 (**checkpoint**) |
 //!
 //! On the exact backends an observer sees every effective event
 //! individually, so first-crossing times and running extrema are exact to
 //! the interaction. On the leaping engines (`batch`, `batchgraph`) a
-//! boundary summarizes a whole block of ~√n interactions; crossing times
+//! boundary summarizes a whole block of ~√n interactions — and, since the
+//! sparse phase became block-leaping too (PR 5), a `batchgraph` sparse
+//! boundary summarizes up to 64 effective events; crossing times
 //! measured through them are accurate to one block, and an intra-block
-//! excursion that retreats before the boundary is invisible. Observers
+//! excursion that retreats before the boundary is invisible. `graph`
+//! keeps its exact per-event boundaries in the sparse phase — the shared
+//! skipper's Fenwick amortization persists across advancements, so
+//! exactness costs no throughput there. Observers
 //! that need a finer cadence on the leaping engines can bound the
 //! advancement stride via [`SimObserver::max_stride`] (at the cost of
 //! shorter leaps); [`Observation::is_exact`] tells the two regimes apart

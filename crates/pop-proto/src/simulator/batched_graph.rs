@@ -47,38 +47,104 @@
 //! on expanders: 30–55 % of draws effective). When activity collapses —
 //! endgames, low-conductance frontiers — almost every scanned draw is a
 //! no-op and scanning stops paying; a run of
-//! [`SPARSE_TRIGGER_NOOPS`](super::graphwise) consecutive no-op draws
-//! escalates to exactly the Fenwick sparse skipper of
-//! [`GraphSimulator`](crate::simulator::GraphSimulator) (geometric skips
-//! over no-op runs, O(d log m) per effective interaction), and the same
-//! hysteresis band hands control back to the block engine when the
-//! activity fraction recovers. Both phases simulate the same chain; the
-//! switch is purely a cost-model decision.
+//! [`SPARSE_TRIGGER_NOOPS`](super::sparse) consecutive no-op draws
+//! escalates to the shared block-leaping sparse engine
+//! ([`SparseSkipper`](super::sparse)) that [`GraphSimulator`] uses too:
+//! exact geometric skips over no-op runs, effective events drawn from the
+//! exact weighted law, and Fenwick updates deferred into per-block batched
+//! passes. This engine drives the skipper a **block of effective events at
+//! a time** (up to [`SPARSE_BLOCK_EVENTS`](super::sparse) per advancement,
+//! the sparse twin of its dense block leaping), and the same hysteresis
+//! band hands control back to the dense block engine when the activity
+//! fraction recovers. Both phases simulate the same chain; the switch is
+//! purely a cost-model decision.
 //!
 //! # Exactness
 //!
 //! Every scanned draw is a literal scheduled interaction: clean draws use
 //! block-start states that provably equal current states, dirty draws use
-//! re-read current states, and the sparse phase inherits the graphwise
-//! engine's exact geometric/conditional machinery. The induced chain on
-//! agent states is identical to [`GraphSimulator`]'s — verified by KS
-//! equivalence on the complete graph, a random 8-regular graph, and the
-//! torus in `tests/topology_equivalence.rs`, and by the matching property
-//! tests below.
+//! re-read current states, and the sparse phase inherits the shared
+//! skipper's exact geometric/conditional machinery (the deferred Fenwick
+//! updates change *when* the tree materializes the weights, never the
+//! weights sampling sees). The induced chain on agent states is identical
+//! to [`GraphSimulator`]'s — verified by KS equivalence on the complete
+//! graph, a random 8-regular graph, the cycle, and the torus in
+//! `tests/topology_equivalence.rs`, and by the matching property tests
+//! below.
 //!
 //! One clock convention is inherited from the graphwise engine: silence
 //! stops the clock. A chunk whose last effective interaction silences the
 //! configuration discards its trailing (provably no-op) draws from the
 //! clock, so stabilization times report the interaction *at which silence
 //! was reached*, exactly as the per-event engines do.
+//!
+//! # State packing
+//!
+//! The per-agent state array — the scan's hottest random-access target —
+//! is stored through the [`StateWord`] packing parameter: one byte for
+//! protocols with ≤ 256 states (the default, cache-resident for any
+//! population the per-agent engines can hold), or the
+//! [`WideBatchGraphSimulator`] u16 fallback for alphabets up to 65 536
+//! states at twice the footprint. [`make_topology_simulator`] routes on
+//! `k` automatically, so large-alphabet protocols batch instead of being
+//! rejected.
+//!
+//! [`make_topology_simulator`]: ../../usd_core/backend/fn.make_topology_simulator.html
 
 use crate::config::CountConfig;
 use crate::graph::Graph;
 use crate::protocol::Protocol;
-use crate::sampling::FenwickSampler;
-use crate::simulator::graphwise::{DENSE_ENTER_INV, SPARSE_TRIGGER_NOOPS};
+use crate::simulator::sparse::{
+    orient_event, SparseSkipper, SparseStep, SPARSE_BLOCK_EVENTS, SPARSE_TRIGGER_NOOPS,
+};
 use crate::simulator::{shuffled_layout, Simulator};
 use sim_stats::rng::SimRng;
+
+/// Packed storage width for the batch-graph engine's per-agent state array.
+///
+/// The scan gathers endpoint states by random access, so the array's cache
+/// footprint is the engine's hottest constant: `u8` (the default) keeps it
+/// to one byte per agent for protocols with at most 256 states, and `u16`
+/// (see [`WideBatchGraphSimulator`]) lifts the alphabet cap to 65 536
+/// states at twice the footprint.
+pub trait StateWord: Copy + Eq + std::fmt::Debug + Send + Sync + 'static {
+    /// Largest protocol alphabet this width can index.
+    const LIMIT: usize;
+
+    /// Pack a dense state index (caller guarantees `s < Self::LIMIT`).
+    fn pack(s: usize) -> Self;
+
+    /// Unpack back to the dense state index.
+    fn unpack(self) -> usize;
+}
+
+impl StateWord for u8 {
+    const LIMIT: usize = 256;
+
+    #[inline(always)]
+    fn pack(s: usize) -> Self {
+        s as u8
+    }
+
+    #[inline(always)]
+    fn unpack(self) -> usize {
+        self as usize
+    }
+}
+
+impl StateWord for u16 {
+    const LIMIT: usize = 65_536;
+
+    #[inline(always)]
+    fn pack(s: usize) -> Self {
+        s as u16
+    }
+
+    #[inline(always)]
+    fn unpack(self) -> usize {
+        self as usize
+    }
+}
 
 /// Bounds on the pre-generated chunk length. The target is the birthday
 /// scale √n (blocks rarely survive much longer), clamped so tiny graphs
@@ -87,21 +153,30 @@ use sim_stats::rng::SimRng;
 const CHUNK_MIN: usize = 64;
 const CHUNK_MAX: usize = 4096;
 
+/// The u16 state-packing fallback of [`BatchGraphSimulator`] for protocols
+/// with more than 256 (and up to 65 536) states — same engine, twice the
+/// state-array footprint. Construct via
+/// [`BatchGraphSimulator::with_states`] /
+/// [`BatchGraphSimulator::with_config_shuffled`] through this alias.
+pub type WideBatchGraphSimulator<P> = BatchGraphSimulator<P, u16>;
+
 /// Batch-leaping simulator for graph-restricted schedulers.
 ///
 /// Memory is O(n + m) plus O(√n) scan buffers; the block phase costs O(1)
 /// per scheduled interaction with the per-draw constant driven down by
-/// batched RNG and overlapped gathers, and the sparse phase costs
-/// O(d log m) per **effective** interaction. See the module docs
-/// for the block machinery and its exactness argument.
+/// batched RNG and overlapped gathers, and the sparse phase costs the
+/// shared skipper's amortized O(d log m) per **effective** interaction.
+/// See the module docs for the block machinery and its exactness argument.
 ///
 /// Observation granularity
 /// ([`advance_observed`](crate::Simulator::advance_observed)):
-/// **checkpoint** in the block phase — one observation summarizes every
-/// effective event of a ~√n-draw block — and exact per-effective-event
-/// while the sparse skipper is active.
+/// **checkpoint** in both phases — one observation summarizes every
+/// effective event of a ~√n-draw block (dense phase) or of an up-to-64-
+/// event sparse block (`SPARSE_BLOCK_EVENTS` in the private `sparse`
+/// module). Use the `graph` engine when exact per-event observation
+/// matters.
 #[derive(Debug, Clone)]
-pub struct BatchGraphSimulator<P: Protocol> {
+pub struct BatchGraphSimulator<P: Protocol, S: StateWord = u8> {
     protocol: P,
     /// The graph's edge list (unordered endpoint pairs).
     edges: Vec<(u32, u32)>,
@@ -109,16 +184,13 @@ pub struct BatchGraphSimulator<P: Protocol> {
     offsets: Vec<u32>,
     /// CSR adjacency entries: `(neighbor, edge index)`.
     adj: Vec<(u32, u32)>,
-    /// Dense state index per agent (one byte: the engine supports
-    /// protocols with at most 256 states, keeping this array — the scan's
-    /// hottest random-access target — inside the last-level cache for any
-    /// population the per-agent engines can hold).
-    states: Vec<u8>,
+    /// Packed dense state index per agent (see [`StateWord`]).
+    states: Vec<S>,
     /// Per-state counts, kept in sync with `states`.
     counts: Vec<u64>,
-    /// Fenwick tree over per-edge active-orientation weights; live only in
-    /// the sparse phase (see [`GraphSimulator`](super::GraphSimulator)).
-    fenwick: Option<FenwickSampler>,
+    /// Shared sparse-phase engine (`SparseSkipper`); live only in the
+    /// sparse phase.
+    sparse: Option<SparseSkipper>,
     /// Consecutive no-op draws (sparse trigger, shared with graphwise).
     noop_run: u32,
     k: usize,
@@ -126,7 +198,7 @@ pub struct BatchGraphSimulator<P: Protocol> {
     effective_interactions: u64,
     /// Cached `transition_indices` for all ordered state pairs
     /// (`table[i * k + j]`).
-    table: Vec<(u8, u8)>,
+    table: Vec<(S, S)>,
     /// Whether `(i, j)` is a no-op (`noop[i * k + j]`).
     noop: Vec<bool>,
     /// Chunk length for this population (≈ √n, clamped).
@@ -145,18 +217,20 @@ pub struct BatchGraphSimulator<P: Protocol> {
     /// Reusable buffer: gathered oriented endpoints of the current chunk.
     ends: Vec<(u32, u32)>,
     /// Reusable buffer: gathered endpoint states of the current chunk.
-    pair_states: Vec<(u8, u8)>,
+    pair_states: Vec<(S, S)>,
     /// Oriented endpoints of the current block's matching (bitmap clearing,
     /// diagnostics, and property tests; see
     /// [`BatchGraphSimulator::last_block_matching`]).
     block_events: Vec<(u32, u32)>,
 }
 
-impl<P: Protocol> BatchGraphSimulator<P> {
-    /// Create from explicit per-agent states (dense indices). The graph
-    /// must have at least one edge and as many vertices as there are
-    /// states.
-    pub fn new(protocol: P, graph: &Graph, states: Vec<usize>) -> Self {
+impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
+    /// Create from explicit per-agent states (dense indices) with this
+    /// packing width. The graph must have at least one edge and as many
+    /// vertices as there are states, and the protocol's alphabet must fit
+    /// the width (`k ≤ S::LIMIT`; use [`WideBatchGraphSimulator`] past
+    /// 256 states).
+    pub fn with_states(protocol: P, graph: &Graph, states: Vec<usize>) -> Self {
         assert_eq!(
             states.len(),
             graph.n(),
@@ -165,26 +239,26 @@ impl<P: Protocol> BatchGraphSimulator<P> {
         assert!(graph.num_edges() > 0, "batch-graph engine needs edges");
         let k = protocol.num_states();
         assert!(
-            k <= 256,
-            "the batch-graph engine packs states into one byte (k = {k} > 256); \
-             use GraphSimulator for larger alphabets"
+            k <= S::LIMIT,
+            "protocol alphabet k = {k} exceeds this packing width's limit {}",
+            S::LIMIT
         );
         let mut table = Vec::with_capacity(k * k);
         let mut noop = Vec::with_capacity(k * k);
         for i in 0..k {
             for j in 0..k {
                 let (a, b) = protocol.transition_indices(i, j);
-                table.push((a as u8, b as u8));
+                table.push((S::pack(a), S::pack(b)));
                 noop.push((a, b) == (i, j));
             }
         }
         let mut counts = vec![0u64; k];
-        let states: Vec<u8> = states
+        let states: Vec<S> = states
             .into_iter()
             .map(|s| {
                 assert!(s < k, "state index {s} out of range");
                 counts[s] += 1;
-                s as u8
+                S::pack(s)
             })
             .collect();
         let (offsets, adj) = graph.csr_adjacency();
@@ -200,7 +274,7 @@ impl<P: Protocol> BatchGraphSimulator<P> {
             adj,
             states,
             counts,
-            fenwick: None,
+            sparse: None,
             noop_run: 0,
             k,
             interactions: 0,
@@ -221,25 +295,14 @@ impl<P: Protocol> BatchGraphSimulator<P> {
     /// Create from a count configuration with a uniformly shuffled agent
     /// layout — the canonical initial law on non-clique topologies (see
     /// [`GraphSimulator::from_config_shuffled`](super::GraphSimulator::from_config_shuffled)).
-    pub fn from_config_shuffled(
+    pub fn with_config_shuffled(
         protocol: P,
         graph: &Graph,
         config: &CountConfig,
         rng: &mut SimRng,
     ) -> Self {
         let states = shuffled_layout(config, rng);
-        Self::new(protocol, graph, states)
-    }
-
-    /// Create from a count configuration with a block layout. Only
-    /// appropriate when the layout is irrelevant (the complete graph);
-    /// prefer [`BatchGraphSimulator::from_config_shuffled`] otherwise.
-    pub fn from_config(protocol: P, graph: &Graph, config: &CountConfig) -> Self {
-        let mut states = Vec::with_capacity(config.n() as usize);
-        for (idx, &c) in config.counts().iter().enumerate() {
-            states.extend(std::iter::repeat_n(idx, c as usize));
-        }
-        Self::new(protocol, graph, states)
+        Self::with_states(protocol, graph, states)
     }
 
     /// The protocol.
@@ -259,7 +322,7 @@ impl<P: Protocol> BatchGraphSimulator<P> {
 
     /// The state index of one agent.
     pub fn state_of_agent(&self, v: usize) -> usize {
-        self.states[v] as usize
+        self.states[v].unpack()
     }
 
     /// Per-state counts.
@@ -299,8 +362,8 @@ impl<P: Protocol> BatchGraphSimulator<P> {
     /// sparse phase; scans the edges in the block phase, where `W` is not
     /// maintained.
     pub fn active_weight(&self) -> u64 {
-        match &self.fenwick {
-            Some(f) => f.total(),
+        match &self.sparse {
+            Some(s) => s.total(),
             None => (0..self.edges.len()).map(|e| self.edge_weight(e)).sum(),
         }
     }
@@ -311,8 +374,8 @@ impl<P: Protocol> BatchGraphSimulator<P> {
     /// no-op-run escalation exactly as in
     /// [`GraphSimulator::is_silent`](super::GraphSimulator::is_silent).
     pub fn is_silent(&self) -> bool {
-        match &self.fenwick {
-            Some(f) => f.total() == 0,
+        match &self.sparse {
+            Some(s) => s.total() == 0,
             None => self.protocol.is_silent(&self.counts),
         }
     }
@@ -322,9 +385,23 @@ impl<P: Protocol> BatchGraphSimulator<P> {
     #[inline]
     fn edge_weight(&self, e: usize) -> u64 {
         let (a, b) = self.edges[e];
-        let sa = self.states[a as usize] as usize;
-        let sb = self.states[b as usize] as usize;
+        let sa = self.states[a as usize].unpack();
+        let sb = self.states[b as usize].unpack();
         (!self.noop[sa * self.k + sb]) as u64 + (!self.noop[sb * self.k + sa]) as u64
+    }
+
+    /// Verify the sparse skipper (if live) against per-edge weights
+    /// recomputed from the states — the deferred-update invariants the
+    /// property tests pin. O(m); `Ok` when the block phase is active.
+    #[doc(hidden)]
+    pub fn validate_sparse_invariants(&self) -> Result<(), String> {
+        match &self.sparse {
+            None => Ok(()),
+            Some(s) => {
+                let truth: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
+                s.check_consistent(&truth)
+            }
+        }
     }
 
     /// End the current chunk: clear its dirty bits (O(changed vertices),
@@ -337,66 +414,70 @@ impl<P: Protocol> BatchGraphSimulator<P> {
         self.dirty_list.clear();
     }
 
-    /// Re-weight the incident edges of vertex `v` in the Fenwick tree after
-    /// its state changed from `old` (the state array already holds the new
-    /// value). Sparse phase only.
+    /// Re-weight the incident edges of vertex `v` in the sparse skipper
+    /// after its state changed from `old` (the state array already holds
+    /// the new value). Unchanged edges are filtered with pure
+    /// transition-table math before the skipper is touched; the tree
+    /// update for changed ones is deferred and coalesced. Sparse phase
+    /// only.
     fn refresh_incident(&mut self, v: usize, old: usize) {
-        let t = self.states[v] as usize;
+        let t = self.states[v].unpack();
         let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        let sparse = self
+            .sparse
+            .as_mut()
+            .expect("sparse-phase refresh without a skipper");
         for idx in lo..hi {
             let (nb, e) = self.adj[idx];
             debug_assert_ne!(nb as usize, v, "self-loop");
-            let y = self.states[nb as usize] as usize;
+            let y = self.states[nb as usize].unpack();
             let was = (!self.noop[old * self.k + y]) as u64 + (!self.noop[y * self.k + old]) as u64;
             let now = (!self.noop[t * self.k + y]) as u64 + (!self.noop[y * self.k + t]) as u64;
             if was != now {
-                self.fenwick
-                    .as_mut()
-                    .expect("sparse-phase refresh without a tree")
-                    .add(e as usize, now as i64 - was as i64);
+                sparse.set_weight(e as usize, now);
             }
         }
     }
 
     /// Apply `f` to the oriented pair `(i → j)` from **current** states;
-    /// returns whether any state changed (re-weighting incident edges when
-    /// the tree is live). Used by the literal single step, the
-    /// dirty-endpoint fallback, and the sparse phase — not by the block
-    /// scan, which inlines the clean-draw fast path.
+    /// returns whether any state changed (reporting new incident weights
+    /// to the skipper when it is live). Used by the literal single step,
+    /// the dirty-endpoint fallback, and the sparse phase — not by the
+    /// block scan, which inlines the clean-draw fast path.
     fn apply_oriented(&mut self, i: usize, j: usize) -> bool {
-        let (si, sj) = (self.states[i] as usize, self.states[j] as usize);
+        let (si, sj) = (self.states[i].unpack(), self.states[j].unpack());
         if self.noop[si * self.k + sj] {
             return false;
         }
         let (ti, tj) = self.table[si * self.k + sj];
         self.counts[si] -= 1;
         self.counts[sj] -= 1;
-        self.counts[ti as usize] += 1;
-        self.counts[tj as usize] += 1;
+        self.counts[ti.unpack()] += 1;
+        self.counts[tj.unpack()] += 1;
         self.effective_interactions += 1;
-        if self.fenwick.is_none() {
+        if self.sparse.is_none() {
             self.states[i] = ti;
             self.states[j] = tj;
             return true;
         }
-        // One endpoint at a time so each Fenwick delta sees a consistent
-        // snapshot (same argument as the graphwise engine).
-        if ti as usize != si {
+        // One endpoint at a time so each new weight is computed against a
+        // consistent snapshot (same argument as the graphwise engine).
+        if ti.unpack() != si {
             self.states[i] = ti;
             self.refresh_incident(i, si);
         }
-        if tj as usize != sj {
+        if tj.unpack() != sj {
             self.states[j] = tj;
             self.refresh_incident(j, sj);
         }
         true
     }
 
-    /// Enter the sparse phase: scan the graph once and build the Fenwick
-    /// tree over per-edge active-orientation weights.
-    fn build_fenwick(&mut self) {
+    /// Enter the sparse phase: scan the graph once and hand the per-edge
+    /// active-orientation weights to a fresh [`SparseSkipper`].
+    fn enter_sparse(&mut self) {
         let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
-        self.fenwick = Some(FenwickSampler::new(&weights));
+        self.sparse = Some(SparseSkipper::new(&weights));
         self.noop_run = 0;
     }
 
@@ -415,49 +496,62 @@ impl<P: Protocol> BatchGraphSimulator<P> {
         self.apply_oriented(i, j)
     }
 
-    /// One sparse-phase advancement — the graphwise engine's geometric
-    /// skip + conditional effective draw, verbatim. Precondition: tree
-    /// live, `W > 0`, `max > 0`.
-    fn sparse_advance(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
-        let f = self.fenwick.as_ref().expect("sparse advance without tree");
-        let w = f.total();
-        let total = 2 * self.edges.len() as u64;
-        let p_eff = (w as f64 / total as f64).min(1.0);
-        let skipped = rng.geometric(p_eff);
-        if skipped >= max {
-            self.interactions += max;
-            return (max, false);
-        }
-        self.interactions += skipped + 1;
-        let f = self.fenwick.as_ref().expect("sparse advance without tree");
-        let e = f.sample(rng);
-        let two_sided = f.weight(e) == 2;
-        let (a, b) = self.edges[e];
-        let sa = self.states[a as usize] as usize;
-        let sb = self.states[b as usize] as usize;
-        let (i, j) = if two_sided {
-            if rng.bernoulli(0.5) {
-                (a as usize, b as usize)
-            } else {
-                (b as usize, a as usize)
+    /// Sparse-phase advancement, block-leaping: apply up to
+    /// [`SPARSE_BLOCK_EVENTS`] effective events (each preceded by its
+    /// exact geometric no-op skip) before returning, charging the
+    /// interaction clock once for the whole block. Stops early at the
+    /// horizon, at silence (the clock stops *at* the silencing event — the
+    /// per-event engines' convention, with no trailing skips drawn), or
+    /// when activity recovers past the hysteresis threshold. Returns
+    /// (interactions advanced, whether the counts changed). Precondition:
+    /// skipper live, `W > 0`, `max > 0`.
+    fn sparse_block(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        let mut advanced = 0u64;
+        let mut events = 0u64;
+        while events < SPARSE_BLOCK_EVENTS && advanced < max {
+            let sparse = self.sparse.as_mut().expect("sparse block without skipper");
+            if sparse.total() == 0 || sparse.should_exit_to_dense() {
+                break;
             }
-        } else if !self.noop[sa * self.k + sb] {
-            (a as usize, b as usize)
-        } else {
-            (b as usize, a as usize)
-        };
-        let changed = self.apply_oriented(i, j);
-        debug_assert!(changed, "sampled active orientation was a no-op");
-        (skipped + 1, true)
+            let e = match sparse.next_event(rng, max - advanced) {
+                SparseStep::Horizon => {
+                    advanced = max;
+                    break;
+                }
+                SparseStep::Event { consumed, edge } => {
+                    advanced += consumed;
+                    edge
+                }
+            };
+            let (a, b) = self.edges[e];
+            let sa = self.states[a as usize].unpack();
+            let sb = self.states[b as usize].unpack();
+            let (i, j) = orient_event(
+                rng,
+                a as usize,
+                b as usize,
+                !self.noop[sa * self.k + sb],
+                !self.noop[sb * self.k + sa],
+            );
+            let changed = self.apply_oriented(i, j);
+            debug_assert!(changed, "sampled active orientation was a no-op");
+            events += 1;
+            self.sparse
+                .as_mut()
+                .expect("sparse block without skipper")
+                .end_event();
+        }
+        self.interactions += advanced;
+        (advanced, events > 0)
     }
 
     /// Scan one pre-generated chunk of at most `max` scheduled draws.
     /// Returns `(advanced, changed, trigger)` where `trigger` reports that
     /// the consecutive-no-op escalation fired (the caller builds the
-    /// Fenwick).
+    /// sparse skipper).
     fn chunk_scan(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool, bool) {
         debug_assert!(max > 0);
-        debug_assert!(self.fenwick.is_none(), "chunk scan with a live tree");
+        debug_assert!(self.sparse.is_none(), "chunk scan with a live skipper");
         let m2 = 2 * self.edges.len() as u64;
         let k = self.k;
         let want = (self.chunk as u64).min(max) as usize;
@@ -524,7 +618,7 @@ impl<P: Protocol> BatchGraphSimulator<P> {
                 // Clean draw: the gathered chunk-start states are current.
                 pair_states[idx]
             };
-            let cell = si as usize * k + sj as usize;
+            let cell = si.unpack() * k + sj.unpack();
             if noop[cell] {
                 noop_run += 1;
                 if noop_run >= SPARSE_TRIGGER_NOOPS {
@@ -538,10 +632,10 @@ impl<P: Protocol> BatchGraphSimulator<P> {
             let (ti, tj) = table[cell];
             states[iv as usize] = ti;
             states[jv as usize] = tj;
-            counts[si as usize] -= 1;
-            counts[sj as usize] -= 1;
-            counts[ti as usize] += 1;
-            counts[tj as usize] += 1;
+            counts[si.unpack()] -= 1;
+            counts[sj.unpack()] -= 1;
+            counts[ti.unpack()] += 1;
+            counts[tj.unpack()] += 1;
             effective += 1;
             bitmap[ha >> 6] |= 1 << (ha & 63);
             bitmap[hb >> 6] |= 1 << (hb & 63);
@@ -581,16 +675,17 @@ impl<P: Protocol> BatchGraphSimulator<P> {
 
     /// Advance by at most `max` interactions using the cheapest exact
     /// mechanism for the current activity level (block leaping or the
-    /// sparse Fenwick skipper). Returns interactions advanced and whether
-    /// the counts changed. Once silence is *certified* (sparse phase,
-    /// `W = 0`) the clock stops: further calls return `(0, false)`. In the
-    /// block phase a silent-but-uncertified configuration still draws
-    /// genuine scheduled no-ops until the no-op-run trigger escalates and
-    /// certifies it (the same behaviour as the graphwise dense phase), so
-    /// the first call on such a configuration can advance the clock by up
-    /// to ~`SPARSE_TRIGGER_NOOPS` interactions —
-    /// drivers check `is_silent()` before advancing, which both `run_until`
-    /// and the stabilization entry points do.
+    /// shared sparse skipper, itself block-leaping). Returns interactions
+    /// advanced and whether the counts changed. Once silence is
+    /// *certified* (sparse phase, `W = 0`) the clock stops: further calls
+    /// return `(0, false)`. In the block phase a silent-but-uncertified
+    /// configuration still draws genuine scheduled no-ops until the
+    /// no-op-run trigger escalates and certifies it (the same behaviour as
+    /// the graphwise dense phase), so the first call on such a
+    /// configuration can advance the clock by up to
+    /// ~`SPARSE_TRIGGER_NOOPS` interactions — drivers check `is_silent()`
+    /// before advancing, which both `run_until` and the stabilization
+    /// entry points do.
     pub fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
         if max == 0 {
             return (0, false);
@@ -598,18 +693,17 @@ impl<P: Protocol> BatchGraphSimulator<P> {
         let mut advanced = 0u64;
         let mut changed = false;
         loop {
-            if let Some(f) = &self.fenwick {
-                let w = f.total();
-                if w == 0 {
+            if let Some(s) = &self.sparse {
+                if s.total() == 0 {
                     // Silent: stop the clock (see the graphwise engine).
                     return (advanced, changed);
                 }
-                if w * DENSE_ENTER_INV >= 2 * self.edges.len() as u64 {
+                if s.should_exit_to_dense() {
                     // Activity recovered: hand back to the block engine.
-                    self.fenwick = None;
+                    self.sparse = None;
                     self.noop_run = 0;
                 } else {
-                    let (leapt, ch) = self.sparse_advance(rng, max - advanced);
+                    let (leapt, ch) = self.sparse_block(rng, max - advanced);
                     return (advanced + leapt, changed || ch);
                 }
             }
@@ -621,7 +715,7 @@ impl<P: Protocol> BatchGraphSimulator<P> {
                 // to the sparse skipper. If the blocks already changed the
                 // counts, return so drivers re-evaluate their predicates
                 // first.
-                self.build_fenwick();
+                self.enter_sparse();
                 if changed || advanced >= max {
                     return (advanced, changed);
                 }
@@ -634,7 +728,41 @@ impl<P: Protocol> BatchGraphSimulator<P> {
     }
 }
 
-impl<P: Protocol> Simulator for BatchGraphSimulator<P> {
+impl<P: Protocol> BatchGraphSimulator<P> {
+    /// Create from explicit per-agent states (dense indices) with the
+    /// default one-byte packing. The graph must have at least one edge and
+    /// as many vertices as there are states; protocols with more than 256
+    /// states construct through the [`WideBatchGraphSimulator`] alias
+    /// instead (`make_topology_simulator` routes on `k` automatically).
+    pub fn new(protocol: P, graph: &Graph, states: Vec<usize>) -> Self {
+        Self::with_states(protocol, graph, states)
+    }
+
+    /// Create from a count configuration with a uniformly shuffled agent
+    /// layout (one-byte packing) — the canonical initial law on non-clique
+    /// topologies.
+    pub fn from_config_shuffled(
+        protocol: P,
+        graph: &Graph,
+        config: &CountConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        Self::with_config_shuffled(protocol, graph, config, rng)
+    }
+
+    /// Create from a count configuration with a block layout. Only
+    /// appropriate when the layout is irrelevant (the complete graph);
+    /// prefer [`BatchGraphSimulator::from_config_shuffled`] otherwise.
+    pub fn from_config(protocol: P, graph: &Graph, config: &CountConfig) -> Self {
+        let mut states = Vec::with_capacity(config.n() as usize);
+        for (idx, &c) in config.counts().iter().enumerate() {
+            states.extend(std::iter::repeat_n(idx, c as usize));
+        }
+        Self::with_states(protocol, graph, states)
+    }
+}
+
+impl<P: Protocol, S: StateWord> Simulator for BatchGraphSimulator<P, S> {
     fn population(&self) -> u64 {
         self.states.len() as u64
     }
@@ -870,6 +998,114 @@ mod tests {
     }
 
     #[test]
+    fn sparse_phase_invariants_hold_across_advancements() {
+        // Drive a no-op-dominated instance (an epidemic frontier creeping
+        // around a large cycle: W ≤ 4 of 2m orientations) so the run lives
+        // in the sparse skipper, and verify the deferred-update invariants
+        // after every advancement.
+        let g = Graph::cycle(2_048);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(11);
+        let mut sparse_advancements = 0u32;
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+            sim.validate_sparse_invariants().unwrap();
+            if sim.sparse.is_some() {
+                sparse_advancements += 1;
+            }
+        }
+        // The sparse phase leaps ~64 events per advancement, so a
+        // 2047-event epidemic crosses it tens of times.
+        assert!(
+            sparse_advancements > 10,
+            "only {sparse_advancements} sparse advancements exercised"
+        );
+    }
+
+    /// A k-state one-way "maximum spreads" protocol for exercising wide
+    /// alphabets: the responder adopts the larger of the two values.
+    /// Consensus on the global maximum is the unique silent outcome on a
+    /// connected graph.
+    #[derive(Debug, Clone, Copy)]
+    struct MaxConsensus {
+        k: usize,
+    }
+
+    impl crate::protocol::Protocol for MaxConsensus {
+        type State = usize;
+        type Output = usize;
+
+        fn num_states(&self) -> usize {
+            self.k
+        }
+
+        fn index_of(&self, state: usize) -> usize {
+            state
+        }
+
+        fn state_of(&self, index: usize) -> usize {
+            assert!(index < self.k);
+            index
+        }
+
+        fn transition(&self, a: usize, b: usize) -> (usize, usize) {
+            (a.max(b), a.max(b))
+        }
+
+        fn output(&self, state: usize) -> usize {
+            state
+        }
+    }
+
+    #[test]
+    fn wide_engine_runs_k_300_to_consensus() {
+        // The u16 fallback lifts the one-byte alphabet cap: k = 300 states
+        // on a torus, stabilizing to consensus on the maximum.
+        let proto = MaxConsensus { k: 300 };
+        let g = crate::topology::TopologyFamily::Torus.build(256, 2);
+        let states: Vec<usize> = (0..256).map(|v| (v * 7) % 300).collect();
+        let expect_max = states.iter().copied().max().unwrap();
+        let mut sim: WideBatchGraphSimulator<MaxConsensus> =
+            WideBatchGraphSimulator::with_states(proto, &g, states);
+        let mut rng = SimRng::new(21);
+        let mut guard = 0u32;
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+            sim.validate_sparse_invariants().unwrap();
+            guard += 1;
+            assert!(guard < 100_000, "k = 300 run did not stabilize");
+        }
+        assert_eq!(sim.counts()[expect_max], 256, "consensus on the maximum");
+        assert_eq!(sim.counts().iter().sum::<u64>(), 256);
+    }
+
+    #[test]
+    fn wide_and_narrow_engines_agree_in_distribution() {
+        // For a small alphabet the two packings must be the same engine:
+        // identical seeds give identical trajectories.
+        let g = Graph::cycle(64);
+        let mut states = vec![1usize; 64];
+        states[0] = 0;
+        let mut narrow = BatchGraphSimulator::new(OneWayEpidemic, &g, states.clone());
+        let mut wide: WideBatchGraphSimulator<OneWayEpidemic> =
+            WideBatchGraphSimulator::with_states(OneWayEpidemic, &g, states);
+        let mut rng_a = SimRng::new(31);
+        let mut rng_b = SimRng::new(31);
+        while !narrow.is_silent() {
+            narrow.advance_changed(&mut rng_a, u64::MAX / 2);
+        }
+        while !wide.is_silent() {
+            wide.advance_changed(&mut rng_b, u64::MAX / 2);
+        }
+        assert_eq!(narrow.interactions(), wide.interactions());
+        assert_eq!(
+            narrow.effective_interactions(),
+            wide.effective_interactions()
+        );
+        assert_eq!(narrow.counts(), wide.counts());
+    }
+
+    #[test]
     fn trait_object_usable() {
         let g = Graph::cycle(100);
         let mut sim: Box<dyn Simulator> = Box::new(epidemic_on(&g, 5));
@@ -892,5 +1128,16 @@ mod tests {
     fn state_count_mismatch_rejected() {
         let g = Graph::cycle(3);
         BatchGraphSimulator::new(OneWayEpidemic, &g, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds this packing width's limit")]
+    fn narrow_engine_rejects_oversized_alphabets() {
+        let g = Graph::cycle(4);
+        BatchGraphSimulator::<MaxConsensus, u8>::with_states(
+            MaxConsensus { k: 300 },
+            &g,
+            vec![0, 1, 2, 3],
+        );
     }
 }

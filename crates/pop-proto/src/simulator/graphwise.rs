@@ -24,12 +24,17 @@
 //!   consecutive no-op draws long enough to certify a collapsed activity
 //!   fraction triggers the sparse phase (the failed draws *are* scheduled
 //!   no-op interactions, so nothing is wasted or approximated);
-//! * **sparse phase**: the engine scans the graph once, builds a Fenwick
-//!   tree over the per-edge active-orientation weights (0, 1, or 2), and
-//!   from then on skips each no-op run in O(1) — the run length is
-//!   geometric with success probability `W / 2m` — sampling the effective
-//!   edge in O(log m) and re-weighting the ≤ d incident edges of a changed
-//!   agent in O(d log m) per **effective** interaction. When the activity
+//! * **sparse phase**: the engine scans the graph once and hands the
+//!   per-edge active-orientation weights (0, 1, or 2) to the shared
+//!   [`SparseSkipper`](super::sparse) — the block-leaping Fenwick engine
+//!   both graph simulators use. Each no-op run is skipped in O(1) (the run
+//!   length is geometric with success probability `W / 2m`, with the
+//!   inversion constant cached per distinct `W`), the effective edge is
+//!   sampled in O(log m) from the exact weighted law, and the re-weighting
+//!   of the ≤ d incident edges of a changed agent is *deferred*: deltas
+//!   coalesce in the skipper's sidecar and hit the tree in one batched
+//!   pass per ~64-event block, so frontier dynamics whose deltas cancel
+//!   pay a fraction of the old per-event O(d log m). When the activity
 //!   fraction recovers past a hysteresis threshold the tree is dropped and
 //!   the dense phase resumes.
 //!
@@ -66,23 +71,9 @@
 use crate::config::CountConfig;
 use crate::graph::Graph;
 use crate::protocol::Protocol;
-use crate::sampling::FenwickSampler;
+use crate::simulator::sparse::{orient_event, SparseSkipper, SparseStep, SPARSE_TRIGGER_NOOPS};
 use crate::simulator::Simulator;
 use sim_stats::rng::SimRng;
-
-/// Consecutive no-op draws in the dense phase that trigger the switch to
-/// the Fenwick skipper. At activity fraction `f` the probability of this
-/// many consecutive no-ops is `(1 − f)^1024` — negligible above `f ≈ 1/64`,
-/// near-certain once the fraction truly collapses, so spurious O(m)
-/// rebuilds are rare and real collapses are caught within ~1k steps.
-pub(crate) const SPARSE_TRIGGER_NOOPS: u32 = 1024;
-/// Activity fraction at which the sparse phase drops its Fenwick tree and
-/// returns to literal dense stepping: skipping `< 32` no-ops per event no
-/// longer repays the O(d log m) updates. The wide hysteresis band versus
-/// [`SPARSE_TRIGGER_NOOPS`] (~1/1024) prevents rebuild thrash. Shared (as
-/// is the trigger) with [`BatchGraphSimulator`](super::BatchGraphSimulator),
-/// whose batch phase hands off to an identical sparse skipper.
-pub(crate) const DENSE_ENTER_INV: u64 = 32;
 
 /// Exact active-edge simulator for a fixed interaction graph.
 ///
@@ -111,10 +102,10 @@ pub struct GraphSimulator<P: Protocol> {
     states: Vec<u32>,
     /// Per-state counts, kept in sync with `states`.
     counts: Vec<u64>,
-    /// Fenwick tree over per-edge active-orientation weights (0, 1, or 2).
-    /// Materialized (and then kept incrementally in sync) only in the
-    /// sparse phase; `None` while the dense phase steps literally.
-    fenwick: Option<FenwickSampler>,
+    /// Shared sparse-phase engine over per-edge active-orientation weights
+    /// (0, 1, or 2). Materialized only in the sparse phase; `None` while
+    /// the dense phase steps literally.
+    sparse: Option<SparseSkipper>,
     /// Consecutive no-op draws seen by the dense phase (sparse trigger).
     noop_run: u32,
     k: usize,
@@ -168,7 +159,7 @@ impl<P: Protocol> GraphSimulator<P> {
             adj,
             states,
             counts,
-            fenwick: None,
+            sparse: None,
             noop_run: 0,
             k,
             interactions: 0,
@@ -249,8 +240,8 @@ impl<P: Protocol> GraphSimulator<P> {
     /// sparse phase; scans the edges in the dense phase, where `W` is not
     /// maintained.
     pub fn active_weight(&self) -> u64 {
-        match &self.fenwick {
-            Some(f) => f.total(),
+        match &self.sparse {
+            Some(s) => s.total(),
             None => (0..self.edges.len()).map(|e| self.edge_weight(e)).sum(),
         }
     }
@@ -270,8 +261,8 @@ impl<P: Protocol> GraphSimulator<P> {
     /// no-op-run trigger escalates such configurations to the sparse phase
     /// (see the module docs).
     pub fn is_silent(&self) -> bool {
-        match &self.fenwick {
-            Some(f) => f.total() == 0,
+        match &self.sparse {
+            Some(s) => s.total() == 0,
             None => self.protocol.is_silent(&self.counts),
         }
     }
@@ -286,26 +277,45 @@ impl<P: Protocol> GraphSimulator<P> {
         (!self.noop[sa * self.k + sb]) as u64 + (!self.noop[sb * self.k + sa]) as u64
     }
 
-    /// Re-weight the incident edges of vertex `v` in the Fenwick tree after
-    /// its state changed from `old` (the state array already holds the new
-    /// value). Sparse phase only.
+    /// Verify the sparse skipper (if live) against per-edge weights
+    /// recomputed from the states — the deferred-update invariants the
+    /// property tests pin. O(m); `Ok` when the dense phase is active.
+    #[doc(hidden)]
+    pub fn validate_sparse_invariants(&self) -> Result<(), String> {
+        match &self.sparse {
+            None => Ok(()),
+            Some(s) => {
+                let truth: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
+                s.check_consistent(&truth)
+            }
+        }
+    }
+
+    /// Re-weight the incident edges of vertex `v` in the sparse skipper
+    /// after its state changed from `old` (the state array already holds
+    /// the new value). Edges whose weight is unchanged are filtered with
+    /// pure transition-table math before the skipper is touched; changed
+    /// ones report their new weight, and the tree update is deferred and
+    /// coalesced (see [`SparseSkipper`]). Sparse phase only.
     fn refresh_incident(&mut self, v: usize, old: usize) {
         let t = self.states[v] as usize;
         let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        let sparse = self
+            .sparse
+            .as_mut()
+            .expect("sparse-phase refresh without a skipper");
         for idx in lo..hi {
             let (nb, e) = self.adj[idx];
             debug_assert_ne!(nb as usize, v, "self-loop");
             // The neighbor may be the interaction partner; the two
-            // endpoints are flipped and refreshed one at a time, so `y` and
-            // `old` always describe the edge's pre-refresh weight exactly.
+            // endpoints are flipped and refreshed one at a time, so `y`
+            // and `old` always describe the edge's pre-refresh weight
+            // exactly.
             let y = self.states[nb as usize] as usize;
             let was = (!self.noop[old * self.k + y]) as u64 + (!self.noop[y * self.k + old]) as u64;
             let now = (!self.noop[t * self.k + y]) as u64 + (!self.noop[y * self.k + t]) as u64;
             if was != now {
-                self.fenwick
-                    .as_mut()
-                    .expect("sparse-phase refresh without a tree")
-                    .add(e as usize, now as i64 - was as i64);
+                sparse.set_weight(e as usize, now);
             }
         }
     }
@@ -323,16 +333,16 @@ impl<P: Protocol> GraphSimulator<P> {
         self.counts[ti as usize] += 1;
         self.counts[tj as usize] += 1;
         self.effective_interactions += 1;
-        if self.fenwick.is_none() {
+        if self.sparse.is_none() {
             self.states[i] = ti;
             self.states[j] = tj;
             return true;
         }
-        // Refresh one endpoint at a time so each delta is computed against
-        // a consistent snapshot: flip i first (j still old), refresh i's
-        // edges; then flip j and refresh. The shared edge (i, j) is seen by
-        // both refreshes and both deltas are correct for the state it had
-        // at that moment.
+        // Refresh one endpoint at a time so each new weight is computed
+        // against a consistent snapshot: flip i first (j still old),
+        // refresh i's edges; then flip j and refresh. The shared edge
+        // (i, j) is seen by both refreshes and settles on its final weight
+        // with the second one.
         if ti as usize != si {
             self.states[i] = ti;
             self.refresh_incident(i, si);
@@ -344,11 +354,11 @@ impl<P: Protocol> GraphSimulator<P> {
         true
     }
 
-    /// Enter the sparse phase: scan the graph once and build the Fenwick
-    /// tree over per-edge active-orientation weights.
-    fn build_fenwick(&mut self) {
+    /// Enter the sparse phase: scan the graph once and hand the per-edge
+    /// active-orientation weights to a fresh [`SparseSkipper`].
+    fn enter_sparse(&mut self) {
         let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
-        self.fenwick = Some(FenwickSampler::new(&weights));
+        self.sparse = Some(SparseSkipper::new(&weights));
         self.noop_run = 0;
     }
 
@@ -372,44 +382,45 @@ impl<P: Protocol> GraphSimulator<P> {
     /// preceding the next effective interaction (truncated at `max`) and
     /// simulate that interaction from the exact conditional law — edge
     /// ∝ active-orientation weight, then a uniform active orientation of
-    /// the edge. Precondition: tree live, `W > 0`, `max > 0`.
+    /// the edge. Returns after **one** effective event (the engine's exact
+    /// observation granularity); the skipper's Fenwick updates are still
+    /// amortized because its sidecar persists across calls. Precondition:
+    /// skipper live, `W > 0`, `max > 0`.
     fn sparse_advance(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
-        let w = self
-            .fenwick
-            .as_ref()
-            .expect("sparse advance without tree")
-            .total();
-        let total = 2 * self.edges.len() as u64;
-        let p_eff = (w as f64 / total as f64).min(1.0);
-        let skipped = rng.geometric(p_eff);
-        if skipped >= max {
-            // The effective interaction lands beyond the horizon: the first
-            // `max` interactions are conditionally all no-ops (truncated
-            // geometric — still exact).
-            self.interactions += max;
-            return (max, false);
-        }
-        self.interactions += skipped + 1;
-        let f = self.fenwick.as_ref().expect("sparse advance without tree");
-        let e = f.sample(rng);
-        let two_sided = f.weight(e) == 2;
+        let sparse = self
+            .sparse
+            .as_mut()
+            .expect("sparse advance without skipper");
+        let (consumed, e) = match sparse.next_event(rng, max) {
+            SparseStep::Horizon => {
+                // The effective interaction lands beyond the horizon: the
+                // first `max` interactions are conditionally all no-ops
+                // (truncated geometric — still exact).
+                self.interactions += max;
+                return (max, false);
+            }
+            SparseStep::Event { consumed, edge } => {
+                self.interactions += consumed;
+                (consumed, edge)
+            }
+        };
         let (a, b) = self.edges[e];
         let sa = self.states[a as usize] as usize;
         let sb = self.states[b as usize] as usize;
-        let (i, j) = if two_sided {
-            if rng.bernoulli(0.5) {
-                (a as usize, b as usize)
-            } else {
-                (b as usize, a as usize)
-            }
-        } else if !self.noop[sa * self.k + sb] {
-            (a as usize, b as usize)
-        } else {
-            (b as usize, a as usize)
-        };
+        let (i, j) = orient_event(
+            rng,
+            a as usize,
+            b as usize,
+            !self.noop[sa * self.k + sb],
+            !self.noop[sb * self.k + sa],
+        );
         let changed = self.apply_oriented(i, j);
         debug_assert!(changed, "sampled active orientation was a no-op");
-        (skipped + 1, true)
+        self.sparse
+            .as_mut()
+            .expect("sparse advance without skipper")
+            .end_event();
+        (consumed, true)
     }
 
     /// Advance by at most `max` interactions using the cheapest exact
@@ -427,9 +438,8 @@ impl<P: Protocol> GraphSimulator<P> {
             // Sparse phase: skip geometrically; fall back to dense when the
             // activity fraction has recovered past the hysteresis
             // threshold.
-            if let Some(f) = &self.fenwick {
-                let w = f.total();
-                if w == 0 {
+            if let Some(s) = &self.sparse {
+                if s.total() == 0 {
                     // Silent: nothing can ever change. Stop the clock
                     // instead of charging the horizon, so stabilization
                     // times report when silence was *reached* — drivers
@@ -437,8 +447,8 @@ impl<P: Protocol> GraphSimulator<P> {
                     // via `is_silent`, which is exact here.
                     return (advanced, false);
                 }
-                if w * DENSE_ENTER_INV >= 2 * self.edges.len() as u64 {
-                    self.fenwick = None;
+                if s.should_exit_to_dense() {
+                    self.sparse = None;
                     self.noop_run = 0;
                 } else {
                     let (leapt, changed) = self.sparse_advance(rng, max - advanced);
@@ -457,7 +467,7 @@ impl<P: Protocol> GraphSimulator<P> {
                 }
                 self.noop_run += 1;
                 if self.noop_run >= SPARSE_TRIGGER_NOOPS {
-                    self.build_fenwick();
+                    self.enter_sparse();
                     break;
                 }
             }
@@ -659,6 +669,26 @@ mod tests {
             assert!(advanced >= 1 && advanced <= max, "advanced {advanced}");
             assert_eq!(sim.interactions() - before, advanced);
         }
+    }
+
+    #[test]
+    fn sparse_phase_invariants_hold_across_advancements() {
+        // A creeping epidemic frontier on a large cycle keeps the run in
+        // the sparse skipper; the deferred-update invariants (exact
+        // incremental total, sidecar-tracked weights, clean tree entries)
+        // must hold at every advancement boundary.
+        let g = Graph::cycle(1_024);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(13);
+        let mut checked = 0u32;
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+            sim.validate_sparse_invariants().unwrap();
+            checked += 1;
+        }
+        // The graphwise engine returns per effective event, so nearly
+        // every one of the 1023 infections is a checked boundary.
+        assert!(checked > 500, "only {checked} boundaries checked");
     }
 
     #[test]

@@ -31,8 +31,17 @@
 //!   block's earlier effective edges from block-start states (a matching),
 //!   and falls back to a literal step at the first shared endpoint. The
 //!   fast exact engine for *effective-dominated* graph regimes (expanders);
-//!   hands off to the same sparse skipper as [`GraphSimulator`] when
-//!   no-ops dominate.
+//!   hands off to the shared sparse skipper (the same one
+//!   [`GraphSimulator`] uses, driven a block of events at a time) when
+//!   no-ops dominate. [`WideBatchGraphSimulator`] is its u16 state-packing
+//!   fallback for protocols with more than 256 states.
+//!
+//! The graph engines' sparse phases share one block-leaping implementation
+//! (the private `sparse` module): a Fenwick tree over per-edge
+//! active-orientation weights with the total maintained incrementally,
+//! geometric no-op skips whose per-block aggregates are negative-binomial
+//! totals, and tree updates deferred into coalesced batched passes behind
+//! a no-false-negative dirty-edge sidecar.
 //!
 //! The [`Simulator`] trait unifies them so drivers, experiments, the
 //! CLI, and benches can select a backend generically; its
@@ -49,10 +58,11 @@ mod batched;
 mod batched_graph;
 mod countwise;
 mod graphwise;
+mod sparse;
 
 pub use agentwise::{AgentSimulator, InteractionRecord};
 pub use batched::BatchSimulator;
-pub use batched_graph::BatchGraphSimulator;
+pub use batched_graph::{BatchGraphSimulator, StateWord, WideBatchGraphSimulator};
 pub use countwise::CountSimulator;
 pub use graphwise::{shuffled_layout, GraphSimulator};
 

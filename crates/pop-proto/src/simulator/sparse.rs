@@ -1,0 +1,624 @@
+//! Shared block-leaping sparse-phase engine for the graph simulators.
+//!
+//! Both [`GraphSimulator`](super::GraphSimulator) and
+//! [`BatchGraphSimulator`](super::BatchGraphSimulator) handle
+//! no-op-dominated stretches the same way: a Fenwick tree over per-edge
+//! *active-orientation* weights turns the embedded no-op runs into exact
+//! geometric skips (success probability `W / 2m`) and effective events into
+//! weighted draws. Until PR 5 each engine carried its own copy of that
+//! machinery and paid O(d log m) Fenwick point-updates on **every**
+//! effective event. This module is the one shared implementation, made
+//! block-leaping:
+//!
+//! * **Incremental clean weight.** The exact total active weight `W` is
+//!   maintained as a plain counter (`w_true`), so the skip probability and
+//!   the silence test (`W == 0`) never wait on the tree.
+//! * **Deferred, coalesced Fenwick updates.** An effective event changes
+//!   the weights of the ≤ 2d edges incident to its endpoints. Instead of
+//!   walking the tree for each, the new weights are parked in a small
+//!   *pending sidecar* (edge → exact current weight) and the tree is left
+//!   stale. Once per block — [`FLUSH_EVENTS`] events, or earlier if the
+//!   sidecar grows past its bounds — the sidecar is applied to the tree in
+//!   one batched pass that skips every edge whose weight returned to its
+//!   stored value. On frontier dynamics (a cycle or torus boundary walking
+//!   back and forth) most per-event deltas cancel within a block, so the
+//!   tree sees a small fraction of the point-updates the per-event engines
+//!   paid.
+//! * **No false negatives.** Every edge whose true weight differs from its
+//!   tree entry is in the sidecar — the same convention as the dense
+//!   leaper's dirty bitmap: an entry may be redundant (weight changed and
+//!   changed back), never missing. Sampling therefore splits exactly:
+//!   a uniform draw below `W` lands either in the sidecar mass (resolved
+//!   by a scan of the ≤ [`PENDING_MAX`] sidecar entries, whose weights are
+//!   current by construction) or in the clean mass (resolved by the stale
+//!   tree conditioned on clean edges via rejection — clean tree entries
+//!   *are* current, and the flush policy caps the stale tree total at
+//!   twice the true weight, which bounds the expected tree samples per
+//!   event at 2).
+//! * **Negative-binomial block totals.** The no-op run before each event is
+//!   still an exact `Geom(W/2m)` draw, but consecutive events of a block
+//!   usually leave `W` unchanged (a moving frontier keeps the same number
+//!   of active orientations), so the block's aggregate skip is one
+//!   negative-binomial-style total: the inversion constant `ln(1 − p)` is
+//!   computed once per distinct `W` and reused across the block
+//!   ([`SimRng::negative_binomial`] is the same aggregation in one call,
+//!   and the distributional tests below pin the two against each other),
+//!   and the caller charges the interaction clock once per block.
+//!
+//! Exactness is unchanged from the per-event skipper: the skip law, the
+//! weighted event draw, and the silence test all see the *true* weights at
+//! every event — only the tree's materialization of them is deferred. The
+//! phase-hysteresis constants ([`SPARSE_TRIGGER_NOOPS`],
+//! [`DENSE_ENTER_INV`]) live here too, so the two engines cannot drift
+//! apart.
+
+use crate::sampling::FenwickSampler;
+use sim_stats::rng::SimRng;
+
+/// Consecutive no-op draws in the dense/block phase that trigger the switch
+/// to the sparse skipper. At activity fraction `f` the probability of this
+/// many consecutive no-ops is `(1 − f)^1024` — negligible above `f ≈ 1/64`,
+/// near-certain once the fraction truly collapses, so spurious O(m)
+/// rebuilds are rare and real collapses are caught within ~1k steps.
+pub(crate) const SPARSE_TRIGGER_NOOPS: u32 = 1024;
+
+/// Activity fraction at which the sparse phase drops its Fenwick tree and
+/// returns to dense stepping: skipping `< 32` no-ops per event no longer
+/// repays the sparse bookkeeping. The wide hysteresis band versus
+/// [`SPARSE_TRIGGER_NOOPS`] (~1/1024) prevents rebuild thrash.
+pub(crate) const DENSE_ENTER_INV: u64 = 32;
+
+/// Effective events between batched Fenwick flushes (the sparse block
+/// length). Large enough that a wandering frontier's weight deltas get a
+/// real chance to cancel before the tree is touched, small enough that the
+/// sidecar scan stays a few cache lines.
+const FLUSH_EVENTS: u32 = 64;
+
+/// Sidecar capacity bound: a flush is forced before the pending list
+/// outgrows one page worth of entries, keeping the sidecar scan O(1)-ish
+/// even on high-degree graphs where one event parks 2d edges.
+const PENDING_MAX: usize = 512;
+
+/// Sidecar size above which toggled-back entries (weight equal to the
+/// tree's again) are evicted eagerly. Small sidecars scan in a couple of
+/// cache lines, so eviction bookkeeping would cost more than it saves;
+/// large ones (high-degree frontiers) shrink measurably.
+const EVICT_ABOVE: usize = 48;
+
+/// Maximum effective events [`BatchGraphSimulator`](super::BatchGraphSimulator)
+/// applies per sparse advancement (its sparse-phase observation
+/// granularity — one block checkpoint summarizes up to this many events).
+/// [`GraphSimulator`](super::GraphSimulator) keeps its exact per-event
+/// granularity by advancing one event at a time; the Fenwick amortization
+/// above is shared either way because the sidecar persists across calls.
+pub(crate) const SPARSE_BLOCK_EVENTS: u64 = 64;
+
+/// One pending (deferred) weight entry: the edge and its exact current
+/// weight, which the stale Fenwick tree does not yet reflect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    edge: u32,
+    w: u64,
+}
+
+/// Outcome of one sparse advancement attempt against a horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SparseStep {
+    /// The next effective event lands beyond the horizon: the first `max`
+    /// scheduled interactions are conditionally all no-ops (truncated
+    /// geometric — still exact). The caller charges the full horizon.
+    Horizon,
+    /// An effective event: `consumed` scheduled interactions (the geometric
+    /// no-op run plus the event itself) and the event's edge, drawn from
+    /// the exact conditional law (∝ current active-orientation weight).
+    Event {
+        /// Scheduled interactions consumed (skipped no-ops + 1).
+        consumed: u64,
+        /// The effective edge index.
+        edge: usize,
+    },
+}
+
+/// The shared sparse-phase engine: a Fenwick tree over per-edge
+/// active-orientation weights with deferred, coalesced updates. See the
+/// module docs for the machinery and its exactness argument.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseSkipper {
+    /// Fenwick tree over edge weights; **stale** on pending edges.
+    fenwick: FenwickSampler,
+    /// Exact total active weight `W`, maintained incrementally.
+    w_true: u64,
+    /// Pending sidecar: edges whose true weight the tree does not reflect.
+    pending: Vec<Pending>,
+    /// Edge → sidecar slot (`u32::MAX` = clean: tree entry is current).
+    pending_idx: Vec<u32>,
+    /// Σ true weights over sidecar edges (the sidecar's sampling mass).
+    pending_true_sum: u64,
+    /// Effective events since the last flush.
+    events_since_flush: u32,
+    /// Total scheduled orientations `2m` (the skip denominator).
+    two_m: u64,
+    /// `W` value the cached inversion constant corresponds to
+    /// (`u64::MAX` = none cached).
+    cached_w: u64,
+    /// Cached `ln(1 − W/2m)` for the geometric inversion.
+    cached_ln_q: f64,
+}
+
+impl SparseSkipper {
+    /// Build from a scan of the current per-edge active-orientation
+    /// weights (entering the sparse phase).
+    pub(crate) fn new(weights: &[u64]) -> Self {
+        let fenwick = FenwickSampler::new(weights);
+        let w_true = fenwick.total();
+        SparseSkipper {
+            fenwick,
+            w_true,
+            pending: Vec::new(),
+            pending_idx: vec![u32::MAX; weights.len()],
+            pending_true_sum: 0,
+            events_since_flush: 0,
+            two_m: 2 * weights.len() as u64,
+            cached_w: u64::MAX,
+            cached_ln_q: 0.0,
+        }
+    }
+
+    /// Exact total active weight `W` (0 iff silent). O(1).
+    #[inline]
+    pub(crate) fn total(&self) -> u64 {
+        self.w_true
+    }
+
+    /// Exact current weight of edge `e` (sidecar if pending, tree
+    /// otherwise).
+    #[inline]
+    pub(crate) fn weight(&self, e: usize) -> u64 {
+        let slot = self.pending_idx[e];
+        if slot == u32::MAX {
+            self.fenwick.weight(e)
+        } else {
+            self.pending[slot as usize].w
+        }
+    }
+
+    /// Whether activity has recovered past the hysteresis threshold and
+    /// the engine should drop the tree and re-enter its dense phase.
+    #[inline]
+    pub(crate) fn should_exit_to_dense(&self) -> bool {
+        self.w_true * DENSE_ENTER_INV >= self.two_m
+    }
+
+    /// Record edge `e`'s new true weight (deferred: the tree is not
+    /// touched). No-op when the weight is unchanged; an edge whose weight
+    /// returns to its tree entry stays harmlessly pending until the next
+    /// flush while the sidecar is small, and is evicted eagerly once it
+    /// grows past [`EVICT_ABOVE`] (either way: no false negatives,
+    /// possible false positives — the dense leaper's dirty-bitmap
+    /// convention).
+    #[inline]
+    pub(crate) fn set_weight(&mut self, e: usize, new_w: u64) {
+        let slot = self.pending_idx[e];
+        if slot != u32::MAX {
+            let old = self.pending[slot as usize].w;
+            if old == new_w {
+                return;
+            }
+            self.w_true = self.w_true - old + new_w;
+            if self.pending.len() > EVICT_ABOVE && self.fenwick.weight(e) == new_w {
+                // The weight toggled back to the tree's value (frontier
+                // edges do this constantly): once the sidecar is big
+                // enough that its scans cost more than the eviction
+                // bookkeeping, drop the entry so it holds only
+                // truly-divergent edges — smaller scans, cheaper flushes.
+                // Below the bound the scan is a couple of cache lines and
+                // keeping the entry is cheaper than the swap-remove.
+                self.pending_true_sum -= old;
+                self.pending.swap_remove(slot as usize);
+                self.pending_idx[e] = u32::MAX;
+                if let Some(moved) = self.pending.get(slot as usize) {
+                    self.pending_idx[moved.edge as usize] = slot;
+                }
+                return;
+            }
+            self.pending[slot as usize].w = new_w;
+            self.pending_true_sum = self.pending_true_sum - old + new_w;
+        } else {
+            let old = self.fenwick.weight(e);
+            if old == new_w {
+                return;
+            }
+            self.pending_idx[e] = self.pending.len() as u32;
+            self.pending.push(Pending {
+                edge: e as u32,
+                w: new_w,
+            });
+            self.w_true = self.w_true - old + new_w;
+            self.pending_true_sum += new_w;
+        }
+    }
+
+    /// Apply the sidecar to the tree in one batched pass, skipping edges
+    /// whose weight returned to the stored value, and clear it.
+    pub(crate) fn flush(&mut self) {
+        for i in 0..self.pending.len() {
+            let Pending { edge, w } = self.pending[i];
+            self.pending_idx[edge as usize] = u32::MAX;
+            if self.fenwick.weight(edge as usize) != w {
+                self.fenwick.set(edge as usize, w);
+            }
+        }
+        self.pending.clear();
+        self.pending_true_sum = 0;
+        self.events_since_flush = 0;
+        debug_assert_eq!(self.fenwick.total(), self.w_true, "flush lost weight");
+    }
+
+    /// End-of-event bookkeeping: count the event and flush when the block
+    /// is full or the sidecar has outgrown the bounds that keep sampling
+    /// cheap. The rejection-cost bound is on the *stale tree total*: a
+    /// clean-mass draw costs an expected `fenwick_total / W` tree samples
+    /// (probability of landing clean × rejections until a clean edge), so
+    /// the tree total may drift up to twice the true weight before a
+    /// flush is forced — which never triggers while a frontier churns at
+    /// roughly constant `W`, the whole point of the deferral.
+    #[inline]
+    pub(crate) fn end_event(&mut self) {
+        self.events_since_flush += 1;
+        if self.events_since_flush >= FLUSH_EVENTS
+            || self.pending.len() >= PENDING_MAX
+            || self.fenwick.total() > 2 * self.w_true
+        {
+            self.flush();
+        }
+    }
+
+    /// Exact geometric no-op run length before the next effective event
+    /// (`p = W/2m`), with the inversion constant cached per distinct `W` —
+    /// across a block whose events leave `W` unchanged this makes the
+    /// aggregate skip one negative-binomial-style total (see the module
+    /// docs). Precondition: `W > 0`.
+    #[inline]
+    fn skip_len(&mut self, rng: &mut SimRng) -> u64 {
+        debug_assert!(self.w_true > 0, "skip from a silent configuration");
+        if self.w_true >= self.two_m {
+            return 0; // every orientation active: p = 1
+        }
+        if self.cached_w != self.w_true {
+            let p = self.w_true as f64 / self.two_m as f64;
+            self.cached_ln_q = (-p).ln_1p();
+            self.cached_w = self.w_true;
+        }
+        let u = loop {
+            let u = rng.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let g = (u.ln() / self.cached_ln_q).floor();
+        if g >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            g as u64
+        }
+    }
+
+    /// Sample an edge with probability proportional to its **true** weight:
+    /// a uniform draw below `W` resolves in the sidecar mass (current by
+    /// construction) or in the clean tree mass (rejection on pending
+    /// edges). Precondition: `W > 0`.
+    #[inline]
+    fn sample_edge(&self, rng: &mut SimRng) -> usize {
+        debug_assert!(self.w_true > 0, "sampling from a silent configuration");
+        let u = rng.below(self.w_true);
+        if u < self.pending_true_sum {
+            let mut acc = 0u64;
+            for p in &self.pending {
+                acc += p.w;
+                if u < acc {
+                    return p.edge as usize;
+                }
+            }
+            unreachable!("sidecar mass accounting is inconsistent");
+        }
+        // Clean mass: clean tree entries are current, so the stale tree
+        // conditioned on clean edges is the exact conditional law. The
+        // flush policy bounds the stale mass at half the tree total, so
+        // this loop runs an expected ≤ 2 rounds.
+        loop {
+            let e = self.fenwick.sample(rng);
+            if self.pending_idx[e] == u32::MAX {
+                return e;
+            }
+        }
+    }
+
+    /// One sparse advancement against a horizon of `max` scheduled
+    /// interactions: geometrically skip the no-op run and either hand back
+    /// the effective edge (drawn from the exact conditional law) or report
+    /// that the event lands beyond the horizon. The caller applies the
+    /// transition, reports weight changes via [`SparseSkipper::set_weight`],
+    /// and closes the event with [`SparseSkipper::end_event`].
+    /// Precondition: `W > 0`, `max > 0`.
+    #[inline]
+    pub(crate) fn next_event(&mut self, rng: &mut SimRng, max: u64) -> SparseStep {
+        debug_assert!(max > 0);
+        let skipped = self.skip_len(rng);
+        if skipped >= max {
+            return SparseStep::Horizon;
+        }
+        SparseStep::Event {
+            consumed: skipped + 1,
+            edge: self.sample_edge(rng),
+        }
+    }
+
+    /// Verify the skipper against ground-truth per-edge weights: every
+    /// edge's tracked weight, the incremental total, the sidecar sums, and
+    /// (for clean edges) the tree entries must all be consistent. O(m);
+    /// used by the property tests.
+    pub(crate) fn check_consistent(&self, truth: &[u64]) -> Result<(), String> {
+        if truth.len() != self.fenwick.len() {
+            return Err(format!(
+                "edge count mismatch: {} vs {}",
+                truth.len(),
+                self.fenwick.len()
+            ));
+        }
+        let mut total = 0u64;
+        let mut pend_true = 0u64;
+        for (e, &w) in truth.iter().enumerate() {
+            total += w;
+            if self.weight(e) != w {
+                return Err(format!(
+                    "edge {e}: tracked weight {} != true weight {w}",
+                    self.weight(e)
+                ));
+            }
+            let slot = self.pending_idx[e];
+            if slot == u32::MAX {
+                if self.fenwick.weight(e) != w {
+                    return Err(format!(
+                        "clean edge {e}: stale tree entry {} != true weight {w}",
+                        self.fenwick.weight(e)
+                    ));
+                }
+            } else {
+                let p = self.pending[slot as usize];
+                if p.edge as usize != e {
+                    return Err(format!("sidecar slot {slot} does not point back at {e}"));
+                }
+                pend_true += p.w;
+            }
+        }
+        if total != self.w_true {
+            return Err(format!(
+                "incremental total {} != Σ true {total}",
+                self.w_true
+            ));
+        }
+        if pend_true != self.pending_true_sum {
+            return Err(format!(
+                "sidecar mass drifted: {} vs Σ {pend_true}",
+                self.pending_true_sum
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Orient an effective event on edge `(a, b)`: when both orientations are
+/// active pick one uniformly, otherwise take the single active one.
+/// `a_active` / `b_active` report whether `(a → b)` / `(b → a)` change the
+/// configuration; at least one must hold.
+#[inline]
+pub(crate) fn orient_event(
+    rng: &mut SimRng,
+    a: usize,
+    b: usize,
+    a_active: bool,
+    b_active: bool,
+) -> (usize, usize) {
+    debug_assert!(a_active || b_active, "orienting an inactive edge");
+    if a_active && b_active {
+        if rng.bernoulli(0.5) {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    } else if a_active {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_stats::ks::{ks_critical_value, ks_statistic};
+
+    /// A weight vector with the sparse-phase shape: mostly zeros, a few
+    /// active edges of weight 1 or 2.
+    fn sparse_weights(m: usize, active: &[(usize, u64)]) -> Vec<u64> {
+        let mut w = vec![0u64; m];
+        for &(e, v) in active {
+            w[e] = v;
+        }
+        w
+    }
+
+    #[test]
+    fn skipper_tracks_totals_and_weights() {
+        let w = sparse_weights(16, &[(3, 2), (7, 1), (12, 2)]);
+        let mut s = SparseSkipper::new(&w);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.weight(3), 2);
+        assert_eq!(s.weight(0), 0);
+        s.set_weight(3, 0);
+        s.set_weight(0, 1);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.weight(3), 0);
+        assert_eq!(s.weight(0), 1);
+        // The tree has not been flushed: entries are stale but tracked
+        // weights are exact.
+        let truth = sparse_weights(16, &[(0, 1), (7, 1), (12, 2)]);
+        s.check_consistent(&truth).unwrap();
+        s.flush();
+        s.check_consistent(&truth).unwrap();
+    }
+
+    /// Satellite property test: a block's aggregated skip total must match
+    /// the sum of per-event geometric draws distributionally. The
+    /// reference is [`SimRng::negative_binomial`] — by construction the
+    /// sum of `r` independent geometric inversions — compared by
+    /// two-sample KS at α = 0.01.
+    #[test]
+    fn block_skip_totals_match_negative_binomial_ks() {
+        let m = 64usize;
+        let active: Vec<(usize, u64)> = vec![(5, 2), (17, 1), (30, 2), (44, 1), (60, 2)];
+        let w = sparse_weights(m, &active);
+        let p = 8.0 / (2 * m) as f64; // W = 8, 2m = 128
+        let blocks = 400usize;
+        let r = 16u64;
+
+        let mut s = SparseSkipper::new(&w);
+        let mut rng = SimRng::new(1234);
+        let engine: Vec<f64> = (0..blocks)
+            .map(|_| {
+                let mut total = 0u64;
+                for _ in 0..r {
+                    match s.next_event(&mut rng, u64::MAX / 2) {
+                        SparseStep::Event { consumed, .. } => total += consumed - 1,
+                        SparseStep::Horizon => unreachable!("horizon at u64::MAX/2"),
+                    }
+                    // Weights never change: the whole block runs at one W,
+                    // the regime where the aggregate is negative binomial.
+                    s.end_event();
+                }
+                total as f64
+            })
+            .collect();
+
+        let mut ref_rng = SimRng::new(98_765);
+        let reference: Vec<f64> = (0..blocks)
+            .map(|_| ref_rng.negative_binomial(r, p) as f64)
+            .collect();
+
+        let d = ks_statistic(&engine, &reference);
+        let crit = ks_critical_value(engine.len(), reference.len(), 0.01);
+        assert!(
+            d < crit,
+            "block skip totals vs NB({r}, {p}): KS {d:.4} >= critical {crit:.4}"
+        );
+    }
+
+    /// Satellite property test: after every batched block apply (flush) the
+    /// Fenwick weights must be consistent with a from-scratch rebuild —
+    /// and tracked weights must stay exact even between flushes.
+    #[test]
+    fn fenwick_matches_rebuild_after_every_flush() {
+        let m = 48usize;
+        let mut truth = sparse_weights(m, &[(1, 1), (9, 2), (20, 1), (33, 2), (40, 1)]);
+        let mut s = SparseSkipper::new(&truth);
+        let mut rng = SimRng::new(77);
+        let mut flushes = 0u32;
+        for step in 0..4_000u64 {
+            // Mutate a few random edges (an event's incident re-weighting).
+            for _ in 0..3 {
+                let e = rng.index(m);
+                let nw = rng.below(3);
+                s.set_weight(e, nw);
+                truth[e] = nw;
+            }
+            s.check_consistent(&truth).unwrap_or_else(|msg| {
+                panic!("step {step} (pre-event): {msg}");
+            });
+            if s.total() > 0 {
+                // Exercise the mixture sampling path against the truth.
+                match s.next_event(&mut rng, u64::MAX / 2) {
+                    SparseStep::Event { edge, .. } => {
+                        assert!(truth[edge] > 0, "sampled zero-weight edge {edge}");
+                    }
+                    SparseStep::Horizon => unreachable!(),
+                }
+            }
+            let pending_before = s.pending.len();
+            s.end_event();
+            if s.pending.is_empty() && pending_before > 0 {
+                flushes += 1;
+                // Flushed: the tree must equal a from-scratch rebuild.
+                let rebuilt = FenwickSampler::new(&truth);
+                assert_eq!(s.fenwick.weights(), rebuilt.weights(), "step {step}");
+                assert_eq!(s.fenwick.total(), rebuilt.total(), "step {step}");
+            }
+        }
+        assert!(flushes > 10, "only {flushes} flushes exercised");
+    }
+
+    /// The mixture sampler (sidecar + rejection on the stale tree) must
+    /// reproduce the exact weighted law while the tree is stale.
+    #[test]
+    fn stale_tree_sampling_matches_true_weights() {
+        let m = 32usize;
+        let w = sparse_weights(m, &[(2, 2), (10, 1), (21, 2)]);
+        let mut s = SparseSkipper::new(&w);
+        // Make the tree stale: move weight around without flushing.
+        s.set_weight(2, 0);
+        s.set_weight(4, 2);
+        s.set_weight(10, 2);
+        // True weights now: e4 = 2, e10 = 2, e21 = 2 (tree still has the
+        // originals).
+        let mut rng = SimRng::new(5);
+        let mut counts = std::collections::HashMap::new();
+        let n = 60_000;
+        for _ in 0..n {
+            *counts.entry(s.sample_edge(&mut rng)).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 3, "sampled edges {counts:?}");
+        for e in [4usize, 10, 21] {
+            let c = counts[&e] as f64 / n as f64;
+            assert!(
+                (c - 1.0 / 3.0).abs() < 0.01,
+                "edge {e} frequency {c} (expected 1/3)"
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_thresholds() {
+        let w = sparse_weights(64, &[(0, 2)]); // 2m = 128
+        let mut s = SparseSkipper::new(&w);
+        assert!(!s.should_exit_to_dense()); // W = 2: 2·32 < 128
+        s.set_weight(1, 2);
+        assert!(s.should_exit_to_dense()); // W = 4: 4·32 ≥ 128
+    }
+
+    #[test]
+    fn orientation_respects_active_sides() {
+        let mut rng = SimRng::new(9);
+        assert_eq!(orient_event(&mut rng, 1, 2, true, false), (1, 2));
+        assert_eq!(orient_event(&mut rng, 1, 2, false, true), (2, 1));
+        let mut a_first = 0;
+        for _ in 0..1000 {
+            if orient_event(&mut rng, 1, 2, true, true) == (1, 2) {
+                a_first += 1;
+            }
+        }
+        assert!((350..=650).contains(&a_first), "two-sided split {a_first}");
+    }
+
+    #[test]
+    fn saturated_weight_skips_nothing() {
+        // Every orientation active: p = 1, no no-ops to skip.
+        let w = vec![2u64; 8];
+        let mut s = SparseSkipper::new(&w);
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            match s.next_event(&mut rng, 10) {
+                SparseStep::Event { consumed, .. } => assert_eq!(consumed, 1),
+                SparseStep::Horizon => panic!("horizon at p = 1"),
+            }
+        }
+    }
+}

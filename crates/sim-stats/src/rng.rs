@@ -184,6 +184,42 @@ impl SimRng {
         }
     }
 
+    /// Negative-binomial total: the number of failures accumulated over `r`
+    /// independent geometric runs with success probability `p` ∈ (0, 1] —
+    /// `NB(r, p) = Σᵢ Gᵢ` with `Gᵢ ~ Geom(p)` i.i.d. This is the exact law
+    /// of the *aggregate* no-op skip a block-leaping sparse engine charges
+    /// for `r` consecutive effective events while the active weight (hence
+    /// `p`) is unchanged. Sampled by inversion as the literal sum of `r`
+    /// geometric draws, but with `ln(1−p)` computed **once** for the whole
+    /// block instead of once per event; for `p = 1` returns 0.
+    #[inline]
+    pub fn negative_binomial(&mut self, r: u64, p: f64) -> u64 {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "negative_binomial requires p in (0,1], got {p}"
+        );
+        if p >= 1.0 || r == 0 {
+            return 0;
+        }
+        let ln_q = (-p).ln_1p();
+        let mut total = 0u64;
+        for _ in 0..r {
+            let u = loop {
+                let u = self.f64();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            let g = (u.ln() / ln_q).floor();
+            total = if g >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                total.saturating_add(g as u64)
+            };
+        }
+        total
+    }
+
     /// Standard normal variate via the polar (Marsaglia) method.
     pub fn standard_normal(&mut self) -> f64 {
         loop {
@@ -368,6 +404,32 @@ mod tests {
         for _ in 0..8 {
             let g = rng.geometric(1e-12);
             assert!(g > 1_000_000, "g={g} too small for p=1e-12");
+        }
+    }
+
+    #[test]
+    fn negative_binomial_mean_matches_theory() {
+        let mut rng = SimRng::new(23);
+        let (r, p) = (16u64, 0.05);
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            sum += rng.negative_binomial(r, p);
+        }
+        let mean = sum as f64 / n as f64;
+        let expect = r as f64 * (1.0 - p) / p; // = 304
+        assert!(
+            (mean - expect).abs() < expect * 0.02,
+            "negative binomial mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn negative_binomial_degenerate_cases() {
+        let mut rng = SimRng::new(24);
+        assert_eq!(rng.negative_binomial(0, 0.3), 0);
+        for _ in 0..50 {
+            assert_eq!(rng.negative_binomial(5, 1.0), 0);
         }
     }
 

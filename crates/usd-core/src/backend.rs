@@ -27,7 +27,8 @@ use crate::stabilization::{ConsensusOutcome, StabilizationResult};
 use pop_proto::simulator::shuffled_layout;
 use pop_proto::{
     AgentSimulator, BatchGraphSimulator, BatchSimulator, CliqueScheduler, CountSimulator,
-    GraphScheduler, GraphSimulator, Protocol, Simulator, TopologyFamily,
+    GraphScheduler, GraphSimulator, Protocol, Simulator, StateWord, TopologyFamily,
+    WideBatchGraphSimulator,
 };
 use sim_stats::rng::SimRng;
 
@@ -158,8 +159,15 @@ pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator
             let graph = TopologyFamily::Complete.build(config.n() as usize, 0);
             if backend == Backend::Graph {
                 Box::new(GraphSimulator::from_config(proto, &graph, &counts))
-            } else {
+            } else if proto.num_states() <= <u8 as StateWord>::LIMIT {
                 Box::new(BatchGraphSimulator::from_config(proto, &graph, &counts))
+            } else {
+                // u16 state-packing fallback for k > 256.
+                let mut states = Vec::with_capacity(counts.n() as usize);
+                for (idx, &c) in counts.counts().iter().enumerate() {
+                    states.extend(std::iter::repeat_n(idx, c as usize));
+                }
+                Box::new(WideBatchGraphSimulator::with_states(proto, &graph, states))
             }
         }
         Backend::Sequential => Box::new(SequentialGeneric::new(config)),
@@ -196,7 +204,15 @@ pub fn make_topology_simulator(
             states,
         )),
         Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
-        Backend::BatchGraph => Box::new(BatchGraphSimulator::new(proto, &graph, states)),
+        // USD with k opinions has k + 1 states; alphabets past one byte
+        // route to the u16 state-packing fallback instead of being
+        // rejected (twice the state-array footprint, same engine).
+        Backend::BatchGraph if proto.num_states() <= <u8 as StateWord>::LIMIT => {
+            Box::new(BatchGraphSimulator::new(proto, &graph, states))
+        }
+        Backend::BatchGraph => {
+            Box::new(WideBatchGraphSimulator::with_states(proto, &graph, states))
+        }
         _ => unreachable!("supports_topologies() admitted {backend}"),
     }
 }
@@ -309,8 +325,15 @@ pub fn stabilize_on_topology(
             let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
             (t, silent, sim.counts().to_vec())
         }
-        Backend::BatchGraph => {
+        Backend::BatchGraph if proto.num_states() <= <u8 as StateWord>::LIMIT => {
             let mut sim = BatchGraphSimulator::new(proto, &graph, states);
+            let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
+            (t, silent, sim.counts().to_vec())
+        }
+        Backend::BatchGraph => {
+            // u16 state-packing fallback for k > 256 (see
+            // `make_topology_simulator`).
+            let mut sim = WideBatchGraphSimulator::with_states(proto, &graph, states);
             let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
             (t, silent, sim.counts().to_vec())
         }
@@ -499,6 +522,39 @@ mod tests {
             assert!(r.stabilized(), "{b} did not stabilize");
             assert!(r.interactions > 0, "{b}");
         }
+    }
+
+    #[test]
+    fn batchgraph_runs_k_300_through_the_wide_fallback() {
+        // k = 300 opinions means 301 USD states — past the one-byte
+        // packing. The backend routes to the u16 fallback and stabilizes
+        // instead of panicking (the old exit path told users to switch
+        // engines).
+        let k = 300usize;
+        let counts: Vec<u64> = (0..k).map(|i| if i == 0 { 1_000 } else { 2 }).collect();
+        let config = UsdConfig::decided(counts);
+        let mut rng = SimRng::new(13);
+        let r = stabilize_on_topology(
+            Backend::BatchGraph,
+            &config,
+            TopologyFamily::Regular { d: 8 },
+            5,
+            &mut rng,
+            u64::MAX / 2,
+        );
+        assert!(r.stabilized(), "k = 300 run did not stabilize");
+        assert!(r.interactions > 0);
+        // The strong bias makes opinion 0 the overwhelming favourite; any
+        // silent outcome is acceptable here, the point is the routing.
+        let mut rng = SimRng::new(14);
+        let sim = make_topology_simulator(
+            Backend::BatchGraph,
+            &config,
+            TopologyFamily::Regular { d: 8 },
+            5,
+            &mut rng,
+        );
+        assert_eq!(sim.num_states(), k + 1);
     }
 
     #[test]

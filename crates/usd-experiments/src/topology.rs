@@ -96,9 +96,13 @@ pub fn families(args: &ExpArgs) -> Vec<TopologyFamily> {
 /// effective interactions for the leaping backends (graph/batchgraph skip
 /// scheduled no-ops for free, so their scheduled cap stays at the
 /// astronomically generous n³ — in effect the cap escalates whenever the
-/// sparse skipper is active), scheduled interactions for the agentwise
-/// backend (which pays O(1) per scheduled draw, so metering anything else
-/// would not bound its wall time). This replaces the old hard
+/// sparse skipper is active; since PR 5 both engines drive the *shared
+/// block-leaping* sparse engine, which also amortizes the per-effective
+/// Fenwick updates across ~64-event blocks, so the effective meter is an
+/// even tighter proxy for wall time on the no-op-dominated families),
+/// scheduled interactions for the agentwise backend (which pays O(1) per
+/// scheduled draw, so metering anything else would not bound its wall
+/// time). This replaces the old hard
 /// `default_n_cap` that silently dropped cycle and torus cells above
 /// 4k/16k: every family now runs at every sweep size and a cell that
 /// cannot stabilize within the budget reports an honest timeout instead

@@ -136,6 +136,40 @@ fn batchgraph_vs_graphwise_torus_ks() {
     );
 }
 
+/// KS equivalence of the block-leaping engine on the cycle — the most
+/// no-op-dominated family, where the whole run lives in the shared sparse
+/// skipper and its sparse blocks apply up to 64 events per advancement
+/// (PR 5). This re-pins the sparse-phase batching against the per-event
+/// graphwise reference.
+#[test]
+fn batchgraph_vs_graphwise_cycle_ks() {
+    assert_ks_equivalent(
+        Backend::Graph,
+        Backend::BatchGraph,
+        TopologyFamily::Cycle,
+        96,
+        2,
+        150,
+    );
+}
+
+/// KS equivalence of the graphwise engine against the literal agentwise
+/// engine on the torus: with the deferred-update sparse skipper (PR 5)
+/// the graphwise sparse phase defers its Fenwick materialization, and
+/// this pins that the induced chain — and the skip-accounted interaction
+/// clock — still match the engine that simulates every scheduled draw.
+#[test]
+fn graphwise_vs_agentwise_torus_ks() {
+    assert_ks_equivalent(
+        Backend::Agent,
+        Backend::Graph,
+        TopologyFamily::Torus,
+        196,
+        2,
+        120,
+    );
+}
+
 /// Winner distributions agree under a strong bias: both engines elect the
 /// plurality at essentially the same high rate on a sparse topology.
 #[test]
