@@ -41,6 +41,11 @@ struct Row {
     wall_s: f64,
     scheduled: u64,
     effective: u64,
+    /// The engine's telemetry run report as a schema-stable JSON object
+    /// (`EngineTelemetry::to_json`), embedded verbatim in `Row::json` as
+    /// its LAST field so first-occurrence key scanners keep finding the
+    /// row's own top-level keys first.
+    telemetry: String,
 }
 
 impl Row {
@@ -56,7 +61,8 @@ impl Row {
         format!(
             "{{\"backend\":\"{}\",\"topology\":\"{}\",\"n\":{},\"mode\":\"{}\",\
              \"wall_s\":{:.6},\"scheduled\":{},\"effective\":{},\
-             \"scheduled_per_s\":{:.1},\"effective_per_s\":{:.1}}}",
+             \"scheduled_per_s\":{:.1},\"effective_per_s\":{:.1},\
+             \"telemetry\":{}}}",
             self.backend,
             self.topology,
             self.n,
@@ -66,6 +72,7 @@ impl Row {
             self.effective,
             self.sched_per_s(),
             self.eff_per_s(),
+            self.telemetry,
         )
     }
 }
@@ -97,6 +104,7 @@ fn topo_stabilize_row(backend: Backend, family: TopologyFamily, n: u64, k: usize
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        telemetry: sim.telemetry().to_json(),
     }
 }
 
@@ -150,6 +158,7 @@ fn cycle_frontier_row(backend: Backend, n: usize, target: u64) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        telemetry: sim.telemetry().to_json(),
     }
 }
 
@@ -170,6 +179,7 @@ fn frontier_stabilize_row(backend: Backend, n: usize) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        telemetry: sim.telemetry().to_json(),
     }
 }
 
@@ -200,6 +210,7 @@ fn torus_endgame_row(backend: Backend, n: usize, patch: usize) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        telemetry: sim.telemetry().to_json(),
     }
 }
 
@@ -220,6 +231,7 @@ fn clique_row(backend: Backend, n: u64, k: usize) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        telemetry: sim.telemetry().to_json(),
     }
 }
 

@@ -4,6 +4,8 @@
 //! cargo run --release -p usd-bench --bin bench_compare -- \
 //!     <baseline.json> <candidate.json> [--threshold <frac>]
 //!     [--summary <path>]
+//! cargo run --release -p usd-bench --bin bench_compare -- \
+//!     --assert-telemetry <run.json>
 //! ```
 //!
 //! `--summary <path>` additionally **appends** a markdown per-scenario
@@ -11,7 +13,18 @@
 //! `"$GITHUB_STEP_SUMMARY"` in CI and the gate verdict renders on the run
 //! page, pass or fail, without downloading artifacts. The summary is
 //! written before the exit code is decided, so a failing gate still
-//! reports its table.
+//! reports its table. When the candidate rows carry telemetry blocks, a
+//! second table of key telemetry rates (effective fraction, sparse cancel
+//! rate, literal-fallback rate) per scenario is appended after the ratio
+//! table.
+//!
+//! `--assert-telemetry <run.json>` is a separate smoke mode: it checks
+//! that **every** row of the document carries a non-empty telemetry block
+//! with `scheduled > 0`, and exits `1` listing the offending rows
+//! otherwise. CI runs it on the fresh bench output so a backend that
+//! silently stops reporting telemetry (a new engine forgetting to
+//! instrument, a refactor dropping the counters) fails the build instead
+//! of quietly degrading the run reports.
 //!
 //! Matches rows by `(backend, topology, n, mode)` and, for every
 //! **stabilization** row present in both files, compares the candidate's
@@ -32,7 +45,21 @@
 //! scheduled-throughput extremes the sparse skipper produces, which swing
 //! orders of magnitude with trivial phase-boundary shifts. The JSON
 //! parser is hand-rolled for exactly the object layout `bench_backends`
-//! writes (flat string/number fields, one row object per line).
+//! writes: rows are split by balanced-brace scanning (each row embeds a
+//! nested `telemetry` object), and the row's own scalar fields are found
+//! by first occurrence, which is safe because `bench_backends` emits the
+//! telemetry object as the row's **last** key.
+
+/// The telemetry summary a row may carry (`None` when the row predates
+/// telemetry, or its block is empty/unparseable — the distinction only
+/// matters to `--assert-telemetry`, which treats all three as failures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TelemetrySummary {
+    scheduled: u64,
+    effective_fraction: f64,
+    cancel_rate: f64,
+    fallback_rate: f64,
+}
 
 /// One parsed benchmark row (the fields the gate needs).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +70,7 @@ struct CmpRow {
     mode: String,
     scheduled_per_s: f64,
     effective_per_s: f64,
+    telemetry: Option<TelemetrySummary>,
 }
 
 impl CmpRow {
@@ -84,14 +112,72 @@ fn num_field(obj: &str, key: &str) -> Result<f64, String> {
         .map_err(|e| format!("field '{key}': {e}"))
 }
 
+/// Byte range (inclusive of both braces) of the balanced `{...}` object
+/// starting at byte `at` (which must be `{`). String-aware, so a `{` or
+/// `}` inside a quoted topology label cannot desynchronize the scan.
+fn balanced_object(s: &str, at: usize) -> Result<(usize, usize), String> {
+    let bytes = s.as_bytes();
+    if bytes.get(at) != Some(&b'{') {
+        return Err("expected '{' at object start".to_string());
+    }
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (off, &b) in bytes[at..].iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escaped = true,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => depth += 1,
+            b'}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((at, at + off + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated object".to_string())
+}
+
+/// Extract and summarize a row's nested `telemetry` object. `None` when
+/// the key is absent or the block lacks the expected counters/rates.
+fn parse_telemetry(obj: &str) -> Option<TelemetrySummary> {
+    let at = obj.find("\"telemetry\":")?;
+    let open = at + obj[at..].find('{')?;
+    let (start, end) = balanced_object(obj, open).ok()?;
+    let t = &obj[start..end];
+    Some(TelemetrySummary {
+        scheduled: num_field(t, "scheduled").ok()? as u64,
+        effective_fraction: num_field(t, "effective_fraction").ok()?,
+        cancel_rate: num_field(t, "cancel_rate").ok()?,
+        fallback_rate: num_field(t, "fallback_rate").ok()?,
+    })
+}
+
 /// Parse the `rows` array of a `bench_backends --json` document.
 fn parse_rows(doc: &str) -> Result<Vec<CmpRow>, String> {
     let rows_at = doc.find("\"rows\"").ok_or("no \"rows\" key")?;
     let open = doc[rows_at..].find('[').ok_or("no rows array")? + rows_at;
-    let close = doc[open..].find(']').ok_or("unterminated rows array")? + open;
+    let bytes = doc.as_bytes();
     let mut rows = Vec::new();
-    for chunk in doc[open + 1..close].split('{').skip(1) {
-        let obj = chunk.split('}').next().ok_or("unterminated row object")?;
+    let mut i = open + 1;
+    loop {
+        while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b']' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err("unterminated rows array".to_string());
+        }
+        if bytes[i] == b']' {
+            break;
+        }
+        let (start, end) = balanced_object(doc, i)?;
+        let obj = &doc[start..end];
         rows.push(CmpRow {
             backend: str_field(obj, "backend")?,
             topology: str_field(obj, "topology")?,
@@ -99,9 +185,20 @@ fn parse_rows(doc: &str) -> Result<Vec<CmpRow>, String> {
             mode: str_field(obj, "mode")?,
             scheduled_per_s: num_field(obj, "scheduled_per_s")?,
             effective_per_s: num_field(obj, "effective_per_s")?,
+            telemetry: parse_telemetry(obj),
         });
+        i = end;
     }
     Ok(rows)
+}
+
+/// `--assert-telemetry` check: every row must carry a telemetry block
+/// with `scheduled > 0`. Returns the keys of the rows that fail.
+fn missing_telemetry(rows: &[CmpRow]) -> Vec<String> {
+    rows.iter()
+        .filter(|r| !matches!(r.telemetry, Some(t) if t.scheduled > 0))
+        .map(|r| r.key())
+        .collect()
 }
 
 /// One gated comparison.
@@ -214,14 +311,49 @@ fn summary_markdown(comparisons: &[Comparison], threshold: f64) -> String {
     doc
 }
 
+/// Render the candidate rows' telemetry rates as a markdown table (every
+/// row, both modes — the rates characterize the run even where wall time
+/// is not gated). Empty string when no row carries telemetry, so old
+/// documents produce no stub section.
+fn telemetry_markdown(rows: &[CmpRow]) -> String {
+    if rows.iter().all(|r| r.telemetry.is_none()) {
+        return String::new();
+    }
+    let mut doc = String::from("### Candidate telemetry rates\n\n");
+    doc.push_str("| scenario | effective frac | cancel rate | fallback rate |\n");
+    doc.push_str("|---|---:|---:|---:|\n");
+    for r in rows {
+        match r.telemetry {
+            Some(t) => doc.push_str(&format!(
+                "| `{}` | {:.4} | {:.4} | {:.4} |\n",
+                r.key(),
+                t.effective_fraction,
+                t.cancel_rate,
+                t.fallback_rate
+            )),
+            None => doc.push_str(&format!("| `{}` | — | — | — |\n", r.key())),
+        }
+    }
+    doc.push('\n');
+    doc
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.40f64;
     let mut summary: Option<String> = None;
+    let mut assert_telemetry: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--assert-telemetry" => match it.next() {
+                Some(path) if !path.is_empty() => assert_telemetry = Some(path.clone()),
+                _ => {
+                    eprintln!("--assert-telemetry needs a run-JSON path");
+                    std::process::exit(2);
+                }
+            },
             "--threshold" => {
                 threshold = it
                     .next()
@@ -241,13 +373,48 @@ fn main() {
             },
             other if !other.starts_with("--") => paths.push(other.to_string()),
             other => {
-                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>])");
+                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json>)");
                 std::process::exit(2);
             }
         }
     }
+    if let Some(path) = assert_telemetry {
+        // Standalone smoke mode: no baseline involved, so it rejects any
+        // extra positional paths instead of silently ignoring them.
+        if !paths.is_empty() {
+            eprintln!("--assert-telemetry takes no positional paths (got {paths:?})");
+            std::process::exit(2);
+        }
+        let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let rows = parse_rows(&doc).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        if rows.is_empty() {
+            eprintln!("{path}: no rows — nothing to assert telemetry on");
+            std::process::exit(2);
+        }
+        let missing = missing_telemetry(&rows);
+        if missing.is_empty() {
+            println!(
+                "{path}: all {} row(s) report a telemetry block with scheduled > 0",
+                rows.len()
+            );
+            return;
+        }
+        eprintln!(
+            "{path}: {} of {} row(s) missing a live telemetry block:\n  {}",
+            missing.len(),
+            rows.len(),
+            missing.join("\n  ")
+        );
+        std::process::exit(1);
+    }
     if paths.len() != 2 {
-        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>]");
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json>");
         std::process::exit(2);
     }
     // Every exit-2 path below reports through this, so a mis-set-up gate
@@ -270,7 +437,8 @@ fn main() {
     let candidate = read(&paths[1]);
     let comparisons = compare(&baseline, &candidate, threshold).unwrap_or_else(|e| fail_setup(e));
     if let Some(path) = &summary {
-        append_summary(path, &summary_markdown(&comparisons, threshold));
+        let doc = summary_markdown(&comparisons, threshold) + &telemetry_markdown(&candidate);
+        append_summary(path, &doc);
     }
 
     println!(
@@ -308,14 +476,30 @@ fn main() {
 mod tests {
     use super::*;
 
-    fn doc(rows: &[(&str, &str, u64, &str, f64)]) -> String {
+    /// A telemetry block in the `EngineTelemetry::to_json` layout (the
+    /// fields the parser extracts, inside the same nesting).
+    fn telemetry_json(scheduled: u64) -> String {
+        format!(
+            "{{\"scheduled\":{scheduled},\"effective\":7,\"dense_steps\":3,\
+             \"sparse\":{{\"events\":2,\"entries_applied\":5,\"entries_cancelled\":5}},\
+             \"spans\":{{\"dense_ns\":0,\"sparse_ns\":0}},\
+             \"rates\":{{\"effective_fraction\":0.070000,\"cancel_rate\":0.500000,\
+             \"fallback_rate\":0.125000}}}}"
+        )
+    }
+
+    fn doc_with_telemetry(
+        rows: &[(&str, &str, u64, &str, f64)],
+        telemetry: Option<&str>,
+    ) -> String {
         let body: Vec<String> = rows
             .iter()
             .map(|(b, t, n, m, eff)| {
+                let tail = telemetry.map_or(String::new(), |t| format!(",\"telemetry\":{t}"));
                 format!(
                     "  {{\"backend\":\"{b}\",\"topology\":\"{t}\",\"n\":{n},\"mode\":\"{m}\",\
                      \"wall_s\":1.0,\"scheduled\":100,\"effective\":50,\
-                     \"scheduled_per_s\":{:.1},\"effective_per_s\":{eff:.1}}}",
+                     \"scheduled_per_s\":{:.1},\"effective_per_s\":{eff:.1}{tail}}}",
                     eff * 2.0
                 )
             })
@@ -324,6 +508,10 @@ mod tests {
             "{{\n\"workload\": \"bench_backends\",\n\"quick\": false,\n\"rows\": [\n{}\n]\n}}\n",
             body.join(",\n")
         )
+    }
+
+    fn doc(rows: &[(&str, &str, u64, &str, f64)]) -> String {
+        doc_with_telemetry(rows, None)
     }
 
     #[test]
@@ -408,6 +596,67 @@ mod tests {
     fn malformed_documents_are_rejected() {
         assert!(parse_rows("{}").is_err());
         assert!(parse_rows("{\"rows\": [{\"backend\":\"agent\"}]}").is_err());
+        assert!(parse_rows("{\"rows\": [{\"backend\":\"agent\"").is_err());
+    }
+
+    #[test]
+    fn nested_telemetry_blocks_parse_and_do_not_break_row_splitting() {
+        let spec: &[(&str, &str, u64, &str, f64)] = &[
+            ("graph", "torus-endgame", 65_536, "stabilize", 3.5e6),
+            ("batchgraph", "cycle-frontier", 65_536, "target", 4.6e3),
+        ];
+        let rows = parse_rows(&doc_with_telemetry(spec, Some(&telemetry_json(100)))).unwrap();
+        assert_eq!(rows.len(), 2, "balanced scan must split rows, not braces");
+        for r in &rows {
+            let t = r.telemetry.expect("telemetry block parsed");
+            assert_eq!(t.scheduled, 100);
+            assert!((t.effective_fraction - 0.07).abs() < 1e-9);
+            assert!((t.cancel_rate - 0.5).abs() < 1e-9);
+            assert!((t.fallback_rate - 0.125).abs() < 1e-9);
+        }
+        // The row's own top-level fields still resolve by first
+        // occurrence even though the telemetry block repeats their names.
+        assert_eq!(rows[0].n, 65_536);
+        assert!((rows[0].effective_per_s - 3.5e6).abs() < 1.0);
+        // Rows without telemetry parse as None, and an empty block also
+        // summarizes to None rather than a half-filled struct.
+        let bare = parse_rows(&doc(spec)).unwrap();
+        assert!(bare.iter().all(|r| r.telemetry.is_none()));
+        let empty = parse_rows(&doc_with_telemetry(spec, Some("{}"))).unwrap();
+        assert!(empty.iter().all(|r| r.telemetry.is_none()));
+    }
+
+    #[test]
+    fn assert_telemetry_flags_missing_and_dead_blocks() {
+        let spec: &[(&str, &str, u64, &str, f64)] =
+            &[("graph", "torus-endgame", 65_536, "stabilize", 3.5e6)];
+        let live = parse_rows(&doc_with_telemetry(spec, Some(&telemetry_json(100)))).unwrap();
+        assert!(missing_telemetry(&live).is_empty());
+        let absent = parse_rows(&doc(spec)).unwrap();
+        assert_eq!(missing_telemetry(&absent).len(), 1);
+        // A block that parses but never scheduled anything is equally dead.
+        let zeroed = parse_rows(&doc_with_telemetry(spec, Some(&telemetry_json(0)))).unwrap();
+        let missing = missing_telemetry(&zeroed);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("torus-endgame"), "{missing:?}");
+    }
+
+    #[test]
+    fn telemetry_markdown_lists_rates_and_skips_bare_documents() {
+        let spec: &[(&str, &str, u64, &str, f64)] = &[
+            ("graph", "torus-endgame", 65_536, "stabilize", 3.5e6),
+            ("agent", "regular:8", 100_000, "target", 5.0e6),
+        ];
+        let bare = parse_rows(&doc(spec)).unwrap();
+        assert!(telemetry_markdown(&bare).is_empty());
+        let mut rows = parse_rows(&doc_with_telemetry(spec, Some(&telemetry_json(100)))).unwrap();
+        rows[1].telemetry = None; // one instrumented row is enough for a table
+        let md = telemetry_markdown(&rows);
+        assert!(md.contains("| scenario | effective frac | cancel rate | fallback rate |"));
+        assert!(
+            md.contains("| `graph/torus-endgame n=65536 [stabilize]` | 0.0700 | 0.5000 | 0.1250 |")
+        );
+        assert!(md.contains("| `agent/regular:8 n=100000 [target]` | — | — | — |"));
     }
 
     #[test]

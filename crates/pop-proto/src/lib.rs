@@ -59,8 +59,9 @@
 //! cycle, torus, hypercube, random regular, Erdős–Rényi, complete),
 //! [`stopping`] (stop conditions and the run driver), [`trace`] (snapshot
 //! recording), [`observe`] (the backend-agnostic observation layer behind
-//! [`Simulator::advance_observed`]), and [`metrics`] (parallel-time
-//! conversions).
+//! [`Simulator::advance_observed`]), [`telemetry`] (always-on engine
+//! counters and gated timing spans behind [`Simulator::telemetry`]), and
+//! [`metrics`] (parallel-time conversions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +75,7 @@ pub mod sampling;
 pub mod scheduler;
 pub mod simulator;
 pub mod stopping;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
@@ -89,5 +91,6 @@ pub use simulator::{
     InteractionRecord, Simulator, StateWord, WideBatchGraphSimulator,
 };
 pub use stopping::{RunOutcome, StopReason, Stopper};
+pub use telemetry::{EngineTelemetry, SpanClock, SpanSet, SparseStats};
 pub use topology::TopologyFamily;
 pub use trace::TraceRecorder;

@@ -3,6 +3,7 @@
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::scheduler::Scheduler;
+use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
 /// Full account of one interaction: who was scheduled and the dense state
@@ -58,6 +59,10 @@ pub struct AgentSimulator<P: Protocol, S: Scheduler> {
     interactions: u64,
     /// Interactions that changed at least one agent's state.
     effective_interactions: u64,
+    /// Engine telemetry. A per-event engine: the live counters are
+    /// `scheduled`/`effective` (mirroring the clocks), `dense_steps`, and
+    /// `pair_draws` — one per scheduled interaction. No phases, no spans.
+    telemetry: EngineTelemetry,
 }
 
 impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
@@ -81,6 +86,7 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
             counts,
             interactions: 0,
             effective_interactions: 0,
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -155,6 +161,9 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
         let (i, j) = self.scheduler.next_pair(rng);
         debug_assert_ne!(i, j);
         self.interactions += 1;
+        self.telemetry.scheduled += 1;
+        self.telemetry.dense_steps += 1;
+        self.telemetry.pair_draws += 1;
         let (si, sj) = (self.states[i], self.states[j]);
         let (ti, tj) = self.protocol.transition_indices(si, sj);
         if (ti, tj) != (si, sj) {
@@ -165,6 +174,7 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
             self.states[i] = ti;
             self.states[j] = tj;
             self.effective_interactions += 1;
+            self.telemetry.effective += 1;
         }
         InteractionRecord {
             initiator: i,
@@ -226,6 +236,10 @@ impl<P: Protocol, S: Scheduler> crate::simulator::Simulator for AgentSimulator<P
 
     fn is_silent(&self) -> bool {
         AgentSimulator::is_silent(self)
+    }
+
+    fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 }
 

@@ -65,6 +65,7 @@
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::simulator::Simulator;
+use crate::telemetry::EngineTelemetry;
 use sim_stats::binomial::ln_factorial;
 use sim_stats::multinomial::{hypergeometric_pairing_table, multivariate_hypergeometric};
 use sim_stats::rng::SimRng;
@@ -116,6 +117,15 @@ pub struct BatchSimulator<P: Protocol> {
     /// results — the row sampler's streams are position-derived — only
     /// wall clock.
     threads: usize,
+    /// Engine telemetry: live counters here are `scheduled`/`effective`
+    /// (mirroring the clocks), `blocks`/`block_draws` (batches leapt and
+    /// the scheduled draws they covered), `block_applied` (effective
+    /// interactions applied count-wise inside batches),
+    /// `fallback_literal` (effective collision interactions simulated
+    /// individually), `table_draws` (hypergeometric row draws),
+    /// `skip_draws` (geometric skip-ahead draws), `dense_steps` and
+    /// `pair_draws` (single-step and conditional-pair draws). No spans.
+    telemetry: EngineTelemetry,
 }
 
 impl<P: Protocol> BatchSimulator<P> {
@@ -151,6 +161,7 @@ impl<P: Protocol> BatchSimulator<P> {
             ln_fact_n: ln_factorial(n),
             ln_pairs: nf.ln() + (nf - 1.0).ln(),
             threads: sim_stats::threads::resolve_threads(),
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -240,6 +251,7 @@ impl<P: Protocol> BatchSimulator<P> {
         self.counts[ti as usize] += 1;
         self.counts[tj as usize] += 1;
         self.effective_interactions += 1;
+        self.telemetry.effective += 1;
         true
     }
 
@@ -247,6 +259,9 @@ impl<P: Protocol> BatchSimulator<P> {
     /// linear-scan sampling); returns whether it changed the configuration.
     pub fn step(&mut self, rng: &mut SimRng) -> bool {
         self.interactions += 1;
+        self.telemetry.scheduled += 1;
+        self.telemetry.dense_steps += 1;
+        self.telemetry.pair_draws += 1;
         let si = Self::pick_state(&self.counts, rng, self.n);
         self.counts[si] -= 1;
         let sj = Self::pick_state(&self.counts, rng, self.n - 1);
@@ -293,14 +308,18 @@ impl<P: Protocol> BatchSimulator<P> {
     fn skip_step(&mut self, rng: &mut SimRng, max: u64, eff: u128, total: u128) -> (u64, bool) {
         debug_assert!(eff > 0, "skip_step on a silent configuration");
         let p_eff = (eff as f64 / total as f64).min(1.0);
+        self.telemetry.skip_draws += 1;
         let skipped = rng.geometric(p_eff);
         if skipped >= max {
             // The effective interaction lands beyond the horizon: the
             // first `max` interactions are conditionally all no-ops.
             self.interactions += max;
+            self.telemetry.scheduled += max;
             return (max, false);
         }
         self.interactions += skipped + 1;
+        self.telemetry.scheduled += skipped + 1;
+        self.telemetry.pair_draws += 1;
 
         // Sample the effective ordered pair (i, j) ∝ cᵢ(cⱼ − [i=j]) over
         // non-no-op pairs.
@@ -368,10 +387,13 @@ impl<P: Protocol> BatchSimulator<P> {
     /// `2·length` agents involved).
     fn apply_batch(&mut self, rng: &mut SimRng, length: u64) -> Vec<u64> {
         let k = self.k;
+        self.telemetry.blocks += 1;
+        self.telemetry.block_draws += length;
         // 2. Participants: 2L distinct agents, without replacement.
         let participants = multivariate_hypergeometric(rng, &self.counts, 2 * length);
         // 3. Initiator / responder split, then the k² pairing-table rows.
         let initiators = multivariate_hypergeometric(rng, &participants, length);
+        self.telemetry.table_draws += 2;
         let mut responders: Vec<u64> = participants
             .iter()
             .zip(initiators.iter())
@@ -391,6 +413,7 @@ impl<P: Protocol> BatchSimulator<P> {
             // results for any thread count.
             let pairing =
                 hypergeometric_pairing_table(rng.next(), &initiators, &responders, self.threads);
+            self.telemetry.table_draws += k as u64;
             // 4. Apply f(i, j) count-wise, one pair class at a time.
             for (cell, &m_ij) in pairing.iter().enumerate() {
                 if m_ij == 0 {
@@ -401,6 +424,8 @@ impl<P: Protocol> BatchSimulator<P> {
                 post[tj as usize] += m_ij;
                 if !self.noop[cell] {
                     self.effective_interactions += m_ij;
+                    self.telemetry.effective += m_ij;
+                    self.telemetry.block_applied += m_ij;
                 }
             }
         } else {
@@ -415,6 +440,7 @@ impl<P: Protocol> BatchSimulator<P> {
                 let row = if a_i == remaining {
                     std::mem::take(&mut responders)
                 } else {
+                    self.telemetry.table_draws += 1;
                     let row = multivariate_hypergeometric(rng, &responders, a_i);
                     for (b, &r) in responders.iter_mut().zip(row.iter()) {
                         *b -= r;
@@ -432,6 +458,8 @@ impl<P: Protocol> BatchSimulator<P> {
                     post[tj as usize] += m_ij;
                     if !self.noop[i * k + j] {
                         self.effective_interactions += m_ij;
+                        self.telemetry.effective += m_ij;
+                        self.telemetry.block_applied += m_ij;
                     }
                 }
                 if remaining == 0 {
@@ -443,6 +471,7 @@ impl<P: Protocol> BatchSimulator<P> {
             *c += p;
         }
         self.interactions += length;
+        self.telemetry.scheduled += length;
         post
     }
 
@@ -485,7 +514,13 @@ impl<P: Protocol> BatchSimulator<P> {
             (si, sj)
         };
         self.interactions += 1;
-        self.apply_pair(si, sj);
+        self.telemetry.scheduled += 1;
+        self.telemetry.pair_draws += 1;
+        if self.apply_pair(si, sj) {
+            // The colliding interaction is the batch engine's literal
+            // single-event fallback.
+            self.telemetry.fallback_literal += 1;
+        }
     }
 
     /// Advance by at most `max` interactions using the cheapest exact
@@ -507,6 +542,7 @@ impl<P: Protocol> BatchSimulator<P> {
             // Silent: every remaining interaction is provably a no-op, so
             // the whole horizon can be charged to the clock at once.
             self.interactions += max;
+            self.telemetry.scheduled += max;
             return (max, false);
         }
         // Distance guard: a batch of length L plus its collision touches
@@ -597,6 +633,10 @@ impl<P: Protocol> Simulator for BatchSimulator<P> {
 
     fn is_silent(&self) -> bool {
         BatchSimulator::is_silent(self)
+    }
+
+    fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 }
 
@@ -703,6 +743,32 @@ mod tests {
         sim.run(&mut rng, u64::MAX / 2, |s| s.counts()[0] >= 5_000);
         assert!(sim.counts()[0] >= 5_000);
         assert!(sim.counts()[0] < 10_000, "stop must fire before completion");
+    }
+
+    #[test]
+    fn telemetry_mirrors_clocks_and_accounts_for_batches_and_skips() {
+        // A full epidemic crosses batch leaping (bulk) and geometric
+        // skip-ahead (endgame); the telemetry mirrors must track the
+        // clocks exactly and the mechanism counters must account for the
+        // run's structure.
+        let mut sim = epidemic(100_000, 100);
+        let mut rng = SimRng::new(23);
+        while !sim.is_silent() {
+            sim.advance(&mut rng, u64::MAX / 2);
+        }
+        let t = Simulator::telemetry(&sim);
+        assert_eq!(t.scheduled, sim.interactions());
+        assert_eq!(t.effective, sim.effective_interactions());
+        assert!(t.blocks >= 1, "no batches leapt");
+        assert!(t.block_draws >= t.blocks);
+        assert!(t.skip_draws >= 1, "endgame never skipped");
+        // Participants + initiators cost two hypergeometric draws per
+        // batch before any pairing rows.
+        assert!(t.table_draws >= 2 * t.blocks);
+        // Every effective interaction is a count-wise batch application, a
+        // literal collision fallback, or a skip-ahead event.
+        assert!(t.block_applied + t.fallback_literal <= t.effective);
+        assert_eq!(t.spans, crate::telemetry::SpanSet::new());
     }
 
     #[test]

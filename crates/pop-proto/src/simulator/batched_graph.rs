@@ -98,6 +98,7 @@ use crate::simulator::sparse::{
     orient_event, SparseSkipper, SparseStep, SPARSE_BLOCK_EVENTS, SPARSE_TRIGGER_NOOPS,
 };
 use crate::simulator::{shuffled_layout, Simulator};
+use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
 /// Packed storage width for the batch-graph engine's per-agent state array.
@@ -222,6 +223,15 @@ pub struct BatchGraphSimulator<P: Protocol, S: StateWord = u8> {
     /// diagnostics, and property tests; see
     /// [`BatchGraphSimulator::last_block_matching`]).
     block_events: Vec<(u32, u32)>,
+    /// Engine telemetry: live counters here are `scheduled`/`effective`
+    /// (mirroring the interaction clocks, *including* the silence rewind),
+    /// `blocks`/`block_draws`/`block_applied`, `fallback_literal` (dirty
+    /// draws applied literally), `pair_draws`, `sparse_enters`/
+    /// `sparse_exits`, the harvested skipper stats, and the spans — with
+    /// the batch-specific convention `dense ⊇ gather + apply` (gather =
+    /// passes 1–3, apply = the matching scan, dense = the whole chunk, so
+    /// `dense − gather − apply` is the scan's bookkeeping overhead).
+    telemetry: EngineTelemetry,
 }
 
 impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
@@ -289,6 +299,7 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
             ends: Vec::with_capacity(chunk),
             pair_states: Vec::with_capacity(chunk),
             block_events: Vec::new(),
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -455,6 +466,7 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
         self.counts[ti.unpack()] += 1;
         self.counts[tj.unpack()] += 1;
         self.effective_interactions += 1;
+        self.telemetry.effective += 1;
         if self.sparse.is_none() {
             self.states[i] = ti;
             self.states[j] = tj;
@@ -479,6 +491,17 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
         let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
         self.sparse = Some(SparseSkipper::new(&weights));
         self.noop_run = 0;
+        self.telemetry.sparse_enters += 1;
+    }
+
+    /// Drop the sparse skipper (activity recovered), harvesting its
+    /// telemetry first so no counters are lost with the phase.
+    fn exit_sparse(&mut self) {
+        if let Some(mut s) = self.sparse.take() {
+            self.telemetry.sparse.absorb(s.take_stats());
+            self.telemetry.sparse_exits += 1;
+        }
+        self.noop_run = 0;
     }
 
     /// Simulate exactly one scheduled interaction (uniform edge, uniform
@@ -486,6 +509,9 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
     /// the configuration.
     pub fn step(&mut self, rng: &mut SimRng) -> bool {
         self.interactions += 1;
+        self.telemetry.scheduled += 1;
+        self.telemetry.dense_steps += 1;
+        self.telemetry.pair_draws += 1;
         let v = rng.below(2 * self.edges.len() as u64);
         let (a, b) = self.edges[(v >> 1) as usize];
         let (i, j) = if v & 1 == 0 {
@@ -542,6 +568,7 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
                 .end_event();
         }
         self.interactions += advanced;
+        self.telemetry.scheduled += advanced;
         (advanced, events > 0)
     }
 
@@ -555,6 +582,11 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
         let m2 = 2 * self.edges.len() as u64;
         let k = self.k;
         let want = (self.chunk as u64).min(max) as usize;
+        self.telemetry.blocks += 1;
+        self.telemetry.block_draws += want as u64;
+        self.telemetry.pair_draws += want as u64;
+        let t_chunk = self.telemetry.clock.start();
+        let t_gather = self.telemetry.clock.start();
         // The buffers move out of `self` for the passes so the tight loops
         // borrow disjoint data (no `&mut self` aliasing, no re-loads).
         let mut draws = std::mem::take(&mut self.draws);
@@ -580,6 +612,8 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
         for &(a, b) in &ends {
             pair_states.push((self.states[a as usize], self.states[b as usize]));
         }
+        self.telemetry.spans.gather_ns += self.telemetry.clock.elapsed_ns(t_gather);
+        let t_apply = self.telemetry.clock.start();
         // Pass 4: the matching scan, in schedule order. Everything the
         // loop touches is a local or a disjoint field borrow — per-draw
         // `&mut self` method calls would force the compiler to reload
@@ -601,6 +635,7 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
         // for the silence rewind below.
         let mut last_change = 0u64;
         let mut trigger = false;
+        let mut fallback = 0u64;
         for idx in 0..want {
             let (iv, jv) = ends[idx];
             advanced += 1;
@@ -648,28 +683,38 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
                 // Only clean applications belong to the block's matching —
                 // a fallback draw may legitimately reuse a matched vertex.
                 block_events.push((iv, jv));
+            } else {
+                fallback += 1;
             }
         }
+        self.telemetry.block_applied += block_events.len() as u64;
+        self.telemetry.fallback_literal += fallback;
+        self.telemetry.spans.apply_ns += self.telemetry.clock.elapsed_ns(t_apply);
         self.states = states;
         self.bitmap = bitmap;
         self.dirty_list = dirty_list;
         self.block_events = block_events;
         self.noop_run = noop_run;
         self.effective_interactions += effective;
+        self.telemetry.effective += effective;
         self.draws = draws;
         self.ends = ends;
         self.pair_states = pair_states;
         self.clear_chunk();
         self.interactions += advanced;
+        self.telemetry.scheduled += advanced;
         // Silence rewind: if the chunk's last effective interaction
         // silenced the configuration, its trailing draws are provably
         // no-ops that postdate silence; drop them from the clock so the
         // stabilization convention (clock stops at silence) matches the
-        // per-event engines exactly.
+        // per-event engines exactly. The telemetry mirror follows the
+        // rewind too — `scheduled` stays identical to `interactions()`.
         if changed && advanced > last_change && self.is_silent() {
             self.interactions -= advanced - last_change;
+            self.telemetry.scheduled -= advanced - last_change;
             advanced = last_change;
         }
+        self.telemetry.spans.dense_ns += self.telemetry.clock.elapsed_ns(t_chunk);
         (advanced, changed, trigger)
     }
 
@@ -687,6 +732,17 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
     /// before advancing, which both `run_until` and the stabilization
     /// entry points do.
     pub fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        let out = self.advance_changed_impl(rng, max);
+        // Harvest the skipper's telemetry at every advancement boundary so
+        // the engine's totals are current even while the sparse phase is
+        // live (runs routinely *end* inside it).
+        if let Some(s) = &mut self.sparse {
+            self.telemetry.sparse.absorb(s.take_stats());
+        }
+        out
+    }
+
+    fn advance_changed_impl(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
         if max == 0 {
             return (0, false);
         }
@@ -700,10 +756,11 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
                 }
                 if s.should_exit_to_dense() {
                     // Activity recovered: hand back to the block engine.
-                    self.sparse = None;
-                    self.noop_run = 0;
+                    self.exit_sparse();
                 } else {
+                    let t0 = self.telemetry.clock.start();
                     let (leapt, ch) = self.sparse_block(rng, max - advanced);
+                    self.telemetry.spans.sparse_ns += self.telemetry.clock.elapsed_ns(t0);
                     return (advanced + leapt, changed || ch);
                 }
             }
@@ -793,6 +850,14 @@ impl<P: Protocol, S: StateWord> Simulator for BatchGraphSimulator<P, S> {
 
     fn is_silent(&self) -> bool {
         BatchGraphSimulator::is_silent(self)
+    }
+
+    fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
+    fn set_span_timing(&mut self, enabled: bool) {
+        self.telemetry.clock.enabled = enabled;
     }
 }
 
@@ -1103,6 +1168,68 @@ mod tests {
             wide.effective_interactions()
         );
         assert_eq!(narrow.counts(), wide.counts());
+    }
+
+    #[test]
+    fn telemetry_mirrors_clocks_across_phases_and_the_silence_rewind() {
+        // A cycle epidemic crosses dense blocks, the silence rewind, and a
+        // long sparse phase; the telemetry mirrors must track the clocks
+        // exactly through all of it — including the rewind, which
+        // *subtracts* trailing post-silence draws from both.
+        let g = Graph::cycle(2_048);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(41);
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+        }
+        let t = Simulator::telemetry(&sim);
+        assert_eq!(t.scheduled, sim.interactions());
+        assert_eq!(t.effective, sim.effective_interactions());
+        assert!(t.blocks >= 1, "no dense blocks scanned");
+        assert!(t.block_draws >= t.blocks, "blocks without draws");
+        assert!(t.sparse_enters >= 1, "never escalated to sparse");
+        assert!(t.sparse.events > 0, "skipper stats were not harvested");
+        // Every effective interaction is a clean block application, a
+        // dirty literal fallback, or a sparse-phase event.
+        assert_eq!(
+            t.block_applied + t.fallback_literal + t.sparse.events,
+            t.effective
+        );
+        // Span timing is off by default: no clock reads, zero spans.
+        assert_eq!(t.spans, crate::telemetry::SpanSet::new());
+    }
+
+    #[test]
+    fn telemetry_block_accounting_matches_on_an_effective_dominated_run() {
+        // An expander bulk phase is where the matching engine lives: most
+        // applications must be clean (block matching), with the literal
+        // fallback a small minority, and the identity with `effective`
+        // must hold exactly.
+        let g = crate::topology::TopologyFamily::Regular { d: 8 }.build(4_096, 7);
+        let mut states = vec![1usize; 4_096];
+        for s in states.iter_mut().take(2_048) {
+            *s = 0;
+        }
+        let mut sim = BatchGraphSimulator::new(OneWayEpidemic, &g, states);
+        let mut rng = SimRng::new(43);
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+        }
+        let t = Simulator::telemetry(&sim);
+        assert_eq!(t.scheduled, sim.interactions());
+        assert_eq!(t.effective, sim.effective_interactions());
+        assert_eq!(
+            t.block_applied + t.fallback_literal + t.sparse.events,
+            t.effective
+        );
+        assert!(t.block_applied > 0, "no clean matching applications");
+        assert!(
+            t.block_applied > t.fallback_literal,
+            "matching rejected more than it applied: {} clean vs {} fallback",
+            t.block_applied,
+            t.fallback_literal
+        );
+        assert_eq!(t.pair_draws, t.block_draws, "all draws come from blocks");
     }
 
     #[test]

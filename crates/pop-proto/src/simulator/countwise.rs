@@ -3,6 +3,7 @@
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::sampling::FenwickSampler;
+use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
 /// Count-based exact simulator for the uniform clique scheduler.
@@ -29,6 +30,11 @@ pub struct CountSimulator<P: Protocol> {
     n: u64,
     interactions: u64,
     effective_interactions: u64,
+    /// Engine telemetry. A per-event engine: the live counters are
+    /// `scheduled`/`effective` (mirroring the clocks), `dense_steps`, and
+    /// `pair_draws` — one per scheduled state-pair draw. No phases, no
+    /// spans.
+    telemetry: EngineTelemetry,
 }
 
 impl<P: Protocol> CountSimulator<P> {
@@ -46,6 +52,7 @@ impl<P: Protocol> CountSimulator<P> {
             n: config.n(),
             interactions: 0,
             effective_interactions: 0,
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -87,6 +94,9 @@ impl<P: Protocol> CountSimulator<P> {
     /// Run one interaction; returns `true` if it changed the configuration.
     pub fn step(&mut self, rng: &mut SimRng) -> bool {
         self.interactions += 1;
+        self.telemetry.scheduled += 1;
+        self.telemetry.dense_steps += 1;
+        self.telemetry.pair_draws += 1;
         let (si, sj) = self.sampler.sample_distinct_pair(rng);
         let (ti, tj) = self.protocol.transition_indices(si, sj);
         if (ti, tj) == (si, sj) {
@@ -97,6 +107,7 @@ impl<P: Protocol> CountSimulator<P> {
         self.sampler.add(ti, 1);
         self.sampler.add(tj, 1);
         self.effective_interactions += 1;
+        self.telemetry.effective += 1;
         true
     }
 
@@ -151,6 +162,10 @@ impl<P: Protocol> crate::simulator::Simulator for CountSimulator<P> {
 
     fn is_silent(&self) -> bool {
         CountSimulator::is_silent(self)
+    }
+
+    fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 }
 

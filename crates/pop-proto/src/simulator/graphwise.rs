@@ -73,6 +73,7 @@ use crate::graph::Graph;
 use crate::protocol::Protocol;
 use crate::simulator::sparse::{orient_event, SparseSkipper, SparseStep, SPARSE_TRIGGER_NOOPS};
 use crate::simulator::Simulator;
+use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
 /// Exact active-edge simulator for a fixed interaction graph.
@@ -116,6 +117,11 @@ pub struct GraphSimulator<P: Protocol> {
     table: Vec<(u32, u32)>,
     /// Whether `(i, j)` is a no-op (`noop[i * k + j]`).
     noop: Vec<bool>,
+    /// Engine telemetry: live counters here are `scheduled`/`effective`
+    /// (mirroring the interaction clocks), `dense_steps`, `pair_draws`,
+    /// `sparse_enters`/`sparse_exits`, the harvested skipper stats, and
+    /// the dense/sparse spans.
+    telemetry: EngineTelemetry,
 }
 
 impl<P: Protocol> GraphSimulator<P> {
@@ -166,6 +172,7 @@ impl<P: Protocol> GraphSimulator<P> {
             effective_interactions: 0,
             table,
             noop,
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -333,6 +340,7 @@ impl<P: Protocol> GraphSimulator<P> {
         self.counts[ti as usize] += 1;
         self.counts[tj as usize] += 1;
         self.effective_interactions += 1;
+        self.telemetry.effective += 1;
         if self.sparse.is_none() {
             self.states[i] = ti;
             self.states[j] = tj;
@@ -360,6 +368,17 @@ impl<P: Protocol> GraphSimulator<P> {
         let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
         self.sparse = Some(SparseSkipper::new(&weights));
         self.noop_run = 0;
+        self.telemetry.sparse_enters += 1;
+    }
+
+    /// Drop the sparse skipper (activity recovered), harvesting its
+    /// telemetry first so no counters are lost with the phase.
+    fn exit_sparse(&mut self) {
+        if let Some(mut s) = self.sparse.take() {
+            self.telemetry.sparse.absorb(s.take_stats());
+            self.telemetry.sparse_exits += 1;
+        }
+        self.noop_run = 0;
     }
 
     /// Simulate exactly one scheduled interaction (uniform edge, uniform
@@ -369,6 +388,9 @@ impl<P: Protocol> GraphSimulator<P> {
     /// [`GraphScheduler`]: crate::scheduler::GraphScheduler
     pub fn step(&mut self, rng: &mut SimRng) -> bool {
         self.interactions += 1;
+        self.telemetry.scheduled += 1;
+        self.telemetry.dense_steps += 1;
+        self.telemetry.pair_draws += 1;
         let (a, b) = self.edges[rng.index(self.edges.len())];
         let (i, j) = if rng.bernoulli(0.5) {
             (a as usize, b as usize)
@@ -397,10 +419,12 @@ impl<P: Protocol> GraphSimulator<P> {
                 // first `max` interactions are conditionally all no-ops
                 // (truncated geometric — still exact).
                 self.interactions += max;
+                self.telemetry.scheduled += max;
                 return (max, false);
             }
             SparseStep::Event { consumed, edge } => {
                 self.interactions += consumed;
+                self.telemetry.scheduled += consumed;
                 (consumed, edge)
             }
         };
@@ -430,6 +454,17 @@ impl<P: Protocol> GraphSimulator<P> {
     /// clock stops: the call returns without advancing (possibly `(0,
     /// false)`), and `is_silent()` is true.
     pub fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
+        let out = self.advance_changed_impl(rng, max);
+        // Harvest the skipper's telemetry at every advancement boundary so
+        // the engine's totals are current even while the sparse phase is
+        // live (runs routinely *end* inside it).
+        if let Some(s) = &mut self.sparse {
+            self.telemetry.sparse.absorb(s.take_stats());
+        }
+        out
+    }
+
+    fn advance_changed_impl(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
         if max == 0 {
             return (0, false);
         }
@@ -448,10 +483,11 @@ impl<P: Protocol> GraphSimulator<P> {
                     return (advanced, false);
                 }
                 if s.should_exit_to_dense() {
-                    self.sparse = None;
-                    self.noop_run = 0;
+                    self.exit_sparse();
                 } else {
+                    let t0 = self.telemetry.clock.start();
                     let (leapt, changed) = self.sparse_advance(rng, max - advanced);
+                    self.telemetry.spans.sparse_ns += self.telemetry.clock.elapsed_ns(t0);
                     return (advanced + leapt, changed);
                 }
             }
@@ -459,17 +495,24 @@ impl<P: Protocol> GraphSimulator<P> {
             // enough run of consecutive no-ops certifies a collapsed
             // activity fraction (or silence) and escalates to the sparse
             // skipper on the next loop turn.
+            let t0 = self.telemetry.clock.start();
+            let mut effective_at: Option<u64> = None;
             while advanced < max {
                 advanced += 1;
                 if self.step(rng) {
                     self.noop_run = 0;
-                    return (advanced, true);
+                    effective_at = Some(advanced);
+                    break;
                 }
                 self.noop_run += 1;
                 if self.noop_run >= SPARSE_TRIGGER_NOOPS {
                     self.enter_sparse();
                     break;
                 }
+            }
+            self.telemetry.spans.dense_ns += self.telemetry.clock.elapsed_ns(t0);
+            if let Some(done) = effective_at {
+                return (done, true);
             }
             if advanced >= max {
                 return (max, false);
@@ -547,6 +590,14 @@ impl<P: Protocol> Simulator for GraphSimulator<P> {
 
     fn is_silent(&self) -> bool {
         GraphSimulator::is_silent(self)
+    }
+
+    fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
+    fn set_span_timing(&mut self, enabled: bool) {
+        self.telemetry.clock.enabled = enabled;
     }
 }
 
@@ -689,6 +740,29 @@ mod tests {
         // The graphwise engine returns per effective event, so nearly
         // every one of the 1023 infections is a checked boundary.
         assert!(checked > 500, "only {checked} boundaries checked");
+    }
+
+    #[test]
+    fn telemetry_mirrors_clocks_and_harvests_sparse_phase() {
+        // A creeping frontier spends the whole run inside the sparse
+        // skipper; the engine's telemetry must mirror the interaction
+        // clocks exactly and must have harvested the skipper's counters
+        // even though the run *ends* while the sparse phase is live.
+        let g = Graph::cycle(1_024);
+        let mut sim = epidemic_on(&g, 1);
+        let mut rng = SimRng::new(21);
+        while !sim.is_silent() {
+            sim.advance_changed(&mut rng, u64::MAX / 2);
+        }
+        let t = Simulator::telemetry(&sim);
+        assert_eq!(t.scheduled, sim.interactions());
+        assert_eq!(t.effective, sim.effective_interactions());
+        assert!(t.sparse_enters >= 1, "never escalated to sparse");
+        assert!(t.sparse.events > 0, "skipper stats were not harvested");
+        assert_eq!(t.sparse.event_draws, t.sparse.events);
+        assert!(t.sparse.updates_deferred + t.sparse.updates_immediate > 0);
+        // Span timing is off by default: no clock reads, zero spans.
+        assert_eq!(t.spans, crate::telemetry::SpanSet::new());
     }
 
     #[test]

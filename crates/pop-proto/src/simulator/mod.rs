@@ -68,6 +68,7 @@ pub use graphwise::{shuffled_layout, GraphSimulator};
 
 use crate::config::CountConfig;
 use crate::observe::{Observation, SimObserver};
+use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
 /// Common interface of the simulation backends.
@@ -136,6 +137,24 @@ pub trait Simulator {
 
     /// Whether the configuration is silent (no interaction can change it).
     fn is_silent(&self) -> bool;
+
+    /// Engine telemetry accumulated over this simulator's lifetime: what
+    /// the *engine* did (phases, blocks, draws, flushes, fallbacks) to
+    /// simulate what the counters above report the *protocol* did. All
+    /// seven backends override this; the default returns a shared all-zero
+    /// instance so external `Simulator` implementations keep compiling.
+    /// Counters a backend has no mechanism for stay zero — see the
+    /// per-backend table in `usd_core::backend`.
+    fn telemetry(&self) -> &EngineTelemetry {
+        EngineTelemetry::disabled()
+    }
+
+    /// Enable or disable coarse per-phase wall-clock spans in
+    /// [`Simulator::telemetry`]. A no-op unless the engine records spans
+    /// *and* the `span-timing` cargo feature is compiled in (see
+    /// [`crate::telemetry`]); off by default, so un-instrumented runs
+    /// never read the clock.
+    fn set_span_timing(&mut self, _enabled: bool) {}
 
     /// Snapshot the current count configuration.
     fn config(&self) -> CountConfig {

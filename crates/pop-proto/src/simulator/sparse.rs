@@ -16,25 +16,38 @@
 //! * **Deferred, coalesced Fenwick updates.** An effective event changes
 //!   the weights of the ≤ 2d edges incident to its endpoints. Instead of
 //!   walking the tree for each, the new weights are parked in a small
-//!   *pending sidecar* (edge → exact current weight) and the tree is left
-//!   stale. Once per block — [`FLUSH_EVENTS`] events, or earlier if the
-//!   sidecar grows past its bounds — the sidecar is applied to the tree in
-//!   one batched pass that skips every edge whose weight returned to its
-//!   stored value. On frontier dynamics (a cycle or torus boundary walking
-//!   back and forth) most per-event deltas cancel within a block, so the
-//!   tree sees a small fraction of the point-updates the per-event engines
-//!   paid.
-//! * **No false negatives.** Every edge whose true weight differs from its
-//!   tree entry is in the sidecar — the same convention as the dense
-//!   leaper's dirty bitmap: an entry may be redundant (weight changed and
-//!   changed back), never missing. Sampling therefore splits exactly:
-//!   a uniform draw below `W` lands either in the sidecar mass (resolved
-//!   by a scan of the ≤ [`PENDING_MAX`] sidecar entries, whose weights are
-//!   current by construction) or in the clean mass (resolved by the stale
-//!   tree conditioned on clean edges via rejection — clean tree entries
-//!   *are* current, and the flush policy caps the stale tree total at
-//!   twice the true weight, which bounds the expected tree samples per
-//!   event at 2).
+//!   *pending sidecar* (edge → exact current weight, plus the tree's stale
+//!   value) and the tree is left stale. Once per block —
+//!   [`FLUSH_EVENTS`] events, or earlier if the sidecar grows past
+//!   [`PENDING_MAX`] — the sidecar is applied to the tree in one batched
+//!   pass that skips every edge whose weight returned to its stored tree
+//!   value. On frontier dynamics (a cycle or torus boundary walking back
+//!   and forth) most per-event deltas cancel within a block, so the tree
+//!   sees a small fraction of the point-updates the per-event engines paid.
+//! * **Exact sampling from the stale tree, no rejection.** An effective
+//!   event's edge is resolved from **one** uniform draw below `W`. When
+//!   the active set is small enough at sparse entry ([`TRACK_MAX`]), the
+//!   sidecar is seeded with the *entire* active set ("tracked" mode) and
+//!   the draw resolves by a plain prefix scan of the edge-sorted sidecar
+//!   — no tree access at all. Otherwise a Fenwick descent over
+//!   *corrected* node sums ([`FenwickSampler::find_adjusted`]) is used:
+//!   the sidecar's per-edge deltas (`true − tree`), rebuilt lazily into a
+//!   sorted prefix-sum array when the first draw after a weight change
+//!   needs them, correct each visited node on the way down. Either way
+//!   the selected edge is a pure function of the draw and the *true*
+//!   weights — exactly what a fully-materialized tree would yield — so
+//!   the trajectory is bit-identical whether updates are deferred,
+//!   applied immediately, or adaptively mixed (see [`DeferralPolicy`]),
+//!   and no draw is ever rejected.
+//! * **Adaptive deferral.** Coalescing pays only when deltas actually
+//!   cancel before the flush. The skipper measures its own flush-time
+//!   cancel rate over a rolling window of [`ADAPT_WINDOW`] flushes
+//!   (reported as [`SparseStats::cancel_rate`]) and, when the rate falls
+//!   below [`BYPASS_CANCEL_MIN`], bypasses the sidecar entirely —
+//!   immediate Fenwick point-updates, zero sidecar bookkeeping — then
+//!   re-probes deferral after [`BYPASS_PROBE_EVENTS`] events. Because the
+//!   sampler is draw-identical either way, the mode switch is invisible to
+//!   the trajectory (pinned by test below).
 //! * **Negative-binomial block totals.** The no-op run before each event is
 //!   still an exact `Geom(W/2m)` draw, but consecutive events of a block
 //!   usually leave `W` unchanged (a moving frontier keeps the same number
@@ -51,8 +64,15 @@
 //! phase-hysteresis constants ([`SPARSE_TRIGGER_NOOPS`],
 //! [`DENSE_ENTER_INV`]) live here too, so the two engines cannot drift
 //! apart.
+//!
+//! The skipper also owns its slice of the engine-telemetry layer
+//! ([`crate::telemetry`]): every draw, flush, deferred/immediate update,
+//! coalesced entry, and bypass transition increments a
+//! [`SparseStats`] counter, harvested by the owning engine via
+//! [`SparseSkipper::take_stats`] at advancement boundaries.
 
 use crate::sampling::FenwickSampler;
+use crate::telemetry::SparseStats;
 use sim_stats::rng::SimRng;
 
 /// Consecutive no-op draws in the dense/block phase that trigger the switch
@@ -75,15 +95,66 @@ pub(crate) const DENSE_ENTER_INV: u64 = 32;
 const FLUSH_EVENTS: u32 = 64;
 
 /// Sidecar capacity bound: a flush is forced before the pending list
-/// outgrows one page worth of entries, keeping the sidecar scan O(1)-ish
-/// even on high-degree graphs where one event parks 2d edges.
+/// outgrows one page worth of entries, keeping the delta-correction array
+/// small even on high-degree graphs where one event parks 2d edges.
 const PENDING_MAX: usize = 512;
 
 /// Sidecar size above which toggled-back entries (weight equal to the
-/// tree's again) are evicted eagerly. Small sidecars scan in a couple of
-/// cache lines, so eviction bookkeeping would cost more than it saves;
-/// large ones (high-degree frontiers) shrink measurably.
+/// tree's again) are evicted eagerly. Small sidecars rebuild their delta
+/// array in a couple of cache lines, so eviction bookkeeping would cost
+/// more than it saves; large ones (high-degree frontiers) shrink
+/// measurably. Untracked mode only — the tracked sidecar must keep every
+/// active edge to preserve its coverage invariant.
 const EVICT_ABOVE: usize = 48;
+
+/// Active-edge count at sparse entry below which the sidecar is seeded
+/// with the *entire* active set ("tracked" mode): with every edge of
+/// nonzero true weight in the sidecar, an event draw resolves by a plain
+/// prefix scan of the (edge-sorted) sidecar — no Fenwick descent, no
+/// delta corrections — and weight updates are O(1) in-place writes. This
+/// is the frontier regime the skipper exists for (a cycle or torus
+/// boundary keeps `W` in the tens), and the scan touches a couple of
+/// cache lines.
+const TRACK_MAX: usize = 256;
+
+/// Tracked-mode sidecar length up to which draws use the prefix scan;
+/// longer tracked sidecars fall back to the corrected descent (the scan
+/// is linear, the descent logarithmic — the crossover sits around a
+/// cache line's worth of entries).
+const SCAN_MAX: usize = 64;
+
+/// Tracked sidecar length (post-flush, zero-weight entries dropped) above
+/// which tracked mode is abandoned: the active set has outgrown the
+/// sidecar bounds, so the tree — fully materialized by the flush — takes
+/// over and deferral continues in untracked mode.
+const TRACK_DROP: usize = 512;
+
+/// Flushes per adaptive-deferral measurement window: the cancel rate is
+/// evaluated once this many flushes (≈ `ADAPT_WINDOW · FLUSH_EVENTS`
+/// events) have been observed, then the window resets.
+const ADAPT_WINDOW: u32 = 8;
+
+/// Resolved sidecar entries (applied + cancelled) that end a measurement
+/// window early. High-churn low-cancel workloads (a torus patch perimeter
+/// parking ~4 edges per event) gather a trustworthy cancel estimate within
+/// a couple of flushes — evaluating then, instead of waiting out
+/// [`ADAPT_WINDOW`] flushes, keeps the expensive deferral probes short.
+/// High-cancel workloads resolve only a handful of entries per flush and
+/// fall back to the flush-count window.
+const RESOLVED_WINDOW: u64 = 256;
+
+/// Cancel-rate floor below which deferral is bypassed: when fewer than a
+/// quarter of flush-resolved sidecar entries had toggled back, coalescing
+/// saves less than the sidecar costs (measured on the torus endgame, where
+/// an eroding patch perimeter almost never revisits an edge within a
+/// block) and immediate point-updates win.
+const BYPASS_CANCEL_MIN: f64 = 0.25;
+
+/// Events spent in bypass before re-probing deferral. Long enough that the
+/// bypass duty cycle dominates (~99% at the default window), short enough
+/// that a regime flip back to frontier churn is caught within a few tens
+/// of thousands of events.
+const BYPASS_PROBE_EVENTS: u64 = 32_768;
 
 /// Maximum effective events [`BatchGraphSimulator`](super::BatchGraphSimulator)
 /// applies per sparse advancement (its sparse-phase observation
@@ -93,12 +164,37 @@ const EVICT_ABOVE: usize = 48;
 /// above is shared either way because the sidecar persists across calls.
 pub(crate) const SPARSE_BLOCK_EVENTS: u64 = 64;
 
-/// One pending (deferred) weight entry: the edge and its exact current
-/// weight, which the stale Fenwick tree does not yet reflect.
+/// How the skipper materializes weight changes into its Fenwick tree.
+/// [`DeferralPolicy::Adaptive`] (the default) defers through the sidecar
+/// and bypasses when the measured cancel rate says coalescing cannot pay;
+/// the two fixed policies exist for tests and measurement, and all three
+/// produce **identical trajectories** for a fixed seed (the sampler is a
+/// pure function of the draw and the true weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// The fixed policies are only pinned from tests; production construction
+// is always `Adaptive`.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) enum DeferralPolicy {
+    /// Measure the flush-time cancel rate and switch modes accordingly.
+    Adaptive,
+    /// Always defer through the sidecar (the PR 5 behavior).
+    AlwaysDefer,
+    /// Always apply point-updates immediately (the pre-PR 5 behavior).
+    AlwaysBypass,
+}
+
+/// One pending (deferred) weight entry: the edge, its exact current
+/// weight, the stale value still in the tree (captured at insertion, so
+/// flush-time cancellation is a plain compare), and the flush generation
+/// that last touched it (tracked-mode entries persist across flushes;
+/// the generation tells a flush which untouched entries to skip in its
+/// cancel accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Pending {
     edge: u32,
+    gen: u32,
     w: u64,
+    w_tree: u64,
 }
 
 /// Outcome of one sparse advancement attempt against a horizon.
@@ -120,20 +216,35 @@ pub(crate) enum SparseStep {
 }
 
 /// The shared sparse-phase engine: a Fenwick tree over per-edge
-/// active-orientation weights with deferred, coalesced updates. See the
-/// module docs for the machinery and its exactness argument.
+/// active-orientation weights with deferred, coalesced, adaptively
+/// bypassed updates. See the module docs for the machinery and its
+/// exactness argument.
 #[derive(Debug, Clone)]
 pub(crate) struct SparseSkipper {
     /// Fenwick tree over edge weights; **stale** on pending edges.
     fenwick: FenwickSampler,
     /// Exact total active weight `W`, maintained incrementally.
     w_true: u64,
-    /// Pending sidecar: edges whose true weight the tree does not reflect.
+    /// Pending sidecar, **sorted by edge**. Untracked mode: edges whose
+    /// true weight the tree does not reflect. Tracked mode: every edge of
+    /// nonzero true weight (the coverage invariant), clean or not,
+    /// persisting across flushes.
     pending: Vec<Pending>,
-    /// Edge → sidecar slot (`u32::MAX` = clean: tree entry is current).
+    /// Edge → sidecar slot (`u32::MAX` = not in the sidecar).
     pending_idx: Vec<u32>,
-    /// Σ true weights over sidecar edges (the sidecar's sampling mass).
-    pending_true_sum: u64,
+    /// Whether the sidecar covers the whole active set (see [`TRACK_MAX`]):
+    /// draws resolve by prefix scan and the delta scratch is never needed
+    /// while the sidecar stays short.
+    tracked: bool,
+    /// Flush generation, for tracked-mode cancel accounting.
+    flush_gen: u32,
+    /// Scratch for the corrected descent: sorted `(edge, cumulative
+    /// delta)` over the sidecar's divergent entries (`w != w_tree`),
+    /// rebuilt lazily — one linear pass over the already-sorted sidecar,
+    /// no sort — when a draw needs it and the sidecar changed since.
+    deltas: Vec<(u32, i64)>,
+    /// Whether `deltas` is out of date with the sidecar.
+    delta_dirty: bool,
     /// Effective events since the last flush.
     events_since_flush: u32,
     /// Total scheduled orientations `2m` (the skip denominator).
@@ -143,24 +254,67 @@ pub(crate) struct SparseSkipper {
     cached_w: u64,
     /// Cached `ln(1 − W/2m)` for the geometric inversion.
     cached_ln_q: f64,
+    /// Deferral policy (adaptive by default; fixed modes for tests).
+    policy: DeferralPolicy,
+    /// Whether deferral is currently bypassed (immediate point-updates).
+    bypass: bool,
+    /// Events left before a bypass phase re-probes deferral.
+    probe_events: u64,
+    /// Flushes observed in the current adaptive measurement window.
+    window_flushes: u32,
+    /// Window sidecar entries applied to the tree.
+    win_applied: u64,
+    /// Window sidecar entries cancelled (coalesced away).
+    win_cancelled: u64,
+    /// Telemetry counters, harvested via [`SparseSkipper::take_stats`].
+    stats: SparseStats,
 }
 
 impl SparseSkipper {
     /// Build from a scan of the current per-edge active-orientation
-    /// weights (entering the sparse phase).
+    /// weights (entering the sparse phase). When the active set is small
+    /// enough it is seeded into the sidecar whole — tracked mode — so the
+    /// frontier regime samples by prefix scan from the first event.
     pub(crate) fn new(weights: &[u64]) -> Self {
         let fenwick = FenwickSampler::new(weights);
         let w_true = fenwick.total();
+        let mut pending = Vec::new();
+        let mut pending_idx = vec![u32::MAX; weights.len()];
+        let active = weights.iter().filter(|&&w| w > 0).count();
+        let tracked = active <= TRACK_MAX;
+        if tracked {
+            for (e, &w) in weights.iter().enumerate() {
+                if w > 0 {
+                    pending_idx[e] = pending.len() as u32;
+                    pending.push(Pending {
+                        edge: e as u32,
+                        gen: u32::MAX,
+                        w,
+                        w_tree: w,
+                    });
+                }
+            }
+        }
         SparseSkipper {
             fenwick,
             w_true,
-            pending: Vec::new(),
-            pending_idx: vec![u32::MAX; weights.len()],
-            pending_true_sum: 0,
+            pending,
+            pending_idx,
+            tracked,
+            flush_gen: 0,
+            deltas: Vec::new(),
+            delta_dirty: false,
             events_since_flush: 0,
             two_m: 2 * weights.len() as u64,
             cached_w: u64::MAX,
             cached_ln_q: 0.0,
+            policy: DeferralPolicy::Adaptive,
+            bypass: false,
+            probe_events: 0,
+            window_flushes: 0,
+            win_applied: 0,
+            win_cancelled: 0,
+            stats: SparseStats::new(),
         }
     }
 
@@ -189,86 +343,261 @@ impl SparseSkipper {
         self.w_true * DENSE_ENTER_INV >= self.two_m
     }
 
-    /// Record edge `e`'s new true weight (deferred: the tree is not
-    /// touched). No-op when the weight is unchanged; an edge whose weight
-    /// returns to its tree entry stays harmlessly pending until the next
-    /// flush while the sidecar is small, and is evicted eagerly once it
-    /// grows past [`EVICT_ABOVE`] (either way: no false negatives,
-    /// possible false positives — the dense leaper's dirty-bitmap
-    /// convention).
+    /// Zero-and-return the accumulated telemetry counters. The owning
+    /// engine calls this at every advancement boundary (and before
+    /// dropping the skipper on a sparse → dense exit) and absorbs the
+    /// batch into its [`EngineTelemetry`](crate::telemetry::EngineTelemetry).
+    #[inline]
+    pub(crate) fn take_stats(&mut self) -> SparseStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Pin the deferral policy (tests and measurement; the default is
+    /// [`DeferralPolicy::Adaptive`]). Switching to a fixed mode flushes
+    /// any pending entries first so the mode invariant (bypass ⇒ empty
+    /// sidecar) holds.
+    #[cfg(test)]
+    pub(crate) fn set_policy(&mut self, policy: DeferralPolicy) {
+        self.policy = policy;
+        match policy {
+            DeferralPolicy::AlwaysBypass => {
+                self.flush();
+                self.drop_sidecar();
+                self.bypass = true;
+            }
+            DeferralPolicy::AlwaysDefer => {
+                self.bypass = false;
+            }
+            DeferralPolicy::Adaptive => {}
+        }
+    }
+
+    /// Record edge `e`'s new true weight. In deferral mode the tree is not
+    /// touched: the weight is parked in the sidecar (no-op when unchanged;
+    /// an edge whose weight returns to its tree entry stays harmlessly
+    /// pending until the next flush while the sidecar is small, and is
+    /// evicted eagerly once it grows past [`EVICT_ABOVE`] — either way no
+    /// false negatives, possible false positives, the dense leaper's
+    /// dirty-bitmap convention). In bypass mode the point-update is
+    /// applied immediately.
     #[inline]
     pub(crate) fn set_weight(&mut self, e: usize, new_w: u64) {
-        let slot = self.pending_idx[e];
-        if slot != u32::MAX {
-            let old = self.pending[slot as usize].w;
+        if self.bypass {
+            let old = self.fenwick.weight(e);
             if old == new_w {
                 return;
             }
             self.w_true = self.w_true - old + new_w;
-            if self.pending.len() > EVICT_ABOVE && self.fenwick.weight(e) == new_w {
-                // The weight toggled back to the tree's value (frontier
-                // edges do this constantly): once the sidecar is big
-                // enough that its scans cost more than the eviction
-                // bookkeeping, drop the entry so it holds only
-                // truly-divergent edges — smaller scans, cheaper flushes.
-                // Below the bound the scan is a couple of cache lines and
-                // keeping the entry is cheaper than the swap-remove.
-                self.pending_true_sum -= old;
-                self.pending.swap_remove(slot as usize);
-                self.pending_idx[e] = u32::MAX;
-                if let Some(moved) = self.pending.get(slot as usize) {
-                    self.pending_idx[moved.edge as usize] = slot;
-                }
+            self.fenwick.set(e, new_w);
+            self.stats.updates_immediate += 1;
+            return;
+        }
+        let slot = self.pending_idx[e];
+        if slot != u32::MAX {
+            let entry = self.pending[slot as usize];
+            if entry.w == new_w {
                 return;
             }
-            self.pending[slot as usize].w = new_w;
-            self.pending_true_sum = self.pending_true_sum - old + new_w;
+            self.w_true = self.w_true - entry.w + new_w;
+            self.stats.updates_deferred += 1;
+            self.delta_dirty = true;
+            if !self.tracked && self.pending.len() > EVICT_ABOVE && entry.w_tree == new_w {
+                // The weight toggled back to the tree's value (frontier
+                // edges do this constantly): once an untracked sidecar is
+                // big enough that its delta rebuilds cost more than the
+                // eviction bookkeeping, drop the entry so it holds only
+                // truly-divergent edges. Below the bound keeping the
+                // entry is cheaper than the removal; a tracked sidecar
+                // never evicts (coverage invariant).
+                self.stats.entries_cancelled += 1;
+                self.win_cancelled += 1;
+                self.remove_slot(slot as usize);
+                return;
+            }
+            let entry = &mut self.pending[slot as usize];
+            entry.w = new_w;
+            entry.gen = self.flush_gen;
         } else {
             let old = self.fenwick.weight(e);
             if old == new_w {
                 return;
             }
-            self.pending_idx[e] = self.pending.len() as u32;
-            self.pending.push(Pending {
+            self.insert_sorted(Pending {
                 edge: e as u32,
+                gen: self.flush_gen,
                 w: new_w,
+                w_tree: old,
             });
             self.w_true = self.w_true - old + new_w;
-            self.pending_true_sum += new_w;
+            self.stats.updates_deferred += 1;
+            self.delta_dirty = true;
         }
     }
 
-    /// Apply the sidecar to the tree in one batched pass, skipping edges
-    /// whose weight returned to the stored value, and clear it.
+    /// Insert a sidecar entry at its edge-sorted position, shifting the
+    /// slot map for the displaced tail. O(p) memmove — new edges are the
+    /// rare case (a frontier mostly rewrites entries in place).
+    fn insert_sorted(&mut self, entry: Pending) {
+        let i = self.pending.partition_point(|p| p.edge < entry.edge);
+        self.pending.insert(i, entry);
+        for p in &self.pending[i..] {
+            self.pending_idx[p.edge as usize] = self.pending_idx[p.edge as usize].wrapping_add(1);
+        }
+        self.pending_idx[entry.edge as usize] = i as u32;
+    }
+
+    /// Remove the sidecar entry at `slot`, shifting the slot map for the
+    /// tail. Untracked eviction only.
+    fn remove_slot(&mut self, slot: usize) {
+        let edge = self.pending[slot].edge;
+        self.pending.remove(slot);
+        self.pending_idx[edge as usize] = u32::MAX;
+        for p in &self.pending[slot..] {
+            self.pending_idx[p.edge as usize] -= 1;
+        }
+    }
+
+    /// Apply the sidecar's divergent entries to the tree in one batched
+    /// pass, counting an entry *cancelled* when its weight returned to the
+    /// stored tree value (untracked) or when it was touched this block but
+    /// ended where the tree already has it (tracked). Untracked mode then
+    /// clears the sidecar; tracked mode keeps the still-active entries —
+    /// now all clean — and drops only the dead (zero-weight) ones, so the
+    /// coverage invariant survives the flush. Feeds the adaptive
+    /// cancel-rate window.
     pub(crate) fn flush(&mut self) {
-        for i in 0..self.pending.len() {
-            let Pending { edge, w } = self.pending[i];
-            self.pending_idx[edge as usize] = u32::MAX;
-            if self.fenwick.weight(edge as usize) != w {
-                self.fenwick.set(edge as usize, w);
+        self.events_since_flush = 0;
+        if self.pending.is_empty() {
+            return;
+        }
+        self.stats.flushes += 1;
+        self.window_flushes += 1;
+        if self.tracked {
+            let mut kept = 0usize;
+            for i in 0..self.pending.len() {
+                let Pending {
+                    edge,
+                    gen,
+                    w,
+                    w_tree,
+                } = self.pending[i];
+                if w != w_tree {
+                    self.fenwick.set(edge as usize, w);
+                    self.stats.entries_applied += 1;
+                    self.win_applied += 1;
+                } else if gen == self.flush_gen {
+                    self.stats.entries_cancelled += 1;
+                    self.win_cancelled += 1;
+                }
+                if w > 0 {
+                    // Compact in place; the slot map is rebuilt below.
+                    self.pending[kept] = Pending {
+                        edge,
+                        gen,
+                        w,
+                        w_tree: w,
+                    };
+                    kept += 1;
+                } else {
+                    self.pending_idx[edge as usize] = u32::MAX;
+                }
             }
+            self.pending.truncate(kept);
+            for (i, p) in self.pending.iter().enumerate() {
+                self.pending_idx[p.edge as usize] = i as u32;
+            }
+            self.flush_gen = self.flush_gen.wrapping_add(1);
+            if self.pending.len() > TRACK_DROP {
+                // The active set outgrew the sidecar: the tree is fully
+                // materialized as of this flush, so hand over to it.
+                self.drop_sidecar();
+            }
+        } else {
+            for i in 0..self.pending.len() {
+                let Pending {
+                    edge, w, w_tree, ..
+                } = self.pending[i];
+                self.pending_idx[edge as usize] = u32::MAX;
+                if w != w_tree {
+                    self.fenwick.set(edge as usize, w);
+                    self.stats.entries_applied += 1;
+                    self.win_applied += 1;
+                } else {
+                    self.stats.entries_cancelled += 1;
+                    self.win_cancelled += 1;
+                }
+            }
+            self.pending.clear();
+        }
+        self.deltas.clear();
+        self.delta_dirty = false;
+        debug_assert_eq!(self.fenwick.total(), self.w_true, "flush lost weight");
+        self.maybe_enter_bypass();
+    }
+
+    /// Abandon the sidecar after a flush has materialized every entry into
+    /// the tree (tracked → untracked demotion, and bypass entry). The
+    /// entries are all clean at this point, so clearing loses nothing.
+    fn drop_sidecar(&mut self) {
+        debug_assert!(self.pending.iter().all(|p| p.w == p.w_tree));
+        for p in &self.pending {
+            self.pending_idx[p.edge as usize] = u32::MAX;
         }
         self.pending.clear();
-        self.pending_true_sum = 0;
-        self.events_since_flush = 0;
-        debug_assert_eq!(self.fenwick.total(), self.w_true, "flush lost weight");
+        self.deltas.clear();
+        self.delta_dirty = false;
+        self.tracked = false;
     }
 
-    /// End-of-event bookkeeping: count the event and flush when the block
-    /// is full or the sidecar has outgrown the bounds that keep sampling
-    /// cheap. The rejection-cost bound is on the *stale tree total*: a
-    /// clean-mass draw costs an expected `fenwick_total / W` tree samples
-    /// (probability of landing clean × rejections until a clean edge), so
-    /// the tree total may drift up to twice the true weight before a
-    /// flush is forced — which never triggers while a frontier churns at
-    /// roughly constant `W`, the whole point of the deferral.
+    /// Adaptive decision point, evaluated at flush boundaries: once a full
+    /// measurement window has elapsed — [`ADAPT_WINDOW`] flushes, or
+    /// earlier once [`RESOLVED_WINDOW`] sidecar entries have been resolved
+    /// (low-cancel workloads fill their sidecars fast, and the sooner the
+    /// estimate is trusted the shorter the expensive probe) — bypass
+    /// deferral when the measured cancel rate says coalescing cannot pay.
+    #[inline]
+    fn maybe_enter_bypass(&mut self) {
+        if self.policy != DeferralPolicy::Adaptive {
+            return;
+        }
+        let resolved = self.win_applied + self.win_cancelled;
+        if self.window_flushes < ADAPT_WINDOW && resolved < RESOLVED_WINDOW {
+            return;
+        }
+        let cancelled = self.win_cancelled;
+        self.window_flushes = 0;
+        self.win_applied = 0;
+        self.win_cancelled = 0;
+        if resolved > 0 && (cancelled as f64) < BYPASS_CANCEL_MIN * resolved as f64 {
+            // The flush that called us materialized every divergent entry,
+            // so the sidecar (tracked mode keeps its clean entries) can be
+            // dropped wholesale.
+            self.drop_sidecar();
+            self.bypass = true;
+            self.probe_events = BYPASS_PROBE_EVENTS;
+            self.stats.bypass_enters += 1;
+        }
+    }
+
+    /// End-of-event bookkeeping: count the event, flush when the block is
+    /// full or the sidecar has outgrown its bound, and run the bypass
+    /// probe countdown. (Staleness between flushes is free: the corrected
+    /// descent never rejects, so no stale-mass flush trigger is needed.)
     #[inline]
     pub(crate) fn end_event(&mut self) {
+        self.stats.events += 1;
+        if self.bypass {
+            if self.policy == DeferralPolicy::Adaptive {
+                self.probe_events = self.probe_events.saturating_sub(1);
+                if self.probe_events == 0 {
+                    self.bypass = false;
+                    self.stats.bypass_exits += 1;
+                }
+            }
+            return;
+        }
         self.events_since_flush += 1;
-        if self.events_since_flush >= FLUSH_EVENTS
-            || self.pending.len() >= PENDING_MAX
-            || self.fenwick.total() > 2 * self.w_true
-        {
+        if self.events_since_flush >= FLUSH_EVENTS || self.pending.len() >= PENDING_MAX {
             self.flush();
         }
     }
@@ -288,7 +617,11 @@ impl SparseSkipper {
             let p = self.w_true as f64 / self.two_m as f64;
             self.cached_ln_q = (-p).ln_1p();
             self.cached_w = self.w_true;
+            self.stats.log_cache_misses += 1;
+        } else {
+            self.stats.log_cache_hits += 1;
         }
+        self.stats.skip_draws += 1;
         let u = loop {
             let u = rng.f64();
             if u > 0.0 {
@@ -303,34 +636,70 @@ impl SparseSkipper {
         }
     }
 
-    /// Sample an edge with probability proportional to its **true** weight:
-    /// a uniform draw below `W` resolves in the sidecar mass (current by
-    /// construction) or in the clean tree mass (rejection on pending
-    /// edges). Precondition: `W > 0`.
+    /// Sample an edge with probability proportional to its **true** weight
+    /// from a single uniform draw below `W` — always the exact
+    /// prefix-order selection a fully-materialized tree would make for
+    /// the same draw, whatever mode the skipper is in, which is what
+    /// keeps trajectories identical across deferral policies and sidecar
+    /// modes. Short tracked sidecars (the frontier regime) resolve by a
+    /// plain prefix scan; everything else by the corrected Fenwick
+    /// descent (see the module docs). Precondition: `W > 0`.
     #[inline]
-    fn sample_edge(&self, rng: &mut SimRng) -> usize {
+    fn sample_edge(&mut self, rng: &mut SimRng) -> usize {
         debug_assert!(self.w_true > 0, "sampling from a silent configuration");
-        let u = rng.below(self.w_true);
-        if u < self.pending_true_sum {
-            let mut acc = 0u64;
+        self.stats.event_draws += 1;
+        let mut u = rng.below(self.w_true);
+        if self.tracked && self.pending.len() <= SCAN_MAX {
+            // Coverage invariant: all of `W` lives in the (edge-sorted)
+            // sidecar, so the prefix scan IS the tree's prefix order.
             for p in &self.pending {
-                acc += p.w;
-                if u < acc {
+                if u < p.w {
                     return p.edge as usize;
                 }
+                u -= p.w;
             }
-            unreachable!("sidecar mass accounting is inconsistent");
+            unreachable!("tracked sidecar lost active mass");
         }
-        // Clean mass: clean tree entries are current, so the stale tree
-        // conditioned on clean edges is the exact conditional law. The
-        // flush policy bounds the stale mass at half the tree total, so
-        // this loop runs an expected ≤ 2 rounds.
-        loop {
-            let e = self.fenwick.sample(rng);
-            if self.pending_idx[e] == u32::MAX {
-                return e;
+        if self.pending.is_empty() {
+            return self.fenwick.find(u);
+        }
+        if self.delta_dirty {
+            // One linear pass over the already-sorted sidecar — divergent
+            // entries only, no sort.
+            self.deltas.clear();
+            let mut acc = 0i64;
+            for p in &self.pending {
+                let d = p.w as i64 - p.w_tree as i64;
+                if d != 0 {
+                    acc += d;
+                    self.deltas.push((p.edge, acc));
+                }
             }
+            self.delta_dirty = false;
         }
+        let ds = &self.deltas;
+        if ds.is_empty() {
+            return self.fenwick.find(u);
+        }
+        // Most descent queries fall outside the (tight, frontier-local)
+        // delta range: answer those in O(1) and binary-search the rest.
+        let lo = ds[0].0 as usize;
+        let (hi, full) = {
+            let last = ds[ds.len() - 1];
+            (last.0 as usize, last.1)
+        };
+        self.fenwick.find_adjusted(u, |x| {
+            if x <= lo {
+                0
+            } else if x > hi {
+                full
+            } else {
+                match ds.partition_point(|&(e, _)| (e as usize) < x) {
+                    0 => 0,
+                    i => ds[i - 1].1,
+                }
+            }
+        })
     }
 
     /// One sparse advancement against a horizon of `max` scheduled
@@ -354,9 +723,9 @@ impl SparseSkipper {
     }
 
     /// Verify the skipper against ground-truth per-edge weights: every
-    /// edge's tracked weight, the incremental total, the sidecar sums, and
-    /// (for clean edges) the tree entries must all be consistent. O(m);
-    /// used by the property tests.
+    /// edge's tracked weight, the incremental total, the sidecar's stored
+    /// tree values, and (for clean edges) the tree entries must all be
+    /// consistent. O(m); used by the property tests.
     pub(crate) fn check_consistent(&self, truth: &[u64]) -> Result<(), String> {
         if truth.len() != self.fenwick.len() {
             return Err(format!(
@@ -365,8 +734,13 @@ impl SparseSkipper {
                 self.fenwick.len()
             ));
         }
+        if self.bypass && !self.pending.is_empty() {
+            return Err(format!(
+                "bypass mode with {} pending entries",
+                self.pending.len()
+            ));
+        }
         let mut total = 0u64;
-        let mut pend_true = 0u64;
         for (e, &w) in truth.iter().enumerate() {
             total += w;
             if self.weight(e) != w {
@@ -388,7 +762,13 @@ impl SparseSkipper {
                 if p.edge as usize != e {
                     return Err(format!("sidecar slot {slot} does not point back at {e}"));
                 }
-                pend_true += p.w;
+                if p.w_tree != self.fenwick.weight(e) {
+                    return Err(format!(
+                        "sidecar edge {e}: stored tree value {} != tree entry {}",
+                        p.w_tree,
+                        self.fenwick.weight(e)
+                    ));
+                }
             }
         }
         if total != self.w_true {
@@ -397,11 +777,47 @@ impl SparseSkipper {
                 self.w_true
             ));
         }
-        if pend_true != self.pending_true_sum {
-            return Err(format!(
-                "sidecar mass drifted: {} vs Σ {pend_true}",
-                self.pending_true_sum
-            ));
+        // The sidecar is sorted by edge in both modes.
+        for pair in self.pending.windows(2) {
+            if pair[0].edge >= pair[1].edge {
+                return Err(format!(
+                    "sidecar out of edge order: {} then {}",
+                    pair[0].edge, pair[1].edge
+                ));
+            }
+        }
+        // Tracked coverage invariant: every edge with nonzero true weight
+        // is in the sidecar.
+        if self.tracked {
+            for (e, &w) in truth.iter().enumerate() {
+                if w > 0 && self.pending_idx[e] == u32::MAX {
+                    return Err(format!("tracked mode lost active edge {e} (weight {w})"));
+                }
+            }
+        }
+        // The descent scratch, when current: sorted, divergent entries
+        // only, and each cumulative step must equal the edge's true − tree
+        // gap.
+        if !self.delta_dirty {
+            let mut prev_cum = 0i64;
+            for (i, &(e, cum)) in self.deltas.iter().enumerate() {
+                if i > 0 && self.deltas[i - 1].0 >= e {
+                    return Err(format!("delta scratch out of order at slot {i}"));
+                }
+                let individual = cum - prev_cum;
+                prev_cum = cum;
+                let expected = truth[e as usize] as i64 - self.fenwick.weight(e as usize) as i64;
+                if individual != expected {
+                    return Err(format!(
+                        "delta for edge {e}: {individual} != true − tree {expected}"
+                    ));
+                }
+            }
+            for p in &self.pending {
+                if p.w != p.w_tree && self.deltas.binary_search_by_key(&p.edge, |d| d.0).is_err() {
+                    return Err(format!("divergent edge {} missing from deltas", p.edge));
+                }
+            }
         }
         Ok(())
     }
@@ -466,6 +882,14 @@ mod tests {
         s.check_consistent(&truth).unwrap();
         s.flush();
         s.check_consistent(&truth).unwrap();
+        // Telemetry saw the two deferred updates and the flush.
+        let stats = s.take_stats();
+        assert_eq!(stats.updates_deferred, 2);
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.entries_applied, 2);
+        assert_eq!(stats.entries_cancelled, 0);
+        // take_stats zeroes.
+        assert_eq!(s.take_stats(), SparseStats::new());
     }
 
     /// Satellite property test: a block's aggregated skip total must match
@@ -511,16 +935,24 @@ mod tests {
             d < crit,
             "block skip totals vs NB({r}, {p}): KS {d:.4} >= critical {crit:.4}"
         );
+        // Constant W across the whole run: the inversion constant was
+        // computed once and reused for every remaining draw.
+        let stats = s.take_stats();
+        assert_eq!(stats.log_cache_misses, 1);
+        assert_eq!(stats.skip_draws, stats.log_cache_hits + 1);
     }
 
     /// Satellite property test: after every batched block apply (flush) the
     /// Fenwick weights must be consistent with a from-scratch rebuild —
-    /// and tracked weights must stay exact even between flushes.
+    /// and tracked weights must stay exact even between flushes. Pinned to
+    /// [`DeferralPolicy::AlwaysDefer`] so the adaptive bypass cannot
+    /// starve the flush path this test exists to exercise.
     #[test]
     fn fenwick_matches_rebuild_after_every_flush() {
         let m = 48usize;
         let mut truth = sparse_weights(m, &[(1, 1), (9, 2), (20, 1), (33, 2), (40, 1)]);
         let mut s = SparseSkipper::new(&truth);
+        s.set_policy(DeferralPolicy::AlwaysDefer);
         let mut rng = SimRng::new(77);
         let mut flushes = 0u32;
         for step in 0..4_000u64 {
@@ -535,7 +967,8 @@ mod tests {
                 panic!("step {step} (pre-event): {msg}");
             });
             if s.total() > 0 {
-                // Exercise the mixture sampling path against the truth.
+                // Exercise the corrected-descent sampling path against the
+                // truth.
                 match s.next_event(&mut rng, u64::MAX / 2) {
                     SparseStep::Event { edge, .. } => {
                         assert!(truth[edge] > 0, "sampled zero-weight edge {edge}");
@@ -543,9 +976,9 @@ mod tests {
                     SparseStep::Horizon => unreachable!(),
                 }
             }
-            let pending_before = s.pending.len();
+            let flushes_before = s.stats.flushes;
             s.end_event();
-            if s.pending.is_empty() && pending_before > 0 {
+            if s.stats.flushes > flushes_before {
                 flushes += 1;
                 // Flushed: the tree must equal a from-scratch rebuild.
                 let rebuilt = FenwickSampler::new(&truth);
@@ -556,8 +989,8 @@ mod tests {
         assert!(flushes > 10, "only {flushes} flushes exercised");
     }
 
-    /// The mixture sampler (sidecar + rejection on the stale tree) must
-    /// reproduce the exact weighted law while the tree is stale.
+    /// The corrected-descent sampler must reproduce the exact weighted law
+    /// while the tree is stale.
     #[test]
     fn stale_tree_sampling_matches_true_weights() {
         let m = 32usize;
@@ -583,6 +1016,106 @@ mod tests {
                 "edge {e} frequency {c} (expected 1/3)"
             );
         }
+    }
+
+    /// Regression pin for the adaptive deferral (satellite): all three
+    /// deferral policies must produce *identical* trajectories — the same
+    /// skip lengths, the same edges, the same RNG consumption, the same
+    /// final weights — for a fixed seed. This is what makes the adaptive
+    /// bypass a pure performance decision.
+    #[test]
+    fn deferral_policies_produce_identical_trajectories() {
+        let m = 64usize;
+        let init = sparse_weights(m, &[(3, 1), (17, 2), (30, 1), (51, 2)]);
+        let run = |policy: DeferralPolicy| -> (Vec<(u64, usize)>, Vec<u64>) {
+            let mut s = SparseSkipper::new(&init);
+            s.set_policy(policy);
+            let mut truth = init.clone();
+            let mut rng = SimRng::new(4242);
+            let mut events = Vec::new();
+            for _ in 0..3_000 {
+                let (consumed, edge) = match s.next_event(&mut rng, u64::MAX / 2) {
+                    SparseStep::Event { consumed, edge } => (consumed, edge),
+                    SparseStep::Horizon => unreachable!(),
+                };
+                events.push((consumed, edge));
+                // Deterministic frontier-ish dynamics: toggle the event
+                // edge between weights 1 and 2 and toggle a neighbor in
+                // and out of activity — plenty of cancellation for the
+                // defer path, plenty of churn for the bypass path.
+                truth[edge] = 3 - truth[edge]; // 1 ↔ 2
+                s.set_weight(edge, truth[edge]);
+                let j = (edge + 1) % m;
+                truth[j] = if truth[j] == 0 { 1 } else { 0 };
+                s.set_weight(j, truth[j]);
+                s.end_event();
+                s.check_consistent(&truth).unwrap();
+            }
+            // The RNG streams must line up exactly, not just the events.
+            events.push((rng.below(1 << 30), 0));
+            (events, truth)
+        };
+        let (ev_adaptive, w_adaptive) = run(DeferralPolicy::Adaptive);
+        let (ev_defer, w_defer) = run(DeferralPolicy::AlwaysDefer);
+        let (ev_bypass, w_bypass) = run(DeferralPolicy::AlwaysBypass);
+        assert_eq!(ev_adaptive, ev_defer, "adaptive vs always-defer");
+        assert_eq!(ev_adaptive, ev_bypass, "adaptive vs always-bypass");
+        assert_eq!(w_adaptive, w_defer);
+        assert_eq!(w_adaptive, w_bypass);
+    }
+
+    /// The adaptive policy must actually engage on a low-cancel stream
+    /// (every flush applies everything) and stay out of the way on a
+    /// high-cancel stream (every entry toggles back before the flush).
+    #[test]
+    fn adaptive_bypass_follows_the_measured_cancel_rate() {
+        // Low cancel: each event moves weight to a fresh edge, so nothing
+        // ever toggles back — cancel rate 0, bypass must engage and its
+        // immediate updates must start counting.
+        let m = 2048usize;
+        let mut s = SparseSkipper::new(&sparse_weights(m, &[(0, 1)]));
+        for step in 0..4_096usize {
+            let e = (step + 1) % m;
+            s.set_weight(e, 1 + ((step + step / m) as u64 % 2));
+            s.end_event();
+        }
+        let stats = s.take_stats();
+        assert!(stats.bypass_enters >= 1, "bypass never engaged: {stats:?}");
+        assert!(stats.updates_immediate > 0);
+        assert_eq!(stats.cancel_rate(), 0.0);
+
+        // High cancel: every entry toggles back before its flush — the
+        // measured rate is ~1 and deferral must stay on.
+        let mut s = SparseSkipper::new(&sparse_weights(64, &[(5, 1)]));
+        for _ in 0..4_096usize {
+            s.set_weight(9, 2);
+            s.set_weight(9, 0);
+            s.end_event();
+        }
+        let stats = s.take_stats();
+        assert_eq!(stats.bypass_enters, 0, "bypassed a coalescing regime");
+        assert_eq!(stats.updates_immediate, 0);
+        assert!(stats.cancel_rate() > 0.99, "rate {}", stats.cancel_rate());
+    }
+
+    /// A bypass phase re-probes deferral after its countdown.
+    #[test]
+    fn bypass_probes_back_into_deferral() {
+        let m = 2048usize;
+        let mut s = SparseSkipper::new(&sparse_weights(m, &[(0, 1)]));
+        // Long low-cancel stream: enough events for enter → probe → exit
+        // and a second enter (measure window ≈ [`RESOLVED_WINDOW`] events,
+        // probe [`BYPASS_PROBE_EVENTS`]).
+        // The value flips on every revisit of an edge, so the stream keeps
+        // producing real (never-cancelling) updates across probe cycles.
+        for step in 0..2 * (BYPASS_PROBE_EVENTS as usize + 2_048) {
+            let e = (step + 1) % m;
+            s.set_weight(e, 1 + ((step + step / m) as u64 % 2));
+            s.end_event();
+        }
+        let stats = s.take_stats();
+        assert!(stats.bypass_enters >= 2, "{stats:?}");
+        assert!(stats.bypass_exits >= 1, "{stats:?}");
     }
 
     #[test]

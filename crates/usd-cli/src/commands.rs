@@ -1,10 +1,14 @@
 //! Subcommand implementations for `usd-sim`.
 
+use pop_proto::telemetry::EngineTelemetry;
 use pop_proto::topology::TopologyFamily;
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
-use usd_core::backend::{stabilize_on_topology, stabilize_with_backend, Backend};
+use usd_core::backend::{
+    make_simulator, stabilize_on_topology, stabilize_on_topology_keeping, stabilize_simulator,
+    stabilize_simulator_ticking, stabilize_with_backend, Backend,
+};
 use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
 use usd_core::encode::Trajectory;
 use usd_core::init::InitialConfigBuilder;
@@ -21,6 +25,7 @@ commands:
          [--trace <file.usdt>]
          [--topology complete|cycle|torus|hypercube|regular[:d]|er[:avg]]
          [--degree <usize>] [--topo-seed <u64>]
+         [--telemetry[=table|json]] [--progress-every <secs>]
            one exact run to stabilization; optionally record a trajectory
            (backend default: skip; use batch for n >= 10^7, agent for
            per-agent ground truth; trace requires the skip backend).
@@ -28,7 +33,9 @@ commands:
            (backend default becomes batchgraph — the block-leaping engine;
            graph and agent also work); --degree sets d for regular/er; the
            population is snapped to the nearest feasible size for the
-           family
+           family. --telemetry prints the engine's run report (counters,
+           timing spans, derived rates) as a table or one JSON object;
+           --progress-every emits a stderr heartbeat for long runs
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
          [--backend agent|count|batch|graph|batchgraph|seq|skip]
            stabilization time across the admissible k grid vs the bounds
@@ -49,21 +56,26 @@ impl From<String> for CliError {
     }
 }
 
-/// Minimal flag parser: `--name value` pairs plus boolean flags.
+/// Minimal flag parser: `--name value` / `--name=value` pairs plus
+/// boolean flags (which may also carry an inline `=value`, the
+/// `--telemetry[=json]` shape).
 pub struct Flags {
     pairs: Vec<(String, Option<String>)>,
     positional: Vec<String>,
 }
 
 impl Flags {
-    /// Parse; `bools` lists flags that take no value.
+    /// Parse; `bools` lists flags that take no value (unless given inline
+    /// with `=`).
     pub fn parse(args: &[String], bools: &[&str]) -> Result<Self, CliError> {
         let mut pairs = Vec::new();
         let mut positional = Vec::new();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if bools.contains(&name) {
+                if let Some((key, value)) = name.split_once('=') {
+                    pairs.push((key.to_string(), Some(value.to_string())));
+                } else if bools.contains(&name) {
                     pairs.push((name.to_string(), None));
                 } else {
                     let v = it
@@ -76,6 +88,16 @@ impl Flags {
             }
         }
         Ok(Flags { pairs, positional })
+    }
+
+    /// Tri-state lookup for flags with an optional inline value: `None`
+    /// when absent, `Some(None)` for the bare flag, `Some(Some(v))` for
+    /// `--name=v`.
+    pub fn get_opt(&self, name: &str) -> Option<Option<&str>> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_deref())
     }
 
     /// Look up a value flag and parse it.
@@ -108,9 +130,84 @@ impl Flags {
     }
 }
 
+/// Output format for the `run --telemetry` engine report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TelemetryFormat {
+    Table,
+    Json,
+}
+
+/// Stderr progress heartbeat for long runs (`run --progress-every`):
+/// prints at most once per period, fed interactions-so-far by the chunked
+/// stabilization drivers.
+struct Heartbeat {
+    period: std::time::Duration,
+    started: std::time::Instant,
+    last_printed: std::time::Instant,
+    n: u64,
+}
+
+impl Heartbeat {
+    fn new(period: std::time::Duration, n: u64) -> Self {
+        let now = std::time::Instant::now();
+        Heartbeat {
+            period,
+            started: now,
+            last_printed: now,
+            n,
+        }
+    }
+
+    fn tick(&mut self, interactions: u64) {
+        if self.last_printed.elapsed() < self.period {
+            return;
+        }
+        eprintln!(
+            "usd-sim: {} interactions (~{} parallel time), {:.1?} elapsed",
+            fmt_thousands(interactions),
+            fmt_sig(interactions as f64 / self.n as f64, 4),
+            self.started.elapsed(),
+        );
+        self.last_printed = std::time::Instant::now();
+    }
+}
+
+/// One-line schema-stable JSON run report (`run --telemetry=json`): the
+/// instance, the outcome, and the engine's telemetry object.
+fn run_report_json(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seed: u64,
+    result: &usd_core::stabilization::StabilizationResult,
+    elapsed: std::time::Duration,
+    telemetry: &EngineTelemetry,
+) -> String {
+    let outcome = match result.outcome {
+        ConsensusOutcome::Winner(w) => format!("winner:{w}"),
+        ConsensusOutcome::AllUndecided => "all-undecided".to_string(),
+        ConsensusOutcome::Frozen => "frozen".to_string(),
+        ConsensusOutcome::Timeout => "timeout".to_string(),
+    };
+    format!(
+        "{{\"backend\":\"{}\",\"n\":{},\"k\":{},\"seed\":{},\
+         \"outcome\":\"{}\",\"interactions\":{},\"parallel_time\":{:.6},\
+         \"wall_ms\":{:.3},\"telemetry\":{}}}",
+        backend.name(),
+        n,
+        k,
+        seed,
+        outcome,
+        result.interactions,
+        result.parallel_time(n),
+        elapsed.as_secs_f64() * 1e3,
+        telemetry.to_json(),
+    )
+}
+
 /// `usd-sim run`.
 pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["max-bias"])?;
+    let flags = Flags::parse(args, &["max-bias", "telemetry"])?;
     let mut n: u64 = flags.get("n")?.unwrap_or(100_000);
     let k: usize = flags.get("k")?.unwrap_or_else(|| theory::figure1_k(n));
     let seed: u64 = flags.get("seed")?.unwrap_or(42);
@@ -132,6 +229,25 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         Backend::SkipAhead
     });
     let trace_path: Option<String> = flags.get("trace")?;
+    let telemetry_format = match flags.get_opt("telemetry") {
+        None => None,
+        Some(None) | Some(Some("table")) => Some(TelemetryFormat::Table),
+        Some(Some("json")) => Some(TelemetryFormat::Json),
+        Some(Some(other)) => {
+            return Err(CliError(format!(
+                "--telemetry: unknown format '{other}' (use table or json)"
+            )));
+        }
+    };
+    let heartbeat_period = match flags.get::<f64>("progress-every")? {
+        Some(s) if s > 0.0 && s.is_finite() => Some(std::time::Duration::from_secs_f64(s)),
+        Some(s) => {
+            return Err(CliError(format!(
+                "--progress-every needs a positive number of seconds, got {s}"
+            )));
+        }
+        None => None,
+    };
     if let Some(family) = topology {
         if !backend.supports_topologies() {
             return Err(CliError(format!(
@@ -197,19 +313,33 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut rng = SimRng::new(seed);
     let started = std::time::Instant::now();
     let mut trajectory = Trajectory::new(n, k);
+    let mut heartbeat = heartbeat_period.map(|p| Heartbeat::new(p, n));
+    // Captured when a telemetry report was requested (the engine must
+    // outlive the stabilization drive, hence the keeping/in-place paths).
+    let mut telemetry: Option<EngineTelemetry> = None;
     let result = if trace_path.is_some() {
         // Stabilize with snapshots roughly once per parallel round (the
         // skip backend, so the observer sees every effective event).
+        // The raw engine predates the `Simulator` trait, so the skip
+        // backend's counters (one geometric skip draw and one effective
+        // draw per event) are tallied here at the drive site.
         let mut sim = SkipAheadUsd::new(&config);
+        let mut tally = EngineTelemetry::new();
         trajectory.push(0, config.clone());
         let mut next_capture = n;
         loop {
             match sim.step_effective(&mut rng) {
                 None => break,
                 Some(_) => {
+                    tally.effective += 1;
+                    tally.skip_draws += 1;
+                    tally.pair_draws += 1;
                     if sim.interactions() >= next_capture {
                         trajectory.push(sim.interactions(), sim.config());
                         next_capture = sim.interactions() + n;
+                        if let Some(hb) = heartbeat.as_mut() {
+                            hb.tick(sim.interactions());
+                        }
                     }
                     if sim.is_silent() {
                         break;
@@ -218,6 +348,8 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             }
         }
         trajectory.push(sim.interactions(), sim.config());
+        tally.scheduled = sim.interactions();
+        telemetry = Some(tally);
         usd_core::stabilization::StabilizationResult {
             outcome: match sim.winner() {
                 Some(w) => ConsensusOutcome::Winner(w),
@@ -227,7 +359,50 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             initial_plurality: config.plurality(),
         }
     } else if let Some(family) = topology {
-        stabilize_on_topology(backend, &config, family, topo_seed, &mut rng, u64::MAX / 2)
+        if telemetry_format.is_some() || heartbeat.is_some() {
+            let mut tick = |done: u64| {
+                if let Some(hb) = heartbeat.as_mut() {
+                    hb.tick(done);
+                }
+            };
+            let (result, sim) = stabilize_on_topology_keeping(
+                backend,
+                &config,
+                family,
+                topo_seed,
+                &mut rng,
+                u64::MAX / 2,
+                telemetry_format.is_some(),
+                &mut tick,
+            );
+            telemetry = Some(sim.map_or(EngineTelemetry::new(), |s| *s.telemetry()));
+            result
+        } else {
+            stabilize_on_topology(backend, &config, family, topo_seed, &mut rng, u64::MAX / 2)
+        }
+    } else if telemetry_format.is_some() || heartbeat.is_some() {
+        let mut sim = make_simulator(backend, &config);
+        if telemetry_format.is_some() {
+            sim.set_span_timing(true);
+        }
+        let result = match heartbeat.as_mut() {
+            // Without a heartbeat this is exactly `stabilize_with_backend`
+            // (one `run_to_silence` call), so the telemetry run is
+            // interaction-identical to the plain one for the same seed.
+            None => {
+                stabilize_simulator(sim.as_mut(), k, &mut rng, u64::MAX / 2, config.plurality())
+            }
+            Some(hb) => stabilize_simulator_ticking(
+                sim.as_mut(),
+                k,
+                &mut rng,
+                u64::MAX / 2,
+                config.plurality(),
+                &mut |done| hb.tick(done),
+            ),
+        };
+        telemetry = Some(*sim.telemetry());
+        result
     } else {
         stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2)
     };
@@ -254,6 +429,22 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             elapsed,
         ),
         ConsensusOutcome::Timeout => println!("budget exhausted"),
+    }
+
+    if let Some(format) = telemetry_format {
+        let t = telemetry.unwrap_or_default();
+        match format {
+            TelemetryFormat::Table => {
+                println!("telemetry ({backend}):");
+                print!("{}", t.table());
+            }
+            TelemetryFormat::Json => {
+                println!(
+                    "{}",
+                    run_report_json(backend, n, k, seed, &result, elapsed, &t)
+                );
+            }
+        }
     }
 
     if let Some(path) = trace_path {
@@ -428,6 +619,76 @@ mod tests {
     #[test]
     fn flags_report_missing_values() {
         assert!(Flags::parse(&s(&["--n"]), &[]).is_err());
+    }
+
+    #[test]
+    fn flags_split_inline_equals_values() {
+        let f = Flags::parse(&s(&["--n=100", "--telemetry=json"]), &["telemetry"]).unwrap();
+        assert_eq!(f.get::<u64>("n").unwrap(), Some(100));
+        assert_eq!(f.get_opt("telemetry"), Some(Some("json")));
+        let f = Flags::parse(&s(&["--telemetry"]), &["telemetry"]).unwrap();
+        assert_eq!(f.get_opt("telemetry"), Some(None));
+        assert_eq!(f.get_opt("missing"), None);
+    }
+
+    #[test]
+    fn run_accepts_telemetry_and_heartbeat_on_every_backend() {
+        for b in [
+            "agent",
+            "count",
+            "batch",
+            "graph",
+            "batchgraph",
+            "seq",
+            "skip",
+        ] {
+            cmd_run(&s(&[
+                "--n",
+                "500",
+                "--k",
+                "2",
+                "--seed",
+                "3",
+                "--backend",
+                b,
+                "--telemetry=json",
+            ]))
+            .unwrap_or_else(|e| panic!("backend {b}: {}", e.0));
+        }
+        // Table form (bare and explicit), topology runs, a heartbeat run,
+        // and the trace path all accept the report flags.
+        cmd_run(&s(&["--n", "500", "--k", "2", "--telemetry"])).unwrap();
+        cmd_run(&s(&["--n", "500", "--k", "2", "--telemetry=table"])).unwrap();
+        cmd_run(&s(&[
+            "--n",
+            "256",
+            "--k",
+            "2",
+            "--topology",
+            "torus",
+            "--telemetry=json",
+        ]))
+        .unwrap();
+        cmd_run(&s(&[
+            "--n",
+            "256",
+            "--k",
+            "2",
+            "--topology",
+            "cycle",
+            "--backend",
+            "agent",
+            "--telemetry",
+        ]))
+        .unwrap();
+        cmd_run(&s(&["--n", "500", "--k", "2", "--progress-every", "1000"])).unwrap();
+    }
+
+    #[test]
+    fn run_rejects_bad_telemetry_and_heartbeat_values() {
+        assert!(cmd_run(&s(&["--n", "500", "--telemetry=yaml"])).is_err());
+        assert!(cmd_run(&s(&["--n", "500", "--progress-every", "0"])).is_err());
+        assert!(cmd_run(&s(&["--n", "500", "--progress-every", "-2"])).is_err());
     }
 
     #[test]

@@ -19,6 +19,31 @@
 //! non-clique interaction graphs: [`stabilize_on_topology`] builds a
 //! [`TopologyFamily`] graph, places the initial configuration uniformly at
 //! random on its vertices, and runs either engine to graph silence.
+//! [`stabilize_simulator`] is the same driver over an already-constructed
+//! simulator — callers that need the engine afterwards (e.g. to read its
+//! [`telemetry`](pop_proto::Simulator::telemetry)) build one with
+//! [`make_simulator`]/[`make_topology_simulator`] and keep it.
+//!
+//! # Telemetry availability
+//!
+//! Every backend populates [`pop_proto::telemetry::EngineTelemetry`];
+//! counters a backend has no mechanism for stay zero. Mirroring the
+//! observation-granularity table in [`pop_proto::observe`]:
+//!
+//! | backend | live counters |
+//! |---------|---------------|
+//! | `agent` | `scheduled`/`effective`, `dense_steps`, `pair_draws` |
+//! | `count` | `scheduled`/`effective`, `dense_steps`, `pair_draws` |
+//! | `batch` | clocks, `blocks`/`block_draws`/`block_applied`, `fallback_literal` (collision steps), `table_draws`, `skip_draws`, `dense_steps`/`pair_draws` |
+//! | `graph` | clocks, `dense_steps`, `pair_draws`, `sparse_enters`/`sparse_exits`, all `sparse.*` skipper stats, spans `dense`/`sparse` |
+//! | `batchgraph` | clocks, `blocks`/`block_draws`/`block_applied`, `fallback_literal` (dirty draws), `pair_draws`, `sparse_enters`/`sparse_exits`, all `sparse.*`, spans `dense`/`gather`/`apply`/`sparse` |
+//! | `seq` | `scheduled`/`effective`, `dense_steps`, `pair_draws` |
+//! | `skip` | `scheduled`/`effective`, `skip_draws`, `pair_draws` |
+//!
+//! `scheduled`/`effective` equal the engine's interaction clocks on every
+//! backend — the identity `tests/telemetry_equivalence.rs` pins. Spans
+//! stay zero unless the `span-timing` feature is compiled in *and*
+//! [`set_span_timing`](pop_proto::Simulator::set_span_timing) was called.
 
 use crate::config::UsdConfig;
 use crate::dynamics::{SequentialGeneric, SkipAheadGeneric};
@@ -221,8 +246,10 @@ pub fn make_topology_simulator(
 ///
 /// A silent configuration is consensus (one opinion, no ⊥), all-undecided,
 /// or — reachable only on disconnected interaction graphs — a frozen mixed
-/// configuration.
-fn result_from_counts(
+/// configuration. Public so callers that drive a simulator themselves
+/// (keeping it to read telemetry) can produce the same
+/// [`StabilizationResult`] the packaged drivers report.
+pub fn classify_counts(
     counts: &[u64],
     k: usize,
     interactions: u64,
@@ -249,6 +276,56 @@ fn result_from_counts(
     }
 }
 
+/// Run an already-constructed USD simulator to stabilization in place.
+///
+/// The in-place twin of [`stabilize_with_backend`]: the caller keeps the
+/// simulator, so its per-engine state —
+/// [`telemetry`](pop_proto::Simulator::telemetry) above all — survives the
+/// run. `k` is the opinion count (the simulator holds `k + 1` states with
+/// ⊥ at index `k`); `initial_plurality` feeds the result's plurality
+/// bookkeeping.
+pub fn stabilize_simulator(
+    sim: &mut dyn Simulator,
+    k: usize,
+    rng: &mut SimRng,
+    budget: u64,
+    initial_plurality: Option<usize>,
+) -> StabilizationResult {
+    let (interactions, stabilized) = sim.run_to_silence(rng, budget);
+    classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality)
+}
+
+/// [`stabilize_simulator`] with a progress heartbeat: the run is driven in
+/// `~max(4n, 2¹⁶)`-interaction chunks and `tick` receives the
+/// interactions-so-far after each chunk (the CLI's `--progress-every`
+/// stderr heartbeat hangs off this). Chunk boundaries can truncate the
+/// leaping backends' geometric skip draws, so a ticked run need not be
+/// interaction-identical to the same seed driven without one. Assumes a
+/// freshly constructed simulator (interaction clock at zero), which is how
+/// every caller of [`make_simulator`] holds one.
+pub fn stabilize_simulator_ticking(
+    sim: &mut dyn Simulator,
+    k: usize,
+    rng: &mut SimRng,
+    budget: u64,
+    initial_plurality: Option<usize>,
+    tick: &mut dyn FnMut(u64),
+) -> StabilizationResult {
+    let chunk = (4 * sim.population()).max(1 << 16);
+    let (interactions, stabilized) = loop {
+        let done = sim.interactions();
+        if sim.is_silent() {
+            break (done, true);
+        }
+        if done >= budget {
+            break (done, false);
+        }
+        sim.run_to_silence(rng, chunk.min(budget - done));
+        tick(sim.interactions());
+    };
+    classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality)
+}
+
 /// Run `config` to USD stabilization on the chosen backend.
 ///
 /// Semantics match [`stabilize`](crate::stabilization::stabilize): the run
@@ -262,16 +339,8 @@ pub fn stabilize_with_backend(
     rng: &mut SimRng,
     budget: u64,
 ) -> StabilizationResult {
-    let initial_plurality = config.plurality();
     let mut sim = make_simulator(backend, config);
-    let (interactions, stabilized) = sim.run_to_silence(rng, budget);
-    result_from_counts(
-        sim.counts(),
-        config.k(),
-        interactions,
-        stabilized,
-        initial_plurality,
-    )
+    stabilize_simulator(sim.as_mut(), config.k(), rng, budget, config.plurality())
 }
 
 /// Whether no edge of `graph` can change any state under `proto` — the
@@ -305,6 +374,42 @@ pub fn stabilize_on_topology(
     rng: &mut SimRng,
     budget: u64,
 ) -> StabilizationResult {
+    stabilize_on_topology_keeping(
+        backend,
+        config,
+        family,
+        topo_seed,
+        rng,
+        budget,
+        false,
+        &mut |_| {},
+    )
+    .0
+}
+
+/// [`stabilize_on_topology`] for callers that need the engine afterwards:
+/// returns the result together with the simulator, so per-engine state —
+/// [`telemetry`](pop_proto::Simulator::telemetry) above all — survives the
+/// run. `tick` receives the interactions-so-far after every driving chunk
+/// (pass `&mut |_| {}` for no heartbeat); the `graph`/`batchgraph`
+/// backends drive in `~max(4n, 2¹⁶)`-interaction chunks only so the
+/// heartbeat has a pulse, the `agent` backend already runs chunked for its
+/// frozen-configuration edge scan. `span_timing` turns the engine's span
+/// clock on before the run (the simulator is constructed in here, so the
+/// caller has no earlier chance). An edgeless graph (very sparse `er`)
+/// is trivially silent and has no engine to return — the simulator slot is
+/// `None` and every engine constructor would reject the graph anyway.
+#[allow(clippy::too_many_arguments)]
+pub fn stabilize_on_topology_keeping(
+    backend: Backend,
+    config: &UsdConfig,
+    family: TopologyFamily,
+    topo_seed: u64,
+    rng: &mut SimRng,
+    budget: u64,
+    span_timing: bool,
+    tick: &mut dyn FnMut(u64),
+) -> (StabilizationResult, Option<Box<dyn Simulator>>) {
     assert!(
         backend.supports_topologies(),
         "{backend} cannot run graph topologies (use agent or graph)"
@@ -314,58 +419,69 @@ pub fn stabilize_on_topology(
     let proto = UndecidedStateDynamics::new(k);
     let counts = config.to_count_config();
     let graph = family.build(config.n() as usize, topo_seed);
-    let states = shuffled_layout(&counts, rng);
     if graph.num_edges() == 0 {
         // Edgeless graph: nothing can ever interact.
-        return result_from_counts(counts.counts(), k, 0, true, initial_plurality);
+        let result = classify_counts(counts.counts(), k, 0, true, initial_plurality);
+        return (result, None);
     }
-    let (interactions, stabilized, final_counts) = match backend {
-        Backend::Graph => {
-            let mut sim = GraphSimulator::new(proto, &graph, states);
-            let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
-            (t, silent, sim.counts().to_vec())
+    let states = shuffled_layout(&counts, rng);
+    let chunk = (4 * config.n()).max(1 << 16);
+    if matches!(backend, Backend::Agent) {
+        // Agentwise: the count-level silence criterion inside
+        // `run_to_silence` misses frozen configurations on disconnected
+        // graphs, so interleave chunked runs with the exact edge-scan
+        // criterion.
+        let scheduler = GraphScheduler::new(graph);
+        let mut sim = AgentSimulator::new(proto, scheduler, states);
+        if span_timing {
+            Simulator::set_span_timing(&mut sim, true);
         }
+        let (interactions, stabilized) = loop {
+            let done = sim.interactions();
+            if sim.is_silent()
+                || graph_silent(sim.protocol(), sim.scheduler().graph(), sim.states())
+            {
+                break (done, true);
+            }
+            if done >= budget {
+                break (done, false);
+            }
+            sim.run_to_silence(rng, chunk.min(budget - done));
+            tick(sim.interactions());
+        };
+        let result = classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality);
+        return (result, Some(Box::new(sim)));
+    }
+    let mut sim: Box<dyn Simulator> = match backend {
+        Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
         Backend::BatchGraph if proto.num_states() <= <u8 as StateWord>::LIMIT => {
-            let mut sim = BatchGraphSimulator::new(proto, &graph, states);
-            let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
-            (t, silent, sim.counts().to_vec())
+            Box::new(BatchGraphSimulator::new(proto, &graph, states))
         }
         Backend::BatchGraph => {
             // u16 state-packing fallback for k > 256 (see
             // `make_topology_simulator`).
-            let mut sim = WideBatchGraphSimulator::with_states(proto, &graph, states);
-            let (t, silent) = Simulator::run_to_silence(&mut sim, rng, budget);
-            (t, silent, sim.counts().to_vec())
+            Box::new(WideBatchGraphSimulator::with_states(proto, &graph, states))
         }
-        _ => {
-            // Agentwise: the count-level silence criterion inside
-            // `run_to_silence` misses frozen configurations on
-            // disconnected graphs, so interleave chunked runs with the
-            // exact edge-scan criterion.
-            let scheduler = GraphScheduler::new(graph);
-            let mut sim = AgentSimulator::new(proto, scheduler, states);
-            let chunk = (4 * config.n()).max(1 << 16);
-            loop {
-                let done = sim.interactions();
-                if sim.is_silent()
-                    || graph_silent(sim.protocol(), sim.scheduler().graph(), sim.states())
-                {
-                    break (done, true, sim.counts().to_vec());
-                }
-                if done >= budget {
-                    break (done, false, sim.counts().to_vec());
-                }
-                sim.run_to_silence(rng, chunk.min(budget - done));
-            }
-        }
+        _ => unreachable!("supports_topologies() admitted {backend}"),
     };
-    result_from_counts(
-        &final_counts,
-        k,
-        interactions,
-        stabilized,
-        initial_plurality,
-    )
+    if span_timing {
+        sim.set_span_timing(true);
+    }
+    // The graph engines detect graph silence natively (their `is_silent`
+    // is the frontier criterion), so the generic chunked driver is exact.
+    let (interactions, stabilized) = loop {
+        let done = sim.interactions();
+        if sim.is_silent() {
+            break (done, true);
+        }
+        if done >= budget {
+            break (done, false);
+        }
+        sim.run_to_silence(rng, chunk.min(budget - done));
+        tick(sim.interactions());
+    };
+    let result = classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality);
+    (result, Some(sim))
 }
 
 #[cfg(test)]
@@ -497,12 +613,12 @@ mod tests {
     #[test]
     fn frozen_classification_of_silent_mixed_counts() {
         // Silent with two opinions stranded (disconnected topology): frozen.
-        let r = result_from_counts(&[3, 2, 1], 2, 100, true, Some(0));
+        let r = classify_counts(&[3, 2, 1], 2, 100, true, Some(0));
         assert_eq!(r.outcome, ConsensusOutcome::Frozen);
         assert!(r.stabilized());
         assert!(!r.plurality_won());
         // Winner with leftover ⊥ is likewise frozen, not consensus.
-        let r = result_from_counts(&[5, 0, 1], 2, 100, true, Some(0));
+        let r = classify_counts(&[5, 0, 1], 2, 100, true, Some(0));
         assert_eq!(r.outcome, ConsensusOutcome::Frozen);
     }
 

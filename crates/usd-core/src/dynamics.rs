@@ -22,6 +22,7 @@
 //! generic over the engine.
 
 use crate::config::UsdConfig;
+use pop_proto::telemetry::EngineTelemetry;
 use pop_proto::FenwickSampler;
 use sim_stats::rng::SimRng;
 
@@ -394,6 +395,10 @@ impl UsdSimulator for SkipAheadUsd {
 pub struct SequentialGeneric {
     inner: SequentialUsd,
     effective: u64,
+    /// Engine telemetry. A per-event engine: `scheduled`/`effective`
+    /// mirror the clocks, `dense_steps`/`pair_draws` count the literal
+    /// interactions. No phases, no spans.
+    telemetry: EngineTelemetry,
 }
 
 impl SequentialGeneric {
@@ -402,6 +407,7 @@ impl SequentialGeneric {
         SequentialGeneric {
             inner: SequentialUsd::new(config),
             effective: 0,
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -435,15 +441,23 @@ impl pop_proto::Simulator for SequentialGeneric {
     }
 
     fn step(&mut self, rng: &mut SimRng) -> bool {
+        self.telemetry.scheduled += 1;
+        self.telemetry.dense_steps += 1;
+        self.telemetry.pair_draws += 1;
         let changed = !matches!(self.inner.step(rng), UsdEvent::Noop);
         if changed {
             self.effective += 1;
+            self.telemetry.effective += 1;
         }
         changed
     }
 
     fn is_silent(&self) -> bool {
         UsdSimulator::is_silent(&self.inner)
+    }
+
+    fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 }
 
@@ -465,6 +479,10 @@ pub struct SkipAheadGeneric {
     /// Dense counts: opinions 0..k, undecided at index k.
     counts: Vec<u64>,
     effective: u64,
+    /// Engine telemetry: `scheduled`/`effective` mirror the clocks,
+    /// `skip_draws` counts the geometric no-op skips and `pair_draws` the
+    /// effective-event draws. No phases, no spans.
+    telemetry: EngineTelemetry,
 }
 
 impl SkipAheadGeneric {
@@ -476,6 +494,7 @@ impl SkipAheadGeneric {
             inner: SkipAheadUsd::new(config),
             counts,
             effective: 0,
+            telemetry: EngineTelemetry::new(),
         }
     }
 
@@ -522,8 +541,15 @@ impl pop_proto::Simulator for SkipAheadGeneric {
 
     fn advance_changed(&mut self, rng: &mut SimRng, max: u64) -> (u64, bool) {
         let (advanced, changed) = self.inner.advance_within(rng, max);
+        self.telemetry.scheduled += advanced;
+        if advanced > 0 {
+            // One geometric draw per advancement (truncated or not).
+            self.telemetry.skip_draws += 1;
+        }
         if changed {
             self.effective += 1;
+            self.telemetry.effective += 1;
+            self.telemetry.pair_draws += 1;
             self.sync_counts();
         }
         (advanced, changed)
@@ -531,6 +557,10 @@ impl pop_proto::Simulator for SkipAheadGeneric {
 
     fn is_silent(&self) -> bool {
         self.inner.is_silent()
+    }
+
+    fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 }
 

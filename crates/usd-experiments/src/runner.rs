@@ -33,12 +33,50 @@ pub use sim_stats::threads::{resolve_threads, set_thread_override};
 #[derive(Debug, Default)]
 pub struct Progress {
     done: AtomicUsize,
+    /// Total cells of the bound sweep; 0 until a sweep binds this
+    /// progress (the sweep driver sets it before any cell runs).
+    total: AtomicUsize,
+}
+
+/// A point-in-time view of sweep progress, cheap enough for a heartbeat
+/// thread to poll every few milliseconds (two relaxed atomic loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Completed cells.
+    pub done: usize,
+    /// Total cells in the sweep (0 until a sweep binds the progress).
+    pub total: usize,
+}
+
+impl ProgressSnapshot {
+    /// Completed fraction in [0, 1]; 0.0 before the total is known.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
 }
 
 impl Progress {
     /// Number of completed cells.
     pub fn done(&self) -> usize {
         self.done.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for progress rendering. `total` is bound once before any
+    /// cell runs, so the pair is coherent for any racing reader.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let total = self.total.load(Ordering::Relaxed);
+        ProgressSnapshot {
+            done: self.done.load(Ordering::Relaxed),
+            total,
+        }
+    }
+
+    fn bind_total(&self, total: usize) {
+        self.total.store(total, Ordering::Relaxed);
     }
 
     fn bump(&self) {
@@ -102,6 +140,7 @@ where
 {
     let factory = RngFactory::new(seed);
     let n_items = items.len();
+    progress.bind_total(n_items);
     if n_items == 0 {
         return Vec::new();
     }
@@ -204,9 +243,20 @@ mod tests {
     #[test]
     fn progress_reaches_item_count() {
         let progress = Progress::default();
+        assert_eq!(progress.snapshot(), ProgressSnapshot { done: 0, total: 0 });
+        assert_eq!(progress.snapshot().fraction(), 0.0);
         let out = sweep_with_progress(9, (0..64u64).collect(), |_, &x, _| x, &progress);
         assert_eq!(out.len(), 64);
         assert_eq!(progress.done(), 64);
+        let snap = progress.snapshot();
+        assert_eq!(
+            snap,
+            ProgressSnapshot {
+                done: 64,
+                total: 64
+            }
+        );
+        assert_eq!(snap.fraction(), 1.0);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! the active-edge `graph` backend to graph silence and reports parallel
 //! stabilization time, the effective-interaction fraction (how no-op
 //! dominated the trajectory was — the quantity the graphwise engine skips
-//! over), and the plurality win rate. The `T / (k ln n)` column normalizes
+//! over), the engine-telemetry rates of a representative run (the sparse
+//! sidecar's cancel rate and the block engines' literal-fallback rate),
+//! and the plurality win rate. The `T / (k ln n)` column normalizes
 //! by the clique barrier scale, making departures from the complete-graph
 //! regime directly visible (expander-like families track the clique;
 //! low-conductance families like the cycle pay a polynomial factor).
@@ -18,6 +20,7 @@
 use crate::cli::ExpArgs;
 use crate::report::Report;
 use crate::runner;
+use pop_proto::telemetry::EngineTelemetry;
 use pop_proto::topology::TopologyFamily;
 use pop_proto::Simulator;
 use sim_stats::rng::SimRng;
@@ -45,6 +48,12 @@ pub struct TopologyCell {
     pub win_rate: f64,
     /// Fraction of runs that froze (disconnected topology) or timed out.
     pub degenerate_rate: f64,
+    /// Sidecar cancel rate from the representative run's engine telemetry
+    /// (the adaptive-deferral signal; 0 on engines without the skipper).
+    pub cancel_rate: f64,
+    /// Block fallback rate from the representative run's engine telemetry
+    /// (dirty-draw literal re-simulations; 0 on non-block engines).
+    pub fallback_rate: f64,
 }
 
 /// Validate an E14 flag combination before running anything: the backend
@@ -178,27 +187,32 @@ pub fn topology_cell(
     let sched_budget = n.saturating_mul(n).saturating_mul(n).max(1 << 26);
     // The agentwise engine pays per *scheduled* interaction and its
     // count-level silence check misses frozen disconnected graphs, so it
-    // runs through `stabilize_on_topology` (exact freeze detection via the
-    // edge scan) with the work budget applied to the scheduled clock — the
-    // only quantity that bounds its wall time.
-    let run_one = |rep: u64, rng: &mut sim_stats::rng::SimRng| -> (ConsensusOutcome, u64, u64) {
+    // runs through the `stabilize_on_topology` driver (exact freeze
+    // detection via the edge scan) with the work budget applied to the
+    // scheduled clock — the only quantity that bounds its wall time. The
+    // keeping variant hands the engine back, so its effective count and
+    // telemetry are readable like the other backends'.
+    let run_one = |rep: u64,
+                   rng: &mut sim_stats::rng::SimRng|
+     -> (ConsensusOutcome, u64, EngineTelemetry) {
         if backend == Backend::Agent {
-            let result = usd_core::backend::stabilize_on_topology(
+            let (result, sim) = usd_core::backend::stabilize_on_topology_keeping(
                 backend,
                 &config,
                 family,
                 master_seed ^ rep,
                 rng,
                 eff_budget.min(sched_budget),
+                false,
+                &mut |_| {},
             );
-            // Scheduled ≈ work for agentwise; the effective count is not
-            // exposed through StabilizationResult.
-            (result.outcome, result.interactions, 0)
+            let telemetry = sim.map_or(EngineTelemetry::new(), |s| *s.telemetry());
+            (result.outcome, result.interactions, telemetry)
         } else {
             let mut sim = make_topology_simulator(backend, &config, family, master_seed ^ rep, rng);
             let (outcome, interactions) =
                 stabilize_effective_budgeted(&mut *sim, &config, rng, sched_budget, eff_budget);
-            (outcome, interactions, sim.effective_interactions())
+            (outcome, interactions, *sim.telemetry())
         }
     };
     let outcomes = runner::repeat(master_seed, seeds, |rep, rng| {
@@ -206,20 +220,18 @@ pub fn topology_cell(
         let parallel = interactions as f64 / n as f64;
         (outcome, parallel)
     });
-    // Effective fraction from one representative run (cheap statistic; the
-    // stabilization outcomes above are the measured quantity). The
-    // agentwise arm reports NaN — its result type does not carry the
-    // effective count.
-    let effective_fraction = {
+    // Engine-telemetry rates from one representative run (cheap
+    // statistics; the stabilization outcomes above are the measured
+    // quantity): the effective fraction, the sidecar cancel rate the
+    // adaptive deferral decides on, and the block fallback rate.
+    let (effective_fraction, cancel_rate, fallback_rate) = {
         let mut rng = sim_stats::rng::SimRng::new(master_seed ^ 0xF00D);
-        let (_, interactions, effective) = run_one(u64::MAX, &mut rng);
-        if backend == Backend::Agent {
-            f64::NAN
-        } else if interactions == 0 {
-            0.0
-        } else {
-            effective as f64 / interactions as f64
-        }
+        let (_, _, telemetry) = run_one(u64::MAX, &mut rng);
+        (
+            telemetry.effective_fraction(),
+            telemetry.cancel_rate(),
+            telemetry.fallback_rate(),
+        )
     };
     let silent: Vec<f64> = outcomes
         .iter()
@@ -246,6 +258,8 @@ pub fn topology_cell(
         effective_fraction,
         win_rate: wins as f64 / outcomes.len() as f64,
         degenerate_rate: degenerate as f64 / outcomes.len() as f64,
+        cancel_rate,
+        fallback_rate,
     }
 }
 
@@ -323,8 +337,12 @@ pub fn topology_report(args: &ExpArgs) -> Report {
          T/(k ln n) normalizes by the clique barrier scale: values near the \
          clique's constant indicate expander-like behaviour (hypercube, \
          random regular), while low-conductance families (cycle, torus) pay \
-         polynomial slowdowns. 'eff. frac' is the effective-interaction \
-         fraction of one run — the no-op dominance the engine skips. \
+         polynomial slowdowns. 'eff. frac', 'cancel' and 'fallback' come \
+         from one run's engine telemetry: the effective-interaction \
+         fraction (the no-op dominance the engine skips), the sparse \
+         sidecar's flush-time cancel rate (the signal the adaptive \
+         deferral decides on), and the block engines' dirty-draw \
+         literal-fallback rate. \
          'degenerate' counts frozen (disconnected er) runs plus runs that \
          exhausted the {budget_note}."
     ));
@@ -334,6 +352,8 @@ pub fn topology_report(args: &ExpArgs) -> Report {
         "T parallel",
         "T/(k ln n)",
         "eff. frac",
+        "cancel",
+        "fallback",
         "win rate",
         "degenerate",
     ]);
@@ -345,6 +365,8 @@ pub fn topology_report(args: &ExpArgs) -> Report {
             fmt_sig(c.parallel_mean, 4),
             fmt_sig(norm, 3),
             fmt_sig(c.effective_fraction, 3),
+            fmt_sig(c.cancel_rate, 3),
+            fmt_sig(c.fallback_rate, 3),
             fmt_sig(c.win_rate, 3),
             fmt_sig(c.degenerate_rate, 3),
         ]);

@@ -170,6 +170,63 @@ fn graphwise_vs_agentwise_torus_ks() {
     );
 }
 
+/// KS equivalence of the graphwise engine against the literal agentwise
+/// engine on the **torus endgame** — one minority square patch on an
+/// otherwise-converged torus, the benched scenario whose runs live almost
+/// entirely in the sparse skipper at a *low* sidecar cancel rate. Re-pins
+/// the chain after the adaptive deferral bypass (PR 6): the policy may
+/// only change Fenwick bookkeeping, never the sampled trajectory law.
+#[test]
+fn graphwise_vs_agentwise_torus_endgame_ks() {
+    use plurality_consensus::pop_proto::{
+        AgentSimulator, GraphScheduler, GraphSimulator, Simulator,
+    };
+    use plurality_consensus::usd_core::protocol::UndecidedStateDynamics;
+
+    let n = TopologyFamily::Torus.snap_n(196);
+    let side = (n as f64).sqrt() as usize;
+    let patch = 4usize;
+    let reps = 120u64;
+    let endgame_states = || {
+        let mut states = vec![0usize; n];
+        for r in 0..patch {
+            for c in 0..patch {
+                states[r * side + c] = 1;
+            }
+        }
+        states
+    };
+    let samples = |graphwise: bool, seed_base: u64| -> Vec<f64> {
+        let graph = TopologyFamily::Torus.build(n, 0);
+        (0..reps)
+            .map(|rep| {
+                let mut rng = SimRng::new(seed_base + rep);
+                let proto = UndecidedStateDynamics::new(2);
+                let mut sim: Box<dyn Simulator> = if graphwise {
+                    Box::new(GraphSimulator::new(proto, &graph, endgame_states()))
+                } else {
+                    Box::new(AgentSimulator::new(
+                        proto,
+                        GraphScheduler::new(graph.clone()),
+                        endgame_states(),
+                    ))
+                };
+                let (interactions, silent) = sim.run_to_silence(&mut rng, u64::MAX / 2);
+                assert!(silent, "endgame rep {rep} did not stabilize");
+                interactions as f64
+            })
+            .collect()
+    };
+    let a = samples(false, 120_000);
+    let b = samples(true, 220_000);
+    let d = ks_statistic(&a, &b);
+    let crit = ks_critical_value(a.len(), b.len(), 0.01);
+    assert!(
+        d < crit,
+        "torus endgame: graph vs agent stabilization-time KS {d:.4} >= critical {crit:.4}"
+    );
+}
+
 /// Winner distributions agree under a strong bias: both engines elect the
 /// plurality at essentially the same high rate on a sparse topology.
 #[test]
