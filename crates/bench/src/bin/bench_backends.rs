@@ -21,7 +21,11 @@
 //! which exists to measure the no-op-dominated regime the sparse skippers
 //! leap over). `--json` writes the rows as `BENCH_backends.json`
 //! (hand-rolled JSON, no dependencies) so CI can archive the numbers and
-//! regressions are visible in review diffs.
+//! regressions are visible in review diffs. Every row embeds the engine's
+//! telemetry block plus its per-event histogram quantiles
+//! (`EventHistograms::to_json`), so `bench_compare` can trend p50/p90/p99
+//! of skip lengths, block totals, and flush sizes across PRs, not just
+//! aggregate throughput.
 
 use pop_proto::{
     AgentSimulator, BatchGraphSimulator, Graph, GraphScheduler, GraphSimulator, Simulator,
@@ -41,10 +45,18 @@ struct Row {
     wall_s: f64,
     scheduled: u64,
     effective: u64,
+    /// The engine's event histograms as a schema-stable JSON object
+    /// (`EventHistograms::to_json` — p50/p90/p99/n per per-event
+    /// quantity), embedded verbatim in `Row::json` immediately before
+    /// the telemetry block. Every bench run enables the histograms, so
+    /// the overhead they add is part of the measured wall time (one
+    /// predictable branch per event — see the pop-proto timeline docs).
+    histograms: String,
     /// The engine's telemetry run report as a schema-stable JSON object
     /// (`EngineTelemetry::to_json`), embedded verbatim in `Row::json` as
     /// its LAST field so first-occurrence key scanners keep finding the
-    /// row's own top-level keys first.
+    /// row's own top-level keys first (the nested blocks repeat names
+    /// like `n` and `scheduled`).
     telemetry: String,
 }
 
@@ -62,7 +74,7 @@ impl Row {
             "{{\"backend\":\"{}\",\"topology\":\"{}\",\"n\":{},\"mode\":\"{}\",\
              \"wall_s\":{:.6},\"scheduled\":{},\"effective\":{},\
              \"scheduled_per_s\":{:.1},\"effective_per_s\":{:.1},\
-             \"telemetry\":{}}}",
+             \"histograms\":{},\"telemetry\":{}}}",
             self.backend,
             self.topology,
             self.n,
@@ -72,9 +84,18 @@ impl Row {
             self.effective,
             self.sched_per_s(),
             self.eff_per_s(),
+            self.histograms,
             self.telemetry,
         )
     }
+}
+
+/// The histogram JSON a driven simulator reports once
+/// [`Simulator::set_histograms`] was enabled (`{}` for an engine that
+/// somehow reports none, so the row still parses).
+fn hist_json(sim: &dyn Simulator) -> String {
+    sim.histograms()
+        .map_or_else(|| "{}".to_string(), |h| h.to_json())
 }
 
 /// Build a topology simulator for one of the graph-capable backends.
@@ -94,6 +115,7 @@ fn topo_stabilize_row(backend: Backend, family: TopologyFamily, n: u64, k: usize
     let n = family.snap_n(n as usize) as u64;
     let mut rng = SimRng::new(1);
     let mut sim = topo_sim(backend, family, n, k, &mut rng);
+    sim.set_histograms(true);
     let start = std::time::Instant::now();
     sim.run_to_silence(&mut rng, u64::MAX / 2);
     Row {
@@ -104,6 +126,7 @@ fn topo_stabilize_row(backend: Backend, family: TopologyFamily, n: u64, k: usize
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        histograms: hist_json(sim.as_ref()),
         telemetry: sim.telemetry().to_json(),
     }
 }
@@ -140,6 +163,7 @@ fn cycle_frontier_row(backend: Backend, n: usize, target: u64) -> Row {
     let graph = TopologyFamily::Cycle.build(n, 0);
     let mut rng = SimRng::new(2);
     let mut sim = explicit_sim(backend, &graph, frontier_states(n));
+    sim.set_histograms(true);
     let start = std::time::Instant::now();
     loop {
         let done = sim.interactions();
@@ -158,6 +182,7 @@ fn cycle_frontier_row(backend: Backend, n: usize, target: u64) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        histograms: hist_json(sim.as_ref()),
         telemetry: sim.telemetry().to_json(),
     }
 }
@@ -169,6 +194,7 @@ fn frontier_stabilize_row(backend: Backend, n: usize) -> Row {
     let graph = TopologyFamily::Cycle.build(n, 0);
     let mut rng = SimRng::new(4);
     let mut sim = explicit_sim(backend, &graph, frontier_states(n));
+    sim.set_histograms(true);
     let start = std::time::Instant::now();
     sim.run_to_silence(&mut rng, u64::MAX / 2);
     Row {
@@ -179,6 +205,7 @@ fn frontier_stabilize_row(backend: Backend, n: usize) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        histograms: hist_json(sim.as_ref()),
         telemetry: sim.telemetry().to_json(),
     }
 }
@@ -200,6 +227,7 @@ fn torus_endgame_row(backend: Backend, n: usize, patch: usize) -> Row {
     }
     let mut rng = SimRng::new(5);
     let mut sim = explicit_sim(backend, &graph, states);
+    sim.set_histograms(true);
     let start = std::time::Instant::now();
     sim.run_to_silence(&mut rng, u64::MAX / 2);
     Row {
@@ -210,6 +238,7 @@ fn torus_endgame_row(backend: Backend, n: usize, patch: usize) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        histograms: hist_json(sim.as_ref()),
         telemetry: sim.telemetry().to_json(),
     }
 }
@@ -221,6 +250,7 @@ fn clique_row(backend: Backend, n: u64, k: usize) -> Row {
     let config = InitialConfigBuilder::new(n, k).figure1();
     let mut rng = SimRng::new(3);
     let mut sim = usd_core::backend::make_simulator(backend, &config);
+    sim.set_histograms(true);
     let start = std::time::Instant::now();
     sim.run_to_silence(&mut rng, u64::MAX / 2);
     Row {
@@ -231,6 +261,7 @@ fn clique_row(backend: Backend, n: u64, k: usize) -> Row {
         wall_s: start.elapsed().as_secs_f64(),
         scheduled: sim.interactions(),
         effective: sim.effective_interactions(),
+        histograms: hist_json(sim.as_ref()),
         telemetry: sim.telemetry().to_json(),
     }
 }

@@ -6,6 +6,8 @@
 //!     [--summary <path>]
 //! cargo run --release -p usd-bench --bin bench_compare -- \
 //!     --assert-telemetry <run.json>
+//! cargo run --release -p usd-bench --bin bench_compare -- \
+//!     --assert-timeline <run.jsonl>
 //! ```
 //!
 //! `--summary <path>` additionally **appends** a markdown per-scenario
@@ -16,7 +18,13 @@
 //! reports its table. When the candidate rows carry telemetry blocks, a
 //! second table of key telemetry rates (effective fraction, sparse cancel
 //! rate, literal-fallback rate) per scenario is appended after the ratio
-//! table.
+//! table; when they carry event-histogram blocks (`bench_backends` always
+//! embeds them since the flight-recorder PR), a third table trends each
+//! histogram's p50/p90/p99 against the baseline's quantiles. The
+//! quantile trends are advisory, not gated: the values are power-of-two
+//! bin lower edges, so any movement is a genuine bucket shift worth
+//! eyeballing in review, but distribution shape is too workload-coupled
+//! for a hard threshold.
 //!
 //! `--assert-telemetry <run.json>` is a separate smoke mode: it checks
 //! that **every** row of the document carries a non-empty telemetry block
@@ -25,6 +33,14 @@
 //! silently stops reporting telemetry (a new engine forgetting to
 //! instrument, a refactor dropping the counters) fails the build instead
 //! of quietly degrading the run reports.
+//!
+//! `--assert-timeline <run.jsonl>` is the same idea for the flight
+//! recorder: every line of a `usd-sim run --timeline` JSONL must be a
+//! record carrying the full schema key set **in emission order**, with
+//! `sample` counting up from 0 and the cumulative `scheduled`/`effective`
+//! clocks monotone. Exit `1` lists every violating line; an unreadable or
+//! empty file is exit `2` (an empty timeline means the recorder never
+//! sampled — a wiring bug, not a schema drift).
 //!
 //! Matches rows by `(backend, topology, n, mode)` and, for every
 //! **stabilization** row present in both files, compares the candidate's
@@ -61,6 +77,17 @@ struct TelemetrySummary {
     fallback_rate: f64,
 }
 
+/// One histogram field's quantile summary, as `EventHistograms::to_json`
+/// emits it: power-of-two bin lower edges plus the event count.
+#[derive(Debug, Clone, PartialEq)]
+struct HistField {
+    name: String,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    n: u64,
+}
+
 /// One parsed benchmark row (the fields the gate needs).
 #[derive(Debug, Clone, PartialEq)]
 struct CmpRow {
@@ -70,6 +97,9 @@ struct CmpRow {
     mode: String,
     scheduled_per_s: f64,
     effective_per_s: f64,
+    /// Per-event histogram quantiles in schema order (empty when the row
+    /// predates the flight-recorder PR, or the block is malformed).
+    histograms: Vec<HistField>,
     telemetry: Option<TelemetrySummary>,
 }
 
@@ -159,6 +189,56 @@ fn parse_telemetry(obj: &str) -> Option<TelemetrySummary> {
     })
 }
 
+/// Extract a row's nested `histograms` object into its per-field
+/// quantile summaries, in the order the block lists them. Empty when the
+/// key is absent or any structure is off — histograms are advisory, so a
+/// malformed block degrades to "no columns", unlike the row's own scalar
+/// fields whose absence is a parse error.
+fn parse_histograms(obj: &str) -> Vec<HistField> {
+    let Some(at) = obj.find("\"histograms\":") else {
+        return Vec::new();
+    };
+    let Some(open) = obj[at..].find('{') else {
+        return Vec::new();
+    };
+    let Ok((start, end)) = balanced_object(obj, at + open) else {
+        return Vec::new();
+    };
+    let block = &obj[start..end];
+    let mut out = Vec::new();
+    let mut i = 1; // past the opening '{'
+    while let Some(q) = block[i..].find('"') {
+        let key_start = i + q + 1;
+        let Some(qe) = block[key_start..].find('"') else {
+            break;
+        };
+        let key_end = key_start + qe;
+        let Some(ob) = block[key_end..].find('{') else {
+            break;
+        };
+        let Ok((fs, fe)) = balanced_object(block, key_end + ob) else {
+            break;
+        };
+        let field = &block[fs..fe];
+        if let (Ok(p50), Ok(p90), Ok(p99), Ok(n)) = (
+            num_field(field, "p50"),
+            num_field(field, "p90"),
+            num_field(field, "p99"),
+            num_field(field, "n"),
+        ) {
+            out.push(HistField {
+                name: block[key_start..key_end].to_string(),
+                p50,
+                p90,
+                p99,
+                n: n as u64,
+            });
+        }
+        i = fe;
+    }
+    out
+}
+
 /// Parse the `rows` array of a `bench_backends --json` document.
 fn parse_rows(doc: &str) -> Result<Vec<CmpRow>, String> {
     let rows_at = doc.find("\"rows\"").ok_or("no \"rows\" key")?;
@@ -185,6 +265,7 @@ fn parse_rows(doc: &str) -> Result<Vec<CmpRow>, String> {
             mode: str_field(obj, "mode")?,
             scheduled_per_s: num_field(obj, "scheduled_per_s")?,
             effective_per_s: num_field(obj, "effective_per_s")?,
+            histograms: parse_histograms(obj),
             telemetry: parse_telemetry(obj),
         });
         i = end;
@@ -199,6 +280,89 @@ fn missing_telemetry(rows: &[CmpRow]) -> Vec<String> {
         .filter(|r| !matches!(r.telemetry, Some(t) if t.scheduled > 0))
         .map(|r| r.key())
         .collect()
+}
+
+/// Schema keys every flight-recorder JSONL record must carry, in the
+/// order `TimelineSample::to_json` emits them.
+const TIMELINE_KEYS: [&str; 15] = [
+    "\"sample\":",
+    "\"scheduled\":",
+    "\"effective\":",
+    "\"phase\":\"",
+    "\"d_scheduled\":",
+    "\"d_effective\":",
+    "\"d_dense_steps\":",
+    "\"d_blocks\":",
+    "\"d_block_applied\":",
+    "\"d_fallback_literal\":",
+    "\"d_sparse_enters\":",
+    "\"d_sparse_exits\":",
+    "\"d_sparse_events\":",
+    "\"d_sparse_flushes\":",
+    "\"rates\":{\"effective_fraction\":",
+];
+
+/// `--assert-timeline` check over one flight-recorder JSONL document:
+/// every line is a `{...}` record carrying the full schema key set in
+/// emission order, `sample` counts up from 0, and the cumulative
+/// `scheduled`/`effective` clocks never go backwards. Ok carries the
+/// sample count; Err lists every violation found (all lines are checked
+/// so one bad record does not mask the rest).
+fn assert_timeline(doc: &str) -> Result<usize, Vec<String>> {
+    let mut problems = Vec::new();
+    let mut count = 0usize;
+    let (mut last_scheduled, mut last_effective) = (0.0f64, 0.0f64);
+    for (lineno, line) in doc.lines().enumerate() {
+        let ln = lineno + 1;
+        let index = count as f64;
+        count += 1;
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            problems.push(format!("line {ln}: not a one-line JSON record"));
+            continue;
+        }
+        // Keys must appear in emission order: each search resumes where
+        // the previous key matched, so a reordered schema fails even if
+        // every key is present somewhere in the line.
+        let mut at = 0usize;
+        let mut ordered = true;
+        for key in TIMELINE_KEYS {
+            match line[at..].find(key) {
+                Some(rel) => at += rel + key.len(),
+                None => {
+                    problems.push(format!("line {ln}: missing or out-of-order key {key}"));
+                    ordered = false;
+                    break;
+                }
+            }
+        }
+        if !ordered {
+            continue;
+        }
+        match num_field(line, "sample") {
+            Ok(s) if s == index => {}
+            Ok(s) => problems.push(format!("line {ln}: sample index {s} (expected {index})")),
+            Err(e) => problems.push(format!("line {ln}: {e}")),
+        }
+        let scheduled = num_field(line, "scheduled").unwrap_or(-1.0);
+        let effective = num_field(line, "effective").unwrap_or(-1.0);
+        if scheduled < last_scheduled {
+            problems.push(format!(
+                "line {ln}: scheduled clock went backwards ({last_scheduled} -> {scheduled})"
+            ));
+        }
+        if effective < last_effective {
+            problems.push(format!(
+                "line {ln}: effective clock went backwards ({last_effective} -> {effective})"
+            ));
+        }
+        last_scheduled = scheduled;
+        last_effective = effective;
+    }
+    if problems.is_empty() {
+        Ok(count)
+    } else {
+        Err(problems)
+    }
 }
 
 /// One gated comparison.
@@ -338,12 +502,59 @@ fn telemetry_markdown(rows: &[CmpRow]) -> String {
     doc
 }
 
+/// Histogram-quantile trend table: one markdown row per (scenario,
+/// histogram field) with events in the candidate, alongside the
+/// baseline's quantiles for the same field where present ("—" when the
+/// committed baseline predates histograms — regenerating it picks the
+/// column up). Advisory only: quantiles are power-of-two bin lower
+/// edges, so any movement is a real bucket shift worth a look in review,
+/// but the shapes are too workload-coupled to gate on. Empty string when
+/// no candidate row recorded any events.
+fn histogram_markdown(baseline: &[CmpRow], candidate: &[CmpRow]) -> String {
+    if candidate
+        .iter()
+        .all(|r| r.histograms.iter().all(|f| f.n == 0))
+    {
+        return String::new();
+    }
+    let mut doc = String::from("### Event-histogram quantile trends\n\n");
+    doc.push_str(
+        "| scenario | histogram | p50 | p90 | p99 | events | baseline p50/p90/p99 |\n\
+         |---|---|---:|---:|---:|---:|---:|\n",
+    );
+    for r in candidate {
+        let base = baseline.iter().find(|b| {
+            b.backend == r.backend && b.topology == r.topology && b.n == r.n && b.mode == r.mode
+        });
+        for f in r.histograms.iter().filter(|f| f.n > 0) {
+            let base_cell = base
+                .and_then(|b| b.histograms.iter().find(|bf| bf.name == f.name && bf.n > 0))
+                .map_or("—".to_string(), |bf| {
+                    format!("{:.0}/{:.0}/{:.0}", bf.p50, bf.p90, bf.p99)
+                });
+            doc.push_str(&format!(
+                "| `{}` | {} | {:.0} | {:.0} | {:.0} | {} | {} |\n",
+                r.key(),
+                f.name,
+                f.p50,
+                f.p90,
+                f.p99,
+                f.n,
+                base_cell
+            ));
+        }
+    }
+    doc.push('\n');
+    doc
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.40f64;
     let mut summary: Option<String> = None;
     let mut assert_telemetry: Option<String> = None;
+    let mut assert_timeline_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -351,6 +562,13 @@ fn main() {
                 Some(path) if !path.is_empty() => assert_telemetry = Some(path.clone()),
                 _ => {
                     eprintln!("--assert-telemetry needs a run-JSON path");
+                    std::process::exit(2);
+                }
+            },
+            "--assert-timeline" => match it.next() {
+                Some(path) if !path.is_empty() => assert_timeline_path = Some(path.clone()),
+                _ => {
+                    eprintln!("--assert-timeline needs a timeline-JSONL path");
                     std::process::exit(2);
                 }
             },
@@ -373,8 +591,38 @@ fn main() {
             },
             other if !other.starts_with("--") => paths.push(other.to_string()),
             other => {
-                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json>)");
+                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json> | bench_compare --assert-timeline <run.jsonl>)");
                 std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = assert_timeline_path {
+        // Standalone smoke mode, like --assert-telemetry below: rejects
+        // stray positionals and mode mixing instead of ignoring them.
+        if !paths.is_empty() || assert_telemetry.is_some() {
+            eprintln!("--assert-timeline takes a single JSONL path and no other mode");
+            std::process::exit(2);
+        }
+        let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match assert_timeline(&doc) {
+            Ok(0) => {
+                eprintln!("{path}: empty timeline — the recorder never sampled");
+                std::process::exit(2);
+            }
+            Ok(samples) => {
+                println!("{path}: {samples} schema-conforming timeline sample(s), clocks monotone");
+                return;
+            }
+            Err(problems) => {
+                eprintln!(
+                    "{path}: {} timeline schema violation(s):\n  {}",
+                    problems.len(),
+                    problems.join("\n  ")
+                );
+                std::process::exit(1);
             }
         }
     }
@@ -414,7 +662,7 @@ fn main() {
         std::process::exit(1);
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json>");
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json> | bench_compare --assert-timeline <run.jsonl>");
         std::process::exit(2);
     }
     // Every exit-2 path below reports through this, so a mis-set-up gate
@@ -437,7 +685,9 @@ fn main() {
     let candidate = read(&paths[1]);
     let comparisons = compare(&baseline, &candidate, threshold).unwrap_or_else(|e| fail_setup(e));
     if let Some(path) = &summary {
-        let doc = summary_markdown(&comparisons, threshold) + &telemetry_markdown(&candidate);
+        let doc = summary_markdown(&comparisons, threshold)
+            + &telemetry_markdown(&candidate)
+            + &histogram_markdown(&baseline, &candidate);
         append_summary(path, &doc);
     }
 
@@ -488,18 +738,33 @@ mod tests {
         )
     }
 
-    fn doc_with_telemetry(
+    /// A histograms block in the `EventHistograms::to_json` layout: two
+    /// live fields, the rest empty (an engine never exercises them all).
+    fn histograms_json(p99: u64) -> String {
+        format!(
+            "{{\"skip_len\":{{\"p50\":2,\"p90\":16,\"p99\":{p99},\"n\":523}},\
+             \"block_total\":{{\"p50\":0,\"p90\":0,\"p99\":0,\"n\":0}},\
+             \"block_size\":{{\"p50\":4,\"p90\":8,\"p99\":8,\"n\":12}},\
+             \"flush_size\":{{\"p50\":0,\"p90\":0,\"p99\":0,\"n\":0}},\
+             \"flush_occupancy\":{{\"p50\":0,\"p90\":0,\"p99\":0,\"n\":0}},\
+             \"fallback_run\":{{\"p50\":0,\"p90\":0,\"p99\":0,\"n\":0}}}}"
+        )
+    }
+
+    fn doc_with_blocks(
         rows: &[(&str, &str, u64, &str, f64)],
+        histograms: Option<&str>,
         telemetry: Option<&str>,
     ) -> String {
         let body: Vec<String> = rows
             .iter()
             .map(|(b, t, n, m, eff)| {
+                let hist = histograms.map_or(String::new(), |h| format!(",\"histograms\":{h}"));
                 let tail = telemetry.map_or(String::new(), |t| format!(",\"telemetry\":{t}"));
                 format!(
                     "  {{\"backend\":\"{b}\",\"topology\":\"{t}\",\"n\":{n},\"mode\":\"{m}\",\
                      \"wall_s\":1.0,\"scheduled\":100,\"effective\":50,\
-                     \"scheduled_per_s\":{:.1},\"effective_per_s\":{eff:.1}{tail}}}",
+                     \"scheduled_per_s\":{:.1},\"effective_per_s\":{eff:.1}{hist}{tail}}}",
                     eff * 2.0
                 )
             })
@@ -508,6 +773,13 @@ mod tests {
             "{{\n\"workload\": \"bench_backends\",\n\"quick\": false,\n\"rows\": [\n{}\n]\n}}\n",
             body.join(",\n")
         )
+    }
+
+    fn doc_with_telemetry(
+        rows: &[(&str, &str, u64, &str, f64)],
+        telemetry: Option<&str>,
+    ) -> String {
+        doc_with_blocks(rows, None, telemetry)
     }
 
     fn doc(rows: &[(&str, &str, u64, &str, f64)]) -> String {
@@ -657,6 +929,118 @@ mod tests {
             md.contains("| `graph/torus-endgame n=65536 [stabilize]` | 0.0700 | 0.5000 | 0.1250 |")
         );
         assert!(md.contains("| `agent/regular:8 n=100000 [target]` | — | — | — |"));
+    }
+
+    #[test]
+    fn histogram_blocks_parse_in_schema_order_and_tolerate_absence() {
+        let spec: &[(&str, &str, u64, &str, f64)] =
+            &[("batch", "clique", 1_000_000, "stabilize", 5.0e6)];
+        let rows = parse_rows(&doc_with_blocks(
+            spec,
+            Some(&histograms_json(64)),
+            Some(&telemetry_json(100)),
+        ))
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        let h = &rows[0].histograms;
+        assert_eq!(h.len(), 6, "all six schema fields parse: {h:?}");
+        assert_eq!(h[0].name, "skip_len");
+        assert_eq!(
+            (h[0].p50, h[0].p90, h[0].p99, h[0].n),
+            (2.0, 16.0, 64.0, 523)
+        );
+        assert_eq!(h[2].name, "block_size");
+        assert_eq!(h[2].n, 12);
+        // The row's own scalar fields are unaffected by the extra nesting
+        // (the block repeats "n"), and telemetry still parses after it.
+        assert_eq!(rows[0].n, 1_000_000);
+        assert_eq!(rows[0].telemetry.unwrap().scheduled, 100);
+        // A pre-histogram document parses to empty quantile lists.
+        let bare = parse_rows(&doc(spec)).unwrap();
+        assert!(bare[0].histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_markdown_trends_against_baseline_and_skips_empty() {
+        let spec: &[(&str, &str, u64, &str, f64)] =
+            &[("batch", "clique", 1_000_000, "stabilize", 5.0e6)];
+        let base_old = parse_rows(&doc(spec)).unwrap();
+        let base_new =
+            parse_rows(&doc_with_blocks(spec, Some(&histograms_json(32)), None)).unwrap();
+        let cand = parse_rows(&doc_with_blocks(spec, Some(&histograms_json(64)), None)).unwrap();
+        // No candidate histograms (or all-empty ones) → no section.
+        assert!(histogram_markdown(&base_new, &base_old).is_empty());
+        // Baseline predates histograms → candidate columns, "—" baseline.
+        let md = histogram_markdown(&base_old, &cand);
+        assert!(md.contains("### Event-histogram quantile trends"), "{md}");
+        assert!(md.contains(
+            "| `batch/clique n=1000000 [stabilize]` | skip_len | 2 | 16 | 64 | 523 | — |"
+        ));
+        // Zero-count fields are dropped, not rendered as all-zero rows.
+        assert!(!md.contains("flush_size"));
+        // Baseline with quantiles → diff column.
+        let md = histogram_markdown(&base_new, &cand);
+        assert!(
+            md.contains("| skip_len | 2 | 16 | 64 | 523 | 2/16/32 |"),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn assert_timeline_accepts_conforming_jsonl() {
+        let line = |i: u64, sched: u64, eff: u64| {
+            format!(
+                "{{\"sample\":{i},\"scheduled\":{sched},\"effective\":{eff},\
+                 \"phase\":\"dense\",\"d_scheduled\":{sched},\"d_effective\":{eff},\
+                 \"d_dense_steps\":1,\"d_blocks\":0,\"d_block_applied\":0,\
+                 \"d_fallback_literal\":0,\"d_sparse_enters\":0,\
+                 \"d_sparse_exits\":0,\"d_sparse_events\":0,\
+                 \"d_sparse_flushes\":0,\
+                 \"rates\":{{\"effective_fraction\":0.5,\"cancel_rate\":0.0,\
+                 \"fallback_rate\":0.0}}}}\n"
+            )
+        };
+        let good = line(0, 65_536, 100) + &line(1, 131_072, 250) + &line(2, 140_000, 250);
+        assert_eq!(assert_timeline(&good), Ok(3));
+        assert_eq!(assert_timeline(""), Ok(0), "empty file: caller decides");
+    }
+
+    #[test]
+    fn assert_timeline_flags_schema_and_monotonicity_violations() {
+        let good = "{\"sample\":0,\"scheduled\":10,\"effective\":5,\
+             \"phase\":\"dense\",\"d_scheduled\":10,\"d_effective\":5,\
+             \"d_dense_steps\":1,\"d_blocks\":0,\"d_block_applied\":0,\
+             \"d_fallback_literal\":0,\"d_sparse_enters\":0,\
+             \"d_sparse_exits\":0,\"d_sparse_events\":0,\
+             \"d_sparse_flushes\":0,\
+             \"rates\":{\"effective_fraction\":0.5,\"cancel_rate\":0.0,\
+             \"fallback_rate\":0.0}}";
+        // A dropped key fails even though every other key is present.
+        let missing = good.replace("\"d_blocks\":0,", "");
+        let problems = assert_timeline(&missing).unwrap_err();
+        assert!(problems[0].contains("d_blocks"), "{problems:?}");
+        // A reordered schema fails: same keys, wrong emission order.
+        let reordered = good.replace("\"d_blocks\":0,", "").replace(
+            "\"d_sparse_flushes\":0,",
+            "\"d_sparse_flushes\":0,\"d_blocks\":0,",
+        );
+        assert!(assert_timeline(&reordered).is_err());
+        // Sample indices must count up from zero...
+        let renumbered = good.replace("\"sample\":0", "\"sample\":7");
+        assert!(assert_timeline(&renumbered).unwrap_err()[0].contains("sample index"));
+        // ...and the cumulative clocks must never go backwards.
+        let second = good
+            .replace("\"sample\":0", "\"sample\":1")
+            .replace("\"scheduled\":10", "\"scheduled\":4");
+        let doc = format!("{good}\n{second}\n");
+        let problems = assert_timeline(&doc).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("backwards")),
+            "{problems:?}"
+        );
+        // Junk lines are reported with their line number.
+        let doc = format!("{good}\nnot json\n");
+        assert!(assert_timeline(&doc).unwrap_err()[0].contains("line 2"));
     }
 
     #[test]

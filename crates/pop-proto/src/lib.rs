@@ -91,6 +91,7 @@ pub use simulator::{
     InteractionRecord, Simulator, StateWord, WideBatchGraphSimulator,
 };
 pub use stopping::{RunOutcome, StopReason, Stopper};
+pub use telemetry::timeline::{EventHistograms, TimelineRecorder, TimelineSample};
 pub use telemetry::{EngineTelemetry, SpanClock, SpanSet, SparseStats};
 pub use topology::TopologyFamily;
 pub use trace::TraceRecorder;

@@ -3,6 +3,7 @@
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::scheduler::Scheduler;
+use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
@@ -63,6 +64,11 @@ pub struct AgentSimulator<P: Protocol, S: Scheduler> {
     /// `scheduled`/`effective` (mirroring the clocks), `dense_steps`, and
     /// `pair_draws` — one per scheduled interaction. No phases, no spans.
     telemetry: EngineTelemetry,
+    /// Per-event histograms (opt-in): the literally-counted no-op run
+    /// before each effective interaction lands in `skip_len`.
+    hist: Option<Box<EventHistograms>>,
+    /// Consecutive no-op interactions (histogram recording only).
+    noop_run: u64,
 }
 
 impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
@@ -87,6 +93,8 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
             interactions: 0,
             effective_interactions: 0,
             telemetry: EngineTelemetry::new(),
+            hist: None,
+            noop_run: 0,
         }
     }
 
@@ -175,6 +183,14 @@ impl<P: Protocol, S: Scheduler> AgentSimulator<P, S> {
             self.states[j] = tj;
             self.effective_interactions += 1;
             self.telemetry.effective += 1;
+            if let Some(h) = &mut self.hist {
+                // The completed no-op run before this effective event —
+                // the quantity the leaping engines sample geometrically.
+                h.skip_len.add_u64(self.noop_run);
+            }
+            self.noop_run = 0;
+        } else if self.hist.is_some() {
+            self.noop_run += 1;
         }
         InteractionRecord {
             initiator: i,
@@ -240,6 +256,19 @@ impl<P: Protocol, S: Scheduler> crate::simulator::Simulator for AgentSimulator<P
 
     fn telemetry(&self) -> &EngineTelemetry {
         &self.telemetry
+    }
+
+    fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+        self.noop_run = 0;
+    }
+
+    fn histograms(&self) -> Option<EventHistograms> {
+        self.hist.as_deref().cloned()
     }
 }
 

@@ -65,6 +65,7 @@
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::simulator::Simulator;
+use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::binomial::ln_factorial;
 use sim_stats::multinomial::{hypergeometric_pairing_table, multivariate_hypergeometric};
@@ -126,6 +127,9 @@ pub struct BatchSimulator<P: Protocol> {
     /// `skip_draws` (geometric skip-ahead draws), `dense_steps` and
     /// `pair_draws` (single-step and conditional-pair draws). No spans.
     telemetry: EngineTelemetry,
+    /// Per-event histograms (opt-in): geometric skip lengths, per-batch
+    /// effective block sizes, and collision fallbacks.
+    hist: Option<Box<EventHistograms>>,
 }
 
 impl<P: Protocol> BatchSimulator<P> {
@@ -162,6 +166,7 @@ impl<P: Protocol> BatchSimulator<P> {
             ln_pairs: nf.ln() + (nf - 1.0).ln(),
             threads: sim_stats::threads::resolve_threads(),
             telemetry: EngineTelemetry::new(),
+            hist: None,
         }
     }
 
@@ -310,6 +315,11 @@ impl<P: Protocol> BatchSimulator<P> {
         let p_eff = (eff as f64 / total as f64).min(1.0);
         self.telemetry.skip_draws += 1;
         let skipped = rng.geometric(p_eff);
+        if let Some(h) = &mut self.hist {
+            // Every draw is a genuine Geom(p_eff) sample, horizon
+            // truncation included (memorylessness makes the redraw exact).
+            h.skip_len.add_u64(skipped);
+        }
         if skipped >= max {
             // The effective interaction lands beyond the horizon: the
             // first `max` interactions are conditionally all no-ops.
@@ -387,6 +397,7 @@ impl<P: Protocol> BatchSimulator<P> {
     /// `2·length` agents involved).
     fn apply_batch(&mut self, rng: &mut SimRng, length: u64) -> Vec<u64> {
         let k = self.k;
+        let applied_before = self.telemetry.block_applied;
         self.telemetry.blocks += 1;
         self.telemetry.block_draws += length;
         // 2. Participants: 2L distinct agents, without replacement.
@@ -472,6 +483,10 @@ impl<P: Protocol> BatchSimulator<P> {
         }
         self.interactions += length;
         self.telemetry.scheduled += length;
+        if let Some(h) = &mut self.hist {
+            h.block_size
+                .add_u64(self.telemetry.block_applied - applied_before);
+        }
         post
     }
 
@@ -520,6 +535,9 @@ impl<P: Protocol> BatchSimulator<P> {
             // The colliding interaction is the batch engine's literal
             // single-event fallback.
             self.telemetry.fallback_literal += 1;
+            if let Some(h) = &mut self.hist {
+                h.fallback_run.add_u64(1);
+            }
         }
     }
 
@@ -637,6 +655,18 @@ impl<P: Protocol> Simulator for BatchSimulator<P> {
 
     fn telemetry(&self) -> &EngineTelemetry {
         &self.telemetry
+    }
+
+    fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+    }
+
+    fn histograms(&self) -> Option<EventHistograms> {
+        self.hist.as_deref().cloned()
     }
 }
 

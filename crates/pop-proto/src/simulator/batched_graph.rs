@@ -98,6 +98,7 @@ use crate::simulator::sparse::{
     orient_event, SparseSkipper, SparseStep, SPARSE_BLOCK_EVENTS, SPARSE_TRIGGER_NOOPS,
 };
 use crate::simulator::{shuffled_layout, Simulator};
+use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
@@ -232,6 +233,10 @@ pub struct BatchGraphSimulator<P: Protocol, S: StateWord = u8> {
     /// passes 1–3, apply = the matching scan, dense = the whole chunk, so
     /// `dense − gather − apply` is the scan's bookkeeping overhead).
     telemetry: EngineTelemetry,
+    /// Per-event histograms (opt-in): dense no-op runs, matching block
+    /// sizes, and per-chunk fallback runs recorded here; sparse fields
+    /// merged in from each skipper at phase exits and boundary reads.
+    hist: Option<Box<EventHistograms>>,
 }
 
 impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
@@ -300,6 +305,7 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
             pair_states: Vec::with_capacity(chunk),
             block_events: Vec::new(),
             telemetry: EngineTelemetry::new(),
+            hist: None,
         }
     }
 
@@ -489,7 +495,9 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
     /// active-orientation weights to a fresh [`SparseSkipper`].
     fn enter_sparse(&mut self) {
         let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
-        self.sparse = Some(SparseSkipper::new(&weights));
+        let mut skipper = SparseSkipper::new(&weights);
+        skipper.set_histograms(self.hist.is_some());
+        self.sparse = Some(skipper);
         self.noop_run = 0;
         self.telemetry.sparse_enters += 1;
     }
@@ -499,6 +507,9 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
     fn exit_sparse(&mut self) {
         if let Some(mut s) = self.sparse.take() {
             self.telemetry.sparse.absorb(s.take_stats());
+            if let (Some(h), Some(sh)) = (&mut self.hist, s.histograms()) {
+                h.merge(sh);
+            }
             self.telemetry.sparse_exits += 1;
         }
         self.noop_run = 0;
@@ -622,6 +633,7 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
         let mut bitmap = std::mem::take(&mut self.bitmap);
         let mut dirty_list = std::mem::take(&mut self.dirty_list);
         let mut block_events = std::mem::take(&mut self.block_events);
+        let mut hist = std::mem::take(&mut self.hist);
         block_events.clear();
         let bit_mask = self.bit_mask;
         let noop = &self.noop;
@@ -676,6 +688,12 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
             bitmap[hb >> 6] |= 1 << (hb & 63);
             dirty_list.push(iv);
             dirty_list.push(jv);
+            if let Some(h) = hist.as_deref_mut() {
+                // The literally-counted no-op run before this effective
+                // draw — the quantity the sparse phase samples
+                // geometrically.
+                h.skip_len.add_u64(noop_run as u64);
+            }
             noop_run = 0;
             changed = true;
             last_change = advanced;
@@ -689,6 +707,11 @@ impl<P: Protocol, S: StateWord> BatchGraphSimulator<P, S> {
         }
         self.telemetry.block_applied += block_events.len() as u64;
         self.telemetry.fallback_literal += fallback;
+        if let Some(h) = hist.as_deref_mut() {
+            h.block_size.add_u64(block_events.len() as u64);
+            h.fallback_run.add_u64(fallback);
+        }
+        self.hist = hist;
         self.telemetry.spans.apply_ns += self.telemetry.clock.elapsed_ns(t_apply);
         self.states = states;
         self.bitmap = bitmap;
@@ -858,6 +881,25 @@ impl<P: Protocol, S: StateWord> Simulator for BatchGraphSimulator<P, S> {
 
     fn set_span_timing(&mut self, enabled: bool) {
         self.telemetry.clock.enabled = enabled;
+    }
+
+    fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+        if let Some(s) = &mut self.sparse {
+            s.set_histograms(enabled);
+        }
+    }
+
+    fn histograms(&self) -> Option<EventHistograms> {
+        let mut h = self.hist.as_deref()?.clone();
+        if let Some(sh) = self.sparse.as_ref().and_then(|s| s.histograms()) {
+            h.merge(sh);
+        }
+        Some(h)
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::sampling::FenwickSampler;
+use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
@@ -35,6 +36,11 @@ pub struct CountSimulator<P: Protocol> {
     /// `pair_draws` — one per scheduled state-pair draw. No phases, no
     /// spans.
     telemetry: EngineTelemetry,
+    /// Per-event histograms (opt-in): the literally-counted no-op run
+    /// before each effective interaction lands in `skip_len`.
+    hist: Option<Box<EventHistograms>>,
+    /// Consecutive no-op interactions (histogram recording only).
+    noop_run: u64,
 }
 
 impl<P: Protocol> CountSimulator<P> {
@@ -53,6 +59,8 @@ impl<P: Protocol> CountSimulator<P> {
             interactions: 0,
             effective_interactions: 0,
             telemetry: EngineTelemetry::new(),
+            hist: None,
+            noop_run: 0,
         }
     }
 
@@ -100,6 +108,9 @@ impl<P: Protocol> CountSimulator<P> {
         let (si, sj) = self.sampler.sample_distinct_pair(rng);
         let (ti, tj) = self.protocol.transition_indices(si, sj);
         if (ti, tj) == (si, sj) {
+            if self.hist.is_some() {
+                self.noop_run += 1;
+            }
             return false;
         }
         self.sampler.add(si, -1);
@@ -108,6 +119,12 @@ impl<P: Protocol> CountSimulator<P> {
         self.sampler.add(tj, 1);
         self.effective_interactions += 1;
         self.telemetry.effective += 1;
+        if let Some(h) = &mut self.hist {
+            // The completed no-op run before this effective event — the
+            // quantity the leaping engines sample geometrically.
+            h.skip_len.add_u64(self.noop_run);
+            self.noop_run = 0;
+        }
         true
     }
 
@@ -166,6 +183,19 @@ impl<P: Protocol> crate::simulator::Simulator for CountSimulator<P> {
 
     fn telemetry(&self) -> &EngineTelemetry {
         &self.telemetry
+    }
+
+    fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+        self.noop_run = 0;
+    }
+
+    fn histograms(&self) -> Option<EventHistograms> {
+        self.hist.as_deref().cloned()
     }
 }
 

@@ -73,6 +73,7 @@ use crate::graph::Graph;
 use crate::protocol::Protocol;
 use crate::simulator::sparse::{orient_event, SparseSkipper, SparseStep, SPARSE_TRIGGER_NOOPS};
 use crate::simulator::Simulator;
+use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
@@ -122,6 +123,10 @@ pub struct GraphSimulator<P: Protocol> {
     /// `sparse_enters`/`sparse_exits`, the harvested skipper stats, and
     /// the dense/sparse spans.
     telemetry: EngineTelemetry,
+    /// Per-event histograms (opt-in): dense no-op run lengths recorded
+    /// here, sparse-phase fields merged in from each skipper at phase
+    /// exits and boundary reads.
+    hist: Option<Box<EventHistograms>>,
 }
 
 impl<P: Protocol> GraphSimulator<P> {
@@ -173,6 +178,7 @@ impl<P: Protocol> GraphSimulator<P> {
             table,
             noop,
             telemetry: EngineTelemetry::new(),
+            hist: None,
         }
     }
 
@@ -366,7 +372,9 @@ impl<P: Protocol> GraphSimulator<P> {
     /// active-orientation weights to a fresh [`SparseSkipper`].
     fn enter_sparse(&mut self) {
         let weights: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
-        self.sparse = Some(SparseSkipper::new(&weights));
+        let mut skipper = SparseSkipper::new(&weights);
+        skipper.set_histograms(self.hist.is_some());
+        self.sparse = Some(skipper);
         self.noop_run = 0;
         self.telemetry.sparse_enters += 1;
     }
@@ -376,6 +384,9 @@ impl<P: Protocol> GraphSimulator<P> {
     fn exit_sparse(&mut self) {
         if let Some(mut s) = self.sparse.take() {
             self.telemetry.sparse.absorb(s.take_stats());
+            if let (Some(h), Some(sh)) = (&mut self.hist, s.histograms()) {
+                h.merge(sh);
+            }
             self.telemetry.sparse_exits += 1;
         }
         self.noop_run = 0;
@@ -500,6 +511,12 @@ impl<P: Protocol> GraphSimulator<P> {
             while advanced < max {
                 advanced += 1;
                 if self.step(rng) {
+                    if let Some(h) = &mut self.hist {
+                        // The literally-counted dense no-op run before this
+                        // effective event — the same quantity the sparse
+                        // phase samples geometrically.
+                        h.skip_len.add_u64(self.noop_run as u64);
+                    }
                     self.noop_run = 0;
                     effective_at = Some(advanced);
                     break;
@@ -598,6 +615,25 @@ impl<P: Protocol> Simulator for GraphSimulator<P> {
 
     fn set_span_timing(&mut self, enabled: bool) {
         self.telemetry.clock.enabled = enabled;
+    }
+
+    fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+        if let Some(s) = &mut self.sparse {
+            s.set_histograms(enabled);
+        }
+    }
+
+    fn histograms(&self) -> Option<EventHistograms> {
+        let mut h = self.hist.as_deref()?.clone();
+        if let Some(sh) = self.sparse.as_ref().and_then(|s| s.histograms()) {
+            h.merge(sh);
+        }
+        Some(h)
     }
 }
 

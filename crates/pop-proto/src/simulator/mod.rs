@@ -68,6 +68,7 @@ pub use graphwise::{shuffled_layout, GraphSimulator};
 
 use crate::config::CountConfig;
 use crate::observe::{Observation, SimObserver};
+use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
 
@@ -155,6 +156,23 @@ pub trait Simulator {
     /// [`crate::telemetry`]); off by default, so un-instrumented runs
     /// never read the clock.
     fn set_span_timing(&mut self, _enabled: bool) {}
+
+    /// Enable or disable per-event histogram recording
+    /// ([`EventHistograms`]): skip lengths, block totals/sizes, sidecar
+    /// flush sizes, fallback runs. Off by default — the harvest sites then
+    /// cost one branch on a `None` — and a no-op on engines without
+    /// instrumented quantities. Enabling mid-run starts fresh histograms;
+    /// disabling discards them.
+    fn set_histograms(&mut self, _enabled: bool) {}
+
+    /// The per-event histograms recorded since
+    /// [`Simulator::set_histograms`] enabled them, merged across the
+    /// engine's phases (e.g. dense matching blocks plus every sparse
+    /// skipper incarnation). `None` when recording is off or the engine
+    /// records nothing. Returned by value for object safety.
+    fn histograms(&self) -> Option<EventHistograms> {
+        None
+    }
 
     /// Snapshot the current count configuration.
     fn config(&self) -> CountConfig {

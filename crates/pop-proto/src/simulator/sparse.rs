@@ -72,6 +72,7 @@
 //! [`SparseSkipper::take_stats`] at advancement boundaries.
 
 use crate::sampling::FenwickSampler;
+use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::SparseStats;
 use sim_stats::rng::SimRng;
 
@@ -268,6 +269,14 @@ pub(crate) struct SparseSkipper {
     win_cancelled: u64,
     /// Telemetry counters, harvested via [`SparseSkipper::take_stats`].
     stats: SparseStats,
+    /// Per-event histograms (skip lengths, block totals, flush sizes),
+    /// recorded only when the owning engine enabled them — `None` costs
+    /// one branch per harvest site.
+    hist: Option<Box<EventHistograms>>,
+    /// No-ops skipped in the current histogram block (hist enabled only).
+    block_noops: u64,
+    /// Events in the current histogram block (hist enabled only).
+    block_events: u32,
 }
 
 impl SparseSkipper {
@@ -315,7 +324,30 @@ impl SparseSkipper {
             win_applied: 0,
             win_cancelled: 0,
             stats: SparseStats::new(),
+            hist: None,
+            block_noops: 0,
+            block_events: 0,
         }
+    }
+
+    /// Enable or disable per-event histogram recording (fresh histograms
+    /// on enable, dropped on disable). The owning engine mirrors its own
+    /// histogram flag onto every skipper it creates.
+    pub(crate) fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+        self.block_noops = 0;
+        self.block_events = 0;
+    }
+
+    /// The histograms recorded since [`SparseSkipper::set_histograms`]
+    /// enabled them (`None` when recording is off). The owning engine
+    /// merges these into its own at phase exits and boundary reads.
+    pub(crate) fn histograms(&self) -> Option<&EventHistograms> {
+        self.hist.as_deref()
     }
 
     /// Exact total active weight `W` (0 iff silent). O(1).
@@ -470,6 +502,8 @@ impl SparseSkipper {
         if self.pending.is_empty() {
             return;
         }
+        let occupancy = self.pending.len() as u64;
+        let applied_before = self.stats.entries_applied;
         self.stats.flushes += 1;
         self.window_flushes += 1;
         if self.tracked {
@@ -532,6 +566,11 @@ impl SparseSkipper {
         self.deltas.clear();
         self.delta_dirty = false;
         debug_assert_eq!(self.fenwick.total(), self.w_true, "flush lost weight");
+        if let Some(h) = &mut self.hist {
+            h.flush_occupancy.add_u64(occupancy);
+            h.flush_size
+                .add_u64(self.stats.entries_applied - applied_before);
+        }
         self.maybe_enter_bypass();
     }
 
@@ -713,8 +752,24 @@ impl SparseSkipper {
     pub(crate) fn next_event(&mut self, rng: &mut SimRng, max: u64) -> SparseStep {
         debug_assert!(max > 0);
         let skipped = self.skip_len(rng);
+        if let Some(h) = &mut self.hist {
+            // Every geometric draw is a genuine Geom(W/2m) sample, horizon
+            // truncation included (memorylessness makes the redraw exact).
+            h.skip_len.add_u64(skipped);
+        }
         if skipped >= max {
             return SparseStep::Horizon;
+        }
+        if let Some(h) = self.hist.as_mut() {
+            // Per-block scheduled no-op totals: the sum of FLUSH_EVENTS
+            // consecutive skip runs — negative-binomial at constant W.
+            self.block_noops += skipped;
+            self.block_events += 1;
+            if self.block_events >= FLUSH_EVENTS {
+                h.block_total.add_u64(self.block_noops);
+                self.block_noops = 0;
+                self.block_events = 0;
+            }
         }
         SparseStep::Event {
             consumed: skipped + 1,
@@ -852,7 +907,26 @@ pub(crate) fn orient_event(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_stats::histogram::LogHistogram;
     use sim_stats::ks::{ks_critical_value, ks_statistic};
+
+    /// Two-sample KS statistic over identically-binned histograms: the
+    /// max CDF gap evaluated at the bin boundaries. A lower bound on the
+    /// unbinned statistic, so rejecting against the standard critical
+    /// value keeps the nominal α (the test only loses power, never size).
+    fn binned_ks(a: &LogHistogram, b: &LogHistogram) -> f64 {
+        assert_eq!(a.counts().len(), b.counts().len());
+        let (na, nb) = (a.total() as f64, b.total() as f64);
+        let mut ca = a.non_positive() as f64;
+        let mut cb = b.non_positive() as f64;
+        let mut d = (ca / na - cb / nb).abs();
+        for (&x, &y) in a.counts().iter().zip(b.counts()) {
+            ca += x as f64;
+            cb += y as f64;
+            d = d.max((ca / na - cb / nb).abs());
+        }
+        d
+    }
 
     /// A weight vector with the sparse-phase shape: mostly zeros, a few
     /// active edges of weight 1 or 2.
@@ -1116,6 +1190,114 @@ mod tests {
         let stats = s.take_stats();
         assert!(stats.bypass_enters >= 2, "{stats:?}");
         assert!(stats.bypass_exits >= 1, "{stats:?}");
+    }
+
+    /// Tentpole acceptance pin: the skip-length histogram the flight
+    /// recorder exposes must be distributed Geom(W/2m) at constant W —
+    /// the recorded samples are compared against directly-inverted
+    /// geometric draws by binned two-sample KS at α = 0.01.
+    #[test]
+    fn recorded_skip_lengths_match_geometric_ks() {
+        let m = 64usize;
+        let w = sparse_weights(m, &[(5, 2), (17, 1), (30, 2), (44, 1), (60, 2)]);
+        let p = 8.0 / (2 * m) as f64; // W = 8, 2m = 128
+        let draws = 4_000usize;
+        let mut s = SparseSkipper::new(&w);
+        s.set_histograms(true);
+        let mut rng = SimRng::new(2024);
+        for _ in 0..draws {
+            match s.next_event(&mut rng, u64::MAX / 2) {
+                SparseStep::Event { .. } => s.end_event(),
+                SparseStep::Horizon => unreachable!("horizon at u64::MAX/2"),
+            }
+        }
+        let recorded = s.histograms().expect("histograms enabled");
+        assert_eq!(recorded.skip_len.total(), draws as u64);
+
+        let mut reference = EventHistograms::new();
+        let mut ref_rng = SimRng::new(55_555);
+        for _ in 0..draws {
+            reference.skip_len.add_u64(ref_rng.geometric(p));
+        }
+        let d = binned_ks(&recorded.skip_len, &reference.skip_len);
+        let crit = ks_critical_value(draws, draws, 0.01);
+        assert!(
+            d < crit,
+            "recorded skip lengths vs Geom({p}): KS {d:.4} >= critical {crit:.4}"
+        );
+    }
+
+    /// Tentpole acceptance pin: the per-block no-op totals recorded into
+    /// the `block_total` histogram (FLUSH_EVENTS consecutive skips at
+    /// constant W) must be negative-binomial — compared against
+    /// [`SimRng::negative_binomial`] by binned two-sample KS at α = 0.01.
+    #[test]
+    fn recorded_block_totals_match_negative_binomial_ks() {
+        let m = 64usize;
+        let w = sparse_weights(m, &[(5, 2), (17, 1), (30, 2), (44, 1), (60, 2)]);
+        let p = 8.0 / (2 * m) as f64;
+        let blocks = 300usize;
+        let mut s = SparseSkipper::new(&w);
+        s.set_histograms(true);
+        let mut rng = SimRng::new(31_415);
+        for _ in 0..blocks * FLUSH_EVENTS as usize {
+            match s.next_event(&mut rng, u64::MAX / 2) {
+                SparseStep::Event { .. } => s.end_event(),
+                SparseStep::Horizon => unreachable!("horizon at u64::MAX/2"),
+            }
+        }
+        let recorded = s.histograms().expect("histograms enabled");
+        assert_eq!(recorded.block_total.total(), blocks as u64);
+
+        let mut reference = EventHistograms::new();
+        let mut ref_rng = SimRng::new(27_182);
+        for _ in 0..blocks {
+            reference
+                .block_total
+                .add_u64(ref_rng.negative_binomial(FLUSH_EVENTS as u64, p));
+        }
+        let d = binned_ks(&recorded.block_total, &reference.block_total);
+        let crit = ks_critical_value(blocks, blocks, 0.01);
+        assert!(
+            d < crit,
+            "recorded block totals vs NB({FLUSH_EVENTS}, {p}): KS {d:.4} >= critical {crit:.4}"
+        );
+    }
+
+    /// Histogram recording must not perturb the trajectory: identical
+    /// seeds with and without histograms produce identical event streams,
+    /// and disabled recording leaves no histogram behind.
+    #[test]
+    fn histograms_do_not_perturb_the_trajectory() {
+        let m = 64usize;
+        let init = sparse_weights(m, &[(3, 1), (17, 2), (30, 1), (51, 2)]);
+        let run = |record: bool| -> Vec<(u64, usize)> {
+            let mut s = SparseSkipper::new(&init);
+            s.set_histograms(record);
+            let mut truth = init.clone();
+            let mut rng = SimRng::new(777);
+            let mut events = Vec::new();
+            for _ in 0..2_000 {
+                let (consumed, edge) = match s.next_event(&mut rng, u64::MAX / 2) {
+                    SparseStep::Event { consumed, edge } => (consumed, edge),
+                    SparseStep::Horizon => unreachable!(),
+                };
+                events.push((consumed, edge));
+                truth[edge] = 3 - truth[edge];
+                s.set_weight(edge, truth[edge]);
+                s.end_event();
+            }
+            events.push((rng.below(1 << 30), 0));
+            if record {
+                let h = s.histograms().expect("enabled");
+                assert_eq!(h.skip_len.total(), 2_000);
+                assert!(h.flush_size.total() > 0, "no flush recorded");
+            } else {
+                assert!(s.histograms().is_none());
+            }
+            events
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -23,6 +23,18 @@
 //! the engine itself performs the draws (the `seq`/`skip` wrappers report
 //! totals only).
 //!
+//! # Time-resolved views
+//!
+//! The counters here are cumulative; the [`timeline`] submodule resolves
+//! them in time. A [`timeline::TimelineRecorder`] samples counter
+//! **deltas** at a fixed cadence of the scheduled clock (per-backend
+//! cadence-cost table in [`crate::observe`]), and
+//! [`timeline::EventHistograms`] bucket the per-event quantities the
+//! counters only total — geometric skip lengths, sparse block totals,
+//! flush sizes — into log-spaced p50/p90/p99 summaries (per-backend
+//! availability alongside the counter table in
+//! [`usd_core::backend`](../../usd_core/backend/index.html)).
+//!
 //! # Timing spans
 //!
 //! Coarse wall-clock spans ([`SpanSet`]) are measured at advancement
@@ -32,6 +44,8 @@
 //! ([`Simulator::set_span_timing`](crate::Simulator::set_span_timing))
 //! keeps even the enabled build free of `Instant` reads until a caller
 //! asks. With the feature off or the switch off, spans read 0.
+
+pub mod timeline;
 
 /// Counters owned by the shared sparse-phase skipper
 /// (`pop_proto::simulator::sparse`), harvested into
@@ -278,6 +292,46 @@ impl EngineTelemetry {
         &DISABLED
     }
 
+    /// Counter-wise difference `self − earlier` over every monotone
+    /// counter (the two snapshots must come from the same engine, with
+    /// `earlier` taken first — each subtraction would underflow
+    /// otherwise). Spans subtract too; the clock carries over from
+    /// `self`. This is the windowed view the flight recorder
+    /// ([`timeline::TimelineRecorder`]) samples: rates computed on a
+    /// delta describe *that window*, not the run so far.
+    pub fn delta(&self, earlier: &EngineTelemetry) -> EngineTelemetry {
+        let mut out = *self;
+        out.scheduled -= earlier.scheduled;
+        out.effective -= earlier.effective;
+        out.dense_steps -= earlier.dense_steps;
+        out.blocks -= earlier.blocks;
+        out.block_draws -= earlier.block_draws;
+        out.block_applied -= earlier.block_applied;
+        out.fallback_literal -= earlier.fallback_literal;
+        out.sparse_enters -= earlier.sparse_enters;
+        out.sparse_exits -= earlier.sparse_exits;
+        out.pair_draws -= earlier.pair_draws;
+        out.skip_draws -= earlier.skip_draws;
+        out.table_draws -= earlier.table_draws;
+        out.sparse.events -= earlier.sparse.events;
+        out.sparse.skip_draws -= earlier.sparse.skip_draws;
+        out.sparse.event_draws -= earlier.sparse.event_draws;
+        out.sparse.flushes -= earlier.sparse.flushes;
+        out.sparse.updates_deferred -= earlier.sparse.updates_deferred;
+        out.sparse.updates_immediate -= earlier.sparse.updates_immediate;
+        out.sparse.entries_applied -= earlier.sparse.entries_applied;
+        out.sparse.entries_cancelled -= earlier.sparse.entries_cancelled;
+        out.sparse.log_cache_hits -= earlier.sparse.log_cache_hits;
+        out.sparse.log_cache_misses -= earlier.sparse.log_cache_misses;
+        out.sparse.bypass_enters -= earlier.sparse.bypass_enters;
+        out.sparse.bypass_exits -= earlier.sparse.bypass_exits;
+        out.spans.dense_ns -= earlier.spans.dense_ns;
+        out.spans.sparse_ns -= earlier.spans.sparse_ns;
+        out.spans.gather_ns -= earlier.spans.gather_ns;
+        out.spans.apply_ns -= earlier.spans.apply_ns;
+        out
+    }
+
     /// Effective fraction of the schedule: `effective / scheduled`
     /// (0.0 before any interaction).
     pub fn effective_fraction(&self) -> f64 {
@@ -472,6 +526,32 @@ mod tests {
             assert!(depth >= 0);
         }
         assert_eq!(depth, 0, "unbalanced braces in {j}");
+    }
+
+    #[test]
+    fn delta_subtracts_every_counter() {
+        let mut earlier = EngineTelemetry::new();
+        earlier.scheduled = 100;
+        earlier.effective = 40;
+        earlier.sparse.events = 7;
+        earlier.spans.dense_ns = 5;
+        let mut later = earlier;
+        later.scheduled = 250;
+        later.effective = 90;
+        later.sparse.events = 11;
+        later.spans.dense_ns = 9;
+        let d = later.delta(&earlier);
+        assert_eq!(d.scheduled, 150);
+        assert_eq!(d.effective, 50);
+        assert_eq!(d.sparse.events, 4);
+        assert_eq!(d.spans.dense_ns, 4);
+        // Delta against itself is all-zero; delta against zero is identity.
+        let z = later.delta(&later);
+        assert_eq!(z.scheduled, 0);
+        assert_eq!(z.sparse.events, 0);
+        let id = later.delta(&EngineTelemetry::new());
+        assert_eq!(id.scheduled, later.scheduled);
+        assert_eq!(id.sparse.events, later.sparse.events);
     }
 
     #[test]

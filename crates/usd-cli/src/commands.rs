@@ -1,13 +1,15 @@
 //! Subcommand implementations for `usd-sim`.
 
+use pop_proto::telemetry::timeline::phase_tag;
 use pop_proto::telemetry::EngineTelemetry;
 use pop_proto::topology::TopologyFamily;
+use pop_proto::{EventHistograms, Simulator, TimelineRecorder};
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use usd_core::backend::{
     make_simulator, stabilize_on_topology, stabilize_on_topology_keeping, stabilize_simulator,
-    stabilize_simulator_ticking, stabilize_with_backend, Backend,
+    stabilize_simulator_ticking, stabilize_with_backend, Backend, RunTicker,
 };
 use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
 use usd_core::encode::Trajectory;
@@ -26,6 +28,8 @@ commands:
          [--topology complete|cycle|torus|hypercube|regular[:d]|er[:avg]]
          [--degree <usize>] [--topo-seed <u64>]
          [--telemetry[=table|json]] [--progress-every <secs>]
+         [--timeline <out.jsonl>] [--timeline-cadence <interactions>]
+         [--histograms]
            one exact run to stabilization; optionally record a trajectory
            (backend default: skip; use batch for n >= 10^7, agent for
            per-agent ground truth; trace requires the skip backend).
@@ -35,7 +39,14 @@ commands:
            population is snapped to the nearest feasible size for the
            family. --telemetry prints the engine's run report (counters,
            timing spans, derived rates) as a table or one JSON object;
-           --progress-every emits a stderr heartbeat for long runs
+           --progress-every emits a stderr heartbeat for long runs (phase
+           tag, effective fraction, instantaneous effective rate).
+           --timeline writes a flight-recorder sample (telemetry deltas +
+           phase tag) every cadence interactions to schema-stable JSONL
+           (cadence default: max(n, 65536) — deterministic in the
+           interaction clock, so fixed seeds reproduce bit-identical
+           files); --histograms prints log-bucketed per-event histograms
+           (skip lengths, block totals, flush sizes; p50/p90/p99)
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
          [--backend agent|count|batch|graph|batchgraph|seq|skip]
            stabilization time across the admissible k grid vs the bounds
@@ -138,13 +149,17 @@ enum TelemetryFormat {
 }
 
 /// Stderr progress heartbeat for long runs (`run --progress-every`):
-/// prints at most once per period, fed interactions-so-far by the chunked
-/// stabilization drivers.
+/// prints at most once per period, fed the engine's clocks and telemetry
+/// by the chunked stabilization drivers. Each line carries the phase tag
+/// (dense/sparse), the cumulative effective fraction, and the
+/// instantaneous effective-event rate since the previous line.
 struct Heartbeat {
     period: std::time::Duration,
     started: std::time::Instant,
     last_printed: std::time::Instant,
     n: u64,
+    /// Effective clock at the previous printed line (instantaneous rate).
+    last_effective: u64,
 }
 
 impl Heartbeat {
@@ -155,25 +170,77 @@ impl Heartbeat {
             started: now,
             last_printed: now,
             n,
+            last_effective: 0,
         }
     }
 
-    fn tick(&mut self, interactions: u64) {
-        if self.last_printed.elapsed() < self.period {
+    fn tick(&mut self, interactions: u64, telemetry: &EngineTelemetry) {
+        let since_last = self.last_printed.elapsed();
+        if since_last < self.period {
             return;
         }
+        let eff_per_sec =
+            (telemetry.effective - self.last_effective) as f64 / since_last.as_secs_f64().max(1e-9);
         eprintln!(
-            "usd-sim: {} interactions (~{} parallel time), {:.1?} elapsed",
+            "usd-sim: {} interactions (~{} parallel time) [{} phase, eff {:.1}%, {}/s effective], {:.1?} elapsed",
             fmt_thousands(interactions),
             fmt_sig(interactions as f64 / self.n as f64, 4),
+            phase_tag(telemetry),
+            telemetry.effective_fraction() * 100.0,
+            fmt_thousands(eff_per_sec as u64),
             self.started.elapsed(),
         );
+        self.last_effective = telemetry.effective;
         self.last_printed = std::time::Instant::now();
     }
 }
 
+/// Chunk-boundary observer combining the optional stderr heartbeat and the
+/// optional `--timeline` flight recorder behind one [`RunTicker`]. The
+/// recorder bounds driving chunks via its sampling horizon so samples land
+/// exactly on cadence marks.
+struct RunMonitor {
+    heartbeat: Option<Heartbeat>,
+    recorder: Option<TimelineRecorder>,
+}
+
+impl RunTicker for RunMonitor {
+    fn horizon(&self, scheduled: u64) -> u64 {
+        self.recorder
+            .as_ref()
+            .map_or(u64::MAX, |r| r.horizon(scheduled))
+    }
+
+    fn tick(&mut self, sim: &dyn Simulator) {
+        if let Some(r) = &mut self.recorder {
+            r.record_if_due(sim);
+        }
+        if let Some(hb) = &mut self.heartbeat {
+            hb.tick(sim.interactions(), sim.telemetry());
+        }
+    }
+}
+
+/// Print the per-event histogram quantile table (`run --histograms`).
+fn print_histograms(backend: Backend, hist: &EventHistograms) {
+    println!("event histograms ({backend}):");
+    let mut t = TextTable::new(&["histogram", "p50", "p90", "p99", "events"]);
+    for (name, h) in hist.fields() {
+        t.row_owned(vec![
+            name.to_string(),
+            fmt_sig(h.p50(), 4),
+            fmt_sig(h.p90(), 4),
+            fmt_sig(h.p99(), 4),
+            fmt_thousands(h.total()),
+        ]);
+    }
+    print!("{t}");
+}
+
 /// One-line schema-stable JSON run report (`run --telemetry=json`): the
-/// instance, the outcome, and the engine's telemetry object.
+/// instance, the outcome, the optional `--histograms` quantiles, and the
+/// engine's telemetry object (always the last key).
+#[allow(clippy::too_many_arguments)]
 fn run_report_json(
     backend: Backend,
     n: u64,
@@ -181,6 +248,7 @@ fn run_report_json(
     seed: u64,
     result: &usd_core::stabilization::StabilizationResult,
     elapsed: std::time::Duration,
+    histograms: Option<&EventHistograms>,
     telemetry: &EngineTelemetry,
 ) -> String {
     let outcome = match result.outcome {
@@ -189,10 +257,13 @@ fn run_report_json(
         ConsensusOutcome::Frozen => "frozen".to_string(),
         ConsensusOutcome::Timeout => "timeout".to_string(),
     };
+    let histograms = histograms.map_or(String::new(), |h| {
+        format!("\"histograms\":{},", h.to_json())
+    });
     format!(
         "{{\"backend\":\"{}\",\"n\":{},\"k\":{},\"seed\":{},\
          \"outcome\":\"{}\",\"interactions\":{},\"parallel_time\":{:.6},\
-         \"wall_ms\":{:.3},\"telemetry\":{}}}",
+         \"wall_ms\":{:.3},{}\"telemetry\":{}}}",
         backend.name(),
         n,
         k,
@@ -201,13 +272,14 @@ fn run_report_json(
         result.interactions,
         result.parallel_time(n),
         elapsed.as_secs_f64() * 1e3,
+        histograms,
         telemetry.to_json(),
     )
 }
 
 /// `usd-sim run`.
 pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["max-bias", "telemetry"])?;
+    let flags = Flags::parse(args, &["max-bias", "telemetry", "histograms"])?;
     let mut n: u64 = flags.get("n")?.unwrap_or(100_000);
     let k: usize = flags.get("k")?.unwrap_or_else(|| theory::figure1_k(n));
     let seed: u64 = flags.get("seed")?.unwrap_or(42);
@@ -248,6 +320,21 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
         None => None,
     };
+    let timeline_path: Option<String> = flags.get("timeline")?;
+    let timeline_cadence = match flags.get::<u64>("timeline-cadence")? {
+        Some(0) => {
+            return Err(CliError(
+                "--timeline-cadence must be at least 1 interaction".to_string(),
+            ));
+        }
+        Some(c) if timeline_path.is_none() => {
+            return Err(CliError(format!(
+                "--timeline-cadence {c} requires --timeline"
+            )));
+        }
+        c => c,
+    };
+    let want_histograms = flags.has("histograms");
     if let Some(family) = topology {
         if !backend.supports_topologies() {
             return Err(CliError(format!(
@@ -271,6 +358,11 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if trace_path.is_some() && backend != Backend::SkipAhead {
         return Err(CliError(
             "trace recording requires --backend skip".to_string(),
+        ));
+    }
+    if trace_path.is_some() && (timeline_path.is_some() || want_histograms) {
+        return Err(CliError(
+            "--timeline/--histograms use the generic engine drivers (drop --trace)".to_string(),
         ));
     }
     if matches!(backend, Backend::Graph | Backend::BatchGraph)
@@ -313,10 +405,17 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let mut rng = SimRng::new(seed);
     let started = std::time::Instant::now();
     let mut trajectory = Trajectory::new(n, k);
-    let mut heartbeat = heartbeat_period.map(|p| Heartbeat::new(p, n));
+    let mut monitor = RunMonitor {
+        heartbeat: heartbeat_period.map(|p| Heartbeat::new(p, n)),
+        recorder: timeline_path.as_ref().map(|_| match timeline_cadence {
+            Some(c) => TimelineRecorder::new(c),
+            None => TimelineRecorder::with_default_cadence(n),
+        }),
+    };
     // Captured when a telemetry report was requested (the engine must
     // outlive the stabilization drive, hence the keeping/in-place paths).
     let mut telemetry: Option<EngineTelemetry> = None;
+    let mut histograms: Option<EventHistograms> = None;
     let result = if trace_path.is_some() {
         // Stabilize with snapshots roughly once per parallel round (the
         // skip backend, so the observer sees every effective event).
@@ -337,8 +436,9 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
                     if sim.interactions() >= next_capture {
                         trajectory.push(sim.interactions(), sim.config());
                         next_capture = sim.interactions() + n;
-                        if let Some(hb) = heartbeat.as_mut() {
-                            hb.tick(sim.interactions());
+                        if let Some(hb) = monitor.heartbeat.as_mut() {
+                            tally.scheduled = sim.interactions();
+                            hb.tick(sim.interactions(), &tally);
                         }
                     }
                     if sim.is_silent() {
@@ -359,12 +459,11 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             initial_plurality: config.plurality(),
         }
     } else if let Some(family) = topology {
-        if telemetry_format.is_some() || heartbeat.is_some() {
-            let mut tick = |done: u64| {
-                if let Some(hb) = heartbeat.as_mut() {
-                    hb.tick(done);
-                }
-            };
+        if telemetry_format.is_some()
+            || want_histograms
+            || monitor.heartbeat.is_some()
+            || monitor.recorder.is_some()
+        {
             let (result, sim) = stabilize_on_topology_keeping(
                 backend,
                 &config,
@@ -373,34 +472,52 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 &mut rng,
                 u64::MAX / 2,
                 telemetry_format.is_some(),
-                &mut tick,
+                want_histograms,
+                &mut monitor,
             );
+            if let Some(s) = &sim {
+                if let Some(rec) = monitor.recorder.as_mut() {
+                    rec.finish(s.as_ref());
+                }
+                histograms = s.histograms();
+            }
             telemetry = Some(sim.map_or(EngineTelemetry::new(), |s| *s.telemetry()));
             result
         } else {
             stabilize_on_topology(backend, &config, family, topo_seed, &mut rng, u64::MAX / 2)
         }
-    } else if telemetry_format.is_some() || heartbeat.is_some() {
+    } else if telemetry_format.is_some()
+        || want_histograms
+        || monitor.heartbeat.is_some()
+        || monitor.recorder.is_some()
+    {
         let mut sim = make_simulator(backend, &config);
         if telemetry_format.is_some() {
             sim.set_span_timing(true);
         }
-        let result = match heartbeat.as_mut() {
-            // Without a heartbeat this is exactly `stabilize_with_backend`
-            // (one `run_to_silence` call), so the telemetry run is
-            // interaction-identical to the plain one for the same seed.
-            None => {
-                stabilize_simulator(sim.as_mut(), k, &mut rng, u64::MAX / 2, config.plurality())
-            }
-            Some(hb) => stabilize_simulator_ticking(
+        if want_histograms {
+            sim.set_histograms(true);
+        }
+        let result = if monitor.heartbeat.is_some() || monitor.recorder.is_some() {
+            stabilize_simulator_ticking(
                 sim.as_mut(),
                 k,
                 &mut rng,
                 u64::MAX / 2,
                 config.plurality(),
-                &mut |done| hb.tick(done),
-            ),
+                &mut monitor,
+            )
+        } else {
+            // Without a heartbeat or recorder this is exactly
+            // `stabilize_with_backend` (one `run_to_silence` call), so the
+            // telemetry run is interaction-identical to the plain one for
+            // the same seed.
+            stabilize_simulator(sim.as_mut(), k, &mut rng, u64::MAX / 2, config.plurality())
         };
+        if let Some(rec) = monitor.recorder.as_mut() {
+            rec.finish(sim.as_ref());
+        }
+        histograms = sim.histograms();
         telemetry = Some(*sim.telemetry());
         result
     } else {
@@ -441,10 +558,33 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             TelemetryFormat::Json => {
                 println!(
                     "{}",
-                    run_report_json(backend, n, k, seed, &result, elapsed, &t)
+                    run_report_json(
+                        backend,
+                        n,
+                        k,
+                        seed,
+                        &result,
+                        elapsed,
+                        histograms.as_ref(),
+                        &t
+                    )
                 );
             }
         }
+    }
+
+    if want_histograms && telemetry_format != Some(TelemetryFormat::Json) {
+        print_histograms(backend, &histograms.clone().unwrap_or_default());
+    }
+
+    if let (Some(path), Some(rec)) = (&timeline_path, &monitor.recorder) {
+        std::fs::write(path, rec.to_jsonl())
+            .map_err(|e| CliError(format!("writing {path}: {e}")))?;
+        println!(
+            "timeline: {} samples (cadence {}) -> {path}",
+            rec.samples().len(),
+            fmt_thousands(rec.cadence()),
+        );
     }
 
     if let Some(path) = trace_path {

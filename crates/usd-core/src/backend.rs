@@ -44,6 +44,24 @@
 //! backend — the identity `tests/telemetry_equivalence.rs` pins. Spans
 //! stay zero unless the `span-timing` feature is compiled in *and*
 //! [`set_span_timing`](pop_proto::Simulator::set_span_timing) was called.
+//!
+//! # Event histograms
+//!
+//! With [`set_histograms`](pop_proto::Simulator::set_histograms) enabled,
+//! every backend additionally harvests per-event quantities into
+//! [`pop_proto::EventHistograms`] (log-bucketed, read back through
+//! [`histograms`](pop_proto::Simulator::histograms)); fields a backend has
+//! no mechanism for stay empty:
+//!
+//! | backend | populated histograms |
+//! |---------|----------------------|
+//! | `agent` | `skip_len` (literally-counted no-op runs) |
+//! | `count` | `skip_len` (literally-counted no-op runs) |
+//! | `batch` | `skip_len` (geometric draws), `block_size` (applied per batch), `fallback_run` (collision literals) |
+//! | `graph` | `skip_len` (dense no-op runs + sparse geometric draws), `block_total`/`flush_size`/`flush_occupancy` (sparse skipper) |
+//! | `batchgraph` | `skip_len`, `block_size` (matching blocks), `fallback_run` (dirty draws), `block_total`/`flush_size`/`flush_occupancy` (sparse skipper) |
+//! | `seq` | `skip_len` (literally-counted no-op runs) |
+//! | `skip` | `skip_len` (completed geometric runs) |
 
 use crate::config::UsdConfig;
 use crate::dynamics::{SequentialGeneric, SkipAheadGeneric};
@@ -295,21 +313,52 @@ pub fn stabilize_simulator(
     classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality)
 }
 
+/// Chunk-boundary observer for the ticking run drivers.
+///
+/// The drivers call [`RunTicker::tick`] with the live engine after every
+/// driving chunk, so observers can read the clocks *and* the engine's
+/// [`telemetry`](pop_proto::Simulator::telemetry) (the CLI's
+/// `--progress-every` heartbeat and the `--timeline` flight recorder both
+/// hang off this). [`RunTicker::horizon`] additionally lets an observer
+/// bound the next chunk so boundaries land exactly where it needs them —
+/// the timeline recorder uses it to hit its sampling cadence marks.
+///
+/// Any `FnMut(&dyn Simulator)` closure is a ticker with an unbounded
+/// horizon via the blanket impl.
+pub trait RunTicker {
+    /// Upper bound on the next driving chunk, given the scheduled
+    /// interaction clock. Defaults to no bound; implementations must
+    /// return at least 1.
+    fn horizon(&self, _scheduled: u64) -> u64 {
+        u64::MAX
+    }
+
+    /// Observe the engine at a chunk boundary.
+    fn tick(&mut self, sim: &dyn Simulator);
+}
+
+impl<F: FnMut(&dyn Simulator)> RunTicker for F {
+    fn tick(&mut self, sim: &dyn Simulator) {
+        self(sim)
+    }
+}
+
 /// [`stabilize_simulator`] with a progress heartbeat: the run is driven in
-/// `~max(4n, 2¹⁶)`-interaction chunks and `tick` receives the
-/// interactions-so-far after each chunk (the CLI's `--progress-every`
-/// stderr heartbeat hangs off this). Chunk boundaries can truncate the
-/// leaping backends' geometric skip draws, so a ticked run need not be
-/// interaction-identical to the same seed driven without one. Assumes a
-/// freshly constructed simulator (interaction clock at zero), which is how
-/// every caller of [`make_simulator`] holds one.
+/// `~max(4n, 2¹⁶)`-interaction chunks (further bounded by the ticker's
+/// [`horizon`](RunTicker::horizon)) and `tick` observes the engine after
+/// each chunk (the CLI's `--progress-every` stderr heartbeat and the
+/// `--timeline` flight recorder hang off this). Chunk boundaries can
+/// truncate the leaping backends' geometric skip draws, so a ticked run
+/// need not be interaction-identical to the same seed driven without one.
+/// Assumes a freshly constructed simulator (interaction clock at zero),
+/// which is how every caller of [`make_simulator`] holds one.
 pub fn stabilize_simulator_ticking(
     sim: &mut dyn Simulator,
     k: usize,
     rng: &mut SimRng,
     budget: u64,
     initial_plurality: Option<usize>,
-    tick: &mut dyn FnMut(u64),
+    tick: &mut dyn RunTicker,
 ) -> StabilizationResult {
     let chunk = (4 * sim.population()).max(1 << 16);
     let (interactions, stabilized) = loop {
@@ -320,8 +369,9 @@ pub fn stabilize_simulator_ticking(
         if done >= budget {
             break (done, false);
         }
-        sim.run_to_silence(rng, chunk.min(budget - done));
-        tick(sim.interactions());
+        let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
+        sim.run_to_silence(rng, step);
+        tick.tick(sim);
     };
     classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality)
 }
@@ -382,7 +432,8 @@ pub fn stabilize_on_topology(
         rng,
         budget,
         false,
-        &mut |_| {},
+        false,
+        &mut |_: &dyn Simulator| {},
     )
     .0
 }
@@ -390,12 +441,14 @@ pub fn stabilize_on_topology(
 /// [`stabilize_on_topology`] for callers that need the engine afterwards:
 /// returns the result together with the simulator, so per-engine state —
 /// [`telemetry`](pop_proto::Simulator::telemetry) above all — survives the
-/// run. `tick` receives the interactions-so-far after every driving chunk
-/// (pass `&mut |_| {}` for no heartbeat); the `graph`/`batchgraph`
-/// backends drive in `~max(4n, 2¹⁶)`-interaction chunks only so the
+/// run. `tick` observes the engine after every driving chunk (pass
+/// `&mut |_: &dyn Simulator| {}` for no heartbeat) and can bound chunks
+/// via [`RunTicker::horizon`]; the `graph`/`batchgraph` backends drive in
+/// `~max(4n, 2¹⁶)`-interaction chunks only so the
 /// heartbeat has a pulse, the `agent` backend already runs chunked for its
 /// frozen-configuration edge scan. `span_timing` turns the engine's span
-/// clock on before the run (the simulator is constructed in here, so the
+/// clock on before the run and `histograms` its per-event histograms (the
+/// simulator is constructed in here, so the
 /// caller has no earlier chance). An edgeless graph (very sparse `er`)
 /// is trivially silent and has no engine to return — the simulator slot is
 /// `None` and every engine constructor would reject the graph anyway.
@@ -408,7 +461,8 @@ pub fn stabilize_on_topology_keeping(
     rng: &mut SimRng,
     budget: u64,
     span_timing: bool,
-    tick: &mut dyn FnMut(u64),
+    histograms: bool,
+    tick: &mut dyn RunTicker,
 ) -> (StabilizationResult, Option<Box<dyn Simulator>>) {
     assert!(
         backend.supports_topologies(),
@@ -436,6 +490,9 @@ pub fn stabilize_on_topology_keeping(
         if span_timing {
             Simulator::set_span_timing(&mut sim, true);
         }
+        if histograms {
+            Simulator::set_histograms(&mut sim, true);
+        }
         let (interactions, stabilized) = loop {
             let done = sim.interactions();
             if sim.is_silent()
@@ -446,8 +503,9 @@ pub fn stabilize_on_topology_keeping(
             if done >= budget {
                 break (done, false);
             }
-            sim.run_to_silence(rng, chunk.min(budget - done));
-            tick(sim.interactions());
+            let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
+            sim.run_to_silence(rng, step);
+            tick.tick(&sim);
         };
         let result = classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality);
         return (result, Some(Box::new(sim)));
@@ -467,6 +525,9 @@ pub fn stabilize_on_topology_keeping(
     if span_timing {
         sim.set_span_timing(true);
     }
+    if histograms {
+        sim.set_histograms(true);
+    }
     // The graph engines detect graph silence natively (their `is_silent`
     // is the frontier criterion), so the generic chunked driver is exact.
     let (interactions, stabilized) = loop {
@@ -477,8 +538,9 @@ pub fn stabilize_on_topology_keeping(
         if done >= budget {
             break (done, false);
         }
-        sim.run_to_silence(rng, chunk.min(budget - done));
-        tick(sim.interactions());
+        let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
+        sim.run_to_silence(rng, step);
+        tick.tick(sim.as_ref());
     };
     let result = classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality);
     (result, Some(sim))

@@ -23,7 +23,7 @@
 
 use crate::config::UsdConfig;
 use pop_proto::telemetry::EngineTelemetry;
-use pop_proto::FenwickSampler;
+use pop_proto::{EventHistograms, FenwickSampler};
 use sim_stats::rng::SimRng;
 
 /// An effective USD interaction (no-ops are reported separately).
@@ -399,6 +399,11 @@ pub struct SequentialGeneric {
     /// mirror the clocks, `dense_steps`/`pair_draws` count the literal
     /// interactions. No phases, no spans.
     telemetry: EngineTelemetry,
+    /// Per-event histograms (opt-in): the literally-counted no-op run
+    /// before each effective interaction lands in `skip_len`.
+    hist: Option<Box<EventHistograms>>,
+    /// Consecutive no-op interactions (histogram recording only).
+    noop_run: u64,
 }
 
 impl SequentialGeneric {
@@ -408,6 +413,8 @@ impl SequentialGeneric {
             inner: SequentialUsd::new(config),
             effective: 0,
             telemetry: EngineTelemetry::new(),
+            hist: None,
+            noop_run: 0,
         }
     }
 
@@ -448,6 +455,14 @@ impl pop_proto::Simulator for SequentialGeneric {
         if changed {
             self.effective += 1;
             self.telemetry.effective += 1;
+            if let Some(h) = &mut self.hist {
+                // The completed no-op run before this effective event —
+                // the quantity the skip-ahead engine samples geometrically.
+                h.skip_len.add_u64(self.noop_run);
+            }
+            self.noop_run = 0;
+        } else if self.hist.is_some() {
+            self.noop_run += 1;
         }
         changed
     }
@@ -458,6 +473,19 @@ impl pop_proto::Simulator for SequentialGeneric {
 
     fn telemetry(&self) -> &EngineTelemetry {
         &self.telemetry
+    }
+
+    fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+        self.noop_run = 0;
+    }
+
+    fn histograms(&self) -> Option<EventHistograms> {
+        self.hist.as_deref().cloned()
     }
 }
 
@@ -483,6 +511,9 @@ pub struct SkipAheadGeneric {
     /// `skip_draws` counts the geometric no-op skips and `pair_draws` the
     /// effective-event draws. No phases, no spans.
     telemetry: EngineTelemetry,
+    /// Per-event histograms (opt-in): each completed geometric no-op run
+    /// (`advanced − 1` on a changing advancement) lands in `skip_len`.
+    hist: Option<Box<EventHistograms>>,
 }
 
 impl SkipAheadGeneric {
@@ -495,6 +526,7 @@ impl SkipAheadGeneric {
             counts,
             effective: 0,
             telemetry: EngineTelemetry::new(),
+            hist: None,
         }
     }
 
@@ -550,6 +582,12 @@ impl pop_proto::Simulator for SkipAheadGeneric {
             self.effective += 1;
             self.telemetry.effective += 1;
             self.telemetry.pair_draws += 1;
+            if let Some(h) = &mut self.hist {
+                // The geometric no-op run that preceded this effective
+                // event. Horizon-truncated advancements are not recorded —
+                // only completed runs, matching the per-event engines.
+                h.skip_len.add_u64(advanced - 1);
+            }
             self.sync_counts();
         }
         (advanced, changed)
@@ -561,6 +599,18 @@ impl pop_proto::Simulator for SkipAheadGeneric {
 
     fn telemetry(&self) -> &EngineTelemetry {
         &self.telemetry
+    }
+
+    fn set_histograms(&mut self, enabled: bool) {
+        self.hist = if enabled {
+            Some(Box::new(EventHistograms::new()))
+        } else {
+            None
+        };
+    }
+
+    fn histograms(&self) -> Option<EventHistograms> {
+        self.hist.as_deref().cloned()
     }
 }
 

@@ -4,14 +4,17 @@
 //! cargo run --release -p usd-experiments --bin topology_sweep -- \
 //!     [--n <max>] [--k <opinions>] [--seeds <reps>] [--topology <family>]
 //!     [--degree <d>] [--backend <graph|batchgraph|agent>] [--threads <t>]
-//!     [--quick] [--csv out.csv]
+//!     [--quick] [--csv out.csv] [--timeline-dir <dir>]
 //! ```
 //!
 //! Runs a topology-capable backend over the sparse family grid
 //! (cycle, torus, hypercube, random regular, Erdős–Rényi) — see the
 //! `usd_experiments::topology` module docs for the measured columns.
+//! `--timeline-dir` additionally writes one flight-recorder JSONL per
+//! sweep cell (from the cell's representative run) into the directory.
 //! Invalid flag combinations (a clique-only `--backend`, `--degree` on a
-//! family that takes none) exit with status 2 before any work runs.
+//! family that takes none, an unwritable `--timeline-dir`) exit with
+//! status 2 before any work runs.
 
 fn main() {
     let args = usd_experiments::ExpArgs::from_env();

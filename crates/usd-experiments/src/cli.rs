@@ -17,6 +17,9 @@
 //!                  (fig1, the lemma probes E3/E4/E5, the scaling sweeps
 //!                  E6/E7/E10, E8, E11, and E13: any generic backend;
 //!                  topology_sweep: graph|batchgraph|agent)
+//! --timeline-dir <dir>
+//!                  write one flight-recorder JSONL per sweep cell from
+//!                  the cell's representative run (topology_sweep only)
 //! ```
 //!
 //! Parsing is by hand (no external dependency) and strict: unknown flags
@@ -51,6 +54,9 @@ pub struct ExpArgs {
     /// Simulation backend, for the experiments that honor it (`None` →
     /// experiment default).
     pub backend: Option<Backend>,
+    /// Directory for per-cell flight-recorder JSONL files (experiments
+    /// that sample timelines; currently topology_sweep).
+    pub timeline_dir: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -66,6 +72,7 @@ impl Default for ExpArgs {
             topology: None,
             degree: None,
             backend: None,
+            timeline_dir: None,
         }
     }
 }
@@ -116,6 +123,9 @@ impl ExpArgs {
                 "--backend" => {
                     out.backend = Some(take("--backend")?.parse()?);
                 }
+                "--timeline-dir" => {
+                    out.timeline_dir = Some(take("--timeline-dir")?);
+                }
                 "--degree" => {
                     out.degree = Some(
                         take("--degree")?
@@ -126,7 +136,8 @@ impl ExpArgs {
                 "--help" | "-h" => {
                     return Err("flags: --n <u64> --k <usize> --seeds <u64> --seed <u64> \
                          --csv <path> --quick --threads <usize> \
-                         --topology <family> --degree <usize> --backend <name>"
+                         --topology <family> --degree <usize> --backend <name> \
+                         --timeline-dir <dir>"
                         .to_string());
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -258,6 +269,8 @@ mod tests {
             "regular:6",
             "--degree",
             "4",
+            "--timeline-dir",
+            "/tmp/timelines",
         ])
         .unwrap();
         assert_eq!(a.n, 5000);
@@ -269,6 +282,7 @@ mod tests {
         assert_eq!(a.threads, Some(2));
         assert_eq!(a.topology, Some(TopologyFamily::Regular { d: 6 }));
         assert_eq!(a.degree, Some(4));
+        assert_eq!(a.timeline_dir.as_deref(), Some("/tmp/timelines"));
     }
 
     #[test]

@@ -22,11 +22,11 @@ use crate::report::Report;
 use crate::runner;
 use pop_proto::telemetry::EngineTelemetry;
 use pop_proto::topology::TopologyFamily;
-use pop_proto::Simulator;
+use pop_proto::{Simulator, TimelineRecorder};
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
-use usd_core::backend::{make_topology_simulator, Backend};
+use usd_core::backend::{make_topology_simulator, Backend, RunTicker};
 use usd_core::config::UsdConfig;
 use usd_core::init::InitialConfigBuilder;
 use usd_core::stabilization::ConsensusOutcome;
@@ -54,6 +54,10 @@ pub struct TopologyCell {
     /// Block fallback rate from the representative run's engine telemetry
     /// (dirty-draw literal re-simulations; 0 on non-block engines).
     pub fallback_rate: f64,
+    /// Flight-recorder JSONL of the representative run (recorded only when
+    /// the sweep was asked for timelines; written per cell by
+    /// `--timeline-dir`).
+    pub timeline: Option<String>,
 }
 
 /// Validate an E14 flag combination before running anything: the backend
@@ -77,6 +81,18 @@ pub fn validate_args(args: &ExpArgs) -> Result<(), String> {
                 family.name()
             ));
         }
+    }
+    if let Some(dir) = &args.timeline_dir {
+        // Fail before any work runs: create the directory and probe that
+        // it is actually writable (a read-only mount or permission problem
+        // would otherwise surface only after the whole sweep finished).
+        let path = std::path::Path::new(dir);
+        std::fs::create_dir_all(path)
+            .map_err(|e| format!("--timeline-dir {dir}: cannot create directory: {e}"))?;
+        let probe = path.join(".usd_timeline_probe");
+        std::fs::write(&probe, b"")
+            .and_then(|()| std::fs::remove_file(&probe))
+            .map_err(|e| format!("--timeline-dir {dir}: directory not writable: {e}"))?;
     }
     Ok(())
 }
@@ -131,10 +147,12 @@ fn stabilize_effective_budgeted(
     rng: &mut SimRng,
     sched_budget: u64,
     eff_budget: u64,
+    mut recorder: Option<&mut TimelineRecorder>,
 ) -> (ConsensusOutcome, u64) {
     let k = config.k();
     // Chunked driving so the effective meter is checked at a bounded
-    // cadence even while the engine leaps.
+    // cadence even while the engine leaps; an attached flight recorder
+    // additionally bounds chunks so samples land on its cadence marks.
     let chunk = (4 * config.n()).max(1 << 16);
     let silent = loop {
         if sim.is_silent() {
@@ -144,10 +162,20 @@ fn stabilize_effective_budgeted(
         if done >= sched_budget || sim.effective_interactions() >= eff_budget {
             break false;
         }
-        if sim.run_until(rng, chunk.min(sched_budget - done), &mut |_| false) == 0 {
+        let step = chunk
+            .min(sched_budget - done)
+            .min(recorder.as_ref().map_or(u64::MAX, |r| r.horizon(done)))
+            .max(1);
+        if sim.run_until(rng, step, &mut |_| false) == 0 {
             break sim.is_silent();
         }
+        if let Some(r) = recorder.as_mut() {
+            r.record_if_due(sim);
+        }
     };
+    if let Some(r) = recorder {
+        r.finish(sim);
+    }
     let counts = sim.counts();
     let outcome = if !silent {
         ConsensusOutcome::Timeout
@@ -167,7 +195,10 @@ fn stabilize_effective_budgeted(
 
 /// Run one sweep cell: `seeds` independent stabilization runs of a
 /// topology-capable backend on fresh seeded graphs, under the phase-aware
-/// effective budget.
+/// effective budget. With `record_timeline` the representative run also
+/// carries a flight recorder at the default cadence and the cell returns
+/// its JSONL.
+#[allow(clippy::too_many_arguments)]
 pub fn topology_cell(
     backend: Backend,
     family: TopologyFamily,
@@ -176,7 +207,22 @@ pub fn topology_cell(
     seeds: u64,
     master_seed: u64,
     eff_budget: u64,
+    record_timeline: bool,
 ) -> TopologyCell {
+    /// Flight recorder behind the [`RunTicker`] interface for the agent
+    /// backend's keeping driver (the other backends record inside
+    /// [`stabilize_effective_budgeted`]).
+    struct RecorderTick<'a>(Option<&'a mut TimelineRecorder>);
+    impl RunTicker for RecorderTick<'_> {
+        fn horizon(&self, scheduled: u64) -> u64 {
+            self.0.as_ref().map_or(u64::MAX, |r| r.horizon(scheduled))
+        }
+        fn tick(&mut self, sim: &dyn Simulator) {
+            if let Some(r) = self.0.as_mut() {
+                r.record_if_due(sim);
+            }
+        }
+    }
     let n = family.snap_n(n as usize) as u64;
     let config = InitialConfigBuilder::new(n, k).figure1();
     // Scheduled ceiling: low-conductance families pay up to ~n² parallel
@@ -193,9 +239,11 @@ pub fn topology_cell(
     // keeping variant hands the engine back, so its effective count and
     // telemetry are readable like the other backends'.
     let run_one = |rep: u64,
-                   rng: &mut sim_stats::rng::SimRng|
+                   rng: &mut sim_stats::rng::SimRng,
+                   recorder: Option<&mut TimelineRecorder>|
      -> (ConsensusOutcome, u64, EngineTelemetry) {
         if backend == Backend::Agent {
+            let mut tick = RecorderTick(recorder);
             let (result, sim) = usd_core::backend::stabilize_on_topology_keeping(
                 backend,
                 &config,
@@ -204,29 +252,41 @@ pub fn topology_cell(
                 rng,
                 eff_budget.min(sched_budget),
                 false,
-                &mut |_| {},
+                false,
+                &mut tick,
             );
+            if let (Some(r), Some(s)) = (tick.0, &sim) {
+                r.finish(s.as_ref());
+            }
             let telemetry = sim.map_or(EngineTelemetry::new(), |s| *s.telemetry());
             (result.outcome, result.interactions, telemetry)
         } else {
             let mut sim = make_topology_simulator(backend, &config, family, master_seed ^ rep, rng);
-            let (outcome, interactions) =
-                stabilize_effective_budgeted(&mut *sim, &config, rng, sched_budget, eff_budget);
+            let (outcome, interactions) = stabilize_effective_budgeted(
+                &mut *sim,
+                &config,
+                rng,
+                sched_budget,
+                eff_budget,
+                recorder,
+            );
             (outcome, interactions, *sim.telemetry())
         }
     };
     let outcomes = runner::repeat(master_seed, seeds, |rep, rng| {
-        let (outcome, interactions, _) = run_one(rep, rng);
+        let (outcome, interactions, _) = run_one(rep, rng, None);
         let parallel = interactions as f64 / n as f64;
         (outcome, parallel)
     });
-    // Engine-telemetry rates from one representative run (cheap
-    // statistics; the stabilization outcomes above are the measured
-    // quantity): the effective fraction, the sidecar cancel rate the
-    // adaptive deferral decides on, and the block fallback rate.
+    // Engine-telemetry rates — and, when asked for, the flight-recorder
+    // timeline — from one representative run (cheap statistics; the
+    // stabilization outcomes above are the measured quantity): the
+    // effective fraction, the sidecar cancel rate the adaptive deferral
+    // decides on, and the block fallback rate.
+    let mut recorder = record_timeline.then(|| TimelineRecorder::with_default_cadence(n));
     let (effective_fraction, cancel_rate, fallback_rate) = {
         let mut rng = sim_stats::rng::SimRng::new(master_seed ^ 0xF00D);
-        let (_, _, telemetry) = run_one(u64::MAX, &mut rng);
+        let (_, _, telemetry) = run_one(u64::MAX, &mut rng, recorder.as_mut());
         (
             telemetry.effective_fraction(),
             telemetry.cancel_rate(),
@@ -260,6 +320,7 @@ pub fn topology_cell(
         degenerate_rate: degenerate as f64 / outcomes.len() as f64,
         cancel_rate,
         fallback_rate,
+        timeline: recorder.map(|r| r.to_jsonl()),
     }
 }
 
@@ -304,6 +365,7 @@ pub fn topology_report(args: &ExpArgs) -> Report {
         .iter()
         .flat_map(|&f| ns.iter().map(move |&n| (f, n)))
         .collect();
+    let record_timeline = args.timeline_dir.is_some();
     let results = runner::sweep(args.seed, cells, |i, &(f, n), _| {
         topology_cell(
             backend,
@@ -313,8 +375,23 @@ pub fn topology_report(args: &ExpArgs) -> Report {
             seeds,
             args.seed ^ ((i as u64) << 32),
             eff_budget,
+            record_timeline,
         )
     });
+    if let Some(dir) = &args.timeline_dir {
+        // One flight-recorder JSONL per cell, from the representative run.
+        // `validate_args` probed writability up front, so failures here are
+        // races (disk full, concurrent removal) worth surfacing loudly.
+        for c in &results {
+            let Some(jsonl) = &c.timeline else { continue };
+            let file = format!("{}_n{}.jsonl", c.family.name().replace(':', "-"), c.n);
+            let path = std::path::Path::new(dir).join(&file);
+            if let Err(e) = std::fs::write(&path, jsonl) {
+                eprintln!("topology_sweep: writing {}: {e}", path.display());
+            }
+        }
+        println!("timelines: one JSONL per cell in {dir}");
+    }
 
     let mut report = Report::new();
     report.heading(format!(
@@ -421,7 +498,16 @@ mod tests {
     #[test]
     fn cycle_cell_stabilizes_and_is_slower_than_clique_scale() {
         for backend in [Backend::Graph, Backend::BatchGraph] {
-            let c = topology_cell(backend, TopologyFamily::Cycle, 128, 2, 4, 9, u64::MAX / 2);
+            let c = topology_cell(
+                backend,
+                TopologyFamily::Cycle,
+                128,
+                2,
+                4,
+                9,
+                u64::MAX / 2,
+                false,
+            );
             assert_eq!(c.n, 128);
             assert!(c.degenerate_rate < 1.0, "every cycle run degenerated");
             assert!(c.parallel_mean > 0.0);
@@ -441,6 +527,7 @@ mod tests {
             6,
             11,
             u64::MAX / 2,
+            false,
         );
         assert!(c.win_rate >= 0.5, "win rate {}", c.win_rate);
         assert_eq!(c.degenerate_rate, 0.0);
@@ -450,9 +537,75 @@ mod tests {
     fn exhausted_effective_budget_reports_degenerate_timeouts() {
         // A dead-heat cycle with a tiny effective budget cannot stabilize;
         // the cell must say so instead of spinning.
-        let c = topology_cell(Backend::Graph, TopologyFamily::Cycle, 512, 2, 3, 5, 64);
+        let c = topology_cell(
+            Backend::Graph,
+            TopologyFamily::Cycle,
+            512,
+            2,
+            3,
+            5,
+            64,
+            false,
+        );
         assert_eq!(c.degenerate_rate, 1.0, "budget exhaustion not reported");
         assert!(c.parallel_mean.is_nan());
+    }
+
+    #[test]
+    fn representative_run_records_a_timeline_when_asked() {
+        for backend in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
+            let c = topology_cell(
+                backend,
+                TopologyFamily::Regular { d: 8 },
+                256,
+                2,
+                2,
+                21,
+                u64::MAX / 2,
+                true,
+            );
+            let jsonl = c
+                .timeline
+                .unwrap_or_else(|| panic!("{backend}: no timeline"));
+            assert!(!jsonl.is_empty(), "{backend}: empty timeline");
+            for line in jsonl.lines() {
+                assert!(line.starts_with("{\"sample\":"), "{backend}: {line}");
+                assert!(line.contains("\"phase\":"), "{backend}: {line}");
+            }
+        }
+        // Off by default: no timeline payload rides along.
+        let c = topology_cell(
+            Backend::Graph,
+            TopologyFamily::Cycle,
+            128,
+            2,
+            2,
+            3,
+            u64::MAX / 2,
+            false,
+        );
+        assert!(c.timeline.is_none());
+    }
+
+    #[test]
+    fn validate_args_probes_timeline_dir_writability() {
+        let dir = std::env::temp_dir().join("usd_timeline_dir_test");
+        let ok = ExpArgs {
+            timeline_dir: Some(dir.to_str().unwrap().to_string()),
+            ..ExpArgs::default()
+        };
+        assert!(validate_args(&ok).is_ok());
+        assert!(dir.is_dir(), "validate_args should create the directory");
+        let _ = std::fs::remove_dir_all(&dir);
+        // A path that cannot be a directory (parent is a file) is rejected.
+        let file = std::env::temp_dir().join("usd_timeline_blocker");
+        std::fs::write(&file, b"x").unwrap();
+        let bad = ExpArgs {
+            timeline_dir: Some(file.join("sub").to_str().unwrap().to_string()),
+            ..ExpArgs::default()
+        };
+        assert!(validate_args(&bad).is_err());
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Flight-recorder ≡ telemetry ≡ observer identities.
+//!
+//! The timeline recorder (`pop_proto::telemetry::timeline`) is a third
+//! view of the same clocks the engines and the observation layer already
+//! keep, so these tests pin the identities that make a recorded timeline
+//! trustworthy on **all seven backends**:
+//!
+//! * **delta completeness**: the windowed deltas of every sample sum to
+//!   the engine's final cumulative telemetry — no window is dropped,
+//!   truncated, or double-counted, including the partial window that
+//!   `finish` flushes;
+//! * **clock agreement**: each sample's cumulative `scheduled`/`effective`
+//!   equal the running delta sums up to that sample, and the last sample
+//!   agrees with the engine clock and the observer's cumulative counters;
+//! * **cadence determinism**: every non-final sample lands exactly on a
+//!   cadence mark of the *scheduled* clock (never wall time), which is
+//!   what makes a timeline bit-reproducible — pinned below by running
+//!   the same seed twice and comparing the rendered JSONL byte for byte.
+
+use plurality_consensus::pop_proto::{Observation, TimelineRecorder};
+use plurality_consensus::sim_stats::rng::SimRng;
+use plurality_consensus::usd_core::backend::{make_simulator, Backend};
+use plurality_consensus::usd_core::init::InitialConfigBuilder;
+
+/// Run `backend` to silence under a recorder at `cadence`, observing the
+/// whole trajectory; return the recorder plus the observer's final
+/// cumulative (scheduled, effective) counters.
+fn recorded_run(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    seed: u64,
+    cadence: u64,
+) -> (TimelineRecorder, u64, u64) {
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    let mut sim = make_simulator(backend, &config);
+    let mut rng = SimRng::new(seed);
+    let mut rec = TimelineRecorder::new(cadence);
+    let mut obs_interactions = 0u64;
+    let mut obs_effective = 0u64;
+    while !sim.is_silent() {
+        // The recorder's horizon caps each chunk so no advance overshoots
+        // a cadence mark — the same contract the CLI drivers follow.
+        let horizon = rec.horizon(sim.interactions());
+        sim.advance_observed(&mut rng, horizon, &mut |obs: &Observation<'_>| {
+            obs_interactions = obs.interactions;
+            obs_effective = obs.effective;
+            true
+        });
+        rec.record_if_due(sim.as_ref());
+    }
+    rec.finish(sim.as_ref());
+    let t = sim.telemetry();
+    assert_eq!(
+        (t.scheduled, t.effective),
+        (sim.interactions(), sim.effective_interactions()),
+        "{backend}: telemetry clock identity broken"
+    );
+    assert_eq!(
+        rec.last_sampled(),
+        t,
+        "{backend}: finish left telemetry unsampled"
+    );
+    (rec, obs_interactions, obs_effective)
+}
+
+#[test]
+fn timeline_deltas_sum_to_cumulative_clocks_on_every_backend() {
+    for backend in Backend::ALL {
+        let (rec, obs_interactions, obs_effective) = recorded_run(backend, 600, 3, 42, 1_000);
+        let samples = rec.samples();
+        assert!(
+            samples.len() > 1,
+            "{backend}: cadence 1000 run produced {} sample(s)",
+            samples.len()
+        );
+        // Delta completeness and per-sample clock agreement: cumulative
+        // clocks are exactly the running sums of the windowed deltas.
+        let (mut sum_scheduled, mut sum_effective) = (0u64, 0u64);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.index, i as u64, "{backend}: sample index");
+            sum_scheduled += s.delta.scheduled;
+            sum_effective += s.delta.effective;
+            assert_eq!(
+                (s.scheduled, s.effective),
+                (sum_scheduled, sum_effective),
+                "{backend}: sample {i} cumulative clocks != running delta sums"
+            );
+            assert!(
+                s.phase == "dense" || s.phase == "sparse",
+                "{backend}: sample {i} phase {:?}",
+                s.phase
+            );
+        }
+        // The final cumulative clocks agree with the engine (checked in
+        // the helper) and with the observation layer.
+        let last = samples.last().unwrap();
+        assert_eq!(
+            (last.scheduled, last.effective),
+            (obs_interactions, obs_effective),
+            "{backend}: timeline and observer disagree on the final clocks"
+        );
+        // The full counter delta also sums: spot-check the phase and
+        // provenance counters against the recorder's cumulative capture.
+        let t = rec.last_sampled();
+        for (name, total, summed) in [
+            (
+                "dense_steps",
+                t.dense_steps,
+                samples.iter().map(|s| s.delta.dense_steps).sum::<u64>(),
+            ),
+            (
+                "sparse.events",
+                t.sparse.events,
+                samples.iter().map(|s| s.delta.sparse.events).sum::<u64>(),
+            ),
+            (
+                "block_applied",
+                t.block_applied,
+                samples.iter().map(|s| s.delta.block_applied).sum::<u64>(),
+            ),
+            (
+                "fallback_literal",
+                t.fallback_literal,
+                samples
+                    .iter()
+                    .map(|s| s.delta.fallback_literal)
+                    .sum::<u64>(),
+            ),
+        ] {
+            assert_eq!(summed, total, "{backend}: {name} deltas do not sum");
+        }
+    }
+}
+
+#[test]
+fn samples_land_exactly_on_scheduled_cadence_marks() {
+    for backend in Backend::ALL {
+        let cadence = 1_000u64;
+        let (rec, _, _) = recorded_run(backend, 600, 3, 7, cadence);
+        let samples = rec.samples();
+        for s in &samples[..samples.len() - 1] {
+            assert_eq!(
+                s.scheduled % cadence,
+                0,
+                "{backend}: non-final sample off the cadence grid at {}",
+                s.scheduled
+            );
+        }
+        // Consecutive marks are distinct and increasing (horizon-bounded
+        // driving can never skip past a mark without sampling it).
+        for w in samples.windows(2) {
+            assert!(
+                w[1].scheduled > w[0].scheduled,
+                "{backend}: non-increasing sample clocks"
+            );
+            if w[1].scheduled % cadence == 0 {
+                assert_eq!(
+                    w[1].scheduled - w[0].scheduled,
+                    cadence,
+                    "{backend}: a cadence mark was skipped between samples"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn timelines_are_bit_reproducible_under_a_fixed_seed() {
+    // The recorder samples on the scheduled clock, so two identical runs
+    // must render byte-identical JSONL — the property the `usd-sim run
+    // --timeline` surface documents. One dense-dominated clique backend
+    // and the two leaping engines cover the distinct driver paths.
+    for backend in [Backend::Agent, Backend::Batch, Backend::SkipAhead] {
+        let (a, _, _) = recorded_run(backend, 500, 3, 1234, 2_048);
+        let (b, _, _) = recorded_run(backend, 500, 3, 1234, 2_048);
+        assert_eq!(
+            a.to_jsonl(),
+            b.to_jsonl(),
+            "{backend}: same seed, different timeline"
+        );
+        // And a different seed genuinely changes the recording (guards
+        // against the comparison passing vacuously on empty output).
+        let (c, _, _) = recorded_run(backend, 500, 3, 4321, 2_048);
+        assert_ne!(
+            a.to_jsonl(),
+            c.to_jsonl(),
+            "{backend}: seed does not reach the timeline"
+        );
+        assert!(!a.to_jsonl().is_empty(), "{backend}: empty timeline");
+    }
+}
