@@ -8,6 +8,8 @@
 //!     --assert-telemetry <run.json>
 //! cargo run --release -p usd-bench --bin bench_compare -- \
 //!     --assert-timeline <run.jsonl>
+//! cargo run --release -p usd-bench --bin bench_compare -- \
+//!     --assert-checkpoint <run.ckpt>
 //! ```
 //!
 //! `--summary <path>` additionally **appends** a markdown per-scenario
@@ -41,6 +43,17 @@
 //! clocks monotone. Exit `1` lists every violating line; an unreadable or
 //! empty file is exit `2` (an empty timeline means the recorder never
 //! sampled — a wiring bug, not a schema drift).
+//!
+//! `--assert-checkpoint <run.ckpt>` validates a `usd-sim run --checkpoint`
+//! file end to end: the sealed container header (magic, format version,
+//! CRC-32 of the body) and the full structural decode of the run
+//! checkpoint behind it — identity echo, RNG stream words, optional
+//! flight recorder, engine payload. Exit `0` prints a one-line summary of
+//! the run the file would resume; a corrupt, truncated, or
+//! wrong-versioned file is exit `1` with the validation error; an
+//! unreadable path is exit `2`. CI runs it on the checkpoint the
+//! kill-and-resume smoke job leaves behind, so a schema drift between
+//! writer and validator fails the build.
 //!
 //! Matches rows by `(backend, topology, n, mode)` and, for every
 //! **stabilization** row present in both files, compares the candidate's
@@ -365,6 +378,31 @@ fn assert_timeline(doc: &str) -> Result<usize, Vec<String>> {
     }
 }
 
+/// `--assert-checkpoint` check over raw checkpoint-file bytes: the sealed
+/// header must validate (magic, version, CRC) and the body must decode as
+/// a complete run checkpoint. Ok carries the summary line printed on
+/// success; Err the validation failure.
+fn assert_checkpoint(bytes: &[u8]) -> Result<String, String> {
+    let ckpt = usd_core::RunCheckpoint::from_bytes(bytes)
+        .map_err(|e| format!("invalid checkpoint: {e}"))?;
+    Ok(format!(
+        "valid checkpoint: backend={} n={} k={} seed={} topology={} \
+         recorder={} engine-payload={}B sealed={}B",
+        ckpt.backend,
+        ckpt.n,
+        ckpt.k,
+        ckpt.seed,
+        if ckpt.topology.is_empty() {
+            "clique"
+        } else {
+            &ckpt.topology
+        },
+        if ckpt.recorder.is_some() { "yes" } else { "no" },
+        ckpt.engine.len(),
+        bytes.len()
+    ))
+}
+
 /// One gated comparison.
 #[derive(Debug)]
 struct Comparison {
@@ -555,6 +593,7 @@ fn main() {
     let mut summary: Option<String> = None;
     let mut assert_telemetry: Option<String> = None;
     let mut assert_timeline_path: Option<String> = None;
+    let mut assert_checkpoint_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -569,6 +608,13 @@ fn main() {
                 Some(path) if !path.is_empty() => assert_timeline_path = Some(path.clone()),
                 _ => {
                     eprintln!("--assert-timeline needs a timeline-JSONL path");
+                    std::process::exit(2);
+                }
+            },
+            "--assert-checkpoint" => match it.next() {
+                Some(path) if !path.is_empty() => assert_checkpoint_path = Some(path.clone()),
+                _ => {
+                    eprintln!("--assert-checkpoint needs a checkpoint-file path");
                     std::process::exit(2);
                 }
             },
@@ -591,8 +637,30 @@ fn main() {
             },
             other if !other.starts_with("--") => paths.push(other.to_string()),
             other => {
-                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json> | bench_compare --assert-timeline <run.jsonl>)");
+                eprintln!("unknown flag '{other}' (usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json> | bench_compare --assert-timeline <run.jsonl> | bench_compare --assert-checkpoint <run.ckpt>)");
                 std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = assert_checkpoint_path {
+        // Standalone smoke mode, like the other --assert-* flags: rejects
+        // stray positionals and mode mixing instead of ignoring them.
+        if !paths.is_empty() || assert_telemetry.is_some() || assert_timeline_path.is_some() {
+            eprintln!("--assert-checkpoint takes a single checkpoint path and no other mode");
+            std::process::exit(2);
+        }
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match assert_checkpoint(&bytes) {
+            Ok(summary) => {
+                println!("{path}: {summary}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
             }
         }
     }
@@ -662,7 +730,7 @@ fn main() {
         std::process::exit(1);
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json> | bench_compare --assert-timeline <run.jsonl>");
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <frac>] [--summary <path>] | bench_compare --assert-telemetry <run.json> | bench_compare --assert-timeline <run.jsonl> | bench_compare --assert-checkpoint <run.ckpt>");
         std::process::exit(2);
     }
     // Every exit-2 path below reports through this, so a mis-set-up gate
@@ -1041,6 +1109,38 @@ mod tests {
         // Junk lines are reported with their line number.
         let doc = format!("{good}\nnot json\n");
         assert!(assert_timeline(&doc).unwrap_err()[0].contains("line 2"));
+    }
+
+    #[test]
+    fn assert_checkpoint_validates_sealed_files_and_rejects_corruption() {
+        use pop_proto::checkpoint::SnapshotWriter;
+        let config = usd_core::UsdConfig::decided(vec![60, 40]);
+        let mut sim = usd_core::make_simulator(usd_core::Backend::Count, &config);
+        let mut rng = sim_stats::rng::SimRng::new(5);
+        sim.run_until(&mut rng, 400, &mut |_| false);
+        let mut w = SnapshotWriter::new();
+        sim.snapshot_state(&mut w).unwrap();
+        let ckpt = usd_core::RunCheckpoint {
+            backend: "count".into(),
+            n: 100,
+            k: 2,
+            seed: 5,
+            topology: String::new(),
+            rng: rng.state(),
+            recorder: None,
+            engine: w.into_bytes(),
+        };
+        let bytes = ckpt.to_bytes();
+        let summary = assert_checkpoint(&bytes).expect("pristine file validates");
+        assert!(summary.contains("backend=count"), "{summary}");
+        assert!(summary.contains("topology=clique"), "{summary}");
+        assert!(summary.contains("recorder=no"), "{summary}");
+        // Any bit flip or truncation fails the CRC/structure gate.
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0x10;
+        assert!(assert_checkpoint(&bad).is_err());
+        assert!(assert_checkpoint(&bytes[..bytes.len() - 3]).is_err());
+        assert!(assert_checkpoint(b"not a checkpoint").is_err());
     }
 
     #[test]

@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod graph;
 pub mod metrics;
@@ -79,6 +80,7 @@ pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
+pub use checkpoint::{CheckpointError, FaultPlan, SnapshotReader, SnapshotWriter};
 pub use config::CountConfig;
 pub use graph::Graph;
 pub use metrics::{interactions_for_parallel_time, parallel_time};

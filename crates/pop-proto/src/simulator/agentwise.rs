@@ -1,8 +1,10 @@
 //! Per-agent exact simulator.
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::scheduler::Scheduler;
+use crate::simulator::snapshot_tags;
 use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
@@ -269,6 +271,69 @@ impl<P: Protocol, S: Scheduler> crate::simulator::Simulator for AgentSimulator<P
 
     fn histograms(&self) -> Option<EventHistograms> {
         self.hist.as_deref().cloned()
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        w.put_u8(snapshot_tags::AGENT);
+        snapshot_tags::write_config(w, self.states.len() as u64, self.counts.len());
+        w.put_u64(self.states.len() as u64);
+        for &s in &self.states {
+            w.put_u32(s as u32);
+        }
+        w.put_u64(self.interactions);
+        w.put_u64(self.effective_interactions);
+        self.telemetry.write_snapshot(w);
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.noop_run);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        snapshot_tags::expect(r, snapshot_tags::AGENT, "agent")?;
+        snapshot_tags::expect_config(r, self.states.len() as u64, self.counts.len())?;
+        let count = r.get_u64()? as usize;
+        if count != self.states.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "agent snapshot has {count} agents (engine has {})",
+                self.states.len()
+            )));
+        }
+        let k = self.counts.len();
+        let mut states = Vec::with_capacity(count);
+        let mut counts = vec![0u64; k];
+        for _ in 0..count {
+            let s = r.get_u32()? as usize;
+            if s >= k {
+                return Err(CheckpointError::Corrupt(format!(
+                    "agent state index {s} out of range ({k} states)"
+                )));
+            }
+            counts[s] += 1;
+            states.push(s);
+        }
+        let interactions = r.get_u64()?;
+        let effective_interactions = r.get_u64()?;
+        let telemetry = EngineTelemetry::read_snapshot(r)?;
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        let noop_run = r.get_u64()?;
+        self.states = states;
+        self.counts = counts;
+        self.interactions = interactions;
+        self.effective_interactions = effective_interactions;
+        self.telemetry = telemetry;
+        self.hist = hist;
+        self.noop_run = noop_run;
+        Ok(())
     }
 }
 

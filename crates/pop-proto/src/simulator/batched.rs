@@ -62,9 +62,10 @@
 //! protocols with non-monochromatic silent configurations, silence may be
 //! reported up to one batch (~√n interactions) late.
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
-use crate::simulator::Simulator;
+use crate::simulator::{snapshot_tags, Simulator};
 use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::binomial::ln_factorial;
@@ -667,6 +668,59 @@ impl<P: Protocol> Simulator for BatchSimulator<P> {
 
     fn histograms(&self) -> Option<EventHistograms> {
         self.hist.as_deref().cloned()
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        // Everything else in the struct (transition table, no-op mask,
+        // log-factorial constants, thread count) is a pure function of the
+        // constructor arguments, so counts + clocks + telemetry are the
+        // complete mutable state.
+        w.put_u8(snapshot_tags::BATCH);
+        snapshot_tags::write_config(w, self.n, self.k);
+        w.put_u64_slice(&self.counts);
+        w.put_u64(self.interactions);
+        w.put_u64(self.effective_interactions);
+        self.telemetry.write_snapshot(w);
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        snapshot_tags::expect(r, snapshot_tags::BATCH, "batch")?;
+        snapshot_tags::expect_config(r, self.n, self.k)?;
+        let counts = r.get_u64_vec()?;
+        if counts.len() != self.k {
+            return Err(CheckpointError::Corrupt(format!(
+                "batch snapshot has {} states (engine has {})",
+                counts.len(),
+                self.k
+            )));
+        }
+        if counts.iter().sum::<u64>() != self.n {
+            return Err(CheckpointError::Corrupt(
+                "batch snapshot does not sum to the population".into(),
+            ));
+        }
+        let interactions = r.get_u64()?;
+        let effective_interactions = r.get_u64()?;
+        let telemetry = EngineTelemetry::read_snapshot(r)?;
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        self.counts = counts;
+        self.interactions = interactions;
+        self.effective_interactions = effective_interactions;
+        self.telemetry = telemetry;
+        self.hist = hist;
+        Ok(())
     }
 }
 

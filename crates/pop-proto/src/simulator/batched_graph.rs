@@ -91,13 +91,14 @@
 //!
 //! [`make_topology_simulator`]: ../../usd_core/backend/fn.make_topology_simulator.html
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::config::CountConfig;
 use crate::graph::Graph;
 use crate::protocol::Protocol;
 use crate::simulator::sparse::{
     orient_event, SparseSkipper, SparseStep, SPARSE_BLOCK_EVENTS, SPARSE_TRIGGER_NOOPS,
 };
-use crate::simulator::{shuffled_layout, Simulator};
+use crate::simulator::{shuffled_layout, snapshot_tags, Simulator};
 use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
@@ -900,6 +901,98 @@ impl<P: Protocol, S: StateWord> Simulator for BatchGraphSimulator<P, S> {
             h.merge(sh);
         }
         Some(h)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        // Graph structure, transition tables, and the chunk/bitmap scratch
+        // are constructor-derived (the scratch buffers are empty between
+        // advancements — chunk_scan always clears them); the mutable state
+        // is the packed agent states, clocks, no-op run, and the skipper.
+        let tag = if S::LIMIT <= 256 {
+            snapshot_tags::BATCH_GRAPH
+        } else {
+            snapshot_tags::WIDE_BATCH_GRAPH
+        };
+        w.put_u8(tag);
+        snapshot_tags::write_config(w, self.states.len() as u64, self.k);
+        w.put_u64(self.states.len() as u64);
+        for &s in &self.states {
+            w.put_u32(s.unpack() as u32);
+        }
+        w.put_u64(self.interactions);
+        w.put_u64(self.effective_interactions);
+        w.put_u32(self.noop_run);
+        self.telemetry.write_snapshot(w);
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.sparse {
+            Some(s) => {
+                w.put_bool(true);
+                s.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        let tag = if S::LIMIT <= 256 {
+            snapshot_tags::BATCH_GRAPH
+        } else {
+            snapshot_tags::WIDE_BATCH_GRAPH
+        };
+        snapshot_tags::expect(r, tag, snapshot_tags::name(tag))?;
+        snapshot_tags::expect_config(r, self.states.len() as u64, self.k)?;
+        let count = r.get_u64()? as usize;
+        if count != self.states.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "batchgraph snapshot has {count} agents (engine has {})",
+                self.states.len()
+            )));
+        }
+        let mut states = Vec::with_capacity(count);
+        let mut counts = vec![0u64; self.k];
+        for _ in 0..count {
+            let s = r.get_u32()? as usize;
+            if s >= self.k {
+                return Err(CheckpointError::Corrupt(format!(
+                    "agent state index {s} out of range ({} states)",
+                    self.k
+                )));
+            }
+            counts[s] += 1;
+            states.push(S::pack(s));
+        }
+        let interactions = r.get_u64()?;
+        let effective_interactions = r.get_u64()?;
+        let noop_run = r.get_u32()?;
+        let telemetry = EngineTelemetry::read_snapshot(r)?;
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        self.states = states;
+        self.counts = counts;
+        let sparse = if r.get_bool()? {
+            let truth: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
+            Some(SparseSkipper::read_snapshot(&truth, r)?)
+        } else {
+            None
+        };
+        self.interactions = interactions;
+        self.effective_interactions = effective_interactions;
+        self.noop_run = noop_run;
+        self.telemetry = telemetry;
+        self.hist = hist;
+        self.sparse = sparse;
+        self.block_events.clear();
+        Ok(())
     }
 }
 

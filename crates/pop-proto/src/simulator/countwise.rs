@@ -1,8 +1,10 @@
 //! Count-based exact simulator.
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::config::CountConfig;
 use crate::protocol::Protocol;
 use crate::sampling::FenwickSampler;
+use crate::simulator::snapshot_tags;
 use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
@@ -196,6 +198,59 @@ impl<P: Protocol> crate::simulator::Simulator for CountSimulator<P> {
 
     fn histograms(&self) -> Option<EventHistograms> {
         self.hist.as_deref().cloned()
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        w.put_u8(snapshot_tags::COUNT);
+        w.put_u64(self.n);
+        w.put_u32(self.sampler.len() as u32);
+        w.put_u64_slice(self.counts());
+        w.put_u64(self.interactions);
+        w.put_u64(self.effective_interactions);
+        self.telemetry.write_snapshot(w);
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.noop_run);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        snapshot_tags::expect(r, snapshot_tags::COUNT, "count")?;
+        snapshot_tags::expect_config(r, self.n, self.sampler.len())?;
+        let counts = r.get_u64_vec()?;
+        if counts.len() != self.sampler.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "count snapshot has {} states (engine has {})",
+                counts.len(),
+                self.sampler.len()
+            )));
+        }
+        if counts.iter().sum::<u64>() != self.n {
+            return Err(CheckpointError::Corrupt(
+                "count snapshot does not sum to the population".into(),
+            ));
+        }
+        let interactions = r.get_u64()?;
+        let effective_interactions = r.get_u64()?;
+        let telemetry = EngineTelemetry::read_snapshot(r)?;
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        let noop_run = r.get_u64()?;
+        self.sampler = FenwickSampler::new(&counts);
+        self.interactions = interactions;
+        self.effective_interactions = effective_interactions;
+        self.telemetry = telemetry;
+        self.hist = hist;
+        self.noop_run = noop_run;
+        Ok(())
     }
 }
 

@@ -68,11 +68,12 @@
 //! which escalates to the sparse phase and certifies `W = 0` — so every
 //! driver loop terminates with the exact graph notion.
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::config::CountConfig;
 use crate::graph::Graph;
 use crate::protocol::Protocol;
 use crate::simulator::sparse::{orient_event, SparseSkipper, SparseStep, SPARSE_TRIGGER_NOOPS};
-use crate::simulator::Simulator;
+use crate::simulator::{snapshot_tags, Simulator};
 use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
@@ -634,6 +635,84 @@ impl<P: Protocol> Simulator for GraphSimulator<P> {
             h.merge(sh);
         }
         Some(h)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        // The graph structure (edges, CSR adjacency) and transition tables
+        // are constructor-derived; the mutable state is the agent states,
+        // the clocks, the dense no-op run, and the live skipper (whose
+        // Fenwick tree restores from the states plus the sidecar).
+        w.put_u8(snapshot_tags::GRAPH);
+        snapshot_tags::write_config(w, self.states.len() as u64, self.k);
+        w.put_u32_slice(&self.states);
+        w.put_u64(self.interactions);
+        w.put_u64(self.effective_interactions);
+        w.put_u32(self.noop_run);
+        self.telemetry.write_snapshot(w);
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.sparse {
+            Some(s) => {
+                w.put_bool(true);
+                s.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        snapshot_tags::expect(r, snapshot_tags::GRAPH, "graph")?;
+        snapshot_tags::expect_config(r, self.states.len() as u64, self.k)?;
+        let states = r.get_u32_vec()?;
+        if states.len() != self.states.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "graph snapshot has {} agents (engine has {})",
+                states.len(),
+                self.states.len()
+            )));
+        }
+        let mut counts = vec![0u64; self.k];
+        for &s in &states {
+            if (s as usize) >= self.k {
+                return Err(CheckpointError::Corrupt(format!(
+                    "agent state index {s} out of range ({} states)",
+                    self.k
+                )));
+            }
+            counts[s as usize] += 1;
+        }
+        let interactions = r.get_u64()?;
+        let effective_interactions = r.get_u64()?;
+        let noop_run = r.get_u32()?;
+        let telemetry = EngineTelemetry::read_snapshot(r)?;
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        // The skipper validates itself against ground-truth weights
+        // recomputed from the restored states, so install those first.
+        self.states = states;
+        self.counts = counts;
+        let sparse = if r.get_bool()? {
+            let truth: Vec<u64> = (0..self.edges.len()).map(|e| self.edge_weight(e)).collect();
+            Some(SparseSkipper::read_snapshot(&truth, r)?)
+        } else {
+            None
+        };
+        self.interactions = interactions;
+        self.effective_interactions = effective_interactions;
+        self.noop_run = noop_run;
+        self.telemetry = telemetry;
+        self.hist = hist;
+        self.sparse = sparse;
+        Ok(())
     }
 }
 

@@ -66,8 +66,94 @@ pub use batched_graph::{BatchGraphSimulator, StateWord, WideBatchGraphSimulator}
 pub use countwise::CountSimulator;
 pub use graphwise::{shuffled_layout, GraphSimulator};
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::config::CountConfig;
 use crate::observe::{Observation, SimObserver};
+
+/// Stable per-engine tags and header helpers for the snapshot format.
+///
+/// Every engine's [`Simulator::snapshot_state`] payload starts with its
+/// tag byte plus a `(n, |Σ|)` configuration echo, and
+/// [`Simulator::restore_state`] validates both against the live simulator
+/// — restoring a payload into the wrong engine or the wrong configuration
+/// is a clean [`CheckpointError::Corrupt`], never silent wrong state. The
+/// tag values are part of the on-disk format: never renumber them.
+pub mod snapshot_tags {
+    use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
+
+    /// [`AgentSimulator`](super::AgentSimulator).
+    pub const AGENT: u8 = 1;
+    /// [`CountSimulator`](super::CountSimulator).
+    pub const COUNT: u8 = 2;
+    /// [`BatchSimulator`](super::BatchSimulator).
+    pub const BATCH: u8 = 3;
+    /// [`GraphSimulator`](super::GraphSimulator).
+    pub const GRAPH: u8 = 4;
+    /// [`BatchGraphSimulator`](super::BatchGraphSimulator) (u8 states).
+    pub const BATCH_GRAPH: u8 = 5;
+    /// [`WideBatchGraphSimulator`](super::WideBatchGraphSimulator)
+    /// (u16 states).
+    pub const WIDE_BATCH_GRAPH: u8 = 6;
+    /// The sequential USD wrapper in `usd-core` (`SequentialGeneric`).
+    pub const USD_SEQ: u8 = 7;
+    /// The skip-ahead USD wrapper in `usd-core` (`SkipAheadGeneric`).
+    pub const USD_SKIP: u8 = 8;
+
+    /// Name of a tag for error messages.
+    pub fn name(tag: u8) -> &'static str {
+        match tag {
+            AGENT => "agent",
+            COUNT => "count",
+            BATCH => "batch",
+            GRAPH => "graph",
+            BATCH_GRAPH => "batchgraph",
+            WIDE_BATCH_GRAPH => "batchgraph-wide",
+            USD_SEQ => "seq",
+            USD_SKIP => "skip",
+            _ => "unknown",
+        }
+    }
+
+    /// Read an engine tag and require it to be `expected`.
+    pub fn expect(
+        r: &mut SnapshotReader<'_>,
+        expected: u8,
+        engine: &str,
+    ) -> Result<(), CheckpointError> {
+        let tag = r.get_u8()?;
+        if tag != expected {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot is for engine '{}' (tag {tag}), not '{engine}'",
+                name(tag)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Write the `(n, |Σ|)` configuration echo that follows the tag.
+    pub fn write_config(w: &mut SnapshotWriter, n: u64, num_states: usize) {
+        w.put_u64(n);
+        w.put_u32(num_states as u32);
+    }
+
+    /// Read the configuration echo and require it to match the live
+    /// simulator.
+    pub fn expect_config(
+        r: &mut SnapshotReader<'_>,
+        n: u64,
+        num_states: usize,
+    ) -> Result<(), CheckpointError> {
+        let sn = r.get_u64()?;
+        let sk = r.get_u32()? as usize;
+        if sn != n || sk != num_states {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot configuration (n={sn}, k={sk}) does not match the \
+                 simulator (n={n}, k={num_states})"
+            )));
+        }
+        Ok(())
+    }
+}
 use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::rng::SimRng;
@@ -172,6 +258,30 @@ pub trait Simulator {
     /// records nothing. Returned by value for object safety.
     fn histograms(&self) -> Option<EventHistograms> {
         None
+    }
+
+    /// Serialize the engine's complete resume-relevant state — agent
+    /// states or occupation counts, interaction clocks, phase/hysteresis
+    /// state, sparse-sidecar contents, telemetry counters, and histogram
+    /// buckets — into a checkpoint body, such that
+    /// [`Simulator::restore_state`] on a freshly constructed simulator of
+    /// the same configuration reproduces the uninterrupted run
+    /// byte-for-byte (the RNG is owned by the driver and snapshotted
+    /// separately via `SimRng::state`). All seven backends override this;
+    /// the default keeps external `Simulator` implementations compiling
+    /// and reports [`CheckpointError::Unsupported`].
+    fn snapshot_state(&self, _w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        Err(CheckpointError::Unsupported)
+    }
+
+    /// Restore state written by [`Simulator::snapshot_state`] into this
+    /// simulator, which must have been constructed with the same
+    /// configuration (protocol, population, topology). Configuration
+    /// mismatches and structurally invalid payloads return
+    /// [`CheckpointError::Corrupt`] — never a panic, never silently wrong
+    /// state; on error the simulator must be discarded.
+    fn restore_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        Err(CheckpointError::Unsupported)
     }
 
     /// Snapshot the current count configuration.

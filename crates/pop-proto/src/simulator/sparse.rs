@@ -71,6 +71,7 @@
 //! [`SparseStats`] counter, harvested by the owning engine via
 //! [`SparseSkipper::take_stats`] at advancement boundaries.
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::sampling::FenwickSampler;
 use crate::telemetry::timeline::EventHistograms;
 use crate::telemetry::SparseStats;
@@ -875,6 +876,165 @@ impl SparseSkipper {
             }
         }
         Ok(())
+    }
+
+    /// Serialize the full skipper state into a checkpoint body: mode and
+    /// hysteresis scalars, the adaptive-deferral window, telemetry,
+    /// histograms, and the pending sidecar (with each entry's stale tree
+    /// value, so the restored tree can be rebuilt stale exactly where the
+    /// original was). The Fenwick tree itself and the descent scratch are
+    /// *not* serialized — both are deterministic functions of the true
+    /// weights and the sidecar, and [`SparseSkipper::read_snapshot`]
+    /// reconstructs them.
+    pub(crate) fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_bool(self.tracked);
+        w.put_u32(self.flush_gen);
+        w.put_u32(self.events_since_flush);
+        w.put_u64(self.cached_w);
+        w.put_f64(self.cached_ln_q);
+        w.put_bool(self.bypass);
+        w.put_u64(self.probe_events);
+        w.put_u32(self.window_flushes);
+        w.put_u64(self.win_applied);
+        w.put_u64(self.win_cancelled);
+        w.put_u64(self.block_noops);
+        w.put_u32(self.block_events);
+        for v in [
+            self.stats.events,
+            self.stats.skip_draws,
+            self.stats.event_draws,
+            self.stats.flushes,
+            self.stats.updates_deferred,
+            self.stats.updates_immediate,
+            self.stats.entries_applied,
+            self.stats.entries_cancelled,
+            self.stats.log_cache_hits,
+            self.stats.log_cache_misses,
+            self.stats.bypass_enters,
+            self.stats.bypass_exits,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.pending.len() as u64);
+        for p in &self.pending {
+            w.put_u32(p.edge);
+            w.put_u32(p.gen);
+            w.put_u64(p.w);
+            w.put_u64(p.w_tree);
+        }
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Rebuild a skipper from a snapshot plus the ground-truth per-edge
+    /// active-orientation weights (recomputed by the owning engine from
+    /// its restored states). The Fenwick tree is rebuilt with each pending
+    /// edge held at its recorded stale value, the descent scratch is left
+    /// dirty (its lazy rebuild is deterministic), and the result is
+    /// validated against `truth` with [`SparseSkipper::check_consistent`]
+    /// — a corrupt sidecar becomes a clean error, never a wrong
+    /// trajectory. The deferral policy restores to `Adaptive` (the only
+    /// production value).
+    pub(crate) fn read_snapshot(
+        truth: &[u64],
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<SparseSkipper, CheckpointError> {
+        let tracked = r.get_bool()?;
+        let flush_gen = r.get_u32()?;
+        let events_since_flush = r.get_u32()?;
+        let cached_w = r.get_u64()?;
+        let cached_ln_q = r.get_f64()?;
+        let bypass = r.get_bool()?;
+        let probe_events = r.get_u64()?;
+        let window_flushes = r.get_u32()?;
+        let win_applied = r.get_u64()?;
+        let win_cancelled = r.get_u64()?;
+        let block_noops = r.get_u64()?;
+        let block_events = r.get_u32()?;
+        let mut stats = SparseStats::new();
+        for slot in [
+            &mut stats.events,
+            &mut stats.skip_draws,
+            &mut stats.event_draws,
+            &mut stats.flushes,
+            &mut stats.updates_deferred,
+            &mut stats.updates_immediate,
+            &mut stats.entries_applied,
+            &mut stats.entries_cancelled,
+            &mut stats.log_cache_hits,
+            &mut stats.log_cache_misses,
+            &mut stats.bypass_enters,
+            &mut stats.bypass_exits,
+        ] {
+            *slot = r.get_u64()?;
+        }
+        let count = r.get_u64()? as usize;
+        let mut pending = Vec::new();
+        let mut pending_idx = vec![u32::MAX; truth.len()];
+        let mut tree_weights = truth.to_vec();
+        for i in 0..count {
+            let edge = r.get_u32()?;
+            let gen = r.get_u32()?;
+            let w = r.get_u64()?;
+            let w_tree = r.get_u64()?;
+            if (edge as usize) >= truth.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "sidecar edge {edge} out of range ({} edges)",
+                    truth.len()
+                )));
+            }
+            if pending_idx[edge as usize] != u32::MAX {
+                return Err(CheckpointError::Corrupt(format!(
+                    "sidecar edge {edge} appears twice"
+                )));
+            }
+            pending_idx[edge as usize] = i as u32;
+            tree_weights[edge as usize] = w_tree;
+            pending.push(Pending {
+                edge,
+                gen,
+                w,
+                w_tree,
+            });
+        }
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        let fenwick = FenwickSampler::new(&tree_weights);
+        let out = SparseSkipper {
+            fenwick,
+            w_true: truth.iter().sum(),
+            pending,
+            pending_idx,
+            tracked,
+            flush_gen,
+            deltas: Vec::new(),
+            delta_dirty: true,
+            events_since_flush,
+            two_m: 2 * truth.len() as u64,
+            cached_w,
+            cached_ln_q,
+            policy: DeferralPolicy::Adaptive,
+            bypass,
+            probe_events,
+            window_flushes,
+            win_applied,
+            win_cancelled,
+            stats,
+            hist,
+            block_noops,
+            block_events,
+        };
+        out.check_consistent(truth)
+            .map_err(CheckpointError::Corrupt)?;
+        Ok(out)
     }
 }
 

@@ -47,6 +47,8 @@
 
 pub mod timeline;
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
+
 /// Counters owned by the shared sparse-phase skipper
 /// (`pop_proto::simulator::sparse`), harvested into
 /// [`EngineTelemetry::sparse`] by the graph engines at advancement
@@ -357,6 +359,85 @@ impl EngineTelemetry {
         } else {
             self.fallback_literal as f64 / applied as f64
         }
+    }
+
+    /// Serialize every counter, the sparse sub-block, the spans, and the
+    /// clock switch into a checkpoint body (fixed field order; the inverse
+    /// of [`EngineTelemetry::read_snapshot`]).
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        for v in [
+            self.scheduled,
+            self.effective,
+            self.dense_steps,
+            self.blocks,
+            self.block_draws,
+            self.block_applied,
+            self.fallback_literal,
+            self.sparse_enters,
+            self.sparse_exits,
+            self.pair_draws,
+            self.skip_draws,
+            self.table_draws,
+            self.sparse.events,
+            self.sparse.skip_draws,
+            self.sparse.event_draws,
+            self.sparse.flushes,
+            self.sparse.updates_deferred,
+            self.sparse.updates_immediate,
+            self.sparse.entries_applied,
+            self.sparse.entries_cancelled,
+            self.sparse.log_cache_hits,
+            self.sparse.log_cache_misses,
+            self.sparse.bypass_enters,
+            self.sparse.bypass_exits,
+            self.spans.dense_ns,
+            self.spans.sparse_ns,
+            self.spans.gather_ns,
+            self.spans.apply_ns,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_bool(self.clock.enabled);
+    }
+
+    /// Deserialize a telemetry block written by
+    /// [`EngineTelemetry::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<EngineTelemetry, CheckpointError> {
+        let mut t = EngineTelemetry::new();
+        for slot in [
+            &mut t.scheduled,
+            &mut t.effective,
+            &mut t.dense_steps,
+            &mut t.blocks,
+            &mut t.block_draws,
+            &mut t.block_applied,
+            &mut t.fallback_literal,
+            &mut t.sparse_enters,
+            &mut t.sparse_exits,
+            &mut t.pair_draws,
+            &mut t.skip_draws,
+            &mut t.table_draws,
+            &mut t.sparse.events,
+            &mut t.sparse.skip_draws,
+            &mut t.sparse.event_draws,
+            &mut t.sparse.flushes,
+            &mut t.sparse.updates_deferred,
+            &mut t.sparse.updates_immediate,
+            &mut t.sparse.entries_applied,
+            &mut t.sparse.entries_cancelled,
+            &mut t.sparse.log_cache_hits,
+            &mut t.sparse.log_cache_misses,
+            &mut t.sparse.bypass_enters,
+            &mut t.sparse.bypass_exits,
+            &mut t.spans.dense_ns,
+            &mut t.spans.sparse_ns,
+            &mut t.spans.gather_ns,
+            &mut t.spans.apply_ns,
+        ] {
+            *slot = r.get_u64()?;
+        }
+        t.clock.enabled = r.get_bool()?;
+        Ok(t)
     }
 
     /// Schema-stable JSON object (fixed key order; counters, sub-objects

@@ -36,6 +36,7 @@
 //! populations do not sample per-interaction — which keeps recorder
 //! overhead within the ≤ 2% acceptance envelope on the pinned grid.
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::simulator::Simulator;
 use crate::telemetry::EngineTelemetry;
 use sim_stats::histogram::LogHistogram;
@@ -134,6 +135,50 @@ impl EventHistograms {
     /// Total observations across all fields (0 iff nothing was recorded).
     pub fn total(&self) -> u64 {
         self.fields().iter().map(|(_, h)| h.total()).sum()
+    }
+
+    /// Serialize every histogram's bucket counts into a checkpoint body
+    /// (schema field order; binning parameters are implied by the shared
+    /// `EVENT_HISTOGRAM_*` constants and validated on read).
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        for (_, h) in self.fields() {
+            w.put_u64_slice(h.counts());
+            w.put_u64(h.non_positive());
+        }
+    }
+
+    /// Deserialize histograms written by
+    /// [`EventHistograms::write_snapshot`], rejecting bucket vectors that
+    /// do not match the shared binning.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<EventHistograms, CheckpointError> {
+        let mut out = EventHistograms::new();
+        let names: [&'static str; 6] = out.fields().map(|(name, _)| name);
+        for name in names {
+            let bins = r.get_u64_vec()?;
+            let non_positive = r.get_u64()?;
+            if bins.len() != EVENT_HISTOGRAM_BINS {
+                return Err(CheckpointError::Corrupt(format!(
+                    "histogram {name}: {} bins (expected {EVENT_HISTOGRAM_BINS})",
+                    bins.len()
+                )));
+            }
+            let h = LogHistogram::from_parts(
+                EVENT_HISTOGRAM_BASE,
+                EVENT_HISTOGRAM_SCALE,
+                bins,
+                non_positive,
+            )
+            .ok_or_else(|| CheckpointError::Corrupt(format!("histogram {name}: invalid parts")))?;
+            match name {
+                "skip_len" => out.skip_len = h,
+                "block_total" => out.block_total = h,
+                "block_size" => out.block_size = h,
+                "flush_size" => out.flush_size = h,
+                "flush_occupancy" => out.flush_occupancy = h,
+                _ => out.fallback_run = h,
+            }
+        }
+        Ok(out)
     }
 
     /// Schema-stable JSON object: every field in [`EventHistograms::fields`]
@@ -324,6 +369,74 @@ impl TimelineRecorder {
     /// The samples taken so far.
     pub fn samples(&self) -> &[TimelineSample] {
         &self.samples
+    }
+
+    /// The next cadence mark (absolute scheduled clock) a sample is due at.
+    pub fn next_mark(&self) -> u64 {
+        self.next_mark
+    }
+
+    /// Serialize the full recorder state — cadence, mark, last-sampled
+    /// telemetry, and every sample taken so far — into a checkpoint body.
+    /// A restored recorder continues producing byte-identical JSONL.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.cadence);
+        w.put_u64(self.next_mark);
+        self.last.write_snapshot(w);
+        w.put_u64(self.samples.len() as u64);
+        for s in &self.samples {
+            w.put_u64(s.index);
+            w.put_u64(s.scheduled);
+            w.put_u64(s.effective);
+            w.put_u8((s.phase == "sparse") as u8);
+            s.delta.write_snapshot(w);
+        }
+    }
+
+    /// Deserialize a recorder written by
+    /// [`TimelineRecorder::write_snapshot`].
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<TimelineRecorder, CheckpointError> {
+        let cadence = r.get_u64()?;
+        if cadence == 0 {
+            return Err(CheckpointError::Corrupt("timeline cadence is 0".into()));
+        }
+        let next_mark = r.get_u64()?;
+        let last = EngineTelemetry::read_snapshot(r)?;
+        let count = r.get_u64()?;
+        let mut samples = Vec::new();
+        for i in 0..count {
+            let index = r.get_u64()?;
+            if index != i {
+                return Err(CheckpointError::Corrupt(format!(
+                    "timeline sample index {index} at position {i}"
+                )));
+            }
+            let scheduled = r.get_u64()?;
+            let effective = r.get_u64()?;
+            let phase = match r.get_u8()? {
+                0 => "dense",
+                1 => "sparse",
+                b => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "timeline sample phase byte {b}"
+                    )))
+                }
+            };
+            let delta = EngineTelemetry::read_snapshot(r)?;
+            samples.push(TimelineSample {
+                index,
+                scheduled,
+                effective,
+                phase,
+                delta,
+            });
+        }
+        Ok(TimelineRecorder {
+            cadence,
+            next_mark,
+            last,
+            samples,
+        })
     }
 
     /// The cumulative telemetry at the last sample point.

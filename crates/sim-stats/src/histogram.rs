@@ -243,6 +243,25 @@ impl LogHistogram {
         self.quantile(0.99)
     }
 
+    /// Rebuild a histogram from previously captured counts (checkpoint
+    /// restore). The inverse of reading [`LogHistogram::counts`] /
+    /// [`LogHistogram::non_positive`] off a histogram with the same
+    /// parameters. Returns `None` when the parameters are invalid
+    /// (`base ≤ 1`, `scale ≤ 0`, or no bins) — restore paths report that
+    /// as corruption instead of panicking.
+    pub fn from_parts(base: f64, scale: f64, bins: Vec<u64>, non_positive: u64) -> Option<Self> {
+        let valid = base > 1.0 && scale > 0.0 && !bins.is_empty();
+        if !valid {
+            return None;
+        }
+        Some(LogHistogram {
+            base,
+            scale,
+            bins,
+            zero_or_negative: non_positive,
+        })
+    }
+
     /// Merge another histogram's counts into this one. Panics unless the
     /// two histograms share base, scale, and bin count — merging across
     /// binnings would silently misattribute mass.

@@ -70,6 +70,26 @@ impl SimRng {
         }
     }
 
+    /// The raw 256-bit generator state, for round-trippable persistence
+    /// (checkpoint/resume). The returned words fully determine every future
+    /// draw: `SimRng::from_state(rng.state())` continues the stream
+    /// bit-identically.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a previously captured
+    /// [`SimRng::state`]. Returns `None` for the all-zero state — the
+    /// single invalid Xoshiro256++ state, which no live generator can
+    /// reach, so encountering it means the stored state is corrupt.
+    pub fn from_state(s: [u64; 4]) -> Option<Self> {
+        if s == [0, 0, 0, 0] {
+            None
+        } else {
+            Some(SimRng { s })
+        }
+    }
+
     /// Next raw 64-bit output (Xoshiro256++ scrambler).
     #[allow(clippy::should_implement_trait)] // `next` matches the Xoshiro reference naming
     #[inline]

@@ -1,5 +1,6 @@
 //! Subcommand implementations for `usd-sim`.
 
+use pop_proto::checkpoint::{SnapshotReader, SnapshotWriter};
 use pop_proto::telemetry::timeline::phase_tag;
 use pop_proto::telemetry::EngineTelemetry;
 use pop_proto::topology::TopologyFamily;
@@ -7,10 +8,13 @@ use pop_proto::{EventHistograms, Simulator, TimelineRecorder};
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
+use std::path::{Path, PathBuf};
 use usd_core::backend::{
-    make_simulator, stabilize_on_topology, stabilize_on_topology_keeping, stabilize_simulator,
-    stabilize_simulator_ticking, stabilize_with_backend, Backend, RunTicker,
+    make_agent_topology_simulator, make_simulator, make_topology_simulator,
+    stabilize_agent_graph_ticking, stabilize_on_topology, stabilize_on_topology_keeping,
+    stabilize_simulator, stabilize_simulator_ticking, stabilize_with_backend, Backend, RunTicker,
 };
+use usd_core::checkpoint::RunCheckpoint;
 use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
 use usd_core::encode::Trajectory;
 use usd_core::init::InitialConfigBuilder;
@@ -30,6 +34,8 @@ commands:
          [--telemetry[=table|json]] [--progress-every <secs>]
          [--timeline <out.jsonl>] [--timeline-cadence <interactions>]
          [--histograms]
+         [--checkpoint <file.ckpt>] [--checkpoint-every <interactions>]
+         [--resume <file.ckpt>]
            one exact run to stabilization; optionally record a trajectory
            (backend default: skip; use batch for n >= 10^7, agent for
            per-agent ground truth; trace requires the skip backend).
@@ -46,7 +52,19 @@ commands:
            (cadence default: max(n, 65536) — deterministic in the
            interaction clock, so fixed seeds reproduce bit-identical
            files); --histograms prints log-bucketed per-event histograms
-           (skip lengths, block totals, flush sizes; p50/p90/p99)
+           (skip lengths, block totals, flush sizes; p50/p90/p99).
+           --checkpoint persists a crash-safe resume point (engine state,
+           RNG stream position, flight recorder) every --checkpoint-every
+           interactions (default max(16n, 2^22)): temp file + fsync +
+           atomic rename, with the previous checkpoint rotated to
+           <file>.prev as a fallback; --resume restarts a run from such a
+           file bit-identically (same flags required — the checkpoint
+           echoes the run identity and mismatches are rejected); output
+           directories for --checkpoint/--timeline are probed for
+           writability before the run starts. Resumed runs drive through
+           the same chunked loop as checkpointed runs, so an interrupted +
+           resumed run reproduces the uninterrupted run byte-for-byte
+           (final state and timeline)
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
          [--backend agent|count|batch|graph|batchgraph|seq|skip]
            stabilization time across the admissible k grid vs the bounds
@@ -195,13 +213,36 @@ impl Heartbeat {
     }
 }
 
-/// Chunk-boundary observer combining the optional stderr heartbeat and the
-/// optional `--timeline` flight recorder behind one [`RunTicker`]. The
-/// recorder bounds driving chunks via its sampling horizon so samples land
-/// exactly on cadence marks.
+/// Periodic crash-safe checkpoint writes (`run --checkpoint`), driven from
+/// the [`RunTicker::checkpoint_tick`] hook at chunk boundaries. Writes are
+/// pure observation — no RNG draws, no horizon bounds — so a checkpointed
+/// run's trajectory is identical to the same ticked run without the flag.
+/// A failed write warns on stderr and the run continues; the previous
+/// checkpoint (if any) survives untouched thanks to the atomic-rename
+/// persistence chain.
+struct CheckpointSink {
+    path: PathBuf,
+    every: u64,
+    /// Next scheduled-clock mark to persist at; `None` until the first
+    /// boundary initializes it from the live clock (which on resumed runs
+    /// is mid-flight).
+    next: Option<u64>,
+    backend: Backend,
+    n: u64,
+    k: u32,
+    seed: u64,
+    topology: String,
+    written: u64,
+}
+
+/// Chunk-boundary observer combining the optional stderr heartbeat, the
+/// optional `--timeline` flight recorder, and the optional `--checkpoint`
+/// sink behind one [`RunTicker`]. The recorder bounds driving chunks via
+/// its sampling horizon so samples land exactly on cadence marks.
 struct RunMonitor {
     heartbeat: Option<Heartbeat>,
     recorder: Option<TimelineRecorder>,
+    checkpoint: Option<CheckpointSink>,
 }
 
 impl RunTicker for RunMonitor {
@@ -219,6 +260,76 @@ impl RunTicker for RunMonitor {
             hb.tick(sim.interactions(), sim.telemetry());
         }
     }
+
+    fn checkpoint_tick(&mut self, sim: &dyn Simulator, rng: &SimRng) {
+        let Some(c) = self.checkpoint.as_mut() else {
+            return;
+        };
+        let clock = sim.interactions();
+        let due = match c.next {
+            Some(mark) => clock >= mark,
+            None => {
+                // First boundary: schedule the next cadence mark past the
+                // live clock without writing (the engine state at the
+                // clock's current mark is already on disk or trivial).
+                c.next = Some((clock / c.every + 1).saturating_mul(c.every));
+                false
+            }
+        };
+        if !due {
+            return;
+        }
+        c.next = Some((clock / c.every + 1).saturating_mul(c.every));
+        let mut w = SnapshotWriter::new();
+        if let Err(e) = sim.snapshot_state(&mut w) {
+            eprintln!("usd-sim: checkpoint skipped: {e}");
+            return;
+        }
+        let ckpt = RunCheckpoint {
+            backend: c.backend.name().to_string(),
+            n: c.n,
+            k: c.k,
+            seed: c.seed,
+            topology: c.topology.clone(),
+            rng: rng.state(),
+            recorder: self.recorder.clone(),
+            engine: w.into_bytes(),
+        };
+        match ckpt.save(&c.path) {
+            Ok(()) => c.written += 1,
+            Err(e) => eprintln!(
+                "usd-sim: checkpoint write failed ({}): {e}",
+                c.path.display()
+            ),
+        }
+    }
+}
+
+/// Preflight an output path: verify its parent directory exists and is
+/// writable *before* the run starts, so a multi-hour run cannot die at the
+/// final write (or, for checkpoints, silently never persist). Probes with
+/// a uniquely named scratch file, mirroring the topology sweep's
+/// timeline-dir preflight.
+fn preflight_writable(path: &str, flag: &str) -> Result<(), CliError> {
+    let parent = Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+    if !parent.is_dir() {
+        return Err(CliError(format!(
+            "{flag} {path}: directory {} does not exist",
+            parent.display()
+        )));
+    }
+    let probe = parent.join(format!(".usd_write_probe.{}", std::process::id()));
+    std::fs::write(&probe, b"usd-sim write probe").map_err(|e| {
+        CliError(format!(
+            "{flag} {path}: {} is not writable: {e}",
+            parent.display()
+        ))
+    })?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
 }
 
 /// Print the per-event histogram quantile table (`run --histograms`).
@@ -334,6 +445,21 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
         c => c,
     };
+    let checkpoint_path: Option<String> = flags.get("checkpoint")?;
+    let checkpoint_every = match flags.get::<u64>("checkpoint-every")? {
+        Some(0) => {
+            return Err(CliError(
+                "--checkpoint-every must be at least 1 interaction".to_string(),
+            ));
+        }
+        Some(c) if checkpoint_path.is_none() => {
+            return Err(CliError(format!(
+                "--checkpoint-every {c} requires --checkpoint"
+            )));
+        }
+        c => c,
+    };
+    let resume_path: Option<String> = flags.get("resume")?;
     let want_histograms = flags.has("histograms");
     if let Some(family) = topology {
         if !backend.supports_topologies() {
@@ -364,6 +490,20 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError(
             "--timeline/--histograms use the generic engine drivers (drop --trace)".to_string(),
         ));
+    }
+    if trace_path.is_some() && (checkpoint_path.is_some() || resume_path.is_some()) {
+        return Err(CliError(
+            "--checkpoint/--resume use the generic engine drivers (drop --trace)".to_string(),
+        ));
+    }
+    // Preflight output directories now: a run can take hours, and the
+    // final timeline write — or every checkpoint along the way — would
+    // otherwise be the first time an unwritable path surfaces.
+    if let Some(p) = &timeline_path {
+        preflight_writable(p, "--timeline")?;
+    }
+    if let Some(p) = &checkpoint_path {
+        preflight_writable(p, "--checkpoint")?;
     }
     if matches!(backend, Backend::Graph | Backend::BatchGraph)
         && topology.is_none()
@@ -402,14 +542,67 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         None => println!("initial: {config} (backend: {backend})"),
     }
 
+    // Load and validate the resume point up front: header, checksum, and
+    // the run-identity echo against the flags (a checkpoint from a
+    // different run is rejected before any simulation happens).
+    let resumed: Option<(RunCheckpoint, PathBuf)> = match &resume_path {
+        Some(p) => {
+            let (ckpt, from) = RunCheckpoint::load(Path::new(p))
+                .map_err(|e| CliError(format!("--resume {p}: {e}")))?;
+            let topo_name = topology.map(|f| f.name()).unwrap_or_default();
+            ckpt.check_identity(backend.name(), n, k as u32, seed, &topo_name)
+                .map_err(|e| CliError(format!("--resume {p}: {e}")))?;
+            Some((ckpt, from))
+        }
+        None => None,
+    };
+
     let mut rng = SimRng::new(seed);
     let started = std::time::Instant::now();
     let mut trajectory = Trajectory::new(n, k);
-    let mut monitor = RunMonitor {
-        heartbeat: heartbeat_period.map(|p| Heartbeat::new(p, n)),
-        recorder: timeline_path.as_ref().map(|_| match timeline_cadence {
+    // The flight recorder: fresh from the flags, or — on resume — the
+    // checkpoint's restored recorder, mid-samples, so the rewritten JSONL
+    // is byte-for-byte the uninterrupted run's. The recorder also bounds
+    // driving chunks, so its presence must follow the checkpoint (not the
+    // flags) for the resumed trajectory to line up.
+    let recorder = match &resumed {
+        Some((ckpt, _)) => {
+            if ckpt.recorder.is_none() && timeline_path.is_some() {
+                return Err(CliError(
+                    "--timeline on a resumed run needs a checkpoint carrying the flight \
+                     recorder (the original run did not pass --timeline)"
+                        .to_string(),
+                ));
+            }
+            if let (Some(rec), Some(c)) = (&ckpt.recorder, timeline_cadence) {
+                if rec.cadence() != c {
+                    return Err(CliError(format!(
+                        "--timeline-cadence {c} conflicts with the checkpoint's recorded \
+                         cadence {}",
+                        rec.cadence()
+                    )));
+                }
+            }
+            ckpt.recorder.clone()
+        }
+        None => timeline_path.as_ref().map(|_| match timeline_cadence {
             Some(c) => TimelineRecorder::new(c),
             None => TimelineRecorder::with_default_cadence(n),
+        }),
+    };
+    let mut monitor = RunMonitor {
+        heartbeat: heartbeat_period.map(|p| Heartbeat::new(p, n)),
+        recorder,
+        checkpoint: checkpoint_path.as_ref().map(|p| CheckpointSink {
+            path: PathBuf::from(p),
+            every: checkpoint_every.unwrap_or_else(|| (16 * n).max(1 << 22)),
+            next: None,
+            backend,
+            n,
+            k: k as u32,
+            seed,
+            topology: topology.map(|f| f.name()).unwrap_or_default(),
+            written: 0,
         }),
     };
     // Captured when a telemetry report was requested (the engine must
@@ -458,11 +651,93 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             interactions: sim.interactions(),
             initial_plurality: config.plurality(),
         }
+    } else if let Some((ckpt, from)) = &resumed {
+        // Rebuild the simulator exactly as the original run did (the
+        // constructors consume the same RNG draws — e.g. the shuffled
+        // initial layout on topologies), restore the engine payload,
+        // reposition the RNG at the saved stream position, and drive
+        // through the same chunked loops a checkpointed run uses: chunk
+        // boundaries are a pure function of the absolute interaction
+        // clock, so the resumed trajectory is the uninterrupted one.
+        let bad = |e: String| CliError(format!("--resume {}: {e}", from.display()));
+        let saved_rng = SimRng::from_state(ckpt.rng)
+            .ok_or_else(|| bad("checkpoint RNG state is all-zero".to_string()))?;
+        if let (Backend::Agent, Some(family)) = (backend, topology) {
+            let mut sim = make_agent_topology_simulator(&config, family, topo_seed, &mut rng);
+            let mut r = SnapshotReader::new(&ckpt.engine);
+            Simulator::restore_state(&mut sim, &mut r).map_err(|e| bad(e.to_string()))?;
+            rng = saved_rng;
+            if telemetry_format.is_some() {
+                Simulator::set_span_timing(&mut sim, true);
+            }
+            if want_histograms && Simulator::histograms(&sim).is_none() {
+                return Err(bad(
+                    "--histograms needs a checkpoint recorded with --histograms".to_string(),
+                ));
+            }
+            println!(
+                "resumed from {} at {} interactions",
+                from.display(),
+                fmt_thousands(Simulator::interactions(&sim)),
+            );
+            let result = stabilize_agent_graph_ticking(
+                &mut sim,
+                k,
+                &mut rng,
+                u64::MAX / 2,
+                config.plurality(),
+                &mut monitor,
+            );
+            if let Some(rec) = monitor.recorder.as_mut() {
+                rec.finish(&sim);
+            }
+            histograms = Simulator::histograms(&sim);
+            telemetry = Some(*Simulator::telemetry(&sim));
+            result
+        } else {
+            let mut sim: Box<dyn Simulator> = match topology {
+                Some(family) => {
+                    make_topology_simulator(backend, &config, family, topo_seed, &mut rng)
+                }
+                None => make_simulator(backend, &config),
+            };
+            let mut r = SnapshotReader::new(&ckpt.engine);
+            sim.restore_state(&mut r).map_err(|e| bad(e.to_string()))?;
+            rng = saved_rng;
+            if telemetry_format.is_some() {
+                sim.set_span_timing(true);
+            }
+            if want_histograms && sim.histograms().is_none() {
+                return Err(bad(
+                    "--histograms needs a checkpoint recorded with --histograms".to_string(),
+                ));
+            }
+            println!(
+                "resumed from {} at {} interactions",
+                from.display(),
+                fmt_thousands(sim.interactions()),
+            );
+            let result = stabilize_simulator_ticking(
+                sim.as_mut(),
+                k,
+                &mut rng,
+                u64::MAX / 2,
+                config.plurality(),
+                &mut monitor,
+            );
+            if let Some(rec) = monitor.recorder.as_mut() {
+                rec.finish(sim.as_ref());
+            }
+            histograms = sim.histograms();
+            telemetry = Some(*sim.telemetry());
+            result
+        }
     } else if let Some(family) = topology {
         if telemetry_format.is_some()
             || want_histograms
             || monitor.heartbeat.is_some()
             || monitor.recorder.is_some()
+            || monitor.checkpoint.is_some()
         {
             let (result, sim) = stabilize_on_topology_keeping(
                 backend,
@@ -490,6 +765,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         || want_histograms
         || monitor.heartbeat.is_some()
         || monitor.recorder.is_some()
+        || monitor.checkpoint.is_some()
     {
         let mut sim = make_simulator(backend, &config);
         if telemetry_format.is_some() {
@@ -498,7 +774,10 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         if want_histograms {
             sim.set_histograms(true);
         }
-        let result = if monitor.heartbeat.is_some() || monitor.recorder.is_some() {
+        let result = if monitor.heartbeat.is_some()
+            || monitor.recorder.is_some()
+            || monitor.checkpoint.is_some()
+        {
             stabilize_simulator_ticking(
                 sim.as_mut(),
                 k,
@@ -584,6 +863,15 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "timeline: {} samples (cadence {}) -> {path}",
             rec.samples().len(),
             fmt_thousands(rec.cadence()),
+        );
+    }
+
+    if let Some(c) = &monitor.checkpoint {
+        println!(
+            "checkpoints: {} written (every {} interactions) -> {}",
+            c.written,
+            fmt_thousands(c.every),
+            c.path.display(),
         );
     }
 

@@ -335,6 +335,17 @@ pub trait RunTicker {
 
     /// Observe the engine at a chunk boundary.
     fn tick(&mut self, sim: &dyn Simulator);
+
+    /// Observe the engine *and the driver RNG* at a chunk boundary — the
+    /// checkpointing hook. Called by the chunked drivers immediately after
+    /// [`tick`](RunTicker::tick) with the RNG positioned exactly where the
+    /// next chunk will resume, so an implementation can persist a
+    /// bit-identical resume point ([`snapshot_state`] plus the RNG stream
+    /// position). Defaults to a no-op; implementations must not draw from
+    /// state they observe (the hook hands out shared references only).
+    ///
+    /// [`snapshot_state`]: pop_proto::Simulator::snapshot_state
+    fn checkpoint_tick(&mut self, _sim: &dyn Simulator, _rng: &SimRng) {}
 }
 
 impl<F: FnMut(&dyn Simulator)> RunTicker for F {
@@ -372,6 +383,7 @@ pub fn stabilize_simulator_ticking(
         let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
         sim.run_to_silence(rng, step);
         tick.tick(sim);
+        tick.checkpoint_tick(sim, rng);
     };
     classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality)
 }
@@ -479,12 +491,7 @@ pub fn stabilize_on_topology_keeping(
         return (result, None);
     }
     let states = shuffled_layout(&counts, rng);
-    let chunk = (4 * config.n()).max(1 << 16);
     if matches!(backend, Backend::Agent) {
-        // Agentwise: the count-level silence criterion inside
-        // `run_to_silence` misses frozen configurations on disconnected
-        // graphs, so interleave chunked runs with the exact edge-scan
-        // criterion.
         let scheduler = GraphScheduler::new(graph);
         let mut sim = AgentSimulator::new(proto, scheduler, states);
         if span_timing {
@@ -493,21 +500,8 @@ pub fn stabilize_on_topology_keeping(
         if histograms {
             Simulator::set_histograms(&mut sim, true);
         }
-        let (interactions, stabilized) = loop {
-            let done = sim.interactions();
-            if sim.is_silent()
-                || graph_silent(sim.protocol(), sim.scheduler().graph(), sim.states())
-            {
-                break (done, true);
-            }
-            if done >= budget {
-                break (done, false);
-            }
-            let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
-            sim.run_to_silence(rng, step);
-            tick.tick(&sim);
-        };
-        let result = classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality);
+        let result =
+            stabilize_agent_graph_ticking(&mut sim, k, rng, budget, initial_plurality, tick);
         return (result, Some(Box::new(sim)));
     }
     let mut sim: Box<dyn Simulator> = match backend {
@@ -530,9 +524,52 @@ pub fn stabilize_on_topology_keeping(
     }
     // The graph engines detect graph silence natively (their `is_silent`
     // is the frontier criterion), so the generic chunked driver is exact.
+    let result = stabilize_simulator_ticking(sim.as_mut(), k, rng, budget, initial_plurality, tick);
+    (result, Some(sim))
+}
+
+/// Construct the *concrete* agentwise simulator for a topology run —
+/// the engine [`make_topology_simulator`] boxes for [`Backend::Agent`],
+/// unboxed so callers that must interleave the exact frozen-configuration
+/// edge scan (see [`stabilize_agent_graph_ticking`]) keep the concrete
+/// type. Consumes the same RNG draws as [`make_topology_simulator`]
+/// (the shuffled initial layout), so a resumed run reconstructs the
+/// identical stream position.
+pub fn make_agent_topology_simulator(
+    config: &UsdConfig,
+    family: TopologyFamily,
+    topo_seed: u64,
+    rng: &mut SimRng,
+) -> AgentSimulator<UndecidedStateDynamics, GraphScheduler> {
+    let proto = UndecidedStateDynamics::new(config.k());
+    let counts = config.to_count_config();
+    let graph = family.build(config.n() as usize, topo_seed);
+    let states = shuffled_layout(&counts, rng);
+    AgentSimulator::new(proto, GraphScheduler::new(graph), states)
+}
+
+/// Chunked drive of the agentwise engine on an interaction graph: the
+/// count-level silence criterion inside `run_to_silence` misses frozen
+/// configurations on disconnected graphs, so chunked runs interleave with
+/// the exact O(m) edge-scan criterion. Extracted from
+/// [`stabilize_on_topology_keeping`] so resumed runs (simulator restored
+/// from a checkpoint, clock mid-flight) drive through exactly the same
+/// loop — chunk boundaries are a pure function of the absolute
+/// interaction clock.
+pub fn stabilize_agent_graph_ticking(
+    sim: &mut AgentSimulator<UndecidedStateDynamics, GraphScheduler>,
+    k: usize,
+    rng: &mut SimRng,
+    budget: u64,
+    initial_plurality: Option<usize>,
+    tick: &mut dyn RunTicker,
+) -> StabilizationResult {
+    let chunk = (4 * Simulator::population(sim)).max(1 << 16);
     let (interactions, stabilized) = loop {
-        let done = sim.interactions();
-        if sim.is_silent() {
+        let done = Simulator::interactions(sim);
+        if Simulator::is_silent(sim)
+            || graph_silent(sim.protocol(), sim.scheduler().graph(), sim.states())
+        {
             break (done, true);
         }
         if done >= budget {
@@ -540,10 +577,16 @@ pub fn stabilize_on_topology_keeping(
         }
         let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
         sim.run_to_silence(rng, step);
-        tick.tick(sim.as_ref());
+        tick.tick(sim);
+        tick.checkpoint_tick(sim, rng);
     };
-    let result = classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality);
-    (result, Some(sim))
+    classify_counts(
+        Simulator::counts(sim),
+        k,
+        interactions,
+        stabilized,
+        initial_plurality,
+    )
 }
 
 #[cfg(test)]

@@ -22,6 +22,8 @@
 //! generic over the engine.
 
 use crate::config::UsdConfig;
+use pop_proto::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
+use pop_proto::simulator::snapshot_tags;
 use pop_proto::telemetry::EngineTelemetry;
 use pop_proto::{EventHistograms, FenwickSampler};
 use sim_stats::rng::SimRng;
@@ -487,6 +489,58 @@ impl pop_proto::Simulator for SequentialGeneric {
     fn histograms(&self) -> Option<EventHistograms> {
         self.hist.as_deref().cloned()
     }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        w.put_u8(snapshot_tags::USD_SEQ);
+        snapshot_tags::write_config(w, self.inner.n(), self.inner.k() + 1);
+        w.put_u64_slice(self.inner.sampler.weights());
+        w.put_u64(self.inner.interactions);
+        w.put_u64(self.effective);
+        self.telemetry.write_snapshot(w);
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.noop_run);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        snapshot_tags::expect(r, snapshot_tags::USD_SEQ, "seq")?;
+        snapshot_tags::expect_config(r, self.inner.n(), self.inner.k() + 1)?;
+        let weights = r.get_u64_vec()?;
+        if weights.len() != self.inner.k() + 1 {
+            return Err(CheckpointError::Corrupt(format!(
+                "seq snapshot has {} states (engine has {})",
+                weights.len(),
+                self.inner.k() + 1
+            )));
+        }
+        if weights.iter().sum::<u64>() != self.inner.n() {
+            return Err(CheckpointError::Corrupt(
+                "seq snapshot does not sum to the population".into(),
+            ));
+        }
+        let interactions = r.get_u64()?;
+        let effective = r.get_u64()?;
+        let telemetry = EngineTelemetry::read_snapshot(r)?;
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        let noop_run = r.get_u64()?;
+        self.inner.sampler = FenwickSampler::new(&weights);
+        self.inner.interactions = interactions;
+        self.effective = effective;
+        self.telemetry = telemetry;
+        self.hist = hist;
+        self.noop_run = noop_run;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -611,6 +665,62 @@ impl pop_proto::Simulator for SkipAheadGeneric {
 
     fn histograms(&self) -> Option<EventHistograms> {
         self.hist.as_deref().cloned()
+    }
+
+    fn snapshot_state(&self, w: &mut SnapshotWriter) -> Result<(), CheckpointError> {
+        w.put_u8(snapshot_tags::USD_SKIP);
+        snapshot_tags::write_config(w, self.inner.n(), self.inner.k() + 1);
+        w.put_u64_slice(self.inner.opinions.weights());
+        w.put_u64(self.inner.u);
+        w.put_u64(self.inner.interactions);
+        w.put_u64(self.effective);
+        self.telemetry.write_snapshot(w);
+        match &self.hist {
+            Some(h) => {
+                w.put_bool(true);
+                h.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        snapshot_tags::expect(r, snapshot_tags::USD_SKIP, "skip")?;
+        snapshot_tags::expect_config(r, self.inner.n(), self.inner.k() + 1)?;
+        let opinions = r.get_u64_vec()?;
+        if opinions.len() != self.inner.k() {
+            return Err(CheckpointError::Corrupt(format!(
+                "skip snapshot has {} opinions (engine has {})",
+                opinions.len(),
+                self.inner.k()
+            )));
+        }
+        let u = r.get_u64()?;
+        if opinions.iter().sum::<u64>() + u != self.inner.n() {
+            return Err(CheckpointError::Corrupt(
+                "skip snapshot does not sum to the population".into(),
+            ));
+        }
+        let interactions = r.get_u64()?;
+        let effective = r.get_u64()?;
+        let telemetry = EngineTelemetry::read_snapshot(r)?;
+        let hist = if r.get_bool()? {
+            Some(Box::new(EventHistograms::read_snapshot(r)?))
+        } else {
+            None
+        };
+        // Σ xᵢ² is derived state — recomputed exactly in integer arithmetic.
+        let sum_sq = opinions.iter().map(|&v| (v as u128) * (v as u128)).sum();
+        self.inner.opinions = FenwickSampler::new(&opinions);
+        self.inner.u = u;
+        self.inner.sum_sq = sum_sq;
+        self.inner.interactions = interactions;
+        self.effective = effective;
+        self.telemetry = telemetry;
+        self.hist = hist;
+        self.sync_counts();
+        Ok(())
     }
 }
 

@@ -50,6 +50,7 @@
 
 pub mod analysis;
 pub mod backend;
+pub mod checkpoint;
 pub mod config;
 pub mod dynamics;
 pub mod encode;
@@ -68,6 +69,7 @@ pub use analysis::{
 pub use backend::{
     make_simulator, make_topology_simulator, stabilize_on_topology, stabilize_with_backend, Backend,
 };
+pub use checkpoint::RunCheckpoint;
 pub use config::UsdConfig;
 pub use dynamics::{
     SequentialGeneric, SequentialUsd, SkipAheadGeneric, SkipAheadUsd, UsdEvent, UsdSimulator,

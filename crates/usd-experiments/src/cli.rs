@@ -20,6 +20,10 @@
 //! --timeline-dir <dir>
 //!                  write one flight-recorder JSONL per sweep cell from
 //!                  the cell's representative run (topology_sweep only)
+//! --resume-dir <dir>
+//!                  persist each completed sweep cell in <dir> and skip
+//!                  cells already completed by a previous interrupted run
+//!                  with the same parameters (topology_sweep only)
 //! ```
 //!
 //! Parsing is by hand (no external dependency) and strict: unknown flags
@@ -57,6 +61,10 @@ pub struct ExpArgs {
     /// Directory for per-cell flight-recorder JSONL files (experiments
     /// that sample timelines; currently topology_sweep).
     pub timeline_dir: Option<String>,
+    /// Directory for idempotent per-cell result files: completed cells
+    /// are persisted there as they finish and skipped on a re-run
+    /// (currently topology_sweep).
+    pub resume_dir: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -73,6 +81,7 @@ impl Default for ExpArgs {
             degree: None,
             backend: None,
             timeline_dir: None,
+            resume_dir: None,
         }
     }
 }
@@ -126,6 +135,9 @@ impl ExpArgs {
                 "--timeline-dir" => {
                     out.timeline_dir = Some(take("--timeline-dir")?);
                 }
+                "--resume-dir" => {
+                    out.resume_dir = Some(take("--resume-dir")?);
+                }
                 "--degree" => {
                     out.degree = Some(
                         take("--degree")?
@@ -137,7 +149,7 @@ impl ExpArgs {
                     return Err("flags: --n <u64> --k <usize> --seeds <u64> --seed <u64> \
                          --csv <path> --quick --threads <usize> \
                          --topology <family> --degree <usize> --backend <name> \
-                         --timeline-dir <dir>"
+                         --timeline-dir <dir> --resume-dir <dir>"
                         .to_string());
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -271,6 +283,8 @@ mod tests {
             "4",
             "--timeline-dir",
             "/tmp/timelines",
+            "--resume-dir",
+            "/tmp/cells",
         ])
         .unwrap();
         assert_eq!(a.n, 5000);
@@ -283,6 +297,7 @@ mod tests {
         assert_eq!(a.topology, Some(TopologyFamily::Regular { d: 6 }));
         assert_eq!(a.degree, Some(4));
         assert_eq!(a.timeline_dir.as_deref(), Some("/tmp/timelines"));
+        assert_eq!(a.resume_dir.as_deref(), Some("/tmp/cells"));
     }
 
     #[test]

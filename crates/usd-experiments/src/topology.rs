@@ -82,17 +82,21 @@ pub fn validate_args(args: &ExpArgs) -> Result<(), String> {
             ));
         }
     }
-    if let Some(dir) = &args.timeline_dir {
+    for (flag, dir) in [
+        ("--timeline-dir", &args.timeline_dir),
+        ("--resume-dir", &args.resume_dir),
+    ] {
+        let Some(dir) = dir else { continue };
         // Fail before any work runs: create the directory and probe that
         // it is actually writable (a read-only mount or permission problem
         // would otherwise surface only after the whole sweep finished).
         let path = std::path::Path::new(dir);
         std::fs::create_dir_all(path)
-            .map_err(|e| format!("--timeline-dir {dir}: cannot create directory: {e}"))?;
-        let probe = path.join(".usd_timeline_probe");
+            .map_err(|e| format!("{flag} {dir}: cannot create directory: {e}"))?;
+        let probe = path.join(".usd_write_probe");
         std::fs::write(&probe, b"")
             .and_then(|()| std::fs::remove_file(&probe))
-            .map_err(|e| format!("--timeline-dir {dir}: directory not writable: {e}"))?;
+            .map_err(|e| format!("{flag} {dir}: directory not writable: {e}"))?;
     }
     Ok(())
 }
@@ -324,6 +328,137 @@ pub fn topology_cell(
     }
 }
 
+/// File stem identifying one sweep cell's artifacts under `--resume-dir`.
+/// Uses the *snapped* population so the name is stable no matter which
+/// nominal n the grid asked for.
+fn cell_stem(family: TopologyFamily, snapped_n: u64) -> String {
+    format!("cell_{}_n{}", family.name().replace(':', "-"), snapped_n)
+}
+
+/// Identity line pinning the sweep parameters a persisted cell is valid
+/// for. A resumed run with *any* differing parameter (backend, k, seeds,
+/// per-cell seed, work budget, timeline ask) must not reuse the cell, so
+/// the whole line is compared verbatim on load.
+fn cell_identity(
+    backend: Backend,
+    k: usize,
+    seeds: u64,
+    cell_seed: u64,
+    eff_budget: u64,
+    record_timeline: bool,
+) -> String {
+    format!(
+        "# topology_sweep cell v1: backend={backend} k={k} seeds={seeds} \
+         seed={cell_seed} eff_budget={eff_budget} timeline={}",
+        if record_timeline { "yes" } else { "no" }
+    )
+}
+
+/// The CSV header of a persisted cell (matched verbatim on load).
+const CELL_HEADER: &str = "family,n,k,parallel_mean,effective_fraction,\
+                           win_rate,degenerate_rate,cancel_rate,fallback_rate";
+
+/// Write `data` to `path` atomically (temp file + rename), so an
+/// interrupted sweep never leaves a torn cell file behind.
+fn write_atomic(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, data)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Persist a completed cell under `--resume-dir`: the optional timeline
+/// JSONL first, then the CSV row — the CSV is the commit marker a resumed
+/// sweep looks for, so a crash between the two writes just recomputes the
+/// cell. Failures warn and continue (persistence is an optimization; the
+/// sweep's own result is already in hand).
+fn store_cell(dir: &str, cell: &TopologyCell, identity: &str) {
+    let stem = cell_stem(cell.family, cell.n);
+    let base = std::path::Path::new(dir);
+    if let Some(jsonl) = &cell.timeline {
+        let path = base.join(format!("{stem}.jsonl"));
+        if let Err(e) = write_atomic(&path, jsonl.as_bytes()) {
+            eprintln!("topology_sweep: writing {}: {e}", path.display());
+            return; // without the timeline the CSV must not commit
+        }
+    }
+    let row = format!(
+        "{identity}\n{CELL_HEADER}\n{},{},{},{},{},{},{},{},{}\n",
+        cell.family.name(),
+        cell.n,
+        cell.k,
+        cell.parallel_mean,
+        cell.effective_fraction,
+        cell.win_rate,
+        cell.degenerate_rate,
+        cell.cancel_rate,
+        cell.fallback_rate,
+    );
+    let path = base.join(format!("{stem}.csv"));
+    if let Err(e) = write_atomic(&path, row.as_bytes()) {
+        eprintln!("topology_sweep: writing {}: {e}", path.display());
+    }
+}
+
+/// Try to load a previously persisted cell from `--resume-dir`. Returns
+/// `None` — recompute — unless the file exists, the identity line and
+/// header match verbatim, the (family, n, k) echo matches the requested
+/// cell, every numeric field parses, and (when the sweep asks for
+/// timelines) the sibling JSONL is present. Never panics on torn or
+/// stale files: any mismatch simply costs a recompute.
+fn load_cell(
+    dir: &str,
+    family: TopologyFamily,
+    snapped_n: u64,
+    k: usize,
+    identity: &str,
+    record_timeline: bool,
+) -> Option<TopologyCell> {
+    let stem = cell_stem(family, snapped_n);
+    let base = std::path::Path::new(dir);
+    let text = std::fs::read_to_string(base.join(format!("{stem}.csv"))).ok()?;
+    if !text.ends_with('\n') {
+        return None; // truncated tail: the row may have lost digits
+    }
+    let mut lines = text.lines();
+    if lines.next() != Some(identity) || lines.next() != Some(CELL_HEADER) {
+        return None;
+    }
+    let fields: Vec<&str> = lines.next()?.split(',').collect();
+    if lines.next().is_some() || fields.len() != 9 {
+        return None;
+    }
+    if fields[0] != family.name()
+        || fields[1].parse::<u64>().ok()? != snapped_n
+        || fields[2].parse::<usize>().ok()? != k
+    {
+        return None;
+    }
+    let num: Vec<f64> = fields[3..]
+        .iter()
+        .map(|s| s.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    let timeline = if record_timeline {
+        Some(std::fs::read_to_string(base.join(format!("{stem}.jsonl"))).ok()?)
+    } else {
+        None
+    };
+    Some(TopologyCell {
+        family,
+        n: snapped_n,
+        k,
+        parallel_mean: num[0],
+        effective_fraction: num[1],
+        win_rate: num[2],
+        degenerate_rate: num[3],
+        cancel_rate: num[4],
+        fallback_rate: num[5],
+        timeline,
+    })
+}
+
 /// E14 report: families × population sizes.
 pub fn topology_report(args: &ExpArgs) -> Report {
     let k = args.k_or(2);
@@ -366,18 +501,44 @@ pub fn topology_report(args: &ExpArgs) -> Report {
         .flat_map(|&f| ns.iter().map(move |&n| (f, n)))
         .collect();
     let record_timeline = args.timeline_dir.is_some();
+    let loaded = std::sync::atomic::AtomicUsize::new(0);
+    let total = cells.len();
     let results = runner::sweep(args.seed, cells, |i, &(f, n), _| {
-        topology_cell(
+        let cell_seed = args.seed ^ ((i as u64) << 32);
+        let identity = args
+            .resume_dir
+            .as_ref()
+            .map(|_| cell_identity(backend, k, seeds, cell_seed, eff_budget, record_timeline));
+        if let (Some(dir), Some(id)) = (&args.resume_dir, &identity) {
+            let snapped = f.snap_n(n as usize) as u64;
+            if let Some(cell) = load_cell(dir, f, snapped, k, id, record_timeline) {
+                loaded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return cell;
+            }
+        }
+        let cell = topology_cell(
             backend,
             f,
             n,
             k,
             seeds,
-            args.seed ^ ((i as u64) << 32),
+            cell_seed,
             eff_budget,
             record_timeline,
-        )
+        );
+        if let (Some(dir), Some(id)) = (&args.resume_dir, &identity) {
+            store_cell(dir, &cell, id);
+        }
+        cell
     });
+    if let Some(dir) = &args.resume_dir {
+        let reused = loaded.into_inner();
+        println!(
+            "resume-dir: {reused} of {total} cells reused from {dir}, \
+             {} computed and persisted",
+            total - reused
+        );
+    }
     if let Some(dir) = &args.timeline_dir {
         // One flight-recorder JSONL per cell, from the representative run.
         // `validate_args` probed writability up front, so failures here are
@@ -602,6 +763,91 @@ mod tests {
         std::fs::write(&file, b"x").unwrap();
         let bad = ExpArgs {
             timeline_dir: Some(file.join("sub").to_str().unwrap().to_string()),
+            ..ExpArgs::default()
+        };
+        assert!(validate_args(&bad).is_err());
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn resume_dir_cells_round_trip_and_invalidate() {
+        let dir = std::env::temp_dir().join(format!("usd_resume_cells_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap();
+        let cell = topology_cell(
+            Backend::Graph,
+            TopologyFamily::Cycle,
+            128,
+            2,
+            2,
+            7,
+            u64::MAX / 2,
+            false,
+        );
+        let id = cell_identity(Backend::Graph, 2, 2, 7, u64::MAX / 2, false);
+        store_cell(d, &cell, &id);
+        let back = load_cell(d, TopologyFamily::Cycle, cell.n, 2, &id, false)
+            .expect("persisted cell should load");
+        assert_eq!(back.parallel_mean.to_bits(), cell.parallel_mean.to_bits());
+        assert_eq!(back.win_rate, cell.win_rate);
+        assert_eq!(back.degenerate_rate, cell.degenerate_rate);
+        assert!(back.timeline.is_none());
+        // Any differing sweep parameter (here: the cell seed) invalidates.
+        let other = cell_identity(Backend::Graph, 2, 2, 8, u64::MAX / 2, false);
+        assert!(load_cell(d, TopologyFamily::Cycle, cell.n, 2, &other, false).is_none());
+        // A sweep that wants timelines cannot reuse a cell stored without.
+        let with_tl = cell_identity(Backend::Graph, 2, 2, 7, u64::MAX / 2, true);
+        assert!(load_cell(d, TopologyFamily::Cycle, cell.n, 2, &with_tl, true).is_none());
+        // A torn (truncated) file is recomputed, never trusted or panicked on.
+        let path = dir.join(format!("{}.csv", cell_stem(cell.family, cell.n)));
+        let text = std::fs::read_to_string(&path).unwrap();
+        for cut in [0, text.len() / 3, text.len() / 2, text.len() - 1] {
+            std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+            assert!(
+                load_cell(d, TopologyFamily::Cycle, cell.n, 2, &id, false).is_none(),
+                "truncation at {cut} bytes was accepted"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_dir_reuses_completed_cells_across_reports() {
+        let dir = std::env::temp_dir().join(format!("usd_resume_report_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = ExpArgs {
+            quick: true,
+            n: 512,
+            resume_dir: Some(dir.to_str().unwrap().to_string()),
+            ..ExpArgs::default()
+        };
+        validate_args(&args).unwrap();
+        let first = topology_report(&args).render();
+        // Quick grid: 2 families × 2 sizes, one committed CSV per cell.
+        let csvs = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    == Some("csv")
+            })
+            .count();
+        assert_eq!(csvs, 4, "one persisted CSV per completed cell");
+        // A resumed run reuses every cell and reproduces the report exactly.
+        let second = topology_report(&args).render();
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_args_probes_resume_dir_writability() {
+        let file = std::env::temp_dir().join("usd_resume_blocker");
+        std::fs::write(&file, b"x").unwrap();
+        let bad = ExpArgs {
+            resume_dir: Some(file.join("sub").to_str().unwrap().to_string()),
             ..ExpArgs::default()
         };
         assert!(validate_args(&bad).is_err());
