@@ -35,6 +35,7 @@ use sim_stats::rng::SimRng;
 use usd_core::backend::Backend;
 use usd_core::init::InitialConfigBuilder;
 use usd_core::protocol::UndecidedStateDynamics;
+use usd_core::RunSpec;
 
 /// One measured cell.
 struct Row {
@@ -243,6 +244,41 @@ fn torus_endgame_row(backend: Backend, n: usize, patch: usize) -> Row {
     }
 }
 
+/// Bit-parallel replica ensemble stabilization: `lanes` independent runs
+/// packed one bit-plane word per agent (clique when `family` is `None`),
+/// run until every lane retires. The engine's `scheduled`/`effective`
+/// counters are **lane-weighted aggregates** (each draw advances every
+/// still-live lane), so this row's sched/s is the *effective-replica*
+/// throughput — directly comparable against a scalar backend's row on the
+/// same instance, whose sched/s is what `lanes` sequential runs would
+/// sustain.
+fn replica_ensemble_row(family: Option<TopologyFamily>, n: u64, k: usize, lanes: u32) -> Row {
+    let n = family.map_or(n, |f| f.snap_n(n as usize) as u64);
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    let mut rng = SimRng::new(6);
+    let mut spec = RunSpec::new(&config)
+        .backend(Backend::Replica)
+        .replicas(lanes);
+    if let Some(f) = family {
+        spec = spec.topology(f).topo_seed(7);
+    }
+    let mut sim = spec.build_simulator(&mut rng);
+    sim.set_histograms(true);
+    let start = std::time::Instant::now();
+    sim.run_to_silence(&mut rng, u64::MAX / 2);
+    Row {
+        backend: Backend::Replica.name(),
+        topology: family.map_or_else(|| "clique".to_string(), |f| f.name()),
+        n,
+        mode: "stabilize",
+        wall_s: start.elapsed().as_secs_f64(),
+        scheduled: sim.interactions(),
+        effective: sim.effective_interactions(),
+        histograms: hist_json(sim.as_ref()),
+        telemetry: sim.telemetry().to_json(),
+    }
+}
+
 /// Clique stabilization through the generic simulator entry point (every
 /// clique backend benched here is a generic-substrate engine, including
 /// the skip-ahead wrapper, so scheduled *and* effective counts are real).
@@ -285,6 +321,15 @@ enum Work {
     TorusEndgame { n: usize, patch: usize },
     /// Clique stabilization through the generic entry point.
     Clique { n: u64, k: usize },
+    /// Bit-parallel replica ensemble stabilization (`lanes` runs per
+    /// pass; clique when `family` is `None`). Lane-weighted counters, so
+    /// the row's throughput is effective-replica throughput.
+    ReplicaEnsemble {
+        family: Option<TopologyFamily>,
+        n: u64,
+        k: usize,
+        lanes: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -301,16 +346,43 @@ impl Scenario {
             Work::Frontier { .. } | Work::FrontierStabilize { .. } => "cycle-frontier".to_string(),
             Work::TorusEndgame { .. } => "torus-endgame".to_string(),
             Work::Clique { .. } => "clique".to_string(),
+            Work::ReplicaEnsemble { family, .. } => {
+                family.map_or_else(|| "clique".to_string(), |f| f.name())
+            }
         }
     }
 
     fn run(&self) -> Row {
+        // Every scenario is seeded, so repeated passes do identical work
+        // and differ only in wall time; short rows (tens of ms) are
+        // re-timed up to twice more and the fastest pass kept — best-of-N
+        // strips scheduler-preemption noise that single-shot timings of
+        // sub-second workloads otherwise inherit.
+        let mut best = self.run_once();
+        let mut reps = 1;
+        while best.wall_s < 0.6 && reps < 3 {
+            let again = self.run_once();
+            if again.wall_s < best.wall_s {
+                best = again;
+            }
+            reps += 1;
+        }
+        best
+    }
+
+    fn run_once(&self) -> Row {
         match self.work {
             Work::TopoStabilize { family, n, k } => topo_stabilize_row(self.backend, family, n, k),
             Work::Frontier { n, target } => cycle_frontier_row(self.backend, n, target),
             Work::FrontierStabilize { n } => frontier_stabilize_row(self.backend, n),
             Work::TorusEndgame { n, patch } => torus_endgame_row(self.backend, n, patch),
             Work::Clique { n, k } => clique_row(self.backend, n, k),
+            Work::ReplicaEnsemble {
+                family,
+                n,
+                k,
+                lanes,
+            } => replica_ensemble_row(family, n, k, lanes),
         }
     }
 }
@@ -354,6 +426,18 @@ fn scenario_set(quick: bool) -> Vec<Scenario> {
                 work: Work::Clique { n: 200_000, k: 4 },
             });
         }
+        // The bit-parallel ensemble row: 64 lanes per word on the same
+        // expander instance as the scalar rows above, so the amortization
+        // ratio (replica sched/s over agent sched/s) is measured in-grid.
+        set.push(Scenario {
+            backend: Backend::Replica,
+            work: Work::ReplicaEnsemble {
+                family: Some(reg8),
+                n: 20_000,
+                k: 2,
+                lanes: 64,
+            },
+        });
     } else {
         // The acceptance regime: random 8-regular at n = 10⁶, the
         // effective-dominated expander where PR 2 measured parity.
@@ -407,6 +491,29 @@ fn scenario_set(quick: bool) -> Vec<Scenario> {
                 work: Work::Clique { n: 1_000_000, k: 4 },
             });
         }
+        // The bit-parallel ensemble rows (the replica engine's acceptance
+        // regime): 64 lanes per word on the reg8 n=10⁵ instance the agent
+        // row above pins — replica sched/s over agent sched/s is the
+        // amortization factor vs 64 sequential agentwise runs — plus a
+        // bit-sliced clique ensemble (k = 4 engages the multi-plane path).
+        set.push(Scenario {
+            backend: Backend::Replica,
+            work: Work::ReplicaEnsemble {
+                family: Some(reg8),
+                n: 100_000,
+                k: 2,
+                lanes: 64,
+            },
+        });
+        set.push(Scenario {
+            backend: Backend::Replica,
+            work: Work::ReplicaEnsemble {
+                family: None,
+                n: 200_000,
+                k: 4,
+                lanes: 64,
+            },
+        });
     }
     set
 }
@@ -449,7 +556,7 @@ fn select_scenarios(
         return Err(match topology {
             Some(t) => format!(
                 "no scenario combines --backend {b} with --topology {t}: {} \
-                 graph families; the clique rows pin count/batch/skip",
+                 graph families; the clique rows pin count/batch/skip/replica",
                 if b.supports_topologies() {
                     "that backend runs"
                 } else {
@@ -458,8 +565,9 @@ fn select_scenarios(
             ),
             None => format!(
                 "--backend {b} appears in no scenario of this grid (graph \
-                 rows pin agent/graph/batchgraph; clique rows pin \
-                 count/batch/skip, or batch/skip in quick mode)"
+                 rows pin agent/graph/batchgraph/replica; clique rows pin \
+                 count/batch/skip, or batch/skip in quick mode, plus the \
+                 replica ensemble rows)"
             ),
         });
     }
@@ -557,6 +665,26 @@ fn main() {
         );
     }
 
+    // Ensemble amortization the README tracks: the replica engine's
+    // lane-weighted scheduled throughput over the agentwise engine's on
+    // the same expander instance — i.e. the speedup over running the
+    // 64 lanes as sequential scalar runs.
+    let sched = |name: &str| {
+        rows.iter()
+            .filter(|r| r.backend == name && r.topology.starts_with("regular"))
+            .map(|r| (r.n, r.sched_per_s()))
+            .collect::<Vec<_>>()
+    };
+    for (n, rep) in sched("replica") {
+        if let Some((_, agent)) = sched("agent").iter().find(|(an, _)| *an == n) {
+            println!(
+                "amortization replica(64 lanes)/agent on regular:8 n={n}: \
+                 {:.2}x effective-replica throughput",
+                rep / agent
+            );
+        }
+    }
+
     if let Some(path) = json {
         let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.json())).collect();
         let doc = format!(
@@ -601,6 +729,21 @@ mod tests {
                     .iter()
                     .any(|s| s.backend == backend && matches!(s.work, Work::TorusEndgame { .. })));
             }
+            // The bit-parallel ensemble row must be pinned in both grids,
+            // on the same reg8 instance as an agent row so the in-grid
+            // amortization ratio has its scalar denominator.
+            let ensemble_n = set.iter().find_map(|s| match s.work {
+                Work::ReplicaEnsemble {
+                    family: Some(TopologyFamily::Regular { .. }),
+                    n,
+                    lanes: 64,
+                    ..
+                } => Some(n),
+                _ => None,
+            });
+            let n = ensemble_n.expect("a 64-lane reg8 replica ensemble row is pinned");
+            assert!(set.iter().any(|s| s.backend == Backend::Agent
+                && matches!(s.work, Work::TopoStabilize { n: an, .. } if an == n)));
         }
     }
 

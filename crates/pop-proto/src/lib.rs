@@ -89,8 +89,9 @@ pub use protocol::{OneWayEpidemic, Protocol};
 pub use sampling::{AliasTable, FenwickSampler};
 pub use scheduler::{CliqueScheduler, GraphScheduler, Scheduler};
 pub use simulator::{
-    AgentSimulator, BatchGraphSimulator, BatchSimulator, CountSimulator, GraphSimulator,
-    InteractionRecord, Simulator, StateWord, WideBatchGraphSimulator,
+    AgentSimulator, BatchGraphSimulator, BatchSimulator, BitwiseProtocol, CountSimulator,
+    GraphSimulator, InteractionRecord, ReplicaSimulator, Simulator, StateWord,
+    WideBatchGraphSimulator,
 };
 pub use stopping::{RunOutcome, StopReason, Stopper};
 pub use telemetry::timeline::{EventHistograms, TimelineRecorder, TimelineSample};

@@ -58,6 +58,7 @@ mod batched;
 mod batched_graph;
 mod countwise;
 mod graphwise;
+mod replica;
 mod sparse;
 
 pub use agentwise::{AgentSimulator, InteractionRecord};
@@ -65,6 +66,7 @@ pub use batched::BatchSimulator;
 pub use batched_graph::{BatchGraphSimulator, StateWord, WideBatchGraphSimulator};
 pub use countwise::CountSimulator;
 pub use graphwise::{shuffled_layout, GraphSimulator};
+pub use replica::{BitwiseProtocol, ReplicaSimulator, MAX_LANES, MAX_PLANES};
 
 use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::config::CountConfig;
@@ -98,6 +100,9 @@ pub mod snapshot_tags {
     pub const USD_SEQ: u8 = 7;
     /// The skip-ahead USD wrapper in `usd-core` (`SkipAheadGeneric`).
     pub const USD_SKIP: u8 = 8;
+    /// [`ReplicaSimulator`](super::ReplicaSimulator) (bit-parallel
+    /// replica lanes).
+    pub const REPLICA: u8 = 9;
 
     /// Name of a tag for error messages.
     pub fn name(tag: u8) -> &'static str {
@@ -110,6 +115,7 @@ pub mod snapshot_tags {
             WIDE_BATCH_GRAPH => "batchgraph-wide",
             USD_SEQ => "seq",
             USD_SKIP => "skip",
+            REPLICA => "replica",
             _ => "unknown",
         }
     }
@@ -282,6 +288,42 @@ pub trait Simulator {
     /// state; on error the simulator must be discarded.
     fn restore_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
         Err(CheckpointError::Unsupported)
+    }
+
+    /// Number of independent replica lanes this simulator advances under
+    /// its shared schedule. Scalar engines run exactly one; the
+    /// bit-parallel [`ReplicaSimulator`] runs up to 64, with
+    /// [`Simulator::counts`] and the clocks reporting **lane aggregates**
+    /// (see its module docs for the semantics).
+    fn lanes(&self) -> u32 {
+        1
+    }
+
+    /// Per-state counts of one replica lane (dense state indexing,
+    /// length |Σ|). Lane indices range over `0..lanes()`; scalar engines
+    /// only have lane 0, whose counts are [`Simulator::counts`]. Returned
+    /// by value for object safety.
+    fn lane_counts(&self, lane: u32) -> Vec<u64> {
+        assert_eq!(lane, 0, "scalar simulators have exactly one lane");
+        self.counts().to_vec()
+    }
+
+    /// The interaction clock at which `lane` stabilized (its private
+    /// clock — for replica engines the shared draw clock, directly
+    /// comparable to a scalar run's [`Simulator::interactions`]), or
+    /// `None` while it is still running.
+    fn lane_stabilized_at(&self, lane: u32) -> Option<u64> {
+        assert_eq!(lane, 0, "scalar simulators have exactly one lane");
+        self.is_silent().then(|| self.interactions())
+    }
+
+    /// The current value of every live lane's private interaction clock:
+    /// [`Simulator::interactions`] on scalar engines, the shared draw
+    /// clock on replica engines (where the aggregate interaction clock
+    /// advances by `popcount(live)` per draw). The clock an unstabilized
+    /// lane's outcome is reported at.
+    fn lane_clock(&self) -> u64 {
+        self.interactions()
     }
 
     /// Snapshot the current count configuration.

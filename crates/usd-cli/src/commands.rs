@@ -9,17 +9,14 @@ use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use std::path::{Path, PathBuf};
-use usd_core::backend::{
-    make_agent_topology_simulator, make_simulator, make_topology_simulator,
-    stabilize_agent_graph_ticking, stabilize_on_topology, stabilize_on_topology_keeping,
-    stabilize_simulator, stabilize_simulator_ticking, stabilize_with_backend, Backend, RunTicker,
-};
+use usd_core::backend::{make_agent_topology_simulator, Backend, RunTicker};
 use usd_core::checkpoint::RunCheckpoint;
 use usd_core::dynamics::{SkipAheadUsd, UsdSimulator};
 use usd_core::encode::Trajectory;
 use usd_core::init::InitialConfigBuilder;
 use usd_core::stabilization::ConsensusOutcome;
 use usd_core::theory::{self, Bounds};
+use usd_core::{EnsembleOutcome, RunSpec, DEFAULT_REPLICAS};
 
 /// CLI usage text.
 pub const USAGE: &str = "\
@@ -27,7 +24,8 @@ usd-sim — Undecided State Dynamics simulator
 
 commands:
   run    --n <u64> --k <usize> [--bias <u64> | --max-bias] [--seed <u64>]
-         [--backend agent|count|batch|graph|batchgraph|seq|skip]
+         [--backend agent|count|batch|graph|batchgraph|seq|skip|replica]
+         [--replicas <1..=64>]
          [--trace <file.usdt>]
          [--topology complete|cycle|torus|hypercube|regular[:d]|er[:avg]]
          [--degree <usize>] [--topo-seed <u64>]
@@ -39,6 +37,12 @@ commands:
            one exact run to stabilization; optionally record a trajectory
            (backend default: skip; use batch for n >= 10^7, agent for
            per-agent ground truth; trace requires the skip backend).
+           --backend replica packs up to 64 independent replica runs of
+           the same instance into one bit-parallel engine pass (one lane
+           per bit of a machine word) and prints a per-lane ensemble
+           summary; --replicas sets the lane count (default 64, replica
+           backend only). Checkpoints of ensemble runs carry the lane
+           count in their identity (backend 'replica:<lanes>').
            --topology runs on an interaction graph instead of the clique
            (backend default becomes batchgraph — the block-leaping engine;
            graph and agent also work); --degree sets d for regular/er; the
@@ -66,7 +70,7 @@ commands:
            resumed run reproduces the uninterrupted run byte-for-byte
            (final state and timeline)
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
-         [--backend agent|count|batch|graph|batchgraph|seq|skip]
+         [--backend agent|count|batch|graph|batchgraph|seq|skip|replica]
            stabilization time across the admissible k grid vs the bounds
   bounds --n <u64> --k <usize>
            print the paper's bound curves for (n, k)
@@ -227,7 +231,9 @@ struct CheckpointSink {
     /// boundary initializes it from the live clock (which on resumed runs
     /// is mid-flight).
     next: Option<u64>,
-    backend: Backend,
+    /// Backend identity string as persisted — the backend name, with the
+    /// lane count appended (`replica:<lanes>`) for ensemble runs.
+    backend: String,
     n: u64,
     k: u32,
     seed: u64,
@@ -286,7 +292,7 @@ impl RunTicker for RunMonitor {
             return;
         }
         let ckpt = RunCheckpoint {
-            backend: c.backend.name().to_string(),
+            backend: c.backend.clone(),
             n: c.n,
             k: c.k,
             seed: c.seed,
@@ -411,6 +417,33 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     } else {
         Backend::SkipAhead
     });
+    let lanes: u32 = match flags.get::<u32>("replicas")? {
+        Some(0) => {
+            return Err(CliError("--replicas must be at least 1".to_string()));
+        }
+        Some(r) if r > DEFAULT_REPLICAS => {
+            return Err(CliError(format!(
+                "--replicas {r} exceeds the {DEFAULT_REPLICAS}-lane word width"
+            )));
+        }
+        Some(r) if r > 1 && !backend.supports_replicas() => {
+            return Err(CliError(format!(
+                "--replicas {r} requires --backend replica (the {backend} \
+                 backend runs a single lane)"
+            )));
+        }
+        Some(r) => r,
+        None if backend.supports_replicas() => DEFAULT_REPLICAS,
+        None => 1,
+    };
+    // Backend identity as persisted in checkpoints and echoed on resume:
+    // ensemble runs append the lane count so a checkpoint from a 64-lane
+    // run can never resume a 32-lane one.
+    let backend_id = if lanes > 1 {
+        format!("{}:{lanes}", backend.name())
+    } else {
+        backend.name().to_string()
+    };
     let trace_path: Option<String> = flags.get("trace")?;
     let telemetry_format = match flags.get_opt("telemetry") {
         None => None,
@@ -550,7 +583,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             let (ckpt, from) = RunCheckpoint::load(Path::new(p))
                 .map_err(|e| CliError(format!("--resume {p}: {e}")))?;
             let topo_name = topology.map(|f| f.name()).unwrap_or_default();
-            ckpt.check_identity(backend.name(), n, k as u32, seed, &topo_name)
+            ckpt.check_identity(&backend_id, n, k as u32, seed, &topo_name)
                 .map_err(|e| CliError(format!("--resume {p}: {e}")))?;
             Some((ckpt, from))
         }
@@ -597,7 +630,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             path: PathBuf::from(p),
             every: checkpoint_every.unwrap_or_else(|| (16 * n).max(1 << 22)),
             next: None,
-            backend,
+            backend: backend_id.clone(),
             n,
             k: k as u32,
             seed,
@@ -609,6 +642,13 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     // outlive the stabilization drive, hence the keeping/in-place paths).
     let mut telemetry: Option<EngineTelemetry> = None;
     let mut histograms: Option<EventHistograms> = None;
+    // Per-lane outcomes of an ensemble run, read off the kept engine.
+    let mut ensemble: Option<EnsembleOutcome> = None;
+    // Whether any chunk-boundary instrumentation is attached: a monitor
+    // forces the chunked drive loop; without one a clique run is a single
+    // uninterrupted `run_to_silence`, bit-identical to the plain path.
+    let monitored =
+        monitor.heartbeat.is_some() || monitor.recorder.is_some() || monitor.checkpoint.is_some();
     let result = if trace_path.is_some() {
         // Stabilize with snapshots roughly once per parallel round (the
         // skip backend, so the observer sees every effective event).
@@ -680,14 +720,10 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 from.display(),
                 fmt_thousands(Simulator::interactions(&sim)),
             );
-            let result = stabilize_agent_graph_ticking(
-                &mut sim,
-                k,
-                &mut rng,
-                u64::MAX / 2,
-                config.plurality(),
-                &mut monitor,
-            );
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .ticker(&mut monitor)
+                .drive_agent_graph(&mut sim, &mut rng);
             if let Some(rec) = monitor.recorder.as_mut() {
                 rec.finish(&sim);
             }
@@ -695,12 +731,12 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             telemetry = Some(*Simulator::telemetry(&sim));
             result
         } else {
-            let mut sim: Box<dyn Simulator> = match topology {
-                Some(family) => {
-                    make_topology_simulator(backend, &config, family, topo_seed, &mut rng)
-                }
-                None => make_simulator(backend, &config),
+            let build = RunSpec::new(&config).backend(backend).replicas(lanes);
+            let build = match topology {
+                Some(family) => build.topology(family).topo_seed(topo_seed),
+                None => build,
             };
+            let mut sim: Box<dyn Simulator> = build.build_simulator(&mut rng);
             let mut r = SnapshotReader::new(&ckpt.engine);
             sim.restore_state(&mut r).map_err(|e| bad(e.to_string()))?;
             rng = saved_rng;
@@ -717,90 +753,89 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 from.display(),
                 fmt_thousands(sim.interactions()),
             );
-            let result = stabilize_simulator_ticking(
-                sim.as_mut(),
-                k,
-                &mut rng,
-                u64::MAX / 2,
-                config.plurality(),
-                &mut monitor,
-            );
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .ticker(&mut monitor)
+                .drive(sim.as_mut(), &mut rng);
             if let Some(rec) = monitor.recorder.as_mut() {
                 rec.finish(sim.as_ref());
             }
             histograms = sim.histograms();
             telemetry = Some(*sim.telemetry());
+            if lanes > 1 {
+                ensemble = Some(EnsembleOutcome::from_simulator(
+                    sim.as_ref(),
+                    k,
+                    config.plurality(),
+                ));
+            }
             result
         }
     } else if let Some(family) = topology {
-        if telemetry_format.is_some()
-            || want_histograms
-            || monitor.heartbeat.is_some()
-            || monitor.recorder.is_some()
-            || monitor.checkpoint.is_some()
-        {
-            let (result, sim) = stabilize_on_topology_keeping(
-                backend,
-                &config,
-                family,
-                topo_seed,
-                &mut rng,
-                u64::MAX / 2,
-                telemetry_format.is_some(),
-                want_histograms,
-                &mut monitor,
-            );
+        if telemetry_format.is_some() || want_histograms || monitored || lanes > 1 {
+            let mut spec = RunSpec::new(&config)
+                .backend(backend)
+                .topology(family)
+                .topo_seed(topo_seed)
+                .replicas(lanes)
+                .span_timing(telemetry_format.is_some())
+                .histograms(want_histograms);
+            if monitored {
+                spec = spec.ticker(&mut monitor);
+            }
+            let (result, sim) = spec.run_keeping(&mut rng);
             if let Some(s) = &sim {
                 if let Some(rec) = monitor.recorder.as_mut() {
                     rec.finish(s.as_ref());
                 }
                 histograms = s.histograms();
+                if lanes > 1 {
+                    ensemble = Some(EnsembleOutcome::from_simulator(
+                        s.as_ref(),
+                        k,
+                        config.plurality(),
+                    ));
+                }
             }
             telemetry = Some(sim.map_or(EngineTelemetry::new(), |s| *s.telemetry()));
             result
         } else {
-            stabilize_on_topology(backend, &config, family, topo_seed, &mut rng, u64::MAX / 2)
+            RunSpec::new(&config)
+                .backend(backend)
+                .topology(family)
+                .topo_seed(topo_seed)
+                .run(&mut rng)
         }
-    } else if telemetry_format.is_some()
-        || want_histograms
-        || monitor.heartbeat.is_some()
-        || monitor.recorder.is_some()
-        || monitor.checkpoint.is_some()
-    {
-        let mut sim = make_simulator(backend, &config);
-        if telemetry_format.is_some() {
-            sim.set_span_timing(true);
-        }
-        if want_histograms {
-            sim.set_histograms(true);
-        }
-        let result = if monitor.heartbeat.is_some()
-            || monitor.recorder.is_some()
-            || monitor.checkpoint.is_some()
-        {
-            stabilize_simulator_ticking(
-                sim.as_mut(),
-                k,
-                &mut rng,
-                u64::MAX / 2,
-                config.plurality(),
-                &mut monitor,
-            )
-        } else {
-            // Without a heartbeat or recorder this is exactly
-            // `stabilize_with_backend` (one `run_to_silence` call), so the
-            // telemetry run is interaction-identical to the plain one for
+    } else if telemetry_format.is_some() || want_histograms || monitored || lanes > 1 {
+        let mut spec = RunSpec::new(&config)
+            .backend(backend)
+            .replicas(lanes)
+            .span_timing(telemetry_format.is_some())
+            .histograms(want_histograms);
+        if monitored {
+            // The ticker forces the chunked drive loop; without one the
+            // builder issues a single `run_to_silence`, so a telemetry-only
+            // run stays interaction-identical to the plain path below for
             // the same seed.
-            stabilize_simulator(sim.as_mut(), k, &mut rng, u64::MAX / 2, config.plurality())
-        };
+            spec = spec.ticker(&mut monitor);
+        }
+        let (result, sim) = spec.run_keeping(&mut rng);
+        let sim = sim.expect("clique runs always keep an engine");
         if let Some(rec) = monitor.recorder.as_mut() {
             rec.finish(sim.as_ref());
         }
         histograms = sim.histograms();
         telemetry = Some(*sim.telemetry());
+        if lanes > 1 {
+            ensemble = Some(EnsembleOutcome::from_simulator(
+                sim.as_ref(),
+                k,
+                config.plurality(),
+            ));
+        }
         result
     } else {
-        stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2)
+        RunSpec::new(&config).backend(backend).run(&mut rng)
     };
     let elapsed = started.elapsed();
 
@@ -818,13 +853,49 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             fmt_thousands(result.interactions),
             elapsed,
         ),
-        ConsensusOutcome::Frozen => println!(
-            "froze in a mixed configuration (disconnected topology) after {} interactions; \
-             wall clock {:.2?}",
-            fmt_thousands(result.interactions),
-            elapsed,
-        ),
+        ConsensusOutcome::Frozen => {
+            // Lane-summed replica counts are a mixture whenever lanes
+            // disagree on the winner, even on a connected topology.
+            let why = if ensemble.is_some() {
+                "lane mixture -- see the ensemble line"
+            } else {
+                "disconnected topology"
+            };
+            println!(
+                "froze in a mixed configuration ({why}) after {} interactions; \
+                 wall clock {:.2?}",
+                fmt_thousands(result.interactions),
+                elapsed,
+            );
+        }
         ConsensusOutcome::Timeout => println!("budget exhausted"),
+    }
+
+    if let Some(ens) = &ensemble {
+        // The aggregate outcome above classifies the lane-summed counts
+        // (a mixture unless every lane agreed); the ensemble line is what
+        // the run actually measured — one independent replica per lane.
+        let times = ens.stabilization_times();
+        let lane_line = if times.is_empty() {
+            "no lane stabilized within the budget".to_string()
+        } else {
+            let s = Summary::of(&times);
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = times.iter().cloned().fold(0.0f64, f64::max);
+            format!(
+                "T parallel mean {} (min {}, max {})",
+                fmt_sig(s.mean() / n as f64, 4),
+                fmt_sig(min / n as f64, 4),
+                fmt_sig(max / n as f64, 4),
+            )
+        };
+        println!(
+            "ensemble: {} lanes, {} stabilized, plurality won {}/{}, {lane_line}",
+            ens.len(),
+            ens.stabilized_lanes(),
+            ens.plurality_wins(),
+            ens.len(),
+        );
     }
 
     if let Some(format) = telemetry_format {
@@ -915,7 +986,7 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         let mut times = Vec::new();
         for s in 0..seeds {
             let mut rng = SimRng::new(seed ^ (k as u64) << 32 ^ s);
-            let result = stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2);
+            let result = RunSpec::new(&config).backend(backend).run(&mut rng);
             times.push(result.parallel_time(n));
         }
         let mean = Summary::of(&times).mean();

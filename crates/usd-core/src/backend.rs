@@ -1,6 +1,6 @@
 //! Generic backend selection for USD runs.
 //!
-//! Seven exact engines can run the Undecided State Dynamics:
+//! Eight exact engines can run the Undecided State Dynamics:
 //!
 //! | backend | engine | cost model |
 //! |---------|--------|------------|
@@ -11,18 +11,27 @@
 //! | `batchgraph` | [`pop_proto::BatchGraphSimulator`] | block-leaping O(1)/interaction, sparse O(d log m)/effective |
 //! | `seq`   | [`crate::dynamics::SequentialUsd`] | O(log k)/interaction, USD-specialized |
 //! | `skip`  | [`crate::dynamics::SkipAheadUsd`] | O(log k)/effective event |
+//! | `replica` | [`pop_proto::ReplicaSimulator`] | r ≤ 64 packed lanes, O(⌈log₂(k+1)⌉)/draw for **all** lanes |
 //!
-//! [`Backend`] names them (with `FromStr` for CLI flags) and
-//! [`stabilize_with_backend`] runs any of them to stabilization behind one
-//! entry point, so experiments, the CLI, examples, and benches select an
-//! engine generically. The `agent` and `graph` backends also run on
-//! non-clique interaction graphs: [`stabilize_on_topology`] builds a
+//! [`Backend`] names them (with `FromStr` for CLI flags);
+//! [`RunSpec`] runs any of them to stabilization behind
+//! one entry point, so experiments, the CLI, examples, and benches select
+//! an engine generically. The `agent`, `graph`, `batchgraph`, and
+//! `replica` backends also run on non-clique interaction graphs
+//! ([`RunSpec::topology`](crate::RunSpec::topology) builds a
 //! [`TopologyFamily`] graph, places the initial configuration uniformly at
-//! random on its vertices, and runs either engine to graph silence.
-//! [`stabilize_simulator`] is the same driver over an already-constructed
-//! simulator — callers that need the engine afterwards (e.g. to read its
-//! [`telemetry`](pop_proto::Simulator::telemetry)) build one with
-//! [`make_simulator`]/[`make_topology_simulator`] and keep it.
+//! random on its vertices, and runs the engine to graph silence). The
+//! `replica` backend is the ensemble engine: one pass advances up to 64
+//! independent replicas of the same configuration
+//! ([`Backend::supports_replicas`]), with per-lane outcomes read back
+//! through [`EnsembleOutcome`](crate::EnsembleOutcome).
+//!
+//! The free functions in this module are the *legacy* entrypoints, kept as
+//! thin deprecated wrappers over [`RunSpec`] (their
+//! equivalence is pinned by `tests/replica_equivalence.rs`); callers that
+//! only need an engine built, not driven, use [`make_simulator`] /
+//! [`make_topology_simulator`], which delegate to
+//! [`RunSpec::build_simulator`](crate::RunSpec::build_simulator).
 //!
 //! # Telemetry availability
 //!
@@ -39,10 +48,14 @@
 //! | `batchgraph` | clocks, `blocks`/`block_draws`/`block_applied`, `fallback_literal` (dirty draws), `pair_draws`, `sparse_enters`/`sparse_exits`, all `sparse.*`, spans `dense`/`gather`/`apply`/`sparse` |
 //! | `seq` | `scheduled`/`effective`, `dense_steps`, `pair_draws` |
 //! | `skip` | `scheduled`/`effective`, `skip_draws`, `pair_draws` |
+//! | `replica` | `scheduled`/`effective` (*lane-aggregate*: +popcount(live)/+popcount(changed) per draw), `dense_steps`/`pair_draws` (per *draw*) |
 //!
 //! `scheduled`/`effective` equal the engine's interaction clocks on every
-//! backend — the identity `tests/telemetry_equivalence.rs` pins. Spans
-//! stay zero unless the `span-timing` feature is compiled in *and*
+//! backend — the identity `tests/telemetry_equivalence.rs` pins; for
+//! `replica` both sides of the identity are lane-aggregates (observation
+//! is at lane-aggregate granularity; per-lane state is exposed through the
+//! [`Simulator`] lane accessors instead). Spans stay zero unless the
+//! `span-timing` feature is compiled in *and*
 //! [`set_span_timing`](pop_proto::Simulator::set_span_timing) was called.
 //!
 //! # Event histograms
@@ -62,17 +75,14 @@
 //! | `batchgraph` | `skip_len`, `block_size` (matching blocks), `fallback_run` (dirty draws), `block_total`/`flush_size`/`flush_occupancy` (sparse skipper) |
 //! | `seq` | `skip_len` (literally-counted no-op runs) |
 //! | `skip` | `skip_len` (completed geometric runs) |
+//! | `replica` | `skip_len` (runs of draws effective in **no** lane) |
 
 use crate::config::UsdConfig;
-use crate::dynamics::{SequentialGeneric, SkipAheadGeneric};
 use crate::protocol::UndecidedStateDynamics;
+use crate::runspec::{drive_agent_graph_chunked, drive_chunked, drive_plain, RunSpec};
 use crate::stabilization::{ConsensusOutcome, StabilizationResult};
 use pop_proto::simulator::shuffled_layout;
-use pop_proto::{
-    AgentSimulator, BatchGraphSimulator, BatchSimulator, CliqueScheduler, CountSimulator,
-    GraphScheduler, GraphSimulator, Protocol, Simulator, StateWord, TopologyFamily,
-    WideBatchGraphSimulator,
-};
+use pop_proto::{AgentSimulator, GraphScheduler, Simulator, TopologyFamily};
 use sim_stats::rng::SimRng;
 
 /// A named USD simulation backend.
@@ -94,11 +104,15 @@ pub enum Backend {
     Sequential,
     /// USD-specialized skip-ahead engine.
     SkipAhead,
+    /// Bit-parallel replica engine: up to 64 independent replica runs
+    /// packed one bit-plane word per agent, advanced together by one
+    /// shared (pair, orientation) schedule — the ensemble engine.
+    Replica,
 }
 
 impl Backend {
     /// All backends, in display order.
-    pub const ALL: [Backend; 7] = [
+    pub const ALL: [Backend; 8] = [
         Backend::Agent,
         Backend::Count,
         Backend::Batch,
@@ -106,10 +120,11 @@ impl Backend {
         Backend::BatchGraph,
         Backend::Sequential,
         Backend::SkipAhead,
+        Backend::Replica,
     ];
 
     /// The flag-friendly name (`agent`, `count`, `batch`, `graph`,
-    /// `batchgraph`, `seq`, `skip`).
+    /// `batchgraph`, `seq`, `skip`, `replica`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Agent => "agent",
@@ -119,20 +134,37 @@ impl Backend {
             Backend::BatchGraph => "batchgraph",
             Backend::Sequential => "seq",
             Backend::SkipAhead => "skip",
+            Backend::Replica => "replica",
         }
     }
 
     /// Whether the backend's memory footprint scales with n (the agentwise
     /// and graphwise engines allocate per-agent — and, for `graph`,
-    /// per-edge — state).
+    /// per-edge — state; the replica engine allocates ⌈log₂(k+1)⌉ words
+    /// per agent).
     pub fn per_agent_memory(&self) -> bool {
-        matches!(self, Backend::Agent | Backend::Graph | Backend::BatchGraph)
+        matches!(
+            self,
+            Backend::Agent | Backend::Graph | Backend::BatchGraph | Backend::Replica
+        )
     }
 
     /// Whether the backend runs on non-clique interaction graphs (accepted
-    /// by [`make_topology_simulator`] / [`stabilize_on_topology`]).
+    /// by [`RunSpec::topology`](crate::RunSpec::topology) /
+    /// [`make_topology_simulator`]).
     pub fn supports_topologies(&self) -> bool {
-        matches!(self, Backend::Agent | Backend::Graph | Backend::BatchGraph)
+        matches!(
+            self,
+            Backend::Agent | Backend::Graph | Backend::BatchGraph | Backend::Replica
+        )
+    }
+
+    /// Whether the backend packs multiple independent replica lanes into
+    /// one engine pass (accepted by
+    /// [`RunSpec::replicas`](crate::RunSpec::replicas) with r > 1) —
+    /// mirrors [`supports_topologies`](Backend::supports_topologies).
+    pub fn supports_replicas(&self) -> bool {
+        matches!(self, Backend::Replica)
     }
 }
 
@@ -154,9 +186,10 @@ impl std::str::FromStr for Backend {
             "batchgraph" | "batch-graph" => Ok(Backend::BatchGraph),
             "seq" | "sequential" => Ok(Backend::Sequential),
             "skip" | "skip-ahead" => Ok(Backend::SkipAhead),
+            "replica" | "ensemble" => Ok(Backend::Replica),
             other => Err(format!(
                 "unknown backend '{other}' (expected \
-                 agent|count|batch|graph|batchgraph|seq|skip)"
+                 agent|count|batch|graph|batchgraph|seq|skip|replica)"
             )),
         }
     }
@@ -170,61 +203,33 @@ pub const COMPLETE_GRAPH_MAX_N: u64 = 10_000;
 /// Construct a generic-substrate simulator for `config` as a trait object.
 ///
 /// Every backend is a generic-substrate engine: the five `pop-proto`
-/// engines natively, and the two USD-specialized ones through their thin
-/// wrappers ([`SequentialGeneric`] and [`SkipAheadGeneric`]), so
-/// observer-driven experiments select any of the seven interchangeably.
+/// engines natively, the two USD-specialized ones through their thin
+/// wrappers, and the replica ensemble engine (default 64 lanes), so
+/// observer-driven experiments select any of the eight interchangeably.
+/// Delegates to [`RunSpec::build_simulator`](crate::RunSpec::build_simulator)
+/// — the one place backends register; clique construction draws no RNG
+/// (replica lane layouts come from an internal fixed-seed stream).
 /// [`Backend::Graph`] and [`Backend::BatchGraph`] here mean the *complete*
 /// graph (their degenerate clique instance) and are capped at
 /// [`COMPLETE_GRAPH_MAX_N`] agents.
 pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator> {
-    let proto = UndecidedStateDynamics::new(config.k());
-    let counts = config.to_count_config();
-    match backend {
-        Backend::Agent => Box::new(AgentSimulator::from_config(
-            proto,
-            CliqueScheduler::new(config.n() as usize),
-            &counts,
-        )),
-        Backend::Count => Box::new(CountSimulator::new(proto, &counts)),
-        Backend::Batch => Box::new(BatchSimulator::new(proto, &counts)),
-        Backend::Graph | Backend::BatchGraph => {
-            // Degenerate clique instance: the complete graph, materialized
-            // as a Θ(n²) edge list — demo/ablation territory. Refuse sizes
-            // whose edge list would silently eat gigabytes; sparse
-            // topologies at large n go through `stabilize_on_topology`.
-            assert!(
-                config.n() <= COMPLETE_GRAPH_MAX_N,
-                "backend '{backend}' on the complete graph materializes n(n-1)/2 edges; \
-                 n = {} exceeds the {COMPLETE_GRAPH_MAX_N} cap (use --topology for \
-                 sparse graphs, or agent/count/batch for the clique)",
-                config.n()
-            );
-            let graph = TopologyFamily::Complete.build(config.n() as usize, 0);
-            if backend == Backend::Graph {
-                Box::new(GraphSimulator::from_config(proto, &graph, &counts))
-            } else if proto.num_states() <= <u8 as StateWord>::LIMIT {
-                Box::new(BatchGraphSimulator::from_config(proto, &graph, &counts))
-            } else {
-                // u16 state-packing fallback for k > 256.
-                let mut states = Vec::with_capacity(counts.n() as usize);
-                for (idx, &c) in counts.counts().iter().enumerate() {
-                    states.extend(std::iter::repeat_n(idx, c as usize));
-                }
-                Box::new(WideBatchGraphSimulator::with_states(proto, &graph, states))
-            }
-        }
-        Backend::Sequential => Box::new(SequentialGeneric::new(config)),
-        Backend::SkipAhead => Box::new(SkipAheadGeneric::new(config)),
-    }
+    // Clique construction is RNG-free for every backend; the throwaway
+    // stream is never drawn from.
+    RunSpec::new(config)
+        .backend(backend)
+        .build_simulator(&mut SimRng::new(0))
 }
 
 /// Construct a topology-capable simulator over a [`TopologyFamily`] graph.
 ///
 /// The graph is built deterministically from `(family, n, topo_seed)` and
 /// the initial configuration is placed uniformly at random on its vertices
-/// (drawing from `rng`). Only the topology-capable backends are accepted
-/// (see [`Backend::supports_topologies`]); the population must already be
-/// feasible for the family (see [`TopologyFamily::snap_n`]).
+/// (drawing from `rng`; one shuffled layout per lane for
+/// [`Backend::Replica`], lane 0 first). Only the topology-capable backends
+/// are accepted (see [`Backend::supports_topologies`]); the population
+/// must already be feasible for the family (see
+/// [`TopologyFamily::snap_n`]). Delegates to
+/// [`RunSpec::build_simulator`](crate::RunSpec::build_simulator).
 pub fn make_topology_simulator(
     backend: Backend,
     config: &UsdConfig,
@@ -232,32 +237,11 @@ pub fn make_topology_simulator(
     topo_seed: u64,
     rng: &mut SimRng,
 ) -> Box<dyn Simulator> {
-    assert!(
-        backend.supports_topologies(),
-        "{backend} cannot run graph topologies (use agent or graph)"
-    );
-    let proto = UndecidedStateDynamics::new(config.k());
-    let counts = config.to_count_config();
-    let graph = family.build(config.n() as usize, topo_seed);
-    let states = shuffled_layout(&counts, rng);
-    match backend {
-        Backend::Agent => Box::new(AgentSimulator::new(
-            proto,
-            GraphScheduler::new(graph),
-            states,
-        )),
-        Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
-        // USD with k opinions has k + 1 states; alphabets past one byte
-        // route to the u16 state-packing fallback instead of being
-        // rejected (twice the state-array footprint, same engine).
-        Backend::BatchGraph if proto.num_states() <= <u8 as StateWord>::LIMIT => {
-            Box::new(BatchGraphSimulator::new(proto, &graph, states))
-        }
-        Backend::BatchGraph => {
-            Box::new(WideBatchGraphSimulator::with_states(proto, &graph, states))
-        }
-        _ => unreachable!("supports_topologies() admitted {backend}"),
-    }
+    RunSpec::new(config)
+        .backend(backend)
+        .topology(family)
+        .topo_seed(topo_seed)
+        .build_simulator(rng)
 }
 
 /// Classify a stabilized generic-substrate run from its final counts.
@@ -266,7 +250,10 @@ pub fn make_topology_simulator(
 /// or — reachable only on disconnected interaction graphs — a frozen mixed
 /// configuration. Public so callers that drive a simulator themselves
 /// (keeping it to read telemetry) can produce the same
-/// [`StabilizationResult`] the packaged drivers report.
+/// [`StabilizationResult`] the packaged drivers report. Replica aggregate
+/// counts are lane sums, so an ensemble whose lanes elected *different*
+/// winners classifies as frozen here — use
+/// [`EnsembleOutcome`](crate::EnsembleOutcome) for the per-lane verdicts.
 pub fn classify_counts(
     counts: &[u64],
     k: usize,
@@ -302,6 +289,11 @@ pub fn classify_counts(
 /// run. `k` is the opinion count (the simulator holds `k + 1` states with
 /// ⊥ at index `k`); `initial_plurality` feeds the result's plurality
 /// bookkeeping.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSpec::new(config).budget(b).run_keeping(rng), or RunSpec::drive for a \
+            simulator you built yourself"
+)]
 pub fn stabilize_simulator(
     sim: &mut dyn Simulator,
     k: usize,
@@ -309,8 +301,7 @@ pub fn stabilize_simulator(
     budget: u64,
     initial_plurality: Option<usize>,
 ) -> StabilizationResult {
-    let (interactions, stabilized) = sim.run_to_silence(rng, budget);
-    classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality)
+    drive_plain(sim, k, rng, budget, initial_plurality)
 }
 
 /// Chunk-boundary observer for the ticking run drivers.
@@ -354,7 +345,7 @@ impl<F: FnMut(&dyn Simulator)> RunTicker for F {
     }
 }
 
-/// [`stabilize_simulator`] with a progress heartbeat: the run is driven in
+/// `stabilize_simulator` with a progress heartbeat: the run is driven in
 /// `~max(4n, 2¹⁶)`-interaction chunks (further bounded by the ticker's
 /// [`horizon`](RunTicker::horizon)) and `tick` observes the engine after
 /// each chunk (the CLI's `--progress-every` stderr heartbeat and the
@@ -363,6 +354,11 @@ impl<F: FnMut(&dyn Simulator)> RunTicker for F {
 /// need not be interaction-identical to the same seed driven without one.
 /// Assumes a freshly constructed simulator (interaction clock at zero),
 /// which is how every caller of [`make_simulator`] holds one.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSpec::new(config).ticker(t).budget(b).run_keeping(rng), or \
+            RunSpec::drive for a simulator you built yourself"
+)]
 pub fn stabilize_simulator_ticking(
     sim: &mut dyn Simulator,
     k: usize,
@@ -371,21 +367,7 @@ pub fn stabilize_simulator_ticking(
     initial_plurality: Option<usize>,
     tick: &mut dyn RunTicker,
 ) -> StabilizationResult {
-    let chunk = (4 * sim.population()).max(1 << 16);
-    let (interactions, stabilized) = loop {
-        let done = sim.interactions();
-        if sim.is_silent() {
-            break (done, true);
-        }
-        if done >= budget {
-            break (done, false);
-        }
-        let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
-        sim.run_to_silence(rng, step);
-        tick.tick(sim);
-        tick.checkpoint_tick(sim, rng);
-    };
-    classify_counts(sim.counts(), k, interactions, stabilized, initial_plurality)
+    drive_chunked(sim, k, rng, budget, initial_plurality, Some(tick), None)
 }
 
 /// Run `config` to USD stabilization on the chosen backend.
@@ -395,27 +377,20 @@ pub fn stabilize_simulator_ticking(
 /// all-undecided) or when `budget` interactions have been simulated, and
 /// the result reports the winner, the interaction count at the stopping
 /// point, and whether the initial plurality won.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSpec::new(config).backend(b).budget(budget).run(rng)"
+)]
 pub fn stabilize_with_backend(
     backend: Backend,
     config: &UsdConfig,
     rng: &mut SimRng,
     budget: u64,
 ) -> StabilizationResult {
-    let mut sim = make_simulator(backend, config);
-    stabilize_simulator(sim.as_mut(), config.k(), rng, budget, config.plurality())
-}
-
-/// Whether no edge of `graph` can change any state under `proto` — the
-/// exact graph-silence criterion, from explicit per-agent states.
-fn graph_silent(
-    proto: &UndecidedStateDynamics,
-    graph: &pop_proto::Graph,
-    states: &[usize],
-) -> bool {
-    graph.edges().iter().all(|&(a, b)| {
-        let (sa, sb) = (states[a as usize], states[b as usize]);
-        proto.is_noop(sa, sb) && proto.is_noop(sb, sa)
-    })
+    RunSpec::new(config)
+        .backend(backend)
+        .budget(budget)
+        .run(rng)
 }
 
 /// Run `config` to USD stabilization on a [`TopologyFamily`] graph.
@@ -423,11 +398,16 @@ fn graph_silent(
 /// The graph is deterministic in `(family, n, topo_seed)`; the initial
 /// layout and the dynamics draw from `rng`. The run ends at *graph*
 /// silence or budget exhaustion. On disconnected topologies (possible for
-/// `er`) a run can end [`ConsensusOutcome::Frozen`]; both backends detect
-/// this exactly — the `graph` engine natively, the `agent` engine via an
-/// O(m) edge scan every ~4n interactions (amortized O(d/n) per step). A
-/// generated graph with no edges at all (very sparse `er`) is trivially
-/// silent and classifies immediately without simulating.
+/// `er`) a run can end [`ConsensusOutcome::Frozen`]; the backends detect
+/// this exactly — the `graph` engines natively, the `agent` engine via an
+/// O(m) edge scan every ~4n interactions (amortized O(d/n) per step), the
+/// `replica` engine via its periodic frozen-lane scan. A generated graph
+/// with no edges at all (very sparse `er`) is trivially silent and
+/// classifies immediately without simulating.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSpec::new(config).backend(b).topology(f).topo_seed(s).budget(budget).run(rng)"
+)]
 pub fn stabilize_on_topology(
     backend: Backend,
     config: &UsdConfig,
@@ -436,35 +416,29 @@ pub fn stabilize_on_topology(
     rng: &mut SimRng,
     budget: u64,
 ) -> StabilizationResult {
-    stabilize_on_topology_keeping(
-        backend,
-        config,
-        family,
-        topo_seed,
-        rng,
-        budget,
-        false,
-        false,
-        &mut |_: &dyn Simulator| {},
-    )
-    .0
+    RunSpec::new(config)
+        .backend(backend)
+        .topology(family)
+        .topo_seed(topo_seed)
+        .budget(budget)
+        .run(rng)
 }
 
-/// [`stabilize_on_topology`] for callers that need the engine afterwards:
+/// `stabilize_on_topology` for callers that need the engine afterwards:
 /// returns the result together with the simulator, so per-engine state —
 /// [`telemetry`](pop_proto::Simulator::telemetry) above all — survives the
 /// run. `tick` observes the engine after every driving chunk (pass
 /// `&mut |_: &dyn Simulator| {}` for no heartbeat) and can bound chunks
-/// via [`RunTicker::horizon`]; the `graph`/`batchgraph` backends drive in
-/// `~max(4n, 2¹⁶)`-interaction chunks only so the
-/// heartbeat has a pulse, the `agent` backend already runs chunked for its
-/// frozen-configuration edge scan. `span_timing` turns the engine's span
-/// clock on before the run and `histograms` its per-event histograms (the
-/// simulator is constructed in here, so the
-/// caller has no earlier chance). An edgeless graph (very sparse `er`)
-/// is trivially silent and has no engine to return — the simulator slot is
-/// `None` and every engine constructor would reject the graph anyway.
+/// via [`RunTicker::horizon`]. `span_timing` turns the engine's span
+/// clock on before the run and `histograms` its per-event histograms. An
+/// edgeless graph (very sparse `er`) is trivially silent and has no
+/// engine to return — the simulator slot is `None`.
 #[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSpec::new(config).backend(b).topology(f).topo_seed(s).budget(budget)\
+            .span_timing(st).histograms(h).ticker(t).run_keeping(rng)"
+)]
 pub fn stabilize_on_topology_keeping(
     backend: Backend,
     config: &UsdConfig,
@@ -476,65 +450,24 @@ pub fn stabilize_on_topology_keeping(
     histograms: bool,
     tick: &mut dyn RunTicker,
 ) -> (StabilizationResult, Option<Box<dyn Simulator>>) {
-    assert!(
-        backend.supports_topologies(),
-        "{backend} cannot run graph topologies (use agent or graph)"
-    );
-    let initial_plurality = config.plurality();
-    let k = config.k();
-    let proto = UndecidedStateDynamics::new(k);
-    let counts = config.to_count_config();
-    let graph = family.build(config.n() as usize, topo_seed);
-    if graph.num_edges() == 0 {
-        // Edgeless graph: nothing can ever interact.
-        let result = classify_counts(counts.counts(), k, 0, true, initial_plurality);
-        return (result, None);
-    }
-    let states = shuffled_layout(&counts, rng);
-    if matches!(backend, Backend::Agent) {
-        let scheduler = GraphScheduler::new(graph);
-        let mut sim = AgentSimulator::new(proto, scheduler, states);
-        if span_timing {
-            Simulator::set_span_timing(&mut sim, true);
-        }
-        if histograms {
-            Simulator::set_histograms(&mut sim, true);
-        }
-        let result =
-            stabilize_agent_graph_ticking(&mut sim, k, rng, budget, initial_plurality, tick);
-        return (result, Some(Box::new(sim)));
-    }
-    let mut sim: Box<dyn Simulator> = match backend {
-        Backend::Graph => Box::new(GraphSimulator::new(proto, &graph, states)),
-        Backend::BatchGraph if proto.num_states() <= <u8 as StateWord>::LIMIT => {
-            Box::new(BatchGraphSimulator::new(proto, &graph, states))
-        }
-        Backend::BatchGraph => {
-            // u16 state-packing fallback for k > 256 (see
-            // `make_topology_simulator`).
-            Box::new(WideBatchGraphSimulator::with_states(proto, &graph, states))
-        }
-        _ => unreachable!("supports_topologies() admitted {backend}"),
-    };
-    if span_timing {
-        sim.set_span_timing(true);
-    }
-    if histograms {
-        sim.set_histograms(true);
-    }
-    // The graph engines detect graph silence natively (their `is_silent`
-    // is the frontier criterion), so the generic chunked driver is exact.
-    let result = stabilize_simulator_ticking(sim.as_mut(), k, rng, budget, initial_plurality, tick);
-    (result, Some(sim))
+    RunSpec::new(config)
+        .backend(backend)
+        .topology(family)
+        .topo_seed(topo_seed)
+        .budget(budget)
+        .span_timing(span_timing)
+        .histograms(histograms)
+        .ticker(tick)
+        .run_keeping(rng)
 }
 
 /// Construct the *concrete* agentwise simulator for a topology run —
 /// the engine [`make_topology_simulator`] boxes for [`Backend::Agent`],
 /// unboxed so callers that must interleave the exact frozen-configuration
-/// edge scan (see [`stabilize_agent_graph_ticking`]) keep the concrete
-/// type. Consumes the same RNG draws as [`make_topology_simulator`]
-/// (the shuffled initial layout), so a resumed run reconstructs the
-/// identical stream position.
+/// edge scan (see [`RunSpec::drive_agent_graph`](crate::RunSpec::drive_agent_graph))
+/// keep the concrete type. Consumes the same RNG draws as
+/// [`make_topology_simulator`] (the shuffled initial layout), so a
+/// resumed run reconstructs the identical stream position.
 pub fn make_agent_topology_simulator(
     config: &UsdConfig,
     family: TopologyFamily,
@@ -551,11 +484,14 @@ pub fn make_agent_topology_simulator(
 /// Chunked drive of the agentwise engine on an interaction graph: the
 /// count-level silence criterion inside `run_to_silence` misses frozen
 /// configurations on disconnected graphs, so chunked runs interleave with
-/// the exact O(m) edge-scan criterion. Extracted from
-/// [`stabilize_on_topology_keeping`] so resumed runs (simulator restored
+/// the exact O(m) edge-scan criterion. Resumed runs (simulator restored
 /// from a checkpoint, clock mid-flight) drive through exactly the same
 /// loop — chunk boundaries are a pure function of the absolute
 /// interaction clock.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunSpec::new(config).ticker(t).budget(b).drive_agent_graph(sim, rng)"
+)]
 pub fn stabilize_agent_graph_ticking(
     sim: &mut AgentSimulator<UndecidedStateDynamics, GraphScheduler>,
     k: usize,
@@ -564,33 +500,13 @@ pub fn stabilize_agent_graph_ticking(
     initial_plurality: Option<usize>,
     tick: &mut dyn RunTicker,
 ) -> StabilizationResult {
-    let chunk = (4 * Simulator::population(sim)).max(1 << 16);
-    let (interactions, stabilized) = loop {
-        let done = Simulator::interactions(sim);
-        if Simulator::is_silent(sim)
-            || graph_silent(sim.protocol(), sim.scheduler().graph(), sim.states())
-        {
-            break (done, true);
-        }
-        if done >= budget {
-            break (done, false);
-        }
-        let step = chunk.min(budget - done).min(tick.horizon(done)).max(1);
-        sim.run_to_silence(rng, step);
-        tick.tick(sim);
-        tick.checkpoint_tick(sim, rng);
-    };
-    classify_counts(
-        Simulator::counts(sim),
-        k,
-        interactions,
-        stabilized,
-        initial_plurality,
-    )
+    drive_agent_graph_chunked(sim, k, rng, budget, initial_plurality, Some(tick), None)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::init::InitialConfigBuilder;
 
@@ -606,6 +522,7 @@ mod tests {
         );
         assert_eq!("skip-ahead".parse::<Backend>().unwrap(), Backend::SkipAhead);
         assert_eq!("graphwise".parse::<Backend>().unwrap(), Backend::Graph);
+        assert_eq!("ensemble".parse::<Backend>().unwrap(), Backend::Replica);
         assert!("warp".parse::<Backend>().is_err());
         assert!(Backend::Agent.per_agent_memory());
         assert!(Backend::Graph.per_agent_memory());
@@ -614,6 +531,12 @@ mod tests {
         assert!(Backend::Graph.supports_topologies());
         assert!(Backend::BatchGraph.supports_topologies());
         assert!(Backend::BatchGraph.per_agent_memory());
+        assert!(Backend::Replica.supports_topologies());
+        assert!(Backend::Replica.per_agent_memory());
+        assert!(Backend::Replica.supports_replicas());
+        for b in Backend::ALL {
+            assert_eq!(b.supports_replicas(), b == Backend::Replica, "{b}");
+        }
         assert_eq!(
             "batch-graph".parse::<Backend>().unwrap(),
             Backend::BatchGraph
@@ -716,6 +639,23 @@ mod tests {
     }
 
     #[test]
+    fn replica_backend_packs_64_lanes_through_make_simulator() {
+        let config = UsdConfig::decided(vec![60, 20]);
+        let mut sim = make_simulator(Backend::Replica, &config);
+        assert_eq!(sim.lanes(), 64);
+        assert_eq!(sim.population(), 64 * 80);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 64 * 80);
+        let mut rng = SimRng::new(17);
+        let (t, silent) = sim.run_to_silence(&mut rng, u64::MAX / 2);
+        assert!(silent);
+        assert!(t > 0);
+        for lane in 0..64 {
+            assert!(sim.lane_stabilized_at(lane).is_some(), "lane {lane}");
+            assert_eq!(sim.lane_counts(lane).iter().sum::<u64>(), 80);
+        }
+    }
+
+    #[test]
     fn frozen_classification_of_silent_mixed_counts() {
         // Silent with two opinions stranded (disconnected topology): frozen.
         let r = classify_counts(&[3, 2, 1], 2, 100, true, Some(0));
@@ -730,7 +670,12 @@ mod tests {
     #[test]
     fn topology_backends_stabilize_on_a_regular_graph() {
         let config = UsdConfig::decided(vec![120, 40]);
-        for b in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
+        for b in [
+            Backend::Agent,
+            Backend::Graph,
+            Backend::BatchGraph,
+            Backend::Replica,
+        ] {
             let mut rng = SimRng::new(3);
             let r = stabilize_on_topology(
                 b,
@@ -845,5 +790,16 @@ mod tests {
             &mut rng,
             1_000,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pack")]
+    fn scalar_backends_reject_multiple_replica_lanes() {
+        let config = UsdConfig::decided(vec![4, 4]);
+        let mut rng = SimRng::new(1);
+        RunSpec::new(&config)
+            .backend(Backend::Count)
+            .replicas(8)
+            .build_simulator(&mut rng);
     }
 }

@@ -25,11 +25,96 @@ use pop_proto::checkpoint::{self, CheckpointError, FaultPlan, SnapshotReader, Sn
 use pop_proto::telemetry::timeline::TimelineRecorder;
 use std::path::{Path, PathBuf};
 
+/// The identity of a single run: the fields that pin which trajectory a
+/// persisted artifact (a [`RunCheckpoint`], a `topology_sweep` cell file)
+/// belongs to. Extracted so every consumer that echoes and re-validates a
+/// run identity — [`RunCheckpoint::check_identity`], the sweep's
+/// `--resume-dir` cell headers — shares one definition and one mismatch
+/// report instead of re-deriving the strings independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunIdentity {
+    /// Backend flag name (`agent`, …, `replica`; replica ensembles append
+    /// the lane count, e.g. `replica:64`, keeping the wire format a single
+    /// string).
+    pub backend: String,
+    /// Population size.
+    pub n: u64,
+    /// Opinion count k (the engines hold k + 1 states).
+    pub k: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Topology family name (e.g. `regular:8`); empty for clique runs.
+    pub topology: String,
+}
+
+impl RunIdentity {
+    /// Build an identity from its fields.
+    pub fn new(
+        backend: impl Into<String>,
+        n: u64,
+        k: u32,
+        seed: u64,
+        topology: impl Into<String>,
+    ) -> RunIdentity {
+        RunIdentity {
+            backend: backend.into(),
+            n,
+            k,
+            seed,
+            topology: topology.into(),
+        }
+    }
+
+    /// The canonical one-line rendering, used verbatim in sweep cell
+    /// headers: `backend=… n=… k=… seed=… topology='…'`.
+    pub fn describe(&self) -> String {
+        format!(
+            "backend={} n={} k={} seed={} topology='{}'",
+            self.backend, self.n, self.k, self.seed, self.topology
+        )
+    }
+
+    /// Field-by-field comparison against what the caller's flags say,
+    /// naming every mismatching field (`self` is the persisted echo,
+    /// `flags` the live request). Empty means the identities agree.
+    pub fn mismatches(&self, flags: &RunIdentity) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.backend != flags.backend {
+            out.push(format!(
+                "backend {} (flags say {})",
+                self.backend, flags.backend
+            ));
+        }
+        if self.n != flags.n {
+            out.push(format!("n {} (flags say {})", self.n, flags.n));
+        }
+        if self.k != flags.k {
+            out.push(format!("k {} (flags say {})", self.k, flags.k));
+        }
+        if self.seed != flags.seed {
+            out.push(format!("seed {} (flags say {})", self.seed, flags.seed));
+        }
+        if self.topology != flags.topology {
+            out.push(format!(
+                "topology '{}' (flags say '{}')",
+                self.topology, flags.topology
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for RunIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
 /// A complete, resumable snapshot of a single `usd-sim run`.
 #[derive(Debug, Clone)]
 pub struct RunCheckpoint {
     /// Backend flag name (`agent`, `count`, `batch`, `graph`,
-    /// `batchgraph`, `seq`, `skip`).
+    /// `batchgraph`, `seq`, `skip`; `replica:<lanes>` for ensembles).
     pub backend: String,
     /// Population size.
     pub n: u64,
@@ -148,8 +233,20 @@ impl RunCheckpoint {
         }
     }
 
+    /// The identity echo this checkpoint carries, as a [`RunIdentity`].
+    pub fn identity(&self) -> RunIdentity {
+        RunIdentity::new(
+            self.backend.clone(),
+            self.n,
+            self.k,
+            self.seed,
+            self.topology.clone(),
+        )
+    }
+
     /// Validate the run-identity echo against the caller's flags; the
-    /// error message names every mismatching field.
+    /// error message names every mismatching field (delegates to
+    /// [`RunIdentity::mismatches`]).
     pub fn check_identity(
         &self,
         backend: &str,
@@ -158,25 +255,8 @@ impl RunCheckpoint {
         seed: u64,
         topology: &str,
     ) -> Result<(), CheckpointError> {
-        let mut mismatches = Vec::new();
-        if self.backend != backend {
-            mismatches.push(format!("backend {} (flags say {backend})", self.backend));
-        }
-        if self.n != n {
-            mismatches.push(format!("n {} (flags say {n})", self.n));
-        }
-        if self.k != k {
-            mismatches.push(format!("k {} (flags say {k})", self.k));
-        }
-        if self.seed != seed {
-            mismatches.push(format!("seed {} (flags say {seed})", self.seed));
-        }
-        if self.topology != topology {
-            mismatches.push(format!(
-                "topology '{}' (flags say '{topology}')",
-                self.topology
-            ));
-        }
+        let flags = RunIdentity::new(backend, n, k, seed, topology);
+        let mismatches = self.identity().mismatches(&flags);
         if mismatches.is_empty() {
             Ok(())
         } else {
@@ -254,6 +334,22 @@ mod tests {
         assert!(msg.contains("backend"), "{msg}");
         assert!(msg.contains("topology"), "{msg}");
         assert!(!msg.contains("seed"), "{msg}");
+    }
+
+    #[test]
+    fn run_identity_describes_and_diffs() {
+        let a = RunIdentity::new("replica:64", 1000, 2, 7, "regular:8");
+        assert_eq!(
+            a.describe(),
+            "backend=replica:64 n=1000 k=2 seed=7 topology='regular:8'"
+        );
+        assert_eq!(a.to_string(), a.describe());
+        assert!(a.mismatches(&a.clone()).is_empty());
+        let b = RunIdentity::new("agent", 1000, 3, 7, "regular:8");
+        let diff = a.mismatches(&b);
+        assert_eq!(diff.len(), 2);
+        assert!(diff[0].contains("backend"), "{diff:?}");
+        assert!(diff[1].contains("k"), "{diff:?}");
     }
 
     #[test]

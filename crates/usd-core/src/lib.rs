@@ -59,6 +59,7 @@ pub mod mean_field;
 pub mod phases;
 pub mod protocol;
 pub mod recording;
+pub mod runspec;
 pub mod stabilization;
 pub mod theory;
 
@@ -66,10 +67,10 @@ pub use analysis::{
     expected_gap_drift, expected_undecided_drift, max_gap, monochromatic_distance,
     opinion_threshold, undecided_plateau,
 };
-pub use backend::{
-    make_simulator, make_topology_simulator, stabilize_on_topology, stabilize_with_backend, Backend,
-};
-pub use checkpoint::RunCheckpoint;
+pub use backend::{make_simulator, make_topology_simulator, Backend};
+#[allow(deprecated)]
+pub use backend::{stabilize_on_topology, stabilize_with_backend};
+pub use checkpoint::{RunCheckpoint, RunIdentity};
 pub use config::UsdConfig;
 pub use dynamics::{
     SequentialGeneric, SequentialUsd, SkipAheadGeneric, SkipAheadUsd, UsdEvent, UsdSimulator,
@@ -77,5 +78,6 @@ pub use dynamics::{
 pub use init::InitialConfigBuilder;
 pub use protocol::{UndecidedStateDynamics, UsdState};
 pub use recording::record_run;
+pub use runspec::{EnsembleOutcome, LaneOutcome, RunSpec, DEFAULT_REPLICAS};
 pub use stabilization::{ConsensusOutcome, DoublingDetector, StabilizationResult};
 pub use theory::Bounds;

@@ -6,7 +6,7 @@
 //! numbers opinions 1..k; we use 0-based indices in code and 1-based labels
 //! in printed output.)
 
-use pop_proto::Protocol;
+use pop_proto::{BitwiseProtocol, Protocol};
 
 /// A state of the Undecided State Dynamics: one of `k` opinions or ⊥.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +106,84 @@ impl Protocol for UndecidedStateDynamics {
     }
 }
 
+/// Bit-parallel USD for the replica engine.
+///
+/// Code assignment: ⊥ ↦ 0, opinion `i` ↦ `i + 1`, across
+/// `⌈log₂(k + 1)⌉` planes — so "decided" is simply the OR of an agent's
+/// planes, and the whole k = 2 transition is ~6 word ops for 64 lanes:
+/// a clash mask (both decided, codes differ) zeroes both agents' planes
+/// (→ ⊥) and two adoption masks copy the decided agent's code into the
+/// undecided one's planes.
+impl BitwiseProtocol for UndecidedStateDynamics {
+    fn planes(&self) -> usize {
+        // Codes run 0..=k; bits needed to hold k.
+        (usize::BITS - self.k.leading_zeros()) as usize
+    }
+
+    fn encode(&self, state: usize) -> u64 {
+        debug_assert!(state <= self.k);
+        if state == self.k {
+            0 // ⊥
+        } else {
+            (state + 1) as u64
+        }
+    }
+
+    fn decode(&self, code: u64) -> usize {
+        if code == 0 {
+            self.k
+        } else {
+            (code - 1) as usize
+        }
+    }
+
+    fn apply_lanes(&self, a: &mut [u64], b: &mut [u64], live: u64) -> u64 {
+        let (mut da, mut db, mut diff) = (0u64, 0u64, 0u64);
+        for p in 0..a.len() {
+            da |= a[p];
+            db |= b[p];
+            diff |= a[p] ^ b[p];
+        }
+        // Different opinions clash (both → ⊥); a decided agent's code is
+        // copied into an undecided partner (adoption, both orders);
+        // everything else is a no-op.
+        let clash = da & db & diff & live;
+        let adopt_a = !da & db & live;
+        let adopt_b = da & !db & live;
+        let drop_a = clash | adopt_a;
+        let drop_b = clash | adopt_b;
+        for p in 0..a.len() {
+            let (ap, bp) = (a[p], b[p]);
+            a[p] = (ap & !drop_a) | (bp & adopt_a);
+            b[p] = (bp & !drop_b) | (ap & adopt_b);
+        }
+        clash | adopt_a | adopt_b
+    }
+
+    fn active_lanes(&self, a: &[u64], b: &[u64]) -> u64 {
+        let (mut da, mut db, mut diff) = (0u64, 0u64, 0u64);
+        for p in 0..a.len() {
+            da |= a[p];
+            db |= b[p];
+            diff |= a[p] ^ b[p];
+        }
+        (da & db & diff) | (da ^ db)
+    }
+
+    fn noops_are_equal_pairs(&self) -> bool {
+        true // identity transitions are exactly the equal-state pairs
+    }
+
+    fn silence_needs_zeroed_count(&self) -> bool {
+        // All-⊥ silence: the final clash is between the last two decided
+        // agents, so both their opinion counts decrement to zero. Winner
+        // silence: the final adoption decrements ⊥ to zero (a clash can
+        // never produce it — it leaves two fresh ⊥). Either way a count
+        // empties at the silencing interaction.
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +280,86 @@ mod tests {
     fn oversized_opinion_index_panics() {
         let p = UndecidedStateDynamics::new(2);
         p.index_of(Opinion(2));
+    }
+
+    #[test]
+    fn bitwise_kernel_matches_scalar_transition_exhaustively() {
+        // Every (initiator, responder) state pair, every k up to 6: one
+        // lane per pair packed into the planes, one apply_lanes call,
+        // decoded results must equal transition_indices lane-for-lane.
+        for k in 1..=6usize {
+            let p = UndecidedStateDynamics::new(k);
+            let planes = p.planes();
+            let states = p.num_states();
+            let pairs: Vec<(usize, usize)> = (0..states)
+                .flat_map(|a| (0..states).map(move |b| (a, b)))
+                .collect();
+            assert!(pairs.len() <= 64);
+            let live = if pairs.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << pairs.len()) - 1
+            };
+            let mut a = vec![0u64; planes];
+            let mut b = vec![0u64; planes];
+            for (lane, &(sa, sb)) in pairs.iter().enumerate() {
+                let (ca, cb) = (p.encode(sa), p.encode(sb));
+                for pl in 0..planes {
+                    a[pl] |= ((ca >> pl) & 1) << lane;
+                    b[pl] |= ((cb >> pl) & 1) << lane;
+                }
+            }
+            let active = p.active_lanes(&a, &b);
+            let changed = p.apply_lanes(&mut a, &mut b, live);
+            for (lane, &(sa, sb)) in pairs.iter().enumerate() {
+                let (ta, tb) = p.transition_indices(sa, sb);
+                let (mut ca, mut cb) = (0u64, 0u64);
+                for pl in 0..planes {
+                    ca |= ((a[pl] >> lane) & 1) << pl;
+                    cb |= ((b[pl] >> lane) & 1) << pl;
+                }
+                assert_eq!(
+                    (p.decode(ca), p.decode(cb)),
+                    (ta, tb),
+                    "k={k} pair ({sa},{sb})"
+                );
+                let expect_changed = (ta, tb) != (sa, sb);
+                assert_eq!(
+                    changed >> lane & 1 == 1,
+                    expect_changed,
+                    "k={k} changed mask for ({sa},{sb})"
+                );
+                assert_eq!(
+                    active >> lane & 1 == 1,
+                    !p.is_noop(sa, sb) || !p.is_noop(sb, sa),
+                    "k={k} active mask for ({sa},{sb})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_kernel_leaves_dead_lanes_untouched() {
+        let p = UndecidedStateDynamics::new(2);
+        let planes = p.planes();
+        // Lane 0: clash pair (0,1), lane 1: adoption (⊥,1) — but only
+        // lane 0 is live.
+        let mut a = vec![0u64; planes];
+        let mut b = vec![0u64; planes];
+        for (lane, (sa, sb)) in [(0usize, 1usize), (2, 1)].into_iter().enumerate() {
+            let (ca, cb) = (p.encode(sa), p.encode(sb));
+            for pl in 0..planes {
+                a[pl] |= ((ca >> pl) & 1) << lane;
+                b[pl] |= ((cb >> pl) & 1) << lane;
+            }
+        }
+        let (a0, b0) = (a.clone(), b.clone());
+        let changed = p.apply_lanes(&mut a, &mut b, 0b01);
+        assert_eq!(changed, 0b01);
+        for pl in 0..planes {
+            assert_eq!(a[pl] >> 1 & 1, a0[pl] >> 1 & 1, "dead lane moved");
+            assert_eq!(b[pl] >> 1 & 1, b0[pl] >> 1 & 1, "dead lane moved");
+        }
     }
 
     #[test]

@@ -26,9 +26,10 @@ use sim_stats::regression::loglog_fit;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use usd_baselines::TournamentUsd;
-use usd_core::backend::{stabilize_with_backend, Backend};
+use usd_core::backend::Backend;
 use usd_core::init::InitialConfigBuilder;
 use usd_core::theory::Bounds;
+use usd_core::RunSpec;
 
 /// One E13 sweep cell.
 #[derive(Debug, Clone, Copy)]
@@ -58,8 +59,10 @@ pub fn barrier_cell(
     let config = InitialConfigBuilder::new(n, k).figure1();
 
     let usd: Vec<(f64, bool)> = runner::repeat(master_seed ^ 0xB1, seeds, |_r, rng| {
-        let result =
-            stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, k));
+        let result = RunSpec::new(&config)
+            .backend(backend)
+            .budget(crate::fig1::default_budget(n, k))
+            .run(rng);
         (result.parallel_time(n), result.plurality_won())
     });
 

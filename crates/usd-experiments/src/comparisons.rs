@@ -29,12 +29,13 @@ use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
 use usd_baselines::{FourStateMajority, GossipUsd, SynchronizedUsd, ThreeMajority, VoterDynamics};
 use usd_core::analysis::monochromatic_distance;
-use usd_core::backend::{stabilize_with_backend, Backend};
+use usd_core::backend::Backend;
 use usd_core::dynamics::{SequentialUsd, SkipAheadUsd, UsdSimulator};
 use usd_core::init::InitialConfigBuilder;
 use usd_core::protocol::UndecidedStateDynamics;
 use usd_core::stabilization::stabilize;
 use usd_core::theory;
+use usd_core::RunSpec;
 use usd_core::UsdConfig;
 
 // ---------------------------------------------------------------------------
@@ -89,8 +90,10 @@ pub fn bias_cell(
 ) -> BiasCell {
     let config = InitialConfigBuilder::new(n, k).equal_minorities(bias);
     let outcomes: Vec<(bool, f64)> = runner::repeat(master_seed ^ bias, seeds, |_rep, rng| {
-        let result =
-            stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, k));
+        let result = RunSpec::new(&config)
+            .backend(backend)
+            .budget(crate::fig1::default_budget(n, k))
+            .run(rng);
         (result.plurality_won(), result.parallel_time(n))
     });
     let wins = outcomes.iter().filter(|o| o.0).count() as f64;
@@ -309,8 +312,10 @@ pub fn baseline_rows(
 
     // USD (population protocol).
     let usd: Vec<(f64, bool)> = runner::repeat(master_seed ^ 1, seeds, |_r, rng| {
-        let result =
-            stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, k));
+        let result = RunSpec::new(&config)
+            .backend(backend)
+            .budget(crate::fig1::default_budget(n, k))
+            .run(rng);
         (result.parallel_time(n), result.plurality_won())
     });
     rows.push(summarize_baseline("USD (PP)", "parallel", &usd));

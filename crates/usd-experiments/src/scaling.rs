@@ -17,10 +17,11 @@ use sim_stats::regression::{loglog_fit, ols_fit};
 use sim_stats::rng::SimRng;
 use sim_stats::summary::Summary;
 use sim_stats::tables::{fmt_sig, fmt_thousands, TextTable};
-use usd_core::backend::{stabilize_with_backend, Backend};
+use usd_core::backend::Backend;
 use usd_core::init::InitialConfigBuilder;
 use usd_core::stabilization::ConsensusOutcome;
 use usd_core::theory::Bounds;
+use usd_core::RunSpec;
 
 /// One measured sweep cell.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +59,10 @@ pub fn measure_cell(
         seeds,
         |_rep, rng: &mut SimRng| {
             let budget = crate::fig1::default_budget(n, k);
-            let result = stabilize_with_backend(backend, &config, rng, budget);
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .budget(budget)
+                .run(rng);
             (
                 result.parallel_time(n),
                 result.plurality_won(),
@@ -254,8 +258,10 @@ pub fn k2_report(args: &ExpArgs) -> Report {
         let builder = InitialConfigBuilder::new(n, 2);
         let config = builder.figure1();
         let times: Vec<f64> = runner::repeat(args.seed ^ n, seeds, |_rep, rng| {
-            let result =
-                stabilize_with_backend(backend, &config, rng, crate::fig1::default_budget(n, 2));
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .budget(crate::fig1::default_budget(n, 2))
+                .run(rng);
             assert!(
                 !matches!(result.outcome, ConsensusOutcome::Timeout),
                 "k=2 run timed out"

@@ -30,6 +30,7 @@ use usd_core::backend::{make_topology_simulator, Backend, RunTicker};
 use usd_core::config::UsdConfig;
 use usd_core::init::InitialConfigBuilder;
 use usd_core::stabilization::ConsensusOutcome;
+use usd_core::{EnsembleOutcome, RunIdentity, RunSpec};
 
 /// One (family, n) sweep cell.
 #[derive(Debug, Clone)]
@@ -70,7 +71,7 @@ pub fn validate_args(args: &ExpArgs) -> Result<(), String> {
     if !backend.supports_topologies() {
         return Err(format!(
             "--backend {backend} cannot run graph topologies \
-             (use graph, batchgraph, or agent)"
+             (use graph, batchgraph, agent, or replica)"
         ));
     }
     if let (Some(family), Some(d)) = (args.topology, args.degree) {
@@ -237,7 +238,7 @@ pub fn topology_cell(
     let sched_budget = n.saturating_mul(n).saturating_mul(n).max(1 << 26);
     // The agentwise engine pays per *scheduled* interaction and its
     // count-level silence check misses frozen disconnected graphs, so it
-    // runs through the `stabilize_on_topology` driver (exact freeze
+    // runs through the [`RunSpec`] topology driver (exact freeze
     // detection via the edge scan) with the work budget applied to the
     // scheduled clock — the only quantity that bounds its wall time. The
     // keeping variant hands the engine back, so its effective count and
@@ -248,17 +249,13 @@ pub fn topology_cell(
      -> (ConsensusOutcome, u64, EngineTelemetry) {
         if backend == Backend::Agent {
             let mut tick = RecorderTick(recorder);
-            let (result, sim) = usd_core::backend::stabilize_on_topology_keeping(
-                backend,
-                &config,
-                family,
-                master_seed ^ rep,
-                rng,
-                eff_budget.min(sched_budget),
-                false,
-                false,
-                &mut tick,
-            );
+            let (result, sim) = RunSpec::new(&config)
+                .backend(backend)
+                .topology(family)
+                .topo_seed(master_seed ^ rep)
+                .budget(eff_budget.min(sched_budget))
+                .ticker(&mut tick)
+                .run_keeping(rng);
             if let (Some(r), Some(s)) = (tick.0, &sim) {
                 r.finish(s.as_ref());
             }
@@ -277,11 +274,34 @@ pub fn topology_cell(
             (outcome, interactions, *sim.telemetry())
         }
     };
-    let outcomes = runner::repeat(master_seed, seeds, |rep, rng| {
-        let (outcome, interactions, _) = run_one(rep, rng, None);
-        let parallel = interactions as f64 / n as f64;
-        (outcome, parallel)
-    });
+    let outcomes = if backend.supports_replicas() {
+        // One bit-parallel ensemble pass replaces the per-seed scalar
+        // runs: each of the (up to 64) lanes is an independent replica of
+        // the cell, so the per-lane outcomes are the per-seed samples. A
+        // lane still live at the budget classifies as a timeout, exactly
+        // like an exhausted scalar run.
+        let lanes = seeds.clamp(1, 64) as u32;
+        let mut rng = sim_stats::rng::SimRng::new(master_seed);
+        let (_, sim) = RunSpec::new(&config)
+            .backend(backend)
+            .topology(family)
+            .topo_seed(master_seed)
+            .replicas(lanes)
+            .budget(eff_budget.min(sched_budget))
+            .run_keeping(&mut rng);
+        let sim = sim.expect("sweep families always have edges");
+        EnsembleOutcome::from_simulator(sim.as_ref(), k, config.plurality())
+            .lanes
+            .iter()
+            .map(|l| (l.result.outcome, l.result.interactions as f64 / n as f64))
+            .collect()
+    } else {
+        runner::repeat(master_seed, seeds, |rep, rng| {
+            let (outcome, interactions, _) = run_one(rep, rng, None);
+            let parallel = interactions as f64 / n as f64;
+            (outcome, parallel)
+        })
+    };
     // Engine-telemetry rates — and, when asked for, the flight-recorder
     // timeline — from one representative run (cheap statistics; the
     // stabilization outcomes above are the measured quantity): the
@@ -336,20 +356,33 @@ fn cell_stem(family: TopologyFamily, snapped_n: u64) -> String {
 }
 
 /// Identity line pinning the sweep parameters a persisted cell is valid
-/// for. A resumed run with *any* differing parameter (backend, k, seeds,
-/// per-cell seed, work budget, timeline ask) must not reuse the cell, so
-/// the whole line is compared verbatim on load.
+/// for. A resumed run with *any* differing parameter (backend, topology,
+/// n, k, seeds, per-cell seed, work budget, timeline ask) must not reuse
+/// the cell, so the whole line is compared verbatim on load. The
+/// (backend, n, k, seed, topology) core is rendered by the same
+/// [`RunIdentity`] helper that guards `RunCheckpoint` resumes, so the two
+/// persistence surfaces can never drift apart in what they pin.
+#[allow(clippy::too_many_arguments)]
 fn cell_identity(
     backend: Backend,
+    family: TopologyFamily,
+    snapped_n: u64,
     k: usize,
     seeds: u64,
     cell_seed: u64,
     eff_budget: u64,
     record_timeline: bool,
 ) -> String {
+    let core = RunIdentity::new(
+        backend.name(),
+        snapped_n,
+        k as u32,
+        cell_seed,
+        family.name(),
+    );
     format!(
-        "# topology_sweep cell v1: backend={backend} k={k} seeds={seeds} \
-         seed={cell_seed} eff_budget={eff_budget} timeline={}",
+        "# topology_sweep cell v2: {} seeds={seeds} eff_budget={eff_budget} timeline={}",
+        core.describe(),
         if record_timeline { "yes" } else { "no" }
     )
 }
@@ -465,7 +498,7 @@ pub fn topology_report(args: &ExpArgs) -> Report {
     let backend = args.backend_or(Backend::BatchGraph);
     assert!(
         backend.supports_topologies(),
-        "--backend {backend} cannot run graph topologies (use graph, batchgraph, or agent)"
+        "--backend {backend} cannot run graph topologies (use graph, batchgraph, agent, or replica)"
     );
     let single_family = args.topology.is_some();
     let ns: Vec<u64> = if args.quick {
@@ -505,12 +538,20 @@ pub fn topology_report(args: &ExpArgs) -> Report {
     let total = cells.len();
     let results = runner::sweep(args.seed, cells, |i, &(f, n), _| {
         let cell_seed = args.seed ^ ((i as u64) << 32);
-        let identity = args
-            .resume_dir
-            .as_ref()
-            .map(|_| cell_identity(backend, k, seeds, cell_seed, eff_budget, record_timeline));
+        let snapped = f.snap_n(n as usize) as u64;
+        let identity = args.resume_dir.as_ref().map(|_| {
+            cell_identity(
+                backend,
+                f,
+                snapped,
+                k,
+                seeds,
+                cell_seed,
+                eff_budget,
+                record_timeline,
+            )
+        });
         if let (Some(dir), Some(id)) = (&args.resume_dir, &identity) {
-            let snapped = f.snap_n(n as usize) as u64;
             if let Some(cell) = load_cell(dir, f, snapped, k, id, record_timeline) {
                 loaded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return cell;
@@ -695,6 +736,26 @@ mod tests {
     }
 
     #[test]
+    fn replica_cell_consumes_one_ensemble_pass() {
+        // One 64-lane bit-parallel run replaces the per-seed scalar runs;
+        // the per-lane outcomes must look like a healthy cell's samples.
+        let c = topology_cell(
+            Backend::Replica,
+            TopologyFamily::Regular { d: 8 },
+            256,
+            2,
+            6,
+            11,
+            u64::MAX / 2,
+            false,
+        );
+        assert_eq!(c.n, 256);
+        assert!(c.win_rate >= 0.5, "win rate {}", c.win_rate);
+        assert_eq!(c.degenerate_rate, 0.0);
+        assert!(c.parallel_mean > 0.0);
+    }
+
+    #[test]
     fn exhausted_effective_budget_reports_degenerate_timeouts() {
         // A dead-heat cycle with a tiny effective budget cannot stabilize;
         // the cell must say so instead of spinning.
@@ -784,7 +845,19 @@ mod tests {
             u64::MAX / 2,
             false,
         );
-        let id = cell_identity(Backend::Graph, 2, 2, 7, u64::MAX / 2, false);
+        let ident = |seed: u64, timeline: bool| {
+            cell_identity(
+                Backend::Graph,
+                TopologyFamily::Cycle,
+                cell.n,
+                2,
+                2,
+                seed,
+                u64::MAX / 2,
+                timeline,
+            )
+        };
+        let id = ident(7, false);
         store_cell(d, &cell, &id);
         let back = load_cell(d, TopologyFamily::Cycle, cell.n, 2, &id, false)
             .expect("persisted cell should load");
@@ -792,11 +865,14 @@ mod tests {
         assert_eq!(back.win_rate, cell.win_rate);
         assert_eq!(back.degenerate_rate, cell.degenerate_rate);
         assert!(back.timeline.is_none());
+        // The shared RunIdentity core renders the cell's full coordinates.
+        assert!(id.contains("backend=graph"), "identity line: {id}");
+        assert!(id.contains("topology='cycle'"), "identity line: {id}");
         // Any differing sweep parameter (here: the cell seed) invalidates.
-        let other = cell_identity(Backend::Graph, 2, 2, 8, u64::MAX / 2, false);
+        let other = ident(8, false);
         assert!(load_cell(d, TopologyFamily::Cycle, cell.n, 2, &other, false).is_none());
         // A sweep that wants timelines cannot reuse a cell stored without.
-        let with_tl = cell_identity(Backend::Graph, 2, 2, 7, u64::MAX / 2, true);
+        let with_tl = ident(7, true);
         assert!(load_cell(d, TopologyFamily::Cycle, cell.n, 2, &with_tl, true).is_none());
         // A torn (truncated) file is recomputed, never trusted or panicked on.
         let path = dir.join(format!("{}.csv", cell_stem(cell.family, cell.n)));

@@ -16,7 +16,8 @@
 //! it; its real habitat is sparse topologies via `usd-sim run --topology`).
 
 use plurality_consensus::prelude::*;
-use usd_core::backend::{stabilize_with_backend, Backend};
+use usd_core::backend::Backend;
+use usd_core::RunSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +64,7 @@ fn main() {
         }
         let mut rng = SimRng::new(7);
         let start = std::time::Instant::now();
-        let result = stabilize_with_backend(backend, &config, &mut rng, u64::MAX / 2);
+        let result = RunSpec::new(&config).backend(backend).run(&mut rng);
         let wall = start.elapsed();
         let winner = match result.outcome {
             ConsensusOutcome::Winner(w) => format!("opinion {}", w + 1),

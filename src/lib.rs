@@ -58,12 +58,15 @@ pub mod prelude {
     pub use usd_core::analysis::{
         expected_gap_drift, expected_undecided_drift, monochromatic_distance, undecided_plateau,
     };
-    pub use usd_core::backend::{stabilize_on_topology, stabilize_with_backend, Backend};
+    pub use usd_core::backend::Backend;
+    #[allow(deprecated)]
+    pub use usd_core::backend::{stabilize_on_topology, stabilize_with_backend};
     pub use usd_core::dynamics::{
         run_until_stable, SequentialUsd, SkipAheadUsd, UsdEvent, UsdSimulator,
     };
     pub use usd_core::init::InitialConfigBuilder;
     pub use usd_core::protocol::{UndecidedStateDynamics, UsdState};
+    pub use usd_core::runspec::{EnsembleOutcome, LaneOutcome, RunSpec, DEFAULT_REPLICAS};
     pub use usd_core::stabilization::{stabilize, ConsensusOutcome, StabilizationResult};
     pub use usd_core::theory::Bounds;
     pub use usd_core::UsdConfig;

@@ -19,9 +19,10 @@
 
 use plurality_consensus::pop_proto::{Observation, TopologyFamily};
 use plurality_consensus::sim_stats::rng::SimRng;
-use plurality_consensus::usd_core::backend::{make_simulator, stabilize_on_topology, Backend};
+use plurality_consensus::usd_core::backend::{make_simulator, Backend};
 use plurality_consensus::usd_core::init::InitialConfigBuilder;
 use plurality_consensus::usd_core::stabilization::ConsensusOutcome;
+use plurality_consensus::usd_core::RunSpec;
 
 /// What one observed run accumulated.
 struct ObservedRun {
@@ -39,6 +40,9 @@ struct ObservedRun {
 fn observed_run(backend: Backend, n: u64, k: usize, seed: u64) -> ObservedRun {
     let config = InitialConfigBuilder::new(n, k).figure1();
     let mut sim = make_simulator(backend, &config);
+    // Lane-aggregate engines (replica) hold `lanes × n` agents; observation
+    // conserves the engine's population, not the per-lane one.
+    let population = sim.population();
     let mut rng = SimRng::new(seed);
     let mut out = ObservedRun {
         observations: 0,
@@ -52,7 +56,7 @@ fn observed_run(backend: Backend, n: u64, k: usize, seed: u64) -> ObservedRun {
     sim.advance_observed(&mut rng, u64::MAX / 2, &mut |obs: &Observation<'_>| {
         assert_eq!(
             obs.counts.iter().sum::<u64>(),
-            n,
+            population,
             "{backend}: population not conserved"
         );
         assert!(obs.delta_effective >= 1, "{backend}: unchanged boundary");
@@ -175,7 +179,11 @@ fn frozen_outcome_is_reported_identically_by_all_graph_backends() {
     let mut outcomes = Vec::new();
     for backend in [Backend::Agent, Backend::Graph, Backend::BatchGraph] {
         let mut rng = SimRng::new(9);
-        let r = stabilize_on_topology(backend, &config, family, 3, &mut rng, u64::MAX / 2);
+        let r = RunSpec::new(&config)
+            .backend(backend)
+            .topology(family)
+            .topo_seed(3)
+            .run(&mut rng);
         assert!(r.stabilized(), "{backend} did not detect the freeze");
         outcomes.push((backend, r.outcome));
     }

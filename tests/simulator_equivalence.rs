@@ -196,12 +196,9 @@ fn batch_elects_plurality_at_reference_rate() {
     for seed in 0..reps {
         let config = InitialConfigBuilder::new(n, k).figure1();
         let mut rng = SimRng::new(seed + 3_000_000);
-        let result = usd_core::stabilize_with_backend(
-            usd_core::Backend::Batch,
-            &config,
-            &mut rng,
-            u64::MAX / 2,
-        );
+        let result = usd_core::RunSpec::new(&config)
+            .backend(usd_core::Backend::Batch)
+            .run(&mut rng);
         assert!(result.stabilized());
         if result.plurality_won() {
             wins += 1;

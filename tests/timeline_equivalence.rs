@@ -3,7 +3,7 @@
 //! The timeline recorder (`pop_proto::telemetry::timeline`) is a third
 //! view of the same clocks the engines and the observation layer already
 //! keep, so these tests pin the identities that make a recorded timeline
-//! trustworthy on **all seven backends**:
+//! trustworthy on **every backend**:
 //!
 //! * **delta completeness**: the windowed deltas of every sample sum to
 //!   the engine's final cumulative telemetry — no window is dropped,
@@ -139,10 +139,14 @@ fn samples_land_exactly_on_scheduled_cadence_marks() {
         let cadence = 1_000u64;
         let (rec, _, _) = recorded_run(backend, 600, 3, 7, cadence);
         let samples = rec.samples();
+        // The replica engine advances the aggregate scheduled clock by
+        // popcount(live) ≤ 64 per shared draw, so a horizon-bounded chunk
+        // stops at most 63 past its mark; every other backend truncates
+        // exactly on the grid.
+        let slack = if backend == Backend::Replica { 63 } else { 0 };
         for s in &samples[..samples.len() - 1] {
-            assert_eq!(
-                s.scheduled % cadence,
-                0,
+            assert!(
+                s.scheduled % cadence <= slack,
                 "{backend}: non-final sample off the cadence grid at {}",
                 s.scheduled
             );
@@ -154,11 +158,24 @@ fn samples_land_exactly_on_scheduled_cadence_marks() {
                 w[1].scheduled > w[0].scheduled,
                 "{backend}: non-increasing sample clocks"
             );
-            if w[1].scheduled % cadence == 0 {
+            if slack == 0 && w[1].scheduled % cadence == 0 {
                 assert_eq!(
                     w[1].scheduled - w[0].scheduled,
                     cadence,
                     "{backend}: a cadence mark was skipped between samples"
+                );
+            }
+        }
+        if slack > 0 {
+            // Overshoot never skips a whole mark: consecutive non-final
+            // samples stay one cadence window apart (± the overshoot).
+            for w in samples[..samples.len() - 1].windows(2) {
+                let diff = w[1].scheduled - w[0].scheduled;
+                assert!(
+                    diff >= cadence - slack && diff <= cadence + slack,
+                    "{backend}: consecutive samples {} and {} not one mark apart",
+                    w[0].scheduled,
+                    w[1].scheduled
                 );
             }
         }

@@ -10,7 +10,8 @@
 use plurality_consensus::prelude::*;
 use pop_proto::TopologyFamily;
 use sim_stats::ks::{ks_critical_value, ks_statistic};
-use usd_core::backend::{stabilize_on_topology, Backend};
+use usd_core::backend::Backend;
+use usd_core::RunSpec;
 
 /// Stabilization-time samples (interactions) for one backend on one
 /// topology. Each repetition draws its own layout and trajectory from a
@@ -28,14 +29,11 @@ fn samples(
     (0..reps)
         .map(|rep| {
             let mut rng = SimRng::new(seed_base + rep);
-            let result = stabilize_on_topology(
-                backend,
-                &config,
-                family,
-                0xBEEF ^ rep,
-                &mut rng,
-                u64::MAX / 2,
-            );
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .topology(family)
+                .topo_seed(0xBEEF ^ rep)
+                .run(&mut rng);
             assert!(
                 result.stabilized(),
                 "{backend} rep {rep} did not stabilize on {family}"
@@ -240,14 +238,11 @@ fn graphwise_and_agentwise_agree_on_winner_rate() {
         let mut wins = 0u64;
         for rep in 0..reps {
             let mut rng = SimRng::new(rep + 7_000 * slot as u64);
-            let result = stabilize_on_topology(
-                backend,
-                &config,
-                TopologyFamily::Regular { d: 8 },
-                0xABCD ^ rep,
-                &mut rng,
-                u64::MAX / 2,
-            );
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .topology(TopologyFamily::Regular { d: 8 })
+                .topo_seed(0xABCD ^ rep)
+                .run(&mut rng);
             if result.plurality_won() {
                 wins += 1;
             }
@@ -277,14 +272,11 @@ fn graphwise_skip_clock_matches_agentwise_on_cycle() {
     for (slot, backend) in [Backend::Agent, Backend::Graph].into_iter().enumerate() {
         for rep in 0..reps {
             let mut rng = SimRng::new(rep + 11_000 * slot as u64);
-            let result = stabilize_on_topology(
-                backend,
-                &config,
-                TopologyFamily::Cycle,
-                1,
-                &mut rng,
-                u64::MAX / 2,
-            );
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .topology(TopologyFamily::Cycle)
+                .topo_seed(1)
+                .run(&mut rng);
             assert!(result.stabilized());
             means[slot] += result.interactions as f64;
         }
