@@ -35,6 +35,12 @@
 //!   [`GraphSimulator`] uses, driven a block of events at a time) when
 //!   no-ops dominate. [`WideBatchGraphSimulator`] is its u16 state-packing
 //!   fallback for protocols with more than 256 states.
+//! * [`ParGraphSimulator`] — the multi-core graph engine: dense blocks of
+//!   position-derived draws (each a pure function of a per-block seed and
+//!   its position, so trajectories are bit-identical for any thread
+//!   count) applied across BFS-cut spatial domains on the persistent
+//!   `sim_stats` worker pool, with cross-domain conflicts replayed in
+//!   schedule order and the same sparse-skipper endgame.
 //!
 //! The graph engines' sparse phases share one block-leaping implementation
 //! (the private `sparse` module): a Fenwick tree over per-edge
@@ -58,6 +64,7 @@ mod batched;
 mod batched_graph;
 mod countwise;
 mod graphwise;
+mod par_graph;
 mod replica;
 mod sparse;
 
@@ -66,6 +73,7 @@ pub use batched::BatchSimulator;
 pub use batched_graph::{BatchGraphSimulator, StateWord, WideBatchGraphSimulator};
 pub use countwise::CountSimulator;
 pub use graphwise::{shuffled_layout, GraphSimulator};
+pub use par_graph::ParGraphSimulator;
 pub use replica::{BitwiseProtocol, ReplicaSimulator, MAX_LANES, MAX_PLANES};
 
 use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
@@ -103,6 +111,9 @@ pub mod snapshot_tags {
     /// [`ReplicaSimulator`](super::ReplicaSimulator) (bit-parallel
     /// replica lanes).
     pub const REPLICA: u8 = 9;
+    /// [`ParGraphSimulator`](super::ParGraphSimulator) (sharded
+    /// multi-core graph engine).
+    pub const PAR_GRAPH: u8 = 10;
 
     /// Name of a tag for error messages.
     pub fn name(tag: u8) -> &'static str {
@@ -116,6 +127,7 @@ pub mod snapshot_tags {
             USD_SEQ => "seq",
             USD_SKIP => "skip",
             REPLICA => "replica",
+            PAR_GRAPH => "pargraph",
             _ => "unknown",
         }
     }

@@ -1,7 +1,8 @@
 //! Shared block-leaping sparse-phase engine for the graph simulators.
 //!
-//! Both [`GraphSimulator`](super::GraphSimulator) and
-//! [`BatchGraphSimulator`](super::BatchGraphSimulator) handle
+//! [`GraphSimulator`](super::GraphSimulator),
+//! [`BatchGraphSimulator`](super::BatchGraphSimulator) and
+//! [`ParGraphSimulator`](super::ParGraphSimulator) handle
 //! no-op-dominated stretches the same way: a Fenwick tree over per-edge
 //! *active-orientation* weights turns the embedded no-op runs into exact
 //! geometric skips (success probability `W / 2m`) and effective events into

@@ -250,17 +250,19 @@ fn mvh_streams_rec(
     let rmaster = crate::rng::derive_seed(master, TAG_RIGHT);
     if par_worthwhile(threads, draws, pop.len()) {
         let (lt, rt) = (threads / 2 + threads % 2, threads / 2);
-        std::thread::scope(|scope| {
-            scope.spawn(|| mvh_streams_rec(lmaster, lpop, lcounts, left_sum, left_draw, lt));
-            mvh_streams_rec(
-                rmaster,
-                rpop,
-                rcounts,
-                total - left_sum,
-                draws - left_draw,
-                rt.max(1),
-            );
-        });
+        crate::threads::WorkerPool::global().join(
+            || mvh_streams_rec(lmaster, lpop, lcounts, left_sum, left_draw, lt),
+            || {
+                mvh_streams_rec(
+                    rmaster,
+                    rpop,
+                    rcounts,
+                    total - left_sum,
+                    draws - left_draw,
+                    rt.max(1),
+                )
+            },
+        );
     } else {
         mvh_streams_rec(lmaster, lpop, lcounts, left_sum, left_draw, 1);
         mvh_streams_rec(
@@ -346,10 +348,10 @@ fn pairing_rec(
     let (lout, rout) = out.split_at_mut(mid * k);
     if par_worthwhile(threads, range_draws, initiators.len() * k) {
         let (lt, rt) = (threads / 2 + threads % 2, threads / 2);
-        std::thread::scope(|scope| {
-            scope.spawn(|| pairing_rec(lmaster, linit, left_resp, lout, k, lt));
-            pairing_rec(rmaster, rinit, right_resp, rout, k, rt.max(1));
-        });
+        crate::threads::WorkerPool::global().join(
+            || pairing_rec(lmaster, linit, left_resp, lout, k, lt),
+            || pairing_rec(rmaster, rinit, right_resp, rout, k, rt.max(1)),
+        );
     } else {
         pairing_rec(lmaster, linit, left_resp, lout, k, 1);
         pairing_rec(rmaster, rinit, right_resp, rout, k, 1);

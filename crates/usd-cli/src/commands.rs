@@ -24,8 +24,8 @@ usd-sim — Undecided State Dynamics simulator
 
 commands:
   run    --n <u64> --k <usize> [--bias <u64> | --max-bias] [--seed <u64>]
-         [--backend agent|count|batch|graph|batchgraph|seq|skip|replica]
-         [--replicas <1..=64>]
+         [--backend agent|count|batch|graph|batchgraph|pargraph|seq|skip|replica]
+         [--replicas <1..=64>] [--threads <t>]
          [--trace <file.usdt>]
          [--topology complete|cycle|torus|hypercube|regular[:d]|er[:avg]]
          [--degree <usize>] [--topo-seed <u64>]
@@ -43,9 +43,16 @@ commands:
            summary; --replicas sets the lane count (default 64, replica
            backend only). Checkpoints of ensemble runs carry the lane
            count in their identity (backend 'replica:<lanes>').
+           --backend pargraph shards the interaction graph into spatial
+           domains advanced on a persistent worker pool; --threads caps
+           the worker threads of the thread-capable engines (batch,
+           pargraph; default: USD_THREADS env, else all cores).
+           Trajectories are bit-identical for any thread count, so
+           pargraph checkpoints resume under a different --threads.
            --topology runs on an interaction graph instead of the clique
            (backend default becomes batchgraph — the block-leaping engine;
-           graph and agent also work); --degree sets d for regular/er; the
+           graph, pargraph, agent, and replica also work); --degree sets d
+           for regular/er; the
            population is snapped to the nearest feasible size for the
            family. --telemetry prints the engine's run report (counters,
            timing spans, derived rates) as a table or one JSON object;
@@ -70,7 +77,7 @@ commands:
            resumed run reproduces the uninterrupted run byte-for-byte
            (final state and timeline)
   sweep  --n <u64> [--seeds <u64>] [--seed <u64>]
-         [--backend agent|count|batch|graph|batchgraph|seq|skip|replica]
+         [--backend agent|count|batch|graph|batchgraph|pargraph|seq|skip|replica]
            stabilization time across the admissible k grid vs the bounds
   bounds --n <u64> --k <usize>
            print the paper's bound curves for (n, k)
@@ -417,6 +424,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     } else {
         Backend::SkipAhead
     });
+    let caps = backend.capabilities();
     let lanes: u32 = match flags.get::<u32>("replicas")? {
         Some(0) => {
             return Err(CliError("--replicas must be at least 1".to_string()));
@@ -426,15 +434,27 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 "--replicas {r} exceeds the {DEFAULT_REPLICAS}-lane word width"
             )));
         }
-        Some(r) if r > 1 && !backend.supports_replicas() => {
+        Some(r) if r > caps.replicas => {
             return Err(CliError(format!(
                 "--replicas {r} requires --backend replica (the {backend} \
                  backend runs a single lane)"
             )));
         }
         Some(r) => r,
-        None if backend.supports_replicas() => DEFAULT_REPLICAS,
+        None if caps.replicas > 1 => DEFAULT_REPLICAS,
         None => 1,
+    };
+    let threads: Option<usize> = match flags.get::<usize>("threads")? {
+        Some(0) => {
+            return Err(CliError("--threads must be at least 1".to_string()));
+        }
+        Some(t) if !caps.threads => {
+            return Err(CliError(format!(
+                "--threads {t} has no effect on the {backend} backend \
+                 (thread-capable backends: batch, pargraph)"
+            )));
+        }
+        t => t,
     };
     // Backend identity as persisted in checkpoints and echoed on resume:
     // ensemble runs append the lane count so a checkpoint from a 64-lane
@@ -495,9 +515,10 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let resume_path: Option<String> = flags.get("resume")?;
     let want_histograms = flags.has("histograms");
     if let Some(family) = topology {
-        if !backend.supports_topologies() {
+        if !caps.topologies {
             return Err(CliError(format!(
-                "--topology requires --backend graph, batchgraph, or agent, got {backend}"
+                "--topology requires a topology-capable backend \
+                 (agent, graph, batchgraph, pargraph, or replica), got {backend}"
             )));
         }
         if trace_path.is_some() {
@@ -538,8 +559,10 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if let Some(p) = &checkpoint_path {
         preflight_writable(p, "--checkpoint")?;
     }
-    if matches!(backend, Backend::Graph | Backend::BatchGraph)
-        && topology.is_none()
+    if matches!(
+        backend,
+        Backend::Graph | Backend::BatchGraph | Backend::ParGraph
+    ) && topology.is_none()
         && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
     {
         return Err(CliError(format!(
@@ -731,7 +754,10 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             telemetry = Some(*Simulator::telemetry(&sim));
             result
         } else {
-            let build = RunSpec::new(&config).backend(backend).replicas(lanes);
+            let mut build = RunSpec::new(&config).backend(backend).replicas(lanes);
+            if let Some(t) = threads {
+                build = build.threads(t);
+            }
             let build = match topology {
                 Some(family) => build.topology(family).topo_seed(topo_seed),
                 None => build,
@@ -780,6 +806,9 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
                 .replicas(lanes)
                 .span_timing(telemetry_format.is_some())
                 .histograms(want_histograms);
+            if let Some(t) = threads {
+                spec = spec.threads(t);
+            }
             if monitored {
                 spec = spec.ticker(&mut monitor);
             }
@@ -800,11 +829,14 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             telemetry = Some(sim.map_or(EngineTelemetry::new(), |s| *s.telemetry()));
             result
         } else {
-            RunSpec::new(&config)
+            let mut spec = RunSpec::new(&config)
                 .backend(backend)
                 .topology(family)
-                .topo_seed(topo_seed)
-                .run(&mut rng)
+                .topo_seed(topo_seed);
+            if let Some(t) = threads {
+                spec = spec.threads(t);
+            }
+            spec.run(&mut rng)
         }
     } else if telemetry_format.is_some() || want_histograms || monitored || lanes > 1 {
         let mut spec = RunSpec::new(&config)
@@ -812,6 +844,9 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
             .replicas(lanes)
             .span_timing(telemetry_format.is_some())
             .histograms(want_histograms);
+        if let Some(t) = threads {
+            spec = spec.threads(t);
+        }
         if monitored {
             // The ticker forces the chunked drive loop; without one the
             // builder issues a single `run_to_silence`, so a telemetry-only
@@ -835,7 +870,11 @@ pub fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
         result
     } else {
-        RunSpec::new(&config).backend(backend).run(&mut rng)
+        let mut spec = RunSpec::new(&config).backend(backend);
+        if let Some(t) = threads {
+            spec = spec.threads(t);
+        }
+        spec.run(&mut rng)
     };
     let elapsed = started.elapsed();
 
@@ -968,8 +1007,10 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     if n < 16 {
         return Err(CliError("need --n >= 16".into()));
     }
-    if matches!(backend, Backend::Graph | Backend::BatchGraph)
-        && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
+    if matches!(
+        backend,
+        Backend::Graph | Backend::BatchGraph | Backend::ParGraph
+    ) && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
     {
         return Err(CliError(format!(
             "--backend {backend} sweeps the complete graph; n={n} exceeds the \

@@ -1,6 +1,6 @@
 //! Generic backend selection for USD runs.
 //!
-//! Eight exact engines can run the Undecided State Dynamics:
+//! Nine exact engines can run the Undecided State Dynamics:
 //!
 //! | backend | engine | cost model |
 //! |---------|--------|------------|
@@ -9,6 +9,7 @@
 //! | `batch` | [`pop_proto::BatchSimulator`] | O(k²+log n) per ~√n interactions |
 //! | `graph` | [`pop_proto::GraphSimulator`] | O(d log m)/**effective** interaction |
 //! | `batchgraph` | [`pop_proto::BatchGraphSimulator`] | block-leaping O(1)/interaction, sparse O(d log m)/effective |
+//! | `pargraph` | [`pop_proto::ParGraphSimulator`] | multi-core block-leaping: position-derived draw blocks applied across spatial domains on the persistent worker pool |
 //! | `seq`   | [`crate::dynamics::SequentialUsd`] | O(log k)/interaction, USD-specialized |
 //! | `skip`  | [`crate::dynamics::SkipAheadUsd`] | O(log k)/effective event |
 //! | `replica` | [`pop_proto::ReplicaSimulator`] | r ≤ 64 packed lanes, O(⌈log₂(k+1)⌉)/draw for **all** lanes |
@@ -16,15 +17,21 @@
 //! [`Backend`] names them (with `FromStr` for CLI flags);
 //! [`RunSpec`] runs any of them to stabilization behind
 //! one entry point, so experiments, the CLI, examples, and benches select
-//! an engine generically. The `agent`, `graph`, `batchgraph`, and
-//! `replica` backends also run on non-clique interaction graphs
-//! ([`RunSpec::topology`](crate::RunSpec::topology) builds a
+//! an engine generically. What each backend can do — graph topologies,
+//! packed replica lanes, multi-thread execution, observation granularity,
+//! checkpointing — is declared in one place,
+//! [`Backend::capabilities`], which the argument-validation and
+//! construction paths consult. The `agent`, `graph`, `batchgraph`,
+//! `pargraph`, and `replica` backends run on non-clique interaction
+//! graphs ([`RunSpec::topology`](crate::RunSpec::topology) builds a
 //! [`TopologyFamily`] graph, places the initial configuration uniformly at
 //! random on its vertices, and runs the engine to graph silence). The
 //! `replica` backend is the ensemble engine: one pass advances up to 64
-//! independent replicas of the same configuration
-//! ([`Backend::supports_replicas`]), with per-lane outcomes read back
-//! through [`EnsembleOutcome`](crate::EnsembleOutcome).
+//! independent replicas of the same configuration, with per-lane outcomes
+//! read back through [`EnsembleOutcome`](crate::EnsembleOutcome). The
+//! `pargraph` backend is the multi-core engine: its trajectories are
+//! bit-identical for any [`RunSpec::threads`](crate::RunSpec::threads)
+//! setting.
 //!
 //! The free functions in this module are the *legacy* entrypoints, kept as
 //! thin deprecated wrappers over [`RunSpec`] (their
@@ -46,6 +53,7 @@
 //! | `batch` | clocks, `blocks`/`block_draws`/`block_applied`, `fallback_literal` (collision steps), `table_draws`, `skip_draws`, `dense_steps`/`pair_draws` |
 //! | `graph` | clocks, `dense_steps`, `pair_draws`, `sparse_enters`/`sparse_exits`, all `sparse.*` skipper stats, spans `dense`/`sparse` |
 //! | `batchgraph` | clocks, `blocks`/`block_draws`/`block_applied`, `fallback_literal` (dirty draws), `pair_draws`, `sparse_enters`/`sparse_exits`, all `sparse.*`, spans `dense`/`gather`/`apply`/`sparse` |
+//! | `pargraph` | clocks, `blocks`/`block_draws`/`block_applied` (interior draws), `fallback_literal` (replayed boundary/conflict draws), `dense_steps`/`pair_draws`, `sparse_enters`/`sparse_exits`, all `sparse.*`, spans `dense`/`sparse` |
 //! | `seq` | `scheduled`/`effective`, `dense_steps`, `pair_draws` |
 //! | `skip` | `scheduled`/`effective`, `skip_draws`, `pair_draws` |
 //! | `replica` | `scheduled`/`effective` (*lane-aggregate*: +popcount(live)/+popcount(changed) per draw), `dense_steps`/`pair_draws` (per *draw*) |
@@ -73,6 +81,7 @@
 //! | `batch` | `skip_len` (geometric draws), `block_size` (applied per batch), `fallback_run` (collision literals) |
 //! | `graph` | `skip_len` (dense no-op runs + sparse geometric draws), `block_total`/`flush_size`/`flush_occupancy` (sparse skipper) |
 //! | `batchgraph` | `skip_len`, `block_size` (matching blocks), `fallback_run` (dirty draws), `block_total`/`flush_size`/`flush_occupancy` (sparse skipper) |
+//! | `pargraph` | `block_size` (interior draws applied per block), `fallback_run` (replayed draws per block), `skip_len`/`block_total`/`flush_size`/`flush_occupancy` (sparse skipper only — dense no-op runs are not observable from the parallel application) |
 //! | `seq` | `skip_len` (literally-counted no-op runs) |
 //! | `skip` | `skip_len` (completed geometric runs) |
 //! | `replica` | `skip_len` (runs of draws effective in **no** lane) |
@@ -100,6 +109,10 @@ pub enum Backend {
     /// Batch-leaping graph simulator (matching-based multi-event blocks;
     /// the fast engine for effective-dominated topologies).
     BatchGraph,
+    /// Sharded multi-core graph simulator (position-derived draw blocks
+    /// applied across spatial domains on the persistent worker pool;
+    /// trajectories bit-identical for any thread count).
+    ParGraph,
     /// USD-specialized sequential engine.
     Sequential,
     /// USD-specialized skip-ahead engine.
@@ -112,19 +125,20 @@ pub enum Backend {
 
 impl Backend {
     /// All backends, in display order.
-    pub const ALL: [Backend; 8] = [
+    pub const ALL: [Backend; 9] = [
         Backend::Agent,
         Backend::Count,
         Backend::Batch,
         Backend::Graph,
         Backend::BatchGraph,
+        Backend::ParGraph,
         Backend::Sequential,
         Backend::SkipAhead,
         Backend::Replica,
     ];
 
     /// The flag-friendly name (`agent`, `count`, `batch`, `graph`,
-    /// `batchgraph`, `seq`, `skip`, `replica`).
+    /// `batchgraph`, `pargraph`, `seq`, `skip`, `replica`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Agent => "agent",
@@ -132,6 +146,7 @@ impl Backend {
             Backend::Batch => "batch",
             Backend::Graph => "graph",
             Backend::BatchGraph => "batchgraph",
+            Backend::ParGraph => "pargraph",
             Backend::Sequential => "seq",
             Backend::SkipAhead => "skip",
             Backend::Replica => "replica",
@@ -139,33 +154,102 @@ impl Backend {
     }
 
     /// Whether the backend's memory footprint scales with n (the agentwise
-    /// and graphwise engines allocate per-agent — and, for `graph`,
-    /// per-edge — state; the replica engine allocates ⌈log₂(k+1)⌉ words
-    /// per agent).
+    /// and graphwise engines allocate per-agent — and, for the graph
+    /// engines, per-edge — state; the replica engine allocates
+    /// ⌈log₂(k+1)⌉ words per agent).
     pub fn per_agent_memory(&self) -> bool {
         matches!(
             self,
-            Backend::Agent | Backend::Graph | Backend::BatchGraph | Backend::Replica
+            Backend::Agent
+                | Backend::Graph
+                | Backend::BatchGraph
+                | Backend::ParGraph
+                | Backend::Replica
         )
+    }
+
+    /// What this backend can do — the single declaration the validation
+    /// and construction paths consult. See [`Capabilities`].
+    pub fn capabilities(&self) -> Capabilities {
+        let granularity = match self {
+            Backend::Agent | Backend::Count | Backend::Sequential => ObservationGranularity::Event,
+            Backend::SkipAhead | Backend::Graph => ObservationGranularity::Event,
+            Backend::Batch | Backend::BatchGraph | Backend::ParGraph | Backend::Replica => {
+                ObservationGranularity::Block
+            }
+        };
+        Capabilities {
+            topologies: matches!(
+                self,
+                Backend::Agent
+                    | Backend::Graph
+                    | Backend::BatchGraph
+                    | Backend::ParGraph
+                    | Backend::Replica
+            ),
+            replicas: if matches!(self, Backend::Replica) {
+                pop_proto::simulator::MAX_LANES
+            } else {
+                1
+            },
+            threads: matches!(self, Backend::Batch | Backend::ParGraph),
+            observation: granularity,
+            checkpointing: true,
+        }
     }
 
     /// Whether the backend runs on non-clique interaction graphs (accepted
     /// by [`RunSpec::topology`](crate::RunSpec::topology) /
     /// [`make_topology_simulator`]).
+    #[deprecated(since = "0.1.0", note = "use Backend::capabilities().topologies")]
     pub fn supports_topologies(&self) -> bool {
-        matches!(
-            self,
-            Backend::Agent | Backend::Graph | Backend::BatchGraph | Backend::Replica
-        )
+        self.capabilities().topologies
     }
 
     /// Whether the backend packs multiple independent replica lanes into
     /// one engine pass (accepted by
-    /// [`RunSpec::replicas`](crate::RunSpec::replicas) with r > 1) —
-    /// mirrors [`supports_topologies`](Backend::supports_topologies).
+    /// [`RunSpec::replicas`](crate::RunSpec::replicas) with r > 1).
+    #[deprecated(since = "0.1.0", note = "use Backend::capabilities().replicas > 1")]
     pub fn supports_replicas(&self) -> bool {
-        matches!(self, Backend::Replica)
+        self.capabilities().replicas > 1
     }
+}
+
+/// How a backend's [`advance_observed`](pop_proto::Simulator::advance_observed)
+/// boundaries land (see the granularity table in [`pop_proto::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObservationGranularity {
+    /// Observers see every effective event individually (**exact**).
+    Event,
+    /// Observers see block checkpoints summarizing ≥ 1 events.
+    Block,
+}
+
+/// What a [`Backend`] can do, declared in one place.
+///
+/// Replaces the scattered `supports_*` boolean probes: argument
+/// validation (the CLI's exit-2 paths) and the [`RunSpec`] construction
+/// panics all route through this struct, so adding a backend means
+/// filling in one table instead of auditing every probe call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capabilities {
+    /// Runs on non-clique interaction graphs
+    /// ([`RunSpec::topology`](crate::RunSpec::topology)).
+    pub topologies: bool,
+    /// Maximum independent replica lanes packed into one engine pass
+    /// (1 = single-lane only; the ensemble engine packs up to 64).
+    pub replicas: u32,
+    /// Uses multi-thread execution — [`RunSpec::threads`](crate::RunSpec::threads)
+    /// changes its wall-clock (never its trajectory).
+    pub threads: bool,
+    /// Observation granularity of
+    /// [`advance_observed`](pop_proto::Simulator::advance_observed).
+    pub observation: ObservationGranularity,
+    /// Supports [`snapshot_state`](pop_proto::Simulator::snapshot_state) /
+    /// [`restore_state`](pop_proto::Simulator::restore_state) round-trips
+    /// (all current backends do; declared so a future backend without
+    /// them fails validation instead of corrupting a resume).
+    pub checkpointing: bool,
 }
 
 impl std::fmt::Display for Backend {
@@ -184,12 +268,13 @@ impl std::str::FromStr for Backend {
             "batch" => Ok(Backend::Batch),
             "graph" | "graphwise" => Ok(Backend::Graph),
             "batchgraph" | "batch-graph" => Ok(Backend::BatchGraph),
+            "pargraph" | "par-graph" => Ok(Backend::ParGraph),
             "seq" | "sequential" => Ok(Backend::Sequential),
             "skip" | "skip-ahead" => Ok(Backend::SkipAhead),
             "replica" | "ensemble" => Ok(Backend::Replica),
             other => Err(format!(
                 "unknown backend '{other}' (expected \
-                 agent|count|batch|graph|batchgraph|seq|skip|replica)"
+                 agent|count|batch|graph|batchgraph|pargraph|seq|skip|replica)"
             )),
         }
     }
@@ -202,16 +287,16 @@ pub const COMPLETE_GRAPH_MAX_N: u64 = 10_000;
 
 /// Construct a generic-substrate simulator for `config` as a trait object.
 ///
-/// Every backend is a generic-substrate engine: the five `pop-proto`
+/// Every backend is a generic-substrate engine: the six `pop-proto`
 /// engines natively, the two USD-specialized ones through their thin
 /// wrappers, and the replica ensemble engine (default 64 lanes), so
-/// observer-driven experiments select any of the eight interchangeably.
+/// observer-driven experiments select any of the nine interchangeably.
 /// Delegates to [`RunSpec::build_simulator`](crate::RunSpec::build_simulator)
 /// — the one place backends register; clique construction draws no RNG
 /// (replica lane layouts come from an internal fixed-seed stream).
-/// [`Backend::Graph`] and [`Backend::BatchGraph`] here mean the *complete*
-/// graph (their degenerate clique instance) and are capped at
-/// [`COMPLETE_GRAPH_MAX_N`] agents.
+/// [`Backend::Graph`], [`Backend::BatchGraph`], and [`Backend::ParGraph`]
+/// here mean the *complete* graph (their degenerate clique instance) and
+/// are capped at [`COMPLETE_GRAPH_MAX_N`] agents.
 pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator> {
     // Clique construction is RNG-free for every backend; the throwaway
     // stream is never drawn from.
@@ -226,7 +311,7 @@ pub fn make_simulator(backend: Backend, config: &UsdConfig) -> Box<dyn Simulator
 /// the initial configuration is placed uniformly at random on its vertices
 /// (drawing from `rng`; one shuffled layout per lane for
 /// [`Backend::Replica`], lane 0 first). Only the topology-capable backends
-/// are accepted (see [`Backend::supports_topologies`]); the population
+/// are accepted (see [`Backend::capabilities`]); the population
 /// must already be feasible for the family (see
 /// [`TopologyFamily::snap_n`]). Delegates to
 /// [`RunSpec::build_simulator`](crate::RunSpec::build_simulator).
@@ -523,6 +608,7 @@ mod tests {
         assert_eq!("skip-ahead".parse::<Backend>().unwrap(), Backend::SkipAhead);
         assert_eq!("graphwise".parse::<Backend>().unwrap(), Backend::Graph);
         assert_eq!("ensemble".parse::<Backend>().unwrap(), Backend::Replica);
+        assert_eq!("par-graph".parse::<Backend>().unwrap(), Backend::ParGraph);
         assert!("warp".parse::<Backend>().is_err());
         assert!(Backend::Agent.per_agent_memory());
         assert!(Backend::Graph.per_agent_memory());
@@ -531,6 +617,8 @@ mod tests {
         assert!(Backend::Graph.supports_topologies());
         assert!(Backend::BatchGraph.supports_topologies());
         assert!(Backend::BatchGraph.per_agent_memory());
+        assert!(Backend::ParGraph.supports_topologies());
+        assert!(Backend::ParGraph.per_agent_memory());
         assert!(Backend::Replica.supports_topologies());
         assert!(Backend::Replica.per_agent_memory());
         assert!(Backend::Replica.supports_replicas());
@@ -543,6 +631,55 @@ mod tests {
         );
         assert!(!Backend::Batch.supports_topologies());
         assert!(!Backend::SkipAhead.supports_topologies());
+    }
+
+    #[test]
+    fn capabilities_declare_the_probe_truth_in_one_place() {
+        for b in Backend::ALL {
+            let caps = b.capabilities();
+            // The deprecated shims must forward to the struct exactly.
+            assert_eq!(b.supports_topologies(), caps.topologies, "{b}");
+            assert_eq!(b.supports_replicas(), caps.replicas > 1, "{b}");
+            assert!(caps.checkpointing, "{b}: every current engine snapshots");
+            assert!(caps.replicas >= 1, "{b}");
+        }
+        assert_eq!(Backend::Replica.capabilities().replicas, 64);
+        assert_eq!(Backend::Agent.capabilities().replicas, 1);
+        // Thread-capable engines: the clique batch engine fans its
+        // hypergeometric streams out, and pargraph shards its domains.
+        for b in Backend::ALL {
+            assert_eq!(
+                b.capabilities().threads,
+                matches!(b, Backend::Batch | Backend::ParGraph),
+                "{b}"
+            );
+        }
+        // Observation granularity mirrors the table in pop_proto::observe.
+        for b in [
+            Backend::Agent,
+            Backend::Count,
+            Backend::Sequential,
+            Backend::SkipAhead,
+            Backend::Graph,
+        ] {
+            assert_eq!(
+                b.capabilities().observation,
+                ObservationGranularity::Event,
+                "{b}"
+            );
+        }
+        for b in [
+            Backend::Batch,
+            Backend::BatchGraph,
+            Backend::ParGraph,
+            Backend::Replica,
+        ] {
+            assert_eq!(
+                b.capabilities().observation,
+                ObservationGranularity::Block,
+                "{b}"
+            );
+        }
     }
 
     #[test]

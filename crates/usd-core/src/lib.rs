@@ -67,7 +67,9 @@ pub use analysis::{
     expected_gap_drift, expected_undecided_drift, max_gap, monochromatic_distance,
     opinion_threshold, undecided_plateau,
 };
-pub use backend::{make_simulator, make_topology_simulator, Backend};
+pub use backend::{
+    make_simulator, make_topology_simulator, Backend, Capabilities, ObservationGranularity,
+};
 #[allow(deprecated)]
 pub use backend::{stabilize_on_topology, stabilize_with_backend};
 pub use checkpoint::{RunCheckpoint, RunIdentity};

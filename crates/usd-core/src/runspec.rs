@@ -23,7 +23,12 @@
 //! [`topology`](RunSpec::topology) switches the run to a
 //! [`TopologyFamily`] graph, [`replicas`](RunSpec::replicas) packs r ≤ 64
 //! independent lanes into one [`ReplicaSimulator`] pass
-//! ([`Backend::Replica`] only — see [`Backend::supports_replicas`]),
+//! ([`Backend::Replica`] only — see
+//! [`Backend::capabilities`]), [`threads`](RunSpec::threads) caps the
+//! worker threads of the thread-capable engines (resolved **once** at
+//! builder construction from the process-wide override > the
+//! `USD_THREADS` environment variable > available parallelism, then
+//! carried as plain data — engines never consult the environment),
 //! [`ticker`](RunSpec::ticker) attaches a chunk-boundary
 //! [`RunTicker`] (heartbeats, flight recorders, checkpoint hooks), and
 //! [`observer`](RunSpec::observer) streams count-change
@@ -63,10 +68,11 @@ use crate::stabilization::StabilizationResult;
 use pop_proto::simulator::{shuffled_layout, MAX_LANES};
 use pop_proto::{
     AgentSimulator, BatchGraphSimulator, BatchSimulator, CliqueScheduler, CountSimulator, Graph,
-    GraphScheduler, GraphSimulator, Observation, Protocol, ReplicaSimulator, SimObserver,
-    Simulator, StateWord, TopologyFamily, WideBatchGraphSimulator,
+    GraphScheduler, GraphSimulator, Observation, ParGraphSimulator, Protocol, ReplicaSimulator,
+    SimObserver, Simulator, StateWord, TopologyFamily, WideBatchGraphSimulator,
 };
 use sim_stats::rng::SimRng;
+use sim_stats::threads::resolve_threads;
 
 /// Lane count a [`Backend::Replica`] run packs when
 /// [`RunSpec::replicas`] is not called: one full machine word.
@@ -100,6 +106,7 @@ pub struct RunSpec<'a> {
     topology: Option<TopologyFamily>,
     topo_seed: u64,
     replicas: Option<u32>,
+    threads: usize,
     budget: u64,
     span_timing: bool,
     histograms: bool,
@@ -118,6 +125,7 @@ impl<'a> RunSpec<'a> {
             topology: None,
             topo_seed: 0,
             replicas: None,
+            threads: resolve_threads(),
             budget: u64::MAX / 2,
             span_timing: false,
             histograms: false,
@@ -136,7 +144,7 @@ impl<'a> RunSpec<'a> {
     /// is deterministic in `(family, n, topo_seed)`; the initial layout is
     /// placed uniformly at random on its vertices (drawing from the run
     /// RNG). Only topology-capable backends are accepted
-    /// ([`Backend::supports_topologies`]).
+    /// ([`Backend::capabilities`]).
     pub fn topology(mut self, family: TopologyFamily) -> Self {
         self.topology = Some(family);
         self
@@ -150,12 +158,33 @@ impl<'a> RunSpec<'a> {
 
     /// Pack `replicas` independent lanes of the same configuration into
     /// one engine pass (1 ≤ r ≤ 64). Only [`Backend::Replica`] packs
-    /// lanes ([`Backend::supports_replicas`]); every other backend accepts
+    /// lanes (`capabilities().replicas`); every other backend accepts
     /// exactly 1. Defaults to [`DEFAULT_REPLICAS`] for the replica
     /// backend and 1 otherwise.
     pub fn replicas(mut self, replicas: u32) -> Self {
         self.replicas = Some(replicas);
         self
+    }
+
+    /// Cap the worker threads of the thread-capable engines
+    /// (`capabilities().threads`: the clique batch engine's
+    /// hypergeometric-stream fan-out and the pargraph engine's domain
+    /// shards). Defaults to the process-wide resolution at builder
+    /// construction — override > `USD_THREADS` > available parallelism —
+    /// so engines receive the value as plain data and never read the
+    /// environment themselves. Thread count is **bit-neutral** on every
+    /// engine: any value produces identical trajectories; only wall-clock
+    /// changes. Values are clamped to ≥ 1; thread-incapable backends
+    /// ignore it.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The resolved worker-thread cap this spec will hand to
+    /// thread-capable engines.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads
     }
 
     /// Interaction budget: the run ends at silence or once the scheduled
@@ -199,8 +228,9 @@ impl<'a> RunSpec<'a> {
     }
 
     /// The resolved lane count: [`replicas`](RunSpec::replicas) if set
-    /// (validated against [`Backend::supports_replicas`]), else
-    /// [`DEFAULT_REPLICAS`] for [`Backend::Replica`] and 1 otherwise.
+    /// (validated against the backend's `capabilities().replicas`
+    /// ceiling), else [`DEFAULT_REPLICAS`] for [`Backend::Replica`] and 1
+    /// otherwise.
     pub fn lanes(&self) -> u32 {
         match self.replicas {
             None => {
@@ -216,10 +246,11 @@ impl<'a> RunSpec<'a> {
                     r as usize <= MAX_LANES as usize,
                     "{r} replica lanes exceed the {MAX_LANES}-lane word width"
                 );
+                let ceiling = self.backend.capabilities().replicas;
                 assert!(
-                    r == 1 || self.backend.supports_replicas(),
+                    r <= ceiling,
                     "{} cannot pack {r} replica lanes into one engine pass \
-                     (only the replica backend does; see Backend::supports_replicas)",
+                     (its capabilities().replicas ceiling is {ceiling})",
                     self.backend
                 );
                 r
@@ -239,7 +270,7 @@ impl<'a> RunSpec<'a> {
             None => self.build_clique(),
             Some(family) => {
                 assert!(
-                    self.backend.supports_topologies(),
+                    self.backend.capabilities().topologies,
                     "{} cannot run graph topologies (use agent or graph)",
                     self.backend
                 );
@@ -260,8 +291,10 @@ impl<'a> RunSpec<'a> {
                 &counts,
             )),
             Backend::Count => Box::new(CountSimulator::new(proto, &counts)),
-            Backend::Batch => Box::new(BatchSimulator::new(proto, &counts)),
-            Backend::Graph | Backend::BatchGraph => {
+            Backend::Batch => {
+                Box::new(BatchSimulator::new(proto, &counts).with_threads(self.threads))
+            }
+            Backend::Graph | Backend::BatchGraph | Backend::ParGraph => {
                 // Degenerate clique instance: the complete graph,
                 // materialized as a Θ(n²) edge list — demo/ablation
                 // territory. Refuse sizes whose edge list would silently
@@ -278,6 +311,15 @@ impl<'a> RunSpec<'a> {
                 let graph = TopologyFamily::Complete.build(self.config.n() as usize, 0);
                 if self.backend == Backend::Graph {
                     Box::new(GraphSimulator::from_config(proto, &graph, &counts))
+                } else if self.backend == Backend::ParGraph {
+                    // Canonical block layout, like the scalar graph
+                    // engine's `from_config` — clique construction stays
+                    // RNG-free.
+                    let mut states = Vec::with_capacity(counts.n() as usize);
+                    for (idx, &c) in counts.counts().iter().enumerate() {
+                        states.extend(std::iter::repeat_n(idx, c as usize));
+                    }
+                    Box::new(ParGraphSimulator::new(proto, &graph, states, self.threads))
                 } else if proto.num_states() <= <u8 as StateWord>::LIMIT {
                     Box::new(BatchGraphSimulator::from_config(proto, &graph, &counts))
                 } else {
@@ -331,12 +373,19 @@ impl<'a> RunSpec<'a> {
                 let states = shuffled_layout(&counts, rng);
                 Box::new(WideBatchGraphSimulator::with_states(proto, &graph, states))
             }
+            Backend::ParGraph => Box::new(ParGraphSimulator::from_config_shuffled(
+                proto,
+                &graph,
+                &counts,
+                rng,
+                self.threads,
+            )),
             Backend::Replica => {
                 let layouts: Vec<Vec<usize>> =
                     (0..lanes).map(|_| shuffled_layout(&counts, rng)).collect();
                 Box::new(ReplicaSimulator::new_graph(proto, graph, &layouts))
             }
-            _ => unreachable!("supports_topologies() admitted {}", self.backend),
+            _ => unreachable!("capabilities().topologies admitted {}", self.backend),
         }
     }
 
@@ -361,7 +410,7 @@ impl<'a> RunSpec<'a> {
         match self.topology {
             Some(family) => {
                 assert!(
-                    self.backend.supports_topologies(),
+                    self.backend.capabilities().topologies,
                     "{} cannot run graph topologies (use agent or graph)",
                     self.backend
                 );

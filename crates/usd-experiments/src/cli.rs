@@ -16,7 +16,9 @@
 //! --backend <b>    simulation backend, where the experiment honors it
 //!                  (fig1, the lemma probes E3/E4/E5, the scaling sweeps
 //!                  E6/E7/E10, E8, E11, and E13: any generic backend;
-//!                  topology_sweep: graph|batchgraph|agent)
+//!                  topology_sweep: any backend whose
+//!                  `capabilities().topologies` holds — agent, graph,
+//!                  batchgraph, pargraph, replica)
 //! --timeline-dir <dir>
 //!                  write one flight-recorder JSONL per sweep cell from
 //!                  the cell's representative run (topology_sweep only)

@@ -20,8 +20,12 @@
 //!
 //! The resolution itself lives in [`sim_stats::threads`] (re-exported
 //! here), so the parallel sampling primitives in the lower layers — the
-//! batch simulators' hypergeometric row fan-out — honor the same
-//! `--threads`/`USD_THREADS` discipline as the sweeps.
+//! batch simulators' hypergeometric row fan-out and the sharded
+//! `pargraph` engine's domain workers — honor the same
+//! `--threads`/`USD_THREADS` discipline as the sweeps. Engine
+//! construction itself never consults the environment: `RunSpec::threads`
+//! resolves the count once at spec construction and passes it to the
+//! engines as plain data.
 
 use sim_stats::rng::{RngFactory, SimRng};
 use std::sync::atomic::{AtomicUsize, Ordering};

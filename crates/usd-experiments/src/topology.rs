@@ -68,10 +68,10 @@ pub struct TopologyCell {
 /// inside the sweep).
 pub fn validate_args(args: &ExpArgs) -> Result<(), String> {
     let backend = args.backend_or(Backend::BatchGraph);
-    if !backend.supports_topologies() {
+    if !backend.capabilities().topologies {
         return Err(format!(
             "--backend {backend} cannot run graph topologies \
-             (use graph, batchgraph, agent, or replica)"
+             (use graph, batchgraph, pargraph, agent, or replica)"
         ));
     }
     if let (Some(family), Some(d)) = (args.topology, args.degree) {
@@ -274,7 +274,7 @@ pub fn topology_cell(
             (outcome, interactions, *sim.telemetry())
         }
     };
-    let outcomes = if backend.supports_replicas() {
+    let outcomes = if backend.capabilities().replicas > 1 {
         // One bit-parallel ensemble pass replaces the per-seed scalar
         // runs: each of the (up to 64) lanes is an independent replica of
         // the cell, so the per-lane outcomes are the per-seed samples. A
@@ -357,11 +357,18 @@ fn cell_stem(family: TopologyFamily, snapped_n: u64) -> String {
 
 /// Identity line pinning the sweep parameters a persisted cell is valid
 /// for. A resumed run with *any* differing parameter (backend, topology,
-/// n, k, seeds, per-cell seed, work budget, timeline ask) must not reuse
-/// the cell, so the whole line is compared verbatim on load. The
-/// (backend, n, k, seed, topology) core is rendered by the same
+/// n, k, seeds, per-cell seed, work budget, thread count, timeline ask)
+/// must not reuse the cell, so the whole line is compared verbatim on
+/// load. The (backend, n, k, seed, topology) core is rendered by the same
 /// [`RunIdentity`] helper that guards `RunCheckpoint` resumes, so the two
 /// persistence surfaces can never drift apart in what they pin.
+///
+/// `threads` is the sweep's resolved worker-thread count. Trajectories
+/// are thread-count invariant on every engine, but the recorded
+/// wall-clock-adjacent artifacts (timeline cadence boundaries interact
+/// with driving-chunk horizons, and future thread-sensitive columns) must
+/// not silently mix resolutions across a resume — v2 lines omitted it and
+/// a sweep resumed under a different `--threads` reused stale cells.
 #[allow(clippy::too_many_arguments)]
 fn cell_identity(
     backend: Backend,
@@ -371,6 +378,7 @@ fn cell_identity(
     seeds: u64,
     cell_seed: u64,
     eff_budget: u64,
+    threads: usize,
     record_timeline: bool,
 ) -> String {
     let core = RunIdentity::new(
@@ -381,7 +389,8 @@ fn cell_identity(
         family.name(),
     );
     format!(
-        "# topology_sweep cell v2: {} seeds={seeds} eff_budget={eff_budget} timeline={}",
+        "# topology_sweep cell v3: {} seeds={seeds} eff_budget={eff_budget} threads={threads} \
+         timeline={}",
         core.describe(),
         if record_timeline { "yes" } else { "no" }
     )
@@ -497,8 +506,9 @@ pub fn topology_report(args: &ExpArgs) -> Report {
     let k = args.k_or(2);
     let backend = args.backend_or(Backend::BatchGraph);
     assert!(
-        backend.supports_topologies(),
-        "--backend {backend} cannot run graph topologies (use graph, batchgraph, agent, or replica)"
+        backend.capabilities().topologies,
+        "--backend {backend} cannot run graph topologies \
+         (use graph, batchgraph, pargraph, agent, or replica)"
     );
     let single_family = args.topology.is_some();
     let ns: Vec<u64> = if args.quick {
@@ -534,6 +544,9 @@ pub fn topology_report(args: &ExpArgs) -> Report {
         .flat_map(|&f| ns.iter().map(move |&n| (f, n)))
         .collect();
     let record_timeline = args.timeline_dir.is_some();
+    // Resolved once for the whole sweep, exactly as the runner resolves
+    // its worker count — persisted cells are valid only for this value.
+    let threads = runner::resolve_threads();
     let loaded = std::sync::atomic::AtomicUsize::new(0);
     let total = cells.len();
     let results = runner::sweep(args.seed, cells, |i, &(f, n), _| {
@@ -548,6 +561,7 @@ pub fn topology_report(args: &ExpArgs) -> Report {
                 seeds,
                 cell_seed,
                 eff_budget,
+                threads,
                 record_timeline,
             )
         });
@@ -845,7 +859,7 @@ mod tests {
             u64::MAX / 2,
             false,
         );
-        let ident = |seed: u64, timeline: bool| {
+        let ident = |seed: u64, threads: usize, timeline: bool| {
             cell_identity(
                 Backend::Graph,
                 TopologyFamily::Cycle,
@@ -854,10 +868,11 @@ mod tests {
                 2,
                 seed,
                 u64::MAX / 2,
+                threads,
                 timeline,
             )
         };
-        let id = ident(7, false);
+        let id = ident(7, 4, false);
         store_cell(d, &cell, &id);
         let back = load_cell(d, TopologyFamily::Cycle, cell.n, 2, &id, false)
             .expect("persisted cell should load");
@@ -868,11 +883,21 @@ mod tests {
         // The shared RunIdentity core renders the cell's full coordinates.
         assert!(id.contains("backend=graph"), "identity line: {id}");
         assert!(id.contains("topology='cycle'"), "identity line: {id}");
+        assert!(id.contains("threads=4"), "identity line: {id}");
         // Any differing sweep parameter (here: the cell seed) invalidates.
-        let other = ident(8, false);
+        let other = ident(8, 4, false);
         assert!(load_cell(d, TopologyFamily::Cycle, cell.n, 2, &other, false).is_none());
+        // Regression: v2 identity lines omitted the thread count, so a
+        // sweep resumed under a different --threads silently reused cells
+        // recorded at another resolution. A differing count must now
+        // invalidate exactly like any other parameter.
+        let other_threads = ident(7, 8, false);
+        assert!(
+            load_cell(d, TopologyFamily::Cycle, cell.n, 2, &other_threads, false).is_none(),
+            "a cell stored at threads=4 was reused by a threads=8 sweep"
+        );
         // A sweep that wants timelines cannot reuse a cell stored without.
-        let with_tl = ident(7, true);
+        let with_tl = ident(7, 4, true);
         assert!(load_cell(d, TopologyFamily::Cycle, cell.n, 2, &with_tl, true).is_none());
         // A torn (truncated) file is recomputed, never trusted or panicked on.
         let path = dir.join(format!("{}.csv", cell_stem(cell.family, cell.n)));

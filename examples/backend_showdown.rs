@@ -51,7 +51,7 @@ fn main() {
         // makes that silly in a demo. The graphwise engine's degenerate
         // clique instance materializes all C(n, 2) edges — demo-sized
         // populations only.
-        if backend.supports_topologies()
+        if backend.capabilities().topologies
             && backend != Backend::Agent
             && n > usd_core::backend::COMPLETE_GRAPH_MAX_N
         {

@@ -1,0 +1,278 @@
+//! The sharded multi-core graph engine ≡ the scalar graphwise engine,
+//! through the public `RunSpec` stack.
+//!
+//! `pargraph` advances position-derived draw blocks across spatial domains
+//! on the persistent worker pool and replays cross-domain conflicts in
+//! schedule order. These tests pin the four claims that make it a drop-in
+//! topology backend:
+//!
+//! * **thread-count bit-identity**: a `RunSpec` pargraph run produces the
+//!   same trajectory — counts, clocks, classified outcome — for any
+//!   `.threads(t)`, pinned at t ∈ {1, 2, 8};
+//! * **law equivalence**: pargraph's USD stabilization-time distribution
+//!   matches the scalar graphwise engine's by two-sample
+//!   Kolmogorov–Smirnov at α = 0.01 on the complete graph, a random
+//!   8-regular graph, the torus, and the cycle;
+//! * **boundary-conflict replay**: on randomized multi-domain graphs whose
+//!   domain cuts are actually crossed, the parallel application with
+//!   deferral + schedule-order replay reproduces the inline (threads = 1)
+//!   application exactly, with counts conserved at every boundary;
+//! * **kill + resume byte-identity**: a pargraph run snapshotted at a
+//!   chunk boundary and resumed into a *freshly built* engine — under a
+//!   different thread count — ends in a byte-identical snapshot.
+
+use plurality_consensus::pop_proto::checkpoint::{SnapshotReader, SnapshotWriter};
+use plurality_consensus::pop_proto::{Graph, ParGraphSimulator, Simulator, TopologyFamily};
+use plurality_consensus::usd_core::protocol::UndecidedStateDynamics;
+use sim_stats::ks::{ks_critical_value, ks_statistic};
+use sim_stats::rng::SimRng;
+use usd_core::backend::Backend;
+use usd_core::init::InitialConfigBuilder;
+use usd_core::RunSpec;
+
+/// Drive a budgeted pargraph run through the builder and return the full
+/// observable surface: counts, both clocks, and the classified outcome.
+fn budgeted_run(
+    threads: usize,
+    family: TopologyFamily,
+    n: u64,
+    seed: u64,
+    budget: u64,
+) -> (Vec<u64>, u64, u64, String) {
+    let config = InitialConfigBuilder::new(n, 2).figure1();
+    let mut rng = SimRng::new(seed);
+    let (result, sim) = RunSpec::new(&config)
+        .backend(Backend::ParGraph)
+        .topology(family)
+        .topo_seed(3)
+        .threads(threads)
+        .budget(budget)
+        .run_keeping(&mut rng);
+    let sim = sim.expect("sweep families always have edges");
+    (
+        sim.counts().to_vec(),
+        sim.interactions(),
+        sim.effective_interactions(),
+        format!("{:?}", result.outcome),
+    )
+}
+
+/// Bit-identity across thread counts, through the public stack: the
+/// flag-facing `.threads(t)` knob must change wall-clock only, never the
+/// trajectory. The torus instance spans multiple spatial domains, so the
+/// parallel interior phases and the boundary replay are genuinely
+/// exercised at t > 1.
+#[test]
+fn pargraph_runspec_trajectories_bit_identical_for_threads_1_2_8() {
+    for (family, n) in [
+        (
+            TopologyFamily::Torus,
+            TopologyFamily::Torus.snap_n(9216) as u64,
+        ),
+        (TopologyFamily::Cycle, 9000u64),
+    ] {
+        let reference = budgeted_run(1, family, n, 99, 3_000_000);
+        for threads in [2usize, 8] {
+            let run = budgeted_run(threads, family, n, 99, 3_000_000);
+            assert_eq!(
+                run, reference,
+                "{family}: threads={threads} diverged from threads=1"
+            );
+        }
+    }
+}
+
+/// Stabilization-time samples (interactions) for one backend on one
+/// topology; per-rep graphs and layouts, as in `topology_equivalence`.
+fn samples(
+    backend: Backend,
+    family: TopologyFamily,
+    n: u64,
+    k: usize,
+    reps: u64,
+    seed_base: u64,
+) -> Vec<f64> {
+    let config = InitialConfigBuilder::new(n, k).figure1();
+    (0..reps)
+        .map(|rep| {
+            let mut rng = SimRng::new(seed_base + rep);
+            let result = RunSpec::new(&config)
+                .backend(backend)
+                .topology(family)
+                .topo_seed(0xBEEF ^ rep)
+                .run(&mut rng);
+            assert!(
+                result.stabilized(),
+                "{backend} rep {rep} did not stabilize on {family}"
+            );
+            result.interactions as f64
+        })
+        .collect()
+}
+
+fn assert_ks_equivalent(family: TopologyFamily, n: u64, k: usize, reps: u64) {
+    let a = samples(Backend::Graph, family, n, k, reps, 40_000);
+    let b = samples(Backend::ParGraph, family, n, k, reps, 80_000);
+    let d = ks_statistic(&a, &b);
+    let crit = ks_critical_value(a.len(), b.len(), 0.01);
+    assert!(
+        d < crit,
+        "{family}: pargraph vs graph stabilization-time KS {d:.4} >= critical {crit:.4}"
+    );
+}
+
+/// KS equivalence on the complete graph (the degenerate clique instance).
+#[test]
+fn pargraph_vs_graphwise_complete_graph_ks() {
+    assert_ks_equivalent(TopologyFamily::Complete, 400, 3, 150);
+}
+
+/// KS equivalence on a random 8-regular graph — the expander case, where
+/// nearly every block draw crosses a domain cut and the engine lives in
+/// its schedule-order replay path.
+#[test]
+fn pargraph_vs_graphwise_regular8_ks() {
+    assert_ks_equivalent(TopologyFamily::Regular { d: 8 }, 400, 2, 150);
+}
+
+/// KS equivalence on the torus — the decomposition-friendly family the
+/// engine targets, crossing the dense ↔ sparse hand-off repeatedly.
+#[test]
+fn pargraph_vs_graphwise_torus_ks() {
+    assert_ks_equivalent(TopologyFamily::Torus, 441, 2, 150);
+}
+
+/// KS equivalence on the cycle — the no-op-dominated family whose runs
+/// live almost entirely in the shared sparse skipper.
+#[test]
+fn pargraph_vs_graphwise_cycle_ks() {
+    assert_ks_equivalent(TopologyFamily::Cycle, 96, 2, 150);
+}
+
+/// Boundary-conflict replay property: over randomized sparse graphs large
+/// enough for several spatial domains, the parallel application (t = 8,
+/// concurrent interior phases + deferral) is bit-identical to the inline
+/// one (t = 1) at every advancement boundary, population is conserved
+/// throughout, and the engine's sparse-phase invariants hold. The
+/// boundary-edge assertion guards the property against silently testing a
+/// single-domain instance.
+#[test]
+fn boundary_conflict_replay_matches_inline_application() {
+    let n = 9000usize;
+    for graph_seed in [5u64, 17, 23] {
+        let mut gr = SimRng::new(graph_seed);
+        let graph = Graph::erdos_renyi(n, 4.0 / (n - 1) as f64, &mut gr);
+        let config = InitialConfigBuilder::new(n as u64, 2)
+            .figure1()
+            .to_count_config();
+        let build = |threads: usize| {
+            let mut layout_rng = SimRng::new(graph_seed ^ 0xA5);
+            ParGraphSimulator::from_config_shuffled(
+                UndecidedStateDynamics::new(2),
+                &graph,
+                &config,
+                &mut layout_rng,
+                threads,
+            )
+        };
+        let mut inline = build(1);
+        let mut parallel = build(8);
+        assert!(
+            parallel.boundary_edges() > 0,
+            "graph seed {graph_seed}: no domain cuts crossed — property not exercised"
+        );
+        let mut rng_a = SimRng::new(graph_seed + 1);
+        let mut rng_b = SimRng::new(graph_seed + 1);
+        for step in 0..40 {
+            inline.advance_changed(&mut rng_a, 50_000);
+            parallel.advance_changed(&mut rng_b, 50_000);
+            assert_eq!(
+                parallel.counts(),
+                inline.counts(),
+                "graph seed {graph_seed}, step {step}: replayed trajectory diverged"
+            );
+            assert_eq!(parallel.interactions(), inline.interactions());
+            assert_eq!(
+                parallel.effective_interactions(),
+                inline.effective_interactions()
+            );
+            assert_eq!(
+                parallel.counts().iter().sum::<u64>(),
+                n as u64,
+                "population not conserved at step {step}"
+            );
+            parallel
+                .validate_sparse_invariants()
+                .expect("sparse invariants violated");
+            if parallel.is_silent() {
+                break;
+            }
+        }
+    }
+}
+
+/// Snapshot an engine's full state as bytes.
+fn snapshot_bytes(sim: &dyn Simulator) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    sim.snapshot_state(&mut w).expect("snapshot_state failed");
+    w.into_bytes()
+}
+
+/// Kill + resume byte-identity through the builder: advance a pargraph
+/// run in fixed chunks (the checkpointed-drive discipline — boundaries
+/// are a pure function of the interaction clock), kill it at a boundary,
+/// rebuild a fresh engine from the same spec under a *different* thread
+/// count, restore, and finish. The final snapshots must match byte for
+/// byte: the snapshot format is thread-invariant, so a checkpoint taken
+/// at `--threads 2` resumes under `--threads 8`.
+#[test]
+fn pargraph_checkpoint_kill_resume_is_byte_identical() {
+    let n = TopologyFamily::Torus.snap_n(9216) as u64;
+    let config = InitialConfigBuilder::new(n, 2).figure1();
+    let chunk = 400_000u64;
+    let chunks_before_kill = 3usize;
+    let chunks_total = 7usize;
+    let spec = |threads: usize| {
+        RunSpec::new(&config)
+            .backend(Backend::ParGraph)
+            .topology(TopologyFamily::Torus)
+            .topo_seed(11)
+            .threads(threads)
+    };
+
+    // Uninterrupted reference at threads = 2.
+    let mut rng = SimRng::new(2024);
+    let mut sim = spec(2).build_simulator(&mut rng);
+    for _ in 0..chunks_total {
+        sim.run_to_silence(&mut rng, chunk);
+    }
+    let reference = snapshot_bytes(sim.as_ref());
+
+    // Interrupted twin: same construction stream, killed mid-run.
+    let mut rng = SimRng::new(2024);
+    let mut sim = spec(2).build_simulator(&mut rng);
+    for _ in 0..chunks_before_kill {
+        sim.run_to_silence(&mut rng, chunk);
+    }
+    let mid = snapshot_bytes(sim.as_ref());
+    let saved_rng = rng.state();
+    drop(sim);
+
+    // Resume: fresh engine from the same spec at threads = 8, restored
+    // from the mid-run snapshot (the constructor's RNG draws are
+    // discarded exactly as the CLI's --resume path discards them).
+    let mut construction_rng = SimRng::new(2024);
+    let mut resumed = spec(8).build_simulator(&mut construction_rng);
+    resumed
+        .restore_state(&mut SnapshotReader::new(&mid))
+        .expect("restore_state failed");
+    let mut rng = SimRng::from_state(saved_rng).expect("non-degenerate RNG state");
+    for _ in 0..(chunks_total - chunks_before_kill) {
+        resumed.run_to_silence(&mut rng, chunk);
+    }
+    assert_eq!(
+        snapshot_bytes(resumed.as_ref()),
+        reference,
+        "resumed run diverged from the uninterrupted reference"
+    );
+}

@@ -262,8 +262,8 @@ fn batch_pairing_rows_bit_identical_across_thread_counts() {
     let mut runs = Vec::new();
     for threads in [1usize, 2, 8] {
         let mut sim =
-            BatchSimulator::new(UndecidedStateDynamics::new(k), &config.to_count_config());
-        sim.set_threads(threads);
+            BatchSimulator::new(UndecidedStateDynamics::new(k), &config.to_count_config())
+                .with_threads(threads);
         let mut rng = SimRng::new(42);
         sim.run(&mut rng, 30_000_000, |_| false);
         runs.push((
